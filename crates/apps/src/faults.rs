@@ -1,0 +1,144 @@
+//! Fault scenarios: reusable schedules of misbehaving-worker disturbances
+//! for the reliability experiments.
+
+use dsdps::sim::Fault;
+use serde::{Deserialize, Serialize};
+
+/// A named, serializable fault scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Scenario name.
+    pub name: String,
+    /// The faults to inject.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultScenario {
+    /// No faults (control run).
+    pub fn none() -> Self {
+        FaultScenario {
+            name: "fault-free".into(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// The paper's headline scenario: one worker misbehaves mid-run.
+    /// `factor`× service-time slowdown on `worker` during `[from_s, until_s)`.
+    pub fn single_misbehaving_worker(worker: usize, factor: f64, from_s: f64, until_s: f64) -> Self {
+        FaultScenario {
+            name: format!("worker{worker}-slowdown-{factor}x"),
+            faults: vec![Fault::WorkerSlowdown {
+                worker,
+                factor,
+                from_s,
+                until_s,
+            }],
+        }
+    }
+
+    /// A resource-hogging co-located process on `machine`.
+    pub fn cpu_hog(machine: usize, cores: f64, from_s: f64, until_s: f64) -> Self {
+        FaultScenario {
+            name: format!("machine{machine}-hog-{cores}cores"),
+            faults: vec![Fault::ExternalLoad {
+                machine,
+                cores,
+                from_s,
+                until_s,
+            }],
+        }
+    }
+
+    /// Rolling degradation: each of `workers` misbehaves in turn for
+    /// `each_s` seconds, starting at `from_s`.
+    pub fn rolling_slowdowns(workers: &[usize], factor: f64, from_s: f64, each_s: f64) -> Self {
+        let faults = workers
+            .iter()
+            .enumerate()
+            .map(|(i, &worker)| Fault::WorkerSlowdown {
+                worker,
+                factor,
+                from_s: from_s + i as f64 * each_s,
+                until_s: from_s + (i + 1) as f64 * each_s,
+            })
+            .collect();
+        FaultScenario {
+            name: format!("rolling-{}workers-{factor}x", workers.len()),
+            faults,
+        }
+    }
+
+    /// Periodic background interference on a machine: load pulses of
+    /// `cores` for `on_s` seconds every `every_s`, for `n` pulses.
+    pub fn periodic_interference(
+        machine: usize,
+        cores: f64,
+        from_s: f64,
+        every_s: f64,
+        on_s: f64,
+        n: usize,
+    ) -> Self {
+        let faults = (0..n)
+            .map(|i| Fault::ExternalLoad {
+                machine,
+                cores,
+                from_s: from_s + i as f64 * every_s,
+                until_s: from_s + i as f64 * every_s + on_s,
+            })
+            .collect();
+        FaultScenario {
+            name: format!("periodic-hog-m{machine}"),
+            faults,
+        }
+    }
+
+    /// Applies every fault to a simulation runtime.
+    pub fn apply(&self, engine: &mut dsdps::sim::SimRuntime) -> dsdps::error::Result<()> {
+        for f in &self.faults {
+            engine.inject_fault(f.clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_have_valid_windows() {
+        let scenarios = [
+            FaultScenario::single_misbehaving_worker(2, 5.0, 300.0, 600.0),
+            FaultScenario::cpu_hog(1, 6.0, 100.0, 200.0),
+            FaultScenario::rolling_slowdowns(&[0, 1, 2], 4.0, 50.0, 30.0),
+            FaultScenario::periodic_interference(0, 3.0, 10.0, 60.0, 15.0, 5),
+        ];
+        for s in &scenarios {
+            assert!(s.faults.iter().all(Fault::is_valid), "{}", s.name);
+        }
+        assert!(FaultScenario::none().faults.is_empty());
+    }
+
+    #[test]
+    fn rolling_slowdowns_are_back_to_back() {
+        let s = FaultScenario::rolling_slowdowns(&[5, 6], 3.0, 100.0, 20.0);
+        assert_eq!(s.faults.len(), 2);
+        assert_eq!(s.faults[0].until_s(), s.faults[1].from_s());
+    }
+
+    #[test]
+    fn periodic_pulses_do_not_overlap() {
+        let s = FaultScenario::periodic_interference(0, 2.0, 0.0, 30.0, 10.0, 4);
+        for w in s.faults.windows(2) {
+            assert!(w[0].until_s() <= w[1].from_s());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = FaultScenario::single_misbehaving_worker(1, 4.0, 10.0, 20.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

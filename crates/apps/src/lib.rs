@@ -1,0 +1,34 @@
+//! # stream-apps — the paper's evaluation applications
+//!
+//! The two representative stream applications the IPDPS 2019 paper uses
+//! for validation, plus the synthetic workloads and fault scenarios that
+//! drive them:
+//!
+//! * [`url_count`] — **Windowed URL Count**: Zipf-skewed click stream →
+//!   parse → tumbling-window partial counts (dynamic grouping) → merged
+//!   window reports;
+//! * [`continuous_queries`] — **Continuous Queries**: sensor readings
+//!   evaluated against standing predicate+aggregate queries (dynamic
+//!   grouping) → per-window query results;
+//! * [`workload`] — time-varying rate patterns (diurnal/bursty/random
+//!   walk) and Zipf catalogs, seeded and deterministic;
+//! * [`faults`] — reusable misbehaving-worker scenarios for the
+//!   reliability experiments.
+
+#![warn(missing_docs)]
+
+pub mod continuous_queries;
+pub mod faults;
+pub mod url_count;
+pub mod workload;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::continuous_queries::{
+        build_continuous_queries, generate_queries, CqConfig, CqStats, Query, QueryAgg, QueryOp,
+        QueryResult,
+    };
+    pub use crate::faults::FaultScenario;
+    pub use crate::url_count::{build_url_count, UrlCountConfig, UrlCountStats, WindowReport};
+    pub use crate::workload::{RateDriver, RatePattern, UrlCatalog, ZipfSampler};
+}

@@ -1,0 +1,250 @@
+//! Criterion microbenchmarks for the performance-critical kernels:
+//!
+//! * `gemm`           — the drnn matrix-multiply kernel (serial + rayon sizes)
+//! * `lstm`           — LSTM forward and forward+backward over a sequence
+//! * `grouping`       — per-tuple routing decision for every grouping type
+//! * `acker`          — tuple-tree track/emit/ack cycle
+//! * `engine`         — simulated-runtime event throughput
+//! * `forecast_fit`   — ARIMA and SVR fit time
+//! * `control_epoch`  — one controller epoch (snapshot → plan → actuate)
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use drnn::layer::lstm::LstmLayer;
+use drnn::matrix::Matrix;
+use dsdps::acker::Acker;
+use dsdps::grouping::dynamic::{DynamicGrouping, DynamicGroupingHandle, SplitRatio};
+use dsdps::grouping::{
+    AllGrouping, FieldsGrouping, GlobalGrouping, Grouping, ShuffleGrouping,
+};
+use dsdps::topology::TaskId;
+use dsdps::tuple::{Fields, Tuple, Value};
+use forecast::arima::{Arima, ArimaOrder};
+use forecast::forecaster::Forecaster;
+use forecast::svr::{Svr, SvrParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for &n in &[32usize, 128, 256] {
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 17) as f64 / 17.0).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 13) as f64 / 13.0).collect());
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut layer = LstmLayer::new(16, 64, &mut rng);
+    let xs: Vec<Matrix> = (0..16)
+        .map(|t| Matrix::from_vec(32, 16, (0..32 * 16).map(|i| ((t + i) % 7) as f64 / 7.0).collect()))
+        .collect();
+    group.bench_function("forward_seq16_batch32", |b| {
+        b.iter(|| layer.forward(&xs));
+    });
+    group.bench_function("forward_backward_seq16_batch32", |b| {
+        b.iter(|| {
+            let (hs, cache) = layer.forward(&xs);
+            let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+            layer.zero_grads();
+            layer.backward(&cache, &dhs)
+        });
+    });
+    group.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let schema = Fields::new(["key", "seq"]);
+    let tuple = Tuple::with_fields(
+        [Value::from("k42"), Value::from(42i64)],
+        schema.clone(),
+    );
+    let mut out = Vec::with_capacity(8);
+
+    let mut run =
+        |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+         name: &str,
+         g: &mut dyn Grouping| {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    out.clear();
+                    g.select(&tuple, &mut out);
+                    out.first().copied()
+                });
+            });
+        };
+
+    run(&mut group, "shuffle", &mut ShuffleGrouping::new(8, 0));
+    run(
+        &mut group,
+        "fields",
+        &mut FieldsGrouping::new(8, &["key".into()], &schema).unwrap(),
+    );
+    run(&mut group, "global", &mut GlobalGrouping::new(8));
+    run(&mut group, "all", &mut AllGrouping::new(8));
+    let handle = DynamicGroupingHandle::new(SplitRatio::uniform(8));
+    run(&mut group, "dynamic", &mut DynamicGrouping::new(handle));
+    group.finish();
+}
+
+fn bench_acker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acker");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group.bench_function("track_emit_ack_cycle", |b| {
+        let mut acker = Acker::new();
+        let mut root = 0u64;
+        b.iter(|| {
+            root += 1;
+            let e0 = acker.new_edge_id();
+            acker.track(root, e0, TaskId(0), root, 0.0);
+            let e1 = acker.new_edge_id();
+            acker.on_emit(root, e1);
+            acker.on_ack(root, e0, 0.1);
+            acker.on_ack(root, e1, 0.2);
+            acker.drain_outcomes().len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    use dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+    use dsdps::config::EngineConfig;
+    use dsdps::sim::SimRuntime;
+    use dsdps::topology::{CostModel, TopologyBuilder};
+
+    struct Src(u64);
+    impl Spout for Src {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            let due = (out.now_s() * 5000.0) as u64;
+            for _ in 0..(due.saturating_sub(self.0)).min(32) {
+                self.0 += 1;
+                out.emit_with_id(Tuple::of([Value::from(self.0 as i64)]), self.0);
+            }
+            true
+        }
+    }
+    struct Sink;
+    impl Bolt for Sink {
+        fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {}
+    }
+
+    let mut group = c.benchmark_group("engine");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group.bench_function("sim_10s_5000tps_pipeline", |b| {
+        b.iter(|| {
+            let mut builder = TopologyBuilder::new("bench");
+            builder
+                .set_spout("src", 1, || Src(0))
+                .unwrap()
+                .cost(CostModel {
+                    base_service_time_us: 5.0,
+                    jitter: 0.0,
+                });
+            builder
+                .set_bolt("sink", 4, || Sink)
+                .unwrap()
+                .shuffle_grouping("src")
+                .unwrap()
+                .cost(CostModel {
+                    base_service_time_us: 50.0,
+                    jitter: 0.0,
+                });
+            let topo = builder.build().unwrap();
+            let mut engine =
+                SimRuntime::new(topo, EngineConfig::default().with_cluster(2, 2, 4)).unwrap();
+            engine.run_until(10.0).acked
+        });
+    });
+    group.finish();
+}
+
+fn bench_forecast_fit(c: &mut Criterion) {
+    let series: Vec<f64> = {
+        let mut state = 9u64;
+        let mut prev = 0.0;
+        (0..400)
+            .map(|t| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                prev = 0.7 * prev + e + (t as f64 / 20.0).sin();
+                prev
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("forecast_fit");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group.bench_function("arima_2_0_1_fit_400", |b| {
+        b.iter(|| {
+            let mut m = Arima::new(ArimaOrder::new(2, 0, 1));
+            m.fit(&series).unwrap();
+            m.aic()
+        });
+    });
+    group.bench_function("svr_rbf_fit_400", |b| {
+        let x: Vec<Vec<f64>> = series.windows(8).map(|w| w[..7].to_vec()).collect();
+        let y: Vec<f64> = series.windows(8).map(|w| w[7]).collect();
+        b.iter(|| {
+            let mut svr = Svr::new(SvrParams::default()).unwrap();
+            svr.fit(&x, &y).unwrap();
+            svr.support_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_control_epoch(c: &mut Criterion) {
+    use stream_control::planner::{plan_ratio, PlanPolicy};
+    let tasks: Vec<TaskId> = (0..8).map(TaskId).collect();
+    let placement: HashMap<TaskId, dsdps::scheduler::WorkerId> = tasks
+        .iter()
+        .map(|&t| (t, dsdps::scheduler::WorkerId(t.0)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let lat: HashMap<dsdps::scheduler::WorkerId, f64> = (0..8)
+        .map(|i| (dsdps::scheduler::WorkerId(i), rng.gen_range(100.0..1000.0)))
+        .collect();
+    let mut group = c.benchmark_group("control");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group.bench_function("plan_ratio_8tasks", |b| {
+        b.iter(|| {
+            plan_ratio(
+                PlanPolicy::CapacityProportional { alpha: 1.0 },
+                &tasks,
+                &placement,
+                &[dsdps::scheduler::WorkerId(3)],
+                &lat,
+                0.02,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_lstm,
+    bench_grouping,
+    bench_acker,
+    bench_engine,
+    bench_forecast_fit,
+    bench_control_epoch
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Planner-policy ablation: `fig-policy` — capacity-proportional vs
+//! uniform split under *persistent heterogeneous* machine load (no hard
+//! fault).  The capacity-proportional planner continuously shifts tuples
+//! toward workers on less-loaded machines, trading perfect balance for
+//! lower mean service latency.
+
+use std::sync::Arc;
+
+use dsdps::scheduler::even_placement;
+use dsdps::sim::{Fault, SimRuntime};
+use stream_control::controller::{control_hook, ControlMode, Controller, ControllerConfig};
+use stream_control::planner::PlanPolicy;
+
+use crate::harness::{cluster_config, mean_latency_ms, mean_throughput, App};
+use crate::table::{f2, Table};
+
+use super::{Ctx, ExpResult};
+
+/// `fig-policy`: latency/throughput of each split policy under skewed
+/// background load.
+pub fn fig_policy(ctx: &Ctx) -> ExpResult {
+    let run_s = if ctx.quick { 80.0 } else { 240.0 };
+    let seed = 13;
+
+    let mut table = Table::new(
+        "fig-policy: split policy under persistent heterogeneous machine load",
+        &[
+            "policy",
+            "throughput_t/s",
+            "avg_latency_ms",
+            "mean_interval_p99_ms",
+            "stage_latency_us",
+        ],
+    );
+
+    let policies: Vec<(&str, Option<PlanPolicy>)> = vec![
+        ("static uniform (no control)", None),
+        ("uniform-excluding", Some(PlanPolicy::UniformExcluding)),
+        (
+            "capacity-proportional",
+            Some(PlanPolicy::CapacityProportional { alpha: 1.0 }),
+        ),
+    ];
+
+    for (label, policy) in policies {
+        let topology = App::UrlCount.build(seed);
+        let config = cluster_config(seed);
+        let placement = even_placement(&topology, &config)?;
+        let stage_workers: Vec<_> = topology
+            .component_by_name("count")
+            .expect("count stage")
+            .tasks()
+            .map(|t| placement.worker_of(t))
+            .collect();
+        let mut engine = SimRuntime::new(topology, config)?;
+        // Persistent skewed load: machine 2 heavily loaded, machine 0
+        // moderately, the rest idle.
+        engine.inject_fault(Fault::ExternalLoad {
+            machine: 2,
+            cores: 6.0,
+            from_s: 0.0,
+            until_s: run_s,
+        })?;
+        engine.inject_fault(Fault::ExternalLoad {
+            machine: 0,
+            cores: 2.5,
+            from_s: 0.0,
+            until_s: run_s,
+        })?;
+        if let Some(policy) = policy {
+            let controller = Controller::for_topology(
+                engine.topology(),
+                &placement,
+                ControllerConfig {
+                    policy,
+                    warmup_intervals: 10,
+                    // No flagging in this experiment: isolate the policy's
+                    // continuous re-weighting by making triggers unreachable.
+                    detector: stream_control::detector::DetectorConfig {
+                        trigger_factor: 100.0,
+                        ..Default::default()
+                    },
+                    ..ControllerConfig::default()
+                },
+                ControlMode::Reactive,
+            )?;
+            engine.add_control_hook(control_hook(Arc::new(parking_lot::Mutex::new(controller))));
+        }
+        engine.run_until(run_s);
+        let snapshots: Vec<_> = engine.history().iter().cloned().collect();
+        let from = 20usize;
+        let to = run_s as usize;
+        // Mean execute latency across the controlled stage's workers,
+        // execution-weighted.
+        let mut lat_sum = 0.0;
+        let mut exec_sum = 0u64;
+        for snap in &snapshots[from..] {
+            for &w in &stage_workers {
+                if let Some(ws) = snap.worker(w) {
+                    lat_sum += ws.avg_execute_latency_us * ws.executed as f64;
+                    exec_sum += ws.executed;
+                }
+            }
+        }
+        table.row(&[
+            label.to_owned(),
+            f2(mean_throughput(&snapshots, from, to)),
+            f2(mean_latency_ms(&snapshots, from, to)),
+            f2(snapshots[from..]
+                .iter()
+                .map(|s| s.topology.p99_complete_latency_ms)
+                .sum::<f64>()
+                / (snapshots.len() - from) as f64),
+            f2(lat_sum / exec_sum.max(1) as f64),
+        ]);
+    }
+    table.save_and_print(&ctx.out_dir, "fig-policy")?;
+    Ok(())
+}

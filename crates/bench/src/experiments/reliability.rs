@@ -1,0 +1,331 @@
+//! Reliability experiments: the paper's claim 3 — "the proposed framework
+//! enhances reliability by offering minor performance degradation with
+//! misbehaving workers".
+//!
+//! Each run injects a hard slowdown on one worker that hosts a task of the
+//! dynamically-grouped stage, and compares three regimes: no control
+//! (vanilla engine), reactive control (threshold on observed latency) and
+//! predictive control (the paper's DRNN-driven framework).
+
+use dsdps::metrics::MetricsSnapshot;
+use dsdps::scheduler::WorkerId;
+use stream_apps::faults::FaultScenario;
+use stream_control::controller::{ControlMode, ControllerConfig};
+use stream_control::detector::DetectorConfig;
+use stream_control::features::FeatureSpec;
+use stream_control::predictor::{DrnnPredictor, PerformancePredictor};
+
+use crate::harness::{
+    mean_latency_ms, mean_throughput, run_controlled, run_monitored, training_scenario, App,
+    ControlledRun,
+};
+use crate::table::{f2, pct, Table};
+
+use super::{Ctx, ExpResult};
+
+struct RelSetup {
+    train_s: f64,
+    total_s: f64,
+    fault: (f64, f64),
+    slowdown: f64,
+}
+
+fn setup(ctx: &Ctx) -> RelSetup {
+    if ctx.quick {
+        RelSetup {
+            train_s: 110.0,
+            total_s: 220.0,
+            fault: (90.0, 170.0),
+            slowdown: 10.0,
+        }
+    } else {
+        RelSetup {
+            train_s: 420.0,
+            total_s: 600.0,
+            fault: (240.0, 450.0),
+            slowdown: 10.0,
+        }
+    }
+}
+
+fn controller_config() -> ControllerConfig {
+    ControllerConfig {
+        detector: DetectorConfig {
+            trigger_factor: 2.5,
+            trigger_consecutive: 2,
+            recover_factor: 1.4,
+            recover_consecutive: 4,
+        },
+        warmup_intervals: 30,
+        ..ControllerConfig::default()
+    }
+}
+
+/// Trains the DRNN predictor on an interference-rich fault-free run.
+fn train_drnn(ctx: &Ctx, app: App, seed: u64) -> (DrnnPredictor, Vec<WorkerId>) {
+    let s = setup(ctx);
+    let train = run_monitored(app, s.train_s, seed, &training_scenario(4, 8, s.train_s));
+    let refs: Vec<&MetricsSnapshot> = train.snapshots.iter().collect();
+    let mut predictor = DrnnPredictor::new(super::prediction::drnn_config(
+        ctx,
+        FeatureSpec::full(),
+        1,
+    ));
+    predictor
+        .fit(&refs, &train.stage_workers)
+        .expect("DRNN training on the monitored run");
+    (predictor, train.stage_workers)
+}
+
+/// One reliability comparison for `app` and `seed`.
+struct RelResult {
+    fault_free: ControlledRun,
+    none: ControlledRun,
+    reactive: ControlledRun,
+    predictive: ControlledRun,
+    fault: (f64, f64),
+}
+
+fn run_reliability(ctx: &Ctx, app: App, seed: u64) -> RelResult {
+    let s = setup(ctx);
+    let (predictor, stage_workers) = train_drnn(ctx, app, seed);
+    // Fault the worker of the stage's second task: with the even scheduler
+    // it hosts only that one task, so the signal is clean.
+    let fault_worker = stage_workers[1.min(stage_workers.len() - 1)];
+    let scenario = FaultScenario::single_misbehaving_worker(
+        fault_worker.0,
+        s.slowdown,
+        s.fault.0,
+        s.fault.1,
+    );
+    let run = |scenario: &FaultScenario, mode: ControlMode| {
+        run_controlled(
+            app,
+            s.total_s,
+            seed,
+            scenario,
+            mode,
+            controller_config(),
+            s.fault,
+        )
+    };
+    RelResult {
+        fault_free: run(&FaultScenario::none(), ControlMode::Monitor),
+        none: run(&scenario, ControlMode::Monitor),
+        reactive: run(&scenario, ControlMode::Reactive),
+        predictive: run(&scenario, ControlMode::Predictive(Box::new(predictor))),
+        fault: s.fault,
+    }
+}
+
+/// Degradation of one run vs the fault-free reference, within the fault
+/// window.
+struct Degradation {
+    throughput_loss_pct: f64,
+    latency_inflation: f64,
+    p99_ms: f64,
+}
+
+fn degradation(reference: &ControlledRun, run: &ControlledRun, fault: (f64, f64)) -> Degradation {
+    let (a, b) = (fault.0 as usize, fault.1 as usize);
+    let ref_tp = mean_throughput(&reference.snapshots, a, b);
+    let tp = mean_throughput(&run.snapshots, a, b);
+    let ref_lat = mean_latency_ms(&reference.snapshots, a, b).max(1e-9);
+    let lat = mean_latency_ms(&run.snapshots, a, b);
+    Degradation {
+        throughput_loss_pct: (1.0 - tp / ref_tp.max(1e-9)) * 100.0,
+        latency_inflation: lat / ref_lat,
+        p99_ms: run.window_latency.quantile(0.99).unwrap_or(0.0) / 1000.0,
+    }
+}
+
+fn fig_reliability(ctx: &Ctx, app: App) -> ExpResult {
+    let rel = run_reliability(ctx, app, 5);
+    let runs = [
+        ("fault-free", &rel.fault_free),
+        ("no-control", &rel.none),
+        ("reactive", &rel.reactive),
+        ("predictive", &rel.predictive),
+    ];
+
+    // Time series: throughput and latency per interval per regime.
+    let mut series = Table::new(
+        &format!(
+            "fig-reliability-{}: per-interval throughput (t/s) and latency (ms); fault in [{}, {}) s",
+            app.id(),
+            rel.fault.0,
+            rel.fault.1
+        ),
+        &[
+            "t_s",
+            "thr_free",
+            "thr_none",
+            "thr_react",
+            "thr_pred",
+            "lat_free",
+            "lat_none",
+            "lat_react",
+            "lat_pred",
+        ],
+    );
+    let n = runs.iter().map(|(_, r)| r.snapshots.len()).min().unwrap();
+    for i in 0..n {
+        let tp: Vec<String> = runs
+            .iter()
+            .map(|(_, r)| f2(r.snapshots[i].topology.throughput))
+            .collect();
+        let lat: Vec<String> = runs
+            .iter()
+            .map(|(_, r)| f2(r.snapshots[i].topology.avg_complete_latency_ms))
+            .collect();
+        series.row(&[
+            f2(runs[0].1.snapshots[i].time_s),
+            tp[0].clone(),
+            tp[1].clone(),
+            tp[2].clone(),
+            tp[3].clone(),
+            lat[0].clone(),
+            lat[1].clone(),
+            lat[2].clone(),
+            lat[3].clone(),
+        ]);
+    }
+    series.save_and_print(&ctx.out_dir, &format!("fig-reliability-{}", app.id()))?;
+
+    // Fault-window summary.
+    let mut summary = Table::new(
+        &format!("fig-reliability-{} fault-window summary", app.id()),
+        &[
+            "regime",
+            "throughput_t/s",
+            "thr_loss_vs_free",
+            "avg_latency_ms",
+            "p99_latency_ms",
+            "flagged_workers",
+        ],
+    );
+    let (a, b) = (rel.fault.0 as usize, rel.fault.1 as usize);
+    for (label, run) in &runs {
+        let d = degradation(&rel.fault_free, run, rel.fault);
+        let flagged = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, stream_control::controller::ControlEvent::Flagged { .. }))
+            .count();
+        summary.row(&[
+            label.to_string(),
+            f2(mean_throughput(&run.snapshots, a, b)),
+            pct(d.throughput_loss_pct),
+            f2(mean_latency_ms(&run.snapshots, a, b)),
+            f2(d.p99_ms),
+            flagged.to_string(),
+        ]);
+    }
+    summary.save_and_print(&ctx.out_dir, &format!("fig-reliability-{}-summary", app.id()))?;
+
+    // Control-decision audit log (reactive + predictive).
+    let mut events = Table::new(
+        &format!("fig-reliability-{} controller events", app.id()),
+        &["regime", "t_s", "event", "detail"],
+    );
+    for (label, run) in [("reactive", &rel.reactive), ("predictive", &rel.predictive)] {
+        for e in &run.events {
+            use stream_control::controller::ControlEvent;
+            match e {
+                ControlEvent::Flagged {
+                    interval,
+                    worker,
+                    latency_us,
+                } => {
+                    events.row(&[
+                        label.into(),
+                        interval.to_string(),
+                        "flagged".into(),
+                        format!("{worker} est={latency_us:.0}us"),
+                    ]);
+                }
+                ControlEvent::Recovered { interval, worker } => {
+                    events.row(&[
+                        label.into(),
+                        interval.to_string(),
+                        "recovered".into(),
+                        worker.to_string(),
+                    ]);
+                }
+                ControlEvent::RatioApplied { .. } => {}
+            }
+        }
+    }
+    events.save_and_print(&ctx.out_dir, &format!("fig-reliability-{}-events", app.id()))?;
+    Ok(())
+}
+
+/// `fig-reliability-wuc`.
+pub fn fig_reliability_wuc(ctx: &Ctx) -> ExpResult {
+    fig_reliability(ctx, App::UrlCount)
+}
+
+/// `fig-reliability-cq`.
+pub fn fig_reliability_cq(ctx: &Ctx) -> ExpResult {
+    fig_reliability(ctx, App::Cq)
+}
+
+/// `tab-degradation`: summary over seeds and both applications.
+pub fn tab_degradation(ctx: &Ctx) -> ExpResult {
+    let seeds: &[u64] = if ctx.quick { &[5] } else { &[5, 17, 29] };
+    let mut table = Table::new(
+        "tab-degradation: fault-window degradation vs fault-free (mean over seeds)",
+        &[
+            "app",
+            "regime",
+            "thr_loss_%",
+            "latency_inflation_x",
+            "p99_ms",
+        ],
+    );
+    for app in [App::UrlCount, App::Cq] {
+        let mut acc: Vec<(String, Vec<Degradation>)> = vec![
+            ("no-control".into(), Vec::new()),
+            ("reactive".into(), Vec::new()),
+            ("predictive".into(), Vec::new()),
+        ];
+        for &seed in seeds {
+            let rel = run_reliability(ctx, app, seed);
+            acc[0].1.push(degradation(&rel.fault_free, &rel.none, rel.fault));
+            acc[1].1.push(degradation(&rel.fault_free, &rel.reactive, rel.fault));
+            acc[2].1.push(degradation(&rel.fault_free, &rel.predictive, rel.fault));
+        }
+        for (label, ds) in &acc {
+            let n = ds.len() as f64;
+            table.row(&[
+                app.id().to_owned(),
+                label.clone(),
+                f2(ds.iter().map(|d| d.throughput_loss_pct).sum::<f64>() / n),
+                f2(ds.iter().map(|d| d.latency_inflation).sum::<f64>() / n),
+                f2(ds.iter().map(|d| d.p99_ms).sum::<f64>() / n),
+            ]);
+        }
+    }
+    table.save_and_print(&ctx.out_dir, "tab-degradation")?;
+    Ok(())
+}
+
+/// `fig-latency-cdf`: complete-latency distribution during the fault window.
+pub fn fig_latency_cdf(ctx: &Ctx) -> ExpResult {
+    let rel = run_reliability(ctx, App::UrlCount, 5);
+    let mut table = Table::new(
+        "fig-latency-cdf: complete latency CDF during the fault window (WUC)",
+        &["regime", "latency_ms", "cum_fraction"],
+    );
+    for (label, run) in [
+        ("fault-free", &rel.fault_free),
+        ("no-control", &rel.none),
+        ("predictive", &rel.predictive),
+    ] {
+        for (us, frac) in run.window_latency.cdf_points() {
+            table.row(&[label.to_owned(), f2(us / 1000.0), format!("{frac:.4}")]);
+        }
+    }
+    table.save_and_print(&ctx.out_dir, "fig-latency-cdf")?;
+    Ok(())
+}

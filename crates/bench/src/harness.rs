@@ -1,0 +1,377 @@
+//! Shared experiment machinery: building the two applications, running
+//! monitored / controlled simulations, and walk-forward predictor
+//! evaluation.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsdps::config::EngineConfig;
+use dsdps::metrics::{LatencyHistogram, MetricsSnapshot};
+use dsdps::scheduler::{even_placement, Placement, WorkerId};
+use dsdps::sim::{RunReport, SimRuntime};
+use dsdps::topology::Topology;
+use stream_apps::continuous_queries::{build_continuous_queries, CqConfig};
+use stream_apps::faults::FaultScenario;
+use stream_apps::url_count::{build_url_count, UrlCountConfig};
+use stream_apps::workload::RatePattern;
+use stream_control::controller::{control_hook, ControlEvent, ControlMode, Controller, ControllerConfig};
+use stream_control::predictor::PerformancePredictor;
+
+/// Which evaluation application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// Windowed URL Count.
+    UrlCount,
+    /// Continuous Queries.
+    Cq,
+}
+
+impl App {
+    /// Short id used in file names.
+    pub fn id(&self) -> &'static str {
+        match self {
+            App::UrlCount => "wuc",
+            App::Cq => "cq",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::UrlCount => "Windowed URL Count",
+            App::Cq => "Continuous Queries",
+        }
+    }
+
+    /// Builds the topology with the experiment defaults and a seed.
+    pub fn build(&self, seed: u64) -> Topology {
+        match self {
+            App::UrlCount => {
+                let cfg = UrlCountConfig {
+                    pattern: RatePattern::paper_default(900.0),
+                    seed,
+                    // Costs sized so the count stage runs at meaningful
+                    // utilization: interference and slowdowns then translate
+                    // into visible latency/throughput effects.
+                    parse_cost_us: 60.0,
+                    count_cost_us: 600.0,
+                    ..UrlCountConfig::default()
+                };
+                build_url_count(&cfg).expect("valid topology").0
+            }
+            App::Cq => {
+                let cfg = CqConfig {
+                    pattern: RatePattern::paper_default(800.0),
+                    seed,
+                    query_cost_us: 600.0,
+                    ..CqConfig::default()
+                };
+                build_continuous_queries(&cfg).expect("valid topology").0
+            }
+        }
+    }
+
+    /// Name of the controlled (dynamically grouped) stage.
+    pub fn controlled_stage(&self) -> &'static str {
+        match self {
+            App::UrlCount => "count",
+            App::Cq => "query",
+        }
+    }
+}
+
+/// The experiment cluster: 4 machines × 2 workers × 4 cores.
+pub fn cluster_config(seed: u64) -> EngineConfig {
+    EngineConfig::default()
+        .with_cluster(4, 2, 4)
+        .with_seed(seed)
+}
+
+/// Background interference used by the prediction experiments: staggered
+/// CPU-hog pulses on every machine, so per-worker latency is driven by the
+/// co-location signal the DRNN features capture.
+pub fn background_interference(machines: usize, until_s: f64) -> FaultScenario {
+    let mut faults = Vec::new();
+    for m in 0..machines {
+        let period = 40.0 + 7.0 * m as f64;
+        let on = 14.0 + 2.0 * m as f64;
+        let mut t = 10.0 + 9.0 * m as f64;
+        while t + on < until_s {
+            // 6–9 cores on a 4-core machine: pressure 1.5–2.3, service-time
+            // multiplier ~2.5–6 — a strong, learnable co-location signal.
+            faults.push(dsdps::sim::Fault::ExternalLoad {
+                machine: m,
+                cores: 6.0 + m as f64,
+                from_s: t,
+                until_s: t + on,
+            });
+            t += period;
+        }
+    }
+    FaultScenario {
+        name: "background-interference".into(),
+        faults,
+    }
+}
+
+/// Training scenario for the predictors: background interference plus short
+/// staggered slowdown pulses on every worker, so the model sees the
+/// *degraded-worker* feature regime (low throughput + high latency) it must
+/// recognize at control time — the paper's training data likewise contains
+/// misbehaving-worker episodes.
+pub fn training_scenario(machines: usize, workers: usize, until_s: f64) -> FaultScenario {
+    let mut scenario = background_interference(machines, until_s);
+    for w in 0..workers {
+        let period = workers as f64 * 16.0;
+        let mut t = 12.0 + 16.0 * w as f64;
+        while t + 10.0 < until_s {
+            scenario.faults.push(dsdps::sim::Fault::WorkerSlowdown {
+                worker: w,
+                factor: 10.0,
+                from_s: t,
+                until_s: t + 10.0,
+            });
+            t += period;
+        }
+    }
+    scenario.name = "training-interference".into();
+    scenario
+}
+
+/// Result of a monitored (uncontrolled) run.
+pub struct MonitoredRun {
+    /// Snapshots, one per metrics interval.
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// Final run report.
+    pub report: RunReport,
+    /// The placement used.
+    pub placement: Placement,
+    /// Workers hosting the controlled stage's tasks.
+    pub stage_workers: Vec<WorkerId>,
+}
+
+/// Runs `app` for `seconds` of virtual time with `scenario` injected and no
+/// control, collecting all metrics snapshots.
+pub fn run_monitored(app: App, seconds: f64, seed: u64, scenario: &FaultScenario) -> MonitoredRun {
+    let topology = app.build(seed);
+    let config = cluster_config(seed);
+    let placement = even_placement(&topology, &config).expect("placement");
+    let stage_workers = stage_workers(&topology, &placement, app.controlled_stage());
+    let mut engine = SimRuntime::new(topology, config).expect("engine");
+    scenario.apply(&mut engine).expect("valid scenario");
+    let report = engine.run_until(seconds);
+    MonitoredRun {
+        snapshots: engine.history().iter().cloned().collect(),
+        report,
+        placement,
+        stage_workers,
+    }
+}
+
+/// Workers hosting the tasks of `stage`, sorted.
+pub fn stage_workers(topology: &Topology, placement: &Placement, stage: &str) -> Vec<WorkerId> {
+    let component = topology
+        .component_by_name(stage)
+        .unwrap_or_else(|| panic!("no component `{stage}`"));
+    let mut workers: Vec<WorkerId> = component
+        .tasks()
+        .map(|t| placement.worker_of(t))
+        .collect();
+    workers.sort();
+    workers.dedup();
+    workers
+}
+
+/// Result of a controlled run.
+pub struct ControlledRun {
+    /// Snapshots, one per metrics interval.
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// Final run report.
+    pub report: RunReport,
+    /// Controller audit log.
+    pub events: Vec<ControlEvent>,
+    /// Complete-latency distribution (µs) restricted to `[window.0, window.1)`.
+    pub window_latency: LatencyHistogram,
+    /// The control-mode name.
+    pub mode: String,
+}
+
+/// Runs `app` for `seconds` with `scenario` injected and a controller in
+/// `mode` attached.  `window` bounds the fault window whose latency
+/// distribution is captured for the CDF figure.
+pub fn run_controlled(
+    app: App,
+    seconds: f64,
+    seed: u64,
+    scenario: &FaultScenario,
+    mode: ControlMode,
+    controller_config: ControllerConfig,
+    window: (f64, f64),
+) -> ControlledRun {
+    let topology = app.build(seed);
+    let config = cluster_config(seed);
+    let placement = even_placement(&topology, &config).expect("placement");
+    let controller = Controller::for_topology(&topology, &placement, controller_config, mode)
+        .expect("controller");
+    let mode_name = controller.mode_name();
+    let controller = Arc::new(Mutex::new(controller));
+
+    let mut engine = SimRuntime::new(topology, config).expect("engine");
+    scenario.apply(&mut engine).expect("valid scenario");
+    engine.add_control_hook(control_hook(controller.clone()));
+
+    engine.run_until(window.0);
+    let before = engine.complete_latency_histogram();
+    engine.run_until(window.1);
+    let after = engine.complete_latency_histogram();
+    let report = engine.run_until(seconds);
+
+    let snapshots: Vec<MetricsSnapshot> = engine.history().iter().cloned().collect();
+    let events = controller.lock().events().to_vec();
+    ControlledRun {
+        snapshots,
+        report,
+        events,
+        window_latency: after.diff(&before),
+        mode: mode_name,
+    }
+}
+
+/// Walk-forward one-model evaluation on a snapshot history.
+///
+/// For every test interval `t` the model predicts from `history[..=t]` and
+/// is scored against the actual latency of `worker` at `t + horizon`.
+/// Returns `(actuals, predictions)` aligned by index.
+pub fn walk_forward(
+    predictor: &dyn PerformancePredictor,
+    history: &[MetricsSnapshot],
+    worker: WorkerId,
+    test_start: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let horizon = predictor.horizon();
+    let mut actuals = Vec::new();
+    let mut preds = Vec::new();
+    for t in test_start..history.len().saturating_sub(horizon) {
+        let refs: Vec<&MetricsSnapshot> = history[..=t].iter().collect();
+        let Some(pred) = predictor.predict(&refs, worker) else {
+            continue;
+        };
+        let Some(actual) = history[t + horizon].worker_avg_latency_us(worker) else {
+            continue;
+        };
+        actuals.push(actual);
+        preds.push(pred);
+    }
+    (actuals, preds)
+}
+
+/// Pools walk-forward results over several workers.
+pub fn walk_forward_pooled(
+    predictor: &dyn PerformancePredictor,
+    history: &[MetricsSnapshot],
+    workers: &[WorkerId],
+    test_start: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut actuals = Vec::new();
+    let mut preds = Vec::new();
+    for &w in workers {
+        let (a, p) = walk_forward(predictor, history, w, test_start);
+        actuals.extend(a);
+        preds.extend(p);
+    }
+    (actuals, preds)
+}
+
+/// Mean throughput (acked tuples/s) over the snapshot range `[from, to)`
+/// in interval indices.
+pub fn mean_throughput(snapshots: &[MetricsSnapshot], from: usize, to: usize) -> f64 {
+    let slice = &snapshots[from.min(snapshots.len())..to.min(snapshots.len())];
+    if slice.is_empty() {
+        return 0.0;
+    }
+    slice.iter().map(|s| s.topology.throughput).sum::<f64>() / slice.len() as f64
+}
+
+/// Mean complete latency (ms) over the snapshot range, weighted by acks.
+pub fn mean_latency_ms(snapshots: &[MetricsSnapshot], from: usize, to: usize) -> f64 {
+    let slice = &snapshots[from.min(snapshots.len())..to.min(snapshots.len())];
+    let acked: u64 = slice.iter().map(|s| s.topology.acked).sum();
+    if acked == 0 {
+        return 0.0;
+    }
+    slice
+        .iter()
+        .map(|s| s.topology.avg_complete_latency_ms * s.topology.acked as f64)
+        .sum::<f64>()
+        / acked as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitored_run_collects_expected_snapshots() {
+        let run = run_monitored(App::UrlCount, 12.0, 1, &FaultScenario::none());
+        assert_eq!(run.snapshots.len(), 12);
+        assert!(run.report.acked > 1000);
+        assert!(!run.stage_workers.is_empty());
+        // Default cluster: 8 workers.
+        assert!(run.stage_workers.iter().all(|w| w.0 < 8));
+    }
+
+    #[test]
+    fn both_apps_build_and_expose_controlled_stage() {
+        for app in [App::UrlCount, App::Cq] {
+            let topo = app.build(3);
+            assert!(topo.component_by_name(app.controlled_stage()).is_some());
+            assert!(!app.id().is_empty());
+            assert!(!app.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn background_interference_is_valid_and_staggered() {
+        let s = background_interference(4, 200.0);
+        assert!(s.faults.len() > 10);
+        assert!(s.faults.iter().all(dsdps::sim::Fault::is_valid));
+        assert!(s.faults.iter().all(|f| f.until_s() <= 200.0));
+    }
+
+    #[test]
+    fn interference_moves_worker_execute_latency() {
+        let calm = run_monitored(App::Cq, 60.0, 5, &FaultScenario::none());
+        let noisy = run_monitored(App::Cq, 60.0, 5, &background_interference(4, 60.0));
+        // Mean execute latency of the controlled stage's workers — the
+        // quantity the DRNN predicts.
+        let lat = |run: &MonitoredRun| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for snap in &run.snapshots[10..] {
+                for &w in &run.stage_workers {
+                    if let Some(l) = snap.worker_avg_latency_us(w) {
+                        sum += l;
+                        n += 1;
+                    }
+                }
+            }
+            sum / n as f64
+        };
+        assert!(
+            lat(&noisy) > lat(&calm) * 1.3,
+            "interference must raise execute latency: {} vs {}",
+            lat(&noisy),
+            lat(&calm)
+        );
+    }
+
+    #[test]
+    fn throughput_and_latency_helpers() {
+        let run = run_monitored(App::UrlCount, 10.0, 2, &FaultScenario::none());
+        let tp = mean_throughput(&run.snapshots, 2, 10);
+        assert!(tp > 100.0, "throughput {tp}");
+        assert!(mean_latency_ms(&run.snapshots, 2, 10) > 0.0);
+        assert_eq!(mean_throughput(&run.snapshots, 20, 30), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the reconstructed evaluation (see
+//! `DESIGN.md` §4) and hosts the criterion microbenchmarks.
+//!
+//! * [`harness`] — builds the two applications, runs monitored/controlled
+//!   simulations, walk-forward predictor evaluation;
+//! * [`experiments`] — one runner per table/figure, with a registry the
+//!   `experiments` binary dispatches on;
+//! * [`table`] — aligned text tables + CSV output under `results/`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;

@@ -1,0 +1,227 @@
+//! Misbehaving-worker detection with hysteresis.
+//!
+//! A worker is flagged *misbehaving* when its (predicted or observed)
+//! execute latency exceeds `trigger_factor ×` its healthy baseline for
+//! `trigger_consecutive` control epochs, and *recovered* when it stays
+//! below `recover_factor ×` baseline for `recover_consecutive` epochs.
+//! The two-threshold hysteresis prevents flapping when latency hovers near
+//! the trigger point.
+
+use std::collections::HashMap;
+
+use dsdps::scheduler::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Latency multiple of baseline that counts as degraded.
+    pub trigger_factor: f64,
+    /// Consecutive degraded epochs before flagging.
+    pub trigger_consecutive: usize,
+    /// Latency multiple of baseline that counts as healthy again.
+    pub recover_factor: f64,
+    /// Consecutive healthy epochs before unflagging.
+    pub recover_consecutive: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            trigger_factor: 2.0,
+            trigger_consecutive: 2,
+            recover_factor: 1.3,
+            recover_consecutive: 3,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct WorkerState {
+    misbehaving: bool,
+    over_count: usize,
+    under_count: usize,
+}
+
+/// Stateful per-worker misbehavior detector.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    config: DetectorConfig,
+    /// Healthy-operation latency baselines (µs) per worker.
+    baselines: HashMap<WorkerId, f64>,
+    states: HashMap<WorkerId, WorkerState>,
+}
+
+impl Detector {
+    /// New detector; baselines must be set before observations mean anything.
+    pub fn new(config: DetectorConfig) -> Self {
+        Detector {
+            config,
+            baselines: HashMap::new(),
+            states: HashMap::new(),
+        }
+    }
+
+    /// Sets a worker's healthy latency baseline (µs), e.g. the median of
+    /// its training-phase latency.
+    pub fn set_baseline(&mut self, worker: WorkerId, baseline_us: f64) {
+        assert!(baseline_us > 0.0, "baseline must be positive");
+        self.baselines.insert(worker, baseline_us);
+    }
+
+    /// The baseline for `worker`, if set.
+    pub fn baseline(&self, worker: WorkerId) -> Option<f64> {
+        self.baselines.get(&worker).copied()
+    }
+
+    /// Feeds one epoch's latency (predicted or observed) for `worker` and
+    /// returns whether the worker is currently considered misbehaving.
+    pub fn observe(&mut self, worker: WorkerId, latency_us: f64) -> bool {
+        let Some(&baseline) = self.baselines.get(&worker) else {
+            return false;
+        };
+        let state = self.states.entry(worker).or_default();
+        let ratio = latency_us / baseline;
+        if !state.misbehaving {
+            if ratio >= self.config.trigger_factor {
+                state.over_count += 1;
+                if state.over_count >= self.config.trigger_consecutive {
+                    state.misbehaving = true;
+                    state.under_count = 0;
+                }
+            } else {
+                state.over_count = 0;
+            }
+        } else if ratio <= self.config.recover_factor {
+            state.under_count += 1;
+            if state.under_count >= self.config.recover_consecutive {
+                state.misbehaving = false;
+                state.over_count = 0;
+            }
+        } else {
+            state.under_count = 0;
+        }
+        state.misbehaving
+    }
+
+    /// Whether `worker` is currently flagged.
+    pub fn is_misbehaving(&self, worker: WorkerId) -> bool {
+        self.states
+            .get(&worker)
+            .map(|s| s.misbehaving)
+            .unwrap_or(false)
+    }
+
+    /// All currently flagged workers.
+    pub fn misbehaving_workers(&self) -> Vec<WorkerId> {
+        let mut v: Vec<WorkerId> = self
+            .states
+            .iter()
+            .filter(|(_, s)| s.misbehaving)
+            .map(|(w, _)| *w)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Clears detection state (baselines are kept).
+    pub fn reset(&mut self) {
+        self.states.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> Detector {
+        let mut d = Detector::new(DetectorConfig {
+            trigger_factor: 2.0,
+            trigger_consecutive: 2,
+            recover_factor: 1.3,
+            recover_consecutive: 3,
+        });
+        d.set_baseline(WorkerId(0), 100.0);
+        d
+    }
+
+    #[test]
+    fn triggers_only_after_consecutive_epochs() {
+        let mut d = detector();
+        assert!(!d.observe(WorkerId(0), 250.0), "one epoch is not enough");
+        assert!(d.observe(WorkerId(0), 250.0), "second consecutive epoch flags");
+        assert!(d.is_misbehaving(WorkerId(0)));
+        assert_eq!(d.misbehaving_workers(), vec![WorkerId(0)]);
+    }
+
+    #[test]
+    fn single_spike_does_not_trigger() {
+        let mut d = detector();
+        d.observe(WorkerId(0), 250.0);
+        d.observe(WorkerId(0), 110.0); // back to normal resets the count
+        assert!(!d.observe(WorkerId(0), 250.0));
+        assert!(!d.is_misbehaving(WorkerId(0)));
+    }
+
+    #[test]
+    fn recovery_needs_consecutive_healthy_epochs() {
+        let mut d = detector();
+        d.observe(WorkerId(0), 300.0);
+        d.observe(WorkerId(0), 300.0);
+        assert!(d.is_misbehaving(WorkerId(0)));
+        assert!(d.observe(WorkerId(0), 100.0));
+        assert!(d.observe(WorkerId(0), 100.0));
+        // Third healthy epoch clears the flag.
+        assert!(!d.observe(WorkerId(0), 100.0));
+        assert!(!d.is_misbehaving(WorkerId(0)));
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_flag() {
+        // 1.5x baseline: below trigger (2.0) but above recover (1.3) —
+        // once flagged, it stays flagged.
+        let mut d = detector();
+        d.observe(WorkerId(0), 300.0);
+        d.observe(WorkerId(0), 300.0);
+        for _ in 0..10 {
+            assert!(d.observe(WorkerId(0), 150.0));
+        }
+    }
+
+    #[test]
+    fn recovery_counter_resets_on_relapse() {
+        let mut d = detector();
+        d.observe(WorkerId(0), 300.0);
+        d.observe(WorkerId(0), 300.0);
+        d.observe(WorkerId(0), 100.0);
+        d.observe(WorkerId(0), 100.0);
+        d.observe(WorkerId(0), 200.0); // relapse into the hysteresis band
+        assert!(d.observe(WorkerId(0), 100.0));
+        assert!(d.observe(WorkerId(0), 100.0));
+        assert!(!d.observe(WorkerId(0), 100.0), "needs 3 fresh healthy epochs");
+    }
+
+    #[test]
+    fn unknown_worker_never_flags() {
+        let mut d = detector();
+        assert!(!d.observe(WorkerId(9), 1e9));
+        assert!(!d.is_misbehaving(WorkerId(9)));
+    }
+
+    #[test]
+    fn reset_clears_flags_not_baselines() {
+        let mut d = detector();
+        d.observe(WorkerId(0), 300.0);
+        d.observe(WorkerId(0), 300.0);
+        d.reset();
+        assert!(!d.is_misbehaving(WorkerId(0)));
+        assert_eq!(d.baseline(WorkerId(0)), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be positive")]
+    fn rejects_zero_baseline() {
+        let mut d = detector();
+        d.set_baseline(WorkerId(1), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Errors of the control framework.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Control-framework errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Not enough history to fit or predict.
+    NotEnoughHistory {
+        /// Intervals required.
+        needed: usize,
+        /// Intervals available.
+        got: usize,
+    },
+    /// A predictor was used before fitting.
+    NotFitted,
+    /// An underlying baseline predictor failed.
+    Forecast(String),
+    /// Actuation on the stream engine failed.
+    Actuation(String),
+    /// Invalid configuration value.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotEnoughHistory { needed, got } => {
+                write!(f, "need {needed} history intervals, have {got}")
+            }
+            Error::NotFitted => write!(f, "predictor not fitted"),
+            Error::Forecast(msg) => write!(f, "forecast error: {msg}"),
+            Error::Actuation(msg) => write!(f, "actuation error: {msg}"),
+            Error::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<forecast::error::Error> for Error {
+    fn from(e: forecast::error::Error) -> Self {
+        Error::Forecast(e.to_string())
+    }
+}
+
+impl From<dsdps::error::Error> for Error {
+    fn from(e: dsdps::error::Error) -> Self {
+        Error::Actuation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_message() {
+        let e: Error = forecast::error::Error::NotFitted.into();
+        assert!(e.to_string().contains("fitted"));
+        let e: Error = dsdps::error::Error::Runtime("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

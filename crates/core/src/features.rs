@@ -1,0 +1,258 @@
+//! Feature assembly: turning multilevel runtime statistics into the DRNN's
+//! input vectors.
+//!
+//! The paper's key modeling insight is that a worker's near-future
+//! performance depends not only on its own recent statistics but on the
+//! *interference from co-located workers* on the same machine.  A
+//! [`FeatureSpec`] therefore selects among three groups:
+//!
+//! * **worker-level** (always on): the worker's own execute latency, CPU,
+//!   throughput, queue backlog and memory;
+//! * **machine-level**: utilization and external load of the hosting
+//!   machine;
+//! * **co-location**: aggregate CPU and execute rate of the *other* workers
+//!   sharing the machine.
+//!
+//! The ablation experiment (`fig-ablation`) trains the DRNN with and
+//! without the last two groups.
+
+use dsdps::metrics::MetricsSnapshot;
+use dsdps::scheduler::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// Which feature groups to include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Machine-level features (utilization, external load).
+    pub machine_level: bool,
+    /// Co-located-worker features (aggregate CPU / rate of neighbours).
+    pub colocation: bool,
+}
+
+impl FeatureSpec {
+    /// Full multilevel features (the paper's model).
+    pub fn full() -> Self {
+        FeatureSpec {
+            machine_level: true,
+            colocation: true,
+        }
+    }
+
+    /// Worker-only features (ablation baseline).
+    pub fn worker_only() -> Self {
+        FeatureSpec {
+            machine_level: false,
+            colocation: false,
+        }
+    }
+
+    /// Number of features per interval.
+    pub fn dim(&self) -> usize {
+        let mut d = 6; // worker-level
+        if self.machine_level {
+            d += 3;
+        }
+        if self.colocation {
+            d += 2;
+        }
+        d
+    }
+
+    /// Feature names, aligned with [`extract`] output.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut n = vec![
+            "w_avg_latency_us",
+            "w_cpu_cores",
+            "w_executed",
+            "w_queue_len",
+            "w_memory_mb",
+            "w_tuples_in",
+        ];
+        if self.machine_level {
+            n.extend(["m_utilization", "m_external_load", "m_cpu_cores"]);
+        }
+        if self.colocation {
+            n.extend(["co_cpu_cores", "co_executed"]);
+        }
+        n
+    }
+}
+
+/// Extracts the feature vector for `worker` from one snapshot.
+/// Returns `None` if the worker is unknown to the snapshot.
+pub fn extract(spec: &FeatureSpec, snapshot: &MetricsSnapshot, worker: WorkerId) -> Option<Vec<f64>> {
+    let w = snapshot.worker(worker)?;
+    let queue_len: usize = snapshot.tasks_of_worker(worker).map(|t| t.queue_len).sum();
+    let mut f = vec![
+        w.avg_execute_latency_us,
+        w.cpu_cores_used,
+        w.executed as f64,
+        queue_len as f64,
+        w.memory_mb,
+        w.tuples_in as f64,
+    ];
+    if spec.machine_level {
+        let m = snapshot.machine(w.machine)?;
+        f.push(m.utilization());
+        f.push(m.external_load_cores);
+        f.push(m.cpu_cores_used);
+    }
+    if spec.colocation {
+        let mut co_cpu = 0.0;
+        let mut co_exec = 0.0;
+        for other in &snapshot.workers {
+            if other.machine == w.machine && other.worker != worker {
+                co_cpu += other.cpu_cores_used;
+                co_exec += other.executed as f64;
+            }
+        }
+        f.push(co_cpu);
+        f.push(co_exec);
+    }
+    debug_assert_eq!(f.len(), spec.dim());
+    Some(f)
+}
+
+/// The prediction target for `worker` in one snapshot: its mean tuple
+/// execute latency over the interval (µs).  `None` when the worker executed
+/// nothing (no signal that interval).
+pub fn target(snapshot: &MetricsSnapshot, worker: WorkerId) -> Option<f64> {
+    snapshot.worker_avg_latency_us(worker)
+}
+
+/// Builds the per-interval feature series and target series for `worker`
+/// over a history.  Intervals where the worker was idle carry the previous
+/// target forward (standard gap-fill for regular sampling).
+pub fn series_for_worker(
+    spec: &FeatureSpec,
+    history: &[&MetricsSnapshot],
+    worker: WorkerId,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut features = Vec::with_capacity(history.len());
+    let mut targets = Vec::with_capacity(history.len());
+    let mut last_target = 0.0;
+    for snap in history {
+        if let Some(f) = extract(spec, snap, worker) {
+            let t = target(snap, worker).unwrap_or(last_target);
+            last_target = t;
+            features.push(f);
+            targets.push(t);
+        }
+    }
+    (features, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsdps::metrics::{MachineStats, TaskStats, TopologyStats, WorkerStats};
+    use dsdps::scheduler::MachineId;
+    use dsdps::topology::TaskId;
+
+    fn snapshot(lat0: f64, lat1: f64, external: f64) -> MetricsSnapshot {
+        let worker = |id: usize, lat: f64| WorkerStats {
+            worker: WorkerId(id),
+            machine: MachineId(0),
+            cpu_cores_used: 0.5 + id as f64 * 0.1,
+            memory_mb: 120.0,
+            executed: 100 + id as u64,
+            tuples_in: 90,
+            tuples_out: 80,
+            avg_execute_latency_us: lat,
+            num_tasks: 1,
+        };
+        MetricsSnapshot {
+            interval: 0,
+            time_s: 1.0,
+            interval_s: 1.0,
+            tasks: vec![TaskStats {
+                task: TaskId(0),
+                component: "b".into(),
+                worker: WorkerId(0),
+                executed: 100,
+                emitted: 100,
+                acked: 100,
+                failed: 0,
+                avg_execute_latency_us: lat0,
+                queue_len: 7,
+                capacity: 0.5,
+            }],
+            workers: vec![worker(0, lat0), worker(1, lat1)],
+            machines: vec![MachineStats {
+                machine: MachineId(0),
+                cpu_cores_used: 1.1,
+                external_load_cores: external,
+                cores: 4,
+                num_workers: 2,
+            }],
+            topology: TopologyStats {
+                spout_emitted: 200,
+                acked: 200,
+                failed: 0,
+                timed_out: 0,
+                avg_complete_latency_ms: 3.0,
+                p99_complete_latency_ms: 9.0,
+                throughput: 200.0,
+            },
+        }
+    }
+
+    #[test]
+    fn dims_match_spec() {
+        assert_eq!(FeatureSpec::full().dim(), 11);
+        assert_eq!(FeatureSpec::worker_only().dim(), 6);
+        assert_eq!(FeatureSpec::full().names().len(), 11);
+        assert_eq!(FeatureSpec::worker_only().names().len(), 6);
+    }
+
+    #[test]
+    fn extract_full_includes_interference_signals() {
+        let snap = snapshot(150.0, 300.0, 2.5);
+        let f = extract(&FeatureSpec::full(), &snap, WorkerId(0)).unwrap();
+        assert_eq!(f.len(), 11);
+        assert_eq!(f[0], 150.0); // own latency
+        assert_eq!(f[3], 7.0); // queue from task level
+        let names = FeatureSpec::full().names();
+        let ext_idx = names.iter().position(|n| *n == "m_external_load").unwrap();
+        assert_eq!(f[ext_idx], 2.5);
+        let co_idx = names.iter().position(|n| *n == "co_cpu_cores").unwrap();
+        assert!((f[co_idx] - 0.6).abs() < 1e-12, "other worker's cpu");
+    }
+
+    #[test]
+    fn worker_only_excludes_machine_features() {
+        let snap = snapshot(150.0, 300.0, 2.5);
+        let f = extract(&FeatureSpec::worker_only(), &snap, WorkerId(0)).unwrap();
+        assert_eq!(f.len(), 6);
+        assert!(!f.contains(&2.5), "external load leaked into worker-only features");
+    }
+
+    #[test]
+    fn colocation_sums_only_same_machine_others() {
+        let snap = snapshot(100.0, 200.0, 0.0);
+        let f0 = extract(&FeatureSpec::full(), &snap, WorkerId(0)).unwrap();
+        let f1 = extract(&FeatureSpec::full(), &snap, WorkerId(1)).unwrap();
+        let names = FeatureSpec::full().names();
+        let co = names.iter().position(|n| *n == "co_executed").unwrap();
+        assert_eq!(f0[co], 101.0); // worker 1's executed
+        assert_eq!(f1[co], 100.0); // worker 0's executed
+    }
+
+    #[test]
+    fn unknown_worker_is_none() {
+        let snap = snapshot(1.0, 2.0, 0.0);
+        assert!(extract(&FeatureSpec::full(), &snap, WorkerId(9)).is_none());
+        assert!(target(&snap, WorkerId(9)).is_none());
+    }
+
+    #[test]
+    fn series_gap_fills_idle_intervals() {
+        let busy = snapshot(100.0, 1.0, 0.0);
+        let mut idle = snapshot(0.0, 1.0, 0.0);
+        idle.workers[0].executed = 0;
+        let history = vec![&busy, &idle, &busy];
+        let (features, targets) = series_for_worker(&FeatureSpec::full(), &history, WorkerId(0));
+        assert_eq!(features.len(), 3);
+        assert_eq!(targets, vec![100.0, 100.0, 100.0], "idle interval carries forward");
+    }
+}

@@ -1,0 +1,318 @@
+//! Split-ratio planning: translating per-worker health and predicted
+//! capacity into the ratio vectors applied to dynamic-grouping edges.
+
+use std::collections::HashMap;
+
+use dsdps::grouping::dynamic::SplitRatio;
+use dsdps::scheduler::WorkerId;
+use dsdps::topology::TaskId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// How healthy workers share the load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlanPolicy {
+    /// Equal weight to every healthy task (misbehaving tasks zeroed).
+    UniformExcluding,
+    /// Weight each healthy task by predicted capacity
+    /// `(1 / predicted_latency)^alpha` of its worker (misbehaving zeroed).
+    CapacityProportional {
+        /// Skew exponent; 1.0 = proportional, 0.0 = uniform.
+        alpha: f64,
+    },
+}
+
+impl Default for PlanPolicy {
+    fn default() -> Self {
+        PlanPolicy::CapacityProportional { alpha: 1.0 }
+    }
+}
+
+/// Computes a split ratio over `tasks` (the subscriber tasks of one dynamic
+/// edge, in task-index order).
+///
+/// * `task_worker` — which worker hosts each task;
+/// * `misbehaving` — workers whose tasks are bypassed;
+/// * `predicted_latency_us` — per-worker latency predictions (used by the
+///   capacity-proportional policy; missing workers default to the mean);
+/// * `probe_weight` — the share of traffic each bypassed task keeps
+///   receiving as a health probe (`0` = full bypass).  Without probe
+///   traffic a bypassed worker goes silent and its recovery can never be
+///   observed, so the controller defaults to a small non-zero value.
+///
+/// If *every* task would be zeroed, the planner falls back to uniform —
+/// degraded service beats dropping the stream entirely.
+pub fn plan_ratio(
+    policy: PlanPolicy,
+    tasks: &[TaskId],
+    task_worker: &HashMap<TaskId, WorkerId>,
+    misbehaving: &[WorkerId],
+    predicted_latency_us: &HashMap<WorkerId, f64>,
+    probe_weight: f64,
+) -> Result<SplitRatio> {
+    if tasks.is_empty() {
+        return Err(Error::Config("dynamic edge with no subscriber tasks".into()));
+    }
+    if !(0.0..0.5).contains(&probe_weight) {
+        return Err(Error::Config(format!(
+            "probe_weight {probe_weight} out of [0, 0.5)"
+        )));
+    }
+    let mean_lat = if predicted_latency_us.is_empty() {
+        1.0
+    } else {
+        predicted_latency_us.values().sum::<f64>() / predicted_latency_us.len() as f64
+    };
+
+    let mut weights = Vec::with_capacity(tasks.len());
+    let mut flagged = Vec::new();
+    for (i, task) in tasks.iter().enumerate() {
+        let worker = task_worker
+            .get(task)
+            .copied()
+            .ok_or_else(|| Error::Config(format!("task {task} has no placement")))?;
+        if misbehaving.contains(&worker) {
+            flagged.push(i);
+            weights.push(0.0);
+            continue;
+        }
+        let w = match policy {
+            PlanPolicy::UniformExcluding => 1.0,
+            PlanPolicy::CapacityProportional { alpha } => {
+                let lat = predicted_latency_us
+                    .get(&worker)
+                    .copied()
+                    .unwrap_or(mean_lat)
+                    .max(1e-6);
+                (1.0 / lat).powf(alpha)
+            }
+        };
+        weights.push(w);
+    }
+
+    if weights.iter().all(|&w| w == 0.0) {
+        // Every downstream worker is flagged: shed nothing, degrade evenly.
+        return Ok(SplitRatio::uniform(tasks.len()));
+    }
+
+    // Healthy tasks share (1 - probe_total); flagged tasks get probe_weight
+    // each (capped so healthy tasks keep the majority).
+    if probe_weight > 0.0 && !flagged.is_empty() {
+        let probe_total = (probe_weight * flagged.len() as f64).min(0.2);
+        let per_probe = probe_total / flagged.len() as f64;
+        let healthy_sum: f64 = weights.iter().sum();
+        for w in weights.iter_mut() {
+            *w *= (1.0 - probe_total) / healthy_sum;
+        }
+        for &i in &flagged {
+            weights[i] = per_probe;
+        }
+    }
+    Ok(SplitRatio::new(weights)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<TaskId>, HashMap<TaskId, WorkerId>) {
+        let tasks: Vec<TaskId> = (0..4).map(TaskId).collect();
+        let placement: HashMap<TaskId, WorkerId> =
+            tasks.iter().map(|&t| (t, WorkerId(t.0))).collect();
+        (tasks, placement)
+    }
+
+    #[test]
+    fn uniform_excluding_zeroes_flagged_workers() {
+        let (tasks, placement) = setup();
+        let ratio = plan_ratio(
+            PlanPolicy::UniformExcluding,
+            &tasks,
+            &placement,
+            &[WorkerId(2)],
+            &HashMap::new(),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(ratio.get(2), 0.0);
+        for i in [0, 1, 3] {
+            assert!((ratio.get(i) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn capacity_proportional_weights_by_inverse_latency() {
+        let (tasks, placement) = setup();
+        let lat: HashMap<WorkerId, f64> = [
+            (WorkerId(0), 100.0),
+            (WorkerId(1), 200.0),
+            (WorkerId(2), 100.0),
+            (WorkerId(3), 400.0),
+        ]
+        .into_iter()
+        .collect();
+        let ratio = plan_ratio(
+            PlanPolicy::CapacityProportional { alpha: 1.0 },
+            &tasks,
+            &placement,
+            &[],
+            &lat,
+            0.0,
+        )
+        .unwrap();
+        // Weights ∝ 1/100, 1/200, 1/100, 1/400 = 4:2:4:1 over 11.
+        assert!((ratio.get(0) - 4.0 / 11.0).abs() < 1e-12);
+        assert!((ratio.get(1) - 2.0 / 11.0).abs() < 1e-12);
+        assert!((ratio.get(3) - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let (tasks, placement) = setup();
+        let lat: HashMap<WorkerId, f64> =
+            [(WorkerId(0), 1.0), (WorkerId(1), 1000.0)].into_iter().collect();
+        let ratio = plan_ratio(
+            PlanPolicy::CapacityProportional { alpha: 0.0 },
+            &tasks,
+            &placement,
+            &[],
+            &lat,
+            0.0,
+        )
+        .unwrap();
+        for i in 0..4 {
+            assert!((ratio.get(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn missing_predictions_use_mean() {
+        let (tasks, placement) = setup();
+        let lat: HashMap<WorkerId, f64> =
+            [(WorkerId(0), 100.0), (WorkerId(1), 300.0)].into_iter().collect();
+        let ratio = plan_ratio(
+            PlanPolicy::CapacityProportional { alpha: 1.0 },
+            &tasks,
+            &placement,
+            &[],
+            &lat,
+            0.0,
+        )
+        .unwrap();
+        // Workers 2 and 3 default to mean latency 200.
+        assert!((ratio.get(2) - ratio.get(3)).abs() < 1e-12);
+        assert!(ratio.get(0) > ratio.get(2));
+        assert!(ratio.get(2) > ratio.get(1));
+    }
+
+    #[test]
+    fn all_flagged_falls_back_to_uniform() {
+        let (tasks, placement) = setup();
+        let ratio = plan_ratio(
+            PlanPolicy::UniformExcluding,
+            &tasks,
+            &placement,
+            &[WorkerId(0), WorkerId(1), WorkerId(2), WorkerId(3)],
+            &HashMap::new(),
+            0.02,
+        )
+        .unwrap();
+        for i in 0..4 {
+            assert!((ratio.get(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn combined_exclusion_and_capacity() {
+        let (tasks, placement) = setup();
+        let lat: HashMap<WorkerId, f64> = (0..4).map(|i| (WorkerId(i), 100.0)).collect();
+        let ratio = plan_ratio(
+            PlanPolicy::CapacityProportional { alpha: 1.0 },
+            &tasks,
+            &placement,
+            &[WorkerId(1)],
+            &lat,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(ratio.get(1), 0.0);
+        assert!((ratio.get(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_weight_keeps_flagged_tasks_observable() {
+        let (tasks, placement) = setup();
+        let ratio = plan_ratio(
+            PlanPolicy::UniformExcluding,
+            &tasks,
+            &placement,
+            &[WorkerId(2)],
+            &HashMap::new(),
+            0.02,
+        )
+        .unwrap();
+        assert!((ratio.get(2) - 0.02).abs() < 1e-12, "probe share: {ratio:?}");
+        for i in [0, 1, 3] {
+            assert!((ratio.get(i) - 0.98 / 3.0).abs() < 1e-12);
+        }
+        assert!(ratio.zeroed_tasks().is_empty());
+    }
+
+    #[test]
+    fn probe_total_capped_with_many_flagged() {
+        let (tasks, placement) = setup();
+        let ratio = plan_ratio(
+            PlanPolicy::UniformExcluding,
+            &tasks,
+            &placement,
+            &[WorkerId(0), WorkerId(1), WorkerId(2)],
+            &HashMap::new(),
+            0.1,
+        )
+        .unwrap();
+        // 3 flagged x 0.1 = 0.3 caps to 0.2 total.
+        let flagged_total: f64 = ratio.get(0) + ratio.get(1) + ratio.get(2);
+        assert!((flagged_total - 0.2).abs() < 1e-12);
+        assert!((ratio.get(3) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_probe_weight() {
+        let (tasks, placement) = setup();
+        for bad in [-0.1, 0.5, 1.0] {
+            assert!(plan_ratio(
+                PlanPolicy::UniformExcluding,
+                &tasks,
+                &placement,
+                &[],
+                &HashMap::new(),
+                bad,
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn errors_on_empty_or_unplaced() {
+        let (_, placement) = setup();
+        assert!(plan_ratio(
+            PlanPolicy::UniformExcluding,
+            &[],
+            &placement,
+            &[],
+            &HashMap::new(),
+            0.0,
+        )
+        .is_err());
+        assert!(plan_ratio(
+            PlanPolicy::UniformExcluding,
+            &[TaskId(99)],
+            &placement,
+            &[],
+            &HashMap::new(),
+            0.0,
+        )
+        .is_err());
+    }
+}

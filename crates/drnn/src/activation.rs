@@ -1,0 +1,112 @@
+//! Activation functions and their derivatives.
+
+use crate::matrix::Matrix;
+
+/// Logistic sigmoid, numerically stable on both tails.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid expressed from its *output* `s = sigmoid(x)`.
+#[inline]
+pub fn dsigmoid_from_output(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// Derivative of tanh expressed from its *output* `t = tanh(x)`.
+#[inline]
+pub fn dtanh_from_output(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU (0 at the kink, matching the usual convention).
+#[inline]
+pub fn drelu(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Element-wise sigmoid of a matrix.
+pub fn sigmoid_m(m: &Matrix) -> Matrix {
+    m.map(sigmoid)
+}
+
+/// Element-wise tanh of a matrix.
+pub fn tanh_m(m: &Matrix) -> Matrix {
+    m.map(f64::tanh)
+}
+
+/// Element-wise ReLU of a matrix.
+pub fn relu_m(m: &Matrix) -> Matrix {
+    m.map(relu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        for x in [-3.0, -1.0, 0.5, 2.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for x in [-2.0, -0.5, 0.0, 0.7, 3.0] {
+            let num = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            let ana = dsigmoid_from_output(sigmoid(x));
+            assert!((num - ana).abs() < 1e-8, "sigmoid' at {x}");
+            let num_t = ((x + eps).tanh() - (x - eps).tanh()) / (2.0 * eps);
+            let ana_t = dtanh_from_output(x.tanh());
+            assert!((num_t - ana_t).abs() < 1e-8, "tanh' at {x}");
+        }
+    }
+
+    #[test]
+    fn relu_and_derivative() {
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.5), 2.5);
+        assert_eq!(drelu(-1.0), 0.0);
+        assert_eq!(drelu(1.0), 1.0);
+        assert_eq!(drelu(0.0), 0.0);
+    }
+
+    #[test]
+    fn matrix_variants() {
+        let m = Matrix::from_rows(&[vec![-1.0, 0.0, 1.0]]);
+        assert_eq!(relu_m(&m).as_slice(), &[0.0, 0.0, 1.0]);
+        let s = sigmoid_m(&m);
+        assert!((s.get(0, 1) - 0.5).abs() < 1e-12);
+        let t = tanh_m(&m);
+        assert!((t.get(0, 2) - 1.0f64.tanh()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,373 @@
+//! Gated Recurrent Unit layer.
+//!
+//! ```text
+//! z = σ(x·Wxz + h·Whz + bz)          update gate
+//! r = σ(x·Wxr + h·Whr + br)          reset gate
+//! n = tanh(x·Wxn + (r ∘ h)·Whn + bn) candidate
+//! h' = (1 - z) ∘ n + z ∘ h
+//! ```
+//!
+//! `Wx` is fused as `[z | r | n]` (I × 3H); the hidden weights are split
+//! into `Whzr` (H × 2H) and `Whn` (H × H) because the candidate gate mixes
+//! the reset gate in before its GEMM.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{dsigmoid_from_output, dtanh_from_output, sigmoid};
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    z: Matrix,
+    r: Matrix,
+    n: Matrix,
+    rh: Matrix,
+}
+
+/// Opaque forward cache consumed by [`GruLayer::backward`].
+#[derive(Debug, Default)]
+pub struct GruCache {
+    steps: Vec<StepCache>,
+    batch: usize,
+}
+
+/// A GRU layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruLayer {
+    input: usize,
+    hidden: usize,
+    wx: Matrix,
+    whzr: Matrix,
+    whn: Matrix,
+    b: Matrix,
+    #[serde(skip)]
+    gwx: Option<Matrix>,
+    #[serde(skip)]
+    gwhzr: Option<Matrix>,
+    #[serde(skip)]
+    gwhn: Option<Matrix>,
+    #[serde(skip)]
+    gb: Option<Matrix>,
+}
+
+impl GruLayer {
+    /// New layer with Xavier-initialized weights.
+    pub fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        GruLayer {
+            input,
+            hidden,
+            wx: xavier_uniform(input, 3 * hidden, rng),
+            whzr: xavier_uniform(hidden, 2 * hidden, rng),
+            whn: xavier_uniform(hidden, hidden, rng),
+            b: Matrix::zeros(1, 3 * hidden),
+            gwx: None,
+            gwhzr: None,
+            gwhn: None,
+            gb: None,
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.input * 3 * self.hidden + self.hidden * 3 * self.hidden + 3 * self.hidden
+    }
+
+    fn ensure_grads(&mut self) {
+        if self.gwx.is_none() {
+            self.gwx = Some(Matrix::zeros(self.input, 3 * self.hidden));
+            self.gwhzr = Some(Matrix::zeros(self.hidden, 2 * self.hidden));
+            self.gwhn = Some(Matrix::zeros(self.hidden, self.hidden));
+            self.gb = Some(Matrix::zeros(1, 3 * self.hidden));
+        }
+    }
+
+    /// Visits `(param, grad)` pairs in a stable order.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.ensure_grads();
+        f(&mut self.wx, self.gwx.as_mut().unwrap());
+        f(&mut self.whzr, self.gwhzr.as_mut().unwrap());
+        f(&mut self.whn, self.gwhn.as_mut().unwrap());
+        f(&mut self.b, self.gb.as_mut().unwrap());
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.ensure_grads();
+        self.gwx.as_mut().unwrap().zero_in_place();
+        self.gwhzr.as_mut().unwrap().zero_in_place();
+        self.gwhn.as_mut().unwrap().zero_in_place();
+        self.gb.as_mut().unwrap().zero_in_place();
+    }
+
+    /// Runs the layer over a sequence from zero state; returns hidden states
+    /// and the backward cache.
+    pub fn forward(&self, xs: &[Matrix]) -> (Vec<Matrix>, GruCache) {
+        assert!(!xs.is_empty(), "empty sequence");
+        let batch = xs[0].rows();
+        let h_dim = self.hidden;
+        let mut h = Matrix::zeros(batch, h_dim);
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut cache = GruCache {
+            steps: Vec::with_capacity(xs.len()),
+            batch,
+        };
+
+        for x in xs {
+            assert_eq!(x.cols(), self.input, "input width mismatch");
+            let xpart = {
+                let mut a = x.matmul(&self.wx);
+                a.add_row_in_place(self.b.row(0));
+                a
+            };
+            let hzr = h.matmul(&self.whzr); // B × 2H
+
+            let mut z = xpart.cols_slice(0, h_dim);
+            z.add_in_place(&hzr.cols_slice(0, h_dim));
+            z.map_in_place(sigmoid);
+
+            let mut r = xpart.cols_slice(h_dim, 2 * h_dim);
+            r.add_in_place(&hzr.cols_slice(h_dim, 2 * h_dim));
+            r.map_in_place(sigmoid);
+
+            let rh = r.hadamard(&h);
+            let mut n = xpart.cols_slice(2 * h_dim, 3 * h_dim);
+            n.add_in_place(&rh.matmul(&self.whn));
+            n.map_in_place(f64::tanh);
+
+            // h' = (1-z)∘n + z∘h
+            let mut h_new = Matrix::zeros(batch, h_dim);
+            for idx in 0..batch * h_dim {
+                let zv = z.as_slice()[idx];
+                h_new.as_mut_slice()[idx] =
+                    (1.0 - zv) * n.as_slice()[idx] + zv * h.as_slice()[idx];
+            }
+
+            cache.steps.push(StepCache {
+                x: x.clone(),
+                h_prev: h,
+                z,
+                r,
+                n,
+                rh,
+            });
+            h = h_new.clone();
+            hs.push(h_new);
+        }
+        (hs, cache)
+    }
+
+    /// Backpropagation through time; returns `∂L/∂x_t` per step.
+    pub fn backward(&mut self, cache: &GruCache, dhs: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(cache.steps.len(), dhs.len());
+        self.ensure_grads();
+        let h_dim = self.hidden;
+        let batch = cache.batch;
+        let mut dh_next = Matrix::zeros(batch, h_dim);
+        let mut dxs = vec![Matrix::zeros(batch, self.input); dhs.len()];
+
+        for t in (0..cache.steps.len()).rev() {
+            let s = &cache.steps[t];
+            let mut dh = dhs[t].clone();
+            dh.add_in_place(&dh_next);
+
+            // h' = (1-z)n + z h_prev
+            // dz = dh ∘ (h_prev - n); dn = dh ∘ (1-z); dh_prev = dh ∘ z (plus more below)
+            let mut dz = Matrix::zeros(batch, h_dim);
+            let mut dn = Matrix::zeros(batch, h_dim);
+            let mut dh_prev = Matrix::zeros(batch, h_dim);
+            for idx in 0..batch * h_dim {
+                let dhv = dh.as_slice()[idx];
+                let zv = s.z.as_slice()[idx];
+                dz.as_mut_slice()[idx] = dhv * (s.h_prev.as_slice()[idx] - s.n.as_slice()[idx]);
+                dn.as_mut_slice()[idx] = dhv * (1.0 - zv);
+                dh_prev.as_mut_slice()[idx] = dhv * zv;
+            }
+
+            // Candidate gate: a_n = x·Wxn + rh·Whn + bn ; n = tanh(a_n)
+            let mut da_n = dn;
+            for (v, n) in da_n.as_mut_slice().iter_mut().zip(s.n.as_slice()) {
+                *v *= dtanh_from_output(*n);
+            }
+            let drh = da_n.matmul(&self.whn.transpose());
+            self.gwhn
+                .as_mut()
+                .unwrap()
+                .add_in_place(&s.rh.transpose().matmul(&da_n));
+            // rh = r ∘ h_prev
+            let dr = drh.hadamard(&s.h_prev);
+            dh_prev.add_in_place(&drh.hadamard(&s.r));
+
+            // Sigmoid gates.
+            let mut da_z = dz;
+            for (v, z) in da_z.as_mut_slice().iter_mut().zip(s.z.as_slice()) {
+                *v *= dsigmoid_from_output(*z);
+            }
+            let mut da_r = dr;
+            for (v, r) in da_r.as_mut_slice().iter_mut().zip(s.r.as_slice()) {
+                *v *= dsigmoid_from_output(*r);
+            }
+
+            // Fused [da_z | da_r | da_n] for the x-side parameters.
+            let mut da = Matrix::zeros(batch, 3 * h_dim);
+            da.set_cols(0, &da_z);
+            da.set_cols(h_dim, &da_r);
+            da.set_cols(2 * h_dim, &da_n);
+            self.gwx.as_mut().unwrap().add_in_place(&s.x.transpose().matmul(&da));
+            self.gb.as_mut().unwrap().add_in_place(&da.col_sums());
+            dxs[t] = da.matmul(&self.wx.transpose());
+
+            // h-side z/r parameters.
+            let mut da_zr = Matrix::zeros(batch, 2 * h_dim);
+            da_zr.set_cols(0, &da_z);
+            da_zr.set_cols(h_dim, &da_r);
+            self.gwhzr
+                .as_mut()
+                .unwrap()
+                .add_in_place(&s.h_prev.transpose().matmul(&da_zr));
+            dh_prev.add_in_place(&da_zr.matmul(&self.whzr.transpose()));
+
+            dh_next = dh_prev;
+        }
+        dxs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn make(input: usize, hidden: usize, seed: u64) -> GruLayer {
+        GruLayer::new(input, hidden, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn seq(t: usize, b: usize, i: usize) -> Vec<Matrix> {
+        (0..t)
+            .map(|step| {
+                Matrix::from_vec(
+                    b,
+                    i,
+                    (0..b * i)
+                        .map(|k| ((step * 5 + k * 7) % 13) as f64 / 13.0 - 0.5)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let layer = make(4, 6, 1);
+        let xs = seq(3, 2, 4);
+        let (hs, cache) = layer.forward(&xs);
+        assert_eq!(hs.len(), 3);
+        assert_eq!(hs[2].shape(), (2, 6));
+        assert_eq!(cache.steps.len(), 3);
+        assert_eq!(layer.param_count(), 4 * 18 + 6 * 18 + 18);
+    }
+
+    #[test]
+    fn hidden_state_interpolates_between_prev_and_candidate() {
+        // With z forced toward 1 (huge update-gate bias), h' ≈ h_prev = 0.
+        let mut layer = make(2, 3, 2);
+        for c in 0..3 {
+            layer.b.set(0, c, 50.0); // z-block bias → z ≈ 1
+        }
+        let xs = seq(1, 1, 2);
+        let (hs, _) = layer.forward(&xs);
+        assert!(hs[0].as_slice().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        let mut layer = make(3, 4, 5);
+        let xs = seq(4, 2, 3);
+        let loss = |l: &GruLayer| -> f64 {
+            let (hs, _) = l.forward(&xs);
+            hs.iter().map(Matrix::sum).sum()
+        };
+        let (hs, cache) = layer.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        layer.zero_grads();
+        layer.backward(&cache, &dhs);
+
+        let grads: Vec<Matrix> = {
+            let mut out = Vec::new();
+            layer.for_each_param(&mut |_p, g| out.push(g.clone()));
+            out
+        };
+        let eps = 1e-5;
+        for (pi, analytic) in grads.iter().enumerate() {
+            let len = analytic.as_slice().len();
+            for k in [0usize, len / 2, len - 1] {
+                let base = {
+                    let mut params = Vec::new();
+                    layer.for_each_param(&mut |p, _| params.push(p as *mut Matrix));
+                    params[pi]
+                };
+                let orig = unsafe { (*base).as_slice()[k] };
+                unsafe { (*base).as_mut_slice()[k] = orig + eps };
+                let lp = loss(&layer);
+                unsafe { (*base).as_mut_slice()[k] = orig - eps };
+                let lm = loss(&layer);
+                unsafe { (*base).as_mut_slice()[k] = orig };
+                let numeric = (lp - lm) / (2.0 * eps);
+                let ana = analytic.as_slice()[k];
+                assert!(
+                    (numeric - ana).abs() < 1e-4 * (1.0 + numeric.abs().max(ana.abs())),
+                    "param {pi} coord {k}: numeric {numeric} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dx_matches_finite_differences() {
+        let mut layer = make(2, 3, 7);
+        let mut xs = seq(3, 1, 2);
+        let (hs, cache) = layer.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        layer.zero_grads();
+        let dxs = layer.backward(&cache, &dhs);
+        let eps = 1e-5;
+        for t in 0..3 {
+            for k in 0..2 {
+                let orig = xs[t].as_slice()[k];
+                xs[t].as_mut_slice()[k] = orig + eps;
+                let lp: f64 = layer.forward(&xs).0.iter().map(Matrix::sum).sum();
+                xs[t].as_mut_slice()[k] = orig - eps;
+                let lm: f64 = layer.forward(&xs).0.iter().map(Matrix::sum).sum();
+                xs[t].as_mut_slice()[k] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let ana = dxs[t].as_slice()[k];
+                assert!(
+                    (numeric - ana).abs() < 1e-6 + 1e-4 * numeric.abs(),
+                    "dx[{t}][{k}]: {numeric} vs {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let layer = make(3, 4, 9);
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: GruLayer = serde_json::from_str(&json).unwrap();
+        let xs = seq(2, 1, 3);
+        assert_eq!(layer.forward(&xs).0.last(), back.forward(&xs).0.last());
+    }
+}

@@ -1,0 +1,421 @@
+//! Long Short-Term Memory layer with fused gate matrices.
+//!
+//! Gates are stored fused as `[i | f | g | o]` blocks of width `H` so one
+//! GEMM per step computes all pre-activations:
+//!
+//! ```text
+//! a_t = x_t · Wx + h_{t-1} · Wh + b          (B × 4H)
+//! i = σ(a_i)   f = σ(a_f)   g = tanh(a_g)   o = σ(a_o)
+//! c_t = f ∘ c_{t-1} + i ∘ g
+//! h_t = o ∘ tanh(c_t)
+//! ```
+//!
+//! The forget-gate bias initializes to 1.0 (Jozefowicz et al., 2015), which
+//! materially speeds up learning of long temporal dependencies.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{dsigmoid_from_output, dtanh_from_output, sigmoid};
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+
+/// Per-timestep values saved in forward for use in backward.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+/// Opaque forward cache consumed by [`LstmLayer::backward`].
+#[derive(Debug, Default)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+    batch: usize,
+}
+
+/// An LSTM layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmLayer {
+    input: usize,
+    hidden: usize,
+    wx: Matrix,
+    wh: Matrix,
+    b: Matrix,
+    #[serde(skip)]
+    gwx: Option<Matrix>,
+    #[serde(skip)]
+    gwh: Option<Matrix>,
+    #[serde(skip)]
+    gb: Option<Matrix>,
+}
+
+impl LstmLayer {
+    /// New layer with Xavier-initialized weights and forget bias 1.0.
+    pub fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for h in 0..hidden {
+            b.set(0, hidden + h, 1.0); // forget gate block
+        }
+        LstmLayer {
+            input,
+            hidden,
+            wx: xavier_uniform(input, 4 * hidden, rng),
+            wh: xavier_uniform(hidden, 4 * hidden, rng),
+            b,
+            gwx: None,
+            gwh: None,
+            gb: None,
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        (self.input + self.hidden + 1) * 4 * self.hidden
+    }
+
+    fn ensure_grads(&mut self) {
+        if self.gwx.is_none() {
+            self.gwx = Some(Matrix::zeros(self.input, 4 * self.hidden));
+            self.gwh = Some(Matrix::zeros(self.hidden, 4 * self.hidden));
+            self.gb = Some(Matrix::zeros(1, 4 * self.hidden));
+        }
+    }
+
+    /// Visits `(param, grad)` pairs in a stable order.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.ensure_grads();
+        f(&mut self.wx, self.gwx.as_mut().unwrap());
+        f(&mut self.wh, self.gwh.as_mut().unwrap());
+        f(&mut self.b, self.gb.as_mut().unwrap());
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.ensure_grads();
+        self.gwx.as_mut().unwrap().zero_in_place();
+        self.gwh.as_mut().unwrap().zero_in_place();
+        self.gb.as_mut().unwrap().zero_in_place();
+    }
+
+    /// Runs the layer over a sequence of inputs (each `B × input`), starting
+    /// from zero state.  Returns the hidden state at every step and a cache
+    /// for backward.
+    pub fn forward(&self, xs: &[Matrix]) -> (Vec<Matrix>, LstmCache) {
+        assert!(!xs.is_empty(), "empty sequence");
+        let batch = xs[0].rows();
+        let h_dim = self.hidden;
+        let mut h = Matrix::zeros(batch, h_dim);
+        let mut c = Matrix::zeros(batch, h_dim);
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut cache = LstmCache {
+            steps: Vec::with_capacity(xs.len()),
+            batch,
+        };
+
+        for x in xs {
+            assert_eq!(x.cols(), self.input, "input width mismatch");
+            assert_eq!(x.rows(), batch, "batch size changed mid-sequence");
+            let mut a = x.matmul(&self.wx);
+            a.add_in_place(&h.matmul(&self.wh));
+            a.add_row_in_place(self.b.row(0));
+
+            let mut i = a.cols_slice(0, h_dim);
+            let mut f = a.cols_slice(h_dim, 2 * h_dim);
+            let mut g = a.cols_slice(2 * h_dim, 3 * h_dim);
+            let mut o = a.cols_slice(3 * h_dim, 4 * h_dim);
+            i.map_in_place(sigmoid);
+            f.map_in_place(sigmoid);
+            g.map_in_place(f64::tanh);
+            o.map_in_place(sigmoid);
+
+            let c_prev = c.clone();
+            // c = f∘c_prev + i∘g
+            let mut c_new = f.hadamard(&c_prev);
+            c_new.add_in_place(&i.hadamard(&g));
+            let tanh_c = c_new.map(f64::tanh);
+            let h_new = o.hadamard(&tanh_c);
+
+            cache.steps.push(StepCache {
+                x: x.clone(),
+                h_prev: h,
+                c_prev,
+                i,
+                f,
+                g,
+                o,
+                tanh_c: tanh_c.clone(),
+            });
+            h = h_new.clone();
+            c = c_new;
+            hs.push(h_new);
+        }
+        (hs, cache)
+    }
+
+    /// Backpropagation through time.  `dhs[t]` is `∂L/∂h_t` from above
+    /// (zero matrices for steps the loss does not touch).  Accumulates
+    /// parameter gradients and returns `∂L/∂x_t` for each step.
+    pub fn backward(&mut self, cache: &LstmCache, dhs: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(cache.steps.len(), dhs.len(), "cache/grad length mismatch");
+        self.ensure_grads();
+        let h_dim = self.hidden;
+        let batch = cache.batch;
+        let mut dh_next = Matrix::zeros(batch, h_dim);
+        let mut dc_next = Matrix::zeros(batch, h_dim);
+        let mut dxs = vec![Matrix::zeros(batch, self.input); dhs.len()];
+
+        for t in (0..cache.steps.len()).rev() {
+            let s = &cache.steps[t];
+            let mut dh = dhs[t].clone();
+            dh.add_in_place(&dh_next);
+
+            // dc = dh ∘ o ∘ (1 - tanh(c)^2) + dc_next
+            let mut dc = dh.hadamard(&s.o);
+            for (v, tc) in dc.as_mut_slice().iter_mut().zip(s.tanh_c.as_slice()) {
+                *v *= dtanh_from_output(*tc);
+            }
+            dc.add_in_place(&dc_next);
+
+            // Gate pre-activation gradients (B × 4H fused).
+            let mut da = Matrix::zeros(batch, 4 * h_dim);
+            {
+                // da_i = dc ∘ g ∘ i(1-i)
+                let mut da_i = dc.hadamard(&s.g);
+                for (v, i) in da_i.as_mut_slice().iter_mut().zip(s.i.as_slice()) {
+                    *v *= dsigmoid_from_output(*i);
+                }
+                da.set_cols(0, &da_i);
+                // da_f = dc ∘ c_prev ∘ f(1-f)
+                let mut da_f = dc.hadamard(&s.c_prev);
+                for (v, f) in da_f.as_mut_slice().iter_mut().zip(s.f.as_slice()) {
+                    *v *= dsigmoid_from_output(*f);
+                }
+                da.set_cols(h_dim, &da_f);
+                // da_g = dc ∘ i ∘ (1-g^2)
+                let mut da_g = dc.hadamard(&s.i);
+                for (v, g) in da_g.as_mut_slice().iter_mut().zip(s.g.as_slice()) {
+                    *v *= dtanh_from_output(*g);
+                }
+                da.set_cols(2 * h_dim, &da_g);
+                // da_o = dh ∘ tanh(c) ∘ o(1-o)
+                let mut da_o = dh.hadamard(&s.tanh_c);
+                for (v, o) in da_o.as_mut_slice().iter_mut().zip(s.o.as_slice()) {
+                    *v *= dsigmoid_from_output(*o);
+                }
+                da.set_cols(3 * h_dim, &da_o);
+            }
+
+            self.gwx.as_mut().unwrap().add_in_place(&s.x.transpose().matmul(&da));
+            self.gwh
+                .as_mut()
+                .unwrap()
+                .add_in_place(&s.h_prev.transpose().matmul(&da));
+            self.gb.as_mut().unwrap().add_in_place(&da.col_sums());
+
+            dxs[t] = da.matmul(&self.wx.transpose());
+            dh_next = da.matmul(&self.wh.transpose());
+            dc_next = dc.hadamard(&s.f);
+        }
+        dxs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn make(input: usize, hidden: usize, seed: u64) -> LstmLayer {
+        LstmLayer::new(input, hidden, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn seq(t: usize, b: usize, i: usize, scale: f64) -> Vec<Matrix> {
+        (0..t)
+            .map(|step| {
+                Matrix::from_vec(
+                    b,
+                    i,
+                    (0..b * i)
+                        .map(|k| ((step * 7 + k * 3) % 11) as f64 / 11.0 * scale - scale / 2.0)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let layer = make(3, 5, 1);
+        let xs = seq(4, 2, 3, 2.0);
+        let (hs, cache) = layer.forward(&xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!(hs[0].shape(), (2, 5));
+        assert_eq!(cache.steps.len(), 4);
+        // h = o * tanh(c) is bounded by (-1, 1).
+        for h in &hs {
+            assert!(h.as_slice().iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let layer = make(2, 3, 1);
+        for h in 0..3 {
+            assert_eq!(layer.b.get(0, 3 + h), 1.0);
+            assert_eq!(layer.b.get(0, h), 0.0);
+        }
+    }
+
+    #[test]
+    fn state_carries_information_forward() {
+        // Same input at t=1 but different input at t=0 must change h_1.
+        let layer = make(2, 4, 3);
+        let x_same = Matrix::from_rows(&[vec![0.5, -0.5]]);
+        let a = vec![Matrix::from_rows(&[vec![1.0, 1.0]]), x_same.clone()];
+        let b = vec![Matrix::from_rows(&[vec![-1.0, 0.2]]), x_same];
+        let (ha, _) = layer.forward(&a);
+        let (hb, _) = layer.forward(&b);
+        let diff: f64 = ha[1]
+            .as_slice()
+            .iter()
+            .zip(hb[1].as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-4, "hidden state ignored history (diff {diff})");
+    }
+
+    /// Full finite-difference gradient check of every parameter.
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        let mut layer = make(3, 4, 5);
+        let xs = seq(5, 2, 3, 1.0);
+        // Loss = sum of all h_t elements  →  dL/dh_t = ones.
+        let loss = |l: &LstmLayer| -> f64 {
+            let (hs, _) = l.forward(&xs);
+            hs.iter().map(Matrix::sum).sum()
+        };
+        let (hs, cache) = layer.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        layer.zero_grads();
+        layer.backward(&cache, &dhs);
+
+        let eps = 1e-5;
+        // Snapshot analytic grads, then perturb each param.
+        let grads: Vec<Matrix> = {
+            let mut out = Vec::new();
+            layer.for_each_param(&mut |_p, g| out.push(g.clone()));
+            out
+        };
+        for (pi, analytic) in grads.iter().enumerate() {
+            // Sample a handful of coordinates per matrix to keep runtime low.
+            let len = analytic.as_slice().len();
+            for k in [0usize, len / 3, len / 2, len - 1] {
+                let base = {
+                    let mut params = Vec::new();
+                    layer.for_each_param(&mut |p, _| params.push(p as *mut Matrix));
+                    params[pi]
+                };
+                // SAFETY: raw pointer used only to perturb a single param
+                // while no other borrow is live.
+                let orig = unsafe { (*base).as_slice()[k] };
+                unsafe { (*base).as_mut_slice()[k] = orig + eps };
+                let lp = loss(&layer);
+                unsafe { (*base).as_mut_slice()[k] = orig - eps };
+                let lm = loss(&layer);
+                unsafe { (*base).as_mut_slice()[k] = orig };
+                let numeric = (lp - lm) / (2.0 * eps);
+                let ana = analytic.as_slice()[k];
+                assert!(
+                    (numeric - ana).abs() < 1e-4 * (1.0 + numeric.abs().max(ana.abs())),
+                    "param {pi} coord {k}: numeric {numeric} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dx_gradient_matches_finite_differences() {
+        let mut layer = make(2, 3, 9);
+        let mut xs = seq(3, 1, 2, 1.0);
+        let (hs, cache) = layer.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        layer.zero_grads();
+        let dxs = layer.backward(&cache, &dhs);
+
+        let eps = 1e-5;
+        for t in 0..3 {
+            for k in 0..2 {
+                let orig = xs[t].as_slice()[k];
+                xs[t].as_mut_slice()[k] = orig + eps;
+                let lp: f64 = layer.forward(&xs).0.iter().map(Matrix::sum).sum();
+                xs[t].as_mut_slice()[k] = orig - eps;
+                let lm: f64 = layer.forward(&xs).0.iter().map(Matrix::sum).sum();
+                xs[t].as_mut_slice()[k] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let ana = dxs[t].as_slice()[k];
+                assert!(
+                    (numeric - ana).abs() < 1e-6 + 1e-4 * numeric.abs(),
+                    "dx[{t}][{k}]: {numeric} vs {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_grads_resets_accumulation() {
+        let mut layer = make(2, 2, 11);
+        let xs = seq(2, 1, 2, 1.0);
+        let (hs, cache) = layer.forward(&xs);
+        let dhs: Vec<Matrix> = hs.iter().map(|_| Matrix::full(1, 2, 1.0)).collect();
+        layer.zero_grads();
+        layer.backward(&cache, &dhs);
+        let norm_once = {
+            let mut n = 0.0;
+            layer.for_each_param(&mut |_p, g| n += g.frobenius_norm());
+            n
+        };
+        assert!(norm_once > 0.0);
+        layer.zero_grads();
+        let mut n = 0.0;
+        layer.for_each_param(&mut |_p, g| n += g.frobenius_norm());
+        assert_eq!(n, 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_weights() {
+        let layer = make(3, 4, 2);
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: LstmLayer = serde_json::from_str(&json).unwrap();
+        let xs = seq(3, 2, 3, 1.0);
+        let (h1, _) = layer.forward(&xs);
+        let (h2, _) = back.forward(&xs);
+        assert_eq!(h1.last(), h2.last());
+        assert_eq!(back.param_count(), layer.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn rejects_wrong_input_width() {
+        let layer = make(3, 4, 1);
+        let xs = vec![Matrix::zeros(1, 2)];
+        layer.forward(&xs);
+    }
+}
+

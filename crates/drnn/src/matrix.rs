@@ -1,0 +1,428 @@
+//! Dense row-major `f64` matrices with the operations a recurrent network
+//! needs: GEMM (rayon-parallel for large shapes), transpose, broadcast row
+//! addition, element-wise maps and reductions.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// GEMM switches to rayon when the output has at least this many elements
+/// (per the HPC guides: parallelism must pay for its overhead).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+impl Matrix {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major vector.  Panics if sizes disagree.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from nested rows (tests/readability; not a hot path).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.  Parallelized over rows via rayon when
+    /// the output is large enough to amortize the fork-join cost.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        let k = self.cols;
+
+        let kernel = |(r, out_row): (usize, &mut [f64])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            // i-k-j loop order: unit-stride inner loop over both B's row and
+            // the output row, which the auto-vectorizer handles well.
+            for (ki, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[ki * n..(ki + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        if self.rows * n >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, out_row)| kernel((r, out_row)));
+        } else {
+            out.data
+                .chunks_mut(n)
+                .enumerate()
+                .for_each(kernel);
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds `row` (a 1×C matrix or C-slice) to every row (bias broadcast).
+    pub fn add_row_in_place(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "broadcast width mismatch");
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            for (c, &v) in row.iter().enumerate() {
+                self.data[base + c] += v;
+            }
+        }
+    }
+
+    /// Element-wise sum with another matrix, in place.
+    pub fn add_in_place(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (axpy).
+    pub fn axpy_in_place(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Scales every element by `s` in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sum of every element.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Column sums as a 1×C matrix (bias gradients).
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Horizontal slice: columns `[from, to)` as a new matrix.
+    pub fn cols_slice(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.cols);
+        let w = to - from;
+        let mut out = Matrix::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.data[r * w..(r + 1) * w]
+                .copy_from_slice(&self.data[r * self.cols + from..r * self.cols + to]);
+        }
+        out
+    }
+
+    /// Writes `block` into columns `[from, from + block.cols)`.
+    pub fn set_cols(&mut self, from: usize, block: &Matrix) {
+        assert_eq!(self.rows, block.rows);
+        assert!(from + block.cols <= self.cols);
+        for r in 0..self.rows {
+            self.data[r * self.cols + from..r * self.cols + from + block.cols]
+                .copy_from_slice(block.row(r));
+        }
+    }
+
+    /// Stacks matrices with identical column counts vertically.
+    pub fn vstack(blocks: &[&Matrix]) -> Matrix {
+        assert!(!blocks.is_empty());
+        let cols = blocks[0].cols;
+        assert!(blocks.iter().all(|b| b.cols == cols));
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            data.extend_from_slice(&b.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Zeroes every element (gradient reset).
+    pub fn zero_in_place(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_enough_to_go_parallel() {
+        // 80x96 * 96x80 output = 6400 >= threshold → exercises rayon path.
+        let a = Matrix::from_vec(
+            80,
+            96,
+            (0..80 * 96).map(|i| ((i * 31 % 17) as f64 - 8.0) / 8.0).collect(),
+        );
+        let b = Matrix::from_vec(
+            96,
+            80,
+            (0..96 * 80).map(|i| ((i * 13 % 23) as f64 - 11.0) / 11.0).collect(),
+        );
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_and_elementwise() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        a.add_row_in_place(&[10.0, 20.0]);
+        assert_eq!(a, Matrix::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]]));
+        let b = Matrix::full(2, 2, 2.0);
+        let h = a.hadamard(&b);
+        assert_eq!(h.get(1, 1), 48.0);
+        a.add_in_place(&b);
+        assert_eq!(a.get(0, 0), 13.0);
+        a.axpy_in_place(-1.0, &b);
+        assert_eq!(a.get(0, 0), 11.0);
+    }
+
+    #[test]
+    fn map_scale_sum_norm() {
+        let mut a = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(a.sum(), 7.0);
+        let sq = a.map(|x| x * x);
+        assert_eq!(sq.as_slice(), &[9.0, 16.0]);
+        a.scale_in_place(2.0);
+        assert_eq!(a.as_slice(), &[6.0, 8.0]);
+        a.map_in_place(|x| x - 6.0);
+        assert_eq!(a.as_slice(), &[0.0, 2.0]);
+        a.zero_in_place();
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn col_sums_and_slices() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]);
+        assert_eq!(a.col_sums().as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+        let mid = a.cols_slice(1, 3);
+        assert_eq!(mid, Matrix::from_rows(&[vec![2.0, 3.0], vec![6.0, 7.0]]));
+        let mut b = Matrix::zeros(2, 4);
+        b.set_cols(2, &mid);
+        assert_eq!(b.get(1, 2), 6.0);
+        assert_eq!(b.get(0, 3), 3.0);
+        assert_eq!(b.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn vstack_blocks() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let s = Matrix::vstack(&[&a, &b]);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a.set(1, 0, f64::NAN);
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn from_rows_rejects_ragged() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_rows(&[vec![1.5, -2.5]]);
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

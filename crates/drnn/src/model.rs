@@ -1,0 +1,353 @@
+//! The DRNN model: a stack of recurrent layers with a dense regression head,
+//! matching the paper's performance-prediction architecture (stacked LSTM →
+//! linear output).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{CellKind, DenseActivation, DenseCache, DenseLayer, Recurrent, RecurrentCache};
+use crate::matrix::Matrix;
+
+/// Architecture and initialization parameters of a [`Drnn`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrnnConfig {
+    /// Feature width of each input step.
+    pub input: usize,
+    /// Hidden width of each recurrent layer (one entry per layer).
+    pub hidden: Vec<usize>,
+    /// Output width (prediction dimension).
+    pub output: usize,
+    /// Recurrent cell kind.
+    pub cell: CellKind,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl DrnnConfig {
+    /// The paper-style default: 2 stacked LSTM layers of 64 units.
+    pub fn paper_default(input: usize, output: usize) -> Self {
+        DrnnConfig {
+            input,
+            hidden: vec![64, 64],
+            output,
+            cell: CellKind::Lstm,
+            seed: 42,
+        }
+    }
+}
+
+/// Forward cache consumed by [`Drnn::backward`].
+#[derive(Debug)]
+pub struct DrnnCache {
+    rec: Vec<RecurrentCache>,
+    head: DenseCache,
+    seq_len: usize,
+    batch: usize,
+    hidden_last: usize,
+}
+
+/// A deep recurrent neural network for sequence-to-one regression.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Drnn {
+    config: DrnnConfig,
+    layers: Vec<Recurrent>,
+    head: DenseLayer,
+}
+
+impl Drnn {
+    /// Builds a model from its configuration (seeded, reproducible).
+    pub fn new(config: DrnnConfig) -> Self {
+        assert!(!config.hidden.is_empty(), "need at least one recurrent layer");
+        assert!(config.input > 0 && config.output > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.hidden.len());
+        let mut in_dim = config.input;
+        for &h in &config.hidden {
+            layers.push(Recurrent::new(config.cell, in_dim, h, &mut rng));
+            in_dim = h;
+        }
+        let head = DenseLayer::new(in_dim, config.output, DenseActivation::Linear, &mut rng);
+        Drnn {
+            config,
+            layers,
+            head,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &DrnnConfig {
+        &self.config
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Recurrent::param_count).sum::<usize>() + self.head.param_count()
+    }
+
+    /// Inference: runs the sequence (each step `B × input`) through the
+    /// stack and returns the head output for the *last* step (`B × output`).
+    pub fn predict(&self, xs: &[Matrix]) -> Matrix {
+        assert!(!xs.is_empty());
+        let mut seq: Vec<Matrix> = xs.to_vec();
+        for layer in &self.layers {
+            let (hs, _) = layer.forward(&seq);
+            seq = hs;
+        }
+        let last = seq.last().expect("non-empty sequence");
+        self.head.forward(last).0
+    }
+
+    /// Training forward pass: like [`predict`](Self::predict) but returns
+    /// the cache needed by [`backward`](Self::backward).
+    pub fn forward_train(&self, xs: &[Matrix]) -> (Matrix, DrnnCache) {
+        assert!(!xs.is_empty());
+        let batch = xs[0].rows();
+        let mut seq: Vec<Matrix> = xs.to_vec();
+        let mut rec = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (hs, cache) = layer.forward(&seq);
+            rec.push(cache);
+            seq = hs;
+        }
+        let last = seq.last().expect("non-empty");
+        let (pred, head) = self.head.forward(last);
+        let cache = DrnnCache {
+            rec,
+            head,
+            seq_len: xs.len(),
+            batch,
+            hidden_last: self.layers.last().unwrap().hidden_size(),
+        };
+        (pred, cache)
+    }
+
+    /// Backward pass: accumulates parameter gradients from `∂L/∂pred`.
+    pub fn backward(&mut self, cache: &DrnnCache, dpred: &Matrix) {
+        // Head: gradient lands on the last hidden state of the top layer.
+        let dh_last = self.head.backward(&cache.head, dpred);
+
+        // Top layer sees gradient only at the final step.
+        let top_hidden = cache.hidden_last;
+        let mut dhs: Vec<Matrix> = (0..cache.seq_len)
+            .map(|_| Matrix::zeros(cache.batch, top_hidden))
+            .collect();
+        *dhs.last_mut().unwrap() = dh_last;
+
+        for (layer, rec_cache) in self.layers.iter_mut().zip(&cache.rec).rev() {
+            let dxs = layer.backward(rec_cache, &dhs);
+            dhs = dxs;
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+        self.head.zero_grads();
+    }
+
+    /// Visits every `(param, grad)` pair in a stable order (optimizer use).
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for layer in &mut self.layers {
+            layer.for_each_param(f);
+        }
+        self.head.for_each_param(f);
+    }
+
+    /// Serializes the model (architecture + weights) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Restores a model from [`to_json`](Self::to_json) output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(t: usize, b: usize, i: usize) -> Vec<Matrix> {
+        (0..t)
+            .map(|step| {
+                Matrix::from_vec(
+                    b,
+                    i,
+                    (0..b * i)
+                        .map(|k| ((step * 3 + k * 5) % 7) as f64 / 7.0 - 0.5)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn tiny(cell: CellKind) -> Drnn {
+        Drnn::new(DrnnConfig {
+            input: 3,
+            hidden: vec![5, 4],
+            output: 2,
+            cell,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn predict_shape_and_determinism() {
+        for cell in [CellKind::Lstm, CellKind::Gru] {
+            let model = tiny(cell);
+            let xs = seq(6, 3, 3);
+            let y1 = model.predict(&xs);
+            let y2 = model.predict(&xs);
+            assert_eq!(y1.shape(), (3, 2));
+            assert_eq!(y1, y2);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let a = tiny(CellKind::Lstm);
+        let b = tiny(CellKind::Lstm);
+        let xs = seq(4, 1, 3);
+        assert_eq!(a.predict(&xs), b.predict(&xs));
+        let mut cfg = a.config().clone();
+        cfg.seed = 12;
+        let c = Drnn::new(cfg);
+        assert_ne!(a.predict(&xs), c.predict(&xs));
+    }
+
+    #[test]
+    fn forward_train_matches_predict() {
+        let model = tiny(CellKind::Gru);
+        let xs = seq(5, 2, 3);
+        let (pred, _) = model.forward_train(&xs);
+        assert_eq!(pred, model.predict(&xs));
+    }
+
+    #[test]
+    fn param_count_consistent() {
+        let model = tiny(CellKind::Lstm);
+        // LSTM1: (3+5+1)*20 = 180; LSTM2: (5+4+1)*16 = 160; head: (4+1)*2 = 10
+        assert_eq!(model.param_count(), 180 + 160 + 10);
+    }
+
+    /// End-to-end gradient check through the whole stack (2 layers + head).
+    #[test]
+    fn full_stack_gradients_match_finite_differences() {
+        for cell in [CellKind::Lstm, CellKind::Gru] {
+            let mut model = tiny(cell);
+            let xs = seq(4, 2, 3);
+            let target = Matrix::full(2, 2, 0.3);
+            let loss = |m: &Drnn| {
+                let p = m.predict(&xs);
+                crate::loss::Loss::Mse.value(&p, &target)
+            };
+            let (pred, cache) = model.forward_train(&xs);
+            let dpred = crate::loss::Loss::Mse.gradient(&pred, &target);
+            model.zero_grads();
+            model.backward(&cache, &dpred);
+
+            let grads: Vec<Matrix> = {
+                let mut out = Vec::new();
+                model.for_each_param(&mut |_p, g| out.push(g.clone()));
+                out
+            };
+            let eps = 1e-5;
+            for (pi, analytic) in grads.iter().enumerate() {
+                let len = analytic.as_slice().len();
+                for k in [0usize, len / 2, len - 1] {
+                    let base = {
+                        let mut params = Vec::new();
+                        model.for_each_param(&mut |p, _| params.push(p as *mut Matrix));
+                        params[pi]
+                    };
+                    let orig = unsafe { (*base).as_slice()[k] };
+                    unsafe { (*base).as_mut_slice()[k] = orig + eps };
+                    let lp = loss(&model);
+                    unsafe { (*base).as_mut_slice()[k] = orig - eps };
+                    let lm = loss(&model);
+                    unsafe { (*base).as_mut_slice()[k] = orig };
+                    let numeric = (lp - lm) / (2.0 * eps);
+                    let ana = analytic.as_slice()[k];
+                    assert!(
+                        (numeric - ana).abs() < 1e-5 * (1.0 + numeric.abs().max(ana.abs())),
+                        "{cell:?} param {pi}[{k}]: numeric {numeric} vs analytic {ana}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let model = tiny(CellKind::Lstm);
+        let json = model.to_json();
+        let back = Drnn::from_json(&json).unwrap();
+        let xs = seq(3, 1, 3);
+        assert_eq!(model.predict(&xs), back.predict(&xs));
+        assert_eq!(back.config(), model.config());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one recurrent layer")]
+    fn rejects_empty_stack() {
+        Drnn::new(DrnnConfig {
+            input: 1,
+            hidden: vec![],
+            output: 1,
+            cell: CellKind::Lstm,
+            seed: 0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod multi_output_tests {
+    use super::*;
+    use crate::data::Sample;
+    use crate::loss::Loss;
+    use crate::train::{train, TrainConfig};
+
+    #[test]
+    fn multi_output_regression_learns_two_targets() {
+        // Predict [sin(t/6), cos(t/6)] from the past 6 values of sin(t/6).
+        let series: Vec<f64> = (0..300).map(|t| (t as f64 / 6.0).sin()).collect();
+        let samples: Vec<Sample> = (0..294 - 1)
+            .map(|i| Sample {
+                window: (i..i + 6).map(|t| vec![series[t]]).collect(),
+                target: vec![
+                    ((i + 6) as f64 / 6.0).sin(),
+                    ((i + 6) as f64 / 6.0).cos(),
+                ],
+            })
+            .collect();
+        let mut model = Drnn::new(DrnnConfig {
+            input: 1,
+            hidden: vec![16],
+            output: 2,
+            cell: crate::layer::CellKind::Lstm,
+            seed: 5,
+        });
+        let cfg = TrainConfig {
+            epochs: 80,
+            validation_fraction: 0.0,
+            early_stopping: None,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &samples, &cfg);
+        assert!(
+            report.final_train_loss() < 0.02,
+            "2-output loss {}",
+            report.final_train_loss()
+        );
+        // Check output shape and that the two heads differ.
+        let refs: Vec<&Sample> = samples[..1].iter().collect();
+        let (xs, y) = crate::data::batch_to_matrices(&refs);
+        let pred = model.predict(&xs);
+        assert_eq!(pred.shape(), (1, 2));
+        assert!(Loss::Mse.value(&pred, &y) < 0.05);
+    }
+}

@@ -1,0 +1,309 @@
+//! First-order optimizers: SGD (with momentum), RMSProp and Adam, plus
+//! global-norm gradient clipping.
+//!
+//! Optimizers are stateful per parameter tensor; parameters are identified
+//! by their visitation order, which the model keeps stable across steps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Optimizer choice and hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Vanilla stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+    },
+    /// SGD with classical momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f64,
+        /// Momentum coefficient (e.g. 0.9).
+        beta: f64,
+    },
+    /// RMSProp.
+    RmsProp {
+        /// Learning rate.
+        lr: f64,
+        /// Decay of the squared-gradient average (e.g. 0.99).
+        rho: f64,
+    },
+    /// Adam (Kingma & Ba, 2015) with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay (default 0.9).
+        beta1: f64,
+        /// Second-moment decay (default 0.999).
+        beta2: f64,
+    },
+}
+
+impl OptimizerKind {
+    /// Adam with the canonical defaults at the given learning rate.
+    pub fn adam(lr: f64) -> Self {
+        OptimizerKind::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+        }
+    }
+}
+
+const EPS: f64 = 1e-8;
+
+/// A stateful optimizer over an ordered list of parameter tensors.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    /// First-moment / velocity buffers, by parameter index.
+    m: Vec<Matrix>,
+    /// Second-moment buffers (Adam/RMSProp).
+    v: Vec<Matrix>,
+    /// Adam step counter.
+    t: u64,
+    /// Optional global-norm clip threshold.
+    clip_norm: Option<f64>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer.
+    pub fn new(kind: OptimizerKind) -> Self {
+        Optimizer {
+            kind,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+            clip_norm: None,
+        }
+    }
+
+    /// Enables global-norm gradient clipping (essential for RNN training).
+    pub fn with_clip_norm(mut self, max_norm: f64) -> Self {
+        assert!(max_norm > 0.0);
+        self.clip_norm = Some(max_norm);
+        self
+    }
+
+    /// The configured kind.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// The current base learning rate.
+    pub fn lr(&self) -> f64 {
+        match self.kind {
+            OptimizerKind::Sgd { lr }
+            | OptimizerKind::Momentum { lr, .. }
+            | OptimizerKind::RmsProp { lr, .. }
+            | OptimizerKind::Adam { lr, .. } => lr,
+        }
+    }
+
+    /// Replaces the learning rate (schedules call this per epoch; moment
+    /// buffers are preserved).
+    pub fn set_lr(&mut self, new_lr: f64) {
+        assert!(new_lr > 0.0, "learning rate must be positive");
+        match &mut self.kind {
+            OptimizerKind::Sgd { lr }
+            | OptimizerKind::Momentum { lr, .. }
+            | OptimizerKind::RmsProp { lr, .. }
+            | OptimizerKind::Adam { lr, .. } => *lr = new_lr,
+        }
+    }
+
+    /// Applies one update step.  `visit` must call its argument once per
+    /// `(param, grad)` pair in the same order every step (the model's
+    /// `for_each_param`).
+    pub fn step(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix))) {
+        self.t += 1;
+
+        // Pass 1 (only when clipping): global gradient norm.
+        let scale = if let Some(max_norm) = self.clip_norm {
+            let mut sq = 0.0;
+            visit(&mut |_p, g| {
+                sq += g.as_slice().iter().map(|x| x * x).sum::<f64>();
+            });
+            let norm = sq.sqrt();
+            if norm > max_norm {
+                max_norm / norm
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+
+        // Pass 2: parameter updates.
+        let mut idx = 0usize;
+        let kind = self.kind;
+        let t = self.t;
+        let m = &mut self.m;
+        let v = &mut self.v;
+        visit(&mut |p, g| {
+            if idx >= m.len() {
+                m.push(Matrix::zeros(p.rows(), p.cols()));
+                v.push(Matrix::zeros(p.rows(), p.cols()));
+            }
+            debug_assert_eq!(m[idx].shape(), p.shape(), "parameter order changed");
+            let mm = &mut m[idx];
+            let vv = &mut v[idx];
+            match kind {
+                OptimizerKind::Sgd { lr } => {
+                    for (pv, gv) in p.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                        *pv -= lr * scale * gv;
+                    }
+                }
+                OptimizerKind::Momentum { lr, beta } => {
+                    for ((pv, gv), mv) in p
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(g.as_slice())
+                        .zip(mm.as_mut_slice())
+                    {
+                        *mv = beta * *mv + scale * gv;
+                        *pv -= lr * *mv;
+                    }
+                }
+                OptimizerKind::RmsProp { lr, rho } => {
+                    for ((pv, gv), sv) in p
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(g.as_slice())
+                        .zip(vv.as_mut_slice())
+                    {
+                        let gc = scale * gv;
+                        *sv = rho * *sv + (1.0 - rho) * gc * gc;
+                        *pv -= lr * gc / (sv.sqrt() + EPS);
+                    }
+                }
+                OptimizerKind::Adam { lr, beta1, beta2 } => {
+                    let bc1 = 1.0 - beta1.powi(t as i32);
+                    let bc2 = 1.0 - beta2.powi(t as i32);
+                    for (((pv, gv), mv), sv) in p
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(g.as_slice())
+                        .zip(mm.as_mut_slice())
+                        .zip(vv.as_mut_slice())
+                    {
+                        let gc = scale * gv;
+                        *mv = beta1 * *mv + (1.0 - beta1) * gc;
+                        *sv = beta2 * *sv + (1.0 - beta2) * gc * gc;
+                        let mhat = *mv / bc1;
+                        let vhat = *sv / bc2;
+                        *pv -= lr * mhat / (vhat.sqrt() + EPS);
+                    }
+                }
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(p) = sum(p^2) — gradient 2p — and check convergence.
+    fn converges(kind: OptimizerKind, steps: usize, tol: f64) {
+        let mut p = Matrix::from_rows(&[vec![5.0, -3.0, 1.0]]);
+        let mut g = Matrix::zeros(1, 3);
+        let mut opt = Optimizer::new(kind);
+        for _ in 0..steps {
+            for (gv, pv) in g.as_mut_slice().iter_mut().zip(p.as_slice()) {
+                *gv = 2.0 * pv;
+            }
+            opt.step(&mut |f| f(&mut p, &mut g));
+        }
+        assert!(
+            p.frobenius_norm() < tol,
+            "{kind:?} did not converge: |p| = {}",
+            p.frobenius_norm()
+        );
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(OptimizerKind::Sgd { lr: 0.1 }, 100, 1e-6);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        converges(OptimizerKind::Momentum { lr: 0.05, beta: 0.9 }, 300, 1e-5);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        converges(OptimizerKind::RmsProp { lr: 0.05, rho: 0.99 }, 500, 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        converges(OptimizerKind::adam(0.1), 500, 1e-3);
+    }
+
+    #[test]
+    fn adam_handles_scale_differences_better_than_sgd() {
+        // f(p) = 1000 p0^2 + 0.001 p1^2: pathological conditioning.
+        let run = |kind: OptimizerKind| {
+            let mut p = Matrix::from_rows(&[vec![1.0, 1.0]]);
+            let mut g = Matrix::zeros(1, 2);
+            let mut opt = Optimizer::new(kind);
+            for _ in 0..300 {
+                g.as_mut_slice()[0] = 2000.0 * p.as_slice()[0];
+                g.as_mut_slice()[1] = 0.002 * p.as_slice()[1];
+                opt.step(&mut |f| f(&mut p, &mut g));
+            }
+            p.as_slice()[1].abs()
+        };
+        let adam_p1 = run(OptimizerKind::adam(0.05));
+        let sgd_p1 = run(OptimizerKind::Sgd { lr: 0.0004 }); // max stable lr
+        assert!(
+            adam_p1 < sgd_p1 * 0.5,
+            "adam {adam_p1} should beat sgd {sgd_p1} on the flat coordinate"
+        );
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut p = Matrix::from_rows(&[vec![0.0; 4]]);
+        let mut g = Matrix::from_rows(&[vec![100.0; 4]]); // norm 200
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { lr: 1.0 }).with_clip_norm(1.0);
+        opt.step(&mut |f| f(&mut p, &mut g));
+        // Effective gradient norm clipped to 1 → |Δp| = 1.
+        assert!((p.frobenius_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_leaves_small_gradients_alone() {
+        let mut p = Matrix::from_rows(&[vec![0.0]]);
+        let mut g = Matrix::from_rows(&[vec![0.5]]);
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { lr: 1.0 }).with_clip_norm(10.0);
+        opt.step(&mut |f| f(&mut p, &mut g));
+        assert!((p.get(0, 0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_params_keep_separate_state() {
+        let mut p1 = Matrix::from_rows(&[vec![1.0]]);
+        let mut p2 = Matrix::from_rows(&[vec![2.0, 3.0]]);
+        let mut g1 = Matrix::from_rows(&[vec![0.0]]);
+        let mut g2 = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let mut opt = Optimizer::new(OptimizerKind::adam(0.1));
+        for _ in 0..200 {
+            g1.as_mut_slice()[0] = 2.0 * p1.as_slice()[0];
+            for (g, p) in g2.as_mut_slice().iter_mut().zip(p2.as_slice()) {
+                *g = 2.0 * p;
+            }
+            opt.step(&mut |f| {
+                f(&mut p1, &mut g1);
+                f(&mut p2, &mut g2);
+            });
+        }
+        assert!(p1.frobenius_norm() < 0.01);
+        assert!(p2.frobenius_norm() < 0.01);
+    }
+}

@@ -1,0 +1,126 @@
+//! Learning-rate schedules applied per epoch by the training loop.
+
+use serde::{Deserialize, Serialize};
+
+/// How the learning rate evolves over epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// The optimizer's base learning rate throughout.
+    #[default]
+    Constant,
+    /// Multiply the rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays (>= 1).
+        every: usize,
+        /// Multiplicative factor in `(0, 1]`.
+        factor: f64,
+    },
+    /// Cosine annealing from the base rate down to `min_lr` over `t_max`
+    /// epochs (then held at `min_lr`).
+    Cosine {
+        /// Epochs over which to anneal.
+        t_max: usize,
+        /// Terminal learning rate.
+        min_lr: f64,
+    },
+    /// Linear warmup from `start_fraction × base` to the base rate over
+    /// `epochs` epochs, constant afterwards.
+    Warmup {
+        /// Warmup length in epochs.
+        epochs: usize,
+        /// Starting fraction of the base rate in `(0, 1]`.
+        start_fraction: f64,
+    },
+}
+
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based) given the optimizer's base rate.
+    pub fn lr_at(&self, epoch: usize, base_lr: f64) -> f64 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every >= 1 && factor > 0.0 && factor <= 1.0);
+                base_lr * factor.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { t_max, min_lr } => {
+                assert!(t_max >= 1);
+                if epoch >= t_max {
+                    return min_lr;
+                }
+                let progress = epoch as f64 / t_max as f64;
+                min_lr
+                    + (base_lr - min_lr) * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos())
+            }
+            LrSchedule::Warmup {
+                epochs,
+                start_fraction,
+            } => {
+                assert!(start_fraction > 0.0 && start_fraction <= 1.0);
+                if epochs == 0 || epoch >= epochs {
+                    return base_lr;
+                }
+                let frac =
+                    start_fraction + (1.0 - start_fraction) * (epoch as f64 / epochs as f64);
+                base_lr * frac
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_base() {
+        for e in [0, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.lr_at(e, 0.01), 0.01);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
+        assert_eq!(s.lr_at(0, 1.0), 1.0);
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert_eq!(s.lr_at(10, 1.0), 0.5);
+        assert_eq!(s.lr_at(25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn cosine_anneals_to_min_and_holds() {
+        let s = LrSchedule::Cosine {
+            t_max: 100,
+            min_lr: 0.001,
+        };
+        assert!((s.lr_at(0, 0.1) - 0.1).abs() < 1e-12);
+        let mid = s.lr_at(50, 0.1);
+        assert!((mid - 0.0505).abs() < 1e-4, "midpoint {mid}");
+        assert!((s.lr_at(100, 0.1) - 0.001).abs() < 1e-12);
+        assert_eq!(s.lr_at(500, 0.1), 0.001);
+        // Monotone decreasing over the annealing range.
+        let mut last = f64::INFINITY;
+        for e in 0..=100 {
+            let lr = s.lr_at(e, 0.1);
+            assert!(lr <= last + 1e-15);
+            last = lr;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup {
+            epochs: 10,
+            start_fraction: 0.1,
+        };
+        assert!((s.lr_at(0, 1.0) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(5, 1.0) - 0.55).abs() < 1e-12);
+        assert_eq!(s.lr_at(10, 1.0), 1.0);
+        assert_eq!(s.lr_at(99, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Storm's tuple-tree acking algorithm.
+//!
+//! Each spout tuple roots a *tuple tree*.  Every tuple instance flowing in
+//! the tree carries a 64-bit edge id; the acker keeps one 64-bit XOR
+//! accumulator per root.  Emitting a child XORs its edge id in, acking a
+//! received tuple XORs its edge id out — so the accumulator reaches zero
+//! exactly when every emitted tuple has been acked, using O(1) memory per
+//! root regardless of tree size.
+//!
+//! Edge ids must behave like independent random 64-bit values for the
+//! zero-test to be sound (a structured sequence like 1,2,3 XORs to zero
+//! spuriously: `1 ^ 2 ^ 3 == 0`).  We generate them deterministically with a
+//! SplitMix64 scramble of a counter, which is reproducible across runs yet
+//! statistically indistinguishable from random for this purpose.
+
+use std::collections::HashMap;
+
+use crate::component::MessageId;
+use crate::topology::TaskId;
+
+/// Identifier of one spout-tuple tree.
+pub type RootId = u64;
+
+/// Why a tree left the pending table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Every tuple in the tree was acked.
+    Acked,
+    /// A bolt explicitly failed a tuple of the tree.
+    Failed,
+    /// The tree outlived the message timeout.
+    TimedOut,
+}
+
+/// Record of a completed (acked/failed/timed-out) tree, returned to the
+/// runtime so it can notify the spout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeOutcome {
+    /// The root id.
+    pub root: RootId,
+    /// Task id of the originating spout.
+    pub spout_task: TaskId,
+    /// Spout-assigned message id.
+    pub message_id: MessageId,
+    /// How the tree completed.
+    pub completion: Completion,
+    /// Time the root was emitted (runtime clock, seconds).
+    pub spawned_at: f64,
+    /// Time the tree completed.
+    pub completed_at: f64,
+}
+
+impl TreeOutcome {
+    /// End-to-end *complete latency* of the tree in seconds.
+    pub fn complete_latency(&self) -> f64 {
+        self.completed_at - self.spawned_at
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    ack_val: u64,
+    spout_task: TaskId,
+    message_id: MessageId,
+    spawned_at: f64,
+}
+
+/// SplitMix64 — the standard 64-bit finalizer used to scramble counters
+/// into high-quality pseudo-random ids.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The acker: pending tuple trees and their XOR accumulators.
+#[derive(Debug, Default)]
+pub struct Acker {
+    pending: HashMap<RootId, Pending>,
+    next_edge: u64,
+    /// Completed-tree outcomes not yet drained by the runtime.
+    outcomes: Vec<TreeOutcome>,
+}
+
+impl Acker {
+    /// Creates an empty acker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh edge id (scrambled counter).
+    pub fn new_edge_id(&mut self) -> u64 {
+        self.next_edge += 1;
+        // Zero is reserved: XORing 0 would be a no-op and break accounting.
+        let id = splitmix64(self.next_edge);
+        if id == 0 {
+            self.new_edge_id()
+        } else {
+            id
+        }
+    }
+
+    /// Registers a new tree rooted at a spout emission whose root tuple got
+    /// `root_edge` as its edge id.
+    pub fn track(
+        &mut self,
+        root: RootId,
+        root_edge: u64,
+        spout_task: TaskId,
+        message_id: MessageId,
+        now: f64,
+    ) {
+        self.pending.insert(
+            root,
+            Pending {
+                ack_val: root_edge,
+                spout_task,
+                message_id,
+                spawned_at: now,
+            },
+        );
+    }
+
+    /// A bolt emitted a child tuple with `edge` anchored to `root`.
+    pub fn on_emit(&mut self, root: RootId, edge: u64) {
+        if let Some(p) = self.pending.get_mut(&root) {
+            p.ack_val ^= edge;
+        }
+    }
+
+    /// A tuple with `edge` anchored to `root` was acked.  If the
+    /// accumulator reaches zero the tree completes.
+    pub fn on_ack(&mut self, root: RootId, edge: u64, now: f64) {
+        let done = match self.pending.get_mut(&root) {
+            Some(p) => {
+                p.ack_val ^= edge;
+                p.ack_val == 0
+            }
+            None => false,
+        };
+        if done {
+            self.finish(root, Completion::Acked, now);
+        }
+    }
+
+    /// A bolt failed a tuple of `root`: the whole tree fails immediately.
+    pub fn on_fail(&mut self, root: RootId, now: f64) {
+        if self.pending.contains_key(&root) {
+            self.finish(root, Completion::Failed, now);
+        }
+    }
+
+    fn finish(&mut self, root: RootId, completion: Completion, now: f64) {
+        if let Some(p) = self.pending.remove(&root) {
+            self.outcomes.push(TreeOutcome {
+                root,
+                spout_task: p.spout_task,
+                message_id: p.message_id,
+                completion,
+                spawned_at: p.spawned_at,
+                completed_at: now,
+            });
+        }
+    }
+
+    /// Expires every tree older than `timeout` seconds.
+    pub fn expire(&mut self, now: f64, timeout: f64) {
+        let expired: Vec<RootId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now - p.spawned_at > timeout)
+            .map(|(r, _)| *r)
+            .collect();
+        for root in expired {
+            self.finish(root, Completion::TimedOut, now);
+        }
+    }
+
+    /// Drains completed-tree outcomes accumulated since the last drain.
+    pub fn drain_outcomes(&mut self) -> Vec<TreeOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Number of trees still in flight.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_of(acker: &mut Acker) -> TreeOutcome {
+        let mut o = acker.drain_outcomes();
+        assert_eq!(o.len(), 1);
+        o.pop().unwrap()
+    }
+
+    #[test]
+    fn linear_chain_completes_when_all_acked() {
+        // spout -> b1 -> b2 (b2 emits nothing)
+        let mut a = Acker::new();
+        let root = 1;
+        let e_root = a.new_edge_id();
+        a.track(root, e_root, TaskId(0), 7, 0.0);
+
+        // b1 receives root tuple, emits one child, acks input.
+        let e_child = a.new_edge_id();
+        a.on_emit(root, e_child);
+        a.on_ack(root, e_root, 1.0);
+        assert_eq!(a.pending_count(), 1, "child still outstanding");
+
+        // b2 receives child, emits nothing, acks.
+        a.on_ack(root, e_child, 2.0);
+        assert_eq!(a.pending_count(), 0);
+        let o = outcome_of(&mut a);
+        assert_eq!(o.completion, Completion::Acked);
+        assert_eq!(o.message_id, 7);
+        assert!((o.complete_latency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fan_out_tree_completes_only_after_every_branch() {
+        let mut a = Acker::new();
+        let root = 9;
+        let e_root = a.new_edge_id();
+        a.track(root, e_root, TaskId(2), 1, 0.0);
+
+        // One bolt emits 3 children then acks its input.
+        let children: Vec<u64> = (0..3).map(|_| a.new_edge_id()).collect();
+        for &c in &children {
+            a.on_emit(root, c);
+        }
+        a.on_ack(root, e_root, 0.5);
+
+        for (i, &c) in children.iter().enumerate() {
+            assert_eq!(a.pending_count(), 1, "branch {i} outstanding");
+            a.on_ack(root, c, 1.0 + i as f64);
+        }
+        assert_eq!(a.pending_count(), 0);
+        assert_eq!(outcome_of(&mut a).completion, Completion::Acked);
+    }
+
+    #[test]
+    fn explicit_fail_completes_tree_as_failed() {
+        let mut a = Acker::new();
+        let e = a.new_edge_id();
+        a.track(5, e, TaskId(0), 42, 0.0);
+        a.on_fail(5, 3.0);
+        let o = outcome_of(&mut a);
+        assert_eq!(o.completion, Completion::Failed);
+        assert_eq!(o.message_id, 42);
+        // Late acks for the failed tree are ignored.
+        a.on_ack(5, e, 4.0);
+        assert!(a.drain_outcomes().is_empty());
+    }
+
+    #[test]
+    fn timeout_expires_only_old_trees() {
+        let mut a = Acker::new();
+        let e1 = a.new_edge_id();
+        let e2 = a.new_edge_id();
+        a.track(1, e1, TaskId(0), 1, 0.0);
+        a.track(2, e2, TaskId(0), 2, 8.0);
+        a.expire(10.0, 5.0);
+        let outcomes = a.drain_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].root, 1);
+        assert_eq!(outcomes[0].completion, Completion::TimedOut);
+        assert_eq!(a.pending_count(), 1);
+    }
+
+    #[test]
+    fn edge_ids_do_not_xor_to_zero_spuriously() {
+        // The failure mode of naive counter ids: 1 ^ 2 ^ 3 == 0.  Verify the
+        // scrambled sequence has no small-prefix zero XOR.
+        let mut a = Acker::new();
+        let mut acc = 0u64;
+        for _ in 0..10_000 {
+            acc ^= a.new_edge_id();
+            assert_ne!(acc, 0);
+        }
+    }
+
+    #[test]
+    fn edge_ids_unique_over_long_runs() {
+        let mut a = Acker::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100_000 {
+            assert!(seen.insert(a.new_edge_id()));
+        }
+    }
+
+    #[test]
+    fn ack_for_unknown_root_is_ignored() {
+        let mut a = Acker::new();
+        a.on_ack(99, 123, 0.0);
+        a.on_emit(99, 123);
+        a.on_fail(99, 0.0);
+        assert!(a.drain_outcomes().is_empty());
+        assert_eq!(a.pending_count(), 0);
+    }
+
+    #[test]
+    fn diamond_topology_double_delivery() {
+        // spout tuple goes to two bolts (all-grouping style): the runtime
+        // assigns each delivered instance its own edge id by re-emitting.
+        let mut a = Acker::new();
+        let root = 3;
+        let e_a = a.new_edge_id();
+        let e_b = a.new_edge_id();
+        a.track(root, e_a, TaskId(0), 0, 0.0);
+        a.on_emit(root, e_b); // second delivery instance
+        a.on_ack(root, e_a, 1.0);
+        assert_eq!(a.pending_count(), 1);
+        a.on_ack(root, e_b, 1.5);
+        assert_eq!(outcome_of(&mut a).completion, Completion::Acked);
+    }
+}

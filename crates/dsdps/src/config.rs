@@ -1,0 +1,166 @@
+//! Engine configuration shared by both runtimes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Cluster and engine parameters.
+///
+/// Defaults match the reconstructed experimental setup in `DESIGN.md`:
+/// 4 machines × 2 workers, 4 cores each, acking on, 30 s message timeout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of simulated machines in the cluster.
+    pub num_machines: usize,
+    /// Worker processes per machine.
+    pub workers_per_machine: usize,
+    /// CPU cores per machine (capacity of the interference model).
+    pub machine_cores: usize,
+    /// Whether the acker tracks tuple trees (reliability on/off).
+    pub ack_enabled: bool,
+    /// Seconds before an unacked tuple tree times out and is replayed.
+    pub message_timeout_s: f64,
+    /// Maximum spout tuple trees in flight per spout task before the spout
+    /// is throttled (Storm's `topology.max.spout.pending`).
+    pub max_spout_pending: usize,
+    /// Length of one metrics interval (seconds); the control framework's
+    /// sampling period.
+    pub metrics_interval_s: f64,
+    /// Bolt tick interval in seconds (0 disables ticks).
+    pub tick_interval_s: f64,
+    /// One-way tuple transfer latency between tasks in the same worker (µs).
+    pub local_transfer_us: f64,
+    /// One-way transfer latency between workers/machines (µs).
+    pub remote_transfer_us: f64,
+    /// Per-task input queue capacity; beyond this, backpressure throttles
+    /// upstream spouts.
+    pub queue_capacity: usize,
+    /// Master RNG seed for workloads, jitter and placement tie-breaks.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_machines: 4,
+            workers_per_machine: 2,
+            machine_cores: 4,
+            ack_enabled: true,
+            message_timeout_s: 30.0,
+            max_spout_pending: 512,
+            metrics_interval_s: 1.0,
+            tick_interval_s: 1.0,
+            local_transfer_us: 20.0,
+            remote_transfer_us: 300.0,
+            queue_capacity: 2048,
+            seed: 42,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Total number of workers in the cluster.
+    pub fn num_workers(&self) -> usize {
+        self.num_machines * self.workers_per_machine
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_machines == 0 {
+            return Err(Error::Config("num_machines must be >= 1".into()));
+        }
+        if self.workers_per_machine == 0 {
+            return Err(Error::Config("workers_per_machine must be >= 1".into()));
+        }
+        if self.machine_cores == 0 {
+            return Err(Error::Config("machine_cores must be >= 1".into()));
+        }
+        if self.message_timeout_s <= 0.0 {
+            return Err(Error::Config("message_timeout_s must be positive".into()));
+        }
+        if self.metrics_interval_s <= 0.0 {
+            return Err(Error::Config("metrics_interval_s must be positive".into()));
+        }
+        if self.max_spout_pending == 0 {
+            return Err(Error::Config("max_spout_pending must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::Config("queue_capacity must be >= 1".into()));
+        }
+        if self.local_transfer_us < 0.0 || self.remote_transfer_us < 0.0 {
+            return Err(Error::Config("transfer latencies must be >= 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the cluster shape.
+    pub fn with_cluster(mut self, machines: usize, workers_per_machine: usize, cores: usize) -> Self {
+        self.num_machines = machines;
+        self.workers_per_machine = workers_per_machine;
+        self.machine_cores = cores;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = EngineConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.num_workers(), 8);
+    }
+
+    #[test]
+    fn validation_catches_each_zero() {
+        let base = EngineConfig::default();
+        let mut c = base.clone();
+        c.num_machines = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.workers_per_machine = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.machine_cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.message_timeout_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.metrics_interval_s = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.max_spout_pending = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.queue_capacity = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.remote_transfer_us = -5.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = EngineConfig::default().with_seed(7).with_cluster(2, 3, 8);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.num_workers(), 6);
+        assert_eq!(c.machine_cores, 8);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = EngineConfig::default().with_seed(123);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: EngineConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

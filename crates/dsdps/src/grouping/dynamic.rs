@@ -1,0 +1,396 @@
+//! **Dynamic grouping** — the paper's flexible-control primitive.
+//!
+//! A dynamic grouping distributes tuples over the subscriber's tasks
+//! according to a [`SplitRatio`] that can be replaced **while the topology
+//! runs** through a shared [`DynamicGroupingHandle`].  The control framework
+//! uses this to redirect tuples away from (predicted) misbehaving workers by
+//! setting that worker's task weights to zero.
+//!
+//! ## Selection algorithm
+//!
+//! Each router uses *smooth weighted round-robin* (the algorithm nginx uses
+//! for weighted upstreams): per task keep a credit; every tuple add each
+//! task's weight to its credit, send to the task with the largest credit and
+//! subtract the total weight from it.  This is deterministic, O(n) per
+//! tuple for small n, and the realized split over any window of `W` tuples
+//! deviates from the commanded ratio by at most `n/W` — far tighter than
+//! random sampling, which matters for the paper's "dynamic grouping works as
+//! expected" experiment (fig-dg-track).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::tuple::Tuple;
+
+use super::Grouping;
+
+/// A normalized split-ratio vector: one non-negative weight per subscriber
+/// task, summing to 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatio {
+    weights: Vec<f64>,
+}
+
+impl SplitRatio {
+    /// Builds a ratio from raw weights, normalizing them to sum to 1.
+    ///
+    /// Errors if the vector is empty, any weight is negative or non-finite,
+    /// or all weights are zero.
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(Error::InvalidSplitRatio("empty weight vector".into()));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(Error::InvalidSplitRatio(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Err(Error::InvalidSplitRatio("all weights are zero".into()));
+        }
+        Ok(SplitRatio {
+            weights: weights.into_iter().map(|w| w / sum).collect(),
+        })
+    }
+
+    /// Uniform ratio over `n` tasks.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "cannot split over zero tasks");
+        SplitRatio {
+            weights: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// A copy with task `idx`'s weight forced to zero (renormalized).
+    ///
+    /// Errors if `idx` is out of range or it was the only non-zero task.
+    pub fn excluding(&self, idx: usize) -> Result<Self> {
+        if idx >= self.weights.len() {
+            return Err(Error::InvalidSplitRatio(format!(
+                "task index {idx} out of range ({} tasks)",
+                self.weights.len()
+            )));
+        }
+        let mut w = self.weights.clone();
+        w[idx] = 0.0;
+        SplitRatio::new(w)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if there are no entries (never constructible; kept for API
+    /// symmetry with `len`).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of task `idx`.
+    pub fn get(&self, idx: usize) -> f64 {
+        self.weights[idx]
+    }
+
+    /// The normalized weights.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Indices whose weight is exactly zero (bypassed tasks).
+    pub fn zeroed_tasks(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w == 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Largest absolute difference to another ratio (L∞), used by tests and
+    /// the ratio-tracking experiment.
+    pub fn max_abs_diff(&self, other: &SplitRatio) -> f64 {
+        assert_eq!(self.len(), other.len());
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[derive(Debug)]
+struct HandleInner {
+    ratio: RwLock<SplitRatio>,
+    version: AtomicU64,
+}
+
+/// Shared, cloneable handle to a dynamic grouping edge.
+///
+/// The controller side calls [`set_ratio`](Self::set_ratio); every router
+/// instance created from the same handle observes the change before routing
+/// its next tuple.  Updates are atomic: a router never sees a half-written
+/// ratio.
+#[derive(Debug, Clone)]
+pub struct DynamicGroupingHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl DynamicGroupingHandle {
+    /// Creates a handle with an initial ratio.
+    pub fn new(initial: SplitRatio) -> Self {
+        DynamicGroupingHandle {
+            inner: Arc::new(HandleInner {
+                ratio: RwLock::new(initial),
+                version: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Replaces the split ratio.  Errors if the arity differs from the
+    /// current ratio (task count of an edge never changes at runtime).
+    pub fn set_ratio(&self, ratio: SplitRatio) -> Result<()> {
+        let mut guard = self.inner.ratio.write();
+        if ratio.len() != guard.len() {
+            return Err(Error::InvalidSplitRatio(format!(
+                "expected {} weights, got {}",
+                guard.len(),
+                ratio.len()
+            )));
+        }
+        *guard = ratio;
+        self.inner.version.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Current ratio (snapshot).
+    pub fn ratio(&self) -> SplitRatio {
+        self.inner.ratio.read().clone()
+    }
+
+    /// Monotone counter incremented on every `set_ratio`.
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
+    }
+}
+
+/// Router state for one producer task on a dynamic edge.
+#[derive(Debug)]
+pub struct DynamicGrouping {
+    handle: DynamicGroupingHandle,
+    /// Locally cached weights, refreshed when `seen_version` falls behind.
+    weights: Vec<f64>,
+    credits: Vec<f64>,
+    seen_version: u64,
+}
+
+impl DynamicGrouping {
+    /// Creates a router bound to the edge's shared handle.
+    pub fn new(handle: DynamicGroupingHandle) -> Self {
+        let ratio = handle.ratio();
+        let n = ratio.len();
+        DynamicGrouping {
+            seen_version: handle.version(),
+            weights: ratio.weights,
+            credits: vec![0.0; n],
+            handle,
+        }
+    }
+
+    fn refresh_if_stale(&mut self) {
+        let v = self.handle.version();
+        if v != self.seen_version {
+            let ratio = self.handle.ratio();
+            self.weights = ratio.weights;
+            // Reset credits so the new ratio takes effect immediately rather
+            // than paying off debt accumulated under the old ratio.
+            self.credits.iter_mut().for_each(|c| *c = 0.0);
+            self.seen_version = v;
+        }
+    }
+
+    /// Smooth weighted round-robin step.
+    fn pick(&mut self) -> usize {
+        let mut best = 0usize;
+        let mut best_credit = f64::NEG_INFINITY;
+        for (i, (c, w)) in self.credits.iter_mut().zip(&self.weights).enumerate() {
+            *c += *w;
+            // Strictly-greater keeps ties deterministic (lowest index wins);
+            // zero-weight tasks never accumulate credit and are never picked.
+            if *w > 0.0 && *c > best_credit {
+                best_credit = *c;
+                best = i;
+            }
+        }
+        // Weights are normalized to sum 1, so subtract 1 from the winner.
+        self.credits[best] -= 1.0;
+        best
+    }
+}
+
+impl Grouping for DynamicGrouping {
+    fn select(&mut self, _tuple: &Tuple, out: &mut Vec<usize>) {
+        self.refresh_if_stale();
+        out.push(self.pick());
+    }
+
+    fn fan_out(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    fn t() -> Tuple {
+        Tuple::of([Value::from(1i64)])
+    }
+
+    fn route_n(g: &mut DynamicGrouping, n: usize) -> Vec<usize> {
+        let tup = t();
+        let mut out = Vec::new();
+        (0..n)
+            .map(|_| {
+                out.clear();
+                g.select(&tup, &mut out);
+                out[0]
+            })
+            .collect()
+    }
+
+    fn counts(picks: &[usize], n: usize) -> Vec<usize> {
+        let mut c = vec![0usize; n];
+        for &p in picks {
+            c[p] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn ratio_normalizes() {
+        let r = SplitRatio::new(vec![2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(r.as_slice(), &[0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn ratio_rejects_bad_input() {
+        assert!(SplitRatio::new(vec![]).is_err());
+        assert!(SplitRatio::new(vec![-1.0, 2.0]).is_err());
+        assert!(SplitRatio::new(vec![0.0, 0.0]).is_err());
+        assert!(SplitRatio::new(vec![f64::NAN, 1.0]).is_err());
+        assert!(SplitRatio::new(vec![f64::INFINITY, 1.0]).is_err());
+    }
+
+    #[test]
+    fn excluding_zeroes_and_renormalizes() {
+        let r = SplitRatio::uniform(4);
+        let e = r.excluding(2).unwrap();
+        assert_eq!(e.get(2), 0.0);
+        assert!((e.get(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.zeroed_tasks(), vec![2]);
+        assert!(r.excluding(9).is_err());
+        let solo = SplitRatio::new(vec![1.0]).unwrap();
+        assert!(solo.excluding(0).is_err(), "cannot zero the only task");
+    }
+
+    #[test]
+    fn uniform_split_is_exact() {
+        let h = DynamicGroupingHandle::new(SplitRatio::uniform(4));
+        let mut g = DynamicGrouping::new(h);
+        let picks = route_n(&mut g, 400);
+        assert_eq!(counts(&picks, 4), vec![100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn skewed_split_tracks_ratio_tightly() {
+        let ratio = SplitRatio::new(vec![0.5, 0.3, 0.15, 0.05]).unwrap();
+        let h = DynamicGroupingHandle::new(ratio.clone());
+        let mut g = DynamicGrouping::new(h);
+        let n = 10_000;
+        let picks = route_n(&mut g, n);
+        let c = counts(&picks, 4);
+        for i in 0..4 {
+            let observed = c[i] as f64 / n as f64;
+            assert!(
+                (observed - ratio.get(i)).abs() < 0.001,
+                "task {i}: observed {observed} vs commanded {}",
+                ratio.get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_task_receives_nothing() {
+        let ratio = SplitRatio::new(vec![1.0, 0.0, 1.0]).unwrap();
+        let h = DynamicGroupingHandle::new(ratio);
+        let mut g = DynamicGrouping::new(h);
+        let picks = route_n(&mut g, 1000);
+        assert!(picks.iter().all(|&p| p != 1));
+        let c = counts(&picks, 3);
+        assert_eq!(c[0], 500);
+        assert_eq!(c[2], 500);
+    }
+
+    #[test]
+    fn on_the_fly_update_takes_effect_immediately() {
+        let h = DynamicGroupingHandle::new(SplitRatio::uniform(2));
+        let mut g = DynamicGrouping::new(h.clone());
+        route_n(&mut g, 100);
+        h.set_ratio(SplitRatio::new(vec![1.0, 0.0]).unwrap()).unwrap();
+        let picks = route_n(&mut g, 100);
+        assert!(picks.iter().all(|&p| p == 0), "all tuples rerouted to task 0");
+        assert_eq!(h.version(), 1);
+    }
+
+    #[test]
+    fn set_ratio_rejects_arity_change() {
+        let h = DynamicGroupingHandle::new(SplitRatio::uniform(3));
+        assert!(h.set_ratio(SplitRatio::uniform(2)).is_err());
+        assert_eq!(h.version(), 0, "failed update must not bump the version");
+    }
+
+    #[test]
+    fn multiple_routers_share_one_handle() {
+        let h = DynamicGroupingHandle::new(SplitRatio::uniform(2));
+        let mut g1 = DynamicGrouping::new(h.clone());
+        let mut g2 = DynamicGrouping::new(h.clone());
+        h.set_ratio(SplitRatio::new(vec![0.0, 1.0]).unwrap()).unwrap();
+        assert!(route_n(&mut g1, 10).iter().all(|&p| p == 1));
+        assert!(route_n(&mut g2, 10).iter().all(|&p| p == 1));
+    }
+
+    #[test]
+    fn swrr_short_window_deviation_is_bounded() {
+        // Over any prefix of length W the realized counts deviate from the
+        // commanded ratio by at most n tuples (smooth WRR property).
+        let ratio = SplitRatio::new(vec![0.7, 0.2, 0.1]).unwrap();
+        let h = DynamicGroupingHandle::new(ratio.clone());
+        let mut g = DynamicGrouping::new(h);
+        let picks = route_n(&mut g, 300);
+        for w in [10usize, 30, 100, 300] {
+            let c = counts(&picks[..w], 3);
+            for i in 0..3 {
+                let expected = ratio.get(i) * w as f64;
+                assert!(
+                    (c[i] as f64 - expected).abs() <= 3.0,
+                    "window {w}, task {i}: {} vs {expected}",
+                    c[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = SplitRatio::uniform(2);
+        let b = SplitRatio::new(vec![0.9, 0.1]).unwrap();
+        assert!((a.max_abs_diff(&b) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Partial Key Grouping (PKG) — "the power of both choices" (Nasir et al.,
+//! ICDE 2015), the load-balancing strategy most closely related to the
+//! paper's dynamic grouping.
+//!
+//! Each key hashes to *two* candidate tasks (two independent hash
+//! functions); every tuple goes to whichever candidate has received fewer
+//! tuples so far.  Key-splitting bounds the imbalance of skewed (Zipf)
+//! streams while keeping each key on at most two tasks — a static
+//! alternative to dynamic grouping that cannot, however, bypass a
+//! misbehaving worker (its candidates are fixed by the hash).  The
+//! evaluation uses it as a contrast point.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::tuple::{Fields, Tuple};
+
+use super::Grouping;
+
+/// Partial key grouping router.
+#[derive(Debug)]
+pub struct PartialKeyGrouping {
+    n_tasks: usize,
+    field_indices: Vec<usize>,
+    /// Tuples sent to each task so far (the "local load" estimate).
+    sent: Vec<u64>,
+}
+
+impl PartialKeyGrouping {
+    /// Resolves `fields` against the stream `schema`; `None` if any field
+    /// is missing.
+    pub fn new(n_tasks: usize, fields: &[String], schema: &Fields) -> Option<Self> {
+        assert!(n_tasks > 0);
+        let field_indices = fields
+            .iter()
+            .map(|f| schema.index_of(f))
+            .collect::<Option<Vec<_>>>()?;
+        Some(PartialKeyGrouping {
+            n_tasks,
+            field_indices,
+            sent: vec![0; n_tasks],
+        })
+    }
+
+    /// The two candidate tasks of a tuple's key.
+    pub fn candidates(&self, tuple: &Tuple) -> (usize, usize) {
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        // Independent functions: salt the second hasher.
+        0xC0FFEEu64.hash(&mut h2);
+        for &i in &self.field_indices {
+            tuple.values()[i].hash(&mut h1);
+            tuple.values()[i].hash(&mut h2);
+        }
+        let a = (h1.finish() % self.n_tasks as u64) as usize;
+        let b = (h2.finish() % self.n_tasks as u64) as usize;
+        (a, b)
+    }
+
+    /// Tuples routed to each task so far.
+    pub fn load(&self) -> &[u64] {
+        &self.sent
+    }
+}
+
+impl Grouping for PartialKeyGrouping {
+    fn select(&mut self, tuple: &Tuple, out: &mut Vec<usize>) {
+        let (a, b) = self.candidates(tuple);
+        let pick = if self.sent[a] <= self.sent[b] { a } else { b };
+        self.sent[pick] += 1;
+        out.push(pick);
+    }
+
+    fn fan_out(&self) -> usize {
+        self.n_tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    fn tup(key: &str) -> Tuple {
+        Tuple::with_fields([Value::from(key)], Fields::new(["k"]))
+    }
+
+    fn route(g: &mut PartialKeyGrouping, key: &str) -> usize {
+        let mut out = Vec::new();
+        g.select(&tup(key), &mut out);
+        out[0]
+    }
+
+    #[test]
+    fn key_always_lands_on_one_of_two_candidates() {
+        let schema = Fields::new(["k"]);
+        let mut g = PartialKeyGrouping::new(8, &["k".into()], &schema).unwrap();
+        for key in ["alpha", "beta", "gamma", "delta"] {
+            let (a, b) = g.candidates(&tup(key));
+            for _ in 0..50 {
+                let pick = route(&mut g, key);
+                assert!(pick == a || pick == b, "{key} went to {pick}, candidates ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_is_balanced_better_than_fields_grouping() {
+        // A heavy-hitter key takes 50 % of the stream: fields grouping puts
+        // it all on one task; PKG splits it across its two candidates.
+        let schema = Fields::new(["k"]);
+        let mut pkg = PartialKeyGrouping::new(4, &["k".into()], &schema).unwrap();
+        let mut counts = vec![0u64; 4];
+        for i in 0..10_000 {
+            let key = if i % 2 == 0 {
+                "heavy".to_string()
+            } else {
+                format!("k{}", i % 97)
+            };
+            let mut out = Vec::new();
+            pkg.select(&tup(&key), &mut out);
+            counts[out[0]] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = 10_000.0 / 4.0;
+        assert!(
+            max < mean * 1.35,
+            "PKG imbalance too high: {counts:?} (max/mean {:.2})",
+            max / mean
+        );
+    }
+
+    #[test]
+    fn load_tracking_counts_everything() {
+        let schema = Fields::new(["k"]);
+        let mut g = PartialKeyGrouping::new(3, &["k".into()], &schema).unwrap();
+        for i in 0..500 {
+            route(&mut g, &format!("k{i}"));
+        }
+        assert_eq!(g.load().iter().sum::<u64>(), 500);
+        assert_eq!(g.fan_out(), 3);
+    }
+
+    #[test]
+    fn missing_field_is_none() {
+        let schema = Fields::new(["k"]);
+        assert!(PartialKeyGrouping::new(2, &["missing".into()], &schema).is_none());
+    }
+
+    #[test]
+    fn single_task_degenerates_gracefully() {
+        let schema = Fields::new(["k"]);
+        let mut g = PartialKeyGrouping::new(1, &["k".into()], &schema).unwrap();
+        for i in 0..20 {
+            assert_eq!(route(&mut g, &format!("k{i}")), 0);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Metrics export: serialize snapshot streams to JSON Lines and CSV so
+//! external tooling (plotting, dashboards) can consume a run's history.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use super::MetricsSnapshot;
+
+/// Serializes snapshots as JSON Lines (one snapshot per line).
+pub fn to_jsonl(snapshots: &[MetricsSnapshot]) -> String {
+    let mut out = String::new();
+    for s in snapshots {
+        let line = serde_json::to_string(s).expect("snapshots are serializable");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSON Lines back into snapshots (inverse of [`to_jsonl`]).
+pub fn from_jsonl(data: &str) -> Result<Vec<MetricsSnapshot>, serde_json::Error> {
+    data.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Writes snapshots to a `.jsonl` file.
+pub fn write_jsonl(path: &Path, snapshots: &[MetricsSnapshot]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(to_jsonl(snapshots).as_bytes())
+}
+
+/// Flattens the topology-level series to CSV
+/// (`interval,time_s,spout_emitted,acked,failed,timed_out,avg_ms,p99_ms,throughput`).
+pub fn topology_csv(snapshots: &[MetricsSnapshot]) -> String {
+    let mut out = String::from(
+        "interval,time_s,spout_emitted,acked,failed,timed_out,avg_complete_ms,p99_complete_ms,throughput\n",
+    );
+    for s in snapshots {
+        let t = &s.topology;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            s.interval,
+            s.time_s,
+            t.spout_emitted,
+            t.acked,
+            t.failed,
+            t.timed_out,
+            t.avg_complete_latency_ms,
+            t.p99_complete_latency_ms,
+            t.throughput
+        );
+    }
+    out
+}
+
+/// Flattens the per-worker series to CSV
+/// (`interval,worker,machine,cpu_cores,memory_mb,executed,avg_latency_us`).
+pub fn workers_csv(snapshots: &[MetricsSnapshot]) -> String {
+    let mut out =
+        String::from("interval,worker,machine,cpu_cores,memory_mb,executed,avg_latency_us\n");
+    for s in snapshots {
+        for w in &s.workers {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                s.interval,
+                w.worker.0,
+                w.machine.0,
+                w.cpu_cores_used,
+                w.memory_mb,
+                w.executed,
+                w.avg_execute_latency_us
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MachineStats, TopologyStats, WorkerStats};
+    use crate::scheduler::{MachineId, WorkerId};
+
+    fn snap(i: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            interval: i,
+            time_s: i as f64,
+            interval_s: 1.0,
+            tasks: vec![],
+            workers: vec![WorkerStats {
+                worker: WorkerId(0),
+                machine: MachineId(0),
+                cpu_cores_used: 0.5,
+                memory_mb: 100.0,
+                executed: 10 * i,
+                tuples_in: 0,
+                tuples_out: 0,
+                avg_execute_latency_us: 100.0 + i as f64,
+                num_tasks: 1,
+            }],
+            machines: vec![MachineStats {
+                machine: MachineId(0),
+                cpu_cores_used: 0.5,
+                external_load_cores: 0.0,
+                cores: 4,
+                num_workers: 1,
+            }],
+            topology: TopologyStats {
+                spout_emitted: i,
+                acked: i,
+                failed: 0,
+                timed_out: 0,
+                avg_complete_latency_ms: 1.0,
+                p99_complete_latency_ms: 2.0,
+                throughput: i as f64,
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let snaps: Vec<MetricsSnapshot> = (0..5).map(snap).collect();
+        let jsonl = to_jsonl(&snaps);
+        assert_eq!(jsonl.lines().count(), 5);
+        let back = from_jsonl(&jsonl).unwrap();
+        assert_eq!(snaps, back);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let snaps: Vec<MetricsSnapshot> = (0..2).map(snap).collect();
+        let jsonl = format!("\n{}\n\n", to_jsonl(&snaps));
+        assert_eq!(from_jsonl(&jsonl).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn topology_csv_has_row_per_interval() {
+        let snaps: Vec<MetricsSnapshot> = (0..3).map(snap).collect();
+        let csv = topology_csv(&snaps);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("interval,"));
+        assert!(lines[2].starts_with("1,"));
+    }
+
+    #[test]
+    fn workers_csv_flattens_per_worker_rows() {
+        let snaps: Vec<MetricsSnapshot> = (0..2).map(snap).collect();
+        let csv = workers_csv(&snaps);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("0,0,0,0.5,100,0,100"));
+    }
+
+    #[test]
+    fn write_jsonl_to_disk() {
+        let dir = std::env::temp_dir().join("dsdps-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let snaps: Vec<MetricsSnapshot> = (0..4).map(snap).collect();
+        write_jsonl(&path, &snaps).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(from_jsonl(&data).unwrap().len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+}

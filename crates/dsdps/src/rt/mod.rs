@@ -1,0 +1,808 @@
+//! Threaded runtime: executes a topology on real OS threads.
+//!
+//! Every task runs on its own thread; tuples move through bounded crossbeam
+//! channels (bounded capacity = natural backpressure).  The runtime exposes
+//! the same observation surface as the simulator — periodic multilevel
+//! [`MetricsSnapshot`]s — and the same actuation surface (the topology's
+//! dynamic-grouping handles keep working because routers share the same
+//! [`DynamicGroupingHandle`](crate::grouping::dynamic::DynamicGroupingHandle)s).
+//!
+//! The simulator is the substrate for the paper's experiments (deterministic
+//! virtual time); this runtime exists so the same application code can run
+//! for real, and is exercised by the examples and integration tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::acker::{Acker, Completion, RootId};
+use crate::component::{BoltOutput, Emission, MessageId, SpoutOutput, TopologyContext};
+use crate::config::EngineConfig;
+use crate::error::Result;
+use crate::grouping::{make_grouping, Grouping, GroupingSpec};
+use crate::metrics::{
+    LatencyHistogram, MachineStats, MetricsHistory, MetricsSnapshot, OnlineStats, TaskStats,
+    TopologyStats, WorkerStats,
+};
+use crate::scheduler::{even_placement, MachineId, Placement, WorkerId};
+use crate::stream::StreamId;
+use crate::topology::{ComponentKind, TaskId, Topology};
+use crate::tuple::{Fields, Tuple};
+
+/// A tuple instance delivered to a task, with its acker anchor.
+struct Delivered {
+    tuple: Tuple,
+    anchor: Option<(RootId, u64)>,
+}
+
+/// Message to a spout thread about one of its tuple trees.
+enum AckMsg {
+    Ack(MessageId),
+    Fail(MessageId),
+}
+
+/// Cumulative per-task counters (written by the task thread, read by the
+/// metrics thread).
+#[derive(Default)]
+struct TaskAtomics {
+    executed: AtomicU64,
+    emitted: AtomicU64,
+    failed: AtomicU64,
+    busy_nanos: AtomicU64,
+    queue_len: AtomicUsize,
+}
+
+/// Shared state between task threads and the metrics thread.
+struct Shared {
+    acker: Mutex<Acker>,
+    stop: AtomicBool,
+    task_stats: Vec<TaskAtomics>,
+    /// In-flight tracked trees per spout task (indexed by global task id).
+    pending: Vec<AtomicUsize>,
+    acked_total: AtomicU64,
+    failed_total: AtomicU64,
+    timed_out_total: AtomicU64,
+    spout_emitted_total: AtomicU64,
+    complete_us: Mutex<(OnlineStats, LatencyHistogram)>,
+    start: Instant,
+    next_root: AtomicU64,
+}
+
+impl Shared {
+    fn now_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// One outbound route owned by a task thread.
+struct OutRoute {
+    stream: StreamId,
+    fields: Fields,
+    subscriber_base: usize,
+    grouping: Box<dyn Grouping>,
+    is_direct: bool,
+}
+
+/// Routes emissions from one task to downstream task channels.
+struct Router {
+    routes: Vec<OutRoute>,
+    senders: Vec<Sender<Delivered>>,
+    shared: Arc<Shared>,
+    select_buf: Vec<usize>,
+    task: usize,
+}
+
+impl Router {
+    /// Routes one emission; returns delivered-instance count.
+    fn route(&mut self, emission: &Emission, root: Option<RootId>) -> usize {
+        let mut delivered = 0;
+        for r in 0..self.routes.len() {
+            {
+                let route = &self.routes[r];
+                if route.stream != emission.stream {
+                    continue;
+                }
+                match (emission.direct_task, route.is_direct) {
+                    (Some(_), false) | (None, true) => continue,
+                    _ => {}
+                }
+            }
+            self.select_buf.clear();
+            match emission.direct_task {
+                Some(idx) => self.select_buf.push(idx),
+                None => {
+                    let mut buf = std::mem::take(&mut self.select_buf);
+                    self.routes[r].grouping.select(&emission.tuple, &mut buf);
+                    self.select_buf = buf;
+                }
+            }
+            for i in 0..self.select_buf.len() {
+                let local = self.select_buf[i];
+                let route = &self.routes[r];
+                let dest = route.subscriber_base + local;
+                let tuple = emission.tuple.rekeyed(route.fields.clone());
+                let anchor = root.map(|root| {
+                    let mut acker = self.shared.acker.lock();
+                    let edge = acker.new_edge_id();
+                    acker.on_emit(root, edge);
+                    (root, edge)
+                });
+                // Blocking send = backpressure.  Bail out on shutdown.
+                let mut msg = Delivered { tuple, anchor };
+                loop {
+                    match self.senders[dest].send_timeout(msg, Duration::from_millis(50)) {
+                        Ok(()) => {
+                            delivered += 1;
+                            break;
+                        }
+                        Err(crossbeam::channel::SendTimeoutError::Timeout(back)) => {
+                            if self.shared.stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            msg = back;
+                        }
+                        Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => break,
+                    }
+                }
+            }
+        }
+        if delivered > 0 {
+            self.shared.task_stats[self.task]
+                .emitted
+                .fetch_add(delivered as u64, Ordering::Relaxed);
+        }
+        delivered
+    }
+}
+
+/// Drains completed trees (timeouts are handled by the metrics thread).
+fn drain_acker_outcomes(shared: &Shared, ack_senders: &[Option<Sender<AckMsg>>]) {
+    let outcomes = shared.acker.lock().drain_outcomes();
+    deliver_outcomes(shared, ack_senders, outcomes);
+}
+
+fn deliver_outcomes(
+    shared: &Shared,
+    ack_senders: &[Option<Sender<AckMsg>>],
+    outcomes: Vec<crate::acker::TreeOutcome>,
+) {
+    for o in outcomes {
+        let spout = o.spout_task.0;
+        shared.pending[spout].fetch_sub(1, Ordering::Relaxed);
+        let latency_us = o.complete_latency() * 1e6;
+        match o.completion {
+            Completion::Acked => {
+                shared.acked_total.fetch_add(1, Ordering::Relaxed);
+                let mut lat = shared.complete_us.lock();
+                lat.0.update(latency_us);
+                lat.1.record(latency_us);
+                if let Some(tx) = &ack_senders[spout] {
+                    let _ = tx.send(AckMsg::Ack(o.message_id));
+                }
+            }
+            Completion::Failed => {
+                shared.failed_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(tx) = &ack_senders[spout] {
+                    let _ = tx.send(AckMsg::Fail(o.message_id));
+                }
+            }
+            Completion::TimedOut => {
+                shared.timed_out_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(tx) = &ack_senders[spout] {
+                    let _ = tx.send(AckMsg::Fail(o.message_id));
+                }
+            }
+        }
+    }
+}
+
+/// A topology running on threads.  Dropping without calling
+/// [`shutdown`](Self::shutdown) also stops it.
+pub struct RunningTopology {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<MetricsHistory>>,
+    config: EngineConfig,
+}
+
+impl RunningTopology {
+    /// Seconds since the topology started.
+    pub fn uptime_s(&self) -> f64 {
+        self.shared.now_s()
+    }
+
+    /// Total tuple trees acked so far.
+    pub fn acked(&self) -> u64 {
+        self.shared.acked_total.load(Ordering::Relaxed)
+    }
+
+    /// Total spout tuples emitted so far.
+    pub fn spout_emitted(&self) -> u64 {
+        self.shared.spout_emitted_total.load(Ordering::Relaxed)
+    }
+
+    /// Stops all threads and returns the collected metrics history plus a
+    /// final summary.
+    pub fn shutdown(mut self) -> (MetricsHistory, ThreadedReport) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let history = self
+            .metrics_thread
+            .take()
+            .map(|t| t.join().unwrap_or_default())
+            .unwrap_or_default();
+        let lat = self.shared.complete_us.lock();
+        let report = ThreadedReport {
+            uptime_s: self.shared.now_s(),
+            spout_emitted: self.shared.spout_emitted_total.load(Ordering::Relaxed),
+            acked: self.shared.acked_total.load(Ordering::Relaxed),
+            failed: self.shared.failed_total.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out_total.load(Ordering::Relaxed),
+            avg_complete_latency_ms: lat.0.mean() / 1000.0,
+            p99_complete_latency_ms: lat.1.quantile(0.99).unwrap_or(0.0) / 1000.0,
+        };
+        drop(lat);
+        (history, report)
+    }
+
+    /// Convenience: run for `duration` then shut down.
+    pub fn run_for(self, duration: Duration) -> (MetricsHistory, ThreadedReport) {
+        std::thread::sleep(duration);
+        self.shutdown()
+    }
+}
+
+impl Drop for RunningTopology {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
+        let _ = &self.config;
+    }
+}
+
+/// Final summary of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// Wall-clock runtime in seconds.
+    pub uptime_s: f64,
+    /// Spout tuples emitted.
+    pub spout_emitted: u64,
+    /// Tuple trees acked.
+    pub acked: u64,
+    /// Tuple trees failed.
+    pub failed: u64,
+    /// Tuple trees timed out.
+    pub timed_out: u64,
+    /// Mean complete latency, ms.
+    pub avg_complete_latency_ms: f64,
+    /// p99 complete latency, ms.
+    pub p99_complete_latency_ms: f64,
+}
+
+/// Starts `topology` on OS threads.  Returns a handle to observe and stop it.
+pub fn submit(topology: Topology, config: EngineConfig) -> Result<RunningTopology> {
+    submit_with_hook(topology, config, None)
+}
+
+/// [`submit`] with a control hook invoked on every metrics snapshot.
+pub fn submit_with_hook(
+    topology: Topology,
+    config: EngineConfig,
+    mut hook: Option<Box<dyn FnMut(&MetricsSnapshot) + Send>>,
+) -> Result<RunningTopology> {
+    config.validate()?;
+    let placement: Placement = even_placement(&topology, &config)?;
+    let n_tasks = topology.task_count();
+
+    let shared = Arc::new(Shared {
+        acker: Mutex::new(Acker::new()),
+        stop: AtomicBool::new(false),
+        task_stats: (0..n_tasks).map(|_| TaskAtomics::default()).collect(),
+        pending: (0..n_tasks).map(|_| AtomicUsize::new(0)).collect(),
+        acked_total: AtomicU64::new(0),
+        failed_total: AtomicU64::new(0),
+        timed_out_total: AtomicU64::new(0),
+        spout_emitted_total: AtomicU64::new(0),
+        complete_us: Mutex::new((OnlineStats::new(), LatencyHistogram::new())),
+        start: Instant::now(),
+        next_root: AtomicU64::new(0),
+    });
+
+    // Channels: tuple input per task, ack feedback per spout task.
+    let mut senders = Vec::with_capacity(n_tasks);
+    let mut receivers = Vec::with_capacity(n_tasks);
+    for _ in 0..n_tasks {
+        let (tx, rx) = bounded::<Delivered>(config.queue_capacity);
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let mut ack_senders: Vec<Option<Sender<AckMsg>>> = vec![None; n_tasks];
+    let mut ack_receivers: Vec<Option<Receiver<AckMsg>>> = (0..n_tasks).map(|_| None).collect();
+    for component in topology.components() {
+        if component.is_spout() {
+            for task in component.tasks() {
+                let (tx, rx) = unbounded();
+                ack_senders[task.0] = Some(tx);
+                ack_receivers[task.0] = Some(rx);
+            }
+        }
+    }
+    let ack_senders = Arc::new(ack_senders);
+
+    let mut threads = Vec::new();
+    let task_names: Vec<(String, WorkerId)> = {
+        let mut v = Vec::with_capacity(n_tasks);
+        for component in topology.components() {
+            for task in component.tasks() {
+                v.push((component.name.clone(), placement.worker_of(task)));
+            }
+        }
+        v
+    };
+
+    for component in topology.components() {
+        for (task_index, task) in component.tasks().enumerate() {
+            let tid = task.0;
+            let ctx = TopologyContext {
+                component: component.name.clone(),
+                task_index,
+                parallelism: component.parallelism,
+            };
+            // Per-task router.
+            let mut routes = Vec::new();
+            for decl in &component.outputs {
+                for (sub, spec) in topology.subscribers_of(component.id, &decl.id) {
+                    let handle = match spec {
+                        GroupingSpec::Dynamic(_) => {
+                            topology.dynamic_handle(&component.name, &decl.id, &sub.name)
+                        }
+                        _ => None,
+                    };
+                    routes.push(OutRoute {
+                        stream: decl.id.clone(),
+                        fields: decl.fields.clone(),
+                        subscriber_base: sub.base_task.0,
+                        grouping: make_grouping(spec, sub.parallelism, &decl.fields, task_index, handle),
+                        is_direct: matches!(spec, GroupingSpec::Direct),
+                    });
+                }
+            }
+            let mut router = Router {
+                routes,
+                senders: senders.clone(),
+                shared: shared.clone(),
+                select_buf: Vec::new(),
+                task: tid,
+            };
+            let shared = shared.clone();
+            let ack_senders = ack_senders.clone();
+            let cfg = config.clone();
+
+            match &component.kind {
+                ComponentKind::Spout(factory) => {
+                    let mut spout = factory();
+                    let ack_rx = ack_receivers[tid].take().expect("spout ack channel");
+                    threads.push(std::thread::spawn(move || {
+                        spout.open(&ctx);
+                        let mut out = SpoutOutput::new();
+                        while !shared.stop.load(Ordering::Relaxed) {
+                            // Deliver ack/fail feedback first.
+                            while let Ok(msg) = ack_rx.try_recv() {
+                                match msg {
+                                    AckMsg::Ack(id) => spout.ack(id),
+                                    AckMsg::Fail(id) => spout.fail(id),
+                                }
+                            }
+                            if cfg.ack_enabled
+                                && shared.pending[tid].load(Ordering::Relaxed)
+                                    >= cfg.max_spout_pending
+                            {
+                                std::thread::sleep(Duration::from_micros(200));
+                                continue;
+                            }
+                            out.set_now(shared.now_s());
+                            let t0 = Instant::now();
+                            let keep = spout.next_tuple(&mut out);
+                            let emissions = out.drain();
+                            if emissions.is_empty() {
+                                if !keep {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_micros(500));
+                                continue;
+                            }
+                            let n = emissions.len() as u64;
+                            for emission in emissions {
+                                let root = match emission.message_id {
+                                    Some(message_id) if cfg.ack_enabled => {
+                                        let root =
+                                            shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
+                                        shared.acker.lock().track(
+                                            root,
+                                            0,
+                                            TaskId(tid),
+                                            message_id,
+                                            shared.now_s(),
+                                        );
+                                        shared.pending[tid].fetch_add(1, Ordering::Relaxed);
+                                        Some(root)
+                                    }
+                                    _ => None,
+                                };
+                                let delivered = router.route(&emission, root);
+                                if delivered == 0 {
+                                    if let Some(root) = root {
+                                        shared.acker.lock().on_ack(root, 0, shared.now_s());
+                                    }
+                                }
+                            }
+                            shared.spout_emitted_total.fetch_add(n, Ordering::Relaxed);
+                            let s = &shared.task_stats[tid];
+                            s.executed.fetch_add(n, Ordering::Relaxed);
+                            s.busy_nanos
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            drain_acker_outcomes(&shared, &ack_senders);
+                            if !keep {
+                                break;
+                            }
+                        }
+                        spout.close();
+                    }));
+                }
+                ComponentKind::Bolt(factory) => {
+                    let mut bolt = factory();
+                    let rx = receivers[tid].take().expect("bolt input channel");
+                    let tick = if cfg.tick_interval_s > 0.0 {
+                        Duration::from_secs_f64(cfg.tick_interval_s)
+                    } else {
+                        Duration::from_millis(100)
+                    };
+                    let ticks_enabled = cfg.tick_interval_s > 0.0;
+                    threads.push(std::thread::spawn(move || {
+                        bolt.prepare(&ctx);
+                        let mut out = BoltOutput::new();
+                        let mut last_tick = Instant::now();
+                        loop {
+                            match rx.recv_timeout(Duration::from_millis(20)) {
+                                Ok(delivered) => {
+                                    shared.task_stats[tid]
+                                        .queue_len
+                                        .store(rx.len(), Ordering::Relaxed);
+                                    out.set_now(shared.now_s());
+                                    let t0 = Instant::now();
+                                    bolt.execute(&delivered.tuple, &mut out);
+                                    let busy = t0.elapsed().as_nanos() as u64;
+                                    let (emissions, failed) = out.drain();
+                                    let root = delivered.anchor.map(|(r, _)| r);
+                                    for emission in &emissions {
+                                        let anchor = if emission.anchored { root } else { None };
+                                        router.route(emission, anchor);
+                                    }
+                                    if let Some((root, edge)) = delivered.anchor {
+                                        let mut acker = shared.acker.lock();
+                                        if failed {
+                                            acker.on_fail(root, shared.now_s());
+                                        } else {
+                                            acker.on_ack(root, edge, shared.now_s());
+                                        }
+                                        let outcomes = acker.drain_outcomes();
+                                        drop(acker);
+                                        deliver_outcomes(&shared, &ack_senders, outcomes);
+                                    }
+                                    let s = &shared.task_stats[tid];
+                                    s.executed.fetch_add(1, Ordering::Relaxed);
+                                    s.busy_nanos.fetch_add(busy, Ordering::Relaxed);
+                                    if failed {
+                                        s.failed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(RecvTimeoutError::Timeout) => {
+                                    if shared.stop.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                }
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                            if ticks_enabled && last_tick.elapsed() >= tick {
+                                last_tick = Instant::now();
+                                out.set_now(shared.now_s());
+                                bolt.tick(&mut out);
+                                let (emissions, _) = out.drain();
+                                for emission in &emissions {
+                                    router.route(emission, None);
+                                }
+                            }
+                        }
+                        bolt.cleanup();
+                    }));
+                }
+            }
+        }
+    }
+    drop(senders);
+
+    // Metrics/timeout thread.
+    let metrics_thread = {
+        let shared = shared.clone();
+        let cfg = config.clone();
+        let ack_senders = ack_senders.clone();
+        let placement = placement.clone();
+        Some(std::thread::spawn(move || {
+            let mut history = MetricsHistory::new(0);
+            let mut prev: Vec<(u64, u64, u64, u64)> =
+                vec![(0, 0, 0, 0); shared.task_stats.len()];
+            let mut prev_totals = (0u64, 0u64, 0u64, 0u64);
+            let mut interval: u64 = 0;
+            let tick = Duration::from_secs_f64(cfg.metrics_interval_s);
+            while !shared.stop.load(Ordering::Relaxed) {
+                std::thread::sleep(tick.min(Duration::from_millis(50)));
+                if shared.now_s() < (interval + 1) as f64 * cfg.metrics_interval_s {
+                    continue;
+                }
+                // Message timeouts.
+                if cfg.ack_enabled {
+                    let outcomes = {
+                        let mut acker = shared.acker.lock();
+                        acker.expire(shared.now_s(), cfg.message_timeout_s);
+                        acker.drain_outcomes()
+                    };
+                    deliver_outcomes(&shared, &ack_senders, outcomes);
+                }
+
+                let interval_s = cfg.metrics_interval_s;
+                let tasks: Vec<TaskStats> = shared
+                    .task_stats
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let executed = s.executed.load(Ordering::Relaxed);
+                        let emitted = s.emitted.load(Ordering::Relaxed);
+                        let failed = s.failed.load(Ordering::Relaxed);
+                        let busy = s.busy_nanos.load(Ordering::Relaxed);
+                        let (pe, pm, pf, pb) = prev[i];
+                        prev[i] = (executed, emitted, failed, busy);
+                        let d_exec = executed - pe;
+                        let d_busy = busy - pb;
+                        TaskStats {
+                            task: TaskId(i),
+                            component: task_names[i].0.clone(),
+                            worker: task_names[i].1,
+                            executed: d_exec,
+                            emitted: emitted - pm,
+                            acked: d_exec - (failed - pf),
+                            failed: failed - pf,
+                            avg_execute_latency_us: if d_exec > 0 {
+                                d_busy as f64 / 1000.0 / d_exec as f64
+                            } else {
+                                0.0
+                            },
+                            queue_len: s.queue_len.load(Ordering::Relaxed),
+                            capacity: d_busy as f64 / 1e9 / interval_s,
+                        }
+                    })
+                    .collect();
+
+                let workers: Vec<WorkerStats> = (0..placement.num_workers())
+                    .map(|w| {
+                        let wid = WorkerId(w);
+                        let mine: Vec<&TaskStats> =
+                            tasks.iter().filter(|t| t.worker == wid).collect();
+                        let executed: u64 = mine.iter().map(|t| t.executed).sum();
+                        let lat = if executed > 0 {
+                            mine.iter()
+                                .map(|t| t.avg_execute_latency_us * t.executed as f64)
+                                .sum::<f64>()
+                                / executed as f64
+                        } else {
+                            0.0
+                        };
+                        WorkerStats {
+                            worker: wid,
+                            machine: placement.machine_of(wid),
+                            cpu_cores_used: mine.iter().map(|t| t.capacity).sum(),
+                            memory_mb: 100.0
+                                + mine.iter().map(|t| t.queue_len as f64 * 0.004).sum::<f64>(),
+                            executed,
+                            tuples_in: 0,
+                            tuples_out: 0,
+                            avg_execute_latency_us: lat,
+                            num_tasks: mine.len(),
+                        }
+                    })
+                    .collect();
+
+                let machines: Vec<MachineStats> = (0..cfg.num_machines)
+                    .map(|m| {
+                        let mid = MachineId(m);
+                        let used: f64 = workers
+                            .iter()
+                            .filter(|w| w.machine == mid)
+                            .map(|w| w.cpu_cores_used)
+                            .sum();
+                        MachineStats {
+                            machine: mid,
+                            cpu_cores_used: used,
+                            external_load_cores: 0.0,
+                            cores: cfg.machine_cores,
+                            num_workers: placement.workers_of_machine(mid).len(),
+                        }
+                    })
+                    .collect();
+
+                let acked = shared.acked_total.load(Ordering::Relaxed);
+                let failed = shared.failed_total.load(Ordering::Relaxed);
+                let timed_out = shared.timed_out_total.load(Ordering::Relaxed);
+                let emitted = shared.spout_emitted_total.load(Ordering::Relaxed);
+                let (pa, pf2, pt, pe2) = prev_totals;
+                prev_totals = (acked, failed, timed_out, emitted);
+                let lat = shared.complete_us.lock();
+                let topo_stats = TopologyStats {
+                    spout_emitted: emitted - pe2,
+                    acked: acked - pa,
+                    failed: failed - pf2,
+                    timed_out: timed_out - pt,
+                    avg_complete_latency_ms: lat.0.mean() / 1000.0,
+                    p99_complete_latency_ms: lat.1.quantile(0.99).unwrap_or(0.0) / 1000.0,
+                    throughput: (acked - pa) as f64 / interval_s,
+                };
+                drop(lat);
+
+                let snapshot = MetricsSnapshot {
+                    interval,
+                    time_s: shared.now_s(),
+                    interval_s,
+                    tasks,
+                    workers,
+                    machines,
+                    topology: topo_stats,
+                };
+                if let Some(hook) = hook.as_mut() {
+                    hook(&snapshot);
+                }
+                history.push(snapshot);
+                interval += 1;
+            }
+            history
+        }))
+    };
+
+    Ok(RunningTopology {
+        shared,
+        threads,
+        metrics_thread,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Bolt, Spout};
+    use crate::topology::TopologyBuilder;
+    use crate::tuple::Value;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    struct FiniteSpout {
+        left: u64,
+        next_id: u64,
+    }
+
+    impl Spout for FiniteSpout {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            if self.left == 0 {
+                return false;
+            }
+            self.left -= 1;
+            self.next_id += 1;
+            out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+            true
+        }
+    }
+
+    struct Accumulator {
+        sum: Arc<StdAtomicU64>,
+    }
+
+    impl Bolt for Accumulator {
+        fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+            let v = t.get(0).unwrap().as_i64().unwrap() as u64;
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn threaded_runtime_processes_all_tuples() {
+        let sum = Arc::new(StdAtomicU64::new(0));
+        let s2 = sum.clone();
+        let n: u64 = 2000;
+        let mut b = TopologyBuilder::new("threaded");
+        b.set_spout("s", 1, move || FiniteSpout { left: n, next_id: 0 })
+            .unwrap();
+        b.set_bolt("acc", 4, move || Accumulator { sum: s2.clone() })
+            .unwrap()
+            .shuffle_grouping("s")
+            .unwrap();
+        let topo = b.build().unwrap();
+        let mut cfg = EngineConfig::default().with_cluster(2, 2, 4);
+        cfg.metrics_interval_s = 0.2;
+        let running = submit(topo, cfg).unwrap();
+        // Wait for completion.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while running.acked() < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Let at least one metrics interval elapse before shutting down.
+        std::thread::sleep(Duration::from_millis(300));
+        let (history, report) = running.shutdown();
+        assert_eq!(report.acked, n, "all tuple trees acked");
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        assert_eq!(report.failed, 0);
+        assert!(report.avg_complete_latency_ms >= 0.0);
+        assert!(!history.is_empty(), "metrics snapshots collected");
+    }
+
+    #[test]
+    fn threaded_dynamic_reroute() {
+        // Each task learns its index in `prepare` and counts its tuples.
+        struct PerTask2 {
+            hits: Arc<Vec<StdAtomicU64>>,
+            my_index: usize,
+        }
+        impl Bolt for PerTask2 {
+            fn prepare(&mut self, ctx: &TopologyContext) {
+                self.my_index = ctx.task_index;
+            }
+            fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {
+                self.hits[self.my_index].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let hits: Arc<Vec<StdAtomicU64>> =
+            Arc::new((0..3).map(|_| StdAtomicU64::new(0)).collect());
+        let h2 = hits.clone();
+        let mut b = TopologyBuilder::new("dyn-threaded");
+        b.set_spout("s", 1, || FiniteSpout {
+            left: 6000,
+            next_id: 0,
+        })
+        .unwrap();
+        b.set_bolt("sink", 3, move || PerTask2 {
+            hits: h2.clone(),
+            my_index: 0,
+        })
+        .unwrap()
+        .dynamic_grouping("s")
+        .unwrap();
+        let topo = b.build().unwrap();
+        let handle = topo
+            .dynamic_handle("s", &StreamId::default(), "sink")
+            .unwrap();
+        // Immediately bypass task 1 before starting.
+        handle
+            .set_ratio(crate::grouping::dynamic::SplitRatio::new(vec![1.0, 0.0, 1.0]).unwrap())
+            .unwrap();
+        let running = submit(topo, EngineConfig::default().with_cluster(1, 2, 4)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while running.acked() < 6000 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let (_, report) = running.shutdown();
+        assert_eq!(report.acked, 6000);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 0, "bypassed task got tuples");
+        assert_eq!(
+            hits[0].load(Ordering::Relaxed) + hits[2].load(Ordering::Relaxed),
+            6000
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Task placement: tasks → worker processes → machines.
+//!
+//! Reproduces Storm's even scheduler: executors (one task per executor
+//! here) are dealt round-robin over the worker slots, and worker slots are
+//! dealt round-robin over machines, so every machine ends up with a mix of
+//! components — the co-location that creates the interference the paper's
+//! DRNN must predict.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::EngineConfig;
+use crate::error::{Error, Result};
+use crate::topology::{TaskId, Topology};
+
+/// Identifier of a worker process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+/// Identifier of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineId(pub usize);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A computed assignment of every task to a worker and every worker to a
+/// machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    task_worker: Vec<WorkerId>,
+    worker_machine: Vec<MachineId>,
+}
+
+impl Placement {
+    /// Worker running `task`.
+    pub fn worker_of(&self, task: TaskId) -> WorkerId {
+        self.task_worker[task.0]
+    }
+
+    /// Machine hosting `worker`.
+    pub fn machine_of(&self, worker: WorkerId) -> MachineId {
+        self.worker_machine[worker.0]
+    }
+
+    /// Machine hosting `task`.
+    pub fn machine_of_task(&self, task: TaskId) -> MachineId {
+        self.machine_of(self.worker_of(task))
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.worker_machine.len()
+    }
+
+    /// Number of tasks placed.
+    pub fn num_tasks(&self) -> usize {
+        self.task_worker.len()
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.worker_machine
+            .iter()
+            .map(|m| m.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Tasks assigned to `worker`.
+    pub fn tasks_of_worker(&self, worker: WorkerId) -> Vec<TaskId> {
+        self.task_worker
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w == worker)
+            .map(|(t, _)| TaskId(t))
+            .collect()
+    }
+
+    /// Workers hosted on `machine`.
+    pub fn workers_of_machine(&self, machine: MachineId) -> Vec<WorkerId> {
+        self.worker_machine
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| **m == machine)
+            .map(|(w, _)| WorkerId(w))
+            .collect()
+    }
+
+    /// Builds a placement from explicit assignments (tests / custom
+    /// schedulers).  `task_worker[t]` is the worker of task `t`;
+    /// `worker_machine[w]` the machine of worker `w`.
+    pub fn from_assignments(task_worker: Vec<WorkerId>, worker_machine: Vec<MachineId>) -> Result<Self> {
+        for w in &task_worker {
+            if w.0 >= worker_machine.len() {
+                return Err(Error::Scheduling(format!(
+                    "task assigned to unknown worker {w}"
+                )));
+            }
+        }
+        Ok(Placement {
+            task_worker,
+            worker_machine,
+        })
+    }
+}
+
+/// Storm-style even (round-robin) scheduler.
+pub fn even_placement(topology: &Topology, config: &EngineConfig) -> Result<Placement> {
+    config.validate()?;
+    let num_workers = config.num_workers();
+    if topology.task_count() == 0 {
+        return Err(Error::Scheduling("topology has no tasks".into()));
+    }
+
+    // Workers dealt round-robin over machines: worker w on machine w % M.
+    let worker_machine: Vec<MachineId> = (0..num_workers)
+        .map(|w| MachineId(w % config.num_machines))
+        .collect();
+
+    // Tasks dealt round-robin over workers, component by component, so each
+    // component's tasks spread across workers (and thus machines).
+    let mut task_worker = vec![WorkerId(0); topology.task_count()];
+    let mut next_worker = 0usize;
+    for component in topology.components() {
+        for task in component.tasks() {
+            task_worker[task.0] = WorkerId(next_worker % num_workers);
+            next_worker += 1;
+        }
+    }
+
+    Placement::from_assignments(task_worker, worker_machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+    use crate::topology::TopologyBuilder;
+    use crate::tuple::Tuple;
+
+    struct S;
+    impl Spout for S {
+        fn next_tuple(&mut self, _out: &mut SpoutOutput) -> bool {
+            false
+        }
+    }
+    struct B;
+    impl Bolt for B {
+        fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {}
+    }
+
+    fn topo(spouts: usize, bolts: usize) -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("s", spouts, || S).unwrap();
+        b.set_bolt("b", bolts, || B)
+            .unwrap()
+            .shuffle_grouping("s")
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn even_spread_over_workers_and_machines() {
+        let t = topo(2, 6);
+        let cfg = EngineConfig::default().with_cluster(4, 2, 4);
+        let p = even_placement(&t, &cfg).unwrap();
+        assert_eq!(p.num_workers(), 8);
+        assert_eq!(p.num_tasks(), 8);
+        // 8 tasks over 8 workers: exactly one task per worker.
+        for w in 0..8 {
+            assert_eq!(p.tasks_of_worker(WorkerId(w)).len(), 1);
+        }
+        // 8 workers over 4 machines: two each.
+        for m in 0..4 {
+            assert_eq!(p.workers_of_machine(MachineId(m)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn component_tasks_spread_across_machines() {
+        let t = topo(1, 4);
+        let cfg = EngineConfig::default().with_cluster(4, 1, 4);
+        let p = even_placement(&t, &cfg).unwrap();
+        let machines: std::collections::HashSet<_> = (1..5)
+            .map(|task| p.machine_of_task(TaskId(task)))
+            .collect();
+        assert!(machines.len() >= 3, "bolt tasks should span machines");
+    }
+
+    #[test]
+    fn more_tasks_than_workers_wraps_round() {
+        let t = topo(2, 10);
+        let cfg = EngineConfig::default().with_cluster(2, 2, 4);
+        let p = even_placement(&t, &cfg).unwrap();
+        let per_worker: Vec<usize> = (0..4)
+            .map(|w| p.tasks_of_worker(WorkerId(w)).len())
+            .collect();
+        assert_eq!(per_worker.iter().sum::<usize>(), 12);
+        assert!(per_worker.iter().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn from_assignments_rejects_unknown_worker() {
+        let err = Placement::from_assignments(vec![WorkerId(5)], vec![MachineId(0)]);
+        assert!(matches!(err, Err(Error::Scheduling(_))));
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let p = Placement::from_assignments(
+            vec![WorkerId(0), WorkerId(1), WorkerId(0)],
+            vec![MachineId(0), MachineId(1)],
+        )
+        .unwrap();
+        assert_eq!(p.worker_of(TaskId(2)), WorkerId(0));
+        assert_eq!(p.machine_of_task(TaskId(1)), MachineId(1));
+        assert_eq!(p.tasks_of_worker(WorkerId(0)), vec![TaskId(0), TaskId(2)]);
+        assert_eq!(p.num_machines(), 2);
+    }
+}

@@ -1,0 +1,1458 @@
+//! The discrete-event simulated runtime.
+//!
+//! [`SimRuntime`] executes a [`Topology`] under a virtual clock.  Every task
+//! is a simulated executor placed on a worker process on a machine
+//! ([`crate::scheduler`]); processing one tuple takes
+//! `base_service_time × interference × worker_slowdown × (1 ± jitter)`
+//! where the interference multiplier comes from the hosting machine's
+//! current CPU pressure ([`super::machine`]).  Runs are deterministic for a
+//! given seed.
+//!
+//! The engine exposes the two surfaces the paper's control framework needs:
+//! a [`crate::metrics::MetricsSnapshot`] stream via the
+//! control hook (observation), and the topology's
+//! [`DynamicGroupingHandle`](crate::grouping::dynamic::DynamicGroupingHandle)s
+//! (actuation).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::acker::{Acker, Completion, RootId};
+use crate::component::{Bolt, BoltOutput, Emission, Spout, SpoutOutput, TopologyContext};
+use crate::config::EngineConfig;
+use crate::error::{Error, Result};
+use crate::grouping::{make_grouping, Grouping, GroupingSpec};
+use crate::metrics::{
+    LatencyHistogram, MachineStats, MetricsHistory, MetricsSnapshot, OnlineStats, TaskStats,
+    TopologyStats, WorkerStats,
+};
+use crate::scheduler::{even_placement, MachineId, Placement, WorkerId};
+use crate::stream::StreamId;
+use crate::topology::{ComponentKind, TaskId, Topology};
+use crate::tuple::{Fields, Tuple};
+
+use super::event::EventQueue;
+use super::machine::{Fault, InterferenceModel, MachineState};
+
+/// Delay before re-polling a throttled or idle spout (seconds).
+const POLL_BACKOFF_S: f64 = 0.001;
+
+/// A tuple instance in flight or queued at a task.
+#[derive(Debug, Clone)]
+struct Delivered {
+    tuple: Tuple,
+    /// `(root, edge)` when the instance belongs to a tracked tuple tree.
+    anchor: Option<(RootId, u64)>,
+}
+
+enum TaskKind {
+    Spout(Box<dyn Spout>),
+    Bolt(Box<dyn Bolt>),
+}
+
+/// One outbound edge of a producer task.
+struct OutRoute {
+    stream: StreamId,
+    fields: Fields,
+    subscriber_base: usize,
+    grouping: Box<dyn Grouping>,
+    is_direct: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TaskCounters {
+    executed: u64,
+    emitted: u64,
+    acked: u64,
+    failed: u64,
+    latency_sum_us: f64,
+    busy_s: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct WorkerCounters {
+    tuples_in: u64,
+    tuples_out: u64,
+}
+
+#[derive(Debug, Default)]
+struct TopoCounters {
+    spout_emitted: u64,
+    acked: u64,
+    failed: u64,
+    timed_out: u64,
+    complete_us: OnlineStats,
+    complete_hist_us: LatencyHistogram,
+}
+
+struct TaskRuntime {
+    component_name: String,
+    kind: TaskKind,
+    queue: VecDeque<Delivered>,
+    busy: bool,
+    /// Tuple currently in service plus its service duration (bolts).
+    in_service: Option<(Delivered, f64)>,
+    /// Spouts: true once `next_tuple` returned `false`.
+    exhausted: bool,
+    /// Spouts: tracked tuple trees in flight.
+    pending_roots: usize,
+    routes: Vec<OutRoute>,
+    base_cost_us: f64,
+    jitter: f64,
+    ctr: TaskCounters,
+}
+
+#[derive(Debug)]
+enum Event {
+    SpoutPoll { task: usize },
+    SpoutFinish { task: usize, emissions: Vec<Emission> },
+    Arrival { task: usize, delivered: Delivered, from_worker: WorkerId },
+    Finish { task: usize },
+    MetricsTick,
+    BoltTick,
+    ApplyFault { index: usize, starting: bool },
+}
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Final virtual time (seconds).
+    pub end_time_s: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Total tuples emitted by spouts.
+    pub spout_emitted: u64,
+    /// Tuple trees fully acked.
+    pub acked: u64,
+    /// Tuple trees explicitly failed.
+    pub failed: u64,
+    /// Tuple trees timed out.
+    pub timed_out: u64,
+    /// Mean complete latency over the whole run (ms).
+    pub avg_complete_latency_ms: f64,
+    /// p99 complete latency over the whole run (ms).
+    pub p99_complete_latency_ms: f64,
+    /// Mean acked throughput (trees/s).
+    pub avg_throughput: f64,
+    /// Metrics snapshots produced.
+    pub snapshots: usize,
+}
+
+/// Callback invoked at every metrics interval — the control framework's
+/// entry point.
+pub type ControlHook = Box<dyn FnMut(&MetricsSnapshot) + Send>;
+
+/// Discrete-event simulated runtime for a topology.
+pub struct SimRuntime {
+    topology: Topology,
+    config: EngineConfig,
+    placement: Placement,
+    tasks: Vec<TaskRuntime>,
+    task_worker: Vec<WorkerId>,
+    task_machine: Vec<MachineId>,
+    machines: Vec<MachineState>,
+    worker_slowdown: Vec<f64>,
+    worker_ctr: Vec<WorkerCounters>,
+    events: EventQueue<Event>,
+    now: f64,
+    acker: Acker,
+    next_root: RootId,
+    rng: StdRng,
+    backpressure: bool,
+    interval_ctr: TopoCounters,
+    total_ctr: TopoCounters,
+    history: MetricsHistory,
+    hooks: Vec<ControlHook>,
+    faults: Vec<Fault>,
+    events_processed: u64,
+    interval_index: u64,
+    spout_out: SpoutOutput,
+    bolt_out: BoltOutput,
+    select_buf: Vec<usize>,
+}
+
+impl SimRuntime {
+    /// Builds a runtime with the even scheduler.
+    pub fn new(topology: Topology, config: EngineConfig) -> Result<Self> {
+        let placement = even_placement(&topology, &config)?;
+        Self::with_placement(topology, config, placement)
+    }
+
+    /// Builds a runtime with an explicit placement.
+    pub fn with_placement(
+        topology: Topology,
+        config: EngineConfig,
+        placement: Placement,
+    ) -> Result<Self> {
+        config.validate()?;
+        if placement.num_tasks() != topology.task_count() {
+            return Err(Error::Scheduling(format!(
+                "placement covers {} tasks, topology has {}",
+                placement.num_tasks(),
+                topology.task_count()
+            )));
+        }
+
+        let interference = InterferenceModel::default();
+        let machines = (0..config.num_machines)
+            .map(|_| MachineState::new(config.machine_cores, interference))
+            .collect();
+
+        let mut tasks = Vec::with_capacity(topology.task_count());
+        let mut task_worker = Vec::with_capacity(topology.task_count());
+        let mut task_machine = Vec::with_capacity(topology.task_count());
+
+        for component in topology.components() {
+            for (task_index, task) in component.tasks().enumerate() {
+                let ctx = TopologyContext {
+                    component: component.name.clone(),
+                    task_index,
+                    parallelism: component.parallelism,
+                };
+                let kind = match &component.kind {
+                    ComponentKind::Spout(f) => {
+                        let mut s = f();
+                        s.open(&ctx);
+                        TaskKind::Spout(s)
+                    }
+                    ComponentKind::Bolt(f) => {
+                        let mut b = f();
+                        b.prepare(&ctx);
+                        TaskKind::Bolt(b)
+                    }
+                };
+
+                // One router per outbound (stream, subscriber) edge.
+                let mut routes = Vec::new();
+                for decl in &component.outputs {
+                    for (sub, spec) in topology.subscribers_of(component.id, &decl.id) {
+                        let handle = match spec {
+                            GroupingSpec::Dynamic(_) => topology.dynamic_handle(
+                                &component.name,
+                                &decl.id,
+                                &sub.name,
+                            ),
+                            _ => None,
+                        };
+                        routes.push(OutRoute {
+                            stream: decl.id.clone(),
+                            fields: decl.fields.clone(),
+                            subscriber_base: sub.base_task.0,
+                            grouping: make_grouping(
+                                spec,
+                                sub.parallelism,
+                                &decl.fields,
+                                task_index,
+                                handle,
+                            ),
+                            is_direct: matches!(spec, GroupingSpec::Direct),
+                        });
+                    }
+                }
+
+                task_worker.push(placement.worker_of(task));
+                task_machine.push(placement.machine_of_task(task));
+                tasks.push(TaskRuntime {
+                    component_name: component.name.clone(),
+                    kind,
+                    queue: VecDeque::new(),
+                    busy: false,
+                    in_service: None,
+                    exhausted: false,
+                    pending_roots: 0,
+                    routes,
+                    base_cost_us: component.cost.base_service_time_us,
+                    jitter: component.cost.jitter,
+                    ctr: TaskCounters::default(),
+                });
+            }
+        }
+
+        let num_workers = placement.num_workers();
+        let mut engine = SimRuntime {
+            rng: StdRng::seed_from_u64(config.seed),
+            worker_slowdown: vec![1.0; num_workers],
+            worker_ctr: vec![WorkerCounters::default(); num_workers],
+            machines,
+            tasks,
+            task_worker,
+            task_machine,
+            topology,
+            placement,
+            events: EventQueue::new(),
+            now: 0.0,
+            acker: Acker::new(),
+            next_root: 0,
+            backpressure: false,
+            interval_ctr: TopoCounters::default(),
+            total_ctr: TopoCounters::default(),
+            history: MetricsHistory::new(0),
+            hooks: Vec::new(),
+            faults: Vec::new(),
+            events_processed: 0,
+            interval_index: 0,
+            spout_out: SpoutOutput::new(),
+            bolt_out: BoltOutput::new(),
+            select_buf: Vec::new(),
+            config,
+        };
+
+        // Prime the event queue.
+        for i in 0..engine.tasks.len() {
+            if matches!(engine.tasks[i].kind, TaskKind::Spout(_)) {
+                engine.events.schedule(0.0, Event::SpoutPoll { task: i });
+            }
+        }
+        engine
+            .events
+            .schedule(engine.config.metrics_interval_s, Event::MetricsTick);
+        if engine.config.tick_interval_s > 0.0 {
+            engine
+                .events
+                .schedule(engine.config.tick_interval_s, Event::BoltTick);
+        }
+        Ok(engine)
+    }
+
+    /// The topology under execution (e.g. to fetch dynamic-grouping handles).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The task placement in effect.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Full metrics history collected so far.
+    pub fn history(&self) -> &MetricsHistory {
+        &self.history
+    }
+
+    /// Current virtual time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Registers a control hook called after every metrics snapshot.
+    pub fn add_control_hook(&mut self, hook: ControlHook) {
+        self.hooks.push(hook);
+    }
+
+    /// Snapshot of the cumulative complete-latency histogram (µs).  Diff two
+    /// snapshots (see [`LatencyHistogram::diff`]) to get the distribution of
+    /// a time window.
+    pub fn complete_latency_histogram(&self) -> LatencyHistogram {
+        self.total_ctr.complete_hist_us.clone()
+    }
+
+    /// Schedules a fault.  Must be called before [`run_until`](Self::run_until).
+    pub fn inject_fault(&mut self, fault: Fault) -> Result<()> {
+        if !fault.is_valid() {
+            return Err(Error::Config(format!("invalid fault window: {fault:?}")));
+        }
+        match &fault {
+            Fault::ExternalLoad { machine, .. } => {
+                if *machine >= self.machines.len() {
+                    return Err(Error::Config(format!("no machine {machine}")));
+                }
+            }
+            Fault::WorkerSlowdown { worker, factor, .. } => {
+                if *worker >= self.worker_slowdown.len() {
+                    return Err(Error::Config(format!("no worker {worker}")));
+                }
+                if *factor <= 0.0 {
+                    return Err(Error::Config("slowdown factor must be positive".into()));
+                }
+            }
+        }
+        let index = self.faults.len();
+        self.events
+            .schedule(fault.from_s(), Event::ApplyFault { index, starting: true });
+        self.events
+            .schedule(fault.until_s(), Event::ApplyFault { index, starting: false });
+        self.faults.push(fault);
+        Ok(())
+    }
+
+    /// Runs the simulation until virtual time `t_end` (seconds) and returns
+    /// a summary.  Can be called repeatedly to continue the same run.
+    pub fn run_until(&mut self, t_end: f64) -> RunReport {
+        while let Some(time) = self.events.peek_time() {
+            if time > t_end {
+                break;
+            }
+            let scheduled = self.events.pop().expect("peeked event exists");
+            self.now = scheduled.time;
+            self.events_processed += 1;
+            self.dispatch(scheduled.event);
+        }
+        self.now = self.now.max(t_end);
+        self.report()
+    }
+
+    /// Builds the run summary so far.
+    pub fn report(&self) -> RunReport {
+        let t = &self.total_ctr;
+        RunReport {
+            end_time_s: self.now,
+            events: self.events_processed,
+            spout_emitted: t.spout_emitted,
+            acked: t.acked,
+            failed: t.failed,
+            timed_out: t.timed_out,
+            avg_complete_latency_ms: t.complete_us.mean() / 1000.0,
+            p99_complete_latency_ms: t.complete_hist_us.quantile(0.99).unwrap_or(0.0) / 1000.0,
+            avg_throughput: if self.now > 0.0 {
+                t.acked as f64 / self.now
+            } else {
+                0.0
+            },
+            snapshots: self.history.len(),
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::SpoutPoll { task } => self.on_spout_poll(task),
+            Event::SpoutFinish { task, emissions } => self.on_spout_finish(task, emissions),
+            Event::Arrival {
+                task,
+                delivered,
+                from_worker,
+            } => self.on_arrival(task, delivered, from_worker),
+            Event::Finish { task } => self.on_finish(task),
+            Event::MetricsTick => self.on_metrics_tick(),
+            Event::BoltTick => self.on_bolt_tick(),
+            Event::ApplyFault { index, starting } => self.on_fault(index, starting),
+        }
+    }
+
+    /// Service time in seconds for one tuple at `task`, sampled now.
+    fn sample_service_s(&mut self, task: usize) -> f64 {
+        let machine = self.task_machine[task].0;
+        let worker = self.task_worker[task].0;
+        let t = &self.tasks[task];
+        let mult = self.machines[machine].interference_multiplier() * self.worker_slowdown[worker];
+        let jitter = if t.jitter > 0.0 {
+            1.0 + self.rng.gen_range(-t.jitter..=t.jitter)
+        } else {
+            1.0
+        };
+        (t.base_cost_us * mult * jitter).max(0.01) * 1e-6
+    }
+
+    fn machine_busy_start(&mut self, task: usize) {
+        self.machines[self.task_machine[task].0].busy_executors += 1;
+    }
+
+    fn machine_busy_end(&mut self, task: usize, duration_s: f64) {
+        let m = &mut self.machines[self.task_machine[task].0];
+        m.busy_executors = m.busy_executors.saturating_sub(1);
+        m.busy_core_seconds += duration_s;
+    }
+
+    fn on_spout_poll(&mut self, task: usize) {
+        if self.tasks[task].exhausted || self.tasks[task].busy {
+            return;
+        }
+        let throttled = (self.config.ack_enabled
+            && self.tasks[task].pending_roots >= self.config.max_spout_pending)
+            || self.check_backpressure();
+        if throttled {
+            self.events
+                .schedule(self.now + POLL_BACKOFF_S, Event::SpoutPoll { task });
+            return;
+        }
+
+        self.spout_out.set_now(self.now);
+        let keep_going = match &mut self.tasks[task].kind {
+            TaskKind::Spout(s) => s.next_tuple(&mut self.spout_out),
+            TaskKind::Bolt(_) => unreachable!("poll on bolt task"),
+        };
+        let emissions = self.spout_out.drain();
+        if !keep_going {
+            self.tasks[task].exhausted = true;
+        }
+        if emissions.is_empty() {
+            if keep_going {
+                self.events
+                    .schedule(self.now + POLL_BACKOFF_S, Event::SpoutPoll { task });
+            }
+            return;
+        }
+        let per_tuple = self.sample_service_s(task);
+        let service = per_tuple * emissions.len() as f64;
+        self.tasks[task].busy = true;
+        self.tasks[task].in_service = Some((
+            Delivered {
+                tuple: Tuple::of([]),
+                anchor: None,
+            },
+            service,
+        ));
+        self.machine_busy_start(task);
+        self.events
+            .schedule(self.now + service, Event::SpoutFinish { task, emissions });
+    }
+
+    fn on_spout_finish(&mut self, task: usize, emissions: Vec<Emission>) {
+        let service = self.tasks[task].in_service.take().map(|(_, s)| s).unwrap_or(0.0);
+        self.machine_busy_end(task, service);
+        let n = emissions.len() as u64;
+        {
+            let c = &mut self.tasks[task].ctr;
+            c.executed += n;
+            c.busy_s += service;
+            c.latency_sum_us += service * 1e6;
+        }
+        self.interval_ctr.spout_emitted += n;
+        self.total_ctr.spout_emitted += n;
+
+        for emission in emissions {
+            let root = match emission.message_id {
+                Some(message_id) if self.config.ack_enabled => {
+                    self.next_root += 1;
+                    let root = self.next_root;
+                    self.acker.track(root, 0, TaskId(task), message_id, self.now);
+                    self.tasks[task].pending_roots += 1;
+                    Some(root)
+                }
+                _ => None,
+            };
+            let delivered = self.route_one(task, &emission, root);
+            if let Some(root) = root {
+                if delivered == 0 {
+                    // Tree with no subscribers completes immediately.
+                    self.acker.on_ack(root, 0, self.now);
+                }
+            }
+        }
+        self.drain_outcomes();
+        self.tasks[task].busy = false;
+        if !self.tasks[task].exhausted {
+            self.events.schedule(self.now, Event::SpoutPoll { task });
+        }
+    }
+
+    fn on_arrival(&mut self, task: usize, delivered: Delivered, from_worker: WorkerId) {
+        if from_worker != self.task_worker[task] {
+            self.worker_ctr[self.task_worker[task].0].tuples_in += 1;
+        }
+        self.tasks[task].queue.push_back(delivered);
+        if self.tasks[task].queue.len() > self.config.queue_capacity {
+            self.backpressure = true;
+        }
+        if !self.tasks[task].busy {
+            self.start_service(task);
+        }
+    }
+
+    fn start_service(&mut self, task: usize) {
+        let Some(delivered) = self.tasks[task].queue.pop_front() else {
+            return;
+        };
+        let service = self.sample_service_s(task);
+        self.tasks[task].busy = true;
+        self.tasks[task].in_service = Some((delivered, service));
+        self.machine_busy_start(task);
+        self.events
+            .schedule(self.now + service, Event::Finish { task });
+    }
+
+    fn on_finish(&mut self, task: usize) {
+        let (delivered, service) = self.tasks[task]
+            .in_service
+            .take()
+            .expect("finish without service");
+        self.machine_busy_end(task, service);
+
+        self.bolt_out.set_now(self.now);
+        match &mut self.tasks[task].kind {
+            TaskKind::Bolt(b) => b.execute(&delivered.tuple, &mut self.bolt_out),
+            TaskKind::Spout(_) => unreachable!("finish on spout task"),
+        }
+        let (emissions, failed) = self.bolt_out.drain();
+
+        {
+            let c = &mut self.tasks[task].ctr;
+            c.executed += 1;
+            c.busy_s += service;
+            c.latency_sum_us += service * 1e6;
+            if failed {
+                c.failed += 1;
+            } else {
+                c.acked += 1;
+            }
+        }
+
+        let root = delivered.anchor.map(|(r, _)| r);
+        for emission in emissions {
+            let anchor = if emission.anchored { root } else { None };
+            self.route_one(task, &emission, anchor);
+        }
+
+        if let Some((root, edge)) = delivered.anchor {
+            if failed {
+                self.acker.on_fail(root, self.now);
+            } else {
+                self.acker.on_ack(root, edge, self.now);
+            }
+        }
+        self.drain_outcomes();
+
+        self.tasks[task].busy = false;
+        if !self.tasks[task].queue.is_empty() {
+            self.start_service(task);
+        }
+    }
+
+    /// Routes one emission from `src` to all matching subscriber tasks.
+    /// Returns the number of delivered instances.
+    fn route_one(&mut self, src: usize, emission: &Emission, root: Option<RootId>) -> usize {
+        let mut delivered = 0usize;
+        let src_worker = self.task_worker[src];
+        // Split borrows: routes belong to the source task; deliveries go
+        // through the event queue, so no other task state is touched here.
+        let n_routes = self.tasks[src].routes.len();
+        for r in 0..n_routes {
+            {
+                let route = &self.tasks[src].routes[r];
+                if route.stream != emission.stream {
+                    continue;
+                }
+                match (emission.direct_task, route.is_direct) {
+                    (Some(_), false) | (None, true) => continue,
+                    _ => {}
+                }
+            }
+            self.select_buf.clear();
+            match emission.direct_task {
+                Some(idx) => self.select_buf.push(idx),
+                None => {
+                    let mut buf = std::mem::take(&mut self.select_buf);
+                    self.tasks[src].routes[r]
+                        .grouping
+                        .select(&emission.tuple, &mut buf);
+                    self.select_buf = buf;
+                }
+            }
+            for i in 0..self.select_buf.len() {
+                let local = self.select_buf[i];
+                let route = &self.tasks[src].routes[r];
+                let dest = route.subscriber_base + local;
+                let tuple = emission.tuple.rekeyed(route.fields.clone());
+                let anchor = root.map(|root| {
+                    let edge = self.acker.new_edge_id();
+                    self.acker.on_emit(root, edge);
+                    (root, edge)
+                });
+                let dest_worker = self.task_worker[dest];
+                let transfer_us = if dest_worker == src_worker {
+                    self.config.local_transfer_us
+                } else {
+                    self.config.remote_transfer_us
+                };
+                if dest_worker != src_worker {
+                    self.worker_ctr[src_worker.0].tuples_out += 1;
+                }
+                self.events.schedule(
+                    self.now + transfer_us * 1e-6,
+                    Event::Arrival {
+                        task: dest,
+                        delivered: Delivered { tuple, anchor },
+                        from_worker: src_worker,
+                    },
+                );
+                delivered += 1;
+            }
+        }
+        if delivered > 0 {
+            self.tasks[src].ctr.emitted += delivered as u64;
+        }
+        delivered
+    }
+
+    fn drain_outcomes(&mut self) {
+        for outcome in self.acker.drain_outcomes() {
+            let spout = outcome.spout_task.0;
+            self.tasks[spout].pending_roots = self.tasks[spout].pending_roots.saturating_sub(1);
+            let latency_us = outcome.complete_latency() * 1e6;
+            match outcome.completion {
+                Completion::Acked => {
+                    self.interval_ctr.acked += 1;
+                    self.total_ctr.acked += 1;
+                    self.interval_ctr.complete_us.update(latency_us);
+                    self.interval_ctr.complete_hist_us.record(latency_us);
+                    self.total_ctr.complete_us.update(latency_us);
+                    self.total_ctr.complete_hist_us.record(latency_us);
+                    self.tasks[spout].ctr.acked += 1;
+                    if let TaskKind::Spout(s) = &mut self.tasks[spout].kind {
+                        s.ack(outcome.message_id);
+                    }
+                }
+                Completion::Failed | Completion::TimedOut => {
+                    if outcome.completion == Completion::Failed {
+                        self.interval_ctr.failed += 1;
+                        self.total_ctr.failed += 1;
+                    } else {
+                        self.interval_ctr.timed_out += 1;
+                        self.total_ctr.timed_out += 1;
+                    }
+                    self.tasks[spout].ctr.failed += 1;
+                    if let TaskKind::Spout(s) = &mut self.tasks[spout].kind {
+                        s.fail(outcome.message_id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the current backpressure state, clearing it when all queues
+    /// have drained below half capacity.
+    fn check_backpressure(&mut self) -> bool {
+        if !self.backpressure {
+            return false;
+        }
+        let high = self.config.queue_capacity / 2;
+        if self.tasks.iter().all(|t| t.queue.len() <= high) {
+            self.backpressure = false;
+        }
+        self.backpressure
+    }
+
+    fn on_bolt_tick(&mut self) {
+        for task in 0..self.tasks.len() {
+            if !matches!(self.tasks[task].kind, TaskKind::Bolt(_)) {
+                continue;
+            }
+            self.bolt_out.set_now(self.now);
+            if let TaskKind::Bolt(b) = &mut self.tasks[task].kind {
+                b.tick(&mut self.bolt_out);
+            }
+            let (emissions, _) = self.bolt_out.drain();
+            for emission in emissions {
+                // Tick output has no input tuple to anchor to.
+                self.route_one(task, &emission, None);
+            }
+        }
+        self.events.schedule(
+            self.now + self.config.tick_interval_s,
+            Event::BoltTick,
+        );
+    }
+
+    fn on_fault(&mut self, index: usize, starting: bool) {
+        match self.faults[index].clone() {
+            Fault::ExternalLoad { machine, cores, .. } => {
+                let m = &mut self.machines[machine];
+                if starting {
+                    m.external_load_cores += cores;
+                } else {
+                    m.external_load_cores = (m.external_load_cores - cores).max(0.0);
+                }
+            }
+            Fault::WorkerSlowdown { worker, factor, .. } => {
+                self.worker_slowdown[worker] = if starting { factor } else { 1.0 };
+            }
+        }
+    }
+
+    fn on_metrics_tick(&mut self) {
+        if self.config.ack_enabled {
+            self.acker.expire(self.now, self.config.message_timeout_s);
+            self.drain_outcomes();
+        }
+        let snapshot = self.build_snapshot();
+        for hook in &mut self.hooks {
+            hook(&snapshot);
+        }
+        self.history.push(snapshot);
+        self.reset_interval();
+        self.interval_index += 1;
+        self.events.schedule(
+            self.now + self.config.metrics_interval_s,
+            Event::MetricsTick,
+        );
+    }
+
+    fn build_snapshot(&self) -> MetricsSnapshot {
+        let interval_s = self.config.metrics_interval_s;
+        let tasks: Vec<TaskStats> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TaskStats {
+                task: TaskId(i),
+                component: t.component_name.clone(),
+                worker: self.task_worker[i],
+                executed: t.ctr.executed,
+                emitted: t.ctr.emitted,
+                acked: t.ctr.acked,
+                failed: t.ctr.failed,
+                avg_execute_latency_us: if t.ctr.executed > 0 {
+                    t.ctr.latency_sum_us / t.ctr.executed as f64
+                } else {
+                    0.0
+                },
+                queue_len: t.queue.len(),
+                capacity: t.ctr.busy_s / interval_s,
+            })
+            .collect();
+
+        let workers: Vec<WorkerStats> = (0..self.worker_ctr.len())
+            .map(|w| {
+                let wid = WorkerId(w);
+                let mut executed = 0u64;
+                let mut lat_sum = 0.0;
+                let mut cores = 0.0;
+                let mut mem = 100.0;
+                let mut num_tasks = 0usize;
+                for (i, t) in self.tasks.iter().enumerate() {
+                    if self.task_worker[i] != wid {
+                        continue;
+                    }
+                    num_tasks += 1;
+                    executed += t.ctr.executed;
+                    lat_sum += t.ctr.latency_sum_us;
+                    cores += t.ctr.busy_s / interval_s;
+                    mem += t.queue.len() as f64 * 0.004;
+                }
+                WorkerStats {
+                    worker: wid,
+                    machine: self.placement.machine_of(wid),
+                    cpu_cores_used: cores,
+                    memory_mb: mem,
+                    executed,
+                    tuples_in: self.worker_ctr[w].tuples_in,
+                    tuples_out: self.worker_ctr[w].tuples_out,
+                    avg_execute_latency_us: if executed > 0 {
+                        lat_sum / executed as f64
+                    } else {
+                        0.0
+                    },
+                    num_tasks,
+                }
+            })
+            .collect();
+
+        let machines: Vec<MachineStats> = self
+            .machines
+            .iter()
+            .enumerate()
+            .map(|(m, state)| MachineStats {
+                machine: MachineId(m),
+                cpu_cores_used: state.busy_core_seconds / interval_s,
+                external_load_cores: state.external_load_cores,
+                cores: state.cores,
+                num_workers: self.placement.workers_of_machine(MachineId(m)).len(),
+            })
+            .collect();
+
+        let c = &self.interval_ctr;
+        let topology = TopologyStats {
+            spout_emitted: c.spout_emitted,
+            acked: c.acked,
+            failed: c.failed,
+            timed_out: c.timed_out,
+            avg_complete_latency_ms: c.complete_us.mean() / 1000.0,
+            p99_complete_latency_ms: c.complete_hist_us.quantile(0.99).unwrap_or(0.0) / 1000.0,
+            throughput: c.acked as f64 / interval_s,
+        };
+
+        MetricsSnapshot {
+            interval: self.interval_index,
+            time_s: self.now,
+            interval_s,
+            tasks,
+            workers,
+            machines,
+            topology,
+        }
+    }
+
+    fn reset_interval(&mut self) {
+        for t in &mut self.tasks {
+            t.ctr = TaskCounters::default();
+        }
+        for w in &mut self.worker_ctr {
+            *w = WorkerCounters::default();
+        }
+        for m in &mut self.machines {
+            m.busy_core_seconds = 0.0;
+        }
+        self.interval_ctr = TopoCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{CostModel, TopologyBuilder};
+    use crate::tuple::Value;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Spout emitting `rate` tuples/s with reliability ids.
+    struct RateSpout {
+        rate: f64,
+        emitted: u64,
+        next_id: u64,
+        failed_replays: u64,
+    }
+
+    impl RateSpout {
+        fn new(rate: f64) -> Self {
+            RateSpout {
+                rate,
+                emitted: 0,
+                next_id: 0,
+                failed_replays: 0,
+            }
+        }
+    }
+
+    impl Spout for RateSpout {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            let due = (out.now_s() * self.rate) as u64;
+            if self.emitted < due {
+                self.emitted += 1;
+                self.next_id += 1;
+                out.emit_with_id(
+                    Tuple::of([Value::from(self.next_id as i64)]),
+                    self.next_id,
+                );
+            }
+            true
+        }
+
+        fn fail(&mut self, _id: u64) {
+            self.failed_replays += 1;
+        }
+    }
+
+    struct CountBolt {
+        seen: Arc<AtomicU64>,
+    }
+
+    impl Bolt for CountBolt {
+        fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {
+            self.seen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn linear_topology(rate: f64, bolt_cost_us: f64, bolt_par: usize, seen: Arc<AtomicU64>) -> Topology {
+        let mut b = TopologyBuilder::new("test");
+        b.set_spout("spout", 1, move || RateSpout::new(rate))
+            .unwrap()
+            .output_fields(Fields::new(["v"]))
+            .cost(CostModel {
+                base_service_time_us: 10.0,
+                jitter: 0.0,
+            });
+        b.set_bolt("sink", bolt_par, move || CountBolt { seen: seen.clone() })
+            .unwrap()
+            .shuffle_grouping("spout")
+            .unwrap()
+            .cost(CostModel {
+                base_service_time_us: bolt_cost_us,
+                jitter: 0.0,
+            });
+        b.build().unwrap()
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig::default().with_cluster(2, 2, 4)
+    }
+
+    #[test]
+    fn tuples_flow_and_ack() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let topo = linear_topology(1000.0, 50.0, 2, seen.clone());
+        let mut engine = SimRuntime::new(topo, small_config()).unwrap();
+        let report = engine.run_until(10.0);
+        let processed = seen.load(Ordering::Relaxed);
+        // ~1000 t/s for 10 s = ~10k tuples; allow slack for startup.
+        assert!(processed > 9_000, "processed {processed}");
+        assert!(report.acked > 9_000, "acked {}", report.acked);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.timed_out, 0);
+        assert!(report.avg_complete_latency_ms > 0.0);
+        assert!(report.spout_emitted >= report.acked);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = |seed| {
+            let seen = Arc::new(AtomicU64::new(0));
+            let topo = linear_topology(500.0, 80.0, 2, seen.clone());
+            let mut engine =
+                SimRuntime::new(topo, small_config().with_seed(seed)).unwrap();
+            let r = engine.run_until(5.0);
+            (r.acked, r.spout_emitted, r.avg_complete_latency_ms, seen.load(Ordering::Relaxed))
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+        let c = run(8);
+        // Different seed changes jitterless run only via placement/rng use;
+        // with zero jitter results may coincide, so just sanity-check totals.
+        assert!(c.0 > 0);
+    }
+
+    #[test]
+    fn metrics_snapshots_produced_each_interval() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let topo = linear_topology(200.0, 100.0, 1, seen);
+        let mut engine = SimRuntime::new(topo, small_config()).unwrap();
+        engine.run_until(5.0);
+        assert_eq!(engine.history().len(), 5);
+        let snap = engine.history().latest().unwrap();
+        assert_eq!(snap.tasks.len(), 2);
+        assert_eq!(snap.workers.len(), 4);
+        assert_eq!(snap.machines.len(), 2);
+        assert!(snap.topology.throughput > 150.0);
+        // Executing task has positive latency and capacity.
+        let sink = snap.tasks.iter().find(|t| t.component == "sink").unwrap();
+        assert!(sink.avg_execute_latency_us >= 99.0);
+        assert!(sink.capacity > 0.0 && sink.capacity <= 1.0);
+    }
+
+    #[test]
+    fn control_hook_called_per_interval() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let topo = linear_topology(100.0, 50.0, 1, seen);
+        let mut engine = SimRuntime::new(topo, small_config()).unwrap();
+        let calls = Arc::new(AtomicU64::new(0));
+        let c2 = calls.clone();
+        engine.add_control_hook(Box::new(move |_snap| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+        engine.run_until(8.0);
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_slowdown_inflates_latency() {
+        let baseline = {
+            let seen = Arc::new(AtomicU64::new(0));
+            let topo = linear_topology(500.0, 100.0, 1, seen);
+            let mut e = SimRuntime::new(topo, small_config()).unwrap();
+            e.run_until(10.0);
+            e.history().latest().unwrap().tasks[1].avg_execute_latency_us
+        };
+        let degraded = {
+            let seen = Arc::new(AtomicU64::new(0));
+            let topo = linear_topology(500.0, 100.0, 1, seen);
+            let mut e = SimRuntime::new(topo, small_config()).unwrap();
+            // Bolt is task 1; find its worker and slow it 5x.
+            let w = e.placement().worker_of(TaskId(1)).0;
+            e.inject_fault(Fault::WorkerSlowdown {
+                worker: w,
+                factor: 5.0,
+                from_s: 1.0,
+                until_s: 10.0,
+            })
+            .unwrap();
+            e.run_until(10.0);
+            e.history().latest().unwrap().tasks[1].avg_execute_latency_us
+        };
+        assert!(
+            degraded > baseline * 3.0,
+            "slowdown should inflate latency: {baseline} -> {degraded}"
+        );
+    }
+
+    #[test]
+    fn external_load_inflates_service_time() {
+        let run = |load: f64| {
+            let seen = Arc::new(AtomicU64::new(0));
+            let topo = linear_topology(500.0, 100.0, 1, seen);
+            let mut e = SimRuntime::new(topo, small_config()).unwrap();
+            let m = e.placement().machine_of_task(TaskId(1)).0;
+            if load > 0.0 {
+                e.inject_fault(Fault::ExternalLoad {
+                    machine: m,
+                    cores: load,
+                    from_s: 0.0,
+                    until_s: 10.0,
+                })
+                .unwrap();
+            }
+            e.run_until(10.0);
+            e.history().latest().unwrap().tasks[1].avg_execute_latency_us
+        };
+        let idle = run(0.0);
+        let loaded = run(8.0); // 2x oversubscription on 4 cores
+        assert!(loaded > idle * 1.5, "external load must slow tasks: {idle} -> {loaded}");
+    }
+
+    #[test]
+    fn external_load_visible_in_machine_stats() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let topo = linear_topology(100.0, 50.0, 1, seen);
+        let mut e = SimRuntime::new(topo, small_config()).unwrap();
+        e.inject_fault(Fault::ExternalLoad {
+            machine: 0,
+            cores: 3.0,
+            from_s: 2.0,
+            until_s: 4.0,
+        })
+        .unwrap();
+        e.run_until(6.0);
+        let history: Vec<_> = e.history().iter().collect();
+        assert_eq!(history[0].machines[0].external_load_cores, 0.0);
+        assert_eq!(history[2].machines[0].external_load_cores, 3.0);
+        assert_eq!(history[5].machines[0].external_load_cores, 0.0);
+    }
+
+    #[test]
+    fn overload_triggers_backpressure_not_unbounded_queues() {
+        let seen = Arc::new(AtomicU64::new(0));
+        // Offered load 10k t/s, bolt can do 1k t/s: queue must be bounded by
+        // backpressure + max_spout_pending.
+        let topo = linear_topology(10_000.0, 1000.0, 1, seen);
+        let mut cfg = small_config();
+        cfg.queue_capacity = 100;
+        cfg.max_spout_pending = 200;
+        let mut e = SimRuntime::new(topo, cfg).unwrap();
+        e.run_until(10.0);
+        let max_queue = e
+            .history()
+            .iter()
+            .flat_map(|s| s.tasks.iter().map(|t| t.queue_len))
+            .max()
+            .unwrap();
+        assert!(max_queue <= 250, "queue grew to {max_queue}");
+    }
+
+    #[test]
+    fn fields_grouping_routes_by_key_in_engine() {
+        struct KeySpout {
+            i: u64,
+        }
+        impl Spout for KeySpout {
+            fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+                self.i += 1;
+                let key = format!("k{}", self.i % 4);
+                out.emit(Tuple::of([Value::from(key.as_str())]));
+                self.i < 200
+            }
+        }
+        #[derive(Default)]
+        struct KeyCollector {
+            keys: std::collections::HashSet<String>,
+            log: Arc<parking_lot::Mutex<Vec<std::collections::HashSet<String>>>>,
+            registered: bool,
+        }
+        impl Bolt for KeyCollector {
+            fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+                self.keys
+                    .insert(t.get_by_field("url").unwrap().as_str().unwrap().to_owned());
+                if !self.registered {
+                    self.registered = true;
+                }
+                let mut log = self.log.lock();
+                log.push(self.keys.clone());
+            }
+        }
+        let log: Arc<parking_lot::Mutex<Vec<std::collections::HashSet<String>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        let mut b = TopologyBuilder::new("fields");
+        b.set_spout("s", 1, || KeySpout { i: 0 })
+            .unwrap()
+            .output_fields(Fields::new(["url"]));
+        b.set_bolt("c", 2, move || KeyCollector {
+            log: log2.clone(),
+            ..Default::default()
+        })
+        .unwrap()
+        .fields_grouping("s", &["url"])
+        .unwrap();
+        let topo = b.build().unwrap();
+        let mut e = SimRuntime::new(topo, small_config()).unwrap();
+        e.run_until(5.0);
+        // Each key must appear in exactly one task's key set.
+        let final_sets = log.lock();
+        let last_by_size: Vec<_> = final_sets.iter().rev().take(2).collect();
+        if last_by_size.len() == 2 {
+            let intersection: Vec<_> = last_by_size[0]
+                .intersection(last_by_size[1])
+                .collect();
+            assert!(
+                intersection.is_empty() || last_by_size[0] == last_by_size[1],
+                "a key reached two different tasks: {intersection:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_grouping_reroute_during_run() {
+        struct TaskCounterBolt {
+            counts: Arc<AtomicU64>,
+        }
+        impl Bolt for TaskCounterBolt {
+            fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {
+                self.counts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // 4 sink tasks; count arrivals per *component* then verify via task
+        // stats which tasks got traffic after the reroute.
+        let counts = Arc::new(AtomicU64::new(0));
+        let c = counts.clone();
+        let mut b = TopologyBuilder::new("dyn");
+        b.set_spout("s", 1, || RateSpout::new(2000.0))
+            .unwrap()
+            .output_fields(Fields::new(["v"]))
+            .cost(CostModel {
+                base_service_time_us: 5.0,
+                jitter: 0.0,
+            });
+        b.set_bolt("sink", 4, move || TaskCounterBolt { counts: c.clone() })
+            .unwrap()
+            .dynamic_grouping("s")
+            .unwrap()
+            .cost(CostModel {
+                base_service_time_us: 20.0,
+                jitter: 0.0,
+            });
+        let topo = b.build().unwrap();
+        let handle = topo
+            .dynamic_handle("s", &StreamId::default(), "sink")
+            .unwrap();
+        let mut e = SimRuntime::new(topo, small_config()).unwrap();
+        e.run_until(3.0);
+        let before: Vec<u64> = e.history().latest().unwrap().tasks[1..]
+            .iter()
+            .map(|t| t.executed)
+            .collect();
+        assert!(before.iter().all(|&n| n > 0), "uniform split feeds all: {before:?}");
+
+        // Zero-out task 2 (bypass a misbehaving worker) and keep running.
+        handle
+            .set_ratio(crate::grouping::dynamic::SplitRatio::new(vec![1.0, 1.0, 0.0, 1.0]).unwrap())
+            .unwrap();
+        e.run_until(6.0);
+        let after: Vec<u64> = e.history().latest().unwrap().tasks[1..]
+            .iter()
+            .map(|t| t.executed)
+            .collect();
+        assert_eq!(after[2], 0, "bypassed task got traffic: {after:?}");
+        assert!(after[0] > 0 && after[1] > 0 && after[3] > 0);
+    }
+
+    #[test]
+    fn rejects_invalid_faults() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let topo = linear_topology(100.0, 50.0, 1, seen);
+        let mut e = SimRuntime::new(topo, small_config()).unwrap();
+        assert!(e
+            .inject_fault(Fault::ExternalLoad {
+                machine: 99,
+                cores: 1.0,
+                from_s: 0.0,
+                until_s: 1.0
+            })
+            .is_err());
+        assert!(e
+            .inject_fault(Fault::WorkerSlowdown {
+                worker: 99,
+                factor: 2.0,
+                from_s: 0.0,
+                until_s: 1.0
+            })
+            .is_err());
+        assert!(e
+            .inject_fault(Fault::WorkerSlowdown {
+                worker: 0,
+                factor: 0.0,
+                from_s: 0.0,
+                until_s: 1.0
+            })
+            .is_err());
+        assert!(e
+            .inject_fault(Fault::WorkerSlowdown {
+                worker: 0,
+                factor: 2.0,
+                from_s: 5.0,
+                until_s: 1.0
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn finite_spout_drains_and_stops() {
+        struct FiniteSpout {
+            left: u64,
+        }
+        impl Spout for FiniteSpout {
+            fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+                if self.left == 0 {
+                    return false;
+                }
+                self.left -= 1;
+                out.emit_with_id(Tuple::of([Value::from(self.left as i64)]), self.left);
+                true
+            }
+        }
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        let mut b = TopologyBuilder::new("finite");
+        b.set_spout("s", 1, || FiniteSpout { left: 100 }).unwrap();
+        b.set_bolt("c", 1, move || CountBolt { seen: s2.clone() })
+            .unwrap()
+            .shuffle_grouping("s")
+            .unwrap();
+        let topo = b.build().unwrap();
+        let mut e = SimRuntime::new(topo, small_config()).unwrap();
+        let report = e.run_until(30.0);
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert_eq!(report.acked, 100);
+        assert_eq!(report.spout_emitted, 100);
+    }
+
+    #[test]
+    fn run_until_can_be_resumed() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let topo = linear_topology(1000.0, 50.0, 2, seen);
+        let mut e = SimRuntime::new(topo, small_config()).unwrap();
+        let r1 = e.run_until(2.0);
+        let r2 = e.run_until(4.0);
+        assert!(r2.acked > r1.acked);
+        assert_eq!(e.history().len(), 4);
+        assert!((e.now() - 4.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod timeout_tests {
+    use super::*;
+    use crate::topology::{CostModel, TopologyBuilder};
+    use crate::tuple::Value;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Spout that records ack/fail callbacks.
+    struct TrackingSpout {
+        emitted: u64,
+        acked: Arc<AtomicU64>,
+        failed: Arc<AtomicU64>,
+        limit: u64,
+    }
+
+    impl Spout for TrackingSpout {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            let due = (out.now_s() * 2000.0) as u64;
+            let batch = due
+                .saturating_sub(self.emitted)
+                .min(16)
+                .min(self.limit.saturating_sub(self.emitted));
+            for _ in 0..batch {
+                self.emitted += 1;
+                out.emit_with_id(Tuple::of([Value::from(self.emitted as i64)]), self.emitted);
+            }
+            self.emitted < self.limit
+        }
+        fn ack(&mut self, _id: u64) {
+            self.acked.fetch_add(1, Ordering::Relaxed);
+        }
+        fn fail(&mut self, _id: u64) {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bolt that is far too slow for the offered load.
+    struct SlowBolt;
+    impl Bolt for SlowBolt {
+        fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {}
+    }
+
+    #[test]
+    fn overload_with_short_timeout_fails_trees_and_notifies_spout() {
+        let acked = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+        let (a2, f2) = (acked.clone(), failed.clone());
+        let mut b = TopologyBuilder::new("timeout");
+        b.set_spout("s", 1, move || TrackingSpout {
+            emitted: 0,
+            acked: a2.clone(),
+            failed: f2.clone(),
+            limit: u64::MAX,
+        })
+        .unwrap()
+        .cost(CostModel {
+            base_service_time_us: 5.0,
+            jitter: 0.0,
+        });
+        // 2000 t/s offered, capacity 1/5ms = 200 t/s: queue grows without
+        // bound until timeouts fire.
+        b.set_bolt("slow", 1, || SlowBolt)
+            .unwrap()
+            .shuffle_grouping("s")
+            .unwrap()
+            .cost(CostModel {
+                base_service_time_us: 5_000.0,
+                jitter: 0.0,
+            });
+        let topo = b.build().unwrap();
+        let mut cfg = EngineConfig::default().with_cluster(1, 1, 4);
+        cfg.message_timeout_s = 2.0;
+        cfg.max_spout_pending = 10_000;
+        cfg.queue_capacity = 100_000; // disable backpressure: force timeouts
+        let mut e = SimRuntime::new(topo, cfg).unwrap();
+        let report = e.run_until(20.0);
+        assert!(report.timed_out > 100, "timeouts fired: {}", report.timed_out);
+        assert_eq!(
+            failed.load(Ordering::Relaxed),
+            report.timed_out,
+            "every timeout reached the spout's fail callback"
+        );
+        assert!(acked.load(Ordering::Relaxed) > 0, "some trees still complete");
+        assert_eq!(report.failed, 0, "no explicit bolt failures");
+    }
+
+    #[test]
+    fn explicit_bolt_failure_reaches_spout() {
+        struct FailEveryOther {
+            n: u64,
+        }
+        impl Bolt for FailEveryOther {
+            fn execute(&mut self, _t: &Tuple, out: &mut BoltOutput) {
+                self.n += 1;
+                if self.n % 2 == 0 {
+                    out.fail();
+                }
+            }
+        }
+        let acked = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+        let (a2, f2) = (acked.clone(), failed.clone());
+        let mut b = TopologyBuilder::new("failures");
+        b.set_spout("s", 1, move || TrackingSpout {
+            emitted: 0,
+            acked: a2.clone(),
+            failed: f2.clone(),
+            limit: 200,
+        })
+        .unwrap();
+        b.set_bolt("flaky", 1, || FailEveryOther { n: 0 })
+            .unwrap()
+            .shuffle_grouping("s")
+            .unwrap();
+        let topo = b.build().unwrap();
+        let mut e = SimRuntime::new(topo, EngineConfig::default().with_cluster(1, 1, 4)).unwrap();
+        let report = e.run_until(30.0);
+        assert_eq!(report.acked + report.failed, 200);
+        assert_eq!(report.failed, 100);
+        assert_eq!(failed.load(Ordering::Relaxed), 100);
+        assert_eq!(acked.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,110 @@
+//! Stream identifiers and per-stream declarations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::tuple::Fields;
+
+/// Name of Storm's implicit default stream.
+pub const DEFAULT_STREAM: &str = "default";
+
+/// Identifier of a named output stream of a component.
+///
+/// Cheap to clone and compare; the default stream is [`StreamId::default`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(Arc<str>);
+
+impl StreamId {
+    /// Creates a stream id from a name.
+    pub fn new(name: &str) -> Self {
+        StreamId(Arc::from(name))
+    }
+
+    /// The stream's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if this is the implicit default stream.
+    pub fn is_default(&self) -> bool {
+        &*self.0 == DEFAULT_STREAM
+    }
+}
+
+impl Default for StreamId {
+    fn default() -> Self {
+        StreamId::new(DEFAULT_STREAM)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for StreamId {
+    fn from(s: &str) -> Self {
+        StreamId::new(s)
+    }
+}
+
+/// Declaration of one output stream: its id and schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDecl {
+    /// The stream id.
+    pub id: StreamId,
+    /// Schema of tuples on the stream.
+    pub fields: Fields,
+}
+
+impl StreamDecl {
+    /// Declares the default stream with the given schema.
+    pub fn default_stream(fields: Fields) -> Self {
+        StreamDecl {
+            id: StreamId::default(),
+            fields,
+        }
+    }
+
+    /// Declares a named stream with the given schema.
+    pub fn named(id: &str, fields: Fields) -> Self {
+        StreamDecl {
+            id: StreamId::new(id),
+            fields,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_identity() {
+        assert!(StreamId::default().is_default());
+        assert!(!StreamId::new("metrics").is_default());
+        assert_eq!(StreamId::default(), StreamId::new(DEFAULT_STREAM));
+    }
+
+    #[test]
+    fn stream_ids_hash_and_order() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(StreamId::new("a"));
+        set.insert(StreamId::new("a"));
+        set.insert(StreamId::new("b"));
+        assert_eq!(set.len(), 2);
+        assert!(StreamId::new("a") < StreamId::new("b"));
+    }
+
+    #[test]
+    fn decl_constructors() {
+        let d = StreamDecl::default_stream(Fields::new(["x"]));
+        assert!(d.id.is_default());
+        let n = StreamDecl::named("side", Fields::new(["y"]));
+        assert_eq!(n.id.as_str(), "side");
+        assert_eq!(format!("{}", n.id), "side");
+    }
+}

@@ -1,0 +1,789 @@
+//! Topology construction: spouts, bolts, streams, subscriptions.
+//!
+//! Mirrors Storm's `TopologyBuilder` API: declare components with a
+//! parallelism hint, declare their output streams, and subscribe bolts to
+//! upstream streams with a grouping.  [`TopologyBuilder::build`] validates
+//! the graph (components exist, streams exist, fields-grouping fields are in
+//! the stream schema, every bolt has an input, at least one spout) and
+//! assigns global task ids.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::component::{Bolt, Spout};
+use crate::error::{Error, Result};
+use crate::grouping::dynamic::{DynamicGroupingHandle, SplitRatio};
+use crate::grouping::GroupingSpec;
+use crate::stream::{StreamDecl, StreamId};
+use crate::tuple::Fields;
+
+/// Index of a component within its topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct ComponentId(pub usize);
+
+/// Global task index (unique across all components of a topology).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Factory producing a fresh spout instance for each task.
+pub type SpoutFactory = Arc<dyn Fn() -> Box<dyn Spout> + Send + Sync>;
+/// Factory producing a fresh bolt instance for each task.
+pub type BoltFactory = Arc<dyn Fn() -> Box<dyn Bolt> + Send + Sync>;
+
+/// What kind of component this is, with its instance factory.
+#[derive(Clone)]
+pub enum ComponentKind {
+    /// A stream source.
+    Spout(SpoutFactory),
+    /// A stream operator.
+    Bolt(BoltFactory),
+}
+
+impl fmt::Debug for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentKind::Spout(_) => write!(f, "Spout"),
+            ComponentKind::Bolt(_) => write!(f, "Bolt"),
+        }
+    }
+}
+
+/// Per-component cost parameters consumed by the simulated runtime.
+///
+/// The threaded runtime executes real code and ignores these.  In the
+/// simulator the time to process one tuple is
+/// `base_service_time_us * interference_multiplier * (1 + jitter)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Mean tuple service time in microseconds on an unloaded machine.
+    pub base_service_time_us: f64,
+    /// Relative (uniform) jitter applied per tuple, e.g. `0.1` = ±10 %.
+    pub jitter: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            base_service_time_us: 100.0,
+            jitter: 0.05,
+        }
+    }
+}
+
+/// A subscription of a bolt to an upstream stream.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// The upstream component.
+    pub from: ComponentId,
+    /// The stream of that component.
+    pub stream: StreamId,
+    /// How tuples are distributed over the subscriber's tasks.
+    pub grouping: GroupingSpec,
+}
+
+/// A declared component (spout or bolt) inside a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Component id (stable index).
+    pub id: ComponentId,
+    /// User-facing name.
+    pub name: String,
+    /// Spout or bolt, with the instance factory.
+    pub kind: ComponentKind,
+    /// Number of tasks.
+    pub parallelism: usize,
+    /// Declared output streams.
+    pub outputs: Vec<StreamDecl>,
+    /// Inbound subscriptions (bolts only).
+    pub subscriptions: Vec<Subscription>,
+    /// First global task id; tasks are `base_task.0 .. base_task.0 + parallelism`.
+    pub base_task: TaskId,
+    /// Simulator cost model.
+    pub cost: CostModel,
+}
+
+impl Component {
+    /// Global task ids of this component.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (self.base_task.0..self.base_task.0 + self.parallelism).map(TaskId)
+    }
+
+    /// True if this component is a spout.
+    pub fn is_spout(&self) -> bool {
+        matches!(self.kind, ComponentKind::Spout(_))
+    }
+
+    /// Schema of the given output stream, if declared.
+    pub fn stream_fields(&self, stream: &StreamId) -> Option<&Fields> {
+        self.outputs
+            .iter()
+            .find(|d| &d.id == stream)
+            .map(|d| &d.fields)
+    }
+}
+
+/// A validated, immutable topology ready to hand to a runtime.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    components: Vec<Component>,
+    by_name: HashMap<String, ComponentId>,
+    task_count: usize,
+    /// Handles for every dynamic grouping in the topology, keyed by
+    /// `(producer name, stream, subscriber name)`.
+    dynamic_handles: HashMap<(String, StreamId, String), DynamicGroupingHandle>,
+}
+
+impl Topology {
+    /// The topology's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterates all components in declaration order.
+    pub fn components(&self) -> impl Iterator<Item = &Component> {
+        self.components.iter()
+    }
+
+    /// Looks up a component by id.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.0]
+    }
+
+    /// Looks up a component id by name.
+    pub fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a component by name.
+    pub fn component_by_name(&self, name: &str) -> Option<&Component> {
+        self.component_id(name).map(|id| self.component(id))
+    }
+
+    /// Total number of tasks across all components.
+    pub fn task_count(&self) -> usize {
+        self.task_count
+    }
+
+    /// Maps a global task id to its component.
+    pub fn component_of_task(&self, task: TaskId) -> ComponentId {
+        // Components are contiguous in task space; linear scan is fine for
+        // the handful of components real topologies have.
+        for c in &self.components {
+            if task.0 >= c.base_task.0 && task.0 < c.base_task.0 + c.parallelism {
+                return c.id;
+            }
+        }
+        panic!("task {task} out of range");
+    }
+
+    /// The dynamic grouping handle for the edge
+    /// `producer --stream--> subscriber`, if that edge uses dynamic grouping.
+    ///
+    /// This is the actuation surface of the paper's control framework: the
+    /// controller holds the handle and calls
+    /// [`DynamicGroupingHandle::set_ratio`] while the topology runs.
+    pub fn dynamic_handle(
+        &self,
+        producer: &str,
+        stream: &StreamId,
+        subscriber: &str,
+    ) -> Option<DynamicGroupingHandle> {
+        self.dynamic_handles
+            .get(&(producer.to_owned(), stream.clone(), subscriber.to_owned()))
+            .cloned()
+    }
+
+    /// All dynamic grouping handles: `((producer, stream, subscriber), handle)`.
+    pub fn dynamic_handles(
+        &self,
+    ) -> impl Iterator<Item = (&(String, StreamId, String), &DynamicGroupingHandle)> {
+        self.dynamic_handles.iter()
+    }
+
+    /// Components subscribing to `producer`'s `stream`, with their grouping.
+    pub fn subscribers_of(
+        &self,
+        producer: ComponentId,
+        stream: &StreamId,
+    ) -> Vec<(&Component, &GroupingSpec)> {
+        self.components
+            .iter()
+            .flat_map(|c| {
+                c.subscriptions
+                    .iter()
+                    .filter(|s| s.from == producer && &s.stream == stream)
+                    .map(move |s| (c, &s.grouping))
+            })
+            .collect()
+    }
+}
+
+/// Builder for [`Topology`].
+pub struct TopologyBuilder {
+    name: String,
+    components: Vec<Component>,
+    by_name: HashMap<String, ComponentId>,
+}
+
+impl TopologyBuilder {
+    /// Starts a new topology with the given name.
+    pub fn new(name: &str) -> Self {
+        TopologyBuilder {
+            name: name.to_owned(),
+            components: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    fn add_component(
+        &mut self,
+        name: &str,
+        kind: ComponentKind,
+        parallelism: usize,
+    ) -> Result<ComponentId> {
+        if parallelism == 0 {
+            return Err(Error::InvalidParallelism(name.to_owned()));
+        }
+        if self.by_name.contains_key(name) {
+            return Err(Error::DuplicateComponent(name.to_owned()));
+        }
+        let id = ComponentId(self.components.len());
+        self.components.push(Component {
+            id,
+            name: name.to_owned(),
+            kind,
+            parallelism,
+            outputs: vec![StreamDecl::default_stream(Fields::none())],
+            subscriptions: Vec::new(),
+            base_task: TaskId(0), // assigned in build()
+            cost: CostModel::default(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Declares a spout with `parallelism` tasks.  `factory` is invoked once
+    /// per task to create independent instances.
+    pub fn set_spout<S, F>(
+        &mut self,
+        name: &str,
+        parallelism: usize,
+        factory: F,
+    ) -> Result<SpoutDeclarer<'_>>
+    where
+        S: Spout + 'static,
+        F: Fn() -> S + Send + Sync + 'static,
+    {
+        let factory: SpoutFactory = Arc::new(move || Box::new(factory()));
+        let id = self.add_component(name, ComponentKind::Spout(factory), parallelism)?;
+        Ok(SpoutDeclarer { builder: self, id })
+    }
+
+    /// Declares a bolt with `parallelism` tasks.
+    pub fn set_bolt<B, F>(
+        &mut self,
+        name: &str,
+        parallelism: usize,
+        factory: F,
+    ) -> Result<BoltDeclarer<'_>>
+    where
+        B: Bolt + 'static,
+        F: Fn() -> B + Send + Sync + 'static,
+    {
+        let factory: BoltFactory = Arc::new(move || Box::new(factory()));
+        let id = self.add_component(name, ComponentKind::Bolt(factory), parallelism)?;
+        Ok(BoltDeclarer { builder: self, id })
+    }
+
+    /// Validates and freezes the topology.
+    pub fn build(self) -> Result<Topology> {
+        let mut components = self.components;
+        if !components.iter().any(|c| c.is_spout()) {
+            return Err(Error::InvalidTopology("topology has no spout".into()));
+        }
+
+        // Validate subscriptions against declared streams and schemas.
+        let catalog: Vec<(String, Vec<StreamDecl>, bool)> = components
+            .iter()
+            .map(|c| (c.name.clone(), c.outputs.clone(), c.is_spout()))
+            .collect();
+        for c in &components {
+            if c.is_spout() {
+                if !c.subscriptions.is_empty() {
+                    return Err(Error::SpoutCannotSubscribe(c.name.clone()));
+                }
+                continue;
+            }
+            if c.subscriptions.is_empty() {
+                return Err(Error::InvalidTopology(format!(
+                    "bolt `{}` has no inbound subscription",
+                    c.name
+                )));
+            }
+            for sub in &c.subscriptions {
+                let (from_name, outputs, _) = &catalog[sub.from.0];
+                let decl = outputs.iter().find(|d| d.id == sub.stream).ok_or_else(|| {
+                    Error::UnknownStream {
+                        component: from_name.clone(),
+                        stream: sub.stream.as_str().to_owned(),
+                    }
+                })?;
+                if let GroupingSpec::Fields(fields) | GroupingSpec::PartialKey(fields) =
+                    &sub.grouping
+                {
+                    for f in fields {
+                        if !decl.fields.contains(f) {
+                            return Err(Error::UnknownField {
+                                component: from_name.clone(),
+                                stream: sub.stream.as_str().to_owned(),
+                                field: f.clone(),
+                            });
+                        }
+                    }
+                }
+                if let GroupingSpec::Dynamic(ratio) = &sub.grouping {
+                    if let Some(r) = ratio {
+                        if r.len() != c.parallelism {
+                            return Err(Error::InvalidSplitRatio(format!(
+                                "ratio has {} entries but bolt `{}` has {} tasks",
+                                r.len(),
+                                c.name,
+                                c.parallelism
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Assign contiguous global task ids in declaration order.
+        let mut next = 0usize;
+        for c in &mut components {
+            c.base_task = TaskId(next);
+            next += c.parallelism;
+        }
+
+        // Materialize one shared handle per dynamic-grouping edge.
+        let mut dynamic_handles = HashMap::new();
+        for c in &components {
+            for sub in &c.subscriptions {
+                if let GroupingSpec::Dynamic(initial) = &sub.grouping {
+                    let ratio = match initial {
+                        Some(r) => r.clone(),
+                        None => SplitRatio::uniform(c.parallelism),
+                    };
+                    let producer = components[sub.from.0].name.clone();
+                    let handle = DynamicGroupingHandle::new(ratio);
+                    dynamic_handles.insert(
+                        (producer, sub.stream.clone(), c.name.clone()),
+                        handle,
+                    );
+                }
+            }
+        }
+
+        Ok(Topology {
+            name: self.name,
+            by_name: self.by_name,
+            task_count: next,
+            components,
+            dynamic_handles,
+        })
+    }
+}
+
+/// Fluent declarer returned by [`TopologyBuilder::set_spout`].
+pub struct SpoutDeclarer<'a> {
+    builder: &'a mut TopologyBuilder,
+    id: ComponentId,
+}
+
+impl fmt::Debug for SpoutDeclarer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpoutDeclarer({})", self.id)
+    }
+}
+
+impl SpoutDeclarer<'_> {
+    /// Declares the schema of the default output stream.
+    pub fn output_fields(&mut self, fields: Fields) -> &mut Self {
+        self.builder.components[self.id.0].outputs[0].fields = fields;
+        self
+    }
+
+    /// Declares an additional named output stream.
+    pub fn output_stream(&mut self, stream: &str, fields: Fields) -> &mut Self {
+        self.builder.components[self.id.0]
+            .outputs
+            .push(StreamDecl::named(stream, fields));
+        self
+    }
+
+    /// Sets the simulator cost model (mean µs per `next_tuple` call).
+    pub fn cost(&mut self, cost: CostModel) -> &mut Self {
+        self.builder.components[self.id.0].cost = cost;
+        self
+    }
+
+    /// The component id assigned to this spout.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+}
+
+/// Fluent declarer returned by [`TopologyBuilder::set_bolt`].
+pub struct BoltDeclarer<'a> {
+    builder: &'a mut TopologyBuilder,
+    id: ComponentId,
+}
+
+impl fmt::Debug for BoltDeclarer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoltDeclarer({})", self.id)
+    }
+}
+
+impl BoltDeclarer<'_> {
+    /// Declares the schema of the default output stream.
+    pub fn output_fields(&mut self, fields: Fields) -> &mut Self {
+        self.builder.components[self.id.0].outputs[0].fields = fields;
+        self
+    }
+
+    /// Declares an additional named output stream.
+    pub fn output_stream(&mut self, stream: &str, fields: Fields) -> &mut Self {
+        self.builder.components[self.id.0]
+            .outputs
+            .push(StreamDecl::named(stream, fields));
+        self
+    }
+
+    /// Sets the simulator cost model (mean µs per tuple).
+    pub fn cost(&mut self, cost: CostModel) -> &mut Self {
+        self.builder.components[self.id.0].cost = cost;
+        self
+    }
+
+    fn subscribe(&mut self, from: &str, stream: StreamId, grouping: GroupingSpec) -> Result<&mut Self> {
+        let from_id = self
+            .builder
+            .by_name
+            .get(from)
+            .copied()
+            .ok_or_else(|| Error::UnknownComponent(from.to_owned()))?;
+        self.builder.components[self.id.0]
+            .subscriptions
+            .push(Subscription {
+                from: from_id,
+                stream,
+                grouping,
+            });
+        Ok(self)
+    }
+
+    /// Random uniform distribution over subscriber tasks.
+    pub fn shuffle_grouping(&mut self, from: &str) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::default(), GroupingSpec::Shuffle)
+    }
+
+    /// Shuffle grouping on a named stream.
+    pub fn shuffle_grouping_stream(&mut self, from: &str, stream: &str) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::new(stream), GroupingSpec::Shuffle)
+    }
+
+    /// Hash partitioning on the given fields of the default stream.
+    pub fn fields_grouping(&mut self, from: &str, fields: &[&str]) -> Result<&mut Self> {
+        self.subscribe(
+            from,
+            StreamId::default(),
+            GroupingSpec::Fields(fields.iter().map(|s| s.to_string()).collect()),
+        )
+    }
+
+    /// Fields grouping on a named stream.
+    pub fn fields_grouping_stream(
+        &mut self,
+        from: &str,
+        stream: &str,
+        fields: &[&str],
+    ) -> Result<&mut Self> {
+        self.subscribe(
+            from,
+            StreamId::new(stream),
+            GroupingSpec::Fields(fields.iter().map(|s| s.to_string()).collect()),
+        )
+    }
+
+    /// All tuples go to the subscriber's lowest task.
+    pub fn global_grouping(&mut self, from: &str) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::default(), GroupingSpec::Global)
+    }
+
+    /// Every tuple is replicated to every subscriber task.
+    pub fn all_grouping(&mut self, from: &str) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::default(), GroupingSpec::All)
+    }
+
+    /// The producer chooses the target task via
+    /// [`crate::component::BoltOutput::emit_direct`].
+    pub fn direct_grouping(&mut self, from: &str, stream: &str) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::new(stream), GroupingSpec::Direct)
+    }
+
+    /// Partial key grouping on the given fields of the default stream:
+    /// each key's tuples split across two hash-chosen candidate tasks,
+    /// whichever is less loaded.
+    pub fn partial_key_grouping(&mut self, from: &str, fields: &[&str]) -> Result<&mut Self> {
+        self.subscribe(
+            from,
+            StreamId::default(),
+            GroupingSpec::PartialKey(fields.iter().map(|s| s.to_string()).collect()),
+        )
+    }
+
+    /// The paper's **dynamic grouping** with a uniform initial split ratio.
+    ///
+    /// After `build()`, fetch the live handle with
+    /// [`Topology::dynamic_handle`] to change the ratio on the fly.
+    pub fn dynamic_grouping(&mut self, from: &str) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::default(), GroupingSpec::Dynamic(None))
+    }
+
+    /// Dynamic grouping with an explicit initial split ratio (one weight per
+    /// subscriber task).
+    pub fn dynamic_grouping_with(&mut self, from: &str, initial: SplitRatio) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::default(), GroupingSpec::Dynamic(Some(initial)))
+    }
+
+    /// Dynamic grouping on a named stream.
+    pub fn dynamic_grouping_stream(&mut self, from: &str, stream: &str) -> Result<&mut Self> {
+        self.subscribe(from, StreamId::new(stream), GroupingSpec::Dynamic(None))
+    }
+
+    /// The component id assigned to this bolt.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{BoltOutput, SpoutOutput};
+    use crate::tuple::{Tuple, Value};
+
+    struct NullSpout;
+    impl Spout for NullSpout {
+        fn next_tuple(&mut self, _out: &mut SpoutOutput) -> bool {
+            false
+        }
+    }
+
+    struct NullBolt;
+    impl Bolt for NullBolt {
+        fn execute(&mut self, _tuple: &Tuple, _out: &mut BoltOutput) {}
+    }
+
+    fn two_stage() -> TopologyBuilder {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("spout", 2, || NullSpout)
+            .unwrap()
+            .output_fields(Fields::new(["url", "ts"]));
+        b
+    }
+
+    #[test]
+    fn builds_and_assigns_task_ids() {
+        let mut b = two_stage();
+        b.set_bolt("count", 3, || NullBolt)
+            .unwrap()
+            .fields_grouping("spout", &["url"])
+            .unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.task_count(), 5);
+        let spout = t.component_by_name("spout").unwrap();
+        let count = t.component_by_name("count").unwrap();
+        assert_eq!(spout.tasks().collect::<Vec<_>>(), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(
+            count.tasks().collect::<Vec<_>>(),
+            vec![TaskId(2), TaskId(3), TaskId(4)]
+        );
+        assert_eq!(t.component_of_task(TaskId(3)), count.id);
+        assert_eq!(t.component_of_task(TaskId(0)), spout.id);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = two_stage();
+        let err = b.set_spout("spout", 1, || NullSpout).unwrap_err();
+        assert_eq!(err, Error::DuplicateComponent("spout".into()));
+    }
+
+    #[test]
+    fn rejects_zero_parallelism() {
+        let mut b = TopologyBuilder::new("t");
+        let err = b.set_spout("s", 0, || NullSpout).unwrap_err();
+        assert_eq!(err, Error::InvalidParallelism("s".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_upstream() {
+        let mut b = two_stage();
+        let err = b
+            .set_bolt("b", 1, || NullBolt)
+            .unwrap()
+            .shuffle_grouping("nope")
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownComponent("nope".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_stream() {
+        let mut b = two_stage();
+        b.set_bolt("b", 1, || NullBolt)
+            .unwrap()
+            .shuffle_grouping_stream("spout", "ghost")
+            .unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, Error::UnknownStream { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let mut b = two_stage();
+        b.set_bolt("b", 1, || NullBolt)
+            .unwrap()
+            .fields_grouping("spout", &["missing"])
+            .unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, Error::UnknownField { .. }));
+    }
+
+    #[test]
+    fn rejects_topology_without_spout() {
+        let b = TopologyBuilder::new("t");
+        assert!(matches!(b.build(), Err(Error::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn rejects_bolt_without_input() {
+        let mut b = two_stage();
+        b.set_bolt("orphan", 1, || NullBolt).unwrap();
+        assert!(matches!(b.build(), Err(Error::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_ratio_arity() {
+        let mut b = two_stage();
+        b.set_bolt("b", 3, || NullBolt)
+            .unwrap()
+            .dynamic_grouping_with("spout", SplitRatio::new(vec![0.5, 0.5]).unwrap())
+            .unwrap();
+        assert!(matches!(b.build(), Err(Error::InvalidSplitRatio(_))));
+    }
+
+    #[test]
+    fn dynamic_handle_exposed_after_build() {
+        let mut b = two_stage();
+        b.set_bolt("b", 4, || NullBolt)
+            .unwrap()
+            .dynamic_grouping("spout")
+            .unwrap();
+        let t = b.build().unwrap();
+        let h = t
+            .dynamic_handle("spout", &StreamId::default(), "b")
+            .expect("handle exists");
+        assert_eq!(h.ratio().len(), 4);
+        assert_eq!(t.dynamic_handles().count(), 1);
+        assert!(t
+            .dynamic_handle("spout", &StreamId::default(), "zzz")
+            .is_none());
+    }
+
+    #[test]
+    fn subscribers_of_lists_groupings() {
+        let mut b = two_stage();
+        b.set_bolt("b1", 1, || NullBolt)
+            .unwrap()
+            .shuffle_grouping("spout")
+            .unwrap();
+        b.set_bolt("b2", 2, || NullBolt)
+            .unwrap()
+            .fields_grouping("spout", &["url"])
+            .unwrap();
+        let t = b.build().unwrap();
+        let spout_id = t.component_id("spout").unwrap();
+        let subs = t.subscribers_of(spout_id, &StreamId::default());
+        assert_eq!(subs.len(), 2);
+        let names: Vec<_> = subs.iter().map(|(c, _)| c.name.as_str()).collect();
+        assert!(names.contains(&"b1") && names.contains(&"b2"));
+    }
+
+    #[test]
+    fn multi_stream_declaration() {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("s", 1, || NullSpout)
+            .unwrap()
+            .output_fields(Fields::new(["a"]))
+            .output_stream("late", Fields::new(["a", "lateness"]));
+        b.set_bolt("b", 1, || NullBolt)
+            .unwrap()
+            .shuffle_grouping_stream("s", "late")
+            .unwrap();
+        let t = b.build().unwrap();
+        let s = t.component_by_name("s").unwrap();
+        assert_eq!(s.outputs.len(), 2);
+        assert!(s.stream_fields(&StreamId::new("late")).unwrap().contains("lateness"));
+    }
+
+    #[test]
+    fn spout_factories_produce_independent_instances() {
+        struct CountingSpout(i64);
+        impl Spout for CountingSpout {
+            fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+                self.0 += 1;
+                out.emit(Tuple::of([Value::from(self.0)]));
+                true
+            }
+        }
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("s", 2, || CountingSpout(0)).unwrap();
+        b.set_bolt("b", 1, || NullBolt)
+            .unwrap()
+            .shuffle_grouping("s")
+            .unwrap();
+        let t = b.build().unwrap();
+        let c = t.component_by_name("s").unwrap();
+        if let ComponentKind::Spout(factory) = &c.kind {
+            let mut a = factory();
+            let mut b2 = factory();
+            let mut out = SpoutOutput::new();
+            a.next_tuple(&mut out);
+            a.next_tuple(&mut out);
+            b2.next_tuple(&mut out);
+            let e = out.drain();
+            assert_eq!(e[1].tuple.get(0).unwrap().as_i64(), Some(2));
+            assert_eq!(e[2].tuple.get(0).unwrap().as_i64(), Some(1), "fresh state");
+        } else {
+            panic!("expected spout");
+        }
+    }
+}

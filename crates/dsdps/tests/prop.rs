@@ -1,0 +1,225 @@
+//! Property-based tests for the engine's core data structures:
+//! split ratios, the dynamic-grouping router, the XOR acker, streaming
+//! statistics, tuple values and groupings.
+
+use proptest::prelude::*;
+
+use dsdps::acker::Acker;
+use dsdps::grouping::dynamic::{DynamicGrouping, DynamicGroupingHandle, SplitRatio};
+use dsdps::grouping::{FieldsGrouping, Grouping, ShuffleGrouping};
+use dsdps::metrics::{LatencyHistogram, OnlineStats};
+use dsdps::topology::TaskId;
+use dsdps::tuple::{Fields, Tuple, Value};
+
+/// Weights with at least one strictly positive entry.
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 1..12).prop_filter("at least one positive weight", |w| {
+        w.iter().any(|&x| x > 1e-6)
+    })
+}
+
+proptest! {
+    #[test]
+    fn split_ratio_always_normalized(weights in weights_strategy()) {
+        let r = SplitRatio::new(weights).unwrap();
+        let sum: f64 = r.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(r.as_slice().iter().all(|&w| (0.0..=1.0 + 1e-12).contains(&w)));
+    }
+
+    #[test]
+    fn split_ratio_excluding_keeps_normalization(weights in weights_strategy(), idx_seed in 0usize..100) {
+        let r = SplitRatio::new(weights).unwrap();
+        let idx = idx_seed % r.len();
+        if let Ok(e) = r.excluding(idx) {
+            prop_assert_eq!(e.get(idx), 0.0);
+            let sum: f64 = e.as_slice().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Smooth WRR: over any run of W tuples, each task's count deviates
+    /// from `W * weight` by at most the number of tasks.
+    #[test]
+    fn dynamic_grouping_tracks_any_ratio(weights in weights_strategy(), w in 50usize..400) {
+        let ratio = SplitRatio::new(weights).unwrap();
+        let n = ratio.len();
+        let handle = DynamicGroupingHandle::new(ratio.clone());
+        let mut g = DynamicGrouping::new(handle);
+        let tuple = Tuple::of([Value::from(1i64)]);
+        let mut counts = vec![0usize; n];
+        let mut out = Vec::new();
+        for _ in 0..w {
+            out.clear();
+            g.select(&tuple, &mut out);
+            counts[out[0]] += 1;
+        }
+        for i in 0..n {
+            let expected = ratio.get(i) * w as f64;
+            prop_assert!(
+                (counts[i] as f64 - expected).abs() <= n as f64 + 1.0,
+                "task {} got {} expected {:.1} (n={})", i, counts[i], expected, n
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_grouping_zero_weight_never_selected(idx_seed in 0usize..100) {
+        let n = 2 + idx_seed % 6;
+        let zero = idx_seed % n;
+        let mut weights = vec![1.0; n];
+        weights[zero] = 0.0;
+        let handle = DynamicGroupingHandle::new(SplitRatio::new(weights).unwrap());
+        let mut g = DynamicGrouping::new(handle);
+        let tuple = Tuple::of([Value::from(1i64)]);
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            out.clear();
+            g.select(&tuple, &mut out);
+            prop_assert_ne!(out[0], zero);
+        }
+    }
+
+    #[test]
+    fn shuffle_grouping_is_balanced(n in 1usize..16, total in 1usize..500, offset in 0usize..32) {
+        let mut g = ShuffleGrouping::new(n, offset);
+        let tuple = Tuple::of([Value::from(1i64)]);
+        let mut counts = vec![0usize; n];
+        let mut out = Vec::new();
+        for _ in 0..total {
+            out.clear();
+            g.select(&tuple, &mut out);
+            counts[out[0]] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "imbalance {counts:?}");
+    }
+
+    #[test]
+    fn fields_grouping_same_key_same_task(key in "[a-z]{1,16}", n in 1usize..16) {
+        let schema = Fields::new(["k"]);
+        let mut g = FieldsGrouping::new(n, &["k".into()], &schema).unwrap();
+        let t = Tuple::with_fields([Value::from(key.as_str())], schema.clone());
+        let mut out = Vec::new();
+        g.select(&t, &mut out);
+        let first = out[0];
+        for _ in 0..10 {
+            out.clear();
+            g.select(&t, &mut out);
+            prop_assert_eq!(out[0], first);
+        }
+        prop_assert!(first < n);
+    }
+
+    /// Random tuple trees: emit a random number of children per node up to
+    /// depth 2, ack everything in a scrambled order → the tree completes
+    /// exactly once, as Acked.
+    #[test]
+    fn acker_completes_random_trees(fanouts in prop::collection::vec(0usize..5, 1..6), seed in 0u64..1000) {
+        let mut acker = Acker::new();
+        let root = 1u64;
+        let e_root = acker.new_edge_id();
+        acker.track(root, e_root, TaskId(0), 9, 0.0);
+
+        // Level 1: children of the root tuple; level 2: children of those.
+        let mut pending_edges = vec![e_root];
+        let mut all_children = Vec::new();
+        for (i, &fan) in fanouts.iter().enumerate() {
+            let _ = i;
+            let mut next = Vec::new();
+            for _ in 0..fan {
+                let e = acker.new_edge_id();
+                acker.on_emit(root, e);
+                next.push(e);
+            }
+            all_children.extend(next);
+            if all_children.len() > 20 {
+                break;
+            }
+        }
+        pending_edges.extend(all_children);
+
+        // Scramble ack order deterministically from the seed.
+        let mut order: Vec<usize> = (0..pending_edges.len()).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        for (k, &i) in order.iter().enumerate() {
+            prop_assert_eq!(acker.pending_count(), 1, "completed early at step {}", k);
+            acker.on_ack(root, pending_edges[i], k as f64);
+        }
+        prop_assert_eq!(acker.pending_count(), 0);
+        let outcomes = acker.drain_outcomes();
+        prop_assert_eq!(outcomes.len(), 1);
+        prop_assert_eq!(outcomes[0].completion, dsdps::acker::Completion::Acked);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential(data in prop::collection::vec(-1e6f64..1e6, 2..200), cut_seed in 0usize..1000) {
+        let cut = 1 + cut_seed % (data.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.update(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..cut] {
+            a.update(x);
+        }
+        for &x in &data[cut..] {
+            b.update(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance()));
+    }
+
+    /// Histogram quantiles stay within the documented ~9 % relative error.
+    #[test]
+    fn histogram_quantile_relative_error_bounded(mut samples in prop::collection::vec(1.0f64..1e7, 20..300), q_pct in 1u32..100) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_by(f64::total_cmp);
+        let q = q_pct as f64 / 100.0;
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let truth = samples[rank - 1];
+        let got = h.quantile(q).unwrap();
+        prop_assert!(
+            got >= truth * 0.9 && got <= truth * 1.1,
+            "q={}: got {} truth {}", q, got, truth
+        );
+    }
+
+    #[test]
+    fn value_equality_implies_hash_equality(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        if a == b {
+            prop_assert_eq!(hash(&a), hash(&b));
+        }
+        // And every value equals itself (incl. NaN, by bit-comparison).
+        prop_assert_eq!(&a, &a);
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        any::<f64>().prop_map(Value::from),
+        "[ -~]{0,12}".prop_map(|s| Value::from(s.as_str())),
+        prop::collection::vec(any::<i64>().prop_map(Value::from), 0..4).prop_map(Value::List),
+    ]
+}

@@ -1,0 +1,430 @@
+//! ARIMA(p, d, q) fitted by the Hannan–Rissanen two-stage procedure, with
+//! AIC-based automatic order selection.
+//!
+//! Stage 1 fits a long autoregression to estimate the innovation sequence;
+//! stage 2 regresses the series on its own lags *and* the estimated
+//! innovations, giving consistent AR and MA coefficients by ordinary least
+//! squares.  Differencing (`d`) is applied before fitting and inverted when
+//! forecasting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::forecaster::Forecaster;
+use crate::stats::{difference, difference_tails, mean, ols, undifference};
+
+/// ARIMA model order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArimaOrder {
+    /// Autoregressive order.
+    pub p: usize,
+    /// Differencing order.
+    pub d: usize,
+    /// Moving-average order.
+    pub q: usize,
+}
+
+impl ArimaOrder {
+    /// Convenience constructor.
+    pub fn new(p: usize, d: usize, q: usize) -> Self {
+        ArimaOrder { p, d, q }
+    }
+}
+
+/// A fitted (or yet-unfitted) ARIMA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Arima {
+    order: ArimaOrder,
+    /// AR coefficients φ_1..φ_p (on the differenced, demeaned series).
+    ar: Vec<f64>,
+    /// MA coefficients θ_1..θ_q.
+    ma: Vec<f64>,
+    /// Mean of the differenced series.
+    mu: f64,
+    /// Innovation variance estimate.
+    sigma2: f64,
+    /// The differenced, demeaned training series (needed to roll forecasts).
+    #[serde(skip)]
+    history: Vec<f64>,
+    /// Residuals aligned with `history`.
+    #[serde(skip)]
+    residuals: Vec<f64>,
+    /// Differencing tails of the raw series.
+    tails: Vec<f64>,
+    fitted: bool,
+}
+
+impl Arima {
+    /// A new, unfitted model of the given order.
+    pub fn new(order: ArimaOrder) -> Self {
+        Arima {
+            order,
+            ar: Vec::new(),
+            ma: Vec::new(),
+            mu: 0.0,
+            sigma2: 0.0,
+            history: Vec::new(),
+            residuals: Vec::new(),
+            tails: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// The model order.
+    pub fn order(&self) -> ArimaOrder {
+        self.order
+    }
+
+    /// Fitted AR coefficients.
+    pub fn ar_coefficients(&self) -> &[f64] {
+        &self.ar
+    }
+
+    /// Fitted MA coefficients.
+    pub fn ma_coefficients(&self) -> &[f64] {
+        &self.ma
+    }
+
+    /// Akaike information criterion of the fit.
+    pub fn aic(&self) -> f64 {
+        let n = self.history.len() as f64;
+        let k = (self.order.p + self.order.q + 1) as f64;
+        n * self.sigma2.max(1e-12).ln() + 2.0 * k
+    }
+
+    /// Innovation variance estimate.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    fn compute_residuals(&self, w: &[f64]) -> Vec<f64> {
+        // One-step-ahead residuals with past residuals fed back in
+        // (conditional on zero pre-sample innovations).
+        let p = self.order.p;
+        let q = self.order.q;
+        let mut res = vec![0.0; w.len()];
+        for t in 0..w.len() {
+            let mut pred = 0.0;
+            for (i, &phi) in self.ar.iter().enumerate() {
+                if t > i {
+                    pred += phi * w[t - 1 - i];
+                }
+            }
+            for (j, &theta) in self.ma.iter().enumerate() {
+                if t > j {
+                    pred += theta * res[t - 1 - j];
+                }
+            }
+            res[t] = w[t] - pred;
+        }
+        let _ = (p, q);
+        res
+    }
+
+    /// Forecasts `horizon` steps beyond the end of `history_w` (differenced,
+    /// demeaned domain), with residuals `res_w` aligned to it.
+    fn forecast_differenced(&self, history_w: &[f64], res_w: &[f64], horizon: usize) -> Vec<f64> {
+        let mut w: Vec<f64> = history_w.to_vec();
+        let mut res: Vec<f64> = res_w.to_vec();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let t = w.len();
+            let mut pred = 0.0;
+            for (i, &phi) in self.ar.iter().enumerate() {
+                if t > i {
+                    pred += phi * w[t - 1 - i];
+                }
+            }
+            for (j, &theta) in self.ma.iter().enumerate() {
+                if t > j {
+                    pred += theta * res[t - 1 - j];
+                }
+            }
+            w.push(pred);
+            res.push(0.0); // future innovations have zero expectation
+            out.push(pred);
+        }
+        out
+    }
+}
+
+impl Forecaster for Arima {
+    fn fit(&mut self, series: &[f64]) -> Result<()> {
+        let ArimaOrder { p, d, q } = self.order;
+        let min_len = p.max(q) * 3 + d + 8;
+        if series.len() < min_len {
+            return Err(Error::NotEnoughData {
+                needed: min_len,
+                got: series.len(),
+            });
+        }
+        self.tails = difference_tails(series, d);
+        let w_raw = difference(series, d);
+        self.mu = mean(&w_raw);
+        let w: Vec<f64> = w_raw.iter().map(|v| v - self.mu).collect();
+
+        if p == 0 && q == 0 {
+            self.ar = Vec::new();
+            self.ma = Vec::new();
+            self.sigma2 = crate::stats::variance(&w);
+        } else if q == 0 {
+            // Pure AR: conditional least squares on lagged values.
+            let rows: Vec<Vec<f64>> = (p..w.len())
+                .map(|t| (1..=p).map(|i| w[t - i]).collect())
+                .collect();
+            let y: Vec<f64> = w[p..].to_vec();
+            self.ar = ols(&rows, &y).ok_or(Error::SingularSystem)?;
+            self.ma = Vec::new();
+        } else {
+            // Hannan–Rissanen stage 1: long AR to estimate innovations.
+            let m = ((w.len() as f64).ln().ceil() as usize * 2 + p + q).min(w.len() / 4).max(p + q);
+            let rows: Vec<Vec<f64>> = (m..w.len())
+                .map(|t| (1..=m).map(|i| w[t - i]).collect())
+                .collect();
+            let y: Vec<f64> = w[m..].to_vec();
+            let long_ar = ols(&rows, &y).ok_or(Error::SingularSystem)?;
+            let mut eps = vec![0.0; w.len()];
+            for t in m..w.len() {
+                let pred: f64 = (1..=m).map(|i| long_ar[i - 1] * w[t - i]).sum();
+                eps[t] = w[t] - pred;
+            }
+            // Stage 2: regress on p lags of w and q lags of eps.
+            let start = m.max(p).max(q);
+            let rows: Vec<Vec<f64>> = (start..w.len())
+                .map(|t| {
+                    let mut r = Vec::with_capacity(p + q);
+                    for i in 1..=p {
+                        r.push(w[t - i]);
+                    }
+                    for j in 1..=q {
+                        r.push(eps[t - j]);
+                    }
+                    r
+                })
+                .collect();
+            let y: Vec<f64> = w[start..].to_vec();
+            let beta = ols(&rows, &y).ok_or(Error::SingularSystem)?;
+            self.ar = beta[..p].to_vec();
+            self.ma = beta[p..].to_vec();
+        }
+
+        self.residuals = self.compute_residuals(&w);
+        // Skip the burn-in residuals when estimating sigma².
+        let burn = (p.max(q)).min(self.residuals.len());
+        let tail = &self.residuals[burn..];
+        self.sigma2 = if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().map(|e| e * e).sum::<f64>() / tail.len() as f64
+        };
+        self.history = w;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted);
+        }
+        let fw = self.forecast_differenced(&self.history, &self.residuals, horizon);
+        let fw_mu: Vec<f64> = fw.iter().map(|v| v + self.mu).collect();
+        Ok(undifference(&fw_mu, &self.tails))
+    }
+
+    fn forecast_from(&self, series: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted);
+        }
+        let d = self.order.d;
+        if series.len() < d + 1 {
+            return Err(Error::NotEnoughData {
+                needed: d + 1,
+                got: series.len(),
+            });
+        }
+        let tails = difference_tails(series, d);
+        let w: Vec<f64> = difference(series, d).iter().map(|v| v - self.mu).collect();
+        let res = self.compute_residuals(&w);
+        let fw = self.forecast_differenced(&w, &res, horizon);
+        let fw_mu: Vec<f64> = fw.iter().map(|v| v + self.mu).collect();
+        Ok(undifference(&fw_mu, &tails))
+    }
+
+    fn name(&self) -> String {
+        format!("ARIMA({},{},{})", self.order.p, self.order.d, self.order.q)
+    }
+}
+
+/// Fits every order in `p ∈ 0..=max_p`, `d ∈ 0..=max_d`, `q ∈ 0..=max_q`
+/// and returns the model with the lowest AIC.
+pub fn auto_arima(series: &[f64], max_p: usize, max_d: usize, max_q: usize) -> Result<Arima> {
+    let mut best: Option<Arima> = None;
+    for d in 0..=max_d {
+        for p in 0..=max_p {
+            for q in 0..=max_q {
+                if p == 0 && q == 0 {
+                    continue;
+                }
+                let mut m = Arima::new(ArimaOrder::new(p, d, q));
+                if m.fit(series).is_ok() {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => m.aic() < b.aic(),
+                    };
+                    if better {
+                        best = Some(m);
+                    }
+                }
+            }
+        }
+    }
+    best.ok_or(Error::NoViableModel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG noise in [-1, 1).
+    fn noise(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn ar2_series(n: usize, phi1: f64, phi2: f64, seed: u64) -> Vec<f64> {
+        let e = noise(seed, n);
+        let mut xs = vec![0.0, 0.0];
+        for t in 2..n {
+            let v = phi1 * xs[t - 1] + phi2 * xs[t - 2] + e[t] * 0.5;
+            xs.push(v);
+        }
+        xs
+    }
+
+    #[test]
+    fn ar2_coefficients_recovered() {
+        let xs = ar2_series(4000, 0.6, 0.25, 42);
+        let mut m = Arima::new(ArimaOrder::new(2, 0, 0));
+        m.fit(&xs).unwrap();
+        assert!((m.ar_coefficients()[0] - 0.6).abs() < 0.05, "{:?}", m.ar_coefficients());
+        assert!((m.ar_coefficients()[1] - 0.25).abs() < 0.05, "{:?}", m.ar_coefficients());
+    }
+
+    #[test]
+    fn ma1_coefficient_recovered() {
+        // x_t = e_t + 0.7 e_{t-1}
+        let e = noise(7, 4000);
+        let xs: Vec<f64> = (1..4000).map(|t| e[t] + 0.7 * e[t - 1]).collect();
+        let mut m = Arima::new(ArimaOrder::new(0, 0, 1));
+        m.fit(&xs).unwrap();
+        assert!(
+            (m.ma_coefficients()[0] - 0.7).abs() < 0.1,
+            "theta {:?}",
+            m.ma_coefficients()
+        );
+    }
+
+    #[test]
+    fn differencing_handles_trend() {
+        // Linear trend + AR(1) noise: ARIMA(1,1,0) should forecast the
+        // continuation far better than ignoring the trend.
+        let base = ar2_series(600, 0.5, 0.0, 3);
+        let xs: Vec<f64> = base.iter().enumerate().map(|(i, v)| v + 0.5 * i as f64).collect();
+        let (train, test) = xs.split_at(500);
+        let mut m = Arima::new(ArimaOrder::new(1, 1, 0));
+        m.fit(train).unwrap();
+        let fc = m.forecast(20).unwrap();
+        for (i, f) in fc.iter().enumerate() {
+            let actual = test[i];
+            assert!(
+                (f - actual).abs() < 8.0,
+                "step {i}: forecast {f} vs actual {actual}"
+            );
+        }
+        // The forecast must keep climbing with the trend.
+        assert!(fc[19] > fc[0] + 5.0, "trend not extrapolated: {fc:?}");
+    }
+
+    #[test]
+    fn forecast_errors_before_fit() {
+        let m = Arima::new(ArimaOrder::new(1, 0, 0));
+        assert!(matches!(m.forecast(3), Err(Error::NotFitted)));
+        assert!(matches!(m.forecast_from(&[1.0; 50], 3), Err(Error::NotFitted)));
+    }
+
+    #[test]
+    fn fit_rejects_short_series() {
+        let mut m = Arima::new(ArimaOrder::new(3, 1, 3));
+        assert!(matches!(
+            m.fit(&[1.0, 2.0, 3.0]),
+            Err(Error::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn forecast_from_uses_new_history() {
+        let xs = ar2_series(1000, 0.8, 0.0, 11);
+        let mut m = Arima::new(ArimaOrder::new(1, 0, 0));
+        m.fit(&xs[..800]).unwrap();
+        // One-step forecasts from two different recent histories differ and
+        // track the AR structure: E[x_{t+1}] ≈ mu + phi (x_t - mu).
+        let h1 = &xs[..900];
+        let h2 = &xs[..950];
+        let f1 = m.forecast_from(h1, 1).unwrap()[0];
+        let f2 = m.forecast_from(h2, 1).unwrap()[0];
+        let phi = m.ar_coefficients()[0];
+        let expect1 = phi * (h1.last().unwrap());
+        assert!((f1 - expect1).abs() < 0.5, "{f1} vs {expect1}");
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn auto_arima_prefers_ar_for_ar_data() {
+        let xs = ar2_series(1500, 0.7, 0.0, 5);
+        let best = auto_arima(&xs, 2, 1, 2).unwrap();
+        // On an AR(1) process the selected model must include an AR term
+        // and no differencing.
+        assert!(best.order().p >= 1, "chose {:?}", best.order());
+        assert_eq!(best.order().d, 0, "chose {:?}", best.order());
+    }
+
+    #[test]
+    fn aic_penalizes_extra_parameters_on_white_noise() {
+        let xs = noise(9, 1200);
+        let mut small = Arima::new(ArimaOrder::new(1, 0, 0));
+        small.fit(&xs).unwrap();
+        let mut big = Arima::new(ArimaOrder::new(3, 0, 3));
+        big.fit(&xs).unwrap();
+        // Both fit noise equally badly; the bigger model pays the 2k penalty.
+        assert!(small.aic() < big.aic() + 1e-9);
+    }
+
+    #[test]
+    fn one_step_rolling_beats_mean_on_ar_process() {
+        let xs = ar2_series(1200, 0.85, 0.0, 21);
+        let (train, test) = xs.split_at(1000);
+        let mut m = Arima::new(ArimaOrder::new(1, 0, 0));
+        m.fit(train).unwrap();
+        let mut history = train.to_vec();
+        let mut se_model = 0.0;
+        let mut se_mean = 0.0;
+        let mu = mean(train);
+        for &actual in test {
+            let f = m.forecast_from(&history, 1).unwrap()[0];
+            se_model += (f - actual) * (f - actual);
+            se_mean += (mu - actual) * (mu - actual);
+            history.push(actual);
+        }
+        assert!(
+            se_model < se_mean * 0.6,
+            "model MSE {se_model} should beat mean MSE {se_mean}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Errors raised by the forecasting baselines.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Forecasting errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The series is too short for the requested model order.
+    NotEnoughData {
+        /// Minimum observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// `forecast` called before `fit`.
+    NotFitted,
+    /// The normal equations were singular.
+    SingularSystem,
+    /// Automatic order selection found no fittable model.
+    NoViableModel,
+    /// Invalid hyper-parameter.
+    BadParameter(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotEnoughData { needed, got } => {
+                write!(f, "need at least {needed} observations, got {got}")
+            }
+            Error::NotFitted => write!(f, "model must be fitted before forecasting"),
+            Error::SingularSystem => write!(f, "normal equations are singular"),
+            Error::NoViableModel => write!(f, "no model order could be fitted"),
+            Error::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::NotEnoughData { needed: 30, got: 5 };
+        assert!(e.to_string().contains("30"));
+        assert!(e.to_string().contains('5'));
+        assert!(Error::NotFitted.to_string().contains("fitted"));
+    }
+}

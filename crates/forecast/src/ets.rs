@@ -1,0 +1,350 @@
+//! Exponential smoothing (Holt–Winters) forecasters — an additional
+//! classical baseline beyond the paper's ARIMA/SVR pair: simple (level),
+//! Holt (level + trend) and Holt–Winters (level + trend + seasonality),
+//! with grid-searched smoothing parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::forecaster::Forecaster;
+
+/// Which smoothing components are active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EtsKind {
+    /// Simple exponential smoothing: level only.
+    Simple,
+    /// Holt's linear method: level + additive trend.
+    Holt,
+    /// Holt–Winters: level + trend + additive seasonality of the given
+    /// period (in observations).
+    HoltWinters {
+        /// Season length in observations (>= 2).
+        period: usize,
+    },
+}
+
+/// Fitted smoothing state.
+#[derive(Debug, Clone, Default)]
+struct State {
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+}
+
+/// Exponential-smoothing forecaster with grid-searched parameters.
+#[derive(Debug, Clone)]
+pub struct Ets {
+    kind: EtsKind,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    state: Option<State>,
+    /// Observations consumed when producing `state` (seasonal phase).
+    train_len: usize,
+    /// One-step-ahead in-sample MSE of the selected parameters.
+    mse: f64,
+}
+
+impl Ets {
+    /// New unfitted model.  Parameters are selected on `fit` by grid search
+    /// over the smoothing coefficients.
+    pub fn new(kind: EtsKind) -> Result<Self> {
+        if let EtsKind::HoltWinters { period } = kind {
+            if period < 2 {
+                return Err(Error::BadParameter("seasonal period must be >= 2".into()));
+            }
+        }
+        Ok(Ets {
+            kind,
+            alpha: 0.3,
+            beta: 0.1,
+            gamma: 0.1,
+            state: None,
+            train_len: 0,
+            mse: f64::INFINITY,
+        })
+    }
+
+    /// Selected smoothing parameters `(alpha, beta, gamma)`.
+    pub fn params(&self) -> (f64, f64, f64) {
+        (self.alpha, self.beta, self.gamma)
+    }
+
+    /// In-sample one-step MSE of the selected fit.
+    pub fn in_sample_mse(&self) -> f64 {
+        self.mse
+    }
+
+    fn init_state(&self, series: &[f64]) -> State {
+        match self.kind {
+            EtsKind::Simple => State {
+                level: series[0],
+                ..State::default()
+            },
+            EtsKind::Holt => State {
+                level: series[0],
+                trend: series.get(1).map(|s| s - series[0]).unwrap_or(0.0),
+                season: Vec::new(),
+            },
+            EtsKind::HoltWinters { period } => {
+                let mean1: f64 = series[..period].iter().sum::<f64>() / period as f64;
+                let season = (0..period).map(|i| series[i] - mean1).collect();
+                State {
+                    level: mean1,
+                    trend: 0.0,
+                    season,
+                }
+            }
+        }
+    }
+
+    /// Runs the smoother over `series` starting from `state`, returning the
+    /// final state and the one-step-ahead MSE.
+    fn smooth(
+        &self,
+        series: &[f64],
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        mut state: State,
+    ) -> (State, f64) {
+        let mut se = 0.0;
+        let mut n = 0usize;
+        let period = match self.kind {
+            EtsKind::HoltWinters { period } => period,
+            _ => 0,
+        };
+        for (t, &y) in series.iter().enumerate() {
+            let seasonal = if period > 0 {
+                state.season[t % period]
+            } else {
+                0.0
+            };
+            let forecast = state.level + state.trend + seasonal;
+            se += (y - forecast) * (y - forecast);
+            n += 1;
+
+            let prev_level = state.level;
+            match self.kind {
+                EtsKind::Simple => {
+                    state.level = alpha * y + (1.0 - alpha) * state.level;
+                }
+                EtsKind::Holt => {
+                    state.level = alpha * y + (1.0 - alpha) * (state.level + state.trend);
+                    state.trend = beta * (state.level - prev_level) + (1.0 - beta) * state.trend;
+                }
+                EtsKind::HoltWinters { period } => {
+                    let s = state.season[t % period];
+                    state.level = alpha * (y - s) + (1.0 - alpha) * (state.level + state.trend);
+                    state.trend = beta * (state.level - prev_level) + (1.0 - beta) * state.trend;
+                    state.season[t % period] =
+                        gamma * (y - state.level) + (1.0 - gamma) * s;
+                }
+            }
+        }
+        (state, se / n.max(1) as f64)
+    }
+
+    fn forecast_from_state(&self, state: &State, start_t: usize, horizon: usize) -> Vec<f64> {
+        (1..=horizon)
+            .map(|h| {
+                let seasonal = match self.kind {
+                    EtsKind::HoltWinters { period } => {
+                        state.season[(start_t + h - 1) % period]
+                    }
+                    _ => 0.0,
+                };
+                state.level + state.trend * h as f64 + seasonal
+            })
+            .collect()
+    }
+
+    fn min_len(&self) -> usize {
+        match self.kind {
+            EtsKind::Simple => 3,
+            EtsKind::Holt => 4,
+            EtsKind::HoltWinters { period } => 2 * period + 2,
+        }
+    }
+
+    /// Candidate grid per smoothing coefficient.
+    const GRID: [f64; 5] = [0.05, 0.15, 0.3, 0.5, 0.8];
+}
+
+impl Forecaster for Ets {
+    fn fit(&mut self, series: &[f64]) -> Result<()> {
+        if series.len() < self.min_len() {
+            return Err(Error::NotEnoughData {
+                needed: self.min_len(),
+                got: series.len(),
+            });
+        }
+        let mut best = (f64::INFINITY, 0.3, 0.1, 0.1, State::default());
+        let betas: &[f64] = match self.kind {
+            EtsKind::Simple => &[0.0],
+            _ => &Self::GRID,
+        };
+        let gammas: &[f64] = match self.kind {
+            EtsKind::HoltWinters { .. } => &Self::GRID,
+            _ => &[0.0],
+        };
+        for &alpha in &Self::GRID {
+            for &beta in betas {
+                for &gamma in gammas {
+                    let (state, mse) =
+                        self.smooth(series, alpha, beta, gamma, self.init_state(series));
+                    if mse < best.0 {
+                        best = (mse, alpha, beta, gamma, state);
+                    }
+                }
+            }
+        }
+        self.mse = best.0;
+        self.alpha = best.1;
+        self.beta = best.2;
+        self.gamma = best.3;
+        self.state = Some(best.4);
+        self.train_len = series.len();
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        let state = self.state.as_ref().ok_or(Error::NotFitted)?;
+        Ok(self.forecast_from_state(state, self.train_len, horizon))
+    }
+
+    fn forecast_from(&self, series: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if self.state.is_none() {
+            return Err(Error::NotFitted);
+        }
+        if series.len() < self.min_len() {
+            return Err(Error::NotEnoughData {
+                needed: self.min_len(),
+                got: series.len(),
+            });
+        }
+        // Re-run the smoother with the fitted coefficients over the new
+        // history (no re-selection of parameters).
+        let (state, _) = self.smooth(
+            series,
+            self.alpha,
+            self.beta,
+            self.gamma,
+            self.init_state(series),
+        );
+        Ok(self.forecast_from_state(&state, series.len(), horizon))
+    }
+
+    fn name(&self) -> String {
+        match self.kind {
+            EtsKind::Simple => "SES".into(),
+            EtsKind::Holt => "Holt".into(),
+            EtsKind::HoltWinters { period } => format!("Holt-Winters(m={period})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_trend(n: usize) -> Vec<f64> {
+        let mut state = 3u64;
+        (0..n)
+            .map(|t| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                10.0 + 0.5 * t as f64 + e
+            })
+            .collect()
+    }
+
+    fn seasonal(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| 50.0 + 10.0 * ((t % period) as f64 / period as f64 * std::f64::consts::TAU).sin())
+            .collect()
+    }
+
+    #[test]
+    fn simple_tracks_level_shifts() {
+        let mut series = vec![10.0; 50];
+        series.extend(vec![30.0; 50]);
+        let mut m = Ets::new(EtsKind::Simple).unwrap();
+        m.fit(&series).unwrap();
+        let f = m.forecast(5).unwrap();
+        for v in f {
+            assert!((v - 30.0).abs() < 2.0, "forecast {v} should be near the new level");
+        }
+    }
+
+    #[test]
+    fn holt_extrapolates_trend() {
+        let series = noisy_trend(200);
+        let mut m = Ets::new(EtsKind::Holt).unwrap();
+        m.fit(&series).unwrap();
+        let f = m.forecast(10).unwrap();
+        // True continuation: 10 + 0.5 * (200..210)
+        for (h, v) in f.iter().enumerate() {
+            let expected = 10.0 + 0.5 * (200 + h) as f64;
+            assert!((v - expected).abs() < 3.0, "h={h}: {v} vs {expected}");
+        }
+        assert!(f[9] > f[0], "trend extrapolated upward");
+    }
+
+    #[test]
+    fn holt_winters_captures_seasonality() {
+        let period = 12;
+        let series = seasonal(240, period);
+        let mut m = Ets::new(EtsKind::HoltWinters { period }).unwrap();
+        m.fit(&series).unwrap();
+        let f = m.forecast(period).unwrap();
+        let truth = seasonal(240 + period, period);
+        for (h, v) in f.iter().enumerate() {
+            let expected = truth[240 + h];
+            assert!((v - expected).abs() < 2.0, "h={h}: {v} vs {expected}");
+        }
+        // Forecast must actually oscillate.
+        let spread = f.iter().cloned().fold(f64::MIN, f64::max)
+            - f.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 10.0, "seasonal spread {spread}");
+    }
+
+    #[test]
+    fn grid_search_beats_fixed_bad_params() {
+        let series = noisy_trend(150);
+        let mut m = Ets::new(EtsKind::Holt).unwrap();
+        m.fit(&series).unwrap();
+        assert!(m.in_sample_mse() < 5.0, "selected fit MSE {}", m.in_sample_mse());
+        let (alpha, _, _) = m.params();
+        assert!((0.0..=1.0).contains(&alpha));
+    }
+
+    #[test]
+    fn rejects_bad_period_and_short_series() {
+        assert!(Ets::new(EtsKind::HoltWinters { period: 1 }).is_err());
+        let mut m = Ets::new(EtsKind::HoltWinters { period: 10 }).unwrap();
+        assert!(matches!(
+            m.fit(&[1.0; 5]),
+            Err(Error::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn forecast_before_fit_errors() {
+        let m = Ets::new(EtsKind::Simple).unwrap();
+        assert!(matches!(m.forecast(1), Err(Error::NotFitted)));
+    }
+
+    #[test]
+    fn forecast_from_new_history() {
+        let series = noisy_trend(150);
+        let mut m = Ets::new(EtsKind::Holt).unwrap();
+        m.fit(&series[..100]).unwrap();
+        let f_old = m.forecast(1).unwrap()[0];
+        let f_new = m.forecast_from(&series, 1).unwrap()[0];
+        // New history extends 50 steps of +0.5 trend: forecast moves up.
+        assert!(f_new > f_old + 15.0, "{f_new} vs {f_old}");
+    }
+}

@@ -1,0 +1,120 @@
+//! The common forecaster interface and rolling one-step evaluation, used to
+//! compare ARIMA, SVR and the DRNN on identical terms.
+
+use crate::error::Result;
+
+/// A univariate time-series forecaster.
+pub trait Forecaster {
+    /// Fits the model on the training series.
+    fn fit(&mut self, series: &[f64]) -> Result<()>;
+
+    /// Forecasts `horizon` steps past the end of the *training* series.
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>>;
+
+    /// Forecasts `horizon` steps past the end of `series` using the fitted
+    /// parameters (no refit) — the rolling-evaluation primitive.
+    fn forecast_from(&self, series: &[f64], horizon: usize) -> Result<Vec<f64>>;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> String;
+}
+
+/// Rolling `horizon`-step-ahead evaluation: for each test point, forecast
+/// from the history ending just before it (actuals are appended as they are
+/// observed — "walk-forward" evaluation).  Returns `(actuals, predictions)`
+/// for points where a forecast was possible.
+pub fn rolling_forecast(
+    model: &dyn Forecaster,
+    train: &[f64],
+    test: &[f64],
+    horizon: usize,
+) -> Result<(Vec<f64>, Vec<f64>)> {
+    assert!(horizon >= 1);
+    let mut history: Vec<f64> = train.to_vec();
+    let mut actuals = Vec::new();
+    let mut preds = Vec::new();
+    for i in 0..test.len() {
+        if i + horizon > test.len() {
+            break;
+        }
+        let f = model.forecast_from(&history, horizon)?;
+        preds.push(f[horizon - 1]);
+        actuals.push(test[i + horizon - 1]);
+        history.push(test[i]);
+    }
+    Ok((actuals, preds))
+}
+
+/// Naive persistence baseline: tomorrow equals today.  Useful as the
+/// sanity floor every real model must beat.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveForecaster {
+    last: Option<f64>,
+}
+
+impl Forecaster for NaiveForecaster {
+    fn fit(&mut self, series: &[f64]) -> Result<()> {
+        self.last = series.last().copied();
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        match self.last {
+            Some(v) => Ok(vec![v; horizon]),
+            None => Err(crate::error::Error::NotFitted),
+        }
+    }
+
+    fn forecast_from(&self, series: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        match series.last() {
+            Some(&v) => Ok(vec![v; horizon]),
+            None => Err(crate::error::Error::NotEnoughData { needed: 1, got: 0 }),
+        }
+    }
+
+    fn name(&self) -> String {
+        "Naive".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_repeats_last_value() {
+        let mut m = NaiveForecaster::default();
+        assert!(m.forecast(1).is_err());
+        m.fit(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.forecast(3).unwrap(), vec![3.0, 3.0, 3.0]);
+        assert_eq!(m.forecast_from(&[9.0], 2).unwrap(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn rolling_walks_forward() {
+        let m = {
+            let mut m = NaiveForecaster::default();
+            m.fit(&[0.0]).unwrap();
+            m
+        };
+        let train = [10.0];
+        let test = [1.0, 2.0, 3.0, 4.0];
+        let (actuals, preds) = rolling_forecast(&m, &train, &test, 1).unwrap();
+        assert_eq!(actuals, vec![1.0, 2.0, 3.0, 4.0]);
+        // Naive h=1 prediction of test[i] is test[i-1] (train tail first).
+        assert_eq!(preds, vec![10.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rolling_horizon_two() {
+        let m = {
+            let mut m = NaiveForecaster::default();
+            m.fit(&[0.0]).unwrap();
+            m
+        };
+        let (actuals, preds) = rolling_forecast(&m, &[5.0], &[1.0, 2.0, 3.0], 2).unwrap();
+        // Only test[1] and test[2] are 2-step-ahead reachable.
+        assert_eq!(actuals, vec![2.0, 3.0]);
+        assert_eq!(preds, vec![5.0, 1.0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Time-series statistics primitives: autocorrelation, partial
+//! autocorrelation (Durbin–Levinson), differencing, and a small dense
+//! linear solver used by the ARIMA fitting routines.
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample variance (population normalization).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Autocorrelation function for lags `0..=max_lag`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (0..=max_lag)
+        .map(|lag| {
+            if lag >= n || denom < 1e-12 {
+                return if lag == 0 { 1.0 } else { 0.0 };
+            }
+            let num: f64 = (0..n - lag).map(|t| (xs[t] - m) * (xs[t + lag] - m)).sum();
+            num / denom
+        })
+        .collect()
+}
+
+/// Partial autocorrelation for lags `1..=max_lag` via Durbin–Levinson.
+pub fn pacf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let rho = acf(xs, max_lag);
+    let mut phi = vec![vec![0.0; max_lag + 1]; max_lag + 1];
+    let mut out = Vec::with_capacity(max_lag);
+    for k in 1..=max_lag {
+        if k == 1 {
+            phi[1][1] = rho[1];
+        } else {
+            let num = rho[k] - (1..k).map(|j| phi[k - 1][j] * rho[k - j]).sum::<f64>();
+            let den = 1.0 - (1..k).map(|j| phi[k - 1][j] * rho[j]).sum::<f64>();
+            phi[k][k] = if den.abs() < 1e-12 { 0.0 } else { num / den };
+            for j in 1..k {
+                phi[k][j] = phi[k - 1][j] - phi[k][k] * phi[k - 1][k - j];
+            }
+        }
+        out.push(phi[k][k]);
+    }
+    out
+}
+
+/// Applies `d` rounds of first differencing.
+pub fn difference(xs: &[f64], d: usize) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    for _ in 0..d {
+        if v.len() < 2 {
+            return Vec::new();
+        }
+        v = v.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    v
+}
+
+/// Inverts `d` rounds of differencing for a forecast path.
+///
+/// `tails[r]` is the last value of the series after `r` rounds of
+/// differencing (so `tails[0]` is the last original observation and
+/// `tails[d-1]` the last value of the `(d-1)`-times-differenced series).
+/// `forecast` is a path in the `d`-times-differenced domain.
+pub fn undifference(forecast: &[f64], tails: &[f64]) -> Vec<f64> {
+    let mut path = forecast.to_vec();
+    for tail in tails.iter().rev() {
+        let mut acc = *tail;
+        for v in path.iter_mut() {
+            acc += *v;
+            *v = acc;
+        }
+    }
+    path
+}
+
+/// Collects the differencing tails needed by [`undifference`].
+pub fn difference_tails(xs: &[f64], d: usize) -> Vec<f64> {
+    let mut tails = Vec::with_capacity(d);
+    let mut v = xs.to_vec();
+    for _ in 0..d {
+        tails.push(*v.last().expect("series long enough to difference"));
+        v = v.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    tails
+}
+
+/// Solves the dense system `A x = b` by Gaussian elimination with partial
+/// pivoting.  Returns `None` for (numerically) singular systems.
+pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|r| r.len() == n), "square system");
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: finds `beta` minimizing `‖X·beta − y‖²` via the
+/// normal equations with ridge jitter for stability.
+pub fn ols(x_rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let n = x_rows.len();
+    if n == 0 {
+        return None;
+    }
+    let p = x_rows[0].len();
+    assert!(x_rows.iter().all(|r| r.len() == p) && y.len() == n);
+    // XtX and Xty.
+    let mut xtx = vec![vec![0.0; p]; p];
+    let mut xty = vec![0.0; p];
+    for (row, &target) in x_rows.iter().zip(y) {
+        for i in 0..p {
+            xty[i] += row[i] * target;
+            for j in i..p {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..p {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        xtx[i][i] += 1e-8; // ridge jitter
+    }
+    solve_linear(&xtx, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn acf_lag0_is_one_and_white_noise_decorrelated() {
+        let mut state = 42u64;
+        let xs: Vec<f64> = (0..500)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64
+            })
+            .collect();
+        let r = acf(&xs, 5);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        for lag in 1..=5 {
+            assert!(r[lag].abs() < 0.15, "lag {lag}: {}", r[lag]);
+        }
+    }
+
+    #[test]
+    fn acf_of_ar1_decays_geometrically() {
+        // x_t = 0.8 x_{t-1} + e_t  →  rho(k) ≈ 0.8^k
+        let mut xs = vec![0.0];
+        let mut state = 12345u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            let prev = *xs.last().unwrap();
+            xs.push(0.8 * prev + e);
+        }
+        let r = acf(&xs, 3);
+        assert!((r[1] - 0.8).abs() < 0.05, "rho1 {}", r[1]);
+        assert!((r[2] - 0.64).abs() < 0.08, "rho2 {}", r[2]);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag_one() {
+        let mut xs = vec![0.0];
+        let mut state = 999u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            let prev = *xs.last().unwrap();
+            xs.push(0.7 * prev + e);
+        }
+        let p = pacf(&xs, 4);
+        assert!((p[0] - 0.7).abs() < 0.05, "pacf1 {}", p[0]);
+        for lag in 1..4 {
+            assert!(p[lag].abs() < 0.1, "pacf{} = {}", lag + 1, p[lag]);
+        }
+    }
+
+    #[test]
+    fn differencing_removes_linear_trend() {
+        let xs: Vec<f64> = (0..50).map(|i| 3.0 * i as f64 + 7.0).collect();
+        let d1 = difference(&xs, 1);
+        assert!(d1.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+        let d2 = difference(&xs, 2);
+        assert!(d2.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn undifference_inverts_difference() {
+        let xs: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64).collect();
+        for d in 1..=2 {
+            let diffed = difference(&xs, d);
+            let tails = difference_tails(&xs, d);
+            // "Forecast" the actual continuation and check reconstruction.
+            let future: Vec<f64> = (20..25).map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64).collect();
+            let all: Vec<f64> = xs.iter().chain(&future).copied().collect();
+            let all_diffed = difference(&all, d);
+            let future_diffed = &all_diffed[diffed.len()..];
+            let rebuilt = undifference(future_diffed, &tails);
+            for (a, b) in rebuilt.iter().zip(&future) {
+                assert!((a - b).abs() < 1e-9, "d={d}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_linear_known_system() {
+        // 2x + y = 5 ; x - y = 1  → x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_linear_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn ols_recovers_coefficients() {
+        // y = 2 x1 - 3 x2 + 1 (intercept as constant feature)
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let x1 = (i as f64 * 0.1).sin();
+                let x2 = (i as f64 * 0.07).cos();
+                vec![x1, x2, 1.0]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
+        let beta = ols(&rows, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-6);
+        assert!((beta[1] + 3.0).abs() < 1e-6);
+        assert!((beta[2] - 1.0).abs() < 1e-6);
+    }
+}

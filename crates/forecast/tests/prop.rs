@@ -1,0 +1,114 @@
+//! Property-based tests for the forecasting baselines: differencing
+//! round trips, linear-solver correctness, OLS recovery and kernel laws.
+
+use proptest::prelude::*;
+
+use forecast::stats::{difference, difference_tails, ols, solve_linear, undifference};
+use forecast::svr::Kernel;
+
+proptest! {
+    /// undifference(difference(x)) reconstructs the continuation exactly.
+    #[test]
+    fn difference_round_trip(
+        series in prop::collection::vec(-1e3f64..1e3, 8..60),
+        future in prop::collection::vec(-1e3f64..1e3, 1..10),
+        d in 1usize..3,
+    ) {
+        let tails = difference_tails(&series, d);
+        let all: Vec<f64> = series.iter().chain(&future).copied().collect();
+        let all_diffed = difference(&all, d);
+        let hist_diffed = difference(&series, d);
+        let future_diffed = &all_diffed[hist_diffed.len()..];
+        let rebuilt = undifference(future_diffed, &tails);
+        prop_assert_eq!(rebuilt.len(), future.len());
+        for (a, b) in rebuilt.iter().zip(&future) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    /// Diagonally dominant systems solve exactly: A·x == b.
+    #[test]
+    fn solve_linear_residual_is_zero(
+        n in 1usize..8,
+        seed in prop::collection::vec(-10.0f64..10.0, 64 + 8),
+    ) {
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    a[i][j] = seed[i * 8 + j];
+                    row_sum += a[i][j].abs();
+                }
+            }
+            a[i][i] = row_sum + 1.0 + seed[64 + i].abs();
+        }
+        let b: Vec<f64> = (0..n).map(|i| seed[i * 8 + 7] * 3.0).collect();
+        let x = solve_linear(&a, &b).expect("diagonally dominant is non-singular");
+        for i in 0..n {
+            let residual: f64 = (0..n).map(|j| a[i][j] * x[j]).sum::<f64>() - b[i];
+            prop_assert!(residual.abs() < 1e-8, "row {}: residual {}", i, residual);
+        }
+    }
+
+    /// OLS exactly recovers coefficients of noise-free linear data.
+    #[test]
+    fn ols_recovers_exact_linear_models(
+        beta in prop::collection::vec(-5.0f64..5.0, 1..4),
+        n_obs in 10usize..60,
+    ) {
+        let p = beta.len();
+        let rows: Vec<Vec<f64>> = (0..n_obs)
+            .map(|i| (0..p).map(|j| ((i * (j + 3) + j) % 17) as f64 - 8.0).collect())
+            .collect();
+        // Require non-degenerate design (distinct rows across features).
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(&beta).map(|(x, b)| x * b).sum())
+            .collect();
+        if let Some(est) = ols(&rows, &y) {
+            for (e, b) in est.iter().zip(&beta) {
+                prop_assert!((e - b).abs() < 1e-3, "est {:?} vs true {:?}", est, beta);
+            }
+        }
+    }
+
+    /// RBF kernel: symmetric, bounded in (0, 1], and k(a, a) = 1.
+    #[test]
+    fn rbf_kernel_laws(
+        a in prop::collection::vec(-50.0f64..50.0, 3),
+        b in prop::collection::vec(-50.0f64..50.0, 3),
+        gamma in 0.001f64..2.0,
+    ) {
+        let k = Kernel::Rbf { gamma };
+        let kab = k.eval(&a, &b);
+        let kba = k.eval(&b, &a);
+        prop_assert_eq!(kab, kba);
+        prop_assert!((0.0..=1.0).contains(&kab)); // exp underflows to 0 at extreme distances
+        prop_assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Linear kernel is bilinear: k(2a, b) = 2 k(a, b).
+    #[test]
+    fn linear_kernel_bilinear(
+        a in prop::collection::vec(-10.0f64..10.0, 4),
+        b in prop::collection::vec(-10.0f64..10.0, 4),
+        s in -3.0f64..3.0,
+    ) {
+        let k = Kernel::Linear;
+        let scaled: Vec<f64> = a.iter().map(|x| x * s).collect();
+        let lhs = k.eval(&scaled, &b);
+        let rhs = s * k.eval(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    /// Differencing reduces a linear trend to a constant regardless of slope.
+    #[test]
+    fn differencing_kills_linear_trends(slope in -100.0f64..100.0, intercept in -100.0f64..100.0, n in 3usize..50) {
+        let xs: Vec<f64> = (0..n).map(|i| slope * i as f64 + intercept).collect();
+        let d = difference(&xs, 1);
+        for v in &d {
+            prop_assert!((v - slope).abs() < 1e-9 * (1.0 + slope.abs()));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # streampc — facade crate
+//!
+//! Reproduction of *"A Deep Recurrent Neural Network Based Predictive
+//! Control Framework for Reliable Distributed Stream Data Processing"*
+//! (IPDPS 2019).  This crate re-exports the workspace's public API so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`dsdps`] — the Storm-model stream processing engine (simulated +
+//!   threaded runtimes, dynamic grouping, acker, multilevel metrics);
+//! * [`drnn`] — the from-scratch deep recurrent neural network library;
+//! * [`forecast`] — ARIMA and ε-SVR baseline predictors;
+//! * [`control`] — the predictive control framework (the paper's
+//!   contribution);
+//! * [`apps`] — the two evaluation applications (Windowed URL Count and
+//!   Continuous Queries) plus workload generators and fault schedules.
+
+pub use drnn;
+pub use dsdps;
+pub use forecast;
+pub use stream_apps as apps;
+pub use stream_control as control;
+
+/// Crate version, matching the workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,393 @@
+//! Workspace integration tests: the full pipeline across crates —
+//! applications on the simulated engine, the control loop closing over
+//! dynamic groupings, predictor training on engine metrics, and the
+//! threaded runtime running the same topologies.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use streampc::apps::continuous_queries::{build_continuous_queries, CqConfig};
+use streampc::apps::faults::FaultScenario;
+use streampc::apps::url_count::{build_url_count, UrlCountConfig};
+use streampc::apps::workload::RatePattern;
+use streampc::control::controller::{
+    control_hook, ControlEvent, ControlMode, Controller, ControllerConfig,
+};
+use streampc::control::detector::DetectorConfig;
+use streampc::control::predictor::{ArimaPredictor, PerformancePredictor, SvrPredictor};
+use streampc::dsdps::config::EngineConfig;
+use streampc::dsdps::metrics::MetricsSnapshot;
+use streampc::dsdps::scheduler::even_placement;
+use streampc::dsdps::sim::SimRuntime;
+use streampc::forecast::svr::SvrParams;
+
+fn cluster(seed: u64) -> EngineConfig {
+    EngineConfig::default().with_cluster(4, 2, 4).with_seed(seed)
+}
+
+fn wuc_config() -> UrlCountConfig {
+    UrlCountConfig {
+        pattern: RatePattern::Constant { rate: 800.0 },
+        count_cost_us: 600.0,
+        window_s: 2.0,
+        ..UrlCountConfig::default()
+    }
+}
+
+fn cq_config() -> CqConfig {
+    CqConfig {
+        pattern: RatePattern::Constant { rate: 700.0 },
+        query_cost_us: 600.0,
+        ..CqConfig::default()
+    }
+}
+
+#[test]
+fn url_count_full_pipeline_on_simulator() {
+    let (topology, stats) = build_url_count(&wuc_config()).unwrap();
+    let mut engine = SimRuntime::new(topology, cluster(1)).unwrap();
+    let report = engine.run_until(30.0);
+    let emitted = stats.emitted.load(Ordering::Relaxed);
+    let counted = stats.counted.load(Ordering::Relaxed);
+    assert!(emitted > 20_000, "emitted {emitted}");
+    assert!(counted as f64 > emitted as f64 * 0.98);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.timed_out, 0);
+    assert!(report.avg_complete_latency_ms > 0.0);
+    // Window totals across finalized reports add up to the portion of the
+    // stream those windows cover (the last couple of windows are still
+    // open at shutdown).
+    let reports = stats.reports.lock();
+    let reported_total: u64 = reports.iter().map(|r| r.total).sum();
+    let covered = reports.len() as f64 * 2.0 * 800.0; // windows x window_s x rate
+    assert!(
+        (reported_total as f64 - covered).abs() < covered * 0.15,
+        "window reports cover their windows: {reported_total} vs ~{covered}"
+    );
+    assert!(reports.len() >= 10, "most windows finalized: {}", reports.len());
+}
+
+#[test]
+fn continuous_queries_full_pipeline_on_simulator() {
+    let (topology, stats) = build_continuous_queries(&cq_config()).unwrap();
+    let mut engine = SimRuntime::new(topology, cluster(2)).unwrap();
+    engine.run_until(25.0);
+    let results = stats.results.lock();
+    assert!(results.len() > 20);
+    // Results arrive for several distinct standing queries and windows.
+    let queries: std::collections::HashSet<u32> = results.iter().map(|r| r.query).collect();
+    let windows: std::collections::HashSet<u64> = results.iter().map(|r| r.window).collect();
+    assert!(queries.len() >= 5, "queries {}", queries.len());
+    assert!(windows.len() >= 3, "windows {}", windows.len());
+}
+
+#[test]
+fn reactive_control_bypasses_misbehaving_worker_end_to_end() {
+    let (topology, _) = build_url_count(&wuc_config()).unwrap();
+    let placement = even_placement(&topology, &cluster(3)).unwrap();
+    let count_workers: Vec<_> = topology
+        .component_by_name("count")
+        .unwrap()
+        .tasks()
+        .map(|t| placement.worker_of(t))
+        .collect();
+    let fault_worker = count_workers[1];
+
+    let controller = Controller::for_topology(
+        &topology,
+        &placement,
+        ControllerConfig {
+            warmup_intervals: 10,
+            detector: DetectorConfig {
+                trigger_factor: 2.5,
+                ..DetectorConfig::default()
+            },
+            ..ControllerConfig::default()
+        },
+        ControlMode::Reactive,
+    )
+    .unwrap();
+    let shared = Arc::new(parking_lot::Mutex::new(controller));
+
+    let mut engine = SimRuntime::new(topology, cluster(3)).unwrap();
+    FaultScenario::single_misbehaving_worker(fault_worker.0, 10.0, 20.0, 60.0)
+        .apply(&mut engine)
+        .unwrap();
+    engine.add_control_hook(control_hook(shared.clone()));
+    engine.run_until(60.0);
+
+    let c = shared.lock();
+    let flagged: Vec<_> = c
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            ControlEvent::Flagged { worker, interval, .. } => Some((*worker, *interval)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        flagged.iter().any(|(w, _)| *w == fault_worker),
+        "faulted worker must be flagged; events: {:?}",
+        c.events()
+    );
+    let (_, t_flag) = flagged.iter().find(|(w, _)| *w == fault_worker).unwrap();
+    assert!(
+        *t_flag >= 20 && *t_flag <= 26,
+        "detection within a few intervals of fault onset, got t={t_flag}"
+    );
+    // The ratio must have been re-planned at least once.
+    assert!(c
+        .events()
+        .iter()
+        .any(|e| matches!(e, ControlEvent::RatioApplied { .. })));
+}
+
+#[test]
+fn control_preserves_throughput_under_fault() {
+    // Compare fault-window throughput with and without reactive control.
+    let run = |with_control: bool| -> f64 {
+        let (topology, _) = build_url_count(&wuc_config()).unwrap();
+        let placement = even_placement(&topology, &cluster(4)).unwrap();
+        let fault_worker = {
+            let ws: Vec<_> = topology
+                .component_by_name("count")
+                .unwrap()
+                .tasks()
+                .map(|t| placement.worker_of(t))
+                .collect();
+            ws[1]
+        };
+        let mut engine = SimRuntime::new(topology, cluster(4)).unwrap();
+        FaultScenario::single_misbehaving_worker(fault_worker.0, 12.0, 20.0, 70.0)
+            .apply(&mut engine)
+            .unwrap();
+        if with_control {
+            let controller = Controller::for_topology(
+                engine.topology(),
+                &placement,
+                ControllerConfig {
+                    warmup_intervals: 10,
+                    ..ControllerConfig::default()
+                },
+                ControlMode::Reactive,
+            )
+            .unwrap();
+            engine.add_control_hook(control_hook(Arc::new(parking_lot::Mutex::new(controller))));
+        }
+        engine.run_until(70.0);
+        let snaps: Vec<&MetricsSnapshot> = engine.history().iter().collect();
+        let window: Vec<&&MetricsSnapshot> = snaps
+            .iter()
+            .filter(|s| s.time_s > 30.0 && s.time_s <= 70.0)
+            .collect();
+        window.iter().map(|s| s.topology.throughput).sum::<f64>() / window.len() as f64
+    };
+    let uncontrolled = run(false);
+    let controlled = run(true);
+    assert!(
+        controlled > uncontrolled * 1.1,
+        "control must preserve throughput: {controlled:.0} vs {uncontrolled:.0} t/s"
+    );
+}
+
+#[test]
+fn baseline_predictors_fit_on_real_engine_metrics() {
+    // ARIMA and SVR train directly on simulator-produced metric histories.
+    let (topology, _) = build_continuous_queries(&cq_config()).unwrap();
+    let placement = even_placement(&topology, &cluster(5)).unwrap();
+    let workers: Vec<_> = topology
+        .component_by_name("query")
+        .unwrap()
+        .tasks()
+        .map(|t| placement.worker_of(t))
+        .collect();
+    let mut engine = SimRuntime::new(topology, cluster(5)).unwrap();
+    engine
+        .inject_fault(streampc::dsdps::sim::Fault::ExternalLoad {
+            machine: 0,
+            cores: 6.0,
+            from_s: 20.0,
+            until_s: 40.0,
+        })
+        .unwrap();
+    engine.run_until(80.0);
+    let history: Vec<MetricsSnapshot> = engine.history().iter().cloned().collect();
+    let refs: Vec<&MetricsSnapshot> = history.iter().collect();
+
+    let mut arima = ArimaPredictor::new(1, 2, 1, 1);
+    arima.fit(&refs[..60], &workers).unwrap();
+    let mut svr = SvrPredictor::new(1, 8, SvrParams::default());
+    svr.fit(&refs[..60], &workers).unwrap();
+    for w in &workers {
+        let a = arima.predict(&refs, *w).expect("arima predicts");
+        let s = svr.predict(&refs, *w).expect("svr predicts");
+        assert!(a.is_finite() && a >= 0.0);
+        assert!(s.is_finite() && s >= 0.0);
+        // Sanity: predictions in the same order of magnitude as reality.
+        let actual = history.last().unwrap().worker_avg_latency_us(*w).unwrap_or(600.0);
+        assert!(a < actual * 20.0 + 5_000.0, "arima {a} vs actual {actual}");
+        assert!(s < actual * 20.0 + 5_000.0, "svr {s} vs actual {actual}");
+    }
+}
+
+#[test]
+fn threaded_runtime_runs_url_count_for_real() {
+    let cfg = UrlCountConfig {
+        pattern: RatePattern::Constant { rate: 1500.0 },
+        n_urls: 500,
+        window_s: 0.5,
+        ..UrlCountConfig::default()
+    };
+    let (topology, stats) = build_url_count(&cfg).unwrap();
+    let mut engine_cfg = cluster(6);
+    engine_cfg.metrics_interval_s = 0.25;
+    engine_cfg.tick_interval_s = 0.25;
+    let running = streampc::dsdps::rt::submit(topology, engine_cfg).unwrap();
+    std::thread::sleep(Duration::from_millis(1500));
+    let (history, report) = running.run_for(Duration::from_millis(500));
+    assert!(report.acked > 1000, "threaded runtime acked {}", report.acked);
+    assert_eq!(report.failed, 0);
+    assert!(history.len() >= 2);
+    assert!(stats.counted.load(Ordering::Relaxed) > 1000);
+    assert!(!stats.reports.lock().is_empty(), "windows closed on wall clock");
+}
+
+#[test]
+fn simulator_is_deterministic_across_full_apps() {
+    let run = || {
+        let (topology, stats) = build_url_count(&wuc_config()).unwrap();
+        let mut engine = SimRuntime::new(topology, cluster(7)).unwrap();
+        let report = engine.run_until(15.0);
+        (
+            report.acked,
+            report.spout_emitted,
+            stats.counted.load(Ordering::Relaxed),
+            engine.history().latest().unwrap().topology.throughput.to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    assert!(!streampc::VERSION.is_empty());
+    let _cfg = streampc::dsdps::config::EngineConfig::default();
+    let _loss = streampc::drnn::loss::Loss::Mse;
+    let _order = streampc::forecast::arima::ArimaOrder::new(1, 0, 0);
+    let _spec = streampc::control::features::FeatureSpec::full();
+    let _pattern = streampc::apps::workload::RatePattern::Constant { rate: 1.0 };
+}
+
+#[test]
+fn controller_restores_ratio_after_fault_ends() {
+    let (topology, _) = build_url_count(&wuc_config()).unwrap();
+    let placement = even_placement(&topology, &cluster(8)).unwrap();
+    let handle = topology
+        .dynamic_handle("parse", &streampc::dsdps::stream::StreamId::default(), "count")
+        .unwrap();
+    let fault_worker = {
+        let ws: Vec<_> = topology
+            .component_by_name("count")
+            .unwrap()
+            .tasks()
+            .map(|t| placement.worker_of(t))
+            .collect();
+        ws[1]
+    };
+    let controller = Controller::for_topology(
+        &topology,
+        &placement,
+        ControllerConfig {
+            warmup_intervals: 10,
+            ..ControllerConfig::default()
+        },
+        ControlMode::Reactive,
+    )
+    .unwrap();
+    let shared = Arc::new(parking_lot::Mutex::new(controller));
+
+    let mut engine = SimRuntime::new(topology, cluster(8)).unwrap();
+    FaultScenario::single_misbehaving_worker(fault_worker.0, 10.0, 20.0, 50.0)
+        .apply(&mut engine)
+        .unwrap();
+    engine.add_control_hook(control_hook(shared.clone()));
+
+    // During the fault: the flagged task holds only the probe share.
+    engine.run_until(45.0);
+    let during = handle.ratio();
+    let min_during = during
+        .as_slice()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_during < 0.05,
+        "one task should be reduced to probe traffic: {during:?}"
+    );
+
+    // Well after the fault: probe observations confirm recovery and the
+    // ratio returns to (near) uniform.
+    engine.run_until(90.0);
+    let after = handle.ratio();
+    let c = shared.lock();
+    assert!(
+        c.events()
+            .iter()
+            .any(|e| matches!(e, ControlEvent::Recovered { worker, .. } if *worker == fault_worker)),
+        "recovery must be detected: {:?}",
+        c.events()
+    );
+    let min_after = after
+        .as_slice()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_after > 0.15,
+        "ratio should be restored after recovery: {after:?}"
+    );
+}
+
+#[test]
+fn threaded_runtime_drives_controller_hook() {
+    // The controller runs against the threaded runtime's metrics hook too:
+    // healthy run, so it observes without flagging anything.
+    let cfg = CqConfig {
+        pattern: RatePattern::Constant { rate: 1000.0 },
+        n_devices: 100,
+        n_queries: 10,
+        ..CqConfig::default()
+    };
+    let (topology, _) = build_continuous_queries(&cfg).unwrap();
+    let placement = even_placement(&topology, &cluster(9)).unwrap();
+    let controller = Controller::for_topology(
+        &topology,
+        &placement,
+        ControllerConfig {
+            warmup_intervals: 3,
+            ..ControllerConfig::default()
+        },
+        ControlMode::Reactive,
+    )
+    .unwrap();
+    let shared = Arc::new(parking_lot::Mutex::new(controller));
+    let hook = control_hook(shared.clone());
+
+    let mut engine_cfg = cluster(9);
+    engine_cfg.metrics_interval_s = 0.25;
+    let running =
+        streampc::dsdps::rt::submit_with_hook(topology, engine_cfg, Some(hook)).unwrap();
+    std::thread::sleep(Duration::from_millis(1800));
+    let (_, report) = running.shutdown();
+    assert!(report.acked > 500);
+    let c = shared.lock();
+    assert!(c.history().len() >= 4, "controller saw snapshots: {}", c.history().len());
+    assert!(
+        !c.events()
+            .iter()
+            .any(|e| matches!(e, ControlEvent::Flagged { .. })),
+        "healthy run must not flag: {:?}",
+        c.events()
+    );
+}
