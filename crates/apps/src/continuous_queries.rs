@@ -87,7 +87,11 @@ pub fn generate_queries(n: usize, seed: u64) -> Vec<Query> {
     (0..n as u32)
         .map(|id| {
             let metric = METRICS[rng.gen_range(0..METRICS.len())].to_owned();
-            let op = if rng.gen_bool(0.5) { QueryOp::Gt } else { QueryOp::Lt };
+            let op = if rng.gen_bool(0.5) {
+                QueryOp::Gt
+            } else {
+                QueryOp::Lt
+            };
             let threshold = rng.gen_range(20.0..80.0);
             let agg = match rng.gen_range(0..3) {
                 0 => QueryAgg::Count,
@@ -185,7 +189,9 @@ struct SensorSpout {
 impl SensorSpout {
     fn new(cfg: &CqConfig, stats: Arc<CqStats>) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let values = (0..cfg.n_devices).map(|_| rng.gen_range(20.0..80.0)).collect();
+        let values = (0..cfg.n_devices)
+            .map(|_| rng.gen_range(20.0..80.0))
+            .collect();
         SensorSpout {
             driver: RateDriver::new(cfg.pattern.clone()),
             values,
@@ -320,7 +326,11 @@ impl Bolt for QueryBolt {
             if q.matches(metric, value) {
                 a.count += 1;
                 a.sum += value;
-                a.max = if a.count == 1 { value } else { a.max.max(value) };
+                a.max = if a.count == 1 {
+                    value
+                } else {
+                    a.max.max(value)
+                };
                 any = true;
             }
         }

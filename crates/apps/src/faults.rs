@@ -24,7 +24,12 @@ impl FaultScenario {
 
     /// The paper's headline scenario: one worker misbehaves mid-run.
     /// `factor`× service-time slowdown on `worker` during `[from_s, until_s)`.
-    pub fn single_misbehaving_worker(worker: usize, factor: f64, from_s: f64, until_s: f64) -> Self {
+    pub fn single_misbehaving_worker(
+        worker: usize,
+        factor: f64,
+        from_s: f64,
+        until_s: f64,
+    ) -> Self {
         FaultScenario {
             name: format!("worker{worker}-slowdown-{factor}x"),
             faults: vec![Fault::WorkerSlowdown {

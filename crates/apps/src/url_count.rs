@@ -152,11 +152,7 @@ impl Spout for UrlSpout {
         for _ in 0..due {
             let url = self.catalog.next_url().to_owned();
             let user: i64 = self.user_rng.gen_range(0..100_000);
-            let tuple = Tuple::of([
-                Value::from(url),
-                Value::from(user),
-                Value::from(now),
-            ]);
+            let tuple = Tuple::of([Value::from(url), Value::from(user), Value::from(now)]);
             self.next_id += 1;
             self.pending.insert(self.next_id, tuple.clone());
             out.emit_with_id(tuple, self.next_id);
@@ -441,7 +437,10 @@ mod tests {
         let counted = stats.counted.load(Ordering::Relaxed);
         assert!(emitted > 4000, "emitted {emitted}");
         // Everything emitted (minus in-flight tail) must reach the counter.
-        assert!(counted as f64 > emitted as f64 * 0.95, "{counted}/{emitted}");
+        assert!(
+            counted as f64 > emitted as f64 * 0.95,
+            "{counted}/{emitted}"
+        );
         assert_eq!(report.failed, 0);
         assert!(report.acked > 0);
     }
@@ -504,7 +503,11 @@ mod tests {
         out.set_now(0.1001);
         spout.next_tuple(&mut out);
         let replayed = out.drain();
-        assert_eq!(replayed[0].message_id, Some(id), "failed tuple re-emitted first");
+        assert_eq!(
+            replayed[0].message_id,
+            Some(id),
+            "failed tuple re-emitted first"
+        );
         assert_eq!(stats.replays.load(Ordering::Relaxed), 1);
         // Acked tuples are forgotten and cannot replay.
         spout.ack(id);

@@ -355,7 +355,12 @@ mod tests {
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[99] * 5, "head {} vs rank-100 {}", counts[0], counts[99]);
+        assert!(
+            counts[0] > counts[99] * 5,
+            "head {} vs rank-100 {}",
+            counts[0],
+            counts[99]
+        );
         // All mass accounted for and every index valid.
         assert_eq!(counts.iter().sum::<usize>(), 100_000);
     }

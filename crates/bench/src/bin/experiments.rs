@@ -40,10 +40,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let ctx = Ctx {
-        out_dir,
-        quick,
-    };
+    let ctx = Ctx { out_dir, quick };
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
         reg.iter().map(|e| e.id).collect()
     } else {
@@ -61,7 +58,11 @@ fn main() -> ExitCode {
             eprintln!("experiment {id} failed: {e}");
             return ExitCode::FAILURE;
         }
-        println!("[{} done in {:.1}s]", exp.id, started.elapsed().as_secs_f64());
+        println!(
+            "[{} done in {:.1}s]",
+            exp.id,
+            started.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

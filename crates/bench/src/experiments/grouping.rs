@@ -35,7 +35,10 @@ impl Spout for SteadySpout {
             self.next_id += 1;
             out.emit_with_id(
                 Tuple::with_fields(
-                    [Value::from(format!("k{}", self.next_id % 64)), Value::from(self.next_id as i64)],
+                    [
+                        Value::from(format!("k{}", self.next_id % 64)),
+                        Value::from(self.next_id as i64),
+                    ],
                     Fields::new(["key", "seq"]),
                 ),
                 self.next_id,
@@ -67,7 +70,11 @@ enum EdgeGrouping {
     Dynamic,
 }
 
-fn micro_topology(grouping: EdgeGrouping, rate: f64, fan_out: usize) -> (Topology, Arc<Vec<AtomicU64>>) {
+fn micro_topology(
+    grouping: EdgeGrouping,
+    rate: f64,
+    fan_out: usize,
+) -> (Topology, Arc<Vec<AtomicU64>>) {
     let hits: Arc<Vec<AtomicU64>> = Arc::new((0..fan_out).map(|_| AtomicU64::new(0)).collect());
     let h = hits.clone();
     let mut b = TopologyBuilder::new("micro");
@@ -111,10 +118,7 @@ pub fn fig_dg_track(ctx: &Ctx) -> ExpResult {
     let handle: DynamicGroupingHandle = topology
         .dynamic_handle("src", &StreamId::default(), "sink")
         .expect("dynamic edge");
-    let mut engine = SimRuntime::new(
-        topology,
-        EngineConfig::default().with_cluster(2, 2, 4),
-    )?;
+    let mut engine = SimRuntime::new(topology, EngineConfig::default().with_cluster(2, 2, 4))?;
 
     // Phase schedule: uniform → skewed → bypass task 2 → back to uniform.
     let phases: Vec<(String, SplitRatio)> = vec![
@@ -201,7 +205,12 @@ pub fn fig_dg_overhead(ctx: &Ctx) -> ExpResult {
     let run_s = if ctx.quick { 10.0 } else { 30.0 };
     let mut table = Table::new(
         "fig-dg-overhead: end-to-end cost of each grouping (identical pipeline)",
-        &["grouping", "throughput_t/s", "avg_latency_ms", "p99_latency_ms"],
+        &[
+            "grouping",
+            "throughput_t/s",
+            "avg_latency_ms",
+            "p99_latency_ms",
+        ],
     );
     for (label, grouping) in [
         ("shuffle", EdgeGrouping::Shuffle),
@@ -209,10 +218,7 @@ pub fn fig_dg_overhead(ctx: &Ctx) -> ExpResult {
         ("dynamic(uniform)", EdgeGrouping::Dynamic),
     ] {
         let (topology, _) = micro_topology(grouping, 2000.0, 4);
-        let mut engine = SimRuntime::new(
-            topology,
-            EngineConfig::default().with_cluster(2, 2, 4),
-        )?;
+        let mut engine = SimRuntime::new(topology, EngineConfig::default().with_cluster(2, 2, 4))?;
         let report = engine.run_until(run_s);
         table.row(&[
             label.to_owned(),

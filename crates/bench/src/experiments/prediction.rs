@@ -6,15 +6,17 @@ use drnn::metrics::{mape, rmse};
 use drnn::train::{EarlyStopping, TrainConfig};
 use dsdps::metrics::MetricsSnapshot;
 use dsdps::scheduler::WorkerId;
+use forecast::ets::EtsKind;
 use forecast::svr::{Kernel, SvrParams};
 use stream_control::features::FeatureSpec;
-use forecast::ets::EtsKind;
 use stream_control::predictor::{
     ArimaPredictor, DrnnPredictor, DrnnPredictorConfig, EtsPredictor, PerformancePredictor,
     SvrPredictor,
 };
 
-use crate::harness::{background_interference, run_monitored, walk_forward, walk_forward_pooled, App};
+use crate::harness::{
+    background_interference, run_monitored, walk_forward, walk_forward_pooled, App,
+};
 use crate::table::{f2, Table};
 
 use super::{Ctx, ExpResult};
@@ -95,7 +97,11 @@ fn fit_all(
 ) -> Vec<Box<dyn PerformancePredictor>> {
     let train_refs: Vec<&MetricsSnapshot> = history[..train_len].iter().collect();
     let mut models: Vec<Box<dyn PerformancePredictor>> = vec![
-        Box::new(DrnnPredictor::new(drnn_config(ctx, FeatureSpec::full(), horizon))),
+        Box::new(DrnnPredictor::new(drnn_config(
+            ctx,
+            FeatureSpec::full(),
+            horizon,
+        ))),
         Box::new(ArimaPredictor::new(horizon, 3, 1, 2)),
         Box::new(SvrPredictor::new(horizon, 12, svr_params())),
         // Extension beyond the paper's baseline pair.
@@ -119,7 +125,11 @@ fn fig_pred(ctx: &Ctx, app: App) -> ExpResult {
     header.extend(models.iter().map(|m| m.name().to_lowercase()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        &format!("fig-pred-{}: worker {} latency, actual vs predicted (µs)", app.id(), worker),
+        &format!(
+            "fig-pred-{}: worker {} latency, actual vs predicted (µs)",
+            app.id(),
+            worker
+        ),
         &header_refs,
     );
     let results: Vec<(Vec<f64>, Vec<f64>)> = models

@@ -66,11 +66,8 @@ fn train_drnn(ctx: &Ctx, app: App, seed: u64) -> (DrnnPredictor, Vec<WorkerId>) 
     let s = setup(ctx);
     let train = run_monitored(app, s.train_s, seed, &training_scenario(4, 8, s.train_s));
     let refs: Vec<&MetricsSnapshot> = train.snapshots.iter().collect();
-    let mut predictor = DrnnPredictor::new(super::prediction::drnn_config(
-        ctx,
-        FeatureSpec::full(),
-        1,
-    ));
+    let mut predictor =
+        DrnnPredictor::new(super::prediction::drnn_config(ctx, FeatureSpec::full(), 1));
     predictor
         .fit(&refs, &train.stage_workers)
         .expect("DRNN training on the monitored run");
@@ -92,12 +89,8 @@ fn run_reliability(ctx: &Ctx, app: App, seed: u64) -> RelResult {
     // Fault the worker of the stage's second task: with the even scheduler
     // it hosts only that one task, so the signal is clean.
     let fault_worker = stage_workers[1.min(stage_workers.len() - 1)];
-    let scenario = FaultScenario::single_misbehaving_worker(
-        fault_worker.0,
-        s.slowdown,
-        s.fault.0,
-        s.fault.1,
-    );
+    let scenario =
+        FaultScenario::single_misbehaving_worker(fault_worker.0, s.slowdown, s.fault.0, s.fault.1);
     let run = |scenario: &FaultScenario, mode: ControlMode| {
         run_controlled(
             app,
@@ -221,7 +214,10 @@ fn fig_reliability(ctx: &Ctx, app: App) -> ExpResult {
             flagged.to_string(),
         ]);
     }
-    summary.save_and_print(&ctx.out_dir, &format!("fig-reliability-{}-summary", app.id()))?;
+    summary.save_and_print(
+        &ctx.out_dir,
+        &format!("fig-reliability-{}-summary", app.id()),
+    )?;
 
     // Control-decision audit log (reactive + predictive).
     let mut events = Table::new(
@@ -256,7 +252,10 @@ fn fig_reliability(ctx: &Ctx, app: App) -> ExpResult {
             }
         }
     }
-    events.save_and_print(&ctx.out_dir, &format!("fig-reliability-{}-events", app.id()))?;
+    events.save_and_print(
+        &ctx.out_dir,
+        &format!("fig-reliability-{}-events", app.id()),
+    )?;
     Ok(())
 }
 
@@ -291,9 +290,15 @@ pub fn tab_degradation(ctx: &Ctx) -> ExpResult {
         ];
         for &seed in seeds {
             let rel = run_reliability(ctx, app, seed);
-            acc[0].1.push(degradation(&rel.fault_free, &rel.none, rel.fault));
-            acc[1].1.push(degradation(&rel.fault_free, &rel.reactive, rel.fault));
-            acc[2].1.push(degradation(&rel.fault_free, &rel.predictive, rel.fault));
+            acc[0]
+                .1
+                .push(degradation(&rel.fault_free, &rel.none, rel.fault));
+            acc[1]
+                .1
+                .push(degradation(&rel.fault_free, &rel.reactive, rel.fault));
+            acc[2]
+                .1
+                .push(degradation(&rel.fault_free, &rel.predictive, rel.fault));
         }
         for (label, ds) in &acc {
             let n = ds.len() as f64;

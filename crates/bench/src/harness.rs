@@ -15,7 +15,9 @@ use stream_apps::continuous_queries::{build_continuous_queries, CqConfig};
 use stream_apps::faults::FaultScenario;
 use stream_apps::url_count::{build_url_count, UrlCountConfig};
 use stream_apps::workload::RatePattern;
-use stream_control::controller::{control_hook, ControlEvent, ControlMode, Controller, ControllerConfig};
+use stream_control::controller::{
+    control_hook, ControlEvent, ControlMode, Controller, ControllerConfig,
+};
 use stream_control::predictor::PerformancePredictor;
 
 /// Which evaluation application to run.
@@ -174,10 +176,7 @@ pub fn stage_workers(topology: &Topology, placement: &Placement, stage: &str) ->
     let component = topology
         .component_by_name(stage)
         .unwrap_or_else(|| panic!("no component `{stage}`"));
-    let mut workers: Vec<WorkerId> = component
-        .tasks()
-        .map(|t| placement.worker_of(t))
-        .collect();
+    let mut workers: Vec<WorkerId> = component.tasks().map(|t| placement.worker_of(t)).collect();
     workers.sort();
     workers.dedup();
     workers

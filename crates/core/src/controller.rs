@@ -532,8 +532,7 @@ mod tests {
             .shuffle_grouping("s")
             .unwrap();
         let topo = b.build().unwrap();
-        let placement =
-            dsdps::scheduler::even_placement(&topo, &EngineConfig::default()).unwrap();
+        let placement = dsdps::scheduler::even_placement(&topo, &EngineConfig::default()).unwrap();
         assert!(Controller::for_topology(
             &topo,
             &placement,
@@ -583,8 +582,7 @@ mod tests {
         // Clearly healthy observation + alarming prediction: the
         // corroboration rule trusts the measurement (prevents closed-loop
         // flapping after reroutes shift the feature distribution).
-        let mut preds: HashMap<WorkerId, f64> =
-            (0..4).map(|i| (WorkerId(i), 100.0)).collect();
+        let mut preds: HashMap<WorkerId, f64> = (0..4).map(|i| (WorkerId(i), 100.0)).collect();
         preds.insert(WorkerId(2), 900.0);
         let (mut c, _handle) = build(ControlMode::Predictive(Box::new(StubPredictor { preds })));
         for &w in &[0, 1, 2, 3] {
@@ -607,8 +605,7 @@ mod tests {
         // Healthy predictions but terrible observations: the hybrid
         // max(prediction, observation) estimate must still flag, so the
         // predictive controller is never blinder than the reactive one.
-        let preds: HashMap<WorkerId, f64> =
-            (0..4).map(|i| (WorkerId(i), 100.0)).collect();
+        let preds: HashMap<WorkerId, f64> = (0..4).map(|i| (WorkerId(i), 100.0)).collect();
         let (mut c, handle) = build(ControlMode::Predictive(Box::new(StubPredictor { preds })));
         for &w in &[0, 1, 2, 3] {
             c.set_baseline(WorkerId(w), 100.0);
@@ -625,8 +622,7 @@ mod tests {
 
     #[test]
     fn predictive_mode_flags_on_predicted_degradation() {
-        let mut preds: HashMap<WorkerId, f64> =
-            (0..4).map(|i| (WorkerId(i), 100.0)).collect();
+        let mut preds: HashMap<WorkerId, f64> = (0..4).map(|i| (WorkerId(i), 100.0)).collect();
         preds.insert(WorkerId(1), 900.0); // model predicts worker 1 will degrade
         let (mut c, handle) = build(ControlMode::Predictive(Box::new(StubPredictor { preds })));
         for &w in &[0, 1, 2, 3] {
@@ -668,7 +664,10 @@ mod tests {
         for i in 0..600 {
             c.on_snapshot(&snapshot(i, &[100.0; 4]));
         }
-        assert_eq!(c.history().len(), ControllerConfig::default().history_capacity);
+        assert_eq!(
+            c.history().len(),
+            ControllerConfig::default().history_capacity
+        );
     }
 
     #[test]
@@ -801,6 +800,10 @@ mod multi_edge_tests {
         let ra = handle_a.ratio();
         assert!(ra.zeroed_tasks().is_empty(), "edge A untouched: {ra:?}");
         let rb = handle_b.ratio();
-        assert_eq!(rb.zeroed_tasks(), vec![0], "edge B bypasses w4's task: {rb:?}");
+        assert_eq!(
+            rb.zeroed_tasks(),
+            vec![0],
+            "edge B bypasses w4's task: {rb:?}"
+        );
     }
 }

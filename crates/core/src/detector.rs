@@ -149,7 +149,10 @@ mod tests {
     fn triggers_only_after_consecutive_epochs() {
         let mut d = detector();
         assert!(!d.observe(WorkerId(0), 250.0), "one epoch is not enough");
-        assert!(d.observe(WorkerId(0), 250.0), "second consecutive epoch flags");
+        assert!(
+            d.observe(WorkerId(0), 250.0),
+            "second consecutive epoch flags"
+        );
         assert!(d.is_misbehaving(WorkerId(0)));
         assert_eq!(d.misbehaving_workers(), vec![WorkerId(0)]);
     }
@@ -198,7 +201,10 @@ mod tests {
         d.observe(WorkerId(0), 200.0); // relapse into the hysteresis band
         assert!(d.observe(WorkerId(0), 100.0));
         assert!(d.observe(WorkerId(0), 100.0));
-        assert!(!d.observe(WorkerId(0), 100.0), "needs 3 fresh healthy epochs");
+        assert!(
+            !d.observe(WorkerId(0), 100.0),
+            "needs 3 fresh healthy epochs"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl FeatureSpec {
 
 /// Extracts the feature vector for `worker` from one snapshot.
 /// Returns `None` if the worker is unknown to the snapshot.
-pub fn extract(spec: &FeatureSpec, snapshot: &MetricsSnapshot, worker: WorkerId) -> Option<Vec<f64>> {
+pub fn extract(
+    spec: &FeatureSpec,
+    snapshot: &MetricsSnapshot,
+    worker: WorkerId,
+) -> Option<Vec<f64>> {
     let w = snapshot.worker(worker)?;
     let queue_len: usize = snapshot.tasks_of_worker(worker).map(|t| t.queue_len).sum();
     let mut f = vec![
@@ -176,6 +180,8 @@ mod tests {
                 avg_execute_latency_us: lat0,
                 queue_len: 7,
                 capacity: 0.5,
+                batches_flushed: 0,
+                linger_flushes: 0,
             }],
             workers: vec![worker(0, lat0), worker(1, lat1)],
             machines: vec![MachineStats {
@@ -224,7 +230,10 @@ mod tests {
         let snap = snapshot(150.0, 300.0, 2.5);
         let f = extract(&FeatureSpec::worker_only(), &snap, WorkerId(0)).unwrap();
         assert_eq!(f.len(), 6);
-        assert!(!f.contains(&2.5), "external load leaked into worker-only features");
+        assert!(
+            !f.contains(&2.5),
+            "external load leaked into worker-only features"
+        );
     }
 
     #[test]
@@ -253,6 +262,10 @@ mod tests {
         let history = vec![&busy, &idle, &busy];
         let (features, targets) = series_for_worker(&FeatureSpec::full(), &history, WorkerId(0));
         assert_eq!(features.len(), 3);
-        assert_eq!(targets, vec![100.0, 100.0, 100.0], "idle interval carries forward");
+        assert_eq!(
+            targets,
+            vec![100.0, 100.0, 100.0],
+            "idle interval carries forward"
+        );
     }
 }

@@ -52,7 +52,9 @@ pub fn plan_ratio(
     probe_weight: f64,
 ) -> Result<SplitRatio> {
     if tasks.is_empty() {
-        return Err(Error::Config("dynamic edge with no subscriber tasks".into()));
+        return Err(Error::Config(
+            "dynamic edge with no subscriber tasks".into(),
+        ));
     }
     if !(0.0..0.5).contains(&probe_weight) {
         return Err(Error::Config(format!(
@@ -170,8 +172,9 @@ mod tests {
     #[test]
     fn alpha_zero_is_uniform() {
         let (tasks, placement) = setup();
-        let lat: HashMap<WorkerId, f64> =
-            [(WorkerId(0), 1.0), (WorkerId(1), 1000.0)].into_iter().collect();
+        let lat: HashMap<WorkerId, f64> = [(WorkerId(0), 1.0), (WorkerId(1), 1000.0)]
+            .into_iter()
+            .collect();
         let ratio = plan_ratio(
             PlanPolicy::CapacityProportional { alpha: 0.0 },
             &tasks,
@@ -189,8 +192,9 @@ mod tests {
     #[test]
     fn missing_predictions_use_mean() {
         let (tasks, placement) = setup();
-        let lat: HashMap<WorkerId, f64> =
-            [(WorkerId(0), 100.0), (WorkerId(1), 300.0)].into_iter().collect();
+        let lat: HashMap<WorkerId, f64> = [(WorkerId(0), 100.0), (WorkerId(1), 300.0)]
+            .into_iter()
+            .collect();
         let ratio = plan_ratio(
             PlanPolicy::CapacityProportional { alpha: 1.0 },
             &tasks,
@@ -252,7 +256,10 @@ mod tests {
             0.02,
         )
         .unwrap();
-        assert!((ratio.get(2) - 0.02).abs() < 1e-12, "probe share: {ratio:?}");
+        assert!(
+            (ratio.get(2) - 0.02).abs() < 1e-12,
+            "probe share: {ratio:?}"
+        );
         for i in [0, 1, 3] {
             assert!((ratio.get(i) - 0.98 / 3.0).abs() < 1e-12);
         }

@@ -160,10 +160,7 @@ impl PerformancePredictor for DrnnPredictor {
             all_targets.extend(t);
         }
         if all_features.is_empty() {
-            return Err(Error::NotEnoughHistory {
-                needed,
-                got: 0,
-            });
+            return Err(Error::NotEnoughHistory { needed, got: 0 });
         }
         let norm = Normalizer::fit(&all_features);
         self.target_mean = all_targets.iter().sum::<f64>() / all_targets.len() as f64;
@@ -586,7 +583,11 @@ mod ets_predictor_tests {
     fn ets_fit_predict_round_trip() {
         let history = synth_history(300);
         let workers = [WorkerId(0), WorkerId(1)];
-        for kind in [EtsKind::Simple, EtsKind::Holt, EtsKind::HoltWinters { period: 80 }] {
+        for kind in [
+            EtsKind::Simple,
+            EtsKind::Holt,
+            EtsKind::HoltWinters { period: 80 },
+        ] {
             let mut p = EtsPredictor::new(1, kind);
             p.fit(&refs(&history[..250]), &workers).unwrap();
             let pred = p.predict(&refs(&history[..260]), WorkerId(0)).unwrap();

@@ -105,7 +105,11 @@ pub fn make_windows(
     lookback: usize,
     horizon: usize,
 ) -> Vec<Sample> {
-    assert_eq!(features.len(), targets.len(), "feature/target length mismatch");
+    assert_eq!(
+        features.len(),
+        targets.len(),
+        "feature/target length mismatch"
+    );
     assert!(lookback >= 1 && horizon >= 1);
     if features.len() < lookback + horizon {
         return Vec::new();
@@ -233,14 +237,16 @@ mod tests {
 
     #[test]
     fn batch_packing_layout() {
-        let samples = [Sample {
+        let samples = [
+            Sample {
                 window: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
                 target: vec![10.0],
             },
             Sample {
                 window: vec![vec![5.0, 6.0], vec![7.0, 8.0]],
                 target: vec![20.0],
-            }];
+            },
+        ];
         let refs: Vec<&Sample> = samples.iter().collect();
         let (xs, y) = batch_to_matrices(&refs);
         assert_eq!(xs.len(), 2);

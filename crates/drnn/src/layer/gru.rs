@@ -152,8 +152,7 @@ impl GruLayer {
             let mut h_new = Matrix::zeros(batch, h_dim);
             for idx in 0..batch * h_dim {
                 let zv = z.as_slice()[idx];
-                h_new.as_mut_slice()[idx] =
-                    (1.0 - zv) * n.as_slice()[idx] + zv * h.as_slice()[idx];
+                h_new.as_mut_slice()[idx] = (1.0 - zv) * n.as_slice()[idx] + zv * h.as_slice()[idx];
             }
 
             cache.steps.push(StepCache {
@@ -226,7 +225,10 @@ impl GruLayer {
             da.set_cols(0, &da_z);
             da.set_cols(h_dim, &da_r);
             da.set_cols(2 * h_dim, &da_n);
-            self.gwx.as_mut().unwrap().add_in_place(&s.x.transpose().matmul(&da));
+            self.gwx
+                .as_mut()
+                .unwrap()
+                .add_in_place(&s.x.transpose().matmul(&da));
             self.gb.as_mut().unwrap().add_in_place(&da.col_sums());
             dxs[t] = da.matmul(&self.wx.transpose());
 
@@ -301,7 +303,10 @@ mod tests {
             hs.iter().map(Matrix::sum).sum()
         };
         let (hs, cache) = layer.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
+            .collect();
         layer.zero_grads();
         layer.backward(&cache, &dhs);
 
@@ -340,7 +345,10 @@ mod tests {
         let mut layer = make(2, 3, 7);
         let mut xs = seq(3, 1, 2);
         let (hs, cache) = layer.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
+            .collect();
         layer.zero_grads();
         let dxs = layer.backward(&cache, &dhs);
         let eps = 1e-5;

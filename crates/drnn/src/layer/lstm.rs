@@ -222,7 +222,10 @@ impl LstmLayer {
                 da.set_cols(3 * h_dim, &da_o);
             }
 
-            self.gwx.as_mut().unwrap().add_in_place(&s.x.transpose().matmul(&da));
+            self.gwx
+                .as_mut()
+                .unwrap()
+                .add_in_place(&s.x.transpose().matmul(&da));
             self.gwh
                 .as_mut()
                 .unwrap()
@@ -312,7 +315,10 @@ mod tests {
             hs.iter().map(Matrix::sum).sum()
         };
         let (hs, cache) = layer.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
+            .collect();
         layer.zero_grads();
         layer.backward(&cache, &dhs);
 
@@ -355,7 +361,10 @@ mod tests {
         let mut layer = make(2, 3, 9);
         let mut xs = seq(3, 1, 2, 1.0);
         let (hs, cache) = layer.forward(&xs);
-        let dhs: Vec<Matrix> = hs.iter().map(|h| Matrix::full(h.rows(), h.cols(), 1.0)).collect();
+        let dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
+            .collect();
         layer.zero_grads();
         let dxs = layer.backward(&cache, &dhs);
 
@@ -418,4 +427,3 @@ mod tests {
         layer.forward(&xs);
     }
 }
-

@@ -109,7 +109,8 @@ impl Matrix {
     /// the output is large enough to amortize the fork-join cost.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -139,10 +140,7 @@ impl Matrix {
                 .enumerate()
                 .for_each(|(r, out_row)| kernel((r, out_row)));
         } else {
-            out.data
-                .chunks_mut(n)
-                .enumerate()
-                .for_each(kernel);
+            out.data.chunks_mut(n).enumerate().for_each(kernel);
         }
         out
     }
@@ -322,12 +320,16 @@ mod tests {
         let a = Matrix::from_vec(
             80,
             96,
-            (0..80 * 96).map(|i| ((i * 31 % 17) as f64 - 8.0) / 8.0).collect(),
+            (0..80 * 96)
+                .map(|i| ((i * 31 % 17) as f64 - 8.0) / 8.0)
+                .collect(),
         );
         let b = Matrix::from_vec(
             96,
             80,
-            (0..96 * 80).map(|i| ((i * 13 % 23) as f64 - 11.0) / 11.0).collect(),
+            (0..96 * 80)
+                .map(|i| ((i * 13 % 23) as f64 - 11.0) / 11.0)
+                .collect(),
         );
         let fast = a.matmul(&b);
         let slow = naive_matmul(&a, &b);

@@ -120,7 +120,11 @@ mod tests {
         let a = [0.0, 100.0];
         let p = [50.0, 110.0];
         assert!((mape(&a, &p) - 10.0).abs() < 1e-12);
-        assert_eq!(mape(&[0.0], &[1.0]), 0.0, "all-zero actuals → 0 by convention");
+        assert_eq!(
+            mape(&[0.0], &[1.0]),
+            0.0,
+            "all-zero actuals → 0 by convention"
+        );
     }
 
     #[test]

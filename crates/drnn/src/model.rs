@@ -58,7 +58,10 @@ pub struct Drnn {
 impl Drnn {
     /// Builds a model from its configuration (seeded, reproducible).
     pub fn new(config: DrnnConfig) -> Self {
-        assert!(!config.hidden.is_empty(), "need at least one recurrent layer");
+        assert!(
+            !config.hidden.is_empty(),
+            "need at least one recurrent layer"
+        );
         assert!(config.input > 0 && config.output > 0);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut layers = Vec::with_capacity(config.hidden.len());
@@ -82,7 +85,11 @@ impl Drnn {
 
     /// Total scalar parameter count.
     pub fn param_count(&self) -> usize {
-        self.layers.iter().map(Recurrent::param_count).sum::<usize>() + self.head.param_count()
+        self.layers
+            .iter()
+            .map(Recurrent::param_count)
+            .sum::<usize>()
+            + self.head.param_count()
     }
 
     /// Inference: runs the sequence (each step `B × input`) through the
@@ -318,10 +325,7 @@ mod multi_output_tests {
         let samples: Vec<Sample> = (0..294 - 1)
             .map(|i| Sample {
                 window: (i..i + 6).map(|t| vec![series[t]]).collect(),
-                target: vec![
-                    ((i + 6) as f64 / 6.0).sin(),
-                    ((i + 6) as f64 / 6.0).cos(),
-                ],
+                target: vec![((i + 6) as f64 / 6.0).sin(), ((i + 6) as f64 / 6.0).cos()],
             })
             .collect();
         let mut model = Drnn::new(DrnnConfig {

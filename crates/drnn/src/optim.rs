@@ -117,6 +117,7 @@ impl Optimizer {
     /// Applies one update step.  `visit` must call its argument once per
     /// `(param, grad)` pair in the same order every step (the model's
     /// `for_each_param`).
+    #[allow(clippy::type_complexity)] // the double-callback shape IS the interface
     pub fn step(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix))) {
         self.t += 1;
 
@@ -232,12 +233,26 @@ mod tests {
 
     #[test]
     fn momentum_converges_on_quadratic() {
-        converges(OptimizerKind::Momentum { lr: 0.05, beta: 0.9 }, 300, 1e-5);
+        converges(
+            OptimizerKind::Momentum {
+                lr: 0.05,
+                beta: 0.9,
+            },
+            300,
+            1e-5,
+        );
     }
 
     #[test]
     fn rmsprop_converges_on_quadratic() {
-        converges(OptimizerKind::RmsProp { lr: 0.05, rho: 0.99 }, 500, 1e-2);
+        converges(
+            OptimizerKind::RmsProp {
+                lr: 0.05,
+                rho: 0.99,
+            },
+            500,
+            1e-2,
+        );
     }
 
     #[test]

@@ -3,8 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How the learning rate evolves over epochs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LrSchedule {
     /// The optimizer's base learning rate throughout.
     #[default]
@@ -34,7 +33,6 @@ pub enum LrSchedule {
     },
 }
 
-
 impl LrSchedule {
     /// Learning rate for `epoch` (0-based) given the optimizer's base rate.
     pub fn lr_at(&self, epoch: usize, base_lr: f64) -> f64 {
@@ -50,8 +48,7 @@ impl LrSchedule {
                     return min_lr;
                 }
                 let progress = epoch as f64 / t_max as f64;
-                min_lr
-                    + (base_lr - min_lr) * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos())
+                min_lr + (base_lr - min_lr) * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos())
             }
             LrSchedule::Warmup {
                 epochs,
@@ -61,8 +58,7 @@ impl LrSchedule {
                 if epochs == 0 || epoch >= epochs {
                     return base_lr;
                 }
-                let frac =
-                    start_fraction + (1.0 - start_fraction) * (epoch as f64 / epochs as f64);
+                let frac = start_fraction + (1.0 - start_fraction) * (epoch as f64 / epochs as f64);
                 base_lr * frac
             }
         }

@@ -122,7 +122,10 @@ pub fn train(model: &mut Drnn, samples: &[Sample], cfg: &TrainConfig) -> TrainRe
     // Chronological validation split from the tail.
     let n_val = (samples.len() as f64 * cfg.validation_fraction).round() as usize;
     let (train_set, val_set) = samples.split_at(samples.len() - n_val);
-    assert!(!train_set.is_empty(), "validation fraction leaves no training data");
+    assert!(
+        !train_set.is_empty(),
+        "validation fraction leaves no training data"
+    );
 
     let mut optimizer = match cfg.clip_norm {
         Some(c) => Optimizer::new(cfg.optimizer).with_clip_norm(c),
@@ -249,9 +252,12 @@ mod tests {
     fn early_stopping_triggers_on_plateau() {
         // Pure noise target: the model cannot improve validation loss for
         // long, so early stopping must fire well before the epoch cap.
-        let features: Vec<Vec<f64>> =
-            (0..200).map(|t| vec![((t * 7919) % 101) as f64 / 101.0]).collect();
-        let targets: Vec<f64> = (0..200).map(|t| ((t * 104729) % 97) as f64 / 97.0).collect();
+        let features: Vec<Vec<f64>> = (0..200)
+            .map(|t| vec![((t * 7919) % 101) as f64 / 101.0])
+            .collect();
+        let targets: Vec<f64> = (0..200)
+            .map(|t| ((t * 104729) % 97) as f64 / 97.0)
+            .collect();
         let samples = make_windows(&features, &targets, 4, 1);
         let mut model = small_model(CellKind::Lstm);
         let cfg = TrainConfig {

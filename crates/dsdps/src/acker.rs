@@ -319,4 +319,118 @@ mod tests {
         a.on_ack(root, e_b, 1.5);
         assert_eq!(outcome_of(&mut a).completion, Completion::Acked);
     }
+
+    /// Counts outcomes per root over a sequence of acker operations — the
+    /// invariant the spout relies on: exactly one ack *or* fail notification
+    /// per tracked root, never zero, never two.
+    fn outcomes_per_root(acker: &mut Acker) -> std::collections::HashMap<RootId, Vec<Completion>> {
+        let mut per_root: std::collections::HashMap<RootId, Vec<Completion>> =
+            std::collections::HashMap::new();
+        for o in acker.drain_outcomes() {
+            per_root.entry(o.root).or_default().push(o.completion);
+        }
+        per_root
+    }
+
+    #[test]
+    fn full_tree_ack_spout_sees_exactly_one_ack() {
+        // Three-level tree: root -> 2 children -> 2 grandchildren each.
+        let mut a = Acker::new();
+        let root = 11;
+        let e_root = a.new_edge_id();
+        a.track(root, e_root, TaskId(0), 77, 0.0);
+        let children: Vec<u64> = (0..2).map(|_| a.new_edge_id()).collect();
+        for &c in &children {
+            a.on_emit(root, c);
+        }
+        a.on_ack(root, e_root, 0.1);
+        let mut grandchildren = Vec::new();
+        for &c in &children {
+            for _ in 0..2 {
+                let g = a.new_edge_id();
+                a.on_emit(root, g);
+                grandchildren.push(g);
+            }
+            a.on_ack(root, c, 0.2);
+        }
+        for &g in &grandchildren {
+            a.on_ack(root, g, 0.3);
+        }
+        let per_root = outcomes_per_root(&mut a);
+        assert_eq!(per_root.len(), 1);
+        assert_eq!(per_root[&root], vec![Completion::Acked]);
+        // Replayed late acks must not produce a second notification.
+        a.on_ack(root, e_root, 0.4);
+        assert!(a.drain_outcomes().is_empty());
+    }
+
+    #[test]
+    fn explicit_fail_spout_sees_exactly_one_fail() {
+        let mut a = Acker::new();
+        let root = 21;
+        let e_root = a.new_edge_id();
+        a.track(root, e_root, TaskId(1), 5, 0.0);
+        let child = a.new_edge_id();
+        a.on_emit(root, child);
+        a.on_fail(root, 0.5);
+        // Everything after the fail is noise: acks of in-flight tuples of
+        // the dead tree, even a second explicit fail.
+        a.on_ack(root, e_root, 0.6);
+        a.on_ack(root, child, 0.7);
+        a.on_fail(root, 0.8);
+        let per_root = outcomes_per_root(&mut a);
+        assert_eq!(per_root.len(), 1);
+        assert_eq!(per_root[&root], vec![Completion::Failed]);
+    }
+
+    #[test]
+    fn timeout_then_replay_one_outcome_per_root() {
+        let mut a = Acker::new();
+        // Root 1 times out; the spout replays the message under a fresh
+        // root id (root 2), which then completes.
+        let e1 = a.new_edge_id();
+        a.track(1, e1, TaskId(0), 99, 0.0);
+        a.expire(10.0, 5.0);
+        // Straggler ack for the expired tree arrives after the timeout.
+        a.on_ack(1, e1, 10.5);
+        let e2 = a.new_edge_id();
+        a.track(2, e2, TaskId(0), 99, 11.0);
+        a.on_ack(2, e2, 11.5);
+        let per_root = outcomes_per_root(&mut a);
+        assert_eq!(per_root.len(), 2);
+        assert_eq!(per_root[&1], vec![Completion::TimedOut]);
+        assert_eq!(per_root[&2], vec![Completion::Acked]);
+        // Both outcomes carry the same message id: the spout keys replay
+        // state off the message id, not the root.
+        assert_eq!(a.pending_count(), 0);
+    }
+
+    #[test]
+    fn anchored_fan_out_one_outcome_per_root() {
+        // Two roots in flight at once; each fans out to 3 anchored copies
+        // (e.g. all-grouping), interleaved acks.  Each root completes
+        // exactly once, independently.
+        let mut a = Acker::new();
+        let mut edges: Vec<Vec<u64>> = Vec::new();
+        for root in [31u64, 32] {
+            let e_root = a.new_edge_id();
+            a.track(root, e_root, TaskId(0), root, 0.0);
+            let mut es = vec![e_root];
+            for _ in 0..3 {
+                let e = a.new_edge_id();
+                a.on_emit(root, e);
+                es.push(e);
+            }
+            edges.push(es);
+        }
+        // Interleave acks across the two trees.
+        for i in 0..4 {
+            a.on_ack(31, edges[0][i], 1.0 + i as f64);
+            a.on_ack(32, edges[1][3 - i], 1.0 + i as f64);
+        }
+        let per_root = outcomes_per_root(&mut a);
+        assert_eq!(per_root.len(), 2);
+        assert_eq!(per_root[&31], vec![Completion::Acked]);
+        assert_eq!(per_root[&32], vec![Completion::Acked]);
+    }
 }

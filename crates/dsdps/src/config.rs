@@ -100,7 +100,12 @@ impl EngineConfig {
     }
 
     /// Builder-style setter for the cluster shape.
-    pub fn with_cluster(mut self, machines: usize, workers_per_machine: usize, cores: usize) -> Self {
+    pub fn with_cluster(
+        mut self,
+        machines: usize,
+        workers_per_machine: usize,
+        cores: usize,
+    ) -> Self {
         self.num_machines = machines;
         self.workers_per_machine = workers_per_machine;
         self.machine_cores = cores;

@@ -52,7 +52,10 @@ impl fmt::Display for Error {
             }
             Error::UnknownComponent(name) => write!(f, "unknown component `{name}`"),
             Error::UnknownStream { component, stream } => {
-                write!(f, "component `{component}` does not declare stream `{stream}`")
+                write!(
+                    f,
+                    "component `{component}` does not declare stream `{stream}`"
+                )
             }
             Error::UnknownField {
                 component,

@@ -245,6 +245,7 @@ impl Grouping for DynamicGrouping {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // task indices are part of the assertions
 mod tests {
     use super::*;
     use crate::tuple::Value;
@@ -343,9 +344,13 @@ mod tests {
         let h = DynamicGroupingHandle::new(SplitRatio::uniform(2));
         let mut g = DynamicGrouping::new(h.clone());
         route_n(&mut g, 100);
-        h.set_ratio(SplitRatio::new(vec![1.0, 0.0]).unwrap()).unwrap();
+        h.set_ratio(SplitRatio::new(vec![1.0, 0.0]).unwrap())
+            .unwrap();
         let picks = route_n(&mut g, 100);
-        assert!(picks.iter().all(|&p| p == 0), "all tuples rerouted to task 0");
+        assert!(
+            picks.iter().all(|&p| p == 0),
+            "all tuples rerouted to task 0"
+        );
         assert_eq!(h.version(), 1);
     }
 
@@ -361,7 +366,8 @@ mod tests {
         let h = DynamicGroupingHandle::new(SplitRatio::uniform(2));
         let mut g1 = DynamicGrouping::new(h.clone());
         let mut g2 = DynamicGrouping::new(h.clone());
-        h.set_ratio(SplitRatio::new(vec![0.0, 1.0]).unwrap()).unwrap();
+        h.set_ratio(SplitRatio::new(vec![0.0, 1.0]).unwrap())
+            .unwrap();
         assert!(route_n(&mut g1, 10).iter().all(|&p| p == 1));
         assert!(route_n(&mut g2, 10).iter().all(|&p| p == 1));
     }

@@ -239,8 +239,7 @@ pub fn make_grouping(
                 .expect("fields validated at topology build time"),
         ),
         GroupingSpec::Dynamic(_) => {
-            let handle =
-                handle.expect("dynamic grouping requires the edge's shared handle");
+            let handle = handle.expect("dynamic grouping requires the edge's shared handle");
             assert_eq!(handle.ratio().len(), n_tasks, "ratio arity mismatch");
             Box::new(DynamicGrouping::new(handle))
         }
@@ -318,7 +317,11 @@ mod tests {
         for p in picks {
             seen.insert(p[0]);
         }
-        assert!(seen.len() >= 6, "256 keys should hit most of 8 tasks, hit {}", seen.len());
+        assert!(
+            seen.len() >= 6,
+            "256 keys should hit most of 8 tasks, hit {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
             let (a, b) = g.candidates(&tup(key));
             for _ in 0..50 {
                 let pick = route(&mut g, key);
-                assert!(pick == a || pick == b, "{key} went to {pick}, candidates ({a},{b})");
+                assert!(
+                    pick == a || pick == b,
+                    "{key} went to {pick}, candidates ({a},{b})"
+                );
             }
         }
     }

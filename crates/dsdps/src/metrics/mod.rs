@@ -50,6 +50,12 @@ pub struct TaskStats {
     /// Fraction of the interval the task was busy executing (Storm's
     /// "capacity" metric).
     pub capacity: f64,
+    /// Output batches flushed downstream (threaded runtime; 0 in the
+    /// simulator, which delivers per tuple).
+    pub batches_flushed: u64,
+    /// Of those, batches flushed by the linger deadline rather than by
+    /// reaching the configured batch size.
+    pub linger_flushes: u64,
 }
 
 /// Per-worker statistics for one metrics interval.
@@ -207,7 +213,12 @@ impl MetricsHistory {
         if self.snapshots.len() < n {
             return None;
         }
-        Some(self.snapshots.iter().skip(self.snapshots.len() - n).collect())
+        Some(
+            self.snapshots
+                .iter()
+                .skip(self.snapshots.len() - n)
+                .collect(),
+        )
     }
 
     /// Iterates snapshots oldest-first.
@@ -236,6 +247,8 @@ mod tests {
                 avg_execute_latency_us: 120.0,
                 queue_len: 3,
                 capacity: 0.4,
+                batches_flushed: 0,
+                linger_flushes: 0,
             }],
             workers: vec![WorkerStats {
                 worker: WorkerId(0),
@@ -306,7 +319,10 @@ mod tests {
         }
         assert_eq!(h.len(), 10, "capacity 0 = unbounded");
         let last3 = h.last_n(3).unwrap();
-        assert_eq!(last3.iter().map(|s| s.interval).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(
+            last3.iter().map(|s| s.interval).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
         assert!(h.last_n(11).is_none());
     }
 

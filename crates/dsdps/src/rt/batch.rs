@@ -1,0 +1,254 @@
+//! Tuple batching: per-destination output buffers and amortized acker ops.
+//!
+//! Two invariants keep batching exactly as reliable as per-tuple delivery:
+//!
+//! 1. **Apply-before-send.**  Acker bookkeeping ops (`track`/`on_emit`/
+//!    `on_ack`/`on_fail`) queue up in an [`AckOps`] list in program order and
+//!    are applied under a single acker lock before any batch leaves the
+//!    thread.  A downstream task can therefore never ack an edge the acker
+//!    has not yet seen, which would orphan the tree until timeout.
+//! 2. **Apply-at-iteration-end.**  Whatever ops remain after routing (acks
+//!    for tuples still sitting in buffers, self-acks for unroutable
+//!    emissions) are applied once per spout/bolt iteration, so the relative
+//!    order of a task's own ops is preserved while the lock is taken O(1)
+//!    times per batch instead of O(n) times per tuple.
+//!
+//! XOR accumulator updates commute, so reordering ops *across* tasks is
+//! harmless; only each task's own emit-before-ack order matters, and the
+//! ordered op list preserves it.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{SendTimeoutError, Sender};
+
+use crate::acker::RootId;
+use crate::component::MessageId;
+use crate::topology::TaskId;
+use crate::tuple::Tuple;
+
+use super::Shared;
+
+/// A tuple instance delivered to a task, with its acker anchor.
+pub(super) struct Delivered {
+    pub(super) tuple: Tuple,
+    pub(super) anchor: Option<(RootId, u64)>,
+}
+
+/// Message to a spout thread about one of its tuple trees.  Travels in
+/// batches (`Vec<AckMsg>`) so completions amortize like data tuples.
+pub(super) enum AckMsg {
+    Ack(MessageId),
+    Fail(MessageId),
+}
+
+/// One deferred acker operation.  Timestamps are captured when the op is
+/// queued, so deferring application does not skew latency accounting.
+pub(super) enum AckOp {
+    Track {
+        root: RootId,
+        spout_task: TaskId,
+        message_id: MessageId,
+        now_s: f64,
+    },
+    Emit {
+        root: RootId,
+        edge: u64,
+    },
+    Ack {
+        root: RootId,
+        edge: u64,
+        now_s: f64,
+    },
+    Fail {
+        root: RootId,
+        now_s: f64,
+    },
+}
+
+/// Ordered list of deferred acker ops owned by one task thread.
+#[derive(Default)]
+pub(super) struct AckOps {
+    ops: Vec<AckOp>,
+}
+
+impl AckOps {
+    pub(super) fn push(&mut self, op: AckOp) {
+        self.ops.push(op);
+    }
+
+    pub(super) fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies all queued ops under one acker lock, in order.  Completed-tree
+    /// outcomes accumulate inside the acker until the task drains them.
+    pub(super) fn apply(&mut self, shared: &Shared) {
+        if self.ops.is_empty() {
+            return;
+        }
+        let mut acker = shared.acker.lock();
+        for op in self.ops.drain(..) {
+            match op {
+                AckOp::Track {
+                    root,
+                    spout_task,
+                    message_id,
+                    now_s,
+                } => acker.track(root, 0, spout_task, message_id, now_s),
+                AckOp::Emit { root, edge } => acker.on_emit(root, edge),
+                AckOp::Ack { root, edge, now_s } => acker.on_ack(root, edge, now_s),
+                AckOp::Fail { root, now_s } => acker.on_fail(root, now_s),
+            }
+        }
+    }
+}
+
+/// What triggered a batch flush (recorded in the task's flush counters).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(super) enum FlushReason {
+    /// The buffer reached `batch_size`.
+    Full,
+    /// The oldest buffered tuple hit the linger deadline.
+    Linger,
+    /// Task drain: idle spout, shutdown, or end of input.
+    Final,
+}
+
+struct Buf {
+    items: Vec<Delivered>,
+    /// When the oldest currently-buffered entry arrived.
+    since: Option<Instant>,
+}
+
+/// Per-destination output buffers for one task thread.  Owns the channel
+/// senders; every send goes through [`flush_dest`](Self::flush_dest) so the
+/// apply-before-send invariant holds in one place.
+pub(super) struct OutputBuffers {
+    batch_size: usize,
+    linger: Duration,
+    senders: Vec<Sender<Vec<Delivered>>>,
+    bufs: Vec<Buf>,
+    /// Count of non-empty buffers, for cheap idle checks.
+    nonempty: usize,
+    /// Global id of the owning task (for flush counters).
+    task: usize,
+}
+
+impl OutputBuffers {
+    pub(super) fn new(
+        batch_size: usize,
+        linger: Duration,
+        senders: Vec<Sender<Vec<Delivered>>>,
+        task: usize,
+    ) -> Self {
+        let n = senders.len();
+        Self {
+            batch_size: batch_size.max(1),
+            linger,
+            senders,
+            bufs: (0..n)
+                .map(|_| Buf {
+                    items: Vec::new(),
+                    since: None,
+                })
+                .collect(),
+            nonempty: 0,
+            task,
+        }
+    }
+
+    /// Buffers one tuple for `dest`, flushing inline if the buffer fills.
+    pub(super) fn push(&mut self, dest: usize, item: Delivered, shared: &Shared, ops: &mut AckOps) {
+        let buf = &mut self.bufs[dest];
+        if buf.items.is_empty() {
+            buf.since = Some(Instant::now());
+            self.nonempty += 1;
+        }
+        buf.items.push(item);
+        if buf.items.len() >= self.batch_size {
+            self.flush_dest(dest, shared, ops, FlushReason::Full);
+        }
+    }
+
+    /// Sends `dest`'s buffered batch downstream.  Blocking send with a
+    /// shutdown check = backpressure; bounded channel capacity counts
+    /// batches.
+    pub(super) fn flush_dest(
+        &mut self,
+        dest: usize,
+        shared: &Shared,
+        ops: &mut AckOps,
+        reason: FlushReason,
+    ) {
+        let buf = &mut self.bufs[dest];
+        if buf.items.is_empty() {
+            return;
+        }
+        // Apply-before-send: the acker must know every edge in this batch
+        // (and the tracks/acks queued alongside) before downstream can react.
+        ops.apply(shared);
+        let batch = std::mem::take(&mut buf.items);
+        buf.since = None;
+        self.nonempty -= 1;
+        let stats = &shared.task_stats[self.task];
+        stats.batches_flushed.fetch_add(1, Ordering::Relaxed);
+        if reason == FlushReason::Linger {
+            stats.linger_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut msg = batch;
+        loop {
+            match self.senders[dest].send_timeout(msg, Duration::from_millis(50)) {
+                Ok(()) => break,
+                Err(SendTimeoutError::Timeout(back)) => {
+                    if shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    msg = back;
+                }
+                Err(SendTimeoutError::Disconnected(_)) => break,
+            }
+        }
+    }
+
+    /// Flushes every buffer whose oldest entry has lingered past the
+    /// deadline.
+    pub(super) fn flush_expired(&mut self, now: Instant, shared: &Shared, ops: &mut AckOps) {
+        if self.nonempty == 0 {
+            return;
+        }
+        for dest in 0..self.bufs.len() {
+            if let Some(since) = self.bufs[dest].since {
+                if now.duration_since(since) >= self.linger {
+                    self.flush_dest(dest, shared, ops, FlushReason::Linger);
+                }
+            }
+        }
+    }
+
+    /// Flushes everything (task drain / shutdown).
+    pub(super) fn flush_all(&mut self, shared: &Shared, ops: &mut AckOps) {
+        if self.nonempty == 0 {
+            return;
+        }
+        for dest in 0..self.bufs.len() {
+            self.flush_dest(dest, shared, ops, FlushReason::Final);
+        }
+    }
+
+    /// Earliest linger deadline across non-empty buffers, if any.
+    pub(super) fn next_deadline(&self) -> Option<Instant> {
+        if self.nonempty == 0 {
+            return None;
+        }
+        self.bufs
+            .iter()
+            .filter_map(|b| b.since)
+            .min()
+            .map(|since| since + self.linger)
+    }
+
+    pub(super) fn has_pending(&self) -> bool {
+        self.nonempty > 0
+    }
+}

@@ -1,0 +1,75 @@
+//! Knobs specific to the threaded runtime.
+
+use std::time::Duration;
+
+use crate::error::{Error, Result};
+
+/// Tuning parameters for the threaded runtime's tuple batching.
+///
+/// Tuples routed to the same downstream task accumulate in a per-destination
+/// output buffer and travel the channel as one `Vec` batch.  A buffer is
+/// flushed when it reaches [`batch_size`](Self::batch_size) entries or when
+/// its oldest entry has waited [`linger`](Self::linger) — whichever comes
+/// first — so batching trades at most `linger` of latency for amortized
+/// channel and acker traffic.
+///
+/// The default `batch_size` of 1 flushes every tuple inline and reproduces
+/// the unbatched runtime behavior exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtConfig {
+    /// Maximum tuples per output batch (per destination task).  Must be at
+    /// least 1; `1` disables batching.
+    pub batch_size: usize,
+    /// Longest a buffered tuple may wait before its batch is flushed even if
+    /// not full.  Irrelevant when `batch_size == 1`.
+    pub linger: Duration,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 1,
+            linger: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RtConfig {
+    /// Returns the config with the given batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns the config with the given linger deadline.
+    pub fn with_linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Validates the config.
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(Error::Config("rt batch_size must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbatched() {
+        let cfg = RtConfig::default();
+        assert_eq!(cfg.batch_size, 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        assert!(RtConfig::default().with_batch_size(0).validate().is_err());
+        assert!(RtConfig::default().with_batch_size(64).validate().is_ok());
+    }
+}

@@ -7,194 +7,83 @@
 //! dynamic-grouping handles keep working because routers share the same
 //! [`DynamicGroupingHandle`](crate::grouping::dynamic::DynamicGroupingHandle)s).
 //!
+//! Tuples travel in **batches**: each task buffers output per destination and
+//! flushes when a buffer reaches [`RtConfig::batch_size`] or its oldest entry
+//! has waited [`RtConfig::linger`].  Channel capacity counts batches, so a
+//! full downstream queue still blocks the producer (flush-on-full with the
+//! usual shutdown-checked timeout).  With the default `batch_size = 1` every
+//! tuple flushes inline and the runtime behaves exactly as if batching did
+//! not exist.  See [`batch`](self::batch) for the invariants that keep
+//! batched acking equivalent to per-tuple acking.
+//!
 //! The simulator is the substrate for the paper's experiments (deterministic
 //! virtual time); this runtime exists so the same application code can run
 //! for real, and is exercised by the examples and integration tests.
+
+mod batch;
+mod config;
+mod router;
+mod task;
+
+pub use config::RtConfig;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::acker::{Acker, Completion, RootId};
-use crate::component::{BoltOutput, Emission, MessageId, SpoutOutput, TopologyContext};
+use crate::acker::{splitmix64, Acker};
+use crate::component::TopologyContext;
 use crate::config::EngineConfig;
 use crate::error::Result;
-use crate::grouping::{make_grouping, Grouping, GroupingSpec};
 use crate::metrics::{
     LatencyHistogram, MachineStats, MetricsHistory, MetricsSnapshot, OnlineStats, TaskStats,
     TopologyStats, WorkerStats,
 };
 use crate::scheduler::{even_placement, MachineId, Placement, WorkerId};
-use crate::stream::StreamId;
 use crate::topology::{ComponentKind, TaskId, Topology};
-use crate::tuple::{Fields, Tuple};
 
-/// A tuple instance delivered to a task, with its acker anchor.
-struct Delivered {
-    tuple: Tuple,
-    anchor: Option<(RootId, u64)>,
-}
-
-/// Message to a spout thread about one of its tuple trees.
-enum AckMsg {
-    Ack(MessageId),
-    Fail(MessageId),
-}
-
-/// Cumulative per-task counters (written by the task thread, read by the
-/// metrics thread).
-#[derive(Default)]
-struct TaskAtomics {
-    executed: AtomicU64,
-    emitted: AtomicU64,
-    failed: AtomicU64,
-    busy_nanos: AtomicU64,
-    queue_len: AtomicUsize,
-}
+use batch::{AckMsg, Delivered};
+use router::Router;
+use task::{deliver_outcomes, TaskAtomics};
 
 /// Shared state between task threads and the metrics thread.
-struct Shared {
-    acker: Mutex<Acker>,
-    stop: AtomicBool,
-    task_stats: Vec<TaskAtomics>,
+pub(crate) struct Shared {
+    pub(crate) acker: Mutex<Acker>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) task_stats: Vec<TaskAtomics>,
     /// In-flight tracked trees per spout task (indexed by global task id).
-    pending: Vec<AtomicUsize>,
-    acked_total: AtomicU64,
-    failed_total: AtomicU64,
-    timed_out_total: AtomicU64,
-    spout_emitted_total: AtomicU64,
-    complete_us: Mutex<(OnlineStats, LatencyHistogram)>,
-    start: Instant,
-    next_root: AtomicU64,
+    pub(crate) pending: Vec<AtomicUsize>,
+    pub(crate) acked_total: AtomicU64,
+    pub(crate) failed_total: AtomicU64,
+    pub(crate) timed_out_total: AtomicU64,
+    pub(crate) spout_emitted_total: AtomicU64,
+    pub(crate) complete_us: Mutex<(OnlineStats, LatencyHistogram)>,
+    pub(crate) start: Instant,
+    pub(crate) next_root: AtomicU64,
+    /// Edge-id counter, scrambled per id; lock-free so routing does not take
+    /// the acker lock per tuple.
+    pub(crate) next_edge: AtomicU64,
 }
 
 impl Shared {
-    fn now_s(&self) -> f64 {
+    pub(crate) fn now_s(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
     }
-}
 
-/// One outbound route owned by a task thread.
-struct OutRoute {
-    stream: StreamId,
-    fields: Fields,
-    subscriber_base: usize,
-    grouping: Box<dyn Grouping>,
-    is_direct: bool,
-}
-
-/// Routes emissions from one task to downstream task channels.
-struct Router {
-    routes: Vec<OutRoute>,
-    senders: Vec<Sender<Delivered>>,
-    shared: Arc<Shared>,
-    select_buf: Vec<usize>,
-    task: usize,
-}
-
-impl Router {
-    /// Routes one emission; returns delivered-instance count.
-    fn route(&mut self, emission: &Emission, root: Option<RootId>) -> usize {
-        let mut delivered = 0;
-        for r in 0..self.routes.len() {
-            {
-                let route = &self.routes[r];
-                if route.stream != emission.stream {
-                    continue;
-                }
-                match (emission.direct_task, route.is_direct) {
-                    (Some(_), false) | (None, true) => continue,
-                    _ => {}
-                }
-            }
-            self.select_buf.clear();
-            match emission.direct_task {
-                Some(idx) => self.select_buf.push(idx),
-                None => {
-                    let mut buf = std::mem::take(&mut self.select_buf);
-                    self.routes[r].grouping.select(&emission.tuple, &mut buf);
-                    self.select_buf = buf;
-                }
-            }
-            for i in 0..self.select_buf.len() {
-                let local = self.select_buf[i];
-                let route = &self.routes[r];
-                let dest = route.subscriber_base + local;
-                let tuple = emission.tuple.rekeyed(route.fields.clone());
-                let anchor = root.map(|root| {
-                    let mut acker = self.shared.acker.lock();
-                    let edge = acker.new_edge_id();
-                    acker.on_emit(root, edge);
-                    (root, edge)
-                });
-                // Blocking send = backpressure.  Bail out on shutdown.
-                let mut msg = Delivered { tuple, anchor };
-                loop {
-                    match self.senders[dest].send_timeout(msg, Duration::from_millis(50)) {
-                        Ok(()) => {
-                            delivered += 1;
-                            break;
-                        }
-                        Err(crossbeam::channel::SendTimeoutError::Timeout(back)) => {
-                            if self.shared.stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            msg = back;
-                        }
-                        Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => break,
-                    }
-                }
-            }
-        }
-        if delivered > 0 {
-            self.shared.task_stats[self.task]
-                .emitted
-                .fetch_add(delivered as u64, Ordering::Relaxed);
-        }
-        delivered
-    }
-}
-
-/// Drains completed trees (timeouts are handled by the metrics thread).
-fn drain_acker_outcomes(shared: &Shared, ack_senders: &[Option<Sender<AckMsg>>]) {
-    let outcomes = shared.acker.lock().drain_outcomes();
-    deliver_outcomes(shared, ack_senders, outcomes);
-}
-
-fn deliver_outcomes(
-    shared: &Shared,
-    ack_senders: &[Option<Sender<AckMsg>>],
-    outcomes: Vec<crate::acker::TreeOutcome>,
-) {
-    for o in outcomes {
-        let spout = o.spout_task.0;
-        shared.pending[spout].fetch_sub(1, Ordering::Relaxed);
-        let latency_us = o.complete_latency() * 1e6;
-        match o.completion {
-            Completion::Acked => {
-                shared.acked_total.fetch_add(1, Ordering::Relaxed);
-                let mut lat = shared.complete_us.lock();
-                lat.0.update(latency_us);
-                lat.1.record(latency_us);
-                if let Some(tx) = &ack_senders[spout] {
-                    let _ = tx.send(AckMsg::Ack(o.message_id));
-                }
-            }
-            Completion::Failed => {
-                shared.failed_total.fetch_add(1, Ordering::Relaxed);
-                if let Some(tx) = &ack_senders[spout] {
-                    let _ = tx.send(AckMsg::Fail(o.message_id));
-                }
-            }
-            Completion::TimedOut => {
-                shared.timed_out_total.fetch_add(1, Ordering::Relaxed);
-                if let Some(tx) = &ack_senders[spout] {
-                    let _ = tx.send(AckMsg::Fail(o.message_id));
-                }
+    /// Allocates a fresh nonzero edge id without touching the acker lock.
+    pub(crate) fn new_edge_id(&self) -> u64 {
+        loop {
+            let raw = self
+                .next_edge
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_add(1);
+            let id = splitmix64(raw);
+            if id != 0 {
+                return id;
             }
         }
     }
@@ -290,18 +179,42 @@ pub struct ThreadedReport {
     pub p99_complete_latency_ms: f64,
 }
 
-/// Starts `topology` on OS threads.  Returns a handle to observe and stop it.
+/// Starts `topology` on OS threads with default (unbatched) runtime tuning.
 pub fn submit(topology: Topology, config: EngineConfig) -> Result<RunningTopology> {
-    submit_with_hook(topology, config, None)
+    submit_full(topology, config, RtConfig::default(), None)
 }
+
+/// [`submit`] with explicit runtime tuning (batch size / linger).
+pub fn submit_with(
+    topology: Topology,
+    config: EngineConfig,
+    rt_config: RtConfig,
+) -> Result<RunningTopology> {
+    submit_full(topology, config, rt_config, None)
+}
+
+/// Control hook invoked on every metrics snapshot of the threaded runtime.
+pub type MetricsHook = Box<dyn FnMut(&MetricsSnapshot) + Send>;
 
 /// [`submit`] with a control hook invoked on every metrics snapshot.
 pub fn submit_with_hook(
     topology: Topology,
     config: EngineConfig,
-    mut hook: Option<Box<dyn FnMut(&MetricsSnapshot) + Send>>,
+    hook: Option<MetricsHook>,
+) -> Result<RunningTopology> {
+    submit_full(topology, config, RtConfig::default(), hook)
+}
+
+/// Starts `topology` on OS threads with full control over runtime tuning and
+/// the metrics hook.
+pub fn submit_full(
+    topology: Topology,
+    config: EngineConfig,
+    rt_config: RtConfig,
+    mut hook: Option<MetricsHook>,
 ) -> Result<RunningTopology> {
     config.validate()?;
+    rt_config.validate()?;
     let placement: Placement = even_placement(&topology, &config)?;
     let n_tasks = topology.task_count();
 
@@ -317,18 +230,21 @@ pub fn submit_with_hook(
         complete_us: Mutex::new((OnlineStats::new(), LatencyHistogram::new())),
         start: Instant::now(),
         next_root: AtomicU64::new(0),
+        next_edge: AtomicU64::new(0),
     });
 
-    // Channels: tuple input per task, ack feedback per spout task.
+    // Channels: batched tuple input per task, batched ack feedback per spout
+    // task.  Bounded capacity counts batches.
     let mut senders = Vec::with_capacity(n_tasks);
     let mut receivers = Vec::with_capacity(n_tasks);
     for _ in 0..n_tasks {
-        let (tx, rx) = bounded::<Delivered>(config.queue_capacity);
+        let (tx, rx) = bounded::<Vec<Delivered>>(config.queue_capacity);
         senders.push(tx);
         receivers.push(Some(rx));
     }
-    let mut ack_senders: Vec<Option<Sender<AckMsg>>> = vec![None; n_tasks];
-    let mut ack_receivers: Vec<Option<Receiver<AckMsg>>> = (0..n_tasks).map(|_| None).collect();
+    let mut ack_senders: Vec<Option<Sender<Vec<AckMsg>>>> = vec![None; n_tasks];
+    let mut ack_receivers: Vec<Option<Receiver<Vec<AckMsg>>>> =
+        (0..n_tasks).map(|_| None).collect();
     for component in topology.components() {
         if component.is_spout() {
             for task in component.tasks() {
@@ -359,172 +275,32 @@ pub fn submit_with_hook(
                 task_index,
                 parallelism: component.parallelism,
             };
-            // Per-task router.
-            let mut routes = Vec::new();
-            for decl in &component.outputs {
-                for (sub, spec) in topology.subscribers_of(component.id, &decl.id) {
-                    let handle = match spec {
-                        GroupingSpec::Dynamic(_) => {
-                            topology.dynamic_handle(&component.name, &decl.id, &sub.name)
-                        }
-                        _ => None,
-                    };
-                    routes.push(OutRoute {
-                        stream: decl.id.clone(),
-                        fields: decl.fields.clone(),
-                        subscriber_base: sub.base_task.0,
-                        grouping: make_grouping(spec, sub.parallelism, &decl.fields, task_index, handle),
-                        is_direct: matches!(spec, GroupingSpec::Direct),
-                    });
-                }
-            }
-            let mut router = Router {
-                routes,
-                senders: senders.clone(),
-                shared: shared.clone(),
-                select_buf: Vec::new(),
-                task: tid,
-            };
+            let router = Router::new(
+                &topology,
+                component,
+                task_index,
+                tid,
+                senders.clone(),
+                shared.clone(),
+                &rt_config,
+            );
             let shared = shared.clone();
             let ack_senders = ack_senders.clone();
             let cfg = config.clone();
 
             match &component.kind {
                 ComponentKind::Spout(factory) => {
-                    let mut spout = factory();
+                    let spout = factory();
                     let ack_rx = ack_receivers[tid].take().expect("spout ack channel");
                     threads.push(std::thread::spawn(move || {
-                        spout.open(&ctx);
-                        let mut out = SpoutOutput::new();
-                        while !shared.stop.load(Ordering::Relaxed) {
-                            // Deliver ack/fail feedback first.
-                            while let Ok(msg) = ack_rx.try_recv() {
-                                match msg {
-                                    AckMsg::Ack(id) => spout.ack(id),
-                                    AckMsg::Fail(id) => spout.fail(id),
-                                }
-                            }
-                            if cfg.ack_enabled
-                                && shared.pending[tid].load(Ordering::Relaxed)
-                                    >= cfg.max_spout_pending
-                            {
-                                std::thread::sleep(Duration::from_micros(200));
-                                continue;
-                            }
-                            out.set_now(shared.now_s());
-                            let t0 = Instant::now();
-                            let keep = spout.next_tuple(&mut out);
-                            let emissions = out.drain();
-                            if emissions.is_empty() {
-                                if !keep {
-                                    break;
-                                }
-                                std::thread::sleep(Duration::from_micros(500));
-                                continue;
-                            }
-                            let n = emissions.len() as u64;
-                            for emission in emissions {
-                                let root = match emission.message_id {
-                                    Some(message_id) if cfg.ack_enabled => {
-                                        let root =
-                                            shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
-                                        shared.acker.lock().track(
-                                            root,
-                                            0,
-                                            TaskId(tid),
-                                            message_id,
-                                            shared.now_s(),
-                                        );
-                                        shared.pending[tid].fetch_add(1, Ordering::Relaxed);
-                                        Some(root)
-                                    }
-                                    _ => None,
-                                };
-                                let delivered = router.route(&emission, root);
-                                if delivered == 0 {
-                                    if let Some(root) = root {
-                                        shared.acker.lock().on_ack(root, 0, shared.now_s());
-                                    }
-                                }
-                            }
-                            shared.spout_emitted_total.fetch_add(n, Ordering::Relaxed);
-                            let s = &shared.task_stats[tid];
-                            s.executed.fetch_add(n, Ordering::Relaxed);
-                            s.busy_nanos
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            drain_acker_outcomes(&shared, &ack_senders);
-                            if !keep {
-                                break;
-                            }
-                        }
-                        spout.close();
+                        task::run_spout(spout, ctx, tid, router, shared, ack_senders, ack_rx, cfg);
                     }));
                 }
                 ComponentKind::Bolt(factory) => {
-                    let mut bolt = factory();
+                    let bolt = factory();
                     let rx = receivers[tid].take().expect("bolt input channel");
-                    let tick = if cfg.tick_interval_s > 0.0 {
-                        Duration::from_secs_f64(cfg.tick_interval_s)
-                    } else {
-                        Duration::from_millis(100)
-                    };
-                    let ticks_enabled = cfg.tick_interval_s > 0.0;
                     threads.push(std::thread::spawn(move || {
-                        bolt.prepare(&ctx);
-                        let mut out = BoltOutput::new();
-                        let mut last_tick = Instant::now();
-                        loop {
-                            match rx.recv_timeout(Duration::from_millis(20)) {
-                                Ok(delivered) => {
-                                    shared.task_stats[tid]
-                                        .queue_len
-                                        .store(rx.len(), Ordering::Relaxed);
-                                    out.set_now(shared.now_s());
-                                    let t0 = Instant::now();
-                                    bolt.execute(&delivered.tuple, &mut out);
-                                    let busy = t0.elapsed().as_nanos() as u64;
-                                    let (emissions, failed) = out.drain();
-                                    let root = delivered.anchor.map(|(r, _)| r);
-                                    for emission in &emissions {
-                                        let anchor = if emission.anchored { root } else { None };
-                                        router.route(emission, anchor);
-                                    }
-                                    if let Some((root, edge)) = delivered.anchor {
-                                        let mut acker = shared.acker.lock();
-                                        if failed {
-                                            acker.on_fail(root, shared.now_s());
-                                        } else {
-                                            acker.on_ack(root, edge, shared.now_s());
-                                        }
-                                        let outcomes = acker.drain_outcomes();
-                                        drop(acker);
-                                        deliver_outcomes(&shared, &ack_senders, outcomes);
-                                    }
-                                    let s = &shared.task_stats[tid];
-                                    s.executed.fetch_add(1, Ordering::Relaxed);
-                                    s.busy_nanos.fetch_add(busy, Ordering::Relaxed);
-                                    if failed {
-                                        s.failed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                                Err(RecvTimeoutError::Timeout) => {
-                                    if shared.stop.load(Ordering::Relaxed) {
-                                        break;
-                                    }
-                                }
-                                Err(RecvTimeoutError::Disconnected) => break,
-                            }
-                            if ticks_enabled && last_tick.elapsed() >= tick {
-                                last_tick = Instant::now();
-                                out.set_now(shared.now_s());
-                                bolt.tick(&mut out);
-                                let (emissions, _) = out.drain();
-                                for emission in &emissions {
-                                    router.route(emission, None);
-                                }
-                            }
-                        }
-                        bolt.cleanup();
+                        task::run_bolt(bolt, ctx, tid, router, shared, ack_senders, rx, cfg);
                     }));
                 }
             }
@@ -540,8 +316,8 @@ pub fn submit_with_hook(
         let placement = placement.clone();
         Some(std::thread::spawn(move || {
             let mut history = MetricsHistory::new(0);
-            let mut prev: Vec<(u64, u64, u64, u64)> =
-                vec![(0, 0, 0, 0); shared.task_stats.len()];
+            let mut prev: Vec<(u64, u64, u64, u64, u64, u64)> =
+                vec![(0, 0, 0, 0, 0, 0); shared.task_stats.len()];
             let mut prev_totals = (0u64, 0u64, 0u64, 0u64);
             let mut interval: u64 = 0;
             let tick = Duration::from_secs_f64(cfg.metrics_interval_s);
@@ -570,8 +346,10 @@ pub fn submit_with_hook(
                         let emitted = s.emitted.load(Ordering::Relaxed);
                         let failed = s.failed.load(Ordering::Relaxed);
                         let busy = s.busy_nanos.load(Ordering::Relaxed);
-                        let (pe, pm, pf, pb) = prev[i];
-                        prev[i] = (executed, emitted, failed, busy);
+                        let batches = s.batches_flushed.load(Ordering::Relaxed);
+                        let lingers = s.linger_flushes.load(Ordering::Relaxed);
+                        let (pe, pm, pf, pb, pbat, plin) = prev[i];
+                        prev[i] = (executed, emitted, failed, busy, batches, lingers);
                         let d_exec = executed - pe;
                         let d_busy = busy - pb;
                         TaskStats {
@@ -589,6 +367,8 @@ pub fn submit_with_hook(
                             },
                             queue_len: s.queue_len.load(Ordering::Relaxed),
                             capacity: d_busy as f64 / 1e9 / interval_s,
+                            batches_flushed: batches - pbat,
+                            linger_flushes: lingers - plin,
                         }
                     })
                     .collect();
@@ -688,9 +468,10 @@ pub fn submit_with_hook(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::component::{Bolt, Spout};
+    use crate::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+    use crate::stream::StreamId;
     use crate::topology::TopologyBuilder;
-    use crate::tuple::Value;
+    use crate::tuple::{Tuple, Value};
     use std::sync::atomic::AtomicU64 as StdAtomicU64;
 
     struct FiniteSpout {
@@ -721,14 +502,42 @@ mod tests {
         }
     }
 
+    fn accumulator_run(n: u64, rt_cfg: RtConfig) -> (Arc<StdAtomicU64>, ThreadedReport) {
+        let sum = Arc::new(StdAtomicU64::new(0));
+        let s2 = sum.clone();
+        let mut b = TopologyBuilder::new("threaded");
+        b.set_spout("s", 1, move || FiniteSpout {
+            left: n,
+            next_id: 0,
+        })
+        .unwrap();
+        b.set_bolt("acc", 4, move || Accumulator { sum: s2.clone() })
+            .unwrap()
+            .shuffle_grouping("s")
+            .unwrap();
+        let topo = b.build().unwrap();
+        let mut cfg = EngineConfig::default().with_cluster(2, 2, 4);
+        cfg.metrics_interval_s = 0.2;
+        let running = submit_with(topo, cfg, rt_cfg).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while running.acked() < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let (_, report) = running.shutdown();
+        (sum, report)
+    }
+
     #[test]
     fn threaded_runtime_processes_all_tuples() {
         let sum = Arc::new(StdAtomicU64::new(0));
         let s2 = sum.clone();
         let n: u64 = 2000;
         let mut b = TopologyBuilder::new("threaded");
-        b.set_spout("s", 1, move || FiniteSpout { left: n, next_id: 0 })
-            .unwrap();
+        b.set_spout("s", 1, move || FiniteSpout {
+            left: n,
+            next_id: 0,
+        })
+        .unwrap();
         b.set_bolt("acc", 4, move || Accumulator { sum: s2.clone() })
             .unwrap()
             .shuffle_grouping("s")
@@ -753,6 +562,45 @@ mod tests {
     }
 
     #[test]
+    fn batched_runtime_processes_all_tuples() {
+        let n: u64 = 2000;
+        for batch_size in [8usize, 64] {
+            let rt_cfg = RtConfig::default()
+                .with_batch_size(batch_size)
+                .with_linger(Duration::from_millis(2));
+            let (sum, report) = accumulator_run(n, rt_cfg);
+            assert_eq!(report.acked, n, "batch_size {batch_size}: all trees acked");
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+            assert_eq!(report.failed, 0);
+            assert_eq!(report.timed_out, 0, "batching must not orphan trees");
+        }
+    }
+
+    #[test]
+    fn batch_size_one_matches_unbatched_results() {
+        let n: u64 = 1000;
+        let (sum, report) = accumulator_run(n, RtConfig::default());
+        assert_eq!(report.acked, n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.timed_out, 0);
+    }
+
+    #[test]
+    fn linger_flushes_partial_batches() {
+        // Batch size far above the tuple count: only the linger deadline can
+        // push tuples out.
+        let n: u64 = 50;
+        let rt_cfg = RtConfig::default()
+            .with_batch_size(4096)
+            .with_linger(Duration::from_millis(1));
+        let (sum, report) = accumulator_run(n, rt_cfg);
+        assert_eq!(report.acked, n, "linger must flush partial batches");
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        assert_eq!(report.timed_out, 0);
+    }
+
+    #[test]
     fn threaded_dynamic_reroute() {
         // Each task learns its index in `prepare` and counts its tuples.
         struct PerTask2 {
@@ -768,8 +616,7 @@ mod tests {
             }
         }
 
-        let hits: Arc<Vec<StdAtomicU64>> =
-            Arc::new((0..3).map(|_| StdAtomicU64::new(0)).collect());
+        let hits: Arc<Vec<StdAtomicU64>> = Arc::new((0..3).map(|_| StdAtomicU64::new(0)).collect());
         let h2 = hits.clone();
         let mut b = TopologyBuilder::new("dyn-threaded");
         b.set_spout("s", 1, || FiniteSpout {
@@ -799,7 +646,11 @@ mod tests {
         }
         let (_, report) = running.shutdown();
         assert_eq!(report.acked, 6000);
-        assert_eq!(hits[1].load(Ordering::Relaxed), 0, "bypassed task got tuples");
+        assert_eq!(
+            hits[1].load(Ordering::Relaxed),
+            0,
+            "bypassed task got tuples"
+        );
         assert_eq!(
             hits[0].load(Ordering::Relaxed) + hits[2].load(Ordering::Relaxed),
             6000

@@ -1,0 +1,271 @@
+//! Spout and bolt thread loops.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::acker::Completion;
+use crate::component::{Bolt, BoltOutput, Spout, SpoutOutput, TopologyContext};
+use crate::config::EngineConfig;
+use crate::topology::TaskId;
+
+use super::batch::{AckMsg, AckOp, AckOps, Delivered};
+use super::router::Router;
+use super::Shared;
+
+/// Cumulative per-task counters (written by the task thread, read by the
+/// metrics thread).
+#[derive(Default)]
+pub(crate) struct TaskAtomics {
+    pub(super) executed: AtomicU64,
+    pub(super) emitted: AtomicU64,
+    pub(super) failed: AtomicU64,
+    pub(super) busy_nanos: AtomicU64,
+    pub(super) queue_len: AtomicUsize,
+    /// Output batches flushed downstream.
+    pub(super) batches_flushed: AtomicU64,
+    /// Of those, flushes triggered by the linger deadline rather than a full
+    /// buffer.
+    pub(super) linger_flushes: AtomicU64,
+}
+
+/// Drains completed trees (timeouts are handled by the metrics thread).
+pub(super) fn drain_acker_outcomes(shared: &Shared, ack_senders: &[Option<Sender<Vec<AckMsg>>>]) {
+    let outcomes = shared.acker.lock().drain_outcomes();
+    deliver_outcomes(shared, ack_senders, outcomes);
+}
+
+/// Updates totals/latency for completed trees and notifies spouts, one
+/// batched message per spout per drain.
+pub(super) fn deliver_outcomes(
+    shared: &Shared,
+    ack_senders: &[Option<Sender<Vec<AckMsg>>>],
+    outcomes: Vec<crate::acker::TreeOutcome>,
+) {
+    if outcomes.is_empty() {
+        return;
+    }
+    let mut per_spout: Vec<(usize, Vec<AckMsg>)> = Vec::new();
+    for o in outcomes {
+        let spout = o.spout_task.0;
+        shared.pending[spout].fetch_sub(1, Ordering::Relaxed);
+        let latency_us = o.complete_latency() * 1e6;
+        let msg = match o.completion {
+            Completion::Acked => {
+                shared.acked_total.fetch_add(1, Ordering::Relaxed);
+                let mut lat = shared.complete_us.lock();
+                lat.0.update(latency_us);
+                lat.1.record(latency_us);
+                AckMsg::Ack(o.message_id)
+            }
+            Completion::Failed => {
+                shared.failed_total.fetch_add(1, Ordering::Relaxed);
+                AckMsg::Fail(o.message_id)
+            }
+            Completion::TimedOut => {
+                shared.timed_out_total.fetch_add(1, Ordering::Relaxed);
+                AckMsg::Fail(o.message_id)
+            }
+        };
+        match per_spout.iter_mut().find(|(s, _)| *s == spout) {
+            Some((_, msgs)) => msgs.push(msg),
+            None => per_spout.push((spout, vec![msg])),
+        }
+    }
+    for (spout, msgs) in per_spout {
+        if let Some(tx) = &ack_senders[spout] {
+            let _ = tx.send(msgs);
+        }
+    }
+}
+
+/// Body of a spout thread.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_spout(
+    mut spout: Box<dyn Spout>,
+    ctx: TopologyContext,
+    tid: usize,
+    mut router: Router,
+    shared: Arc<Shared>,
+    ack_senders: Arc<Vec<Option<Sender<Vec<AckMsg>>>>>,
+    ack_rx: Receiver<Vec<AckMsg>>,
+    cfg: EngineConfig,
+) {
+    spout.open(&ctx);
+    let mut out = SpoutOutput::new();
+    let mut ops = AckOps::default();
+    while !shared.stop.load(Ordering::Relaxed) {
+        // Deliver ack/fail feedback first.
+        while let Ok(batch) = ack_rx.try_recv() {
+            for msg in batch {
+                match msg {
+                    AckMsg::Ack(id) => spout.ack(id),
+                    AckMsg::Fail(id) => spout.fail(id),
+                }
+            }
+        }
+        if cfg.ack_enabled && shared.pending[tid].load(Ordering::Relaxed) >= cfg.max_spout_pending {
+            // Keep buffered output moving while throttled, or the in-flight
+            // count can never drain.
+            router.flush_expired(Instant::now(), &mut ops);
+            drain_acker_outcomes(&shared, &ack_senders);
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        out.set_now(shared.now_s());
+        let t0 = Instant::now();
+        let keep = spout.next_tuple(&mut out);
+        let emissions = out.drain();
+        if emissions.is_empty() {
+            if !keep {
+                break;
+            }
+            router.flush_expired(Instant::now(), &mut ops);
+            std::thread::sleep(Duration::from_micros(500));
+            continue;
+        }
+        let n = emissions.len() as u64;
+        for emission in emissions {
+            let root = match emission.message_id {
+                Some(message_id) if cfg.ack_enabled => {
+                    let root = shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
+                    ops.push(AckOp::Track {
+                        root,
+                        spout_task: TaskId(tid),
+                        message_id,
+                        now_s: shared.now_s(),
+                    });
+                    shared.pending[tid].fetch_add(1, Ordering::Relaxed);
+                    Some(root)
+                }
+                _ => None,
+            };
+            let delivered = router.route(&emission, root, &mut ops);
+            if delivered == 0 {
+                if let Some(root) = root {
+                    // Nothing subscribed: complete the tree immediately.
+                    ops.push(AckOp::Ack {
+                        root,
+                        edge: 0,
+                        now_s: shared.now_s(),
+                    });
+                }
+            }
+        }
+        shared.spout_emitted_total.fetch_add(n, Ordering::Relaxed);
+        let s = &shared.task_stats[tid];
+        s.executed.fetch_add(n, Ordering::Relaxed);
+        s.busy_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        router.flush_expired(Instant::now(), &mut ops);
+        ops.apply(&shared);
+        drain_acker_outcomes(&shared, &ack_senders);
+        if !keep {
+            break;
+        }
+    }
+    router.flush_all(&mut ops);
+    ops.apply(&shared);
+    drain_acker_outcomes(&shared, &ack_senders);
+    spout.close();
+}
+
+/// Body of a bolt thread.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_bolt(
+    mut bolt: Box<dyn Bolt>,
+    ctx: TopologyContext,
+    tid: usize,
+    mut router: Router,
+    shared: Arc<Shared>,
+    ack_senders: Arc<Vec<Option<Sender<Vec<AckMsg>>>>>,
+    rx: Receiver<Vec<Delivered>>,
+    cfg: EngineConfig,
+) {
+    bolt.prepare(&ctx);
+    let mut out = BoltOutput::new();
+    let mut ops = AckOps::default();
+    let tick = if cfg.tick_interval_s > 0.0 {
+        Duration::from_secs_f64(cfg.tick_interval_s)
+    } else {
+        Duration::from_millis(100)
+    };
+    let ticks_enabled = cfg.tick_interval_s > 0.0;
+    let mut last_tick = Instant::now();
+    let base_timeout = Duration::from_millis(20);
+    loop {
+        // Wake in time to honor pending linger deadlines.
+        let timeout = match router.next_deadline() {
+            Some(d) => base_timeout.min(d.saturating_duration_since(Instant::now())),
+            None => base_timeout,
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(batch) => {
+                shared.task_stats[tid]
+                    .queue_len
+                    .store(rx.len(), Ordering::Relaxed);
+                for delivered in batch {
+                    out.set_now(shared.now_s());
+                    let t0 = Instant::now();
+                    bolt.execute(&delivered.tuple, &mut out);
+                    let busy = t0.elapsed().as_nanos() as u64;
+                    let (emissions, failed) = out.drain();
+                    let root = delivered.anchor.map(|(r, _)| r);
+                    for emission in &emissions {
+                        let anchor = if emission.anchored { root } else { None };
+                        router.route(emission, anchor, &mut ops);
+                    }
+                    if let Some((root, edge)) = delivered.anchor {
+                        if failed {
+                            ops.push(AckOp::Fail {
+                                root,
+                                now_s: shared.now_s(),
+                            });
+                        } else {
+                            ops.push(AckOp::Ack {
+                                root,
+                                edge,
+                                now_s: shared.now_s(),
+                            });
+                        }
+                    }
+                    let s = &shared.task_stats[tid];
+                    s.executed.fetch_add(1, Ordering::Relaxed);
+                    s.busy_nanos.fetch_add(busy, Ordering::Relaxed);
+                    if failed {
+                        s.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                router.flush_expired(Instant::now(), &mut ops);
+                ops.apply(&shared);
+                drain_acker_outcomes(&shared, &ack_senders);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if router.has_pending() || !ops.is_empty() {
+                    router.flush_expired(Instant::now(), &mut ops);
+                    ops.apply(&shared);
+                    drain_acker_outcomes(&shared, &ack_senders);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if ticks_enabled && last_tick.elapsed() >= tick {
+            last_tick = Instant::now();
+            out.set_now(shared.now_s());
+            bolt.tick(&mut out);
+            let (emissions, _) = out.drain();
+            for emission in &emissions {
+                router.route(emission, None, &mut ops);
+            }
+        }
+    }
+    router.flush_all(&mut ops);
+    ops.apply(&shared);
+    drain_acker_outcomes(&shared, &ack_senders);
+    bolt.cleanup();
+}

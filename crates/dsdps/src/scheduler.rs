@@ -100,7 +100,10 @@ impl Placement {
     /// Builds a placement from explicit assignments (tests / custom
     /// schedulers).  `task_worker[t]` is the worker of task `t`;
     /// `worker_machine[w]` the machine of worker `w`.
-    pub fn from_assignments(task_worker: Vec<WorkerId>, worker_machine: Vec<MachineId>) -> Result<Self> {
+    pub fn from_assignments(
+        task_worker: Vec<WorkerId>,
+        worker_machine: Vec<MachineId>,
+    ) -> Result<Self> {
         for w in &task_worker {
             if w.0 >= worker_machine.len() {
                 return Err(Error::Scheduling(format!(
@@ -192,9 +195,8 @@ mod tests {
         let t = topo(1, 4);
         let cfg = EngineConfig::default().with_cluster(4, 1, 4);
         let p = even_placement(&t, &cfg).unwrap();
-        let machines: std::collections::HashSet<_> = (1..5)
-            .map(|task| p.machine_of_task(TaskId(task)))
-            .collect();
+        let machines: std::collections::HashSet<_> =
+            (1..5).map(|task| p.machine_of_task(TaskId(task))).collect();
         assert!(machines.len() >= 3, "bolt tasks should span machines");
     }
 

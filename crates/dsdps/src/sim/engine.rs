@@ -106,13 +106,27 @@ struct TaskRuntime {
 
 #[derive(Debug)]
 enum Event {
-    SpoutPoll { task: usize },
-    SpoutFinish { task: usize, emissions: Vec<Emission> },
-    Arrival { task: usize, delivered: Delivered, from_worker: WorkerId },
-    Finish { task: usize },
+    SpoutPoll {
+        task: usize,
+    },
+    SpoutFinish {
+        task: usize,
+        emissions: Vec<Emission>,
+    },
+    Arrival {
+        task: usize,
+        delivered: Delivered,
+        from_worker: WorkerId,
+    },
+    Finish {
+        task: usize,
+    },
     MetricsTick,
     BoltTick,
-    ApplyFault { index: usize, starting: bool },
+    ApplyFault {
+        index: usize,
+        starting: bool,
+    },
 }
 
 /// Summary of a completed simulation run.
@@ -229,11 +243,9 @@ impl SimRuntime {
                 for decl in &component.outputs {
                     for (sub, spec) in topology.subscribers_of(component.id, &decl.id) {
                         let handle = match spec {
-                            GroupingSpec::Dynamic(_) => topology.dynamic_handle(
-                                &component.name,
-                                &decl.id,
-                                &sub.name,
-                            ),
+                            GroupingSpec::Dynamic(_) => {
+                                topology.dynamic_handle(&component.name, &decl.id, &sub.name)
+                            }
                             _ => None,
                         };
                         routes.push(OutRoute {
@@ -374,10 +386,20 @@ impl SimRuntime {
             }
         }
         let index = self.faults.len();
-        self.events
-            .schedule(fault.from_s(), Event::ApplyFault { index, starting: true });
-        self.events
-            .schedule(fault.until_s(), Event::ApplyFault { index, starting: false });
+        self.events.schedule(
+            fault.from_s(),
+            Event::ApplyFault {
+                index,
+                starting: true,
+            },
+        );
+        self.events.schedule(
+            fault.until_s(),
+            Event::ApplyFault {
+                index,
+                starting: false,
+            },
+        );
         self.faults.push(fault);
         Ok(())
     }
@@ -504,7 +526,11 @@ impl SimRuntime {
     }
 
     fn on_spout_finish(&mut self, task: usize, emissions: Vec<Emission>) {
-        let service = self.tasks[task].in_service.take().map(|(_, s)| s).unwrap_or(0.0);
+        let service = self.tasks[task]
+            .in_service
+            .take()
+            .map(|(_, s)| s)
+            .unwrap_or(0.0);
         self.machine_busy_end(task, service);
         let n = emissions.len() as u64;
         {
@@ -521,7 +547,8 @@ impl SimRuntime {
                 Some(message_id) if self.config.ack_enabled => {
                     self.next_root += 1;
                     let root = self.next_root;
-                    self.acker.track(root, 0, TaskId(task), message_id, self.now);
+                    self.acker
+                        .track(root, 0, TaskId(task), message_id, self.now);
                     self.tasks[task].pending_roots += 1;
                     Some(root)
                 }
@@ -743,10 +770,8 @@ impl SimRuntime {
                 self.route_one(task, &emission, None);
             }
         }
-        self.events.schedule(
-            self.now + self.config.tick_interval_s,
-            Event::BoltTick,
-        );
+        self.events
+            .schedule(self.now + self.config.tick_interval_s, Event::BoltTick);
     }
 
     fn on_fault(&mut self, index: usize, starting: bool) {
@@ -804,6 +829,10 @@ impl SimRuntime {
                 },
                 queue_len: t.queue.len(),
                 capacity: t.ctr.busy_s / interval_s,
+                // The simulator delivers per tuple; batching is a threaded-
+                // runtime concern.
+                batches_flushed: 0,
+                linger_flushes: 0,
             })
             .collect();
 
@@ -925,10 +954,7 @@ mod tests {
             if self.emitted < due {
                 self.emitted += 1;
                 self.next_id += 1;
-                out.emit_with_id(
-                    Tuple::of([Value::from(self.next_id as i64)]),
-                    self.next_id,
-                );
+                out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
             }
             true
         }
@@ -948,7 +974,12 @@ mod tests {
         }
     }
 
-    fn linear_topology(rate: f64, bolt_cost_us: f64, bolt_par: usize, seen: Arc<AtomicU64>) -> Topology {
+    fn linear_topology(
+        rate: f64,
+        bolt_cost_us: f64,
+        bolt_par: usize,
+        seen: Arc<AtomicU64>,
+    ) -> Topology {
         let mut b = TopologyBuilder::new("test");
         b.set_spout("spout", 1, move || RateSpout::new(rate))
             .unwrap()
@@ -993,10 +1024,14 @@ mod tests {
         let run = |seed| {
             let seen = Arc::new(AtomicU64::new(0));
             let topo = linear_topology(500.0, 80.0, 2, seen.clone());
-            let mut engine =
-                SimRuntime::new(topo, small_config().with_seed(seed)).unwrap();
+            let mut engine = SimRuntime::new(topo, small_config().with_seed(seed)).unwrap();
             let r = engine.run_until(5.0);
-            (r.acked, r.spout_emitted, r.avg_complete_latency_ms, seen.load(Ordering::Relaxed))
+            (
+                r.acked,
+                r.spout_emitted,
+                r.avg_complete_latency_ms,
+                seen.load(Ordering::Relaxed),
+            )
         };
         let a = run(7);
         let b = run(7);
@@ -1091,7 +1126,10 @@ mod tests {
         };
         let idle = run(0.0);
         let loaded = run(8.0); // 2x oversubscription on 4 cores
-        assert!(loaded > idle * 1.5, "external load must slow tasks: {idle} -> {loaded}");
+        assert!(
+            loaded > idle * 1.5,
+            "external load must slow tasks: {idle} -> {loaded}"
+        );
     }
 
     #[test]
@@ -1184,9 +1222,7 @@ mod tests {
         let final_sets = log.lock();
         let last_by_size: Vec<_> = final_sets.iter().rev().take(2).collect();
         if last_by_size.len() == 2 {
-            let intersection: Vec<_> = last_by_size[0]
-                .intersection(last_by_size[1])
-                .collect();
+            let intersection: Vec<_> = last_by_size[0].intersection(last_by_size[1]).collect();
             assert!(
                 intersection.is_empty() || last_by_size[0] == last_by_size[1],
                 "a key reached two different tasks: {intersection:?}"
@@ -1234,7 +1270,10 @@ mod tests {
             .iter()
             .map(|t| t.executed)
             .collect();
-        assert!(before.iter().all(|&n| n > 0), "uniform split feeds all: {before:?}");
+        assert!(
+            before.iter().all(|&n| n > 0),
+            "uniform split feeds all: {before:?}"
+        );
 
         // Zero-out task 2 (bypass a misbehaving worker) and keep running.
         handle
@@ -1409,13 +1448,20 @@ mod timeout_tests {
         cfg.queue_capacity = 100_000; // disable backpressure: force timeouts
         let mut e = SimRuntime::new(topo, cfg).unwrap();
         let report = e.run_until(20.0);
-        assert!(report.timed_out > 100, "timeouts fired: {}", report.timed_out);
+        assert!(
+            report.timed_out > 100,
+            "timeouts fired: {}",
+            report.timed_out
+        );
         assert_eq!(
             failed.load(Ordering::Relaxed),
             report.timed_out,
             "every timeout reached the spout's fail callback"
         );
-        assert!(acked.load(Ordering::Relaxed) > 0, "some trees still complete");
+        assert!(
+            acked.load(Ordering::Relaxed) > 0,
+            "some trees still complete"
+        );
         assert_eq!(report.failed, 0, "no explicit bolt failures");
     }
 
@@ -1427,7 +1473,7 @@ mod timeout_tests {
         impl Bolt for FailEveryOther {
             fn execute(&mut self, _t: &Tuple, out: &mut BoltOutput) {
                 self.n += 1;
-                if self.n % 2 == 0 {
+                if self.n.is_multiple_of(2) {
                     out.fail();
                 }
             }

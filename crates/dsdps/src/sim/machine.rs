@@ -135,9 +135,7 @@ impl Fault {
     /// The time the fault ends.
     pub fn until_s(&self) -> f64 {
         match self {
-            Fault::ExternalLoad { until_s, .. } | Fault::WorkerSlowdown { until_s, .. } => {
-                *until_s
-            }
+            Fault::ExternalLoad { until_s, .. } | Fault::WorkerSlowdown { until_s, .. } => *until_s,
         }
     }
 
@@ -179,7 +177,10 @@ mod tests {
         let m = InterferenceModel::default();
         let at2 = m.multiplier(2.0);
         let at4 = m.multiplier(4.0);
-        assert!(at4 / at2 > 2.0, "doubling pressure should more than double the multiplier");
+        assert!(
+            at4 / at2 > 2.0,
+            "doubling pressure should more than double the multiplier"
+        );
     }
 
     #[test]

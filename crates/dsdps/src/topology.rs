@@ -359,16 +359,14 @@ impl TopologyBuilder {
                         }
                     }
                 }
-                if let GroupingSpec::Dynamic(ratio) = &sub.grouping {
-                    if let Some(r) = ratio {
-                        if r.len() != c.parallelism {
-                            return Err(Error::InvalidSplitRatio(format!(
-                                "ratio has {} entries but bolt `{}` has {} tasks",
-                                r.len(),
-                                c.name,
-                                c.parallelism
-                            )));
-                        }
+                if let GroupingSpec::Dynamic(Some(r)) = &sub.grouping {
+                    if r.len() != c.parallelism {
+                        return Err(Error::InvalidSplitRatio(format!(
+                            "ratio has {} entries but bolt `{}` has {} tasks",
+                            r.len(),
+                            c.name,
+                            c.parallelism
+                        )));
                     }
                 }
             }
@@ -392,10 +390,7 @@ impl TopologyBuilder {
                     };
                     let producer = components[sub.from.0].name.clone();
                     let handle = DynamicGroupingHandle::new(ratio);
-                    dynamic_handles.insert(
-                        (producer, sub.stream.clone(), c.name.clone()),
-                        handle,
-                    );
+                    dynamic_handles.insert((producer, sub.stream.clone(), c.name.clone()), handle);
                 }
             }
         }
@@ -482,7 +477,12 @@ impl BoltDeclarer<'_> {
         self
     }
 
-    fn subscribe(&mut self, from: &str, stream: StreamId, grouping: GroupingSpec) -> Result<&mut Self> {
+    fn subscribe(
+        &mut self,
+        from: &str,
+        stream: StreamId,
+        grouping: GroupingSpec,
+    ) -> Result<&mut Self> {
         let from_id = self
             .builder
             .by_name
@@ -570,7 +570,11 @@ impl BoltDeclarer<'_> {
     /// Dynamic grouping with an explicit initial split ratio (one weight per
     /// subscriber task).
     pub fn dynamic_grouping_with(&mut self, from: &str, initial: SplitRatio) -> Result<&mut Self> {
-        self.subscribe(from, StreamId::default(), GroupingSpec::Dynamic(Some(initial)))
+        self.subscribe(
+            from,
+            StreamId::default(),
+            GroupingSpec::Dynamic(Some(initial)),
+        )
     }
 
     /// Dynamic grouping on a named stream.
@@ -621,7 +625,10 @@ mod tests {
         assert_eq!(t.task_count(), 5);
         let spout = t.component_by_name("spout").unwrap();
         let count = t.component_by_name("count").unwrap();
-        assert_eq!(spout.tasks().collect::<Vec<_>>(), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(
+            spout.tasks().collect::<Vec<_>>(),
+            vec![TaskId(0), TaskId(1)]
+        );
         assert_eq!(
             count.tasks().collect::<Vec<_>>(),
             vec![TaskId(2), TaskId(3), TaskId(4)]
@@ -751,7 +758,10 @@ mod tests {
         let t = b.build().unwrap();
         let s = t.component_by_name("s").unwrap();
         assert_eq!(s.outputs.len(), 2);
-        assert!(s.stream_fields(&StreamId::new("late")).unwrap().contains("lateness"));
+        assert!(s
+            .stream_fields(&StreamId::new("late"))
+            .unwrap()
+            .contains("lateness"));
     }
 
     #[test]

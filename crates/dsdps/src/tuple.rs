@@ -28,22 +28,9 @@ pub enum Value {
     /// Immutable shared string.
     Str(Arc<str>),
     /// Raw bytes payload.
-    #[serde(with = "bytes_serde")]
     Bytes(bytes::Bytes),
     /// Nested list of values.
     List(Vec<Value>),
-}
-
-mod bytes_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &bytes::Bytes, s: S) -> Result<S::Ok, S::Error> {
-        b.as_ref().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<bytes::Bytes, D::Error> {
-        Vec::<u8>::deserialize(d).map(bytes::Bytes::from)
-    }
 }
 
 impl Value {
@@ -253,7 +240,9 @@ impl Fields {
 
     /// An empty schema (for tuples addressed positionally only).
     pub fn none() -> Self {
-        Fields { names: Arc::from([]) }
+        Fields {
+            names: Arc::from([]),
+        }
     }
 
     /// Number of fields.

@@ -155,10 +155,7 @@ impl<A: WindowAggregate> WindowedBolt<A> {
     }
 
     fn close_expired(&mut self, now: f64, out: &mut BoltOutput) {
-        loop {
-            let Some((&id, _)) = self.open.iter().next() else {
-                break;
-            };
+        while let Some((&id, _)) = self.open.iter().next() {
             if self.assigner.window_end(id) + self.allowed_lateness_s > now {
                 break;
             }
@@ -267,10 +264,7 @@ mod tests {
         }
 
         fn emit(&mut self, window_start_s: f64, acc: i64, out: &mut BoltOutput) {
-            out.emit_unanchored(Tuple::of([
-                Value::from(window_start_s),
-                Value::from(acc),
-            ]));
+            out.emit_unanchored(Tuple::of([Value::from(window_start_s), Value::from(acc)]));
         }
     }
 
@@ -326,7 +320,11 @@ mod tests {
             .iter()
             .map(|e| e.tuple.get(1).unwrap().as_i64().unwrap())
             .collect();
-        assert_eq!(sums, vec![5, 5], "tuple counted in both overlapping windows");
+        assert_eq!(
+            sums,
+            vec![5, 5],
+            "tuple counted in both overlapping windows"
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! split ratios, the dynamic-grouping router, the XOR acker, streaming
 //! statistics, tuple values and groupings.
 
+#![allow(clippy::needless_range_loop)] // task indices are part of the assertions
+
 use proptest::prelude::*;
 
 use dsdps::acker::Acker;
@@ -155,6 +157,86 @@ proptest! {
         let outcomes = acker.drain_outcomes();
         prop_assert_eq!(outcomes.len(), 1);
         prop_assert_eq!(outcomes[0].completion, dsdps::acker::Completion::Acked);
+    }
+
+    /// After enough tuples the realized split converges to the commanded
+    /// ratio within tolerance (law of the smooth WRR: bounded deviation
+    /// means the time-average converges as 1/W).
+    #[test]
+    fn dynamic_grouping_ratio_converges_within_tolerance(weights in weights_strategy()) {
+        let ratio = SplitRatio::new(weights).unwrap();
+        let n = ratio.len();
+        let handle = DynamicGroupingHandle::new(ratio.clone());
+        let mut g = DynamicGrouping::new(handle);
+        let tuple = Tuple::of([Value::from(1i64)]);
+        let w = 5000usize;
+        let mut counts = vec![0usize; n];
+        let mut out = Vec::new();
+        for _ in 0..w {
+            out.clear();
+            g.select(&tuple, &mut out);
+            prop_assert_eq!(out.len(), 1, "select must pick exactly one task");
+            counts[out[0]] += 1;
+        }
+        for i in 0..n {
+            let observed = counts[i] as f64 / w as f64;
+            prop_assert!(
+                (observed - ratio.get(i)).abs() < 0.01,
+                "task {} observed {:.4} commanded {:.4}", i, observed, ratio.get(i)
+            );
+        }
+    }
+
+    /// An atomic mid-stream ratio swap neither drops nor duplicates a
+    /// tuple: every select before, during and after the swap yields exactly
+    /// one in-range task, the totals add up, and the post-swap suffix obeys
+    /// the new ratio (including zeroed tasks going fully dark).
+    #[test]
+    fn dynamic_grouping_midstream_swap_never_drops_or_duplicates(
+        pre in weights_strategy(),
+        swap_at in 1usize..2000,
+    ) {
+        let pre_ratio = SplitRatio::new(pre).unwrap();
+        let n = pre_ratio.len();
+        let handle = DynamicGroupingHandle::new(pre_ratio);
+        let mut g = DynamicGrouping::new(handle.clone());
+        let tuple = Tuple::of([Value::from(1i64)]);
+        let total = 4000usize;
+        let swap_at = swap_at.min(total - 1);
+        // Post ratio: all weight on task 0 (plus task 1 when it exists),
+        // zeroing every other task.
+        let mut post = vec![0.0; n];
+        post[0] = 1.0;
+        if n > 1 {
+            post[1] = 0.5;
+        }
+        let post_ratio = SplitRatio::new(post).unwrap();
+        let mut out = Vec::new();
+        let mut routed = 0usize;
+        let mut post_counts = vec![0usize; n];
+        for i in 0..total {
+            if i == swap_at {
+                handle.set_ratio(post_ratio.clone()).unwrap();
+            }
+            out.clear();
+            g.select(&tuple, &mut out);
+            prop_assert_eq!(out.len(), 1, "swap dropped or duplicated a tuple");
+            prop_assert!(out[0] < n, "selected task out of range");
+            routed += 1;
+            if i >= swap_at {
+                post_counts[out[0]] += 1;
+            }
+        }
+        prop_assert_eq!(routed, total);
+        prop_assert_eq!(handle.version(), 1);
+        // Zero-weight tasks under the new ratio must go dark immediately.
+        for z in 2..n {
+            prop_assert_eq!(
+                post_counts[z], 0,
+                "task {} was zeroed by the swap but still got tuples", z
+            );
+        }
+        prop_assert_eq!(post_counts.iter().sum::<usize>(), total - swap_at);
     }
 
     #[test]

@@ -177,7 +177,9 @@ impl Forecaster for Arima {
             self.ma = Vec::new();
         } else {
             // Hannan–Rissanen stage 1: long AR to estimate innovations.
-            let m = ((w.len() as f64).ln().ceil() as usize * 2 + p + q).min(w.len() / 4).max(p + q);
+            let m = ((w.len() as f64).ln().ceil() as usize * 2 + p + q)
+                .min(w.len() / 4)
+                .max(p + q);
             let rows: Vec<Vec<f64>> = (m..w.len())
                 .map(|t| (1..=m).map(|i| w[t - i]).collect())
                 .collect();
@@ -313,8 +315,16 @@ mod tests {
         let xs = ar2_series(4000, 0.6, 0.25, 42);
         let mut m = Arima::new(ArimaOrder::new(2, 0, 0));
         m.fit(&xs).unwrap();
-        assert!((m.ar_coefficients()[0] - 0.6).abs() < 0.05, "{:?}", m.ar_coefficients());
-        assert!((m.ar_coefficients()[1] - 0.25).abs() < 0.05, "{:?}", m.ar_coefficients());
+        assert!(
+            (m.ar_coefficients()[0] - 0.6).abs() < 0.05,
+            "{:?}",
+            m.ar_coefficients()
+        );
+        assert!(
+            (m.ar_coefficients()[1] - 0.25).abs() < 0.05,
+            "{:?}",
+            m.ar_coefficients()
+        );
     }
 
     #[test]
@@ -336,7 +346,11 @@ mod tests {
         // Linear trend + AR(1) noise: ARIMA(1,1,0) should forecast the
         // continuation far better than ignoring the trend.
         let base = ar2_series(600, 0.5, 0.0, 3);
-        let xs: Vec<f64> = base.iter().enumerate().map(|(i, v)| v + 0.5 * i as f64).collect();
+        let xs: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.5 * i as f64)
+            .collect();
         let (train, test) = xs.split_at(500);
         let mut m = Arima::new(ArimaOrder::new(1, 1, 0));
         m.fit(train).unwrap();
@@ -356,7 +370,10 @@ mod tests {
     fn forecast_errors_before_fit() {
         let m = Arima::new(ArimaOrder::new(1, 0, 0));
         assert!(matches!(m.forecast(3), Err(Error::NotFitted)));
-        assert!(matches!(m.forecast_from(&[1.0; 50], 3), Err(Error::NotFitted)));
+        assert!(matches!(
+            m.forecast_from(&[1.0; 50], 3),
+            Err(Error::NotFitted)
+        ));
     }
 
     #[test]

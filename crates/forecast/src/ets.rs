@@ -137,8 +137,7 @@ impl Ets {
                     let s = state.season[t % period];
                     state.level = alpha * (y - s) + (1.0 - alpha) * (state.level + state.trend);
                     state.trend = beta * (state.level - prev_level) + (1.0 - beta) * state.trend;
-                    state.season[t % period] =
-                        gamma * (y - state.level) + (1.0 - gamma) * s;
+                    state.season[t % period] = gamma * (y - state.level) + (1.0 - gamma) * s;
                 }
             }
         }
@@ -149,9 +148,7 @@ impl Ets {
         (1..=horizon)
             .map(|h| {
                 let seasonal = match self.kind {
-                    EtsKind::HoltWinters { period } => {
-                        state.season[(start_t + h - 1) % period]
-                    }
+                    EtsKind::HoltWinters { period } => state.season[(start_t + h - 1) % period],
                     _ => 0.0,
                 };
                 state.level + state.trend * h as f64 + seasonal
@@ -263,7 +260,9 @@ mod tests {
 
     fn seasonal(n: usize, period: usize) -> Vec<f64> {
         (0..n)
-            .map(|t| 50.0 + 10.0 * ((t % period) as f64 / period as f64 * std::f64::consts::TAU).sin())
+            .map(|t| {
+                50.0 + 10.0 * ((t % period) as f64 / period as f64 * std::f64::consts::TAU).sin()
+            })
             .collect()
     }
 
@@ -275,7 +274,10 @@ mod tests {
         m.fit(&series).unwrap();
         let f = m.forecast(5).unwrap();
         for v in f {
-            assert!((v - 30.0).abs() < 2.0, "forecast {v} should be near the new level");
+            assert!(
+                (v - 30.0).abs() < 2.0,
+                "forecast {v} should be near the new level"
+            );
         }
     }
 
@@ -306,8 +308,8 @@ mod tests {
             assert!((v - expected).abs() < 2.0, "h={h}: {v} vs {expected}");
         }
         // Forecast must actually oscillate.
-        let spread = f.iter().cloned().fold(f64::MIN, f64::max)
-            - f.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            f.iter().cloned().fold(f64::MIN, f64::max) - f.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 10.0, "seasonal spread {spread}");
     }
 
@@ -316,7 +318,11 @@ mod tests {
         let series = noisy_trend(150);
         let mut m = Ets::new(EtsKind::Holt).unwrap();
         m.fit(&series).unwrap();
-        assert!(m.in_sample_mse() < 5.0, "selected fit MSE {}", m.in_sample_mse());
+        assert!(
+            m.in_sample_mse() < 5.0,
+            "selected fit MSE {}",
+            m.in_sample_mse()
+        );
         let (alpha, _, _) = m.params();
         assert!((0.0..=1.0).contains(&alpha));
     }
@@ -325,10 +331,7 @@ mod tests {
     fn rejects_bad_period_and_short_series() {
         assert!(Ets::new(EtsKind::HoltWinters { period: 1 }).is_err());
         let mut m = Ets::new(EtsKind::HoltWinters { period: 10 }).unwrap();
-        assert!(matches!(
-            m.fit(&[1.0; 5]),
-            Err(Error::NotEnoughData { .. })
-        ));
+        assert!(matches!(m.fit(&[1.0; 5]), Err(Error::NotEnoughData { .. })));
     }
 
     #[test]

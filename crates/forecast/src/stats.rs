@@ -100,9 +100,13 @@ pub fn difference_tails(xs: &[f64], d: usize) -> Vec<f64> {
 
 /// Solves the dense system `A x = b` by Gaussian elimination with partial
 /// pivoting.  Returns `None` for (numerically) singular systems.
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the textbook algorithm
 pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let n = b.len();
-    assert!(a.len() == n && a.iter().all(|r| r.len() == n), "square system");
+    assert!(
+        a.len() == n && a.iter().all(|r| r.len() == n),
+        "square system"
+    );
     let mut m: Vec<Vec<f64>> = a
         .iter()
         .zip(b)
@@ -141,6 +145,7 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
 
 /// Ordinary least squares: finds `beta` minimizing `‖X·beta − y‖²` via the
 /// normal equations with ridge jitter for stability.
+#[allow(clippy::needless_range_loop)] // indexed loops mirror the textbook algorithm
 pub fn ols(x_rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
     let n = x_rows.len();
     if n == 0 {
@@ -169,6 +174,7 @@ pub fn ols(x_rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // lag indices are part of the assertions
 mod tests {
     use super::*;
 
@@ -205,7 +211,9 @@ mod tests {
         let mut xs = vec![0.0];
         let mut state = 12345u64;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             let prev = *xs.last().unwrap();
             xs.push(0.8 * prev + e);
@@ -220,7 +228,9 @@ mod tests {
         let mut xs = vec![0.0];
         let mut state = 999u64;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             let prev = *xs.last().unwrap();
             xs.push(0.7 * prev + e);
@@ -243,12 +253,16 @@ mod tests {
 
     #[test]
     fn undifference_inverts_difference() {
-        let xs: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64).collect();
+        let xs: Vec<f64> = (0..20)
+            .map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64)
+            .collect();
         for d in 1..=2 {
             let diffed = difference(&xs, d);
             let tails = difference_tails(&xs, d);
             // "Forecast" the actual continuation and check reconstruction.
-            let future: Vec<f64> = (20..25).map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64).collect();
+            let future: Vec<f64> = (20..25)
+                .map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64)
+                .collect();
             let all: Vec<f64> = xs.iter().chain(&future).copied().collect();
             let all_diffed = difference(&all, d);
             let future_diffed = &all_diffed[diffed.len()..];

@@ -461,7 +461,9 @@ mod tests {
 
     #[test]
     fn forecaster_predicts_sine_out_of_sample() {
-        let series: Vec<f64> = (0..400).map(|t| (t as f64 / 8.0).sin() * 3.0 + 10.0).collect();
+        let series: Vec<f64> = (0..400)
+            .map(|t| (t as f64 / 8.0).sin() * 3.0 + 10.0)
+            .collect();
         let (train, test) = series.split_at(320);
         let mut m = SvrForecaster::new(
             12,
@@ -474,8 +476,7 @@ mod tests {
         )
         .unwrap();
         m.fit(train).unwrap();
-        let (actuals, preds) =
-            crate::forecaster::rolling_forecast(&m, train, test, 1).unwrap();
+        let (actuals, preds) = crate::forecaster::rolling_forecast(&m, train, test, 1).unwrap();
         let rmse = {
             let se: f64 = actuals
                 .iter()

@@ -14,11 +14,11 @@ use streampc::apps::workload::RatePattern;
 use streampc::control::controller::{control_hook, ControlMode, Controller, ControllerConfig};
 use streampc::control::features::FeatureSpec;
 use streampc::control::predictor::{DrnnPredictor, DrnnPredictorConfig, PerformancePredictor};
+use streampc::drnn::train::TrainConfig;
 use streampc::dsdps::config::EngineConfig;
 use streampc::dsdps::metrics::MetricsSnapshot;
 use streampc::dsdps::scheduler::even_placement;
 use streampc::dsdps::sim::{Fault, SimRuntime};
-use streampc::drnn::train::TrainConfig;
 
 fn app_config() -> CqConfig {
     CqConfig {
@@ -83,7 +83,10 @@ fn main() {
     let history: Vec<MetricsSnapshot> = engine.history().iter().cloned().collect();
 
     // ---- Phase 2: train the DRNN performance predictor ----
-    println!("phase 2: training the DRNN (stacked LSTM) on {} intervals...", history.len());
+    println!(
+        "phase 2: training the DRNN (stacked LSTM) on {} intervals...",
+        history.len()
+    );
     let mut predictor = DrnnPredictor::new(DrnnPredictorConfig {
         features: FeatureSpec::full(),
         lookback: 16,
@@ -97,7 +100,9 @@ fn main() {
         ..DrnnPredictorConfig::default()
     });
     let refs: Vec<&MetricsSnapshot> = history.iter().collect();
-    predictor.fit(&refs, &query_workers).expect("training succeeds");
+    predictor
+        .fit(&refs, &query_workers)
+        .expect("training succeeds");
     let report = predictor.last_report().unwrap();
     println!(
         "  trained {} epochs, final loss {:.5}",

@@ -3,8 +3,13 @@
 //! grouping live.
 //!
 //! ```text
-//! cargo run --release --example threaded_runtime
+//! cargo run --release --example threaded_runtime [batch_size] [linger_ms]
 //! ```
+//!
+//! `batch_size` (default 1) and `linger_ms` (default 1) tune the runtime's
+//! tuple batching: tuples to the same downstream task ride the channel as
+//! one batch, flushed when the buffer holds `batch_size` tuples or the
+//! oldest has waited `linger_ms`.  Try `64 1` and compare the acked rate.
 
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -13,10 +18,14 @@ use streampc::apps::continuous_queries::{build_continuous_queries, CqConfig};
 use streampc::apps::workload::RatePattern;
 use streampc::dsdps::config::EngineConfig;
 use streampc::dsdps::grouping::dynamic::SplitRatio;
-use streampc::dsdps::rt::submit;
+use streampc::dsdps::rt::{submit_with, RtConfig};
 use streampc::dsdps::stream::StreamId;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let batch_size: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let linger_ms: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
     let cfg = CqConfig {
         pattern: RatePattern::Constant { rate: 2000.0 },
         n_devices: 200,
@@ -32,9 +41,15 @@ fn main() {
 
     let mut engine_cfg = EngineConfig::default().with_cluster(2, 2, 4);
     engine_cfg.metrics_interval_s = 0.5;
+    let rt_cfg = RtConfig::default()
+        .with_batch_size(batch_size)
+        .with_linger(Duration::from_millis(linger_ms));
 
-    println!("submitting Continuous Queries to the threaded runtime...");
-    let running = submit(topology, engine_cfg).unwrap();
+    println!(
+        "submitting Continuous Queries to the threaded runtime \
+         (batch_size {batch_size}, linger {linger_ms} ms)..."
+    );
+    let running = submit_with(topology, engine_cfg, rt_cfg).unwrap();
 
     std::thread::sleep(Duration::from_secs(2));
     println!(
@@ -54,10 +69,7 @@ fn main() {
         "\nshut down after {:.1} s wall clock: acked {}, failed {}, avg latency {:.2} ms",
         report.uptime_s, report.acked, report.failed, report.avg_complete_latency_ms
     );
-    println!(
-        "query results produced: {}",
-        stats.results.lock().len()
-    );
+    println!("query results produced: {}", stats.results.lock().len());
     println!(
         "readings matched at least one standing query: {}",
         stats.matched.load(Ordering::Relaxed)
@@ -67,8 +79,9 @@ fn main() {
         for task in &last.tasks {
             if task.component == "query" {
                 println!(
-                    "  {} executed {:>6} readings this interval",
-                    task.task, task.executed
+                    "  {} executed {:>6} readings this interval \
+                     ({} batches flushed, {} by linger)",
+                    task.task, task.executed, task.batches_flushed, task.linger_flushes
                 );
             }
         }

@@ -53,6 +53,9 @@ fn main() {
     println!("\nper-interval spout emission rate (every 5th interval):");
     for snap in engine.history().iter().step_by(5) {
         let bar = "#".repeat((snap.topology.spout_emitted / 60) as usize);
-        println!("t={:>3.0}s {:>5} t/s {}", snap.time_s, snap.topology.spout_emitted, bar);
+        println!(
+            "t={:>3.0}s {:>5} t/s {}",
+            snap.time_s, snap.topology.spout_emitted, bar
+        );
     }
 }

@@ -9,13 +9,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use streampc::apps::workload::{RateDriver, RatePattern, UrlCatalog};
 use streampc::dsdps::component::{BoltOutput, Spout, SpoutOutput};
 use streampc::dsdps::config::EngineConfig;
 use streampc::dsdps::sim::SimRuntime;
 use streampc::dsdps::topology::{CostModel, TopologyBuilder};
 use streampc::dsdps::tuple::{Fields, Tuple, Value};
 use streampc::dsdps::window::{WindowAggregate, WindowAssigner, WindowedBolt};
-use streampc::apps::workload::{RateDriver, RatePattern, UrlCatalog};
 
 /// Click spout reusing the workload generators.
 struct ClickSpout {
@@ -38,10 +38,7 @@ impl Spout for ClickSpout {
                 .to_owned();
             self.next_id += 1;
             out.emit_with_id(
-                Tuple::with_fields(
-                    [Value::from(domain)],
-                    Fields::new(["domain"]),
-                ),
+                Tuple::with_fields([Value::from(domain)], Fields::new(["domain"])),
                 self.next_id,
             );
         }
@@ -67,7 +64,7 @@ impl WindowAggregate for DomainRates {
     fn emit(&mut self, window_start_s: f64, acc: Self::Acc, _out: &mut BoltOutput) {
         let mut results = self.results.lock();
         let mut rows: Vec<(String, u64)> = acc.into_iter().collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         for (domain, count) in rows.into_iter().take(3) {
             results.push((window_start_s, domain, count));
         }

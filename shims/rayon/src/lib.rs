@@ -1,0 +1,135 @@
+//! Minimal vendored stand-in for the `rayon` surface used by the drnn GEMM
+//! kernel: `slice.par_chunks_mut(n).enumerate().for_each(f)`.
+//!
+//! Work is distributed over `std::thread::scope` workers pulling chunks from
+//! a shared cursor — no work stealing, but row-parallel GEMM has uniform
+//! chunk costs, so a striped queue is a close substitute.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Entry point trait, mirroring `rayon::prelude::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into parallelizable mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Send + Sync,
+    {
+        run_parallel(self.chunks, &|chunk| f(chunk));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct EnumerateChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Send + Sync,
+    {
+        let indexed: Vec<(usize, &'a mut [T])> = self.chunks.into_iter().enumerate().collect();
+        run_parallel(indexed, &f);
+    }
+}
+
+fn run_parallel<I: Send, F: Fn(I) + Send + Sync + ?Sized>(items: Vec<I>, f: &F) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    // Option slots + an atomic cursor: each worker claims the next
+    // unprocessed item, which keeps all workers busy without slicing the
+    // input into uneven static stripes.
+    let slots: Vec<std::sync::Mutex<Option<I>>> = items
+        .into_iter()
+        .map(|i| std::sync::Mutex::new(Some(i)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(idx) else { break };
+                let item = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("item claimed twice");
+                f(item);
+            });
+        }
+    });
+}
+
+/// Mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use super::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerated_chunks_see_their_own_rows() {
+        let mut data = vec![0usize; 64];
+        data.par_chunks_mut(8)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i));
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 8);
+        }
+    }
+
+    #[test]
+    fn plain_for_each_touches_every_chunk() {
+        let mut data = vec![1i64; 100];
+        data.par_chunks_mut(7).for_each(|chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn uneven_tail_chunk_is_processed() {
+        let mut data = [0u8; 10];
+        data.par_chunks_mut(4).for_each(|chunk| chunk.fill(1));
+        assert!(data.iter().all(|&v| v == 1));
+    }
+}

@@ -1,0 +1,452 @@
+//! Minimal vendored stand-in for `serde`, built around a concrete JSON-shaped
+//! value model instead of the real crate's generic serializer/deserializer
+//! machinery.
+//!
+//! The workspace builds offline, so the real serde cannot be fetched.  All
+//! in-repo uses funnel through `#[derive(Serialize, Deserialize)]` plus
+//! `serde_json::{to_string, from_str}`, which a value model covers exactly:
+//!
+//! * [`Serialize`] renders a value into a [`JsonValue`] tree;
+//! * [`Deserialize`] rebuilds a value from a [`JsonValue`] tree;
+//! * the companion `serde_derive` shim generates both impls with the same
+//!   externally-tagged enum / field-name conventions real serde uses, so the
+//!   JSON text on the wire is byte-compatible for the shapes in this repo.
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The data model: a JSON document tree.
+///
+/// Object keys keep insertion order (a `Vec` of pairs, not a map) so that
+/// serialized output is deterministic and matches field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object, in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if numeric (or null, read as NaN so
+    /// non-finite floats round-trip through their `null` encoding).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::I64(i) => Some(*i as f64),
+            JsonValue::U64(u) => Some(*u as f64),
+            JsonValue::F64(f) => Some(*f),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Integer value, if it fits `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::I64(i) => Some(*i),
+            JsonValue::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value, if non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::I64(i) => u64::try_from(*i).ok(),
+            JsonValue::U64(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// "expected X while deserializing T" helper used by generated code.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a field in an object; generated code calls this.
+pub fn field<'a>(
+    obj: &'a [(String, JsonValue)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a JsonValue, Error> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+/// Wraps a value in the externally-tagged enum representation
+/// `{"Variant": value}`; generated code calls this.
+pub fn variant(name: &str, value: JsonValue) -> JsonValue {
+    JsonValue::Object(vec![(name.to_string(), value)])
+}
+
+/// Unpacks `{"Variant": value}`; generated code calls this.
+pub fn single_entry<'a>(v: &'a JsonValue, ty: &str) -> Result<(&'a str, &'a JsonValue), Error> {
+    match v {
+        JsonValue::Object(o) if o.len() == 1 => Ok((o[0].0.as_str(), &o[0].1)),
+        _ => Err(Error::expected("single-entry variant object", ty)),
+    }
+}
+
+/// Renders `self` into the [`JsonValue`] data model.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn serialize_value(&self) -> JsonValue;
+}
+
+/// Rebuilds `Self` from the [`JsonValue`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a value tree.
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> JsonValue {
+                JsonValue::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> JsonValue {
+                let u = *self as u64;
+                match i64::try_from(u) {
+                    Ok(i) => JsonValue::I64(i),
+                    Err(_) => JsonValue::U64(u),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(u).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::expected("number", "f32"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_owned())
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        v.as_str()
+            .map(Arc::from)
+            .ok_or_else(|| Error::expected("string", "Arc<str>"))
+    }
+}
+
+impl Serialize for Arc<[String]> {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(|s| JsonValue::Str(s.clone())).collect())
+    }
+}
+
+impl Deserialize for Arc<[String]> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "Arc<[String]>"))?;
+        let strings: Result<Vec<String>, Error> =
+            arr.iter().map(String::deserialize_value).collect();
+        Ok(Arc::from(strings?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> JsonValue {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> JsonValue {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn serialize_value(&self) -> JsonValue {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize_value(&self) -> JsonValue {
+        (**self).serialize_value()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::expected("array", "tuple"))?;
+                let mut it = a.iter();
+                Ok(($(
+                    $t::deserialize_value(
+                        it.next().ok_or_else(|| Error::expected("tuple element", "tuple"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::deserialize_value(&5i64.serialize_value()).unwrap(), 5);
+        assert_eq!(
+            u64::deserialize_value(&u64::MAX.serialize_value()).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<i64>::deserialize_value(&None::<i64>.serialize_value()).unwrap(),
+            None
+        );
+        let v: Vec<f64> = vec![1.0, 2.5];
+        assert_eq!(
+            Vec::<f64>::deserialize_value(&v.serialize_value()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn arc_impls_round_trip() {
+        let s: Arc<str> = Arc::from("abc");
+        assert_eq!(
+            &*Arc::<str>::deserialize_value(&s.serialize_value()).unwrap(),
+            "abc"
+        );
+        let a: Arc<[String]> = Arc::from(vec!["x".to_string(), "y".to_string()]);
+        let back = Arc::<[String]>::deserialize_value(&a.serialize_value()).unwrap();
+        assert_eq!(&*back, &["x".to_string(), "y".to_string()][..]);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = vec![("a".to_string(), JsonValue::I64(1))];
+        assert!(field(&obj, "a", "T").is_ok());
+        assert!(field(&obj, "b", "T").is_err());
+    }
+}

@@ -1,0 +1,494 @@
+//! Dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The workspace builds offline, so `syn`/`quote` are unavailable; this macro
+//! walks the raw [`proc_macro::TokenStream`] by hand.  It supports exactly
+//! the shapes this repo uses:
+//!
+//! * structs with named fields (honoring `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize transparently, larger ones as arrays),
+//! * unit structs,
+//! * enums with unit / newtype / tuple / struct variants, encoded with real
+//!   serde's externally-tagged convention (`"Variant"` or `{"Variant": ...}`).
+//!
+//! Generics and lifetimes are rejected with a compile-time panic rather than
+//! silently miscompiled.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize` (value-model variant).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, item) = parse_item(input);
+    gen_serialize(&name, &item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-model variant).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, item) = parse_item(input);
+    gen_deserialize(&name, &item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Item) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected type name, found {t}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored shim");
+        }
+    }
+
+    let item = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct,
+            t => panic!("serde_derive: unexpected struct body {t:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde_derive: unexpected enum body {t:?}"),
+        },
+        k => panic!("serde_derive: cannot derive for item kind `{k}`"),
+    };
+    (name, item)
+}
+
+/// Skips leading attributes (including doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Punct(p2)) = tokens.get(*i) {
+                    if p2.as_char() == '!' {
+                        *i += 1;
+                    }
+                }
+                *i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects attributes in front of a field/variant, returning whether a
+/// `#[serde(skip)]` was among them.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(a) = &t {
+                                match a.to_string().as_str() {
+                                    "skip" | "default" => skip = true,
+                                    other => panic!(
+                                        "serde_derive: unsupported serde attribute `{other}`"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    skip
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = take_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected field name, found {t}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("serde_derive: expected `:` after field `{name}`, found {t}"),
+        }
+        skip_type(&tokens, &mut i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket aware,
+/// since e.g. `HashMap<K, V>` has a comma outside any delimiter group).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected variant name, found {t}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn push_named_obj(out: &mut String, fields: &[Field], access: &dyn Fn(&str) -> String) {
+    out.push_str(
+        "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::JsonValue)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__o.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::serialize_value({a})));\n",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+}
+
+fn gen_serialize(name: &str, item: &Item) -> String {
+    let mut body = String::new();
+    match item {
+        Item::NamedStruct(fields) => {
+            push_named_obj(&mut body, fields, &|n| format!("&self.{n}"));
+            body.push_str("::serde::JsonValue::Object(__o)\n");
+        }
+        Item::TupleStruct(0) | Item::UnitStruct => {
+            body.push_str("::serde::JsonValue::Null\n");
+        }
+        Item::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::serialize_value(&self.0)\n");
+        }
+        Item::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            body.push_str(&format!(
+                "::serde::JsonValue::Array(vec![{}])\n",
+                elems.join(", ")
+            ));
+        }
+        Item::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::JsonValue::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(__f0) => \
+                         ::serde::variant(\"{vn}\", ::serde::Serialize::serialize_value(__f0)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::serialize_value(__f{k})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::variant(\"{vn}\", \
+                             ::serde::JsonValue::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    format!("{n}: __b_{n}", n = f.name)
+                                }
+                            })
+                            .collect();
+                        let mut inner = String::new();
+                        push_named_obj(&mut inner, fields, &|n| format!("__b_{n}"));
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} \
+                             ::serde::variant(\"{vn}\", ::serde::JsonValue::Object(__o)) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::JsonValue {{\n{body}}}\n}}\n"
+    )
+}
+
+fn named_ctor(name: &str, path_suffix: &str, fields: &[Field], obj: &str, ty: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::deserialize_value(\
+                     ::serde::field({obj}, \"{n}\", \"{ty}\")?)?",
+                    n = f.name
+                )
+            }
+        })
+        .collect();
+    format!("{name}{path_suffix} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(name: &str, item: &Item) -> String {
+    let mut body = String::new();
+    match item {
+        Item::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "let __o = match __v.as_object() {{ Some(o) => o, None => return \
+                 ::std::result::Result::Err(::serde::Error::expected(\"object\", \"{name}\")) }};\n"
+            ));
+            body.push_str(&format!(
+                "::std::result::Result::Ok({})\n",
+                named_ctor(name, "", fields, "__o", name)
+            ));
+        }
+        Item::TupleStruct(0) | Item::UnitStruct => {
+            let ctor = if matches!(item, Item::UnitStruct) {
+                name.to_string()
+            } else {
+                format!("{name}()")
+            };
+            body.push_str(&format!("::std::result::Result::Ok({ctor})\n"));
+        }
+        Item::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(__v)?))\n"
+            ));
+        }
+        Item::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let __a = match __v.as_array() {{ Some(a) => a, None => return \
+                 ::std::result::Result::Err(::serde::Error::expected(\"array\", \"{name}\")) }};\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"{n}-element array\", \"{name}\")); }}\n"
+            ));
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&__a[{k}])?"))
+                .collect();
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))\n",
+                elems.join(", ")
+            ));
+        }
+        Item::Enum(variants) => {
+            // Unit variants arrive as bare strings.
+            body.push_str("if let ::serde::JsonValue::Str(__s) = __v {\n");
+            body.push_str("return match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"known unit variant\", \"{name}\")),\n}};\n}}\n"
+            ));
+            // Everything else arrives as {"Variant": content}.
+            body.push_str(&format!(
+                "let (__tag, __content) = ::serde::single_entry(__v, \"{name}\")?;\n"
+            ));
+            body.push_str("match __tag {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "\"{vn}\" => {{ let _ = __content; \
+                         ::std::result::Result::Ok({name}::{vn}) }}\n"
+                    )),
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(__content)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize_value(&__a[{k}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = match __content.as_array() {{ Some(a) => a, None => \
+                             return ::std::result::Result::Err(::serde::Error::expected(\
+                             \"array\", \"{name}::{vn}\")) }};\n\
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"{n}-element array\", \"{name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let ty = format!("{name}::{vn}");
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __o = match __content.as_object() {{ Some(o) => o, None => \
+                             return ::std::result::Result::Err(::serde::Error::expected(\
+                             \"object\", \"{ty}\")) }};\n\
+                             ::std::result::Result::Ok({})\n}}\n",
+                            named_ctor(name, &format!("::{vn}"), fields, "__o", &ty)
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"known variant\", \"{name}\")),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::JsonValue) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}

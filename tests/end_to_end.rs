@@ -23,7 +23,9 @@ use streampc::dsdps::sim::SimRuntime;
 use streampc::forecast::svr::SvrParams;
 
 fn cluster(seed: u64) -> EngineConfig {
-    EngineConfig::default().with_cluster(4, 2, 4).with_seed(seed)
+    EngineConfig::default()
+        .with_cluster(4, 2, 4)
+        .with_seed(seed)
 }
 
 fn wuc_config() -> UrlCountConfig {
@@ -65,7 +67,11 @@ fn url_count_full_pipeline_on_simulator() {
         (reported_total as f64 - covered).abs() < covered * 0.15,
         "window reports cover their windows: {reported_total} vs ~{covered}"
     );
-    assert!(reports.len() >= 10, "most windows finalized: {}", reports.len());
+    assert!(
+        reports.len() >= 10,
+        "most windows finalized: {}",
+        reports.len()
+    );
 }
 
 #[test]
@@ -122,7 +128,9 @@ fn reactive_control_bypasses_misbehaving_worker_end_to_end() {
         .events()
         .iter()
         .filter_map(|e| match e {
-            ControlEvent::Flagged { worker, interval, .. } => Some((*worker, *interval)),
+            ControlEvent::Flagged {
+                worker, interval, ..
+            } => Some((*worker, *interval)),
             _ => None,
         })
         .collect();
@@ -225,7 +233,11 @@ fn baseline_predictors_fit_on_real_engine_metrics() {
         assert!(a.is_finite() && a >= 0.0);
         assert!(s.is_finite() && s >= 0.0);
         // Sanity: predictions in the same order of magnitude as reality.
-        let actual = history.last().unwrap().worker_avg_latency_us(*w).unwrap_or(600.0);
+        let actual = history
+            .last()
+            .unwrap()
+            .worker_avg_latency_us(*w)
+            .unwrap_or(600.0);
         assert!(a < actual * 20.0 + 5_000.0, "arima {a} vs actual {actual}");
         assert!(s < actual * 20.0 + 5_000.0, "svr {s} vs actual {actual}");
     }
@@ -246,11 +258,18 @@ fn threaded_runtime_runs_url_count_for_real() {
     let running = streampc::dsdps::rt::submit(topology, engine_cfg).unwrap();
     std::thread::sleep(Duration::from_millis(1500));
     let (history, report) = running.run_for(Duration::from_millis(500));
-    assert!(report.acked > 1000, "threaded runtime acked {}", report.acked);
+    assert!(
+        report.acked > 1000,
+        "threaded runtime acked {}",
+        report.acked
+    );
     assert_eq!(report.failed, 0);
     assert!(history.len() >= 2);
     assert!(stats.counted.load(Ordering::Relaxed) > 1000);
-    assert!(!stats.reports.lock().is_empty(), "windows closed on wall clock");
+    assert!(
+        !stats.reports.lock().is_empty(),
+        "windows closed on wall clock"
+    );
 }
 
 #[test]
@@ -263,7 +282,13 @@ fn simulator_is_deterministic_across_full_apps() {
             report.acked,
             report.spout_emitted,
             stats.counted.load(Ordering::Relaxed),
-            engine.history().latest().unwrap().topology.throughput.to_bits(),
+            engine
+                .history()
+                .latest()
+                .unwrap()
+                .topology
+                .throughput
+                .to_bits(),
         )
     };
     assert_eq!(run(), run());
@@ -284,7 +309,11 @@ fn controller_restores_ratio_after_fault_ends() {
     let (topology, _) = build_url_count(&wuc_config()).unwrap();
     let placement = even_placement(&topology, &cluster(8)).unwrap();
     let handle = topology
-        .dynamic_handle("parse", &streampc::dsdps::stream::StreamId::default(), "count")
+        .dynamic_handle(
+            "parse",
+            &streampc::dsdps::stream::StreamId::default(),
+            "count",
+        )
         .unwrap();
     let fault_worker = {
         let ws: Vec<_> = topology
@@ -332,9 +361,9 @@ fn controller_restores_ratio_after_fault_ends() {
     let after = handle.ratio();
     let c = shared.lock();
     assert!(
-        c.events()
-            .iter()
-            .any(|e| matches!(e, ControlEvent::Recovered { worker, .. } if *worker == fault_worker)),
+        c.events().iter().any(
+            |e| matches!(e, ControlEvent::Recovered { worker, .. } if *worker == fault_worker)
+        ),
         "recovery must be detected: {:?}",
         c.events()
     );
@@ -347,6 +376,116 @@ fn controller_restores_ratio_after_fault_ends() {
         min_after > 0.15,
         "ratio should be restored after recovery: {after:?}"
     );
+}
+
+#[test]
+fn sim_and_rt_agree_on_url_counts_at_any_batch_size() {
+    // Parity check: the same deterministic URL-count topology (spout ->
+    // parse x2 shuffle -> count x3 fields-grouped) produces identical
+    // per-URL totals on the simulator, the threaded runtime at batch_size 1
+    // (unbatched semantics), and the threaded runtime at batch_size 64.
+    use std::collections::HashMap;
+    use streampc::dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+    use streampc::dsdps::rt::{self, RtConfig};
+    use streampc::dsdps::topology::{Topology, TopologyBuilder};
+    use streampc::dsdps::tuple::{Fields, Tuple, Value};
+
+    const N: u64 = 3000;
+
+    fn url_for(i: u64) -> String {
+        // Deterministic, skewed over 12 distinct URLs.
+        format!("url{}", (i.wrapping_mul(2654435761)) % 97 % 12)
+    }
+
+    struct SeqUrlSpout {
+        next_id: u64,
+    }
+    impl Spout for SeqUrlSpout {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            if self.next_id >= N {
+                return false;
+            }
+            self.next_id += 1;
+            let t = Tuple::with_fields(
+                [Value::from(url_for(self.next_id).as_str())],
+                Fields::new(["url"]),
+            );
+            out.emit_with_id(t, self.next_id);
+            true
+        }
+    }
+
+    struct PassBolt;
+    impl Bolt for PassBolt {
+        fn execute(&mut self, t: &Tuple, out: &mut BoltOutput) {
+            out.emit(t.clone());
+        }
+    }
+
+    type Counts = Arc<parking_lot::Mutex<HashMap<String, u64>>>;
+    struct CountSink {
+        counts: Counts,
+    }
+    impl Bolt for CountSink {
+        fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+            let url = t.get(0).unwrap().as_str().unwrap().to_string();
+            *self.counts.lock().entry(url).or_insert(0) += 1;
+        }
+    }
+
+    fn build(counts: Counts) -> Topology {
+        let mut b = TopologyBuilder::new("parity-url-count");
+        b.set_spout("src", 1, || SeqUrlSpout { next_id: 0 })
+            .unwrap()
+            .output_fields(Fields::new(["url"]));
+        b.set_bolt("parse", 2, || PassBolt)
+            .unwrap()
+            .output_fields(Fields::new(["url"]))
+            .shuffle_grouping("src")
+            .unwrap();
+        b.set_bolt("count", 3, move || CountSink {
+            counts: counts.clone(),
+        })
+        .unwrap()
+        .fields_grouping("parse", &["url"])
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    let expected: HashMap<String, u64> = {
+        let mut m = HashMap::new();
+        for i in 1..=N {
+            *m.entry(url_for(i)).or_insert(0) += 1;
+        }
+        m
+    };
+
+    // Simulator.
+    let sim_counts: Counts = Arc::default();
+    let mut engine = SimRuntime::new(build(sim_counts.clone()), cluster(11)).unwrap();
+    let sim_report = engine.run_until(30.0);
+    assert_eq!(sim_report.acked, N, "simulator acks the whole stream");
+    assert_eq!(*sim_counts.lock(), expected, "simulator totals");
+
+    // Threaded runtime at both batch sizes.
+    for batch_size in [1usize, 64] {
+        let rt_counts: Counts = Arc::default();
+        let rt_cfg = RtConfig::default().with_batch_size(batch_size);
+        let running = rt::submit_with(build(rt_counts.clone()), cluster(12), rt_cfg).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while running.acked() < N && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let (_, report) = running.shutdown();
+        assert_eq!(report.acked, N, "batch_size {batch_size}: all trees acked");
+        assert_eq!(report.failed, 0, "batch_size {batch_size}");
+        assert_eq!(report.timed_out, 0, "batch_size {batch_size}");
+        assert_eq!(
+            *rt_counts.lock(),
+            expected,
+            "threaded runtime totals at batch_size {batch_size} match the simulator"
+        );
+    }
 }
 
 #[test]
@@ -376,13 +515,16 @@ fn threaded_runtime_drives_controller_hook() {
 
     let mut engine_cfg = cluster(9);
     engine_cfg.metrics_interval_s = 0.25;
-    let running =
-        streampc::dsdps::rt::submit_with_hook(topology, engine_cfg, Some(hook)).unwrap();
+    let running = streampc::dsdps::rt::submit_with_hook(topology, engine_cfg, Some(hook)).unwrap();
     std::thread::sleep(Duration::from_millis(1800));
     let (_, report) = running.shutdown();
     assert!(report.acked > 500);
     let c = shared.lock();
-    assert!(c.history().len() >= 4, "controller saw snapshots: {}", c.history().len());
+    assert!(
+        c.history().len() >= 4,
+        "controller saw snapshots: {}",
+        c.history().len()
+    );
     assert!(
         !c.events()
             .iter()
