@@ -1,6 +1,10 @@
 //! Fault scenarios: reusable schedules of misbehaving-worker disturbances
-//! for the reliability experiments.
+//! for the reliability experiments.  One scenario drives both runtimes:
+//! [`FaultScenario::apply`] injects it into the simulator on virtual time,
+//! [`FaultScenario::rt_plan`] converts it into a wall-clock
+//! [`RtFaultPlan`] for the threaded runtime.
 
+use dsdps::rt::{RtFault, RtFaultPlan};
 use dsdps::sim::Fault;
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +108,22 @@ impl FaultScenario {
         }
         Ok(())
     }
+
+    /// The wall-clock twin of [`apply`](Self::apply): the same schedule as a
+    /// threaded-runtime fault plan, for [`dsdps::rt::submit_faulty`].
+    pub fn rt_plan(&self) -> RtFaultPlan {
+        RtFaultPlan::from_sim(&self.faults)
+    }
+
+    /// [`rt_plan`](Self::rt_plan) plus runtime-only task faults (panics,
+    /// hangs, tuple drops) appended — chaos the simulator cannot express.
+    pub fn rt_plan_with(&self, extra: impl IntoIterator<Item = RtFault>) -> RtFaultPlan {
+        let mut plan = self.rt_plan();
+        for f in extra {
+            plan.push(f);
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +157,26 @@ mod tests {
         for w in s.faults.windows(2) {
             assert!(w[0].until_s() <= w[1].from_s());
         }
+    }
+
+    #[test]
+    fn rt_plan_mirrors_sim_schedule() {
+        let s = FaultScenario::single_misbehaving_worker(2, 5.0, 300.0, 600.0);
+        let plan = s.rt_plan();
+        assert_eq!(
+            plan.faults,
+            vec![RtFault::WorkerSlowdown {
+                worker: 2,
+                factor: 5.0,
+                from_s: 300.0,
+                until_s: 600.0,
+            }]
+        );
+
+        let chaotic = s.rt_plan_with([RtFault::TaskPanic { task: 1, at_s: 0.5 }]);
+        assert_eq!(chaotic.faults.len(), 2);
+        assert!(chaotic.validate(4, 4, 2).is_ok());
+        assert!(FaultScenario::none().rt_plan().is_empty());
     }
 
     #[test]

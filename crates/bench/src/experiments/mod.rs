@@ -5,6 +5,7 @@ pub mod grouping;
 pub mod policy;
 pub mod prediction;
 pub mod reliability;
+pub mod rt_reliability;
 
 use std::error::Error;
 use std::path::PathBuf;
@@ -117,6 +118,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "Complete-latency CDF during the fault window: control vs no control",
             run: reliability::fig_latency_cdf,
         },
+        Experiment {
+            id: "rt-reliability",
+            description: "Threaded runtime under chaos (panic + slowdown): supervision, replay, reactive control",
+            run: rt_reliability::rt_reliability,
+        },
     ]
 }
 
@@ -127,11 +133,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_documented() {
         let reg = registry();
-        assert_eq!(reg.len(), 13);
+        assert_eq!(reg.len(), 14);
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 13, "duplicate experiment ids");
+        assert_eq!(ids.len(), 14, "duplicate experiment ids");
         assert!(reg.iter().all(|e| !e.description.is_empty()));
     }
 

@@ -395,6 +395,16 @@ pub fn control_hook(controller: Arc<Mutex<Controller>>) -> ControlHook {
     })
 }
 
+/// Wraps a shared controller as a threaded-runtime
+/// [`MetricsHook`](dsdps::rt::MetricsHook) — the wall-clock counterpart of
+/// [`control_hook`], for closing the loop over a real run via
+/// [`dsdps::rt::submit_with_hook`] or [`dsdps::rt::submit_faulty`].
+pub fn rt_control_hook(controller: Arc<Mutex<Controller>>) -> dsdps::rt::MetricsHook {
+    Box::new(move |snapshot| {
+        controller.lock().on_snapshot(snapshot);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

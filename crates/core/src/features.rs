@@ -182,6 +182,9 @@ mod tests {
                 capacity: 0.5,
                 batches_flushed: 0,
                 linger_flushes: 0,
+                panics: 0,
+                restarts: 0,
+                last_panic: None,
             }],
             workers: vec![worker(0, lat0), worker(1, lat1)],
             machines: vec![MachineStats {

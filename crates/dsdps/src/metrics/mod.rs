@@ -56,6 +56,14 @@ pub struct TaskStats {
     /// Of those, batches flushed by the linger deadline rather than by
     /// reaching the configured batch size.
     pub linger_flushes: u64,
+    /// Cumulative panics caught in the task's thread (threaded runtime; 0 in
+    /// the simulator).
+    pub panics: u64,
+    /// Cumulative supervisor restarts of the task (threaded runtime; 0 in
+    /// the simulator).
+    pub restarts: u64,
+    /// Message of the most recent caught panic, if any.
+    pub last_panic: Option<String>,
 }
 
 /// Per-worker statistics for one metrics interval.
@@ -249,6 +257,9 @@ mod tests {
                 capacity: 0.4,
                 batches_flushed: 0,
                 linger_flushes: 0,
+                panics: 0,
+                restarts: 0,
+                last_panic: None,
             }],
             workers: vec![WorkerStats {
                 worker: WorkerId(0),

@@ -204,6 +204,9 @@ impl OutputBuffers {
                     if shared.stop.load(Ordering::Relaxed) {
                         break;
                     }
+                    // Blocked on backpressure is not hung: keep heartbeating
+                    // so the supervisor does not supersede this task.
+                    shared.beat(self.task);
                     msg = back;
                 }
                 Err(SendTimeoutError::Disconnected(_)) => break,

@@ -4,17 +4,32 @@ use std::time::Duration;
 
 use crate::error::{Error, Result};
 
-/// Tuning parameters for the threaded runtime's tuple batching.
+/// Tuning parameters for the threaded runtime: tuple batching, task
+/// supervision, and end-to-end replay.
 ///
-/// Tuples routed to the same downstream task accumulate in a per-destination
-/// output buffer and travel the channel as one `Vec` batch.  A buffer is
-/// flushed when it reaches [`batch_size`](Self::batch_size) entries or when
-/// its oldest entry has waited [`linger`](Self::linger) — whichever comes
-/// first — so batching trades at most `linger` of latency for amortized
-/// channel and acker traffic.
+/// **Batching.** Tuples routed to the same downstream task accumulate in a
+/// per-destination output buffer and travel the channel as one `Vec` batch.
+/// A buffer is flushed when it reaches [`batch_size`](Self::batch_size)
+/// entries or when its oldest entry has waited [`linger`](Self::linger) —
+/// whichever comes first — so batching trades at most `linger` of latency
+/// for amortized channel and acker traffic.  The default `batch_size` of 1
+/// flushes every tuple inline and reproduces the unbatched runtime behavior
+/// exactly.
 ///
-/// The default `batch_size` of 1 flushes every tuple inline and reproduces
-/// the unbatched runtime behavior exactly.
+/// **Supervision.** With [`supervise`](Self::supervise) enabled (the
+/// default) a supervisor thread watches every task's heartbeat: a task whose
+/// thread died (panic) or stopped beating for
+/// [`hang_timeout`](Self::hang_timeout) is superseded and restarted from its
+/// component factory — a fresh component instance wired to the *same* input
+/// channel, so queued tuples survive the crash.  Each task is restarted at
+/// most [`max_restarts`](Self::max_restarts) times.
+///
+/// **Replay.** With [`max_replays`](Self::max_replays) > 0 and acking
+/// enabled, the spout loop caches each tracked emission and re-emits trees
+/// that fail or time out, waiting `replay_backoff × 2^attempt` between
+/// attempts before declaring a message permanently failed.  The default of 0
+/// preserves the classic fire-and-forget semantics where user code sees
+/// every failure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RtConfig {
     /// Maximum tuples per output batch (per destination task).  Must be at
@@ -23,6 +38,19 @@ pub struct RtConfig {
     /// Longest a buffered tuple may wait before its batch is flushed even if
     /// not full.  Irrelevant when `batch_size == 1`.
     pub linger: Duration,
+    /// Run the supervisor thread that restarts dead or hung tasks.
+    pub supervise: bool,
+    /// A task whose heartbeat is older than this is considered hung and
+    /// superseded (when supervision is on).  Must exceed zero; keep it well
+    /// above the longest legitimate single `execute` call.
+    pub hang_timeout: Duration,
+    /// Upper bound on supervisor restarts per task (guards against a
+    /// component that panics immediately on every start).
+    pub max_restarts: u32,
+    /// Maximum runtime-level replays per message id (0 disables replay).
+    pub max_replays: u32,
+    /// Base delay before the first replay of a message; doubles per attempt.
+    pub replay_backoff: Duration,
 }
 
 impl Default for RtConfig {
@@ -30,6 +58,11 @@ impl Default for RtConfig {
         Self {
             batch_size: 1,
             linger: Duration::from_millis(1),
+            supervise: true,
+            hang_timeout: Duration::from_secs(3),
+            max_restarts: 8,
+            max_replays: 0,
+            replay_backoff: Duration::from_millis(100),
         }
     }
 }
@@ -47,10 +80,50 @@ impl RtConfig {
         self
     }
 
+    /// Returns the config with supervision enabled or disabled.
+    pub fn with_supervision(mut self, supervise: bool) -> Self {
+        self.supervise = supervise;
+        self
+    }
+
+    /// Returns the config with the given hang-detection timeout.
+    pub fn with_hang_timeout(mut self, hang_timeout: Duration) -> Self {
+        self.hang_timeout = hang_timeout;
+        self
+    }
+
+    /// Returns the config with the given per-task restart budget.
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Returns the config with the given per-message replay budget.
+    pub fn with_max_replays(mut self, max_replays: u32) -> Self {
+        self.max_replays = max_replays;
+        self
+    }
+
+    /// Returns the config with the given base replay backoff.
+    pub fn with_replay_backoff(mut self, replay_backoff: Duration) -> Self {
+        self.replay_backoff = replay_backoff;
+        self
+    }
+
+    /// True when the spout loops should run the replay protocol.
+    pub(crate) fn replay_enabled(&self) -> bool {
+        self.max_replays > 0
+    }
+
     /// Validates the config.
     pub fn validate(&self) -> Result<()> {
         if self.batch_size == 0 {
             return Err(Error::Config("rt batch_size must be at least 1".into()));
+        }
+        if self.supervise && self.hang_timeout.is_zero() {
+            return Err(Error::Config(
+                "rt hang_timeout must be positive when supervision is on".into(),
+            ));
         }
         Ok(())
     }
@@ -64,6 +137,9 @@ mod tests {
     fn default_is_unbatched() {
         let cfg = RtConfig::default();
         assert_eq!(cfg.batch_size, 1);
+        assert!(cfg.supervise, "supervision is on by default");
+        assert_eq!(cfg.max_replays, 0, "replay is opt-in");
+        assert!(!cfg.replay_enabled());
         assert!(cfg.validate().is_ok());
     }
 
@@ -71,5 +147,22 @@ mod tests {
     fn zero_batch_size_rejected() {
         assert!(RtConfig::default().with_batch_size(0).validate().is_err());
         assert!(RtConfig::default().with_batch_size(64).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_hang_timeout_rejected_only_when_supervised() {
+        let cfg = RtConfig::default().with_hang_timeout(Duration::ZERO);
+        assert!(cfg.clone().validate().is_err());
+        assert!(cfg.with_supervision(false).validate().is_ok());
+    }
+
+    #[test]
+    fn replay_knobs() {
+        let cfg = RtConfig::default()
+            .with_max_replays(3)
+            .with_replay_backoff(Duration::from_millis(20));
+        assert!(cfg.replay_enabled());
+        assert_eq!(cfg.max_replays, 3);
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -1,0 +1,227 @@
+//! Bounded-retry replay of failed tuple trees at the spout.
+//!
+//! With acking enabled the spout already learns about every failed or
+//! timed-out tree; without replay it can only forward the bad news to user
+//! code.  A [`ReplayBuffer`] caches the original emission of each tracked
+//! message id so the runtime itself can re-emit a lost tree — up to
+//! [`RtConfig::max_replays`](super::RtConfig::max_replays) times, with
+//! exponential backoff (`replay_backoff × 2^attempt`) between attempts.
+//!
+//! The buffer lives in [`Shared`](super::Shared) (one per spout task), not
+//! in the spout thread, so a supervisor-restarted spout keeps replaying
+//! trees its predecessor emitted.  Every tracked message id stays in the
+//! buffer until it is acked or its retries are exhausted, which is what the
+//! shutdown conservation check counts as *in flight*:
+//!
+//! ```text
+//! tracked == acked + permanently_failed + in_flight
+//! ```
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::component::{Emission, MessageId};
+
+/// What to do with a message whose tree just failed or timed out.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum FailDecision {
+    /// A replay is scheduled; do not surface the failure to user code yet.
+    Scheduled,
+    /// Retries exhausted: the message is permanently failed.
+    Exhausted,
+    /// The message was never tracked here (e.g. replay enabled mid-stream);
+    /// surface the failure as-is.
+    Untracked,
+}
+
+struct Entry {
+    emission: Emission,
+    /// Replays already attempted (0 = original emission only).
+    attempts: u32,
+    /// When the next replay may fire; `None` while a tree is in flight.
+    retry_at: Option<Instant>,
+}
+
+/// Replay state of one spout task.
+#[derive(Default)]
+pub(crate) struct ReplayBuffer {
+    entries: HashMap<MessageId, Entry>,
+}
+
+impl ReplayBuffer {
+    /// Records a freshly tracked emission.  Returns `true` when the message
+    /// id is new (first attempt), `false` when an existing entry was
+    /// refreshed (a restarted spout re-emitting the same id).
+    pub(crate) fn on_track(&mut self, id: MessageId, emission: Emission) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.emission = emission;
+                e.retry_at = None;
+                false
+            }
+            None => {
+                self.entries.insert(
+                    id,
+                    Entry {
+                        emission,
+                        attempts: 0,
+                        retry_at: None,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// The message's tree completed: forget it.  Returns `true` when it was
+    /// tracked.
+    pub(crate) fn on_ack(&mut self, id: MessageId) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    /// The message's tree failed or timed out: schedule a replay or give up.
+    pub(crate) fn on_fail(
+        &mut self,
+        id: MessageId,
+        max_replays: u32,
+        backoff: Duration,
+        now: Instant,
+    ) -> FailDecision {
+        match self.entries.get_mut(&id) {
+            None => FailDecision::Untracked,
+            Some(e) if e.attempts >= max_replays => {
+                self.entries.remove(&id);
+                FailDecision::Exhausted
+            }
+            Some(e) => {
+                let delay = backoff * 2u32.saturating_pow(e.attempts).min(1 << 16);
+                e.attempts += 1;
+                e.retry_at = Some(now + delay);
+                FailDecision::Scheduled
+            }
+        }
+    }
+
+    /// Takes every message whose backoff has elapsed; the entries stay
+    /// tracked (marked in flight) until acked or failed again.
+    pub(crate) fn take_due(&mut self, now: Instant) -> Vec<(MessageId, Emission)> {
+        let mut due = Vec::new();
+        for (id, e) in self.entries.iter_mut() {
+            if matches!(e.retry_at, Some(at) if at <= now) {
+                e.retry_at = None;
+                due.push((*id, e.emission.clone()));
+            }
+        }
+        due
+    }
+
+    /// Earliest scheduled replay, if any (lets an idle spout sleep exactly
+    /// long enough).
+    pub(crate) fn next_due(&self) -> Option<Instant> {
+        self.entries.values().filter_map(|e| e.retry_at).min()
+    }
+
+    /// Messages still tracked: in flight or awaiting a replay.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamId;
+    use crate::tuple::{Tuple, Value};
+
+    fn emission(id: MessageId) -> Emission {
+        Emission {
+            stream: StreamId::default(),
+            tuple: Tuple::of([Value::from(id as i64)]),
+            message_id: Some(id),
+            direct_task: None,
+            anchored: true,
+        }
+    }
+
+    #[test]
+    fn ack_forgets_and_fail_schedules() {
+        let mut b = ReplayBuffer::default();
+        let t0 = Instant::now();
+        assert!(b.on_track(1, emission(1)));
+        assert!(b.on_track(2, emission(2)));
+        assert!(b.on_ack(1));
+        assert!(!b.on_ack(1), "double ack is a no-op");
+        assert_eq!(b.len(), 1);
+
+        let d = b.on_fail(2, 3, Duration::from_millis(10), t0);
+        assert_eq!(d, FailDecision::Scheduled);
+        assert!(b.take_due(t0).is_empty(), "backoff not elapsed");
+        let due = b.take_due(t0 + Duration::from_millis(11));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 2);
+        assert!(
+            b.take_due(t0 + Duration::from_secs(10)).is_empty(),
+            "taken entries are in flight, not due"
+        );
+        assert_eq!(b.len(), 1, "still tracked until acked");
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let mut b = ReplayBuffer::default();
+        let t0 = Instant::now();
+        let base = Duration::from_millis(10);
+        b.on_track(7, emission(7));
+        b.on_fail(7, 10, base, t0);
+        assert_eq!(b.next_due(), Some(t0 + base));
+        b.take_due(t0 + base);
+        b.on_fail(7, 10, base, t0);
+        assert_eq!(b.next_due(), Some(t0 + base * 2), "second attempt waits 2x");
+        b.take_due(t0 + base * 2);
+        b.on_fail(7, 10, base, t0);
+        assert_eq!(b.next_due(), Some(t0 + base * 4));
+    }
+
+    #[test]
+    fn retries_exhaust() {
+        let mut b = ReplayBuffer::default();
+        let t0 = Instant::now();
+        b.on_track(9, emission(9));
+        assert_eq!(
+            b.on_fail(9, 2, Duration::ZERO, t0),
+            FailDecision::Scheduled,
+            "replay 1"
+        );
+        b.take_due(t0);
+        assert_eq!(
+            b.on_fail(9, 2, Duration::ZERO, t0),
+            FailDecision::Scheduled,
+            "replay 2"
+        );
+        b.take_due(t0);
+        assert_eq!(b.on_fail(9, 2, Duration::ZERO, t0), FailDecision::Exhausted);
+        assert!(b.is_empty(), "exhausted entries are dropped");
+        assert_eq!(
+            b.on_fail(9, 2, Duration::ZERO, t0),
+            FailDecision::Untracked,
+            "unknown ids are the caller's problem"
+        );
+    }
+
+    #[test]
+    fn retrack_refreshes_entry() {
+        let mut b = ReplayBuffer::default();
+        let t0 = Instant::now();
+        b.on_track(3, emission(3));
+        b.on_fail(3, 5, Duration::from_millis(1), t0);
+        assert!(!b.on_track(3, emission(3)), "same id is not new");
+        assert!(
+            b.take_due(t0 + Duration::from_secs(1)).is_empty(),
+            "retrack clears the pending replay"
+        );
+    }
+}

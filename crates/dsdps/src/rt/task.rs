@@ -1,10 +1,19 @@
 //! Spout and bolt thread loops.
+//!
+//! Every loop iteration stores a heartbeat and checks its generation
+//! against the task slot's current one: the supervisor bumps the generation
+//! when it supersedes a hung thread, and the superseded thread exits
+//! silently at the next check without touching the slot's liveness flags.
+//! Scheduled faults (panic / hang / drop / slowdown) are consulted from
+//! [`Shared::fault`] so both loops misbehave on cue; see
+//! [`fault`](super::fault) for the exact semantics.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 
 use crate::acker::Completion;
 use crate::component::{Bolt, BoltOutput, Spout, SpoutOutput, TopologyContext};
@@ -12,11 +21,13 @@ use crate::config::EngineConfig;
 use crate::topology::TaskId;
 
 use super::batch::{AckMsg, AckOp, AckOps, Delivered};
+use super::fault::SLOWDOWN_FLOOR_NANOS;
+use super::replay::FailDecision;
 use super::router::Router;
 use super::Shared;
 
 /// Cumulative per-task counters (written by the task thread, read by the
-/// metrics thread).
+/// metrics and supervisor threads).
 #[derive(Default)]
 pub(crate) struct TaskAtomics {
     pub(super) executed: AtomicU64,
@@ -29,6 +40,27 @@ pub(crate) struct TaskAtomics {
     /// Of those, flushes triggered by the linger deadline rather than a full
     /// buffer.
     pub(super) linger_flushes: AtomicU64,
+    /// Tuples delivered into the task (bolts; spouts count ack feedback
+    /// elsewhere).
+    pub(super) received: AtomicU64,
+    /// Panics caught in this task slot (any generation).
+    pub(super) panics: AtomicU64,
+    /// Supervisor restarts of this task slot.
+    pub(super) restarts: AtomicU64,
+    /// Nanoseconds since runtime start at the last loop iteration — the
+    /// liveness heartbeat.
+    pub(super) heartbeat_ns: AtomicU64,
+    /// Generation of the thread currently owning the slot; stale threads
+    /// observe a mismatch and retire.
+    pub(super) generation: AtomicU64,
+    /// Thread running (set by the spawner, cleared on exit by the current
+    /// generation only).
+    pub(super) alive: AtomicBool,
+    /// Task body returned normally (spout exhausted / shutdown) — not a
+    /// crash, so the supervisor must not restart it.
+    pub(super) finished: AtomicBool,
+    /// Message of the most recent caught panic.
+    pub(super) last_panic: Mutex<Option<String>>,
 }
 
 /// Drains completed trees (timeouts are handled by the metrics thread).
@@ -47,6 +79,7 @@ pub(super) fn deliver_outcomes(
     if outcomes.is_empty() {
         return;
     }
+    let replaying = shared.replay_on;
     let mut per_spout: Vec<(usize, Vec<AckMsg>)> = Vec::new();
     for o in outcomes {
         let spout = o.spout_task.0;
@@ -62,10 +95,16 @@ pub(super) fn deliver_outcomes(
             }
             Completion::Failed => {
                 shared.failed_total.fetch_add(1, Ordering::Relaxed);
+                if !replaying {
+                    shared.perm_failed_total.fetch_add(1, Ordering::Relaxed);
+                }
                 AckMsg::Fail(o.message_id)
             }
             Completion::TimedOut => {
                 shared.timed_out_total.fetch_add(1, Ordering::Relaxed);
+                if !replaying {
+                    shared.perm_failed_total.fetch_add(1, Ordering::Relaxed);
+                }
                 AckMsg::Fail(o.message_id)
             }
         };
@@ -81,12 +120,119 @@ pub(super) fn deliver_outcomes(
     }
 }
 
+/// Fires scheduled panic/hang faults for this task.  Returns `false` when
+/// the thread was superseded while hanging and must exit.
+fn inject_control_faults(shared: &Shared, tid: usize, my_gen: u64) -> bool {
+    let Some(inj) = shared.fault.as_ref() else {
+        return true;
+    };
+    let now = shared.now_s();
+    if inj.take_panic(tid, now) {
+        panic!("injected fault: panic in task {tid} at {now:.3}s");
+    }
+    if let Some(until_s) = inj.take_hang(tid, now) {
+        // Hang: no heartbeats, no progress — until the window closes, the
+        // supervisor supersedes this thread, or shutdown.
+        while !shared.stop.load(Ordering::Relaxed)
+            && !shared.superseded(tid, my_gen)
+            && shared.now_s() < until_s
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        return !shared.superseded(tid, my_gen);
+    }
+    true
+}
+
+/// Busy-spins out the extra service time of an active worker slowdown, so
+/// the injected degradation burns CPU and is visible in execute latency.
+fn inject_service_slowdown(shared: &Shared, tid: usize, t0: Instant) {
+    let Some(inj) = shared.fault.as_ref() else {
+        return;
+    };
+    let factor = inj.slowdown_factor(tid, shared.now_s());
+    if factor <= 1.0 {
+        return;
+    }
+    let base = t0.elapsed().max(Duration::from_nanos(SLOWDOWN_FLOOR_NANOS));
+    let spin_until = Instant::now() + base.mul_f64(factor - 1.0);
+    while Instant::now() < spin_until && !shared.stop.load(Ordering::Relaxed) {
+        std::hint::spin_loop();
+    }
+}
+
+/// Handles one batch of ack/fail feedback at a spout, consulting the replay
+/// buffer when replay is enabled.
+#[allow(clippy::borrowed_box)]
+fn spout_handle_feedback(
+    spout: &mut Box<dyn Spout>,
+    shared: &Shared,
+    tid: usize,
+    batch: Vec<AckMsg>,
+) {
+    for msg in batch {
+        match msg {
+            AckMsg::Ack(id) => {
+                if shared.replay_on {
+                    shared.replay[tid].lock().on_ack(id);
+                }
+                spout.ack(id);
+            }
+            AckMsg::Fail(id) => {
+                if !shared.replay_on {
+                    spout.fail(id);
+                    continue;
+                }
+                let decision = shared.replay[tid].lock().on_fail(
+                    id,
+                    shared.rt.max_replays,
+                    shared.rt.replay_backoff,
+                    Instant::now(),
+                );
+                match decision {
+                    FailDecision::Scheduled => {}
+                    FailDecision::Exhausted => {
+                        shared.perm_failed_total.fetch_add(1, Ordering::Relaxed);
+                        spout.fail(id);
+                    }
+                    FailDecision::Untracked => spout.fail(id),
+                }
+            }
+        }
+    }
+}
+
+/// Re-emits every replay whose backoff has elapsed, as fresh tuple trees.
+fn spout_emit_due_replays(shared: &Shared, tid: usize, router: &mut Router, ops: &mut AckOps) {
+    let due = shared.replay[tid].lock().take_due(Instant::now());
+    for (message_id, emission) in due {
+        let root = shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
+        ops.push(AckOp::Track {
+            root,
+            spout_task: TaskId(tid),
+            message_id,
+            now_s: shared.now_s(),
+        });
+        shared.pending[tid].fetch_add(1, Ordering::Relaxed);
+        shared.replayed_total.fetch_add(1, Ordering::Relaxed);
+        let delivered = router.route(&emission, Some(root), ops);
+        if delivered == 0 {
+            ops.push(AckOp::Ack {
+                root,
+                edge: 0,
+                now_s: shared.now_s(),
+            });
+        }
+    }
+}
+
 /// Body of a spout thread.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn run_spout(
     mut spout: Box<dyn Spout>,
     ctx: TopologyContext,
     tid: usize,
+    my_gen: u64,
     mut router: Router,
     shared: Arc<Shared>,
     ack_senders: Arc<Vec<Option<Sender<Vec<AckMsg>>>>>,
@@ -96,15 +242,53 @@ pub(super) fn run_spout(
     spout.open(&ctx);
     let mut out = SpoutOutput::new();
     let mut ops = AckOps::default();
+    let replay_on = shared.replay_on;
+    // Once the spout exhausts its input it stays alive (draining acks and
+    // replaying lost trees) until the replay buffer empties or shutdown.
+    let mut exhausted = false;
     while !shared.stop.load(Ordering::Relaxed) {
+        shared.beat(tid);
+        if shared.superseded(tid, my_gen) {
+            return;
+        }
+        if !inject_control_faults(&shared, tid, my_gen) {
+            return;
+        }
         // Deliver ack/fail feedback first.
         while let Ok(batch) = ack_rx.try_recv() {
-            for msg in batch {
-                match msg {
-                    AckMsg::Ack(id) => spout.ack(id),
-                    AckMsg::Fail(id) => spout.fail(id),
-                }
+            spout_handle_feedback(&mut spout, &shared, tid, batch);
+        }
+        if replay_on {
+            spout_emit_due_replays(&shared, tid, &mut router, &mut ops);
+        }
+        if exhausted {
+            // Stay alive until every tree this spout tracked has resolved:
+            // with replay on, until the replay buffer empties; without it,
+            // until the in-flight count drains (acks, fails and timeouts all
+            // land as feedback the spout must still deliver to user code).
+            let drained = if replay_on {
+                shared.replay[tid].lock().is_empty()
+            } else {
+                !cfg.ack_enabled || shared.pending[tid].load(Ordering::Relaxed) == 0
+            };
+            if drained {
+                break;
             }
+            router.flush_expired(Instant::now(), &mut ops);
+            ops.apply(&shared);
+            drain_acker_outcomes(&shared, &ack_senders);
+            // Sleep until the next scheduled replay (bounded so timeouts and
+            // shutdown are still noticed promptly).
+            let nap =
+                shared.replay[tid]
+                    .lock()
+                    .next_due()
+                    .map_or(Duration::from_micros(500), |due| {
+                        due.saturating_duration_since(Instant::now())
+                            .clamp(Duration::from_micros(100), Duration::from_millis(5))
+                    });
+            std::thread::sleep(nap);
+            continue;
         }
         if cfg.ack_enabled && shared.pending[tid].load(Ordering::Relaxed) >= cfg.max_spout_pending {
             // Keep buffered output moving while throttled, or the in-flight
@@ -120,7 +304,8 @@ pub(super) fn run_spout(
         let emissions = out.drain();
         if emissions.is_empty() {
             if !keep {
-                break;
+                exhausted = true;
+                continue;
             }
             router.flush_expired(Instant::now(), &mut ops);
             std::thread::sleep(Duration::from_micros(500));
@@ -138,6 +323,16 @@ pub(super) fn run_spout(
                         now_s: shared.now_s(),
                     });
                     shared.pending[tid].fetch_add(1, Ordering::Relaxed);
+                    let fresh = if replay_on {
+                        shared.replay[tid]
+                            .lock()
+                            .on_track(message_id, emission.clone())
+                    } else {
+                        true
+                    };
+                    if fresh {
+                        shared.tracked_total.fetch_add(1, Ordering::Relaxed);
+                    }
                     Some(root)
                 }
                 _ => None,
@@ -154,6 +349,7 @@ pub(super) fn run_spout(
                 }
             }
         }
+        inject_service_slowdown(&shared, tid, t0);
         shared.spout_emitted_total.fetch_add(n, Ordering::Relaxed);
         let s = &shared.task_stats[tid];
         s.executed.fetch_add(n, Ordering::Relaxed);
@@ -163,7 +359,7 @@ pub(super) fn run_spout(
         ops.apply(&shared);
         drain_acker_outcomes(&shared, &ack_senders);
         if !keep {
-            break;
+            exhausted = true;
         }
     }
     router.flush_all(&mut ops);
@@ -178,6 +374,7 @@ pub(super) fn run_bolt(
     mut bolt: Box<dyn Bolt>,
     ctx: TopologyContext,
     tid: usize,
+    my_gen: u64,
     mut router: Router,
     shared: Arc<Shared>,
     ack_senders: Arc<Vec<Option<Sender<Vec<AckMsg>>>>>,
@@ -196,6 +393,13 @@ pub(super) fn run_bolt(
     let mut last_tick = Instant::now();
     let base_timeout = Duration::from_millis(20);
     loop {
+        shared.beat(tid);
+        if shared.superseded(tid, my_gen) {
+            return;
+        }
+        if !inject_control_faults(&shared, tid, my_gen) {
+            return;
+        }
         // Wake in time to honor pending linger deadlines.
         let timeout = match router.next_deadline() {
             Some(d) => base_timeout.min(d.saturating_duration_since(Instant::now())),
@@ -203,13 +407,25 @@ pub(super) fn run_bolt(
         };
         match rx.recv_timeout(timeout) {
             Ok(batch) => {
-                shared.task_stats[tid]
-                    .queue_len
-                    .store(rx.len(), Ordering::Relaxed);
+                let s = &shared.task_stats[tid];
+                s.queue_len.store(rx.len(), Ordering::Relaxed);
+                s.received.fetch_add(batch.len() as u64, Ordering::Relaxed);
                 for delivered in batch {
+                    shared.beat(tid);
+                    if shared
+                        .fault
+                        .as_ref()
+                        .is_some_and(|inj| inj.should_drop(tid, shared.now_s()))
+                    {
+                        // Dropped on the floor: neither acked nor failed, so
+                        // the tree times out and the spout replays it.
+                        shared.dropped_total.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     out.set_now(shared.now_s());
                     let t0 = Instant::now();
                     bolt.execute(&delivered.tuple, &mut out);
+                    inject_service_slowdown(&shared, tid, t0);
                     let busy = t0.elapsed().as_nanos() as u64;
                     let (emissions, failed) = out.drain();
                     let root = delivered.anchor.map(|(r, _)| r);

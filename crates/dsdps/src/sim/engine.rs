@@ -829,10 +829,13 @@ impl SimRuntime {
                 },
                 queue_len: t.queue.len(),
                 capacity: t.ctr.busy_s / interval_s,
-                // The simulator delivers per tuple; batching is a threaded-
-                // runtime concern.
+                // The simulator delivers per tuple and runs no threads;
+                // batching, panics and restarts are threaded-runtime concerns.
                 batches_flushed: 0,
                 linger_flushes: 0,
+                panics: 0,
+                restarts: 0,
+                last_panic: None,
             })
             .collect();
 

@@ -1,0 +1,527 @@
+//! Fault-tolerance integration tests for the threaded runtime: injected
+//! chaos (panics, slowdowns, tuple drops), task supervision and restart,
+//! end-to-end replay, and the tuple-conservation invariant
+//! `tracked == acked + permanently_failed + in_flight`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use dsdps::component::{Bolt, BoltOutput, MessageId, Spout, SpoutOutput, TopologyContext};
+use dsdps::config::EngineConfig;
+use dsdps::rt::{self, RtConfig, RtFault, RtFaultPlan};
+use dsdps::topology::{Topology, TopologyBuilder};
+use dsdps::tuple::{Tuple, Value};
+
+/// Emits `1..=n` once, each tuple tracked under its own message id.
+struct FiniteSpout {
+    left: u64,
+    next_id: u64,
+}
+
+impl Spout for FiniteSpout {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+}
+
+/// Like [`FiniteSpout`], but paced at `rate` tuples/s so the stream is still
+/// flowing when wall-clock-scheduled faults fire.
+struct PacedSpout {
+    left: u64,
+    next_id: u64,
+    rate: f64,
+    started: Option<Instant>,
+}
+
+impl PacedSpout {
+    fn new(n: u64, rate: f64) -> Self {
+        PacedSpout {
+            left: n,
+            next_id: 0,
+            rate,
+            started: None,
+        }
+    }
+}
+
+impl Spout for PacedSpout {
+    fn open(&mut self, _ctx: &TopologyContext) {
+        self.started = Some(Instant::now());
+    }
+
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        let elapsed = self
+            .started
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        if self.next_id as f64 >= elapsed * self.rate {
+            // Ahead of schedule; emit nothing and let the runtime nap.
+            return true;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+}
+
+/// Sums the values it sees (so delivery is checkable end to end).
+struct Accumulator {
+    sum: Arc<AtomicU64>,
+}
+
+impl Bolt for Accumulator {
+    fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+        let v = t.get(0).unwrap().as_i64().unwrap() as u64;
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+fn cluster() -> EngineConfig {
+    let mut cfg = EngineConfig::default().with_cluster(2, 2, 4);
+    cfg.metrics_interval_s = 0.25;
+    cfg
+}
+
+fn wait_until(deadline_s: u64, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(deadline_s);
+    while !done() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The acceptance scenario: a scheduled bolt panic plus a 10× slowdown of a
+/// worker mid-run.  The supervised runtime restarts the dead task, replays
+/// the trees lost in the crash, and still delivers every message exactly
+/// once by the conservation accounting.
+#[test]
+fn supervised_runtime_recovers_from_panic_and_slowdown() {
+    const N: u64 = 2000;
+    let sum = Arc::new(AtomicU64::new(0));
+    let s2 = sum.clone();
+    let mut b = TopologyBuilder::new("chaos");
+    // Paced so the stream (2 s long) spans the panic at 0.4 s and most of
+    // the slowdown window.
+    b.set_spout("s", 1, move || PacedSpout::new(N, 1000.0))
+        .unwrap();
+    b.set_bolt("acc", 2, move || Accumulator { sum: s2.clone() })
+        .unwrap()
+        .shuffle_grouping("s")
+        .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 2.0;
+    // Tasks: 0 = spout, 1..=2 = bolts.  Panic bolt task 1 early; slow the
+    // whole cluster's second bolt down 10× shortly after.
+    let plan = RtFaultPlan::new()
+        .with(RtFault::TaskPanic { task: 1, at_s: 0.4 })
+        .with(RtFault::WorkerSlowdown {
+            worker: 2,
+            factor: 10.0,
+            from_s: 0.8,
+            until_s: 2.5,
+        });
+    let rt_cfg = RtConfig::default()
+        .with_max_replays(5)
+        .with_replay_backoff(Duration::from_millis(50))
+        .with_hang_timeout(Duration::from_secs(2));
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    wait_until(30, || running.acked() >= N);
+    let (_, report) = running.shutdown();
+
+    assert_eq!(
+        report.acked, N,
+        "replay must recover every tree: {report:?}"
+    );
+    assert_eq!(sum.load(Ordering::Relaxed), N * (N + 1) / 2, "payload sums");
+    assert_eq!(report.task_panics, 1, "the injected panic was caught");
+    assert!(
+        report.task_restarts >= 1,
+        "supervisor restarted the dead task: {report:?}"
+    );
+    assert!(
+        report
+            .panic_messages
+            .iter()
+            .any(|m| m.contains("injected fault")),
+        "panic message recorded: {:?}",
+        report.panic_messages
+    );
+    assert_eq!(report.tracked, N);
+    assert_eq!(report.permanently_failed, 0);
+    assert_eq!(report.in_flight, 0);
+    assert!(report.conservation_holds(), "conservation: {report:?}");
+}
+
+/// Panics on the `n`-th tuple it executes (a user-code crash, as opposed to
+/// an injected one).
+struct PanickyBolt {
+    executed: u64,
+    panic_at: u64,
+}
+
+impl Bolt for PanickyBolt {
+    fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {
+        self.executed += 1;
+        if self.executed == self.panic_at {
+            panic!("boom on tuple {}", self.executed);
+        }
+    }
+}
+
+/// The control experiment for the tentpole: the SAME crash without
+/// supervision or replay demonstrably loses tuple trees (they time out and
+/// are permanently failed), while the panic is still caught and reported
+/// instead of being swallowed by `JoinHandle::join`.
+#[test]
+fn unsupervised_runtime_loses_trees_on_panic() {
+    const N: u64 = 300;
+    let mut b = TopologyBuilder::new("unsupervised");
+    b.set_spout("s", 1, || FiniteSpout {
+        left: N,
+        next_id: 0,
+    })
+    .unwrap();
+    // Parallelism 1: every tuple must pass the panicking task.
+    b.set_bolt("frail", 1, || PanickyBolt {
+        executed: 0,
+        panic_at: 50,
+    })
+    .unwrap()
+    .shuffle_grouping("s")
+    .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 1.5;
+    let rt_cfg = RtConfig::default().with_supervision(false);
+    let running = rt::submit_with(topo, cfg, rt_cfg).unwrap();
+
+    // Every tree must reach a terminal state: a few acked, the rest timed
+    // out after the bolt died.
+    wait_until(25, || running.acked() + running.permanently_failed() >= N);
+    let (_, report) = running.shutdown();
+
+    assert_eq!(report.task_panics, 1, "user panic caught, not swallowed");
+    assert_eq!(report.task_restarts, 0, "no supervisor, no restarts");
+    assert!(
+        report.panic_messages.iter().any(|m| m.contains("boom")),
+        "panic text surfaces in the report: {:?}",
+        report.panic_messages
+    );
+    assert!(
+        report.acked < N,
+        "without supervision trees are lost: {report:?}"
+    );
+    assert!(report.timed_out > 0, "lost trees time out: {report:?}");
+    assert_eq!(report.tracked, N);
+    assert_eq!(
+        report.acked + report.permanently_failed + report.in_flight,
+        N,
+        "every tree accounted: {report:?}"
+    );
+    assert!(report.conservation_holds());
+}
+
+/// Records every terminal callback per message id, to prove none fires
+/// twice and none is missed.
+#[derive(Default)]
+struct OutcomeLog {
+    acked: HashMap<MessageId, u32>,
+    failed: HashMap<MessageId, u32>,
+}
+
+struct RecordingSpout {
+    left: u64,
+    next_id: u64,
+    log: Arc<Mutex<OutcomeLog>>,
+}
+
+impl Spout for RecordingSpout {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+
+    fn ack(&mut self, id: MessageId) {
+        *self.log.lock().acked.entry(id).or_insert(0) += 1;
+    }
+
+    fn fail(&mut self, id: MessageId) {
+        *self.log.lock().failed.entry(id).or_insert(0) += 1;
+    }
+}
+
+/// Fails every `nth` tuple via `BoltOutput::fail` (explicit user rejection).
+struct RejectingBolt {
+    seen: u64,
+    nth: u64,
+}
+
+impl Bolt for RejectingBolt {
+    fn execute(&mut self, _t: &Tuple, out: &mut BoltOutput) {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.nth) {
+            out.fail();
+        }
+    }
+}
+
+fn every_nth_topology(n: u64, nth: u64, log: Arc<Mutex<OutcomeLog>>) -> Topology {
+    let mut b = TopologyBuilder::new("every-nth");
+    b.set_spout("s", 1, move || RecordingSpout {
+        left: n,
+        next_id: 0,
+        log: log.clone(),
+    })
+    .unwrap();
+    b.set_bolt("reject", 2, move || RejectingBolt { seen: 0, nth })
+        .unwrap()
+        .shuffle_grouping("s")
+        .unwrap();
+    b.build().unwrap()
+}
+
+/// A bolt failing every Nth tuple: each root reaches exactly one terminal
+/// outcome (no drops, no double callbacks), at batch sizes 1 and 64.
+#[test]
+fn every_root_reaches_exactly_one_outcome() {
+    const N: u64 = 1400;
+    const NTH: u64 = 7;
+    for batch_size in [1usize, 64] {
+        let log: Arc<Mutex<OutcomeLog>> = Arc::default();
+        let topo = every_nth_topology(N, NTH, log.clone());
+        let rt_cfg = RtConfig::default()
+            .with_batch_size(batch_size)
+            .with_linger(Duration::from_millis(1));
+        let running = rt::submit_with(topo, cluster(), rt_cfg).unwrap();
+        wait_until(25, || {
+            let l = log.lock();
+            (l.acked.len() + l.failed.len()) as u64 >= N
+        });
+        let (_, report) = running.shutdown();
+
+        let l = log.lock();
+        assert_eq!(
+            l.acked.len() as u64 + l.failed.len() as u64,
+            N,
+            "batch {batch_size}: every root has an outcome: {report:?}"
+        );
+        for (id, count) in l.acked.iter().chain(l.failed.iter()) {
+            assert_eq!(
+                *count, 1,
+                "batch {batch_size}: id {id} got {count} callbacks"
+            );
+        }
+        assert!(
+            l.acked.keys().all(|id| !l.failed.contains_key(id)),
+            "batch {batch_size}: no id may both ack and fail"
+        );
+        // Each bolt task fails its own every-7th, so the failure count is
+        // within one per task of N/7.
+        let failures = l.failed.len() as u64;
+        assert!(
+            (failures as i64 - (N / NTH) as i64).unsigned_abs() <= 2,
+            "batch {batch_size}: ~N/{NTH} rejected, got {failures}"
+        );
+        assert_eq!(report.acked + report.failed, N);
+        assert_eq!(report.tracked, N);
+        assert_eq!(report.permanently_failed, failures);
+        assert!(
+            report.conservation_holds(),
+            "batch {batch_size}: {report:?}"
+        );
+    }
+}
+
+/// An injected drop window silently discards deliveries; the trees time out
+/// and the spout's replay buffer re-emits them until everything is acked.
+#[test]
+fn drop_fault_is_recovered_by_replay() {
+    const N: u64 = 500;
+    let sum = Arc::new(AtomicU64::new(0));
+    let s2 = sum.clone();
+    let mut b = TopologyBuilder::new("drops");
+    // 500 tuples at 400/s: emission (1.25 s) covers the whole drop window.
+    b.set_spout("s", 1, move || PacedSpout::new(N, 400.0))
+        .unwrap();
+    b.set_bolt("acc", 1, move || Accumulator { sum: s2.clone() })
+        .unwrap()
+        .shuffle_grouping("s")
+        .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 1.0;
+    let plan = RtFaultPlan::new().with(RtFault::DropTuples {
+        task: 1,
+        from_s: 0.2,
+        until_s: 1.2,
+    });
+    let rt_cfg = RtConfig::default()
+        .with_max_replays(8)
+        .with_replay_backoff(Duration::from_millis(100));
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    wait_until(30, || running.acked() >= N);
+    let (_, report) = running.shutdown();
+
+    assert_eq!(report.acked, N, "replay recovers dropped trees: {report:?}");
+    assert!(report.dropped > 0, "the drop window must have fired");
+    assert!(report.replays > 0, "recovery went through replay");
+    assert_eq!(report.permanently_failed, 0);
+    assert_eq!(report.tracked, N);
+    assert!(report.conservation_holds(), "conservation: {report:?}");
+    // Replayed trees deliver the same payload; the sum counts each value at
+    // least once (duplicates possible when a delivery raced the timeout).
+    assert!(sum.load(Ordering::Relaxed) >= N * (N + 1) / 2);
+}
+
+/// A hung task (no heartbeats) is superseded by the supervisor and the
+/// stream keeps flowing through the replacement.
+#[test]
+fn hung_task_is_superseded() {
+    const N: u64 = 800;
+    let sum = Arc::new(AtomicU64::new(0));
+    let s2 = sum.clone();
+    let mut b = TopologyBuilder::new("hang");
+    // 800 tuples at 1000/s: the hang at 0.3 s lands mid-stream.
+    b.set_spout("s", 1, move || PacedSpout::new(N, 1000.0))
+        .unwrap();
+    b.set_bolt("acc", 1, move || Accumulator { sum: s2.clone() })
+        .unwrap()
+        .shuffle_grouping("s")
+        .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 2.0;
+    // Hang the only bolt from 0.3 s for far longer than the run; only the
+    // supervisor can get the stream moving again.
+    let plan = RtFaultPlan::new().with(RtFault::TaskHang {
+        task: 1,
+        from_s: 0.3,
+        until_s: 60.0,
+    });
+    let rt_cfg = RtConfig::default()
+        .with_hang_timeout(Duration::from_millis(500))
+        .with_max_replays(5)
+        .with_replay_backoff(Duration::from_millis(50));
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    wait_until(30, || running.acked() >= N);
+    let (_, report) = running.shutdown();
+
+    assert_eq!(report.acked, N, "stream recovered after hang: {report:?}");
+    assert!(
+        report.task_restarts >= 1,
+        "hung task must be superseded: {report:?}"
+    );
+    assert_eq!(report.task_panics, 0, "a hang is not a panic");
+    assert!(report.conservation_holds(), "conservation: {report:?}");
+}
+
+/// 30-second soak: rolling chaos (panics, a hang, slowdowns, drop windows)
+/// against a continuously emitting spout.  Run with `--ignored`.
+#[test]
+#[ignore = "30s soak; run explicitly (cargo test -- --ignored)"]
+fn soak_rolling_chaos() {
+    struct EndlessSpout {
+        next_id: u64,
+    }
+    impl Spout for EndlessSpout {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            self.next_id += 1;
+            out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+            true
+        }
+    }
+
+    let sum = Arc::new(AtomicU64::new(0));
+    let s2 = sum.clone();
+    let mut b = TopologyBuilder::new("soak");
+    b.set_spout("s", 1, || EndlessSpout { next_id: 0 }).unwrap();
+    b.set_bolt("acc", 3, move || Accumulator { sum: s2.clone() })
+        .unwrap()
+        .shuffle_grouping("s")
+        .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 3.0;
+    // Tasks: 0 spout, 1..=3 bolts on workers 1..=3.
+    let plan = RtFaultPlan::new()
+        .with(RtFault::TaskPanic { task: 1, at_s: 3.0 })
+        .with(RtFault::TaskPanic { task: 2, at_s: 9.0 })
+        .with(RtFault::TaskHang {
+            task: 3,
+            from_s: 12.0,
+            until_s: 60.0,
+        })
+        .with(RtFault::WorkerSlowdown {
+            worker: 1,
+            factor: 8.0,
+            from_s: 6.0,
+            until_s: 16.0,
+        })
+        .with(RtFault::DropTuples {
+            task: 2,
+            from_s: 18.0,
+            until_s: 20.0,
+        })
+        .with(RtFault::TaskPanic {
+            task: 1,
+            at_s: 22.0,
+        });
+    let rt_cfg = RtConfig::default()
+        .with_hang_timeout(Duration::from_secs(1))
+        .with_max_restarts(16)
+        .with_max_replays(8)
+        .with_replay_backoff(Duration::from_millis(100));
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    std::thread::sleep(Duration::from_secs(30));
+    let mid_acked = running.acked();
+    assert!(mid_acked > 0, "stream made progress under chaos");
+    // Quiesce: give in-flight replays a moment to land before shutdown so
+    // the conservation check is exact rather than racing the chaos.
+    std::thread::sleep(Duration::from_secs(5));
+    let (_, report) = running.shutdown();
+
+    assert!(
+        report.task_panics >= 3,
+        "all scheduled panics fired: {report:?}"
+    );
+    assert!(
+        report.task_restarts >= 4,
+        "panics + hang recovered: {report:?}"
+    );
+    assert!(
+        report.acked > mid_acked / 2,
+        "throughput survived: {report:?}"
+    );
+    assert!(
+        report.conservation_holds(),
+        "soak must conserve tuples: {report:?}"
+    );
+}

@@ -489,6 +489,122 @@ fn sim_and_rt_agree_on_url_counts_at_any_batch_size() {
 }
 
 #[test]
+fn reactive_control_routes_around_slowed_worker_on_threaded_runtime() {
+    // Closed loop on the real runtime: a CPU-bound dynamically-grouped stage
+    // runs on OS threads while an injected fault slows one worker's tasks
+    // 10x mid-run.  The reactive controller, fed by the runtime's metrics
+    // hook, must flag the degraded worker and shift the split ratio away
+    // from its task.
+    use streampc::dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+    use streampc::dsdps::rt::{self, RtConfig, RtFault, RtFaultPlan};
+    use streampc::dsdps::stream::StreamId;
+    use streampc::dsdps::topology::{TaskId, TopologyBuilder};
+    use streampc::dsdps::tuple::{Tuple, Value};
+
+    struct LoadSpout {
+        next_id: u64,
+    }
+    impl Spout for LoadSpout {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            self.next_id += 1;
+            out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+            true
+        }
+    }
+    struct SpinBolt;
+    impl Bolt for SpinBolt {
+        fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {
+            let until = std::time::Instant::now() + Duration::from_micros(30);
+            while std::time::Instant::now() < until {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    fn build() -> streampc::dsdps::topology::Topology {
+        let mut b = TopologyBuilder::new("rt-closed-loop");
+        b.set_spout("src", 1, || LoadSpout { next_id: 0 }).unwrap();
+        b.set_bolt("work", 3, || SpinBolt)
+            .unwrap()
+            .dynamic_grouping("src")
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    let mut engine_cfg = EngineConfig::default().with_cluster(2, 2, 4);
+    engine_cfg.metrics_interval_s = 0.25;
+    engine_cfg.message_timeout_s = 5.0;
+
+    // Placement is deterministic: pick the worker hosting the stage's
+    // second task as the fault target before submitting.
+    let probe = build();
+    let placement = even_placement(&probe, &engine_cfg).unwrap();
+    let work_tasks: Vec<TaskId> = probe.component_by_name("work").unwrap().tasks().collect();
+    let faulty_idx = 1usize;
+    let fault_worker = placement.worker_of(work_tasks[faulty_idx]);
+    let plan = RtFaultPlan::new().with(RtFault::WorkerSlowdown {
+        worker: fault_worker.0,
+        factor: 10.0,
+        from_s: 2.0,
+        until_s: 30.0,
+    });
+
+    let topology = build();
+    let handle = topology
+        .dynamic_handle("src", &StreamId::default(), "work")
+        .expect("dynamic edge");
+    let controller = Controller::for_topology(
+        &topology,
+        &placement,
+        ControllerConfig {
+            warmup_intervals: 4,
+            detector: DetectorConfig {
+                trigger_factor: 2.5,
+                trigger_consecutive: 2,
+                ..DetectorConfig::default()
+            },
+            ..ControllerConfig::default()
+        },
+        ControlMode::Reactive,
+    )
+    .unwrap();
+    let shared = Arc::new(parking_lot::Mutex::new(controller));
+    let hook = streampc::control::controller::rt_control_hook(shared.clone());
+
+    let running =
+        rt::submit_faulty(topology, engine_cfg, RtConfig::default(), plan, Some(hook)).unwrap();
+    std::thread::sleep(Duration::from_secs(7));
+    let (_, report) = running.shutdown();
+
+    assert!(
+        report.acked > 1000,
+        "stream flowed under the fault: {report:?}"
+    );
+    assert!(report.conservation_holds(), "conservation: {report:?}");
+    let c = shared.lock();
+    assert!(
+        c.events().iter().any(|e| matches!(
+            e,
+            ControlEvent::Flagged { worker, .. } if *worker == fault_worker
+        )),
+        "slowed worker must be flagged; events: {:?}",
+        c.events()
+    );
+    assert!(
+        c.events()
+            .iter()
+            .any(|e| matches!(e, ControlEvent::RatioApplied { .. })),
+        "controller must re-plan the split"
+    );
+    let weights = handle.ratio();
+    let faulty_weight = weights.as_slice()[faulty_idx];
+    assert!(
+        faulty_weight < 0.15,
+        "traffic routed around the slowed task: ratio {:?}",
+        weights.as_slice()
+    );
+}
+
+#[test]
 fn threaded_runtime_drives_controller_hook() {
     // The controller runs against the threaded runtime's metrics hook too:
     // healthy run, so it observes without flagging anything.
