@@ -1,0 +1,7 @@
+//! Default `cargo run -p bench` binary: runs the kernel microbenchmarks
+//! and writes `BENCH_kernels.json` at the repository root.  Pass `--test`
+//! for the fast smoke pass.
+
+fn main() {
+    bench::micro::main_entry();
+}

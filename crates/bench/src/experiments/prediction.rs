@@ -8,6 +8,7 @@ use dsdps::metrics::MetricsSnapshot;
 use dsdps::scheduler::WorkerId;
 use forecast::ets::EtsKind;
 use forecast::svr::{Kernel, SvrParams};
+use rayon::prelude::*;
 use stream_control::features::FeatureSpec;
 use stream_control::predictor::{
     ArimaPredictor, DrnnPredictor, DrnnPredictorConfig, EtsPredictor, PerformancePredictor,
@@ -87,31 +88,39 @@ fn collect(ctx: &Ctx, app: App, seed: u64) -> (Vec<MetricsSnapshot>, Vec<WorkerI
     (run.snapshots, run.stage_workers)
 }
 
-/// Fits DRNN/ARIMA/SVR on the training prefix.
+/// Fits DRNN/ARIMA/SVR on the training prefix.  The four models are
+/// independent, so their fits run concurrently on the thread pool; the
+/// returned order is fixed regardless of completion order.
 fn fit_all(
     ctx: &Ctx,
     history: &[MetricsSnapshot],
     workers: &[WorkerId],
     train_len: usize,
     horizon: usize,
-) -> Vec<Box<dyn PerformancePredictor>> {
+) -> Vec<Box<dyn PerformancePredictor + Send + Sync>> {
     let train_refs: Vec<&MetricsSnapshot> = history[..train_len].iter().collect();
-    let mut models: Vec<Box<dyn PerformancePredictor>> = vec![
-        Box::new(DrnnPredictor::new(drnn_config(
-            ctx,
-            FeatureSpec::full(),
-            horizon,
-        ))),
-        Box::new(ArimaPredictor::new(horizon, 3, 1, 2)),
-        Box::new(SvrPredictor::new(horizon, 12, svr_params())),
-        // Extension beyond the paper's baseline pair.
-        Box::new(EtsPredictor::new(horizon, EtsKind::Holt)),
-    ];
-    for m in &mut models {
-        m.fit(&train_refs, workers)
-            .unwrap_or_else(|e| panic!("{} fit failed: {e}", m.name()));
-    }
-    models
+    let make = |i: usize| -> Box<dyn PerformancePredictor + Send + Sync> {
+        match i {
+            0 => Box::new(DrnnPredictor::new(drnn_config(
+                ctx,
+                FeatureSpec::full(),
+                horizon,
+            ))),
+            1 => Box::new(ArimaPredictor::new(horizon, 3, 1, 2)),
+            2 => Box::new(SvrPredictor::new(horizon, 12, svr_params())),
+            // Extension beyond the paper's baseline pair.
+            _ => Box::new(EtsPredictor::new(horizon, EtsKind::Holt)),
+        }
+    };
+    (0..4usize)
+        .into_par_iter()
+        .map(|i| {
+            let mut m = make(i);
+            m.fit(&train_refs, workers)
+                .unwrap_or_else(|e| panic!("{} fit failed: {e}", m.name()));
+            m
+        })
+        .collect()
 }
 
 fn fig_pred(ctx: &Ctx, app: App) -> ExpResult {

@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rayon::prelude::*;
 
 use dsdps::config::EngineConfig;
 use dsdps::metrics::{LatencyHistogram, MetricsSnapshot};
@@ -266,16 +267,23 @@ pub fn walk_forward(
 }
 
 /// Pools walk-forward results over several workers.
+///
+/// Each worker's walk is independent, so they fan out across the thread
+/// pool; per-worker results are concatenated in `workers` order, keeping
+/// the output identical to the serial version.
 pub fn walk_forward_pooled(
-    predictor: &dyn PerformancePredictor,
+    predictor: &(dyn PerformancePredictor + Sync),
     history: &[MetricsSnapshot],
     workers: &[WorkerId],
     test_start: usize,
 ) -> (Vec<f64>, Vec<f64>) {
+    let per_worker: Vec<(Vec<f64>, Vec<f64>)> = (0..workers.len())
+        .into_par_iter()
+        .map(|i| walk_forward(predictor, history, workers[i], test_start))
+        .collect();
     let mut actuals = Vec::new();
     let mut preds = Vec::new();
-    for &w in workers {
-        let (a, p) = walk_forward(predictor, history, w, test_start);
+    for (a, p) in per_worker {
         actuals.extend(a);
         preds.extend(p);
     }

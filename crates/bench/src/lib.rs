@@ -19,4 +19,5 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod micro;
 pub mod table;

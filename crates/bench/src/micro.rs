@@ -1,0 +1,477 @@
+//! Kernel microbenchmarks with machine-readable output.
+//!
+//! A small self-contained adaptive timing harness (no external bench
+//! framework) measures the performance-critical kernels:
+//!
+//! * `gemm`           — the drnn blocked matrix-multiply at 32/64/128
+//! * `gemm_at_b` etc. — the transpose-free BPTT kernels (`AᵀB`, `ABᵀ`)
+//!   and the tiled transpose
+//! * `lstm`           — LSTM forward and forward+backward over a
+//!   batch-32 / seq-16 sequence at hidden 64 and 128 (the paper-scale
+//!   predictor shapes), using the reusable-workspace API
+//! * `grouping`       — per-tuple routing decision for every grouping type
+//! * `acker`          — tuple-tree track/emit/ack cycle
+//! * `engine`         — simulated-runtime event throughput
+//! * `forecast_fit`   — ARIMA and SVR fit time
+//! * `control_epoch`  — one controller epoch (snapshot → plan → actuate)
+//! * `rt_batching`    — threaded-runtime tuple throughput on a 3-stage
+//!   shuffle-grouped topology at several batch sizes
+//!
+//! Every measurement is recorded in a [`MicroResults`] and can be written
+//! as `BENCH_kernels.json` at the repository root, so CI and the results
+//! tables consume the same numbers that are printed.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use drnn::layer::lstm::{LstmCache, LstmLayer};
+use drnn::matrix::Matrix;
+use dsdps::acker::Acker;
+use dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+use dsdps::config::EngineConfig;
+use dsdps::grouping::dynamic::{DynamicGrouping, DynamicGroupingHandle, SplitRatio};
+use dsdps::grouping::{AllGrouping, FieldsGrouping, GlobalGrouping, Grouping, ShuffleGrouping};
+use dsdps::rt::{self, RtConfig};
+use dsdps::sim::SimRuntime;
+use dsdps::topology::{CostModel, TaskId, TopologyBuilder};
+use dsdps::tuple::{Fields, Tuple, Value};
+use forecast::arima::{Arima, ArimaOrder};
+use forecast::forecaster::Forecaster;
+use forecast::svr::{Svr, SvrParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Collected measurements of one microbench run.
+pub struct MicroResults {
+    /// `"smoke"` or `"full"`.
+    pub mode: &'static str,
+    /// `(benchmark name, ns/iter)` in execution order.
+    pub ns_per_iter: Vec<(String, f64)>,
+    /// `(batch_size, acked tuples/s)` of the threaded-runtime throughput
+    /// sweep.
+    pub rt_acked_tuples_per_s: Vec<(usize, f64)>,
+}
+
+impl MicroResults {
+    fn new(mode: &'static str) -> Self {
+        MicroResults {
+            mode,
+            ns_per_iter: Vec::new(),
+            rt_acked_tuples_per_s: Vec::new(),
+        }
+    }
+
+    /// Times `f` adaptively: doubles the iteration count until the measured
+    /// run exceeds `target`, then records and prints ns/iter over the final
+    /// run.
+    fn bench<R, F: FnMut() -> R>(&mut self, name: &str, target: Duration, mut f: F) {
+        // Warm-up.
+        std::hint::black_box(f());
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= target || iters >= 1 << 30 {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<44} {:>14} ns/iter   ({iters} iters)", fmt_num(ns));
+                self.ns_per_iter.push((name.to_owned(), ns));
+                return;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 8
+            } else {
+                // Aim straight for the target with 20% headroom.
+                let scale = target.as_secs_f64() / elapsed.as_secs_f64() * 1.2;
+                (iters as f64 * scale).ceil() as u64
+            };
+        }
+    }
+
+    /// Serializes the results as a stable, machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"schema\": \"bench_kernels/v1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"ns_per_iter\": {\n");
+        for (i, (name, ns)) in self.ns_per_iter.iter().enumerate() {
+            let sep = if i + 1 == self.ns_per_iter.len() {
+                ""
+            } else {
+                ","
+            };
+            s.push_str(&format!("    \"{name}\": {ns:.1}{sep}\n"));
+        }
+        s.push_str("  },\n  \"rt_acked_tuples_per_s\": {\n");
+        for (i, (bs, tput)) in self.rt_acked_tuples_per_s.iter().enumerate() {
+            let sep = if i + 1 == self.rt_acked_tuples_per_s.len() {
+                ""
+            } else {
+                ","
+            };
+            s.push_str(&format!("    \"{bs}\": {tput:.1}{sep}\n"));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `BENCH_kernels.json` at the
+    /// repository root and returns the path.
+    pub fn write_json_at_repo_root(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_kernels.json"
+        ));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}e9", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn square(n: usize, seed: usize) -> Matrix {
+    Matrix::from_vec(
+        n,
+        n,
+        (0..n * n)
+            .map(|i| ((i + seed) % 17) as f64 / 17.0 - 0.4)
+            .collect(),
+    )
+}
+
+fn bench_gemm(res: &mut MicroResults, target: Duration) {
+    for &n in &[32usize, 64, 128] {
+        let a = square(n, 1);
+        let b = square(n, 5);
+        res.bench(&format!("gemm/{n}x{n}"), target, || a.matmul(&b));
+    }
+    // Transpose-free BPTT kernels at the gradient-accumulation shape.
+    let n = 128;
+    let a = square(n, 1);
+    let b = square(n, 5);
+    let mut out = Matrix::zeros(n, n);
+    res.bench(&format!("gemm_at_b/{n}x{n}"), target, || {
+        out.zero_in_place();
+        a.matmul_at_b_into(&b, &mut out);
+        out.get(0, 0)
+    });
+    let mut out2 = Matrix::zeros(n, n);
+    res.bench(&format!("gemm_a_bt/{n}x{n}"), target, || {
+        a.matmul_a_bt_into(&b, &mut out2);
+        out2.get(0, 0)
+    });
+    res.bench(&format!("transpose/{n}x{n}"), target, || a.transpose());
+}
+
+fn bench_lstm(res: &mut MicroResults, target: Duration) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<Matrix> = (0..16)
+        .map(|t| {
+            Matrix::from_vec(
+                32,
+                16,
+                (0..32 * 16).map(|i| ((t + i) % 7) as f64 / 7.0).collect(),
+            )
+        })
+        .collect();
+    for &hidden in &[64usize, 128] {
+        let mut layer = LstmLayer::new(16, hidden, &mut rng);
+        let suffix = if hidden == 64 {
+            String::new()
+        } else {
+            format!("_h{hidden}")
+        };
+        let mut hs: Vec<Matrix> = Vec::new();
+        let mut cache = LstmCache::default();
+        res.bench(
+            &format!("lstm/forward_seq16_batch32{suffix}"),
+            target,
+            || {
+                layer.forward_into(&xs, &mut hs, &mut cache);
+                hs.last().unwrap().get(0, 0)
+            },
+        );
+        let dhs: Vec<Matrix> = (0..16).map(|_| Matrix::full(32, hidden, 1.0)).collect();
+        let mut dxs: Vec<Matrix> = Vec::new();
+        res.bench(
+            &format!("lstm/forward_backward_seq16_batch32{suffix}"),
+            target,
+            || {
+                layer.forward_into(&xs, &mut hs, &mut cache);
+                layer.zero_grads();
+                layer.backward_into(&xs, &hs, &cache, &dhs, &mut dxs);
+                dxs.last().unwrap().get(0, 0)
+            },
+        );
+    }
+}
+
+fn bench_grouping(res: &mut MicroResults, target: Duration) {
+    let schema = Fields::new(["key", "seq"]);
+    let tuple = Tuple::with_fields([Value::from("k42"), Value::from(42i64)], schema.clone());
+    let mut out = Vec::with_capacity(8);
+    let mut run = |res: &mut MicroResults, name: &str, g: &mut dyn Grouping| {
+        res.bench(name, target, || {
+            out.clear();
+            g.select(&tuple, &mut out);
+            out.first().copied()
+        });
+    };
+    run(res, "grouping/shuffle", &mut ShuffleGrouping::new(8, 0));
+    run(
+        res,
+        "grouping/fields",
+        &mut FieldsGrouping::new(8, &["key".into()], &schema).unwrap(),
+    );
+    run(res, "grouping/global", &mut GlobalGrouping::new(8));
+    run(res, "grouping/all", &mut AllGrouping::new(8));
+    let handle = DynamicGroupingHandle::new(SplitRatio::uniform(8));
+    run(res, "grouping/dynamic", &mut DynamicGrouping::new(handle));
+}
+
+fn bench_acker(res: &mut MicroResults, target: Duration) {
+    let mut acker = Acker::new();
+    let mut root = 0u64;
+    res.bench("acker/track_emit_ack_cycle", target, || {
+        root += 1;
+        let e0 = acker.new_edge_id();
+        acker.track(root, e0, TaskId(0), root, 0.0);
+        let e1 = acker.new_edge_id();
+        acker.on_emit(root, e1);
+        acker.on_ack(root, e0, 0.1);
+        acker.on_ack(root, e1, 0.2);
+        acker.drain_outcomes().len()
+    });
+}
+
+fn bench_engine(res: &mut MicroResults, target: Duration, sim_horizon_s: f64) {
+    struct Src(u64);
+    impl Spout for Src {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            let due = (out.now_s() * 5000.0) as u64;
+            for _ in 0..(due.saturating_sub(self.0)).min(32) {
+                self.0 += 1;
+                out.emit_with_id(Tuple::of([Value::from(self.0 as i64)]), self.0);
+            }
+            true
+        }
+    }
+    struct Sink;
+    impl Bolt for Sink {
+        fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {}
+    }
+
+    res.bench("engine/sim_5000tps_pipeline", target, || {
+        let mut builder = TopologyBuilder::new("bench");
+        builder
+            .set_spout("src", 1, || Src(0))
+            .unwrap()
+            .cost(CostModel {
+                base_service_time_us: 5.0,
+                jitter: 0.0,
+            });
+        builder
+            .set_bolt("sink", 4, || Sink)
+            .unwrap()
+            .shuffle_grouping("src")
+            .unwrap()
+            .cost(CostModel {
+                base_service_time_us: 50.0,
+                jitter: 0.0,
+            });
+        let topo = builder.build().unwrap();
+        let mut engine =
+            SimRuntime::new(topo, EngineConfig::default().with_cluster(2, 2, 4)).unwrap();
+        engine.run_until(sim_horizon_s).acked
+    });
+}
+
+fn bench_forecast_fit(res: &mut MicroResults, target: Duration) {
+    let series: Vec<f64> = {
+        let mut state = 9u64;
+        let mut prev = 0.0;
+        (0..400)
+            .map(|t| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                prev = 0.7 * prev + e + (t as f64 / 20.0).sin();
+                prev
+            })
+            .collect()
+    };
+    res.bench("forecast/arima_2_0_1_fit_400", target, || {
+        let mut m = Arima::new(ArimaOrder::new(2, 0, 1));
+        m.fit(&series).unwrap();
+        m.aic()
+    });
+    let x: Vec<Vec<f64>> = series.windows(8).map(|w| w[..7].to_vec()).collect();
+    let y: Vec<f64> = series.windows(8).map(|w| w[7]).collect();
+    res.bench("forecast/svr_rbf_fit_400", target, || {
+        let mut svr = Svr::new(SvrParams::default()).unwrap();
+        svr.fit(&x, &y).unwrap();
+        svr.support_count()
+    });
+}
+
+fn bench_control_epoch(res: &mut MicroResults, target: Duration) {
+    use stream_control::planner::{plan_ratio, PlanPolicy};
+    let tasks: Vec<TaskId> = (0..8).map(TaskId).collect();
+    let placement: HashMap<TaskId, dsdps::scheduler::WorkerId> = tasks
+        .iter()
+        .map(|&t| (t, dsdps::scheduler::WorkerId(t.0)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let lat: HashMap<dsdps::scheduler::WorkerId, f64> = (0..8)
+        .map(|i| (dsdps::scheduler::WorkerId(i), rng.gen_range(100.0..1000.0)))
+        .collect();
+    res.bench("control/plan_ratio_8tasks", target, || {
+        plan_ratio(
+            PlanPolicy::CapacityProportional { alpha: 1.0 },
+            &tasks,
+            &placement,
+            &[dsdps::scheduler::WorkerId(3)],
+            &lat,
+            0.02,
+        )
+        .unwrap()
+    });
+}
+
+// --- Threaded-runtime batching throughput ------------------------------
+
+/// Spout that emits tracked tuples as fast as backpressure allows until
+/// `stop` is raised.
+struct FloodSpout {
+    next_id: u64,
+    stop: Arc<AtomicBool>,
+}
+
+impl Spout for FloodSpout {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        for _ in 0..32 {
+            self.next_id += 1;
+            out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        }
+        true
+    }
+}
+
+/// Middle stage: re-emits each tuple anchored (keeps the tree alive one hop).
+struct Relay;
+impl Bolt for Relay {
+    fn execute(&mut self, t: &Tuple, out: &mut BoltOutput) {
+        out.emit(t.clone());
+    }
+}
+
+struct Blackhole;
+impl Bolt for Blackhole {
+    fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {}
+}
+
+/// Runs the 3-stage shuffle topology (spout → relay ×2 → sink ×2) for
+/// `run_s` seconds and returns acked tuple trees per second.
+fn rt_throughput(batch_size: usize, run_s: f64) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let s2 = stop.clone();
+    let mut b = TopologyBuilder::new("rt-batch-bench");
+    b.set_spout("src", 1, move || FloodSpout {
+        next_id: 0,
+        stop: s2.clone(),
+    })
+    .unwrap();
+    b.set_bolt("relay", 2, || Relay)
+        .unwrap()
+        .shuffle_grouping("src")
+        .unwrap();
+    b.set_bolt("sink", 2, || Blackhole)
+        .unwrap()
+        .shuffle_grouping("relay")
+        .unwrap();
+    let topo = b.build().unwrap();
+    let mut cfg = EngineConfig::default().with_cluster(2, 2, 4);
+    // Batching raises per-tree completion latency (tuples wait for a full
+    // batch at each hop), so the in-flight window must grow with the batch
+    // size or the spout throttles on max_spout_pending instead of measuring
+    // channel throughput — the same tuning rule as Storm's
+    // topology.max.spout.pending.
+    cfg.max_spout_pending = 16 * 1024;
+    let rt_cfg = RtConfig::default().with_batch_size(batch_size);
+    let running = rt::submit_with(topo, cfg, rt_cfg).unwrap();
+    std::thread::sleep(Duration::from_secs_f64(run_s));
+    stop.store(true, Ordering::Relaxed);
+    let (_, report) = running.shutdown();
+    report.acked as f64 / report.uptime_s
+}
+
+fn bench_rt_batching(res: &mut MicroResults, run_s: f64) {
+    println!("\nrt_batching: 3-stage shuffle topology (src -> relay x2 -> sink x2), {run_s:.1}s per point");
+    let base = rt_throughput(1, run_s);
+    res.rt_acked_tuples_per_s.push((1, base));
+    println!(
+        "  batch_size   1: {:>12} acked tuples/s   (baseline)",
+        fmt_num(base)
+    );
+    for &bs in &[8usize, 64] {
+        let tput = rt_throughput(bs, run_s);
+        res.rt_acked_tuples_per_s.push((bs, tput));
+        println!(
+            "  batch_size {bs:>3}: {:>12} acked tuples/s   ({:.2}x vs batch 1)",
+            fmt_num(tput),
+            tput / base
+        );
+    }
+}
+
+/// Runs the full microbenchmark suite.  Smoke mode (used under
+/// `cargo test`, which passes `--test` to harness-less bench targets)
+/// shrinks every budget so the suite just proves it still runs end to end.
+pub fn run(smoke: bool) -> MicroResults {
+    let target = if smoke {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(300)
+    };
+    let mut res = MicroResults::new(if smoke { "smoke" } else { "full" });
+    println!("microbench ({} mode)\n", res.mode);
+    bench_gemm(&mut res, target);
+    bench_lstm(&mut res, target);
+    bench_grouping(&mut res, target);
+    bench_acker(&mut res, target);
+    bench_engine(&mut res, target, if smoke { 0.5 } else { 5.0 });
+    bench_forecast_fit(&mut res, target);
+    bench_control_epoch(&mut res, target);
+    bench_rt_batching(&mut res, if smoke { 0.3 } else { 3.0 });
+    res
+}
+
+/// Shared entry point for the `microbench` bin and bench targets: runs the
+/// suite and writes `BENCH_kernels.json` at the repository root.
+pub fn main_entry() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let res = run(smoke);
+    match res.write_json_at_repo_root() {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_kernels.json: {e}"),
+    }
+}

@@ -42,6 +42,64 @@ pub fn drelu(x: f64) -> f64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fast batch activations
+//
+// libm `exp`/`tanh` cost ~5/~11 ns per scalar call on the bench host; an
+// LSTM forward over seq 16 × batch 32 × hidden 64 makes ~160k such calls,
+// which puts the transcendentals on par with the GEMMs.  The kernels below
+// are branch-free (clamp + Cephes-style Padé after ln2 range reduction), so
+// the loops in `sigmoid_slice`/`tanh_slice` auto-vectorize.  Absolute error
+// is ~1e-16 — far below the 1e-4 tolerance of the finite-difference
+// gradient checks, and consistent across forward/backward since both sides
+// evaluate the same function.
+// ---------------------------------------------------------------------------
+
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+// ln2 split high/low so `x - n*ln2` stays exact to double precision.
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+// 1.5 · 2^52: adding then subtracting rounds to nearest integer, and the
+// low 32 bits of the sum's mantissa hold that integer in two's complement.
+const ROUND_MAGIC: f64 = 6_755_399_441_055_744.0;
+
+/// Branch-free `exp` accurate to ~1 ulp over the clamped range.  Inputs are
+/// clamped to ±708 (the finite range of `f64` exp), which saturates rather
+/// than overflows — exactly what sigmoid/tanh tails need.
+#[inline(always)]
+fn exp_fast(x: f64) -> f64 {
+    let x = x.clamp(-708.0, 708.0);
+    let t = x * LOG2_E + ROUND_MAGIC;
+    let n = t - ROUND_MAGIC;
+    let ni = (t.to_bits() as i64) << 32 >> 32; // sign-extended low 32 bits
+    let r = x - n * LN2_HI - n * LN2_LO;
+    // Cephes Padé: exp(r) = 1 + 2r·P(r²) / (Q(r²) − r·P(r²)), |r| ≤ ln2/2.
+    let rr = r * r;
+    let p = r * (rr * (rr * 1.261_771_930_748_105_9e-4 + 3.029_944_077_074_419_6e-2) + 1.0);
+    let q = rr
+        * (rr * (rr * 3.002_046_308_654_773_4e-6 + 2.524_483_403_496_841e-3)
+            + 2.272_655_482_081_55e-1)
+        + 2.0;
+    let e = 1.0 + 2.0 * p / (q - p);
+    e * f64::from_bits(((ni + 1023) as u64) << 52)
+}
+
+/// In-place sigmoid over a slice (vectorizing batch form of [`sigmoid`]).
+pub fn sigmoid_slice(xs: &mut [f64]) {
+    for x in xs {
+        let e = exp_fast(-*x);
+        *x = 1.0 / (1.0 + e);
+    }
+}
+
+/// In-place tanh over a slice (vectorizing batch form of `f64::tanh`).
+pub fn tanh_slice(xs: &mut [f64]) {
+    for x in xs {
+        let e = exp_fast(2.0 * *x);
+        *x = (e - 1.0) / (e + 1.0);
+    }
+}
+
 /// Element-wise sigmoid of a matrix.
 pub fn sigmoid_m(m: &Matrix) -> Matrix {
     m.map(sigmoid)
@@ -98,6 +156,41 @@ mod tests {
         assert_eq!(drelu(-1.0), 0.0);
         assert_eq!(drelu(1.0), 1.0);
         assert_eq!(drelu(0.0), 0.0);
+    }
+
+    #[test]
+    fn fast_batch_activations_match_libm() {
+        let xs: Vec<f64> = (-4000..4000).map(|i| i as f64 / 100.0).collect();
+        let mut sig = xs.clone();
+        sigmoid_slice(&mut sig);
+        let mut tan = xs.clone();
+        tanh_slice(&mut tan);
+        for (i, &x) in xs.iter().enumerate() {
+            assert!(
+                (sig[i] - sigmoid(x)).abs() < 1e-14,
+                "sigmoid at {x}: {} vs {}",
+                sig[i],
+                sigmoid(x)
+            );
+            assert!(
+                (tan[i] - x.tanh()).abs() < 1e-14,
+                "tanh at {x}: {} vs {}",
+                tan[i],
+                x.tanh()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_activations_saturate_cleanly_at_extremes() {
+        for x in [-1e4, -750.0, 750.0, 1e4, f64::MIN, f64::MAX] {
+            let mut s = [x];
+            sigmoid_slice(&mut s);
+            assert!(s[0].is_finite() && (0.0..=1.0).contains(&s[0]), "sig({x})");
+            let mut t = [x];
+            tanh_slice(&mut t);
+            assert!(t[0].is_finite() && t[0].abs() <= 1.0, "tanh({x})");
+        }
     }
 
     #[test]

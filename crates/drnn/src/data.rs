@@ -132,6 +132,16 @@ pub fn split_train_test(samples: &[Sample], train_fraction: f64) -> (Vec<Sample>
 /// Packs a batch of samples into per-timestep matrices (`seq_len` matrices
 /// of shape `batch × features`) plus a target matrix (`batch × out`).
 pub fn batch_to_matrices(batch: &[&Sample]) -> (Vec<Matrix>, Matrix) {
+    let mut xs = Vec::new();
+    let mut y = Matrix::default();
+    batch_to_matrices_into(batch, &mut xs, &mut y);
+    (xs, y)
+}
+
+/// Like [`batch_to_matrices`] but packing into caller-owned buffers, so a
+/// training loop stops re-allocating the batch matrices every step once
+/// the buffers are warm.
+pub fn batch_to_matrices_into(batch: &[&Sample], xs: &mut Vec<Matrix>, y: &mut Matrix) {
     assert!(!batch.is_empty());
     let seq_len = batch[0].window.len();
     let feat = batch[0].window[0].len();
@@ -142,20 +152,18 @@ pub fn batch_to_matrices(batch: &[&Sample]) -> (Vec<Matrix>, Matrix) {
             && s.target.len() == out),
         "inhomogeneous batch"
     );
-    let xs: Vec<Matrix> = (0..seq_len)
-        .map(|t| {
-            let mut m = Matrix::zeros(batch.len(), feat);
-            for (b, s) in batch.iter().enumerate() {
-                m.row_mut(b).copy_from_slice(&s.window[t]);
-            }
-            m
-        })
-        .collect();
-    let mut y = Matrix::zeros(batch.len(), out);
+    xs.resize_with(seq_len, Matrix::default);
+    xs.truncate(seq_len);
+    for (t, m) in xs.iter_mut().enumerate() {
+        m.resize_uninit(batch.len(), feat);
+        for (b, s) in batch.iter().enumerate() {
+            m.row_mut(b).copy_from_slice(&s.window[t]);
+        }
+    }
+    y.resize_uninit(batch.len(), out);
     for (b, s) in batch.iter().enumerate() {
         y.row_mut(b).copy_from_slice(&s.target);
     }
-    (xs, y)
 }
 
 #[cfg(test)]
@@ -254,5 +262,27 @@ mod tests {
         assert_eq!(xs[0].row(1), &[5.0, 6.0]); // sample 1's first step
         assert_eq!(xs[1].row(0), &[3.0, 4.0]); // sample 0's second step
         assert_eq!(y.get(1, 0), 20.0);
+    }
+
+    #[test]
+    fn batch_packing_into_reused_buffers_matches_fresh() {
+        let make = |n: usize, t: usize| -> Vec<Sample> {
+            (0..n)
+                .map(|i| Sample {
+                    window: (0..t).map(|s| vec![(i * 10 + s) as f64]).collect(),
+                    target: vec![i as f64],
+                })
+                .collect()
+        };
+        let mut xs = Vec::new();
+        let mut y = Matrix::default();
+        for (n, t) in [(3usize, 4usize), (5, 2), (1, 6)] {
+            let samples = make(n, t);
+            let refs: Vec<&Sample> = samples.iter().collect();
+            batch_to_matrices_into(&refs, &mut xs, &mut y);
+            let (fresh_xs, fresh_y) = batch_to_matrices(&refs);
+            assert_eq!(xs, fresh_xs);
+            assert_eq!(y, fresh_y);
+        }
     }
 }

@@ -17,11 +17,18 @@ pub enum DenseActivation {
     Relu,
 }
 
-/// Forward cache for [`DenseLayer::backward`].
-#[derive(Debug)]
+/// Forward cache for [`DenseLayer::backward`].  Stores only the ReLU
+/// preactivation (linear heads cache nothing); the input is passed back to
+/// `backward` by the caller instead of being cloned here.
+#[derive(Debug, Clone, Default)]
 pub struct DenseCache {
-    x: Matrix,
     pre: Option<Matrix>,
+}
+
+/// Reusable backward scratch.
+#[derive(Debug, Clone, Default)]
+struct DenseScratch {
+    dpre: Matrix,
 }
 
 /// A dense layer `y = act(x·W + b)`.
@@ -36,6 +43,8 @@ pub struct DenseLayer {
     gw: Option<Matrix>,
     #[serde(skip)]
     gb: Option<Matrix>,
+    #[serde(skip, default)]
+    scratch: DenseScratch,
 }
 
 impl DenseLayer {
@@ -53,6 +62,7 @@ impl DenseLayer {
             b: Matrix::zeros(1, output),
             gw: None,
             gb: None,
+            scratch: DenseScratch::default(),
         }
     }
 
@@ -92,52 +102,53 @@ impl DenseLayer {
         self.gb.as_mut().unwrap().zero_in_place();
     }
 
-    /// Forward pass: `x` is `B × input`.
+    /// Forward pass: `x` is `B × input`.  Allocating wrapper over
+    /// [`forward_into`](Self::forward_into).
     pub fn forward(&self, x: &Matrix) -> (Matrix, DenseCache) {
+        let mut y = Matrix::default();
+        let mut cache = DenseCache::default();
+        self.forward_into(x, &mut y, &mut cache);
+        (y, cache)
+    }
+
+    /// Forward pass into caller-owned, reusable buffers.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix, cache: &mut DenseCache) {
         assert_eq!(x.cols(), self.input, "input width mismatch");
-        let mut pre = x.matmul(&self.w);
-        pre.add_row_in_place(self.b.row(0));
+        x.matmul_into(&self.w, y);
+        y.add_row_in_place(self.b.row(0));
         match self.activation {
-            DenseActivation::Linear => (
-                pre,
-                DenseCache {
-                    x: x.clone(),
-                    pre: None,
-                },
-            ),
+            DenseActivation::Linear => cache.pre = None,
             DenseActivation::Relu => {
-                let out = pre.map(relu);
-                (
-                    out,
-                    DenseCache {
-                        x: x.clone(),
-                        pre: Some(pre),
-                    },
-                )
+                let pre = cache.pre.get_or_insert_with(Matrix::default);
+                pre.copy_from(y);
+                y.map_in_place(relu);
             }
         }
     }
 
-    /// Backward pass: accumulates gradients and returns `∂L/∂x`.
-    pub fn backward(&mut self, cache: &DenseCache, dy: &Matrix) -> Matrix {
+    /// Backward pass: accumulates gradients and returns `∂L/∂x`.  `x` is
+    /// the forward input (the cache does not duplicate it).
+    pub fn backward(&mut self, x: &Matrix, cache: &DenseCache, dy: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(x, cache, dy, &mut dx);
+        dx
+    }
+
+    /// Backward pass into a caller-owned `dx` buffer; transpose-free GEMMs
+    /// and reusable scratch throughout.
+    pub fn backward_into(&mut self, x: &Matrix, cache: &DenseCache, dy: &Matrix, dx: &mut Matrix) {
         self.ensure_grads();
-        let dpre = match self.activation {
-            DenseActivation::Linear => dy.clone(),
-            DenseActivation::Relu => {
-                let pre = cache.pre.as_ref().expect("relu cache");
-                let mut d = dy.clone();
-                for (v, p) in d.as_mut_slice().iter_mut().zip(pre.as_slice()) {
-                    *v *= drelu(*p);
-                }
-                d
+        let dpre = &mut self.scratch.dpre;
+        dpre.copy_from(dy);
+        if self.activation == DenseActivation::Relu {
+            let pre = cache.pre.as_ref().expect("relu cache");
+            for (v, p) in dpre.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                *v *= drelu(*p);
             }
-        };
-        self.gw
-            .as_mut()
-            .unwrap()
-            .add_in_place(&cache.x.transpose().matmul(&dpre));
-        self.gb.as_mut().unwrap().add_in_place(&dpre.col_sums());
-        dpre.matmul(&self.w.transpose())
+        }
+        x.matmul_at_b_into(dpre, self.gw.as_mut().unwrap());
+        dpre.col_sums_add_into(self.gb.as_mut().unwrap());
+        dpre.matmul_a_bt_into(&self.w, dx);
     }
 }
 
@@ -174,7 +185,7 @@ mod tests {
             let loss = |l: &DenseLayer| l.forward(&x).0.sum();
             let (y, cache) = layer.forward(&x);
             layer.zero_grads();
-            let dx = layer.backward(&cache, &Matrix::full(y.rows(), y.cols(), 1.0));
+            let dx = layer.backward(&x, &cache, &Matrix::full(y.rows(), y.cols(), 1.0));
 
             let grads: Vec<Matrix> = {
                 let mut out = Vec::new();

@@ -10,29 +10,57 @@
 //! `Wx` is fused as `[z | r | n]` (I × 3H); the hidden weights are split
 //! into `Whzr` (H × 2H) and `Whn` (H × H) because the candidate gate mixes
 //! the reset gate in before its GEMM.
+//!
+//! Like the LSTM, the hot path activates gates in place on the fused
+//! preactivation buffer, reuses every per-step buffer across batches, and
+//! backpropagates with the transpose-free GEMM variants — the only copies
+//! left are the cheap block moves that assemble the fused `[z|r|n]` /
+//! `[z|r]` gradient buffers for the fused weight GEMMs.
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use crate::activation::{dsigmoid_from_output, dtanh_from_output, sigmoid};
+use crate::activation::{dsigmoid_from_output, dtanh_from_output, sigmoid_slice, tanh_slice};
 use crate::init::xavier_uniform;
+use crate::layer::ensure_seq;
 use crate::matrix::Matrix;
 
-#[derive(Debug, Clone)]
-struct StepCache {
-    x: Matrix,
-    h_prev: Matrix,
-    z: Matrix,
-    r: Matrix,
-    n: Matrix,
-    rh: Matrix,
+/// Reusable forward cache consumed by [`GruLayer::backward`].  Per step:
+/// the **activated** fused gate block `[z|r|n]` (`B × 3H`) and the reset
+/// hidden product `r ∘ h_prev` (`B × H`).  `hzr`/`hn` are forward scratch
+/// (hidden-side GEMM outputs) that ride along so `forward(&self)` stays
+/// allocation-free on reuse.
+#[derive(Debug, Clone, Default)]
+pub struct GruCache {
+    gates: Vec<Matrix>,
+    rh: Vec<Matrix>,
+    hzr: Matrix,
+    hn: Matrix,
+    len: usize,
+    batch: usize,
 }
 
-/// Opaque forward cache consumed by [`GruLayer::backward`].
-#[derive(Debug, Default)]
-pub struct GruCache {
-    steps: Vec<StepCache>,
-    batch: usize,
+impl GruCache {
+    /// Number of cached steps.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no steps are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Reusable backward scratch.
+#[derive(Debug, Clone, Default)]
+struct GruScratch {
+    dh: Matrix,
+    dh_next: Matrix,
+    da: Matrix,
+    da_n: Matrix,
+    da_zr: Matrix,
+    drh: Matrix,
 }
 
 /// A GRU layer.
@@ -52,6 +80,8 @@ pub struct GruLayer {
     gwhn: Option<Matrix>,
     #[serde(skip)]
     gb: Option<Matrix>,
+    #[serde(skip, default)]
+    scratch: GruScratch,
 }
 
 impl GruLayer {
@@ -68,6 +98,7 @@ impl GruLayer {
             gwhzr: None,
             gwhn: None,
             gb: None,
+            scratch: GruScratch::default(),
         }
     }
 
@@ -114,137 +145,217 @@ impl GruLayer {
     }
 
     /// Runs the layer over a sequence from zero state; returns hidden states
-    /// and the backward cache.
+    /// and the backward cache.  Allocating wrapper over
+    /// [`forward_into`](Self::forward_into).
     pub fn forward(&self, xs: &[Matrix]) -> (Vec<Matrix>, GruCache) {
-        assert!(!xs.is_empty(), "empty sequence");
-        let batch = xs[0].rows();
-        let h_dim = self.hidden;
-        let mut h = Matrix::zeros(batch, h_dim);
-        let mut hs = Vec::with_capacity(xs.len());
-        let mut cache = GruCache {
-            steps: Vec::with_capacity(xs.len()),
-            batch,
-        };
-
-        for x in xs {
-            assert_eq!(x.cols(), self.input, "input width mismatch");
-            let xpart = {
-                let mut a = x.matmul(&self.wx);
-                a.add_row_in_place(self.b.row(0));
-                a
-            };
-            let hzr = h.matmul(&self.whzr); // B × 2H
-
-            let mut z = xpart.cols_slice(0, h_dim);
-            z.add_in_place(&hzr.cols_slice(0, h_dim));
-            z.map_in_place(sigmoid);
-
-            let mut r = xpart.cols_slice(h_dim, 2 * h_dim);
-            r.add_in_place(&hzr.cols_slice(h_dim, 2 * h_dim));
-            r.map_in_place(sigmoid);
-
-            let rh = r.hadamard(&h);
-            let mut n = xpart.cols_slice(2 * h_dim, 3 * h_dim);
-            n.add_in_place(&rh.matmul(&self.whn));
-            n.map_in_place(f64::tanh);
-
-            // h' = (1-z)∘n + z∘h
-            let mut h_new = Matrix::zeros(batch, h_dim);
-            for idx in 0..batch * h_dim {
-                let zv = z.as_slice()[idx];
-                h_new.as_mut_slice()[idx] = (1.0 - zv) * n.as_slice()[idx] + zv * h.as_slice()[idx];
-            }
-
-            cache.steps.push(StepCache {
-                x: x.clone(),
-                h_prev: h,
-                z,
-                r,
-                n,
-                rh,
-            });
-            h = h_new.clone();
-            hs.push(h_new);
-        }
+        let mut hs = Vec::new();
+        let mut cache = GruCache::default();
+        self.forward_into(xs, &mut hs, &mut cache);
         (hs, cache)
     }
 
-    /// Backpropagation through time; returns `∂L/∂x_t` per step.
-    pub fn backward(&mut self, cache: &GruCache, dhs: &[Matrix]) -> Vec<Matrix> {
-        assert_eq!(cache.steps.len(), dhs.len());
+    /// Forward pass into caller-owned, reusable buffers.
+    pub fn forward_into(&self, xs: &[Matrix], hs: &mut Vec<Matrix>, cache: &mut GruCache) {
+        assert!(!xs.is_empty(), "empty sequence");
+        let batch = xs[0].rows();
+        let h_dim = self.hidden;
+        let steps = xs.len();
+        ensure_seq(hs, steps);
+        ensure_seq(&mut cache.gates, steps);
+        ensure_seq(&mut cache.rh, steps);
+        cache.len = steps;
+        cache.batch = batch;
+
+        for (t, x) in xs.iter().enumerate() {
+            assert_eq!(x.cols(), self.input, "input width mismatch");
+            assert_eq!(x.rows(), batch, "batch size changed mid-sequence");
+
+            // a = bias ⊕ x·Wx, then the hidden-side contributions land on
+            // the [z|r] and n column blocks separately.
+            let a = &mut cache.gates[t];
+            a.resize_uninit(batch, 3 * h_dim);
+            for r in 0..batch {
+                a.row_mut(r).copy_from_slice(self.b.row(0));
+            }
+            x.matmul_add_into(&self.wx, a);
+
+            if t > 0 {
+                // h_0 = 0: both hidden-side GEMMs vanish at t = 0.
+                let h_prev = &hs[t - 1];
+                self.hzr_add(h_prev, a, &mut cache.hzr, batch, h_dim);
+            }
+
+            // Activate z and r in place: σ on the [z|r] block.
+            for r in 0..batch {
+                sigmoid_slice(&mut a.row_mut(r)[..2 * h_dim]);
+            }
+
+            // rh = r ∘ h_prev, then its GEMM lands on the n block.
+            let rh_t = &mut cache.rh[t];
+            rh_t.resize_uninit(batch, h_dim);
+            if t > 0 {
+                let h_prev = &hs[t - 1];
+                for r in 0..batch {
+                    let arow = a.row(r);
+                    let hrow = h_prev.row(r);
+                    let rhrow = rh_t.row_mut(r);
+                    for j in 0..h_dim {
+                        rhrow[j] = arow[h_dim + j] * hrow[j];
+                    }
+                }
+                rh_t.matmul_into(&self.whn, &mut cache.hn);
+                for r in 0..batch {
+                    let hnrow = cache.hn.row(r);
+                    let arow = &mut a.row_mut(r)[2 * h_dim..];
+                    for j in 0..h_dim {
+                        arow[j] += hnrow[j];
+                    }
+                }
+            } else {
+                rh_t.zero_in_place();
+            }
+
+            // Activate the candidate: tanh on the n block.
+            for r in 0..batch {
+                tanh_slice(&mut a.row_mut(r)[2 * h_dim..]);
+            }
+
+            // h' = (1-z) ∘ n + z ∘ h_prev
+            let (prev_hs, cur_hs) = hs.split_at_mut(t);
+            let h_t = &mut cur_hs[0];
+            h_t.resize_uninit(batch, h_dim);
+            for r in 0..batch {
+                let arow = a.row(r);
+                let hrow = h_t.row_mut(r);
+                if t > 0 {
+                    let hprev = prev_hs[t - 1].row(r);
+                    for j in 0..h_dim {
+                        let z = arow[j];
+                        hrow[j] = (1.0 - z) * arow[2 * h_dim + j] + z * hprev[j];
+                    }
+                } else {
+                    for j in 0..h_dim {
+                        hrow[j] = (1.0 - arow[j]) * arow[2 * h_dim + j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// `a[:, 0..2H] += h_prev · Whzr`, staged through the `hzr` scratch
+    /// (GEMMs write whole rows; the fused gate buffer is 3H wide).
+    fn hzr_add(&self, h_prev: &Matrix, a: &mut Matrix, hzr: &mut Matrix, batch: usize, h: usize) {
+        h_prev.matmul_into(&self.whzr, hzr);
+        for r in 0..batch {
+            let src = hzr.row(r);
+            let dst = &mut a.row_mut(r)[..2 * h];
+            for j in 0..2 * h {
+                dst[j] += src[j];
+            }
+        }
+    }
+
+    /// Backpropagation through time; returns `∂L/∂x_t` per step.  `xs`/`hs`
+    /// are the forward inputs/outputs.  Allocating wrapper over
+    /// [`backward_into`](Self::backward_into).
+    pub fn backward(
+        &mut self,
+        xs: &[Matrix],
+        hs: &[Matrix],
+        cache: &GruCache,
+        dhs: &[Matrix],
+    ) -> Vec<Matrix> {
+        let mut dxs = Vec::new();
+        self.backward_into(xs, hs, cache, dhs, &mut dxs);
+        dxs
+    }
+
+    /// BPTT into a caller-owned `dxs` buffer; scratch is reused across
+    /// calls.
+    pub fn backward_into(
+        &mut self,
+        xs: &[Matrix],
+        hs: &[Matrix],
+        cache: &GruCache,
+        dhs: &[Matrix],
+        dxs: &mut Vec<Matrix>,
+    ) {
+        assert_eq!(cache.len, dhs.len(), "cache/grad length mismatch");
+        assert_eq!(cache.len, xs.len(), "cache/input length mismatch");
+        assert_eq!(cache.len, hs.len(), "cache/output length mismatch");
         self.ensure_grads();
         let h_dim = self.hidden;
         let batch = cache.batch;
-        let mut dh_next = Matrix::zeros(batch, h_dim);
-        let mut dxs = vec![Matrix::zeros(batch, self.input); dhs.len()];
+        ensure_seq(dxs, cache.len);
 
-        for t in (0..cache.steps.len()).rev() {
-            let s = &cache.steps[t];
-            let mut dh = dhs[t].clone();
-            dh.add_in_place(&dh_next);
+        let s = &mut self.scratch;
+        s.dh_next.resize_zeroed(batch, h_dim);
 
-            // h' = (1-z)n + z h_prev
-            // dz = dh ∘ (h_prev - n); dn = dh ∘ (1-z); dh_prev = dh ∘ z (plus more below)
-            let mut dz = Matrix::zeros(batch, h_dim);
-            let mut dn = Matrix::zeros(batch, h_dim);
-            let mut dh_prev = Matrix::zeros(batch, h_dim);
-            for idx in 0..batch * h_dim {
-                let dhv = dh.as_slice()[idx];
-                let zv = s.z.as_slice()[idx];
-                dz.as_mut_slice()[idx] = dhv * (s.h_prev.as_slice()[idx] - s.n.as_slice()[idx]);
-                dn.as_mut_slice()[idx] = dhv * (1.0 - zv);
-                dh_prev.as_mut_slice()[idx] = dhv * zv;
+        for t in (0..cache.len).rev() {
+            let gates = &cache.gates[t];
+
+            // dh = dhs[t] + dh_next
+            s.dh.copy_from(&dhs[t]);
+            s.dh.add_in_place(&s.dh_next);
+
+            // h' = (1-z)∘n + z∘h_prev:
+            //   dz = dh ∘ (h_prev − n),  dn = dh ∘ (1 − z),
+            //   dh_prev ← dh ∘ z  (more contributions accumulate below).
+            s.da.resize_uninit(batch, 3 * h_dim);
+            s.da_n.resize_uninit(batch, h_dim);
+            for r in 0..batch {
+                let arow = gates.row(r);
+                let dhrow = s.dh.row(r);
+                let darow = s.da.row_mut(r);
+                let danrow = s.da_n.row_mut(r);
+                let hprev = if t > 0 { Some(hs[t - 1].row(r)) } else { None };
+                let dhnrow = s.dh_next.row_mut(r);
+                for j in 0..h_dim {
+                    let (z, n) = (arow[j], arow[2 * h_dim + j]);
+                    let hp = hprev.map_or(0.0, |h| h[j]);
+                    darow[j] = dhrow[j] * (hp - n) * dsigmoid_from_output(z);
+                    danrow[j] = dhrow[j] * (1.0 - z) * dtanh_from_output(n);
+                    dhnrow[j] = dhrow[j] * z;
+                }
+                darow[2 * h_dim..].copy_from_slice(danrow);
             }
 
-            // Candidate gate: a_n = x·Wxn + rh·Whn + bn ; n = tanh(a_n)
-            let mut da_n = dn;
-            for (v, n) in da_n.as_mut_slice().iter_mut().zip(s.n.as_slice()) {
-                *v *= dtanh_from_output(*n);
+            if t > 0 {
+                // Candidate gate: drh = da_n·Whnᵀ; gWhn += rhᵀ·da_n.
+                s.da_n.matmul_a_bt_into(&self.whn, &mut s.drh);
+                cache.rh[t].matmul_at_b_into(&s.da_n, self.gwhn.as_mut().unwrap());
+
+                // rh = r ∘ h_prev: dr = drh ∘ h_prev, dh_prev += drh ∘ r.
+                s.da_zr.resize_uninit(batch, 2 * h_dim);
+                for r in 0..batch {
+                    let arow = gates.row(r);
+                    let drhrow = s.drh.row(r);
+                    let hprev = hs[t - 1].row(r);
+                    let darow = s.da.row_mut(r);
+                    let dhnrow = s.dh_next.row_mut(r);
+                    for j in 0..h_dim {
+                        let rg = arow[h_dim + j];
+                        darow[h_dim + j] = drhrow[j] * hprev[j] * dsigmoid_from_output(rg);
+                        dhnrow[j] += drhrow[j] * rg;
+                    }
+                    s.da_zr.row_mut(r).copy_from_slice(&darow[..2 * h_dim]);
+                }
+
+                // h-side z/r parameters and state gradient.
+                hs[t - 1].matmul_at_b_into(&s.da_zr, self.gwhzr.as_mut().unwrap());
+                s.da_zr.matmul_a_bt_add_into(&self.whzr, &mut s.dh_next);
+            } else {
+                // h_prev = 0: dr ≡ 0 and every h-side product vanishes.
+                for r in 0..batch {
+                    s.da.row_mut(r)[h_dim..2 * h_dim].fill(0.0);
+                }
             }
-            let drh = da_n.matmul(&self.whn.transpose());
-            self.gwhn
-                .as_mut()
-                .unwrap()
-                .add_in_place(&s.rh.transpose().matmul(&da_n));
-            // rh = r ∘ h_prev
-            let dr = drh.hadamard(&s.h_prev);
-            dh_prev.add_in_place(&drh.hadamard(&s.r));
 
-            // Sigmoid gates.
-            let mut da_z = dz;
-            for (v, z) in da_z.as_mut_slice().iter_mut().zip(s.z.as_slice()) {
-                *v *= dsigmoid_from_output(*z);
-            }
-            let mut da_r = dr;
-            for (v, r) in da_r.as_mut_slice().iter_mut().zip(s.r.as_slice()) {
-                *v *= dsigmoid_from_output(*r);
-            }
-
-            // Fused [da_z | da_r | da_n] for the x-side parameters.
-            let mut da = Matrix::zeros(batch, 3 * h_dim);
-            da.set_cols(0, &da_z);
-            da.set_cols(h_dim, &da_r);
-            da.set_cols(2 * h_dim, &da_n);
-            self.gwx
-                .as_mut()
-                .unwrap()
-                .add_in_place(&s.x.transpose().matmul(&da));
-            self.gb.as_mut().unwrap().add_in_place(&da.col_sums());
-            dxs[t] = da.matmul(&self.wx.transpose());
-
-            // h-side z/r parameters.
-            let mut da_zr = Matrix::zeros(batch, 2 * h_dim);
-            da_zr.set_cols(0, &da_z);
-            da_zr.set_cols(h_dim, &da_r);
-            self.gwhzr
-                .as_mut()
-                .unwrap()
-                .add_in_place(&s.h_prev.transpose().matmul(&da_zr));
-            dh_prev.add_in_place(&da_zr.matmul(&self.whzr.transpose()));
-
-            dh_next = dh_prev;
+            // x-side parameters and input gradient from the fused block.
+            xs[t].matmul_at_b_into(&s.da, self.gwx.as_mut().unwrap());
+            s.da.col_sums_add_into(self.gb.as_mut().unwrap());
+            s.da.matmul_a_bt_into(&self.wx, &mut dxs[t]);
         }
-        dxs
     }
 }
 
@@ -278,7 +389,7 @@ mod tests {
         let (hs, cache) = layer.forward(&xs);
         assert_eq!(hs.len(), 3);
         assert_eq!(hs[2].shape(), (2, 6));
-        assert_eq!(cache.steps.len(), 3);
+        assert_eq!(cache.len(), 3);
         assert_eq!(layer.param_count(), 4 * 18 + 6 * 18 + 18);
     }
 
@@ -295,6 +406,22 @@ mod tests {
     }
 
     #[test]
+    fn reused_buffers_match_fresh_forward() {
+        let layer = make(3, 4, 8);
+        let mut hs = Vec::new();
+        let mut cache = GruCache::default();
+        for (t, b) in [(3usize, 2usize), (1, 1), (4, 3)] {
+            let xs = seq(t, b, 3);
+            layer.forward_into(&xs, &mut hs, &mut cache);
+            let (fresh, _) = layer.forward(&xs);
+            assert_eq!(hs.len(), fresh.len());
+            for (a, b) in hs.iter().zip(&fresh) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
     fn bptt_gradients_match_finite_differences() {
         let mut layer = make(3, 4, 5);
         let xs = seq(4, 2, 3);
@@ -308,7 +435,7 @@ mod tests {
             .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
             .collect();
         layer.zero_grads();
-        layer.backward(&cache, &dhs);
+        layer.backward(&xs, &hs, &cache, &dhs);
 
         let grads: Vec<Matrix> = {
             let mut out = Vec::new();
@@ -350,7 +477,7 @@ mod tests {
             .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
             .collect();
         layer.zero_grads();
-        let dxs = layer.backward(&cache, &dhs);
+        let dxs = layer.backward(&xs, &hs, &cache, &dhs);
         let eps = 1e-5;
         for t in 0..3 {
             for k in 0..2 {

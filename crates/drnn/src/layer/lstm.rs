@@ -12,32 +12,57 @@
 //!
 //! The forget-gate bias initializes to 1.0 (Jozefowicz et al., 2015), which
 //! materially speeds up learning of long temporal dependencies.
+//!
+//! Hot-path structure: forward activates gates **in place** on the
+//! preactivation buffer (the cache stores activated gates, which is all
+//! backward needs), and every per-step buffer lives in the reusable
+//! [`LstmCache`] / layer scratch so steady-state training allocates
+//! nothing.  Backward uses the transpose-free GEMM variants
+//! (`matmul_at_b_into` for `gW += xᵀ·da`, `matmul_a_bt_into` for
+//! `dx = da·Wᵀ`), so no transpose is ever materialized.
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use crate::activation::{dsigmoid_from_output, dtanh_from_output, sigmoid};
+use crate::activation::{dsigmoid_from_output, dtanh_from_output, sigmoid_slice, tanh_slice};
 use crate::init::xavier_uniform;
+use crate::layer::ensure_seq;
 use crate::matrix::Matrix;
 
-/// Per-timestep values saved in forward for use in backward.
-#[derive(Debug, Clone)]
-struct StepCache {
-    x: Matrix,
-    h_prev: Matrix,
-    c_prev: Matrix,
-    i: Matrix,
-    f: Matrix,
-    g: Matrix,
-    o: Matrix,
-    tanh_c: Matrix,
+/// Reusable forward cache consumed by [`LstmLayer::backward`].  Holds, per
+/// step, the **activated** fused gate block `[i|f|g|o]` (`B × 4H`), the
+/// cell state and its tanh (`B × H` each).  Inputs and hidden outputs are
+/// not duplicated here — backward receives them from the caller.
+#[derive(Debug, Clone, Default)]
+pub struct LstmCache {
+    gates: Vec<Matrix>,
+    c: Vec<Matrix>,
+    tanh_c: Vec<Matrix>,
+    len: usize,
+    batch: usize,
 }
 
-/// Opaque forward cache consumed by [`LstmLayer::backward`].
-#[derive(Debug, Default)]
-pub struct LstmCache {
-    steps: Vec<StepCache>,
-    batch: usize,
+impl LstmCache {
+    /// Number of cached steps.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no steps are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Reusable backward scratch (gradient flow buffers).  Lives in the layer
+/// under `#[serde(skip)]` so repeated BPTT passes are allocation-free.
+#[derive(Debug, Clone, Default)]
+struct LstmScratch {
+    dh: Matrix,
+    dc: Matrix,
+    dh_next: Matrix,
+    dc_next: Matrix,
+    da: Matrix,
 }
 
 /// An LSTM layer.
@@ -54,6 +79,8 @@ pub struct LstmLayer {
     gwh: Option<Matrix>,
     #[serde(skip)]
     gb: Option<Matrix>,
+    #[serde(skip, default)]
+    scratch: LstmScratch,
 }
 
 impl LstmLayer {
@@ -72,6 +99,7 @@ impl LstmLayer {
             gwx: None,
             gwh: None,
             gb: None,
+            scratch: LstmScratch::default(),
         }
     }
 
@@ -116,127 +144,204 @@ impl LstmLayer {
 
     /// Runs the layer over a sequence of inputs (each `B × input`), starting
     /// from zero state.  Returns the hidden state at every step and a cache
-    /// for backward.
+    /// for backward.  Allocating wrapper over
+    /// [`forward_into`](Self::forward_into).
     pub fn forward(&self, xs: &[Matrix]) -> (Vec<Matrix>, LstmCache) {
-        assert!(!xs.is_empty(), "empty sequence");
-        let batch = xs[0].rows();
-        let h_dim = self.hidden;
-        let mut h = Matrix::zeros(batch, h_dim);
-        let mut c = Matrix::zeros(batch, h_dim);
-        let mut hs = Vec::with_capacity(xs.len());
-        let mut cache = LstmCache {
-            steps: Vec::with_capacity(xs.len()),
-            batch,
-        };
-
-        for x in xs {
-            assert_eq!(x.cols(), self.input, "input width mismatch");
-            assert_eq!(x.rows(), batch, "batch size changed mid-sequence");
-            let mut a = x.matmul(&self.wx);
-            a.add_in_place(&h.matmul(&self.wh));
-            a.add_row_in_place(self.b.row(0));
-
-            let mut i = a.cols_slice(0, h_dim);
-            let mut f = a.cols_slice(h_dim, 2 * h_dim);
-            let mut g = a.cols_slice(2 * h_dim, 3 * h_dim);
-            let mut o = a.cols_slice(3 * h_dim, 4 * h_dim);
-            i.map_in_place(sigmoid);
-            f.map_in_place(sigmoid);
-            g.map_in_place(f64::tanh);
-            o.map_in_place(sigmoid);
-
-            let c_prev = c.clone();
-            // c = f∘c_prev + i∘g
-            let mut c_new = f.hadamard(&c_prev);
-            c_new.add_in_place(&i.hadamard(&g));
-            let tanh_c = c_new.map(f64::tanh);
-            let h_new = o.hadamard(&tanh_c);
-
-            cache.steps.push(StepCache {
-                x: x.clone(),
-                h_prev: h,
-                c_prev,
-                i,
-                f,
-                g,
-                o,
-                tanh_c: tanh_c.clone(),
-            });
-            h = h_new.clone();
-            c = c_new;
-            hs.push(h_new);
-        }
+        let mut hs = Vec::new();
+        let mut cache = LstmCache::default();
+        self.forward_into(xs, &mut hs, &mut cache);
         (hs, cache)
     }
 
-    /// Backpropagation through time.  `dhs[t]` is `∂L/∂h_t` from above
-    /// (zero matrices for steps the loss does not touch).  Accumulates
-    /// parameter gradients and returns `∂L/∂x_t` for each step.
-    pub fn backward(&mut self, cache: &LstmCache, dhs: &[Matrix]) -> Vec<Matrix> {
-        assert_eq!(cache.steps.len(), dhs.len(), "cache/grad length mismatch");
+    /// Forward pass into caller-owned buffers.  `hs` and `cache` are
+    /// resized in place, reusing prior allocations — calling this in a
+    /// training loop with the same buffers makes the steady state
+    /// allocation-free.
+    pub fn forward_into(&self, xs: &[Matrix], hs: &mut Vec<Matrix>, cache: &mut LstmCache) {
+        assert!(!xs.is_empty(), "empty sequence");
+        let batch = xs[0].rows();
+        let h_dim = self.hidden;
+        let steps = xs.len();
+        ensure_seq(hs, steps);
+        ensure_seq(&mut cache.gates, steps);
+        ensure_seq(&mut cache.c, steps);
+        ensure_seq(&mut cache.tanh_c, steps);
+        cache.len = steps;
+        cache.batch = batch;
+
+        for (t, x) in xs.iter().enumerate() {
+            assert_eq!(x.cols(), self.input, "input width mismatch");
+            assert_eq!(x.rows(), batch, "batch size changed mid-sequence");
+
+            // a = bias ⊕ x·Wx ⊕ h_prev·Wh, built in place.
+            let a = &mut cache.gates[t];
+            a.resize_uninit(batch, 4 * h_dim);
+            for r in 0..batch {
+                a.row_mut(r).copy_from_slice(self.b.row(0));
+            }
+            x.matmul_add_into(&self.wx, a);
+            if t > 0 {
+                // h_0 is the zero matrix: its GEMM is skipped entirely.
+                let (prev, _) = hs.split_at(t);
+                prev[t - 1].matmul_add_into(&self.wh, a);
+            }
+
+            // Activate the fused block in place: σ on [i|f], tanh on g,
+            // σ on o.
+            for r in 0..batch {
+                let row = a.row_mut(r);
+                let (ifg, o) = row.split_at_mut(3 * h_dim);
+                let (i_f, g) = ifg.split_at_mut(2 * h_dim);
+                sigmoid_slice(i_f);
+                tanh_slice(g);
+                sigmoid_slice(o);
+            }
+
+            // c_t = f ∘ c_prev + i ∘ g   (c_prev = 0 at t = 0)
+            let (c_head, c_tail) = cache.c.split_at_mut(t);
+            let c_t = &mut c_tail[0];
+            c_t.resize_uninit(batch, h_dim);
+            for r in 0..batch {
+                let arow = a.row(r);
+                let crow = c_t.row_mut(r);
+                if t > 0 {
+                    let cprev = c_head[t - 1].row(r);
+                    for j in 0..h_dim {
+                        crow[j] = arow[h_dim + j] * cprev[j] + arow[j] * arow[2 * h_dim + j];
+                    }
+                } else {
+                    for j in 0..h_dim {
+                        crow[j] = arow[j] * arow[2 * h_dim + j];
+                    }
+                }
+            }
+
+            // tanh(c_t), then h_t = o ∘ tanh(c_t).
+            let tc = &mut cache.tanh_c[t];
+            tc.copy_from(c_t);
+            tanh_slice(tc.as_mut_slice());
+            let h_t = &mut hs[t];
+            h_t.resize_uninit(batch, h_dim);
+            for r in 0..batch {
+                let arow = a.row(r);
+                let tcrow = tc.row(r);
+                let hrow = h_t.row_mut(r);
+                for j in 0..h_dim {
+                    hrow[j] = arow[3 * h_dim + j] * tcrow[j];
+                }
+            }
+        }
+    }
+
+    /// Backpropagation through time.  `xs`/`hs` are the forward inputs and
+    /// outputs (the cache does not duplicate them), `dhs[t]` is `∂L/∂h_t`
+    /// from above.  Accumulates parameter gradients and returns `∂L/∂x_t`
+    /// per step.  Allocating wrapper over
+    /// [`backward_into`](Self::backward_into).
+    pub fn backward(
+        &mut self,
+        xs: &[Matrix],
+        hs: &[Matrix],
+        cache: &LstmCache,
+        dhs: &[Matrix],
+    ) -> Vec<Matrix> {
+        let mut dxs = Vec::new();
+        self.backward_into(xs, hs, cache, dhs, &mut dxs);
+        dxs
+    }
+
+    /// BPTT into a caller-owned `dxs` buffer; all gradient-flow scratch is
+    /// reused across calls.
+    pub fn backward_into(
+        &mut self,
+        xs: &[Matrix],
+        hs: &[Matrix],
+        cache: &LstmCache,
+        dhs: &[Matrix],
+        dxs: &mut Vec<Matrix>,
+    ) {
+        assert_eq!(cache.len, dhs.len(), "cache/grad length mismatch");
+        assert_eq!(cache.len, xs.len(), "cache/input length mismatch");
+        assert_eq!(cache.len, hs.len(), "cache/output length mismatch");
         self.ensure_grads();
         let h_dim = self.hidden;
         let batch = cache.batch;
-        let mut dh_next = Matrix::zeros(batch, h_dim);
-        let mut dc_next = Matrix::zeros(batch, h_dim);
-        let mut dxs = vec![Matrix::zeros(batch, self.input); dhs.len()];
+        ensure_seq(dxs, cache.len);
 
-        for t in (0..cache.steps.len()).rev() {
-            let s = &cache.steps[t];
-            let mut dh = dhs[t].clone();
-            dh.add_in_place(&dh_next);
+        let s = &mut self.scratch;
+        s.dh_next.resize_zeroed(batch, h_dim);
+        s.dc_next.resize_zeroed(batch, h_dim);
 
-            // dc = dh ∘ o ∘ (1 - tanh(c)^2) + dc_next
-            let mut dc = dh.hadamard(&s.o);
-            for (v, tc) in dc.as_mut_slice().iter_mut().zip(s.tanh_c.as_slice()) {
-                *v *= dtanh_from_output(*tc);
-            }
-            dc.add_in_place(&dc_next);
+        for t in (0..cache.len).rev() {
+            let gates = &cache.gates[t];
+            let tanh_c = &cache.tanh_c[t];
 
-            // Gate pre-activation gradients (B × 4H fused).
-            let mut da = Matrix::zeros(batch, 4 * h_dim);
-            {
-                // da_i = dc ∘ g ∘ i(1-i)
-                let mut da_i = dc.hadamard(&s.g);
-                for (v, i) in da_i.as_mut_slice().iter_mut().zip(s.i.as_slice()) {
-                    *v *= dsigmoid_from_output(*i);
+            // dh = dhs[t] + dh_next
+            s.dh.copy_from(&dhs[t]);
+            s.dh.add_in_place(&s.dh_next);
+
+            // dc = dh ∘ o ∘ (1 − tanh(c)²) + dc_next
+            s.dc.resize_uninit(batch, h_dim);
+            for r in 0..batch {
+                let arow = gates.row(r);
+                let tcrow = tanh_c.row(r);
+                let dhrow = s.dh.row(r);
+                let dcnrow = s.dc_next.row(r);
+                let dcrow = s.dc.row_mut(r);
+                for j in 0..h_dim {
+                    dcrow[j] =
+                        dhrow[j] * arow[3 * h_dim + j] * dtanh_from_output(tcrow[j]) + dcnrow[j];
                 }
-                da.set_cols(0, &da_i);
-                // da_f = dc ∘ c_prev ∘ f(1-f)
-                let mut da_f = dc.hadamard(&s.c_prev);
-                for (v, f) in da_f.as_mut_slice().iter_mut().zip(s.f.as_slice()) {
-                    *v *= dsigmoid_from_output(*f);
-                }
-                da.set_cols(h_dim, &da_f);
-                // da_g = dc ∘ i ∘ (1-g^2)
-                let mut da_g = dc.hadamard(&s.i);
-                for (v, g) in da_g.as_mut_slice().iter_mut().zip(s.g.as_slice()) {
-                    *v *= dtanh_from_output(*g);
-                }
-                da.set_cols(2 * h_dim, &da_g);
-                // da_o = dh ∘ tanh(c) ∘ o(1-o)
-                let mut da_o = dh.hadamard(&s.tanh_c);
-                for (v, o) in da_o.as_mut_slice().iter_mut().zip(s.o.as_slice()) {
-                    *v *= dsigmoid_from_output(*o);
-                }
-                da.set_cols(3 * h_dim, &da_o);
             }
 
-            self.gwx
-                .as_mut()
-                .unwrap()
-                .add_in_place(&s.x.transpose().matmul(&da));
-            self.gwh
-                .as_mut()
-                .unwrap()
-                .add_in_place(&s.h_prev.transpose().matmul(&da));
-            self.gb.as_mut().unwrap().add_in_place(&da.col_sums());
+            // Fused gate pre-activation gradients, written block-wise into
+            // one B × 4H buffer (no per-gate temporaries).
+            s.da.resize_uninit(batch, 4 * h_dim);
+            for r in 0..batch {
+                let arow = gates.row(r);
+                let tcrow = tanh_c.row(r);
+                let dhrow = s.dh.row(r);
+                let dcrow = s.dc.row(r);
+                let darow = s.da.row_mut(r);
+                if t > 0 {
+                    let cprev = cache.c[t - 1].row(r);
+                    for j in 0..h_dim {
+                        darow[h_dim + j] =
+                            dcrow[j] * cprev[j] * dsigmoid_from_output(arow[h_dim + j]);
+                    }
+                } else {
+                    darow[h_dim..2 * h_dim].fill(0.0); // c_prev = 0
+                }
+                for j in 0..h_dim {
+                    let (i, g, o) = (arow[j], arow[2 * h_dim + j], arow[3 * h_dim + j]);
+                    darow[j] = dcrow[j] * g * dsigmoid_from_output(i);
+                    darow[2 * h_dim + j] = dcrow[j] * i * dtanh_from_output(g);
+                    darow[3 * h_dim + j] = dhrow[j] * tcrow[j] * dsigmoid_from_output(o);
+                }
+            }
 
-            dxs[t] = da.matmul(&self.wx.transpose());
-            dh_next = da.matmul(&self.wh.transpose());
-            dc_next = dc.hadamard(&s.f);
+            // Transpose-free parameter gradients: gW += inputᵀ · da.
+            xs[t].matmul_at_b_into(&s.da, self.gwx.as_mut().unwrap());
+            if t > 0 {
+                hs[t - 1].matmul_at_b_into(&s.da, self.gwh.as_mut().unwrap());
+            }
+            s.da.col_sums_add_into(self.gb.as_mut().unwrap());
+
+            // Transpose-free input/state gradients: d· = da · Wᵀ.
+            s.da.matmul_a_bt_into(&self.wx, &mut dxs[t]);
+            s.da.matmul_a_bt_into(&self.wh, &mut s.dh_next);
+
+            // dc_next = dc ∘ f
+            s.dc_next.resize_uninit(batch, h_dim);
+            for r in 0..batch {
+                let arow = gates.row(r);
+                let dcrow = s.dc.row(r);
+                let out = s.dc_next.row_mut(r);
+                for j in 0..h_dim {
+                    out[j] = dcrow[j] * arow[h_dim + j];
+                }
+            }
         }
-        dxs
     }
 }
 
@@ -270,7 +375,7 @@ mod tests {
         let (hs, cache) = layer.forward(&xs);
         assert_eq!(hs.len(), 4);
         assert_eq!(hs[0].shape(), (2, 5));
-        assert_eq!(cache.steps.len(), 4);
+        assert_eq!(cache.len(), 4);
         // h = o * tanh(c) is bounded by (-1, 1).
         for h in &hs {
             assert!(h.as_slice().iter().all(|v| v.abs() < 1.0));
@@ -304,6 +409,24 @@ mod tests {
         assert!(diff > 1e-4, "hidden state ignored history (diff {diff})");
     }
 
+    #[test]
+    fn reused_buffers_match_fresh_forward() {
+        // Same layer, shrinking then growing batch/sequence: reused cache
+        // buffers must give bit-identical results to a fresh forward.
+        let layer = make(3, 4, 7);
+        let mut hs = Vec::new();
+        let mut cache = LstmCache::default();
+        for (t, b) in [(4usize, 3usize), (2, 1), (5, 4)] {
+            let xs = seq(t, b, 3, 1.0);
+            layer.forward_into(&xs, &mut hs, &mut cache);
+            let (fresh, _) = layer.forward(&xs);
+            assert_eq!(hs.len(), fresh.len());
+            for (a, b) in hs.iter().zip(&fresh) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
     /// Full finite-difference gradient check of every parameter.
     #[test]
     fn bptt_gradients_match_finite_differences() {
@@ -320,7 +443,7 @@ mod tests {
             .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
             .collect();
         layer.zero_grads();
-        layer.backward(&cache, &dhs);
+        layer.backward(&xs, &hs, &cache, &dhs);
 
         let eps = 1e-5;
         // Snapshot analytic grads, then perturb each param.
@@ -366,7 +489,7 @@ mod tests {
             .map(|h| Matrix::full(h.rows(), h.cols(), 1.0))
             .collect();
         layer.zero_grads();
-        let dxs = layer.backward(&cache, &dhs);
+        let dxs = layer.backward(&xs, &hs, &cache, &dhs);
 
         let eps = 1e-5;
         for t in 0..3 {
@@ -394,7 +517,7 @@ mod tests {
         let (hs, cache) = layer.forward(&xs);
         let dhs: Vec<Matrix> = hs.iter().map(|_| Matrix::full(1, 2, 1.0)).collect();
         layer.zero_grads();
-        layer.backward(&cache, &dhs);
+        layer.backward(&xs, &hs, &cache, &dhs);
         let norm_once = {
             let mut n = 0.0;
             layer.for_each_param(&mut |_p, g| n += g.frobenius_norm());

@@ -13,6 +13,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::matrix::Matrix;
 
+/// Resizes a per-step matrix buffer to exactly `n` entries, keeping the
+/// allocations of the entries that survive (each step then reshapes its
+/// matrix in place via `resize_uninit`).
+pub(crate) fn ensure_seq(v: &mut Vec<Matrix>, n: usize) {
+    v.resize_with(n, Matrix::default);
+}
+
 /// Which recurrent cell a stacked layer uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CellKind {
@@ -33,7 +40,7 @@ pub enum Recurrent {
 }
 
 /// Forward cache of a [`Recurrent`] layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum RecurrentCache {
     /// LSTM cache.
     Lstm(LstmCache),
@@ -74,7 +81,8 @@ impl Recurrent {
         }
     }
 
-    /// Sequence forward pass.
+    /// Sequence forward pass.  Allocating wrapper over
+    /// [`forward_into`](Self::forward_into).
     pub fn forward(&self, xs: &[Matrix]) -> (Vec<Matrix>, RecurrentCache) {
         match self {
             Recurrent::Lstm(l) => {
@@ -88,11 +96,57 @@ impl Recurrent {
         }
     }
 
-    /// BPTT backward pass.
-    pub fn backward(&mut self, cache: &RecurrentCache, dhs: &[Matrix]) -> Vec<Matrix> {
+    /// Sequence forward pass into caller-owned, reusable buffers.  `cache`
+    /// is re-seeded to the matching variant if its kind differs.
+    pub fn forward_into(&self, xs: &[Matrix], hs: &mut Vec<Matrix>, cache: &mut RecurrentCache) {
+        match self {
+            Recurrent::Lstm(l) => {
+                if !matches!(cache, RecurrentCache::Lstm(_)) {
+                    *cache = RecurrentCache::Lstm(LstmCache::default());
+                }
+                let RecurrentCache::Lstm(c) = cache else {
+                    unreachable!()
+                };
+                l.forward_into(xs, hs, c);
+            }
+            Recurrent::Gru(l) => {
+                if !matches!(cache, RecurrentCache::Gru(_)) {
+                    *cache = RecurrentCache::Gru(GruCache::default());
+                }
+                let RecurrentCache::Gru(c) = cache else {
+                    unreachable!()
+                };
+                l.forward_into(xs, hs, c);
+            }
+        }
+    }
+
+    /// BPTT backward pass.  `xs`/`hs` are the forward inputs and outputs
+    /// (caches no longer duplicate them).
+    pub fn backward(
+        &mut self,
+        xs: &[Matrix],
+        hs: &[Matrix],
+        cache: &RecurrentCache,
+        dhs: &[Matrix],
+    ) -> Vec<Matrix> {
+        let mut dxs = Vec::new();
+        self.backward_into(xs, hs, cache, dhs, &mut dxs);
+        dxs
+    }
+
+    /// BPTT backward pass into a caller-owned `dxs` buffer.
+    pub fn backward_into(
+        &mut self,
+        xs: &[Matrix],
+        hs: &[Matrix],
+        cache: &RecurrentCache,
+        dhs: &[Matrix],
+        dxs: &mut Vec<Matrix>,
+    ) {
         match (self, cache) {
-            (Recurrent::Lstm(l), RecurrentCache::Lstm(c)) => l.backward(c, dhs),
-            (Recurrent::Gru(l), RecurrentCache::Gru(c)) => l.backward(c, dhs),
+            (Recurrent::Lstm(l), RecurrentCache::Lstm(c)) => l.backward_into(xs, hs, c, dhs, dxs),
+            (Recurrent::Gru(l), RecurrentCache::Gru(c)) => l.backward_into(xs, hs, c, dhs, dxs),
             _ => panic!("cache kind does not match layer kind"),
         }
     }
@@ -132,9 +186,23 @@ mod tests {
             assert_eq!(hs.len(), 2);
             layer.zero_grads();
             let dhs = vec![Matrix::zeros(2, 4), Matrix::zeros(2, 4)];
-            let dxs = layer.backward(&cache, &dhs);
+            let dxs = layer.backward(&xs, &hs, &cache, &dhs);
             assert_eq!(dxs[0].shape(), (2, 3));
         }
+    }
+
+    #[test]
+    fn forward_into_reseeds_mismatched_cache_kind() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Recurrent::new(CellKind::Lstm, 2, 3, &mut rng);
+        let gru = Recurrent::new(CellKind::Gru, 2, 3, &mut rng);
+        let xs = vec![Matrix::zeros(1, 2)];
+        let mut hs = Vec::new();
+        let mut cache = RecurrentCache::Gru(GruCache::default());
+        lstm.forward_into(&xs, &mut hs, &mut cache);
+        assert!(matches!(cache, RecurrentCache::Lstm(_)));
+        gru.forward_into(&xs, &mut hs, &mut cache);
+        assert!(matches!(cache, RecurrentCache::Gru(_)));
     }
 
     #[test]
@@ -144,8 +212,8 @@ mod tests {
         let mut lstm = Recurrent::new(CellKind::Lstm, 2, 2, &mut rng);
         let gru = Recurrent::new(CellKind::Gru, 2, 2, &mut rng);
         let xs = vec![Matrix::zeros(1, 2)];
-        let (_, gru_cache) = gru.forward(&xs);
+        let (hs, gru_cache) = gru.forward(&xs);
         let dhs = vec![Matrix::zeros(1, 2)];
-        lstm.backward(&gru_cache, &dhs);
+        lstm.backward(&xs, &hs, &gru_cache, &dhs);
     }
 }

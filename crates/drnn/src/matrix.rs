@@ -1,6 +1,12 @@
 //! Dense row-major `f64` matrices with the operations a recurrent network
-//! needs: GEMM (rayon-parallel for large shapes), transpose, broadcast row
-//! addition, element-wise maps and reductions.
+//! needs: cache-blocked GEMM (rayon-parallel for large shapes) with fused
+//! accumulate-into variants, transpose-free `AᵀB` / `ABᵀ` products for BPTT,
+//! blocked transpose, broadcast row addition, element-wise maps and
+//! reductions.
+//!
+//! The GEMM family is written around caller-owned output buffers
+//! (`matmul_into` / `matmul_add_into`) so hot loops — LSTM/GRU steps, BPTT —
+//! run allocation-free; the allocating `matmul` is a thin wrapper.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -13,9 +19,138 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
-/// GEMM switches to rayon when the output has at least this many elements
-/// (per the HPC guides: parallelism must pay for its overhead).
-const PAR_THRESHOLD: usize = 64 * 64;
+impl Default for Matrix {
+    /// Empty 0×0 matrix (placeholder for lazily-sized scratch buffers).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+/// GEMM goes parallel when the multiply-add count `m·n·k` reaches this
+/// threshold (per the HPC guides: parallelism must pay for its overhead;
+/// with the persistent pool a fork-join costs a few µs, so ~256k FLOPs is
+/// the break-even on this container).
+const PAR_FLOP_THRESHOLD: usize = 128 * 128 * 16;
+
+/// K-panel size for the blocked GEMM kernel: a `KC × n` panel of B
+/// (`KC * 8 * n` bytes) stays L1/L2-resident while `KC` rank-1 updates are
+/// applied to each output row.
+const KC: usize = 64;
+
+/// Column-panel size: output and B rows are processed `NC` columns at a
+/// time so one output row segment (8·NC bytes) stays register/L1 friendly
+/// even for wide matrices.
+const NC: usize = 512;
+
+/// Tile edge for the blocked transpose (32×32 f64 tiles = two 4 KiB pages,
+/// touching 32 cache lines per side — fits L1 comfortably).
+const TRANSPOSE_TILE: usize = 32;
+
+/// Serial blocked GEMM band: `out[r] += A[r] · B` for `r in 0..band_rows`,
+/// where `A` is `(band_rows×k)`, `B` is `(k×n)` and `out` holds `band_rows`
+/// rows of width `n`.
+///
+/// Register-blocked 2×4 micro-kernel inside k/j cache blocks: two output
+/// rows are updated together so each B-row load feeds two FMA chains, and
+/// k is unrolled ×4 to amortize the output-row load/store over four rank-1
+/// updates.  All inner loops are unit-stride zips (bounds checks elide,
+/// bodies auto-vectorize).
+fn gemm_band(a: &[f64], k: usize, b: &[f64], n: usize, out: &mut [f64], band_rows: usize) {
+    for jb in (0..n).step_by(NC) {
+        let jw = NC.min(n - jb);
+        for kb in (0..k).step_by(KC) {
+            let kend = KC.min(k - kb) + kb;
+            let mut r = 0;
+            // Paired-row micro-kernel.
+            while r + 2 <= band_rows {
+                let a0_row = &a[r * k..(r + 1) * k];
+                let a1_row = &a[(r + 1) * k..(r + 2) * k];
+                let (head, tail) = out[r * n..].split_at_mut(n);
+                let out0 = &mut head[jb..jb + jw];
+                let out1 = &mut tail[jb..jb + jw];
+                let mut ki = kb;
+                while ki + 4 <= kend {
+                    let (p0, p1, p2, p3) =
+                        (a0_row[ki], a0_row[ki + 1], a0_row[ki + 2], a0_row[ki + 3]);
+                    let (q0, q1, q2, q3) =
+                        (a1_row[ki], a1_row[ki + 1], a1_row[ki + 2], a1_row[ki + 3]);
+                    let b0 = &b[ki * n + jb..ki * n + jb + jw];
+                    let b1 = &b[(ki + 1) * n + jb..(ki + 1) * n + jb + jw];
+                    let b2 = &b[(ki + 2) * n + jb..(ki + 2) * n + jb + jw];
+                    let b3 = &b[(ki + 3) * n + jb..(ki + 3) * n + jb + jw];
+                    for (((((o0, o1), &v0), &v1), &v2), &v3) in out0
+                        .iter_mut()
+                        .zip(out1.iter_mut())
+                        .zip(b0)
+                        .zip(b1)
+                        .zip(b2)
+                        .zip(b3)
+                    {
+                        *o0 += p0 * v0 + p1 * v1 + p2 * v2 + p3 * v3;
+                        *o1 += q0 * v0 + q1 * v1 + q2 * v2 + q3 * v3;
+                    }
+                    ki += 4;
+                }
+                while ki < kend {
+                    let (p, q) = (a0_row[ki], a1_row[ki]);
+                    let b_row = &b[ki * n + jb..ki * n + jb + jw];
+                    for ((o0, o1), &bv) in out0.iter_mut().zip(out1.iter_mut()).zip(b_row) {
+                        *o0 += p * bv;
+                        *o1 += q * bv;
+                    }
+                    ki += 1;
+                }
+                r += 2;
+            }
+            // Remainder row.
+            if r < band_rows {
+                let a_row = &a[r * k..(r + 1) * k];
+                let out_row = &mut out[r * n + jb..r * n + jb + jw];
+                let mut ki = kb;
+                while ki + 4 <= kend {
+                    let (p0, p1, p2, p3) = (a_row[ki], a_row[ki + 1], a_row[ki + 2], a_row[ki + 3]);
+                    let b0 = &b[ki * n + jb..ki * n + jb + jw];
+                    let b1 = &b[(ki + 1) * n + jb..(ki + 1) * n + jb + jw];
+                    let b2 = &b[(ki + 2) * n + jb..(ki + 2) * n + jb + jw];
+                    let b3 = &b[(ki + 3) * n + jb..(ki + 3) * n + jb + jw];
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o += p0 * v0 + p1 * v1 + p2 * v2 + p3 * v3;
+                    }
+                    ki += 4;
+                }
+                while ki < kend {
+                    let av = a_row[ki];
+                    let b_row = &b[ki * n + jb..ki * n + jb + jw];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                    ki += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Dot product with four accumulators (keeps the FMA pipeline full and
+/// gives the vectorizer independent chains).
+#[inline]
+fn dot(x: &[f64], y: &[f64]) -> f64 {
+    let n4 = x.len() & !3;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (cx, cy) in x[..n4].chunks_exact(4).zip(y[..n4].chunks_exact(4)) {
+        s0 += cx[0] * cy[0];
+        s1 += cx[1] * cy[1];
+        s2 += cx[2] * cy[2];
+        s3 += cx[3] * cy[3];
+    }
+    let mut tail = 0.0;
+    for (a, b) in x[n4..].iter().zip(&y[n4..]) {
+        tail += a * b;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
 
 impl Matrix {
     /// Zero matrix of shape `rows × cols`.
@@ -105,9 +240,38 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs`.  Parallelized over rows via rayon when
-    /// the output is large enough to amortize the fork-join cost.
-    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+    /// Reshapes to `rows × cols`, reusing the allocation.  Contents are
+    /// unspecified afterwards (every element will be overwritten by the
+    /// caller); use [`resize_zeroed`](Self::resize_zeroed) when zeroes are
+    /// required.
+    pub fn resize_uninit(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows × cols` (reusing the allocation) and zero-fills.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.resize_uninit(rows, cols);
+        self.data.fill(0.0);
+    }
+
+    /// Becomes an element-wise copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize_uninit(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// `out = self · rhs` into a caller-owned buffer (resized as needed).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.resize_zeroed(self.rows, rhs.cols);
+        self.matmul_add_into(rhs, out);
+    }
+
+    /// `out += self · rhs` — the fused GEMM kernel.  Cache-blocked over k
+    /// and the output columns; parallel over output row bands when the
+    /// FLOP count justifies waking the pool.
+    pub fn matmul_add_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -115,42 +279,192 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        let k = self.cols;
-
-        let kernel = |(r, out_row): (usize, &mut [f64])| {
-            let a_row = &self.data[r * k..(r + 1) * k];
-            // i-k-j loop order: unit-stride inner loop over both B's row and
-            // the output row, which the auto-vectorizer handles well.
-            for (ki, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[ki * n..(ki + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
-
-        if self.rows * n >= PAR_THRESHOLD {
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch"
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        if m * k * n >= PAR_FLOP_THRESHOLD {
+            let threads = rayon::current_num_threads();
+            // ~2 bands per thread: enough slack for the chunk cursor to
+            // absorb scheduling jitter without fragmenting the cache blocks.
+            let band = m.div_ceil(2 * threads).max(1);
+            let a = &self.data;
+            let b = &rhs.data;
             out.data
-                .par_chunks_mut(n)
+                .par_chunks_mut(band * n)
                 .enumerate()
-                .for_each(|(r, out_row)| kernel((r, out_row)));
+                .for_each(|(bi, out_band)| {
+                    let row0 = bi * band;
+                    let rows = out_band.len() / n;
+                    gemm_band(&a[row0 * k..(row0 + rows) * k], k, b, n, out_band, rows);
+                });
         } else {
-            out.data.chunks_mut(n).enumerate().for_each(kernel);
+            gemm_band(&self.data, k, &rhs.data, n, &mut out.data, m);
         }
+    }
+
+    /// Matrix product `self · rhs` (allocating wrapper over
+    /// [`matmul_into`](Self::matmul_into)).
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_add_into(rhs, &mut out);
         out
     }
 
-    /// Transpose.
+    /// `out += selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// `self` is `m × n`, `rhs` is `m × p`, `out` is `n × p`.  This is the
+    /// BPTT weight-gradient product (`gW += xᵀ·da`): accumulation semantics
+    /// fold the gradient add into the GEMM.  Per output row `r`, the inner
+    /// loop runs unit-stride over rhs rows with the batch dimension
+    /// unrolled ×4 to amortize output-row traffic.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows,
+            rhs.rows,
+            "matmul_at_b shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "matmul_at_b output shape mismatch"
+        );
+        let (m, n, p) = (self.rows, self.cols, rhs.cols);
+        let a = &self.data;
+        let b = &rhs.data;
+        for r in 0..n {
+            let out_row = &mut out.data[r * p..(r + 1) * p];
+            let mut i = 0;
+            while i + 4 <= m {
+                let (a0, a1, a2, a3) = (
+                    a[i * n + r],
+                    a[(i + 1) * n + r],
+                    a[(i + 2) * n + r],
+                    a[(i + 3) * n + r],
+                );
+                let b0 = &b[i * p..(i + 1) * p];
+                let b1 = &b[(i + 1) * p..(i + 2) * p];
+                let b2 = &b[(i + 2) * p..(i + 3) * p];
+                let b3 = &b[(i + 3) * p..(i + 4) * p];
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                }
+                i += 4;
+            }
+            while i < m {
+                let av = a[i * n + r];
+                let b_row = &b[i * p..(i + 1) * p];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// `selfᵀ · rhs` (allocating wrapper over
+    /// [`matmul_at_b_into`](Self::matmul_at_b_into)).
+    pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_at_b_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self · rhsᵀ` without materializing the transpose.
+    ///
+    /// `self` is `m × k`, `rhs` is `n × k`, `out` is `m × n`.  This is the
+    /// BPTT input-gradient product (`dx = da·Wᵀ`): every output element is
+    /// a dot product of two *contiguous* rows, so the kernel is pure
+    /// unit-stride streams.
+    pub fn matmul_a_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.a_bt(rhs, out, false);
+    }
+
+    /// `out += self · rhsᵀ` (accumulating form of
+    /// [`matmul_a_bt_into`](Self::matmul_a_bt_into); `out` must already be
+    /// `m × n`).
+    pub fn matmul_a_bt_add_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_a_bt output shape mismatch"
+        );
+        self.a_bt(rhs, out, true);
+    }
+
+    fn a_bt(&self, rhs: &Matrix, out: &mut Matrix, accumulate: bool) {
+        assert_eq!(
+            self.cols,
+            rhs.cols,
+            "matmul_a_bt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        if !accumulate {
+            out.resize_uninit(m, n);
+        }
+        let a = &self.data;
+        let b = &rhs.data;
+        let kernel = |row0: usize, out_band: &mut [f64]| {
+            for (r, out_row) in out_band.chunks_exact_mut(n).enumerate() {
+                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let d = dot(a_row, &b[j * k..(j + 1) * k]);
+                    if accumulate {
+                        *o += d;
+                    } else {
+                        *o = d;
+                    }
+                }
+            }
+        };
+        if m * k * n >= PAR_FLOP_THRESHOLD {
+            let threads = rayon::current_num_threads();
+            let band = m.div_ceil(2 * threads).max(1);
+            out.data
+                .par_chunks_mut(band * n)
+                .enumerate()
+                .for_each(|(bi, out_band)| kernel(bi * band, out_band));
+        } else {
+            kernel(0, &mut out.data);
+        }
+    }
+
+    /// `self · rhsᵀ` (allocating wrapper over
+    /// [`matmul_a_bt_into`](Self::matmul_a_bt_into)).
+    pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_a_bt_into(rhs, &mut out);
+        out
+    }
+
+    /// Transpose, tiled so both the read and write sides touch whole cache
+    /// lines within a tile (a naive row-major transpose strides the writes
+    /// by `rows`, missing on every element for large shapes).
+    ///
+    /// The BPTT hot paths no longer call this — they use
+    /// [`matmul_at_b_into`](Self::matmul_at_b_into) /
+    /// [`matmul_a_bt_into`](Self::matmul_a_bt_into) — so it only runs on
+    /// cold paths (tests, setup).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let t = TRANSPOSE_TILE;
+        for rb in (0..self.rows).step_by(t) {
+            let rend = (rb + t).min(self.rows);
+            for cb in (0..self.cols).step_by(t) {
+                let cend = (cb + t).min(self.cols);
+                for r in rb..rend {
+                    for c in cb..cend {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -229,12 +543,20 @@ impl Matrix {
     /// Column sums as a 1×C matrix (bias gradients).
     pub fn col_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.col_sums_add_into(&mut out);
+        out
+    }
+
+    /// Accumulates column sums into a 1×C matrix (`out += Σ_r self[r]`),
+    /// fusing the bias-gradient add.
+    pub fn col_sums_add_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (1, self.cols), "col_sums output shape");
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c] += self.data[r * self.cols + c];
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, v) in out.data.iter_mut().zip(row) {
+                *o += v;
             }
         }
-        out
     }
 
     /// Frobenius norm.
@@ -306,6 +628,23 @@ mod tests {
         c
     }
 
+    fn pseudo(rows: usize, cols: usize, seed: usize) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| (((i + seed) * 31 % 17) as f64 - 8.0) / 8.0)
+                .collect(),
+        )
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
     #[test]
     fn matmul_small_known_result() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
@@ -316,25 +655,60 @@ mod tests {
 
     #[test]
     fn matmul_matches_naive_large_enough_to_go_parallel() {
-        // 80x96 * 96x80 output = 6400 >= threshold → exercises rayon path.
-        let a = Matrix::from_vec(
-            80,
-            96,
-            (0..80 * 96)
-                .map(|i| ((i * 31 % 17) as f64 - 8.0) / 8.0)
-                .collect(),
-        );
-        let b = Matrix::from_vec(
-            96,
-            80,
-            (0..96 * 80)
-                .map(|i| ((i * 13 % 23) as f64 - 11.0) / 11.0)
-                .collect(),
-        );
-        let fast = a.matmul(&b);
-        let slow = naive_matmul(&a, &b);
-        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            assert!((x - y).abs() < 1e-10);
+        // 160x160: m·k·n = 4.1M >= threshold → exercises the pool path.
+        let a = pseudo(160, 160, 1);
+        let b = pseudo(160, 160, 2);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-10);
+    }
+
+    #[test]
+    fn matmul_matches_naive_awkward_shapes() {
+        // Shapes chosen to leave K and N remainders against KC/NC and the
+        // ×4 unroll.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (32, 16, 256), (33, 67, 130)] {
+            let a = pseudo(m, k, m + k);
+            let b = pseudo(k, n, n);
+            assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmul_add_into_accumulates() {
+        let a = pseudo(4, 6, 3);
+        let b = pseudo(6, 5, 4);
+        let mut out = Matrix::full(4, 5, 1.0);
+        a.matmul_add_into(&b, &mut out);
+        let mut expect = naive_matmul(&a, &b);
+        expect.add_row_in_place(&[0.0; 5]); // no-op, keep shape
+        for v in expect.as_mut_slice() {
+            *v += 1.0;
+        }
+        assert_close(&out, &expect, 1e-12);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        for (m, n, p) in [(2, 3, 4), (32, 64, 256), (7, 5, 9)] {
+            let a = pseudo(m, n, 5);
+            let b = pseudo(m, p, 6);
+            let expect = naive_matmul(&a.transpose(), &b);
+            assert_close(&a.matmul_at_b(&b), &expect, 1e-10);
+            // Accumulation semantics.
+            let mut out = Matrix::full(n, p, 0.5);
+            a.matmul_at_b_into(&b, &mut out);
+            for (x, y) in out.as_slice().iter().zip(expect.as_slice()) {
+                assert!((x - (y + 0.5)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        for (m, k, n) in [(2, 3, 4), (32, 256, 64), (7, 5, 9), (64, 130, 64)] {
+            let a = pseudo(m, k, 7);
+            let b = pseudo(n, k, 8);
+            let expect = naive_matmul(&a, &b.transpose());
+            assert_close(&a.matmul_a_bt(&b), &expect, 1e-10);
         }
     }
 
@@ -353,6 +727,30 @@ mod tests {
         assert_eq!(t.shape(), (3, 2));
         assert_eq!(t.get(2, 1), 6.0);
         assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn transpose_tiled_matches_naive_on_large_uneven_shapes() {
+        let a = pseudo(67, 41, 9);
+        let t = a.transpose();
+        for r in 0..67 {
+            for c in 0..41 {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn resize_and_copy_reuse_allocations() {
+        let mut m = Matrix::zeros(4, 4);
+        m.resize_zeroed(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.sum(), 0.0);
+        let src = pseudo(3, 5, 1);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        m.resize_uninit(1, 2);
+        assert_eq!(m.shape(), (1, 2));
     }
 
     #[test]
@@ -388,6 +786,9 @@ mod tests {
     fn col_sums_and_slices() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]);
         assert_eq!(a.col_sums().as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+        let mut acc = Matrix::full(1, 4, 1.0);
+        a.col_sums_add_into(&mut acc);
+        assert_eq!(acc.as_slice(), &[7.0, 9.0, 11.0, 13.0]);
         let mid = a.cols_slice(1, 3);
         assert_eq!(mid, Matrix::from_rows(&[vec![2.0, 3.0], vec![6.0, 7.0]]));
         let mut b = Matrix::zeros(2, 4);

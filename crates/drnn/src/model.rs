@@ -1,6 +1,11 @@
 //! The DRNN model: a stack of recurrent layers with a dense regression head,
 //! matching the paper's performance-prediction architecture (stacked LSTM →
 //! linear output).
+//!
+//! Inference and training share one buffer-reusing code path
+//! ([`Drnn::forward_train_into`]); the layer-sequence outputs live in the
+//! [`DrnnCache`] so BPTT never re-clones inputs, and backward's gradient
+//! sequence buffers ping-pong inside the model's own scratch.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,14 +42,28 @@ impl DrnnConfig {
     }
 }
 
-/// Forward cache consumed by [`Drnn::backward`].
-#[derive(Debug)]
+/// Forward cache consumed by [`Drnn::backward`].  Reusable: feeding the
+/// same cache to repeated [`Drnn::forward_train_into`] calls keeps every
+/// per-step buffer allocation alive across batches.  `seqs[l]` holds the
+/// hidden-state sequence produced by recurrent layer `l` (the input to
+/// layer `l + 1`), so backward needs no input/output clones of its own.
+#[derive(Debug, Clone, Default)]
 pub struct DrnnCache {
+    seqs: Vec<Vec<Matrix>>,
     rec: Vec<RecurrentCache>,
     head: DenseCache,
     seq_len: usize,
     batch: usize,
     hidden_last: usize,
+}
+
+/// Reusable backward scratch: the `∂L/∂h` sequence flowing down the stack
+/// and the `∂L/∂x` sequence coming back, swapped between layers.
+#[derive(Debug, Clone, Default)]
+struct DrnnScratch {
+    dh_last: Matrix,
+    dhs: Vec<Matrix>,
+    dxs: Vec<Matrix>,
 }
 
 /// A deep recurrent neural network for sequence-to-one regression.
@@ -53,6 +72,8 @@ pub struct Drnn {
     config: DrnnConfig,
     layers: Vec<Recurrent>,
     head: DenseLayer,
+    #[serde(skip, default)]
+    scratch: DrnnScratch,
 }
 
 impl Drnn {
@@ -75,6 +96,7 @@ impl Drnn {
             config,
             layers,
             head,
+            scratch: DrnnScratch::default(),
         }
     }
 
@@ -95,55 +117,94 @@ impl Drnn {
     /// Inference: runs the sequence (each step `B × input`) through the
     /// stack and returns the head output for the *last* step (`B × output`).
     pub fn predict(&self, xs: &[Matrix]) -> Matrix {
-        assert!(!xs.is_empty());
-        let mut seq: Vec<Matrix> = xs.to_vec();
-        for layer in &self.layers {
-            let (hs, _) = layer.forward(&seq);
-            seq = hs;
-        }
-        let last = seq.last().expect("non-empty sequence");
-        self.head.forward(last).0
+        // Same code path as training so the two agree bit-for-bit; hot
+        // loops that predict repeatedly should hold a cache and use
+        // `predict_into`.
+        let (pred, _) = self.forward_train(xs);
+        pred
+    }
+
+    /// Buffer-reusing inference: like [`predict`](Self::predict) but writes
+    /// into a caller-owned output and reuses `cache` allocations across
+    /// calls.
+    pub fn predict_into(&self, xs: &[Matrix], cache: &mut DrnnCache, pred: &mut Matrix) {
+        self.forward_train_into(xs, cache, pred);
     }
 
     /// Training forward pass: like [`predict`](Self::predict) but returns
     /// the cache needed by [`backward`](Self::backward).
     pub fn forward_train(&self, xs: &[Matrix]) -> (Matrix, DrnnCache) {
-        assert!(!xs.is_empty());
-        let batch = xs[0].rows();
-        let mut seq: Vec<Matrix> = xs.to_vec();
-        let mut rec = Vec::with_capacity(self.layers.len());
-        for layer in &self.layers {
-            let (hs, cache) = layer.forward(&seq);
-            rec.push(cache);
-            seq = hs;
-        }
-        let last = seq.last().expect("non-empty");
-        let (pred, head) = self.head.forward(last);
-        let cache = DrnnCache {
-            rec,
-            head,
-            seq_len: xs.len(),
-            batch,
-            hidden_last: self.layers.last().unwrap().hidden_size(),
-        };
+        let mut cache = DrnnCache::default();
+        let mut pred = Matrix::default();
+        self.forward_train_into(xs, &mut cache, &mut pred);
         (pred, cache)
     }
 
+    /// Training forward pass into caller-owned, reusable buffers.
+    pub fn forward_train_into(&self, xs: &[Matrix], cache: &mut DrnnCache, pred: &mut Matrix) {
+        assert!(!xs.is_empty());
+        let n_layers = self.layers.len();
+        cache.seqs.resize_with(n_layers, Vec::new);
+        while cache.rec.len() < n_layers {
+            // Placeholder kind; `forward_into` reseeds on mismatch.
+            cache.rec.push(RecurrentCache::Lstm(Default::default()));
+        }
+        cache.rec.truncate(n_layers);
+        cache.seq_len = xs.len();
+        cache.batch = xs[0].rows();
+        cache.hidden_last = self.layers.last().unwrap().hidden_size();
+
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (inputs, outputs) = if l == 0 {
+                let (head, _) = cache.seqs.split_at_mut(1);
+                (xs, &mut head[0])
+            } else {
+                let (prev, cur) = cache.seqs.split_at_mut(l);
+                (&prev[l - 1][..], &mut cur[0])
+            };
+            layer.forward_into(inputs, outputs, &mut cache.rec[l]);
+        }
+        let last = cache.seqs[n_layers - 1].last().expect("non-empty sequence");
+        self.head.forward_into(last, pred, &mut cache.head);
+    }
+
     /// Backward pass: accumulates parameter gradients from `∂L/∂pred`.
-    pub fn backward(&mut self, cache: &DrnnCache, dpred: &Matrix) {
+    /// `xs` must be the same inputs given to the forward pass (the cache
+    /// does not duplicate them).
+    pub fn backward(&mut self, xs: &[Matrix], cache: &DrnnCache, dpred: &Matrix) {
+        let Drnn {
+            layers,
+            head,
+            scratch,
+            ..
+        } = self;
+
         // Head: gradient lands on the last hidden state of the top layer.
-        let dh_last = self.head.backward(&cache.head, dpred);
+        let top_seq = cache.seqs.last().expect("forward_train populated cache");
+        let last_h = top_seq.last().expect("non-empty sequence");
+        head.backward_into(last_h, &cache.head, dpred, &mut scratch.dh_last);
 
         // Top layer sees gradient only at the final step.
-        let top_hidden = cache.hidden_last;
-        let mut dhs: Vec<Matrix> = (0..cache.seq_len)
-            .map(|_| Matrix::zeros(cache.batch, top_hidden))
-            .collect();
-        *dhs.last_mut().unwrap() = dh_last;
+        scratch.dhs.resize_with(cache.seq_len, Matrix::default);
+        scratch.dhs.truncate(cache.seq_len);
+        for (t, dh) in scratch.dhs.iter_mut().enumerate() {
+            if t + 1 == cache.seq_len {
+                dh.copy_from(&scratch.dh_last);
+            } else {
+                dh.resize_zeroed(cache.batch, cache.hidden_last);
+            }
+        }
 
-        for (layer, rec_cache) in self.layers.iter_mut().zip(&cache.rec).rev() {
-            let dxs = layer.backward(rec_cache, &dhs);
-            dhs = dxs;
+        for l in (0..layers.len()).rev() {
+            let inputs = if l == 0 { xs } else { &cache.seqs[l - 1][..] };
+            layers[l].backward_into(
+                inputs,
+                &cache.seqs[l],
+                &cache.rec[l],
+                &scratch.dhs,
+                &mut scratch.dxs,
+            );
+            std::mem::swap(&mut scratch.dhs, &mut scratch.dxs);
         }
     }
 
@@ -235,6 +296,20 @@ mod tests {
     }
 
     #[test]
+    fn cache_reuse_across_batch_shapes_matches_fresh() {
+        for cell in [CellKind::Lstm, CellKind::Gru] {
+            let model = tiny(cell);
+            let mut cache = DrnnCache::default();
+            let mut pred = Matrix::default();
+            for (t, b) in [(5usize, 2usize), (3, 4), (6, 1)] {
+                let xs = seq(t, b, 3);
+                model.predict_into(&xs, &mut cache, &mut pred);
+                assert_eq!(pred, model.predict(&xs), "{cell:?} seq {t} batch {b}");
+            }
+        }
+    }
+
+    #[test]
     fn param_count_consistent() {
         let model = tiny(CellKind::Lstm);
         // LSTM1: (3+5+1)*20 = 180; LSTM2: (5+4+1)*16 = 160; head: (4+1)*2 = 10
@@ -255,7 +330,7 @@ mod tests {
             let (pred, cache) = model.forward_train(&xs);
             let dpred = crate::loss::Loss::Mse.gradient(&pred, &target);
             model.zero_grads();
-            model.backward(&cache, &dpred);
+            model.backward(&xs, &cache, &dpred);
 
             let grads: Vec<Matrix> = {
                 let mut out = Vec::new();

@@ -3,11 +3,13 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::data::{batch_to_matrices, Sample};
+use crate::data::{batch_to_matrices_into, Sample};
 use crate::loss::Loss;
-use crate::model::Drnn;
+use crate::matrix::Matrix;
+use crate::model::{Drnn, DrnnCache};
 use crate::optim::{Optimizer, OptimizerKind};
 use crate::schedule::LrSchedule;
 
@@ -95,20 +97,39 @@ impl TrainReport {
 }
 
 /// Evaluates mean loss of `model` on `samples` without training.
+///
+/// Batches are spread across the worker pool in contiguous bands (one band
+/// per thread); each band reuses one set of batch/forward buffers for all
+/// of its chunks, so evaluation allocates O(threads) scratch rather than
+/// O(batches).
 pub fn evaluate(model: &Drnn, samples: &[Sample], loss: Loss, batch_size: usize) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let mut total = 0.0;
-    let mut count = 0usize;
-    for chunk in samples.chunks(batch_size.max(1)) {
-        let refs: Vec<&Sample> = chunk.iter().collect();
-        let (xs, y) = batch_to_matrices(&refs);
-        let pred = model.predict(&xs);
-        total += loss.value(&pred, &y) * chunk.len() as f64;
-        count += chunk.len();
-    }
-    total / count as f64
+    let bs = batch_size.max(1);
+    let n_chunks = samples.len().div_ceil(bs);
+    let bands = rayon::current_num_threads().clamp(1, n_chunks);
+    let band = n_chunks.div_ceil(bands);
+    let mut partial = vec![0.0f64; bands];
+    partial
+        .par_chunks_mut(1)
+        .enumerate()
+        .for_each(|(ti, slot)| {
+            let mut refs: Vec<&Sample> = Vec::new();
+            let mut xs: Vec<Matrix> = Vec::new();
+            let mut y = Matrix::default();
+            let mut cache = DrnnCache::default();
+            let mut pred = Matrix::default();
+            for ci in ti * band..((ti + 1) * band).min(n_chunks) {
+                let chunk = &samples[ci * bs..(ci * bs + bs).min(samples.len())];
+                refs.clear();
+                refs.extend(chunk.iter());
+                batch_to_matrices_into(&refs, &mut xs, &mut y);
+                model.predict_into(&xs, &mut cache, &mut pred);
+                slot[0] += loss.value(&pred, &y) * chunk.len() as f64;
+            }
+        });
+    partial.iter().sum::<f64>() / samples.len() as f64
 }
 
 /// Trains `model` on `samples` and returns the loss history.
@@ -139,6 +160,12 @@ pub fn train(model: &mut Drnn, samples: &[Sample], cfg: &TrainConfig) -> TrainRe
     let mut since_best = 0usize;
 
     let base_lr = optimizer.lr();
+    // Batch/forward/backward buffers reused across every batch and epoch.
+    let mut refs: Vec<&Sample> = Vec::with_capacity(cfg.batch_size);
+    let mut xs: Vec<Matrix> = Vec::new();
+    let mut y = Matrix::default();
+    let mut cache = DrnnCache::default();
+    let mut pred = Matrix::default();
     for epoch in 0..cfg.epochs {
         optimizer.set_lr(cfg.lr_schedule.lr_at(epoch, base_lr));
         if cfg.shuffle {
@@ -147,13 +174,14 @@ pub fn train(model: &mut Drnn, samples: &[Sample], cfg: &TrainConfig) -> TrainRe
         let mut epoch_loss = 0.0;
         let mut seen = 0usize;
         for batch_idx in indices.chunks(cfg.batch_size) {
-            let refs: Vec<&Sample> = batch_idx.iter().map(|&i| &train_set[i]).collect();
-            let (xs, y) = batch_to_matrices(&refs);
-            let (pred, cache) = model.forward_train(&xs);
+            refs.clear();
+            refs.extend(batch_idx.iter().map(|&i| &train_set[i]));
+            batch_to_matrices_into(&refs, &mut xs, &mut y);
+            model.forward_train_into(&xs, &mut cache, &mut pred);
             let batch_loss = cfg.loss.value(&pred, &y);
             let dpred = cfg.loss.gradient(&pred, &y);
             model.zero_grads();
-            model.backward(&cache, &dpred);
+            model.backward(&xs, &cache, &dpred);
             optimizer.step(&mut |f| model.for_each_param(f));
             epoch_loss += batch_loss * refs.len() as f64;
             seen += refs.len();

@@ -111,7 +111,7 @@ fn lstm_bptt_matches_finite_differences() {
         .map(|h| loss_weights(h.rows(), h.cols()))
         .collect();
     layer.zero_grads();
-    layer.backward(&cache, &dhs);
+    layer.backward(&xs, &hs, &cache, &dhs);
 
     let xs2 = xs.clone();
     check_params(
@@ -134,7 +134,7 @@ fn gru_bptt_matches_finite_differences() {
         .map(|h| loss_weights(h.rows(), h.cols()))
         .collect();
     layer.zero_grads();
-    layer.backward(&cache, &dhs);
+    layer.backward(&xs, &hs, &cache, &dhs);
 
     let xs2 = xs.clone();
     check_params(
