@@ -53,6 +53,9 @@ pub struct MicroResults {
     /// `(batch_size, acked tuples/s)` of the threaded-runtime throughput
     /// sweep.
     pub rt_acked_tuples_per_s: Vec<(usize, f64)>,
+    /// `(workers, batch_size, acked tuples/s)` of the threaded-runtime
+    /// worker-scaling sweep (written to `BENCH_rt.json`).
+    pub rt_scaling: Vec<(usize, usize, f64)>,
 }
 
 impl MicroResults {
@@ -61,6 +64,7 @@ impl MicroResults {
             mode,
             ns_per_iter: Vec::new(),
             rt_acked_tuples_per_s: Vec::new(),
+            rt_scaling: Vec::new(),
         }
     }
 
@@ -128,6 +132,33 @@ impl MicroResults {
             "/../../BENCH_kernels.json"
         ));
         std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Serializes the worker-scaling sweep as a stable JSON document keyed
+    /// `"w{workers}_b{batch}"`, the format CI's regression gate consumes.
+    pub fn rt_scaling_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\n  \"schema\": \"bench_rt/v1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"acked_tuples_per_s\": {\n");
+        for (i, (workers, batch, tput)) in self.rt_scaling.iter().enumerate() {
+            let sep = if i + 1 == self.rt_scaling.len() {
+                ""
+            } else {
+                ","
+            };
+            s.push_str(&format!("    \"w{workers}_b{batch}\": {tput:.1}{sep}\n"));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Writes [`rt_scaling_json`](Self::rt_scaling_json) to `BENCH_rt.json`
+    /// at the repository root and returns the path.
+    pub fn write_rt_json_at_repo_root(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rt.json"));
+        std::fs::write(&path, self.rt_scaling_json())?;
         Ok(path)
     }
 }
@@ -424,6 +455,52 @@ fn rt_throughput(batch_size: usize, run_s: f64) -> f64 {
     report.acked as f64 / report.uptime_s
 }
 
+/// Runs a `spout → relay ×w → sink ×w` shuffle pipeline on a `w`-worker
+/// cluster for `run_s` seconds and returns acked tuple trees per second.
+fn rt_scaling_throughput(workers: usize, batch_size: usize, run_s: f64) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let s2 = stop.clone();
+    let mut b = TopologyBuilder::new("rt-scaling-bench");
+    b.set_spout("src", 1, move || FloodSpout {
+        next_id: 0,
+        stop: s2.clone(),
+    })
+    .unwrap();
+    b.set_bolt("relay", workers, || Relay)
+        .unwrap()
+        .shuffle_grouping("src")
+        .unwrap();
+    b.set_bolt("sink", workers, || Blackhole)
+        .unwrap()
+        .shuffle_grouping("relay")
+        .unwrap();
+    let topo = b.build().unwrap();
+    let mut cfg = EngineConfig::default().with_cluster(1, workers, 4);
+    cfg.max_spout_pending = 16 * 1024;
+    let rt_cfg = RtConfig::default().with_batch_size(batch_size);
+    let running = rt::submit_with(topo, cfg, rt_cfg).unwrap();
+    std::thread::sleep(Duration::from_secs_f64(run_s));
+    stop.store(true, Ordering::Relaxed);
+    let (_, report) = running.shutdown();
+    report.acked as f64 / report.uptime_s
+}
+
+/// The data-plane scaling sweep: worker counts {1, 2, 4, 8} × batch sizes
+/// {1, 64}, recorded into [`MicroResults::rt_scaling`] / `BENCH_rt.json`.
+fn bench_rt_scaling(res: &mut MicroResults, run_s: f64) {
+    println!("\nrt_scaling: spout -> relay xW -> sink xW shuffle pipeline, {run_s:.1}s per point");
+    for &workers in &[1usize, 2, 4, 8] {
+        for &batch in &[1usize, 64] {
+            let tput = rt_scaling_throughput(workers, batch, run_s);
+            res.rt_scaling.push((workers, batch, tput));
+            println!(
+                "  workers {workers}  batch {batch:>3}: {:>12} acked tuples/s",
+                fmt_num(tput)
+            );
+        }
+    }
+}
+
 fn bench_rt_batching(res: &mut MicroResults, run_s: f64) {
     println!("\nrt_batching: 3-stage shuffle topology (src -> relay x2 -> sink x2), {run_s:.1}s per point");
     let base = rt_throughput(1, run_s);
@@ -462,16 +539,85 @@ pub fn run(smoke: bool) -> MicroResults {
     bench_forecast_fit(&mut res, target);
     bench_control_epoch(&mut res, target);
     bench_rt_batching(&mut res, if smoke { 0.3 } else { 3.0 });
+    bench_rt_scaling(&mut res, if smoke { 0.5 } else { 2.5 });
     res
 }
 
+/// Reads the `w1_b64` throughput out of a `bench_rt/v1` JSON document.
+fn rt_baseline_w1_b64(json: &str) -> Option<f64> {
+    use serde::JsonValue;
+    let root = serde_json::parse(json).ok()?;
+    let JsonValue::Object(fields) = root else {
+        return None;
+    };
+    let tputs = fields.iter().find(|(k, _)| k == "acked_tuples_per_s")?;
+    let JsonValue::Object(points) = &tputs.1 else {
+        return None;
+    };
+    match points.iter().find(|(k, _)| k == "w1_b64")?.1 {
+        JsonValue::F64(v) => Some(v),
+        JsonValue::I64(v) => Some(v as f64),
+        JsonValue::U64(v) => Some(v as f64),
+        _ => None,
+    }
+}
+
+/// CI regression gate: compares the fresh `w1_b64` (single-worker, batch-64)
+/// throughput against the checked-in baseline and fails on a >20% drop.
+fn check_rt_baseline(res: &MicroResults, baseline_path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = rt_baseline_w1_b64(&json)
+        .ok_or_else(|| format!("no acked_tuples_per_s.w1_b64 in {baseline_path}"))?;
+    let fresh = res
+        .rt_scaling
+        .iter()
+        .find(|(w, b, _)| *w == 1 && *b == 64)
+        .map(|(_, _, t)| *t)
+        .ok_or_else(|| "rt_scaling sweep did not produce a w1_b64 point".to_string())?;
+    println!(
+        "\nrt baseline check: w1_b64 fresh {} vs baseline {} ({:+.1}%)",
+        fmt_num(fresh),
+        fmt_num(baseline),
+        (fresh / baseline - 1.0) * 100.0
+    );
+    if fresh < baseline * 0.8 {
+        return Err(format!(
+            "rt throughput regression: w1_b64 {fresh:.0} tuples/s is more than 20% below \
+             the baseline {baseline:.0} tuples/s"
+        ));
+    }
+    Ok(())
+}
+
 /// Shared entry point for the `microbench` bin and bench targets: runs the
-/// suite and writes `BENCH_kernels.json` at the repository root.
+/// suite and writes `BENCH_kernels.json` + `BENCH_rt.json` at the repository
+/// root.  `--check-rt-baseline <path>` additionally enforces the CI
+/// throughput-regression gate.
 pub fn main_entry() {
-    let smoke = std::env::args().any(|a| a == "--test");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--check-rt-baseline")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .expect("--check-rt-baseline requires a path argument")
+        });
     let res = run(smoke);
     match res.write_json_at_repo_root() {
         Ok(p) => println!("\nwrote {}", p.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_kernels.json: {e}"),
+    }
+    match res.write_rt_json_at_repo_root() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("failed to write BENCH_rt.json: {e}"),
+    }
+    if let Some(path) = baseline {
+        if let Err(msg) = check_rt_baseline(&res, &path) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
     }
 }

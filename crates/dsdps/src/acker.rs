@@ -13,9 +13,12 @@
 //! SplitMix64 scramble of a counter, which is reproducible across runs yet
 //! statistically indistinguishable from random for this purpose.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::component::MessageId;
+use crate::hash::FxHashMap;
 use crate::topology::TaskId;
 
 /// Identifier of one spout-tuple tree.
@@ -78,7 +81,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 /// The acker: pending tuple trees and their XOR accumulators.
 #[derive(Debug, Default)]
 pub struct Acker {
-    pending: HashMap<RootId, Pending>,
+    pending: FxHashMap<RootId, Pending>,
     next_edge: u64,
     /// Completed-tree outcomes not yet drained by the runtime.
     outcomes: Vec<TreeOutcome>,
@@ -183,9 +186,156 @@ impl Acker {
         std::mem::take(&mut self.outcomes)
     }
 
+    /// Moves queued outcomes into `out`, keeping this acker's buffer
+    /// capacity (the allocation-free variant of
+    /// [`drain_outcomes`](Self::drain_outcomes)).
+    pub fn drain_outcomes_into(&mut self, out: &mut Vec<TreeOutcome>) {
+        out.append(&mut self.outcomes);
+    }
+
     /// Number of trees still in flight.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Completed-tree outcomes waiting to be drained.
+    pub fn outcome_count(&self) -> usize {
+        self.outcomes.len()
+    }
+}
+
+/// Lock-striped acker: `N` independent [`Acker`] shards, each behind its own
+/// mutex, keyed by `root % N`.
+///
+/// Every operation on one tuple tree touches exactly one shard, so trees
+/// whose roots land in different shards never contend — this is what lets
+/// the threaded runtime's ack traffic scale with cores instead of
+/// serializing on a single global lock (the same striping Storm applies by
+/// running several acker executors and Flink by partitioning channel state).
+/// The per-root ordering that the XOR accounting relies on is preserved
+/// because a root always maps to the same shard; operations on *different*
+/// roots commute.
+///
+/// Edge ids come from one shared lock-free counter so the scrambled
+/// sequence stays globally unique, exactly as with a single acker.
+#[derive(Debug)]
+pub struct ShardedAcker {
+    shards: Vec<Mutex<Acker>>,
+    next_edge: AtomicU64,
+}
+
+impl ShardedAcker {
+    /// Creates an acker striped over `num_shards` locks (at least one).
+    pub fn new(num_shards: usize) -> Self {
+        ShardedAcker {
+            shards: (0..num_shards.max(1))
+                .map(|_| Mutex::new(Acker::new()))
+                .collect(),
+            next_edge: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index owning `root`.
+    #[inline]
+    pub fn shard_of(&self, root: RootId) -> usize {
+        (root % self.shards.len() as u64) as usize
+    }
+
+    /// Direct access to one shard's lock, for callers that batch several
+    /// operations under a single acquisition (the runtime's per-shard ack
+    /// batches).  The caller must route each root to
+    /// [`shard_of`](Self::shard_of)`(root)` or trees will be split across
+    /// accumulators and never complete.
+    pub fn shard(&self, idx: usize) -> &Mutex<Acker> {
+        &self.shards[idx]
+    }
+
+    /// Allocates a fresh nonzero edge id without taking any shard lock.
+    pub fn new_edge_id(&self) -> u64 {
+        loop {
+            let raw = self
+                .next_edge
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_add(1);
+            let id = splitmix64(raw);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Registers a new tree.  See [`Acker::track`].
+    pub fn track(
+        &self,
+        root: RootId,
+        root_edge: u64,
+        spout_task: TaskId,
+        message_id: MessageId,
+        now: f64,
+    ) {
+        self.shards[self.shard_of(root)]
+            .lock()
+            .track(root, root_edge, spout_task, message_id, now);
+    }
+
+    /// A child tuple was emitted anchored to `root`.  See [`Acker::on_emit`].
+    pub fn on_emit(&self, root: RootId, edge: u64) {
+        self.shards[self.shard_of(root)].lock().on_emit(root, edge);
+    }
+
+    /// A tuple anchored to `root` was acked.  See [`Acker::on_ack`].
+    pub fn on_ack(&self, root: RootId, edge: u64, now: f64) {
+        self.shards[self.shard_of(root)]
+            .lock()
+            .on_ack(root, edge, now);
+    }
+
+    /// A tuple of `root`'s tree was failed.  See [`Acker::on_fail`].
+    pub fn on_fail(&self, root: RootId, now: f64) {
+        self.shards[self.shard_of(root)].lock().on_fail(root, now);
+    }
+
+    /// Expires trees older than `timeout` in every shard.
+    pub fn expire(&self, now: f64, timeout: f64) {
+        for shard in &self.shards {
+            shard.lock().expire(now, timeout);
+        }
+    }
+
+    /// Drains completed-tree outcomes from every shard.  Shards with nothing
+    /// queued are skipped without blocking on their lock.
+    pub fn drain_outcomes(&self) -> Vec<TreeOutcome> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            // Opportunistic: if another thread holds the shard it is either
+            // applying ops (and will drain its own completions) or draining
+            // already, so skipping cannot strand an outcome forever.
+            if let Some(mut acker) = shard.try_lock() {
+                if acker.outcome_count() > 0 {
+                    out.append(&mut acker.drain_outcomes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Drains every shard unconditionally (shutdown/reporting path).
+    pub fn drain_outcomes_blocking(&self) -> Vec<TreeOutcome> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.lock().drain_outcomes());
+        }
+        out
+    }
+
+    /// Trees still in flight, summed over shards.
+    pub fn pending_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().pending_count()).sum()
     }
 }
 

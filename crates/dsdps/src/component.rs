@@ -130,6 +130,13 @@ impl SpoutOutput {
     pub fn drain(&mut self) -> Vec<Emission> {
         std::mem::take(&mut self.emissions)
     }
+
+    /// Moves the buffered emissions into `buf`, keeping both vectors'
+    /// capacity — the allocation-free variant of [`drain`](Self::drain) the
+    /// threaded runtime calls once per `next_tuple`.
+    pub fn drain_into(&mut self, buf: &mut Vec<Emission>) {
+        buf.append(&mut self.emissions);
+    }
 }
 
 /// Collector a [`Bolt`] writes into during [`Bolt::execute`] / [`Bolt::tick`].
@@ -223,6 +230,14 @@ impl BoltOutput {
     pub fn drain(&mut self) -> (Vec<Emission>, bool) {
         let failed = std::mem::replace(&mut self.failed, false);
         (std::mem::take(&mut self.emissions), failed)
+    }
+
+    /// Moves buffered emissions into `buf` and returns the reset failure
+    /// flag — the allocation-free variant of [`drain`](Self::drain) the
+    /// threaded runtime calls once per `execute`.
+    pub fn drain_into(&mut self, buf: &mut Vec<Emission>) -> bool {
+        buf.append(&mut self.emissions);
+        std::mem::replace(&mut self.failed, false)
     }
 }
 

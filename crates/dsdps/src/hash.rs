@@ -1,0 +1,173 @@
+//! Seeded FxHash: the multiply-and-rotate hasher used on the runtime's hot
+//! paths.
+//!
+//! The acker and replay tables are keyed by dense 64-bit ids (`RootId`,
+//! `MessageId`) and are touched several times per tuple; `std`'s default
+//! SipHash spends more cycles per lookup than the rest of the operation.
+//! FxHash (the rustc hasher) folds each word in with a rotate + xor +
+//! multiply, which is enough mixing for non-adversarial integer keys while
+//! costing a couple of instructions per word.
+//!
+//! The build hasher carries a seed, xor'ed into the initial state, so
+//! distinct tables walk differently even with identical key sets (and so a
+//! future DoS-hardening pass only has to randomize the seed).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier from FxHash (the golden-ratio-derived odd constant).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A single hashing run.  See the module docs for the mixing function.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s whose initial state is the seed.
+#[derive(Debug, Clone, Copy)]
+pub struct FxBuildHasher {
+    seed: u64,
+}
+
+/// Default seed: an arbitrary odd constant (SplitMix64's increment) so the
+/// unseeded state is not all-zero.
+const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FxBuildHasher {
+    /// Build hasher with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        FxBuildHasher { seed }
+    }
+}
+
+impl Default for FxBuildHasher {
+    fn default() -> Self {
+        FxBuildHasher { seed: DEFAULT_SEED }
+    }
+}
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: self.seed }
+    }
+}
+
+/// A `HashMap` keyed with the seeded FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the seeded FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_with(seed: u64, v: u64) -> u64 {
+        let mut h = FxBuildHasher::with_seed(seed).build_hasher();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(hash_with(1, 42), hash_with(1, 42));
+        assert_ne!(hash_with(1, 42), hash_with(2, 42), "seed must matter");
+        assert_ne!(hash_with(1, 42), hash_with(1, 43));
+    }
+
+    #[test]
+    fn bytes_and_word_paths_mix() {
+        let mut a = FxBuildHasher::default().build_hasher();
+        a.write(b"hello world...16");
+        let mut b = FxBuildHasher::default().build_hasher();
+        b.write(b"hello world...17");
+        assert_ne!(a.finish(), b.finish());
+        // Short (non-multiple-of-8) inputs hash too.
+        let mut c = FxBuildHasher::default().build_hasher();
+        c.write(b"abc");
+        assert_ne!(c.finish(), 0);
+    }
+
+    #[test]
+    fn sequential_keys_spread_over_buckets() {
+        // The acker keys maps by sequential root ids; the low bits of the
+        // hash must not collapse (that is what the multiply is for).
+        let mask = 1023u64;
+        let mut buckets = FxHashSet::default();
+        for root in 0..1024u64 {
+            buckets.insert(hash_with(DEFAULT_SEED, root) & mask);
+        }
+        assert!(
+            buckets.len() > 600,
+            "got {} distinct buckets",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(9, "nine");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.remove(&9), Some("nine"));
+        assert!(!m.contains_key(&9));
+    }
+}

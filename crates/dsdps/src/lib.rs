@@ -68,6 +68,7 @@ pub mod component;
 pub mod config;
 pub mod error;
 pub mod grouping;
+pub mod hash;
 pub mod metrics;
 pub mod rt;
 pub mod scheduler;

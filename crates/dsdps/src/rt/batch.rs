@@ -4,25 +4,32 @@
 //!
 //! 1. **Apply-before-send.**  Acker bookkeeping ops (`track`/`on_emit`/
 //!    `on_ack`/`on_fail`) queue up in an [`AckOps`] list in program order and
-//!    are applied under a single acker lock before any batch leaves the
+//!    are applied under the acker shard locks before any batch leaves the
 //!    thread.  A downstream task can therefore never ack an edge the acker
 //!    has not yet seen, which would orphan the tree until timeout.
 //! 2. **Apply-at-iteration-end.**  Whatever ops remain after routing (acks
 //!    for tuples still sitting in buffers, self-acks for unroutable
 //!    emissions) are applied once per spout/bolt iteration, so the relative
-//!    order of a task's own ops is preserved while the lock is taken O(1)
-//!    times per batch instead of O(n) times per tuple.
+//!    order of a task's own ops is preserved while each shard lock is taken
+//!    O(1) times per batch instead of O(n) times per tuple.
 //!
-//! XOR accumulator updates commute, so reordering ops *across* tasks is
-//! harmless; only each task's own emit-before-ack order matters, and the
-//! ordered op list preserves it.
+//! With the acker striped over `N` shards ([`ShardedAcker`]), `AckOps`
+//! partitions queued ops by `root % N` and applies each partition under its
+//! own shard lock.  All ops on one root stay in one partition in queue
+//! order, so per-root ordering is preserved; ops on different roots commute
+//! (independent XOR accumulators), so interleaving across partitions is
+//! harmless.  Completed-tree outcomes are drained *while the shard lock is
+//! still held*, which is what lets other threads skip busy shards when they
+//! scavenge outcomes: the op-applier takes its own completions home.
+//!
+//! [`ShardedAcker`]: crate::acker::ShardedAcker
 
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{SendTimeoutError, Sender};
 
-use crate::acker::RootId;
+use crate::acker::{RootId, TreeOutcome};
 use crate::component::MessageId;
 use crate::topology::TaskId;
 use crate::tuple::Tuple;
@@ -66,41 +73,91 @@ pub(super) enum AckOp {
     },
 }
 
-/// Ordered list of deferred acker ops owned by one task thread.
-#[derive(Default)]
+impl AckOp {
+    /// Root of the tree this op belongs to (the shard key).
+    #[inline]
+    fn root(&self) -> RootId {
+        match self {
+            AckOp::Track { root, .. }
+            | AckOp::Emit { root, .. }
+            | AckOp::Ack { root, .. }
+            | AckOp::Fail { root, .. } => *root,
+        }
+    }
+}
+
+/// Deferred acker ops owned by one task thread, partitioned by acker shard.
+///
+/// Ops on the same root land in the same partition in push order, so the
+/// emit-before-ack ordering the XOR accounting needs survives partitioning.
 pub(super) struct AckOps {
-    ops: Vec<AckOp>,
+    per_shard: Vec<Vec<AckOp>>,
+    len: usize,
+    /// Completed-tree outcomes drained while applying (delivered by the
+    /// owning task at iteration end).
+    outcomes: Vec<TreeOutcome>,
 }
 
 impl AckOps {
+    /// An op queue partitioned over `num_shards` acker stripes.
+    pub(super) fn new(num_shards: usize) -> Self {
+        Self {
+            per_shard: (0..num_shards.max(1)).map(|_| Vec::new()).collect(),
+            len: 0,
+            outcomes: Vec::new(),
+        }
+    }
+
     pub(super) fn push(&mut self, op: AckOp) {
-        self.ops.push(op);
+        let shard = (op.root() % self.per_shard.len() as u64) as usize;
+        self.per_shard[shard].push(op);
+        self.len += 1;
     }
 
     pub(super) fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.len == 0
     }
 
-    /// Applies all queued ops under one acker lock, in order.  Completed-tree
-    /// outcomes accumulate inside the acker until the task drains them.
+    /// Applies all queued ops, taking each dirty shard's lock exactly once
+    /// and applying that shard's ops in queue order.  Outcomes completed by
+    /// these ops are drained under the same lock acquisition and held in
+    /// this queue until [`take_outcomes`](Self::take_outcomes).
     pub(super) fn apply(&mut self, shared: &Shared) {
-        if self.ops.is_empty() {
+        if self.len == 0 {
             return;
         }
-        let mut acker = shared.acker.lock();
-        for op in self.ops.drain(..) {
-            match op {
-                AckOp::Track {
-                    root,
-                    spout_task,
-                    message_id,
-                    now_s,
-                } => acker.track(root, 0, spout_task, message_id, now_s),
-                AckOp::Emit { root, edge } => acker.on_emit(root, edge),
-                AckOp::Ack { root, edge, now_s } => acker.on_ack(root, edge, now_s),
-                AckOp::Fail { root, now_s } => acker.on_fail(root, now_s),
+        for (idx, ops) in self.per_shard.iter_mut().enumerate() {
+            if ops.is_empty() {
+                continue;
             }
+            let mut acker = shared.ackers.shard(idx).lock();
+            for op in ops.drain(..) {
+                match op {
+                    AckOp::Track {
+                        root,
+                        spout_task,
+                        message_id,
+                        now_s,
+                    } => acker.track(root, 0, spout_task, message_id, now_s),
+                    AckOp::Emit { root, edge } => acker.on_emit(root, edge),
+                    AckOp::Ack { root, edge, now_s } => acker.on_ack(root, edge, now_s),
+                    AckOp::Fail { root, now_s } => acker.on_fail(root, now_s),
+                }
+            }
+            acker.drain_outcomes_into(&mut self.outcomes);
         }
+        self.len = 0;
+    }
+
+    /// True when applied ops completed trees whose outcomes still await
+    /// delivery.
+    pub(super) fn has_outcomes(&self) -> bool {
+        !self.outcomes.is_empty()
+    }
+
+    /// Takes the outcomes drained by [`apply`](Self::apply).
+    pub(super) fn take_outcomes(&mut self) -> Vec<TreeOutcome> {
+        std::mem::take(&mut self.outcomes)
     }
 }
 

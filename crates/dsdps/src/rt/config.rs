@@ -51,6 +51,11 @@ pub struct RtConfig {
     pub max_replays: u32,
     /// Base delay before the first replay of a message; doubles per attempt.
     pub replay_backoff: Duration,
+    /// Number of lock stripes in the acker (`root % acker_shards` picks the
+    /// stripe).  Acks of different tuple trees only contend when their roots
+    /// share a stripe, so this should be at least the number of concurrently
+    /// acking tasks; `1` reproduces the single-global-acker behavior.
+    pub acker_shards: usize,
 }
 
 impl Default for RtConfig {
@@ -63,6 +68,7 @@ impl Default for RtConfig {
             max_restarts: 8,
             max_replays: 0,
             replay_backoff: Duration::from_millis(100),
+            acker_shards: 8,
         }
     }
 }
@@ -110,6 +116,12 @@ impl RtConfig {
         self
     }
 
+    /// Returns the config with the given number of acker lock stripes.
+    pub fn with_acker_shards(mut self, acker_shards: usize) -> Self {
+        self.acker_shards = acker_shards;
+        self
+    }
+
     /// True when the spout loops should run the replay protocol.
     pub(crate) fn replay_enabled(&self) -> bool {
         self.max_replays > 0
@@ -124,6 +136,9 @@ impl RtConfig {
             return Err(Error::Config(
                 "rt hang_timeout must be positive when supervision is on".into(),
             ));
+        }
+        if self.acker_shards == 0 {
+            return Err(Error::Config("rt acker_shards must be at least 1".into()));
         }
         Ok(())
     }

@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::acker::{splitmix64, Acker};
+use crate::acker::ShardedAcker;
 use crate::config::EngineConfig;
 use crate::error::Result;
 use crate::metrics::{
@@ -68,7 +68,9 @@ use task::{deliver_outcomes, TaskAtomics};
 
 /// Shared state between task threads, the supervisor and the metrics thread.
 pub(crate) struct Shared {
-    pub(crate) acker: Mutex<Acker>,
+    /// The lock-striped acker ([`RtConfig::acker_shards`] stripes, keyed by
+    /// `root % N`).
+    pub(crate) ackers: ShardedAcker,
     pub(crate) stop: AtomicBool,
     pub(crate) task_stats: Vec<TaskAtomics>,
     /// In-flight tracked trees per spout task (indexed by global task id).
@@ -86,12 +88,13 @@ pub(crate) struct Shared {
     pub(crate) replayed_total: AtomicU64,
     /// Tuples discarded by an injected drop fault.
     pub(crate) dropped_total: AtomicU64,
-    pub(crate) complete_us: Mutex<(OnlineStats, LatencyHistogram)>,
+    /// Complete-latency accumulators: one slot per task plus one trailing
+    /// slot for the metrics/timeout thread.  Each writer locks only its own
+    /// slot (uncontended); readers merge all slots on demand, so the old
+    /// single shared stats mutex is off the hot path entirely.
+    pub(crate) latency: Vec<Mutex<(OnlineStats, LatencyHistogram)>>,
     pub(crate) start: Instant,
     pub(crate) next_root: AtomicU64,
-    /// Edge-id counter, scrambled per id; lock-free so routing does not take
-    /// the acker lock per tuple.
-    pub(crate) next_edge: AtomicU64,
     /// Scheduled faults, if any.
     pub(crate) fault: Option<FaultInjector>,
     /// Per-task replay buffers (only spout slots are used).
@@ -119,18 +122,26 @@ impl Shared {
         self.task_stats[task].generation.load(Ordering::SeqCst) != generation
     }
 
-    /// Allocates a fresh nonzero edge id without touching the acker lock.
+    /// Allocates a fresh nonzero edge id without touching any shard lock.
     pub(crate) fn new_edge_id(&self) -> u64 {
-        loop {
-            let raw = self
-                .next_edge
-                .fetch_add(1, Ordering::Relaxed)
-                .wrapping_add(1);
-            let id = splitmix64(raw);
-            if id != 0 {
-                return id;
-            }
+        self.ackers.new_edge_id()
+    }
+
+    /// Index of the latency slot reserved for the metrics/timeout thread.
+    pub(crate) fn metrics_lat_slot(&self) -> usize {
+        self.latency.len() - 1
+    }
+
+    /// Merges every per-task latency slot into one summary (read path only).
+    pub(crate) fn merged_latency(&self) -> (OnlineStats, LatencyHistogram) {
+        let mut stats = OnlineStats::new();
+        let mut hist = LatencyHistogram::new();
+        for slot in &self.latency {
+            let lat = slot.lock();
+            stats.merge(&lat.0);
+            hist.merge(&lat.1);
         }
+        (stats, hist)
     }
 }
 
@@ -233,12 +244,11 @@ impl RunningTopology {
     }
 
     fn report(&self) -> ThreadedReport {
-        let lat = self.shared.complete_us.lock();
+        let (stats, hist) = self.shared.merged_latency();
         let (avg_ms, p99_ms) = (
-            lat.0.mean() / 1000.0,
-            lat.1.quantile(0.99).unwrap_or(0.0) / 1000.0,
+            stats.mean() / 1000.0,
+            hist.quantile(0.99).unwrap_or(0.0) / 1000.0,
         );
-        drop(lat);
         let in_flight = if self.shared.replay_on {
             self.shared
                 .replay
@@ -246,7 +256,7 @@ impl RunningTopology {
                 .map(|b| b.lock().len() as u64)
                 .sum()
         } else {
-            self.shared.acker.lock().pending_count() as u64
+            self.shared.ackers.pending_count() as u64
         };
         let panic_messages = self
             .shared
@@ -426,7 +436,7 @@ fn submit_inner(
     let topology = Arc::new(topology);
 
     let shared = Arc::new(Shared {
-        acker: Mutex::new(Acker::new()),
+        ackers: ShardedAcker::new(rt_config.acker_shards),
         stop: AtomicBool::new(false),
         task_stats: (0..n_tasks).map(|_| TaskAtomics::default()).collect(),
         pending: (0..n_tasks).map(|_| AtomicUsize::new(0)).collect(),
@@ -438,10 +448,11 @@ fn submit_inner(
         perm_failed_total: AtomicU64::new(0),
         replayed_total: AtomicU64::new(0),
         dropped_total: AtomicU64::new(0),
-        complete_us: Mutex::new((OnlineStats::new(), LatencyHistogram::new())),
+        latency: (0..n_tasks + 1)
+            .map(|_| Mutex::new((OnlineStats::new(), LatencyHistogram::new())))
+            .collect(),
         start: Instant::now(),
         next_root: AtomicU64::new(0),
-        next_edge: AtomicU64::new(0),
         fault: injector,
         replay: (0..n_tasks)
             .map(|_| Mutex::new(ReplayBuffer::default()))
@@ -558,14 +569,13 @@ fn submit_inner(
                 if shared.now_s() < (interval + 1) as f64 * cfg.metrics_interval_s {
                     continue;
                 }
-                // Message timeouts.
+                // Message timeouts.  Expiry walks every shard; the blocking
+                // drain also scavenges completions from shards whose last
+                // op-applier has already exited.
                 if cfg.ack_enabled {
-                    let outcomes = {
-                        let mut acker = shared.acker.lock();
-                        acker.expire(shared.now_s(), cfg.message_timeout_s);
-                        acker.drain_outcomes()
-                    };
-                    deliver_outcomes(&shared, &ack_senders, outcomes);
+                    shared.ackers.expire(shared.now_s(), cfg.message_timeout_s);
+                    let outcomes = shared.ackers.drain_outcomes_blocking();
+                    deliver_outcomes(&shared, &ack_senders, outcomes, shared.metrics_lat_slot());
                 }
 
                 let interval_s = cfg.metrics_interval_s;
@@ -676,17 +686,16 @@ fn submit_inner(
                 let emitted = shared.spout_emitted_total.load(Ordering::Relaxed);
                 let (pa, pf2, pt, pe2) = prev_totals;
                 prev_totals = (acked, failed, timed_out, emitted);
-                let lat = shared.complete_us.lock();
+                let (lat_stats, lat_hist) = shared.merged_latency();
                 let topo_stats = TopologyStats {
                     spout_emitted: emitted - pe2,
                     acked: acked - pa,
                     failed: failed - pf2,
                     timed_out: timed_out - pt,
-                    avg_complete_latency_ms: lat.0.mean() / 1000.0,
-                    p99_complete_latency_ms: lat.1.quantile(0.99).unwrap_or(0.0) / 1000.0,
+                    avg_complete_latency_ms: lat_stats.mean() / 1000.0,
+                    p99_complete_latency_ms: lat_hist.quantile(0.99).unwrap_or(0.0) / 1000.0,
                     throughput: (acked - pa) as f64 / interval_s,
                 };
-                drop(lat);
 
                 let snapshot = MetricsSnapshot {
                     interval,

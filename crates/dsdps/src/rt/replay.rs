@@ -17,10 +17,11 @@
 //! tracked == acked + permanently_failed + in_flight
 //! ```
 
-use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::component::{Emission, MessageId};
+use crate::hash::FxHashMap;
 
 /// What to do with a message whose tree just failed or timed out.
 #[derive(Debug, PartialEq, Eq)]
@@ -35,7 +36,9 @@ pub(crate) enum FailDecision {
 }
 
 struct Entry {
-    emission: Emission,
+    /// The cached emission, shared with the spout loop (never deep-cloned:
+    /// caching and replaying both bump the refcount).
+    emission: Arc<Emission>,
     /// Replays already attempted (0 = original emission only).
     attempts: u32,
     /// When the next replay may fire; `None` while a tree is in flight.
@@ -45,14 +48,14 @@ struct Entry {
 /// Replay state of one spout task.
 #[derive(Default)]
 pub(crate) struct ReplayBuffer {
-    entries: HashMap<MessageId, Entry>,
+    entries: FxHashMap<MessageId, Entry>,
 }
 
 impl ReplayBuffer {
     /// Records a freshly tracked emission.  Returns `true` when the message
     /// id is new (first attempt), `false` when an existing entry was
     /// refreshed (a restarted spout re-emitting the same id).
-    pub(crate) fn on_track(&mut self, id: MessageId, emission: Emission) -> bool {
+    pub(crate) fn on_track(&mut self, id: MessageId, emission: Arc<Emission>) -> bool {
         match self.entries.get_mut(&id) {
             Some(e) => {
                 e.emission = emission;
@@ -104,12 +107,12 @@ impl ReplayBuffer {
 
     /// Takes every message whose backoff has elapsed; the entries stay
     /// tracked (marked in flight) until acked or failed again.
-    pub(crate) fn take_due(&mut self, now: Instant) -> Vec<(MessageId, Emission)> {
+    pub(crate) fn take_due(&mut self, now: Instant) -> Vec<(MessageId, Arc<Emission>)> {
         let mut due = Vec::new();
         for (id, e) in self.entries.iter_mut() {
             if matches!(e.retry_at, Some(at) if at <= now) {
                 e.retry_at = None;
-                due.push((*id, e.emission.clone()));
+                due.push((*id, Arc::clone(&e.emission)));
             }
         }
         due
@@ -137,14 +140,14 @@ mod tests {
     use crate::stream::StreamId;
     use crate::tuple::{Tuple, Value};
 
-    fn emission(id: MessageId) -> Emission {
-        Emission {
+    fn emission(id: MessageId) -> Arc<Emission> {
+        Arc::new(Emission {
             stream: StreamId::default(),
             tuple: Tuple::of([Value::from(id as i64)]),
             message_id: Some(id),
             direct_task: None,
             anchored: true,
-        }
+        })
     }
 
     #[test]

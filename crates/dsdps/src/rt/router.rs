@@ -112,11 +112,26 @@ impl Router {
                     self.select_buf = buf;
                 }
             }
+            if self.select_buf.is_empty() {
+                continue;
+            }
+            // Rekey once per route, not once per destination: every
+            // destination of a route shares the stream's (interned) schema,
+            // and when the tuple already carries it — the common case, since
+            // schemas come from the same declaration `Arc` — no new tuple is
+            // built at all.
+            let rekeyed = {
+                let route = &self.routes[r];
+                if emission.tuple.fields().ptr_eq(&route.fields) {
+                    emission.tuple.clone()
+                } else {
+                    emission.tuple.rekeyed(route.fields.clone())
+                }
+            };
             for i in 0..self.select_buf.len() {
                 let local = self.select_buf[i];
-                let route = &self.routes[r];
-                let dest = route.subscriber_base + local;
-                let tuple = emission.tuple.rekeyed(route.fields.clone());
+                let dest = self.routes[r].subscriber_base + local;
+                let tuple = rekeyed.clone();
                 let anchor = root.map(|root| {
                     let edge = self.shared.new_edge_id();
                     ops.push(AckOp::Emit { root, edge });

@@ -63,23 +63,38 @@ pub(crate) struct TaskAtomics {
     pub(super) last_panic: Mutex<Option<String>>,
 }
 
-/// Drains completed trees (timeouts are handled by the metrics thread).
-pub(super) fn drain_acker_outcomes(shared: &Shared, ack_senders: &[Option<Sender<Vec<AckMsg>>>]) {
-    let outcomes = shared.acker.lock().drain_outcomes();
-    deliver_outcomes(shared, ack_senders, outcomes);
+/// Applies queued acker ops and delivers whatever outcomes they completed.
+/// `lat_slot` is the caller's private latency slot (its task id, or the
+/// metrics slot) — see [`Shared::latency`].
+pub(super) fn apply_and_deliver(
+    shared: &Shared,
+    ack_senders: &[Option<Sender<Vec<AckMsg>>>],
+    ops: &mut AckOps,
+    lat_slot: usize,
+) {
+    ops.apply(shared);
+    if ops.has_outcomes() {
+        deliver_outcomes(shared, ack_senders, ops.take_outcomes(), lat_slot);
+    }
 }
 
 /// Updates totals/latency for completed trees and notifies spouts, one
-/// batched message per spout per drain.
+/// batched message per spout per drain.  Latency samples land in the
+/// caller's own `lat_slot` so concurrent callers never contend on a shared
+/// stats lock.
 pub(super) fn deliver_outcomes(
     shared: &Shared,
     ack_senders: &[Option<Sender<Vec<AckMsg>>>],
     outcomes: Vec<crate::acker::TreeOutcome>,
+    lat_slot: usize,
 ) {
     if outcomes.is_empty() {
         return;
     }
     let replaying = shared.replay_on;
+    // Lock the (uncontended) slot once for the whole batch, and only when a
+    // completion actually carries a latency sample.
+    let mut lat = None;
     let mut per_spout: Vec<(usize, Vec<AckMsg>)> = Vec::new();
     for o in outcomes {
         let spout = o.spout_task.0;
@@ -88,7 +103,7 @@ pub(super) fn deliver_outcomes(
         let msg = match o.completion {
             Completion::Acked => {
                 shared.acked_total.fetch_add(1, Ordering::Relaxed);
-                let mut lat = shared.complete_us.lock();
+                let lat = lat.get_or_insert_with(|| shared.latency[lat_slot].lock());
                 lat.0.update(latency_us);
                 lat.1.record(latency_us);
                 AckMsg::Ack(o.message_id)
@@ -113,6 +128,7 @@ pub(super) fn deliver_outcomes(
             None => per_spout.push((spout, vec![msg])),
         }
     }
+    drop(lat);
     for (spout, msgs) in per_spout {
         if let Some(tx) = &ack_senders[spout] {
             let _ = tx.send(msgs);
@@ -205,22 +221,23 @@ fn spout_handle_feedback(
 /// Re-emits every replay whose backoff has elapsed, as fresh tuple trees.
 fn spout_emit_due_replays(shared: &Shared, tid: usize, router: &mut Router, ops: &mut AckOps) {
     let due = shared.replay[tid].lock().take_due(Instant::now());
+    let now_s = shared.now_s();
     for (message_id, emission) in due {
         let root = shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
         ops.push(AckOp::Track {
             root,
             spout_task: TaskId(tid),
             message_id,
-            now_s: shared.now_s(),
+            now_s,
         });
         shared.pending[tid].fetch_add(1, Ordering::Relaxed);
         shared.replayed_total.fetch_add(1, Ordering::Relaxed);
-        let delivered = router.route(&emission, Some(root), ops);
+        let delivered = router.route(emission.as_ref(), Some(root), ops);
         if delivered == 0 {
             ops.push(AckOp::Ack {
                 root,
                 edge: 0,
-                now_s: shared.now_s(),
+                now_s,
             });
         }
     }
@@ -241,7 +258,8 @@ pub(super) fn run_spout(
 ) {
     spout.open(&ctx);
     let mut out = SpoutOutput::new();
-    let mut ops = AckOps::default();
+    let mut emis = Vec::new();
+    let mut ops = AckOps::new(shared.ackers.num_shards());
     let replay_on = shared.replay_on;
     // Once the spout exhausts its input it stays alive (draining acks and
     // replaying lost trees) until the replay buffer empties or shutdown.
@@ -275,8 +293,7 @@ pub(super) fn run_spout(
                 break;
             }
             router.flush_expired(Instant::now(), &mut ops);
-            ops.apply(&shared);
-            drain_acker_outcomes(&shared, &ack_senders);
+            apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
             // Sleep until the next scheduled replay (bounded so timeouts and
             // shutdown are still noticed promptly).
             let nap =
@@ -294,49 +311,47 @@ pub(super) fn run_spout(
             // Keep buffered output moving while throttled, or the in-flight
             // count can never drain.
             router.flush_expired(Instant::now(), &mut ops);
-            drain_acker_outcomes(&shared, &ack_senders);
+            apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
             std::thread::sleep(Duration::from_micros(200));
             continue;
         }
-        out.set_now(shared.now_s());
+        let now_s = shared.now_s();
+        out.set_now(now_s);
         let t0 = Instant::now();
         let keep = spout.next_tuple(&mut out);
-        let emissions = out.drain();
-        if emissions.is_empty() {
+        out.drain_into(&mut emis);
+        if emis.is_empty() {
             if !keep {
                 exhausted = true;
                 continue;
             }
+            // Replays queued above may have left ops (and, once applied,
+            // outcomes) behind even though next_tuple produced nothing.
             router.flush_expired(Instant::now(), &mut ops);
+            apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
             std::thread::sleep(Duration::from_micros(500));
             continue;
         }
-        let n = emissions.len() as u64;
-        for emission in emissions {
-            let root = match emission.message_id {
+        let n = emis.len() as u64;
+        for emission in emis.drain(..) {
+            let tracked = match emission.message_id {
                 Some(message_id) if cfg.ack_enabled => {
                     let root = shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
                     ops.push(AckOp::Track {
                         root,
                         spout_task: TaskId(tid),
                         message_id,
-                        now_s: shared.now_s(),
+                        now_s,
                     });
                     shared.pending[tid].fetch_add(1, Ordering::Relaxed);
-                    let fresh = if replay_on {
-                        shared.replay[tid]
-                            .lock()
-                            .on_track(message_id, emission.clone())
-                    } else {
-                        true
-                    };
-                    if fresh {
+                    if !replay_on {
                         shared.tracked_total.fetch_add(1, Ordering::Relaxed);
                     }
-                    Some(root)
+                    Some((root, message_id))
                 }
                 _ => None,
             };
+            let root = tracked.map(|(root, _)| root);
             let delivered = router.route(&emission, root, &mut ops);
             if delivered == 0 {
                 if let Some(root) = root {
@@ -344,8 +359,22 @@ pub(super) fn run_spout(
                     ops.push(AckOp::Ack {
                         root,
                         edge: 0,
-                        now_s: shared.now_s(),
+                        now_s,
                     });
+                }
+            }
+            if replay_on {
+                if let Some((_, message_id)) = tracked {
+                    // Routing is done with the emission, so it moves into the
+                    // replay cache instead of being cloned.  Feedback for
+                    // this id is handled by this same thread on a later
+                    // iteration, so caching after routing cannot race an ack.
+                    let fresh = shared.replay[tid]
+                        .lock()
+                        .on_track(message_id, Arc::new(emission));
+                    if fresh {
+                        shared.tracked_total.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -356,15 +385,13 @@ pub(super) fn run_spout(
         s.busy_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         router.flush_expired(Instant::now(), &mut ops);
-        ops.apply(&shared);
-        drain_acker_outcomes(&shared, &ack_senders);
+        apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
         if !keep {
             exhausted = true;
         }
     }
     router.flush_all(&mut ops);
-    ops.apply(&shared);
-    drain_acker_outcomes(&shared, &ack_senders);
+    apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
     spout.close();
 }
 
@@ -383,7 +410,8 @@ pub(super) fn run_bolt(
 ) {
     bolt.prepare(&ctx);
     let mut out = BoltOutput::new();
-    let mut ops = AckOps::default();
+    let mut emis = Vec::new();
+    let mut ops = AckOps::new(shared.ackers.num_shards());
     let tick = if cfg.tick_interval_s > 0.0 {
         Duration::from_secs_f64(cfg.tick_interval_s)
     } else {
@@ -410,53 +438,74 @@ pub(super) fn run_bolt(
                 let s = &shared.task_stats[tid];
                 s.queue_len.store(rx.len(), Ordering::Relaxed);
                 s.received.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                // Without an injector, heartbeat / clock / busy timing happen
+                // once per batch: the loop head already beat for this
+                // iteration, and batch size bounds how long a batch can run.
+                // With faults injected, drops, slowdowns and hang detection
+                // need per-tuple clock reads, so the original per-tuple
+                // bookkeeping is kept on that path.
+                let faults_on = shared.fault.is_some();
+                let mut now_s = shared.now_s();
+                out.set_now(now_s);
+                let batch_t0 = Instant::now();
+                let mut executed = 0u64;
+                let mut failed_n = 0u64;
+                let mut slow_busy = 0u64;
                 for delivered in batch {
-                    shared.beat(tid);
-                    if shared
-                        .fault
-                        .as_ref()
-                        .is_some_and(|inj| inj.should_drop(tid, shared.now_s()))
-                    {
-                        // Dropped on the floor: neither acked nor failed, so
-                        // the tree times out and the spout replays it.
-                        shared.dropped_total.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    out.set_now(shared.now_s());
-                    let t0 = Instant::now();
+                    let t0 = if faults_on {
+                        shared.beat(tid);
+                        now_s = shared.now_s();
+                        if shared
+                            .fault
+                            .as_ref()
+                            .is_some_and(|inj| inj.should_drop(tid, now_s))
+                        {
+                            // Dropped on the floor: neither acked nor failed,
+                            // so the tree times out and the spout replays it.
+                            shared.dropped_total.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        out.set_now(now_s);
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     bolt.execute(&delivered.tuple, &mut out);
-                    inject_service_slowdown(&shared, tid, t0);
-                    let busy = t0.elapsed().as_nanos() as u64;
-                    let (emissions, failed) = out.drain();
+                    if let Some(t0) = t0 {
+                        inject_service_slowdown(&shared, tid, t0);
+                        slow_busy += t0.elapsed().as_nanos() as u64;
+                    }
+                    let failed = out.drain_into(&mut emis);
                     let root = delivered.anchor.map(|(r, _)| r);
-                    for emission in &emissions {
+                    for emission in &emis {
                         let anchor = if emission.anchored { root } else { None };
                         router.route(emission, anchor, &mut ops);
                     }
+                    emis.clear();
                     if let Some((root, edge)) = delivered.anchor {
                         if failed {
-                            ops.push(AckOp::Fail {
-                                root,
-                                now_s: shared.now_s(),
-                            });
+                            ops.push(AckOp::Fail { root, now_s });
                         } else {
-                            ops.push(AckOp::Ack {
-                                root,
-                                edge,
-                                now_s: shared.now_s(),
-                            });
+                            ops.push(AckOp::Ack { root, edge, now_s });
                         }
                     }
-                    let s = &shared.task_stats[tid];
-                    s.executed.fetch_add(1, Ordering::Relaxed);
-                    s.busy_nanos.fetch_add(busy, Ordering::Relaxed);
+                    executed += 1;
                     if failed {
-                        s.failed.fetch_add(1, Ordering::Relaxed);
+                        failed_n += 1;
                     }
                 }
+                let busy = if faults_on {
+                    slow_busy
+                } else {
+                    batch_t0.elapsed().as_nanos() as u64
+                };
+                s.executed.fetch_add(executed, Ordering::Relaxed);
+                s.busy_nanos.fetch_add(busy, Ordering::Relaxed);
+                if failed_n > 0 {
+                    s.failed.fetch_add(failed_n, Ordering::Relaxed);
+                }
                 router.flush_expired(Instant::now(), &mut ops);
-                ops.apply(&shared);
-                drain_acker_outcomes(&shared, &ack_senders);
+                apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.stop.load(Ordering::Relaxed) {
@@ -464,8 +513,7 @@ pub(super) fn run_bolt(
                 }
                 if router.has_pending() || !ops.is_empty() {
                     router.flush_expired(Instant::now(), &mut ops);
-                    ops.apply(&shared);
-                    drain_acker_outcomes(&shared, &ack_senders);
+                    apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
                 }
             }
             Err(RecvTimeoutError::Disconnected) => break,
@@ -474,14 +522,14 @@ pub(super) fn run_bolt(
             last_tick = Instant::now();
             out.set_now(shared.now_s());
             bolt.tick(&mut out);
-            let (emissions, _) = out.drain();
-            for emission in &emissions {
+            let _ = out.drain_into(&mut emis);
+            for emission in &emis {
                 router.route(emission, None, &mut ops);
             }
+            emis.clear();
         }
     }
     router.flush_all(&mut ops);
-    ops.apply(&shared);
-    drain_acker_outcomes(&shared, &ack_senders);
+    apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
     bolt.cleanup();
 }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::tuple::Fields;
 
@@ -12,8 +12,21 @@ pub const DEFAULT_STREAM: &str = "default";
 /// Identifier of a named output stream of a component.
 ///
 /// Cheap to clone and compare; the default stream is [`StreamId::default`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+// Hash stays derived (content-based): the manual `PartialEq` only adds a
+// pointer fast path and agrees with content equality, so the Eq/Hash
+// contract holds.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Debug, Clone, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct StreamId(Arc<str>);
+
+impl PartialEq for StreamId {
+    fn eq(&self, other: &Self) -> bool {
+        // Ids cloned from one declaration (the interned default stream, a
+        // router's wiring-time copies) share the allocation, so the hot-path
+        // compare is two pointer words, no string walk.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
 
 impl StreamId {
     /// Creates a stream id from a name.
@@ -33,8 +46,14 @@ impl StreamId {
 }
 
 impl Default for StreamId {
+    /// The implicit default stream.  Returns clones of one interned
+    /// allocation, so every `default()` call is a refcount bump (not a fresh
+    /// `Arc<str>`) and default-stream ids compare by pointer.
     fn default() -> Self {
-        StreamId::new(DEFAULT_STREAM)
+        static DEFAULT: OnceLock<StreamId> = OnceLock::new();
+        DEFAULT
+            .get_or_init(|| StreamId::new(DEFAULT_STREAM))
+            .clone()
     }
 }
 

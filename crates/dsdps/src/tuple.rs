@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -238,11 +238,18 @@ impl Fields {
         }
     }
 
-    /// An empty schema (for tuples addressed positionally only).
+    /// An empty schema (for tuples addressed positionally only).  Returns
+    /// clones of one interned allocation: `Tuple::of` attaches this per
+    /// tuple on the runtime's hot path, so it must be a refcount bump, not
+    /// a fresh `Arc` — and interning makes all empty schemas pointer-equal,
+    /// which lets the router skip rekeying schema-less streams entirely.
     pub fn none() -> Self {
-        Fields {
-            names: Arc::from([]),
-        }
+        static EMPTY: OnceLock<Fields> = OnceLock::new();
+        EMPTY
+            .get_or_init(|| Fields {
+                names: Arc::from([]),
+            })
+            .clone()
     }
 
     /// Number of fields.
@@ -268,6 +275,14 @@ impl Fields {
     /// Iterates field names in schema order.
     pub fn iter(&self) -> impl Iterator<Item = &str> {
         self.names.iter().map(String::as_str)
+    }
+
+    /// True when both schemas share one allocation.  O(1), so the runtime
+    /// can skip re-attaching a schema a tuple already carries; `false` for
+    /// equal-content schemas from different declarations is fine (callers
+    /// fall back to the by-value path).
+    pub fn ptr_eq(&self, other: &Fields) -> bool {
+        Arc::ptr_eq(&self.names, &other.names)
     }
 }
 

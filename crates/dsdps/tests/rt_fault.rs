@@ -106,9 +106,17 @@ fn wait_until(deadline_s: u64, mut done: impl FnMut() -> bool) {
 /// The acceptance scenario: a scheduled bolt panic plus a 10× slowdown of a
 /// worker mid-run.  The supervised runtime restarts the dead task, replays
 /// the trees lost in the crash, and still delivers every message exactly
-/// once by the conservation accounting.
+/// once by the conservation accounting.  Runs at stripe counts 1 (the
+/// single-global-acker degenerate case) and 8 to show chaos recovery does
+/// not depend on acker sharding.
 #[test]
 fn supervised_runtime_recovers_from_panic_and_slowdown() {
+    for shards in [1, 8] {
+        supervised_recovery_at(shards);
+    }
+}
+
+fn supervised_recovery_at(shards: usize) {
     const N: u64 = 2000;
     let sum = Arc::new(AtomicU64::new(0));
     let s2 = sum.clone();
@@ -136,6 +144,7 @@ fn supervised_runtime_recovers_from_panic_and_slowdown() {
             until_s: 2.5,
         });
     let rt_cfg = RtConfig::default()
+        .with_acker_shards(shards)
         .with_max_replays(5)
         .with_replay_backoff(Duration::from_millis(50))
         .with_hang_timeout(Duration::from_secs(2));
@@ -146,7 +155,7 @@ fn supervised_runtime_recovers_from_panic_and_slowdown() {
 
     assert_eq!(
         report.acked, N,
-        "replay must recover every tree: {report:?}"
+        "shards {shards}: replay must recover every tree: {report:?}"
     );
     assert_eq!(sum.load(Ordering::Relaxed), N * (N + 1) / 2, "payload sums");
     assert_eq!(report.task_panics, 1, "the injected panic was caught");
@@ -356,8 +365,17 @@ fn every_root_reaches_exactly_one_outcome() {
 
 /// An injected drop window silently discards deliveries; the trees time out
 /// and the spout's replay buffer re-emits them until everything is acked.
+/// Runs at stripe counts 1 and 8 — timeout expiry sweeps every stripe, so
+/// the replay path must behave identically however pending trees are
+/// partitioned.
 #[test]
 fn drop_fault_is_recovered_by_replay() {
+    for shards in [1, 8] {
+        drop_recovery_at(shards);
+    }
+}
+
+fn drop_recovery_at(shards: usize) {
     const N: u64 = 500;
     let sum = Arc::new(AtomicU64::new(0));
     let s2 = sum.clone();
@@ -379,6 +397,7 @@ fn drop_fault_is_recovered_by_replay() {
         until_s: 1.2,
     });
     let rt_cfg = RtConfig::default()
+        .with_acker_shards(shards)
         .with_max_replays(8)
         .with_replay_backoff(Duration::from_millis(100));
     let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
@@ -386,7 +405,10 @@ fn drop_fault_is_recovered_by_replay() {
     wait_until(30, || running.acked() >= N);
     let (_, report) = running.shutdown();
 
-    assert_eq!(report.acked, N, "replay recovers dropped trees: {report:?}");
+    assert_eq!(
+        report.acked, N,
+        "shards {shards}: replay recovers dropped trees: {report:?}"
+    );
     assert!(report.dropped > 0, "the drop window must have fired");
     assert!(report.replays > 0, "recovery went through replay");
     assert_eq!(report.permanently_failed, 0);
@@ -398,9 +420,17 @@ fn drop_fault_is_recovered_by_replay() {
 }
 
 /// A hung task (no heartbeats) is superseded by the supervisor and the
-/// stream keeps flowing through the replacement.
+/// stream keeps flowing through the replacement.  Runs at stripe counts 1
+/// and 8: supersession replays trees whose acks are stranded in the hung
+/// generation, whichever stripes they hash to.
 #[test]
 fn hung_task_is_superseded() {
+    for shards in [1, 8] {
+        hang_supersession_at(shards);
+    }
+}
+
+fn hang_supersession_at(shards: usize) {
     const N: u64 = 800;
     let sum = Arc::new(AtomicU64::new(0));
     let s2 = sum.clone();
@@ -424,6 +454,7 @@ fn hung_task_is_superseded() {
         until_s: 60.0,
     });
     let rt_cfg = RtConfig::default()
+        .with_acker_shards(shards)
         .with_hang_timeout(Duration::from_millis(500))
         .with_max_replays(5)
         .with_replay_backoff(Duration::from_millis(50));
@@ -432,7 +463,10 @@ fn hung_task_is_superseded() {
     wait_until(30, || running.acked() >= N);
     let (_, report) = running.shutdown();
 
-    assert_eq!(report.acked, N, "stream recovered after hang: {report:?}");
+    assert_eq!(
+        report.acked, N,
+        "shards {shards}: stream recovered after hang: {report:?}"
+    );
     assert!(
         report.task_restarts >= 1,
         "hung task must be superseded: {report:?}"

@@ -15,6 +15,12 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Receivers currently parked on `not_empty` — senders only touch
+        /// the condvar when someone is actually waiting, so the uncontended
+        /// fast path is lock/push/unlock with no wakeup call.
+        waiting_recv: usize,
+        /// Senders currently parked on `not_full` (bounded channels only).
+        waiting_send: usize,
     }
 
     struct Chan<T> {
@@ -80,6 +86,8 @@ pub mod channel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                waiting_recv: 0,
+                waiting_send: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -122,25 +130,36 @@ pub mod channel {
                 }
                 if self.0.cap.is_none_or(|cap| inner.queue.len() < cap) {
                     inner.queue.push_back(value);
-                    self.0.not_empty.notify_one();
+                    if inner.waiting_recv > 0 {
+                        self.0.not_empty.notify_one();
+                    }
                     return Ok(());
                 }
                 inner = match deadline {
-                    None => self
-                        .0
-                        .not_full
-                        .wait(inner)
-                        .unwrap_or_else(|e| e.into_inner()),
+                    None => {
+                        inner.waiting_send += 1;
+                        let mut g = self
+                            .0
+                            .not_full
+                            .wait(inner)
+                            .unwrap_or_else(|e| e.into_inner());
+                        g.waiting_send -= 1;
+                        g
+                    }
                     Some(d) => {
                         let now = Instant::now();
                         if now >= d {
                             return Err(SendTimeoutError::Timeout(value));
                         }
-                        self.0
+                        inner.waiting_send += 1;
+                        let mut g = self
+                            .0
                             .not_full
                             .wait_timeout(inner, d - now)
                             .unwrap_or_else(|e| e.into_inner())
-                            .0
+                            .0;
+                        g.waiting_send -= 1;
+                        g
                     }
                 };
             }
@@ -186,7 +205,9 @@ pub mod channel {
             let mut inner = self.0.lock();
             loop {
                 if let Some(v) = inner.queue.pop_front() {
-                    self.0.not_full.notify_one();
+                    if inner.waiting_send > 0 {
+                        self.0.not_full.notify_one();
+                    }
                     return Ok(v);
                 }
                 if inner.senders == 0 {
@@ -196,12 +217,15 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                inner = self
+                inner.waiting_recv += 1;
+                let mut g = self
                     .0
                     .not_empty
                     .wait_timeout(inner, deadline - now)
                     .unwrap_or_else(|e| e.into_inner())
                     .0;
+                g.waiting_recv -= 1;
+                inner = g;
             }
         }
 
@@ -211,17 +235,22 @@ pub mod channel {
             let mut inner = self.0.lock();
             loop {
                 if let Some(v) = inner.queue.pop_front() {
-                    self.0.not_full.notify_one();
+                    if inner.waiting_send > 0 {
+                        self.0.not_full.notify_one();
+                    }
                     return Ok(v);
                 }
                 if inner.senders == 0 {
                     return Err(RecvTimeoutError::Disconnected);
                 }
-                inner = self
+                inner.waiting_recv += 1;
+                let mut g = self
                     .0
                     .not_empty
                     .wait(inner)
                     .unwrap_or_else(|e| e.into_inner());
+                g.waiting_recv -= 1;
+                inner = g;
             }
         }
 
@@ -229,7 +258,9 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.0.lock();
             if let Some(v) = inner.queue.pop_front() {
-                self.0.not_full.notify_one();
+                if inner.waiting_send > 0 {
+                    self.0.not_full.notify_one();
+                }
                 return Ok(v);
             }
             if inner.senders == 0 {
