@@ -19,6 +19,7 @@ use dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput};
 use dsdps::config::EngineConfig;
 use dsdps::rt::{self, RtConfig, RtFault};
 use dsdps::scheduler::even_placement;
+use dsdps::telemetry;
 use dsdps::topology::{TaskId, Topology, TopologyBuilder};
 use dsdps::tuple::{Tuple, Value};
 use parking_lot::Mutex;
@@ -102,6 +103,7 @@ fn rt_config() -> RtConfig {
         .with_hang_timeout(Duration::from_secs(2))
         .with_max_replays(3)
         .with_replay_backoff(Duration::from_millis(50))
+        .with_trace_sample_rate(0.05)
 }
 
 /// `rt-reliability`.
@@ -172,8 +174,28 @@ pub fn rt_reliability(ctx: &Ctx) -> ExpResult {
         let hook = rt_control_hook(shared.clone());
         let running =
             rt::submit_faulty(topology, cfg.clone(), rt_config(), plan.clone(), Some(hook))?;
+        // The controller appends its flag/recover/reroute decisions to the
+        // run's control-plane journal, cross-referencable with the sampled
+        // trace via shared trace ids.
+        shared.lock().attach_journal(running.journal());
         std::thread::sleep(Duration::from_secs_f64(t.total_s));
         let (_, report) = running.shutdown();
+
+        if reactive {
+            std::fs::create_dir_all(&ctx.out_dir)?;
+            telemetry::journal::write_events_jsonl(
+                &ctx.out_dir.join("rt-reliability-journal.jsonl"),
+                &report.journal,
+            )?;
+            telemetry::write_chrome_trace(
+                &ctx.out_dir.join("rt-reliability-trace.json"),
+                &report.spans,
+            )?;
+            telemetry::write_spans_jsonl(
+                &ctx.out_dir.join("rt-reliability-spans.jsonl"),
+                &report.spans,
+            )?;
+        }
 
         let flagged = shared
             .lock()

@@ -16,6 +16,7 @@ use dsdps::grouping::dynamic::{DynamicGroupingHandle, SplitRatio};
 use dsdps::metrics::MetricsSnapshot;
 use dsdps::scheduler::{Placement, WorkerId};
 use dsdps::sim::ControlHook;
+use dsdps::telemetry::{Journal, JournalEvent};
 use dsdps::topology::{TaskId, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +137,8 @@ pub struct Controller {
     calibrated: bool,
     /// Last latency estimate per worker (prediction or observation).
     last_estimates: HashMap<WorkerId, f64>,
+    /// Attached control-plane journal, if any ([`Controller::attach_journal`]).
+    journal: Option<Arc<Journal>>,
 }
 
 impl Controller {
@@ -187,7 +190,17 @@ impl Controller {
             events: Vec::new(),
             calibrated: false,
             last_estimates: HashMap::new(),
+            journal: None,
         })
+    }
+
+    /// Attaches a control-plane [`Journal`] (typically the running
+    /// topology's, via `RunningTopology::journal()`): every subsequent
+    /// flag / recover / ratio decision is appended there as a
+    /// [`JournalEvent`] alongside the in-memory [`ControlEvent`] audit log,
+    /// cross-referencable with the runtime's restart and replay events.
+    pub fn attach_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
     }
 
     /// The workers whose health this controller tracks.
@@ -343,15 +356,29 @@ impl Controller {
         let after = self.detector.misbehaving_workers();
         for &w in &after {
             if !before.contains(&w) {
+                let latency_us = estimates.get(&w).copied().unwrap_or(f64::NAN);
+                if let Some(journal) = &self.journal {
+                    journal.append(JournalEvent::WorkerFlagged {
+                        time_s: snapshot.time_s,
+                        worker: w.0,
+                        latency_us,
+                    });
+                }
                 self.events.push(ControlEvent::Flagged {
                     interval: snapshot.interval,
                     worker: w,
-                    latency_us: estimates.get(&w).copied().unwrap_or(f64::NAN),
+                    latency_us,
                 });
             }
         }
         for &w in &before {
             if !after.contains(&w) {
+                if let Some(journal) = &self.journal {
+                    journal.append(JournalEvent::WorkerRecovered {
+                        time_s: snapshot.time_s,
+                        worker: w.0,
+                    });
+                }
                 self.events.push(ControlEvent::Recovered {
                     interval: snapshot.interval,
                     worker: w,
@@ -375,6 +402,13 @@ impl Controller {
             if current.max_abs_diff(&ratio) >= self.config.min_ratio_delta
                 && edge.handle.set_ratio(ratio.clone()).is_ok()
             {
+                if let Some(journal) = &self.journal {
+                    journal.append(JournalEvent::RatioApplied {
+                        time_s: snapshot.time_s,
+                        edge: edge.label.clone(),
+                        ratio: ratio.as_slice().to_vec(),
+                    });
+                }
                 self.events.push(ControlEvent::RatioApplied {
                     interval: snapshot.interval,
                     edge: edge.label.clone(),

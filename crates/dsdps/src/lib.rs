@@ -27,6 +27,8 @@
 //!     here (see `DESIGN.md` for the substitution argument).
 //!   - [`rt`]: a threaded runtime executing the same topologies on real OS
 //!     threads connected by crossbeam channels.
+//! * **Observability** — sampled per-tuple-tree tracing, a live Prometheus
+//!   metrics registry, and a control-plane event journal ([`telemetry`]).
 //!
 //! ## Quick example
 //!
@@ -74,6 +76,7 @@ pub mod rt;
 pub mod scheduler;
 pub mod sim;
 pub mod stream;
+pub mod telemetry;
 pub mod topology;
 pub mod tuple;
 pub mod window;

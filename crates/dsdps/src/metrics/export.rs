@@ -81,18 +81,109 @@ pub fn workers_csv(snapshots: &[MetricsSnapshot]) -> String {
     out
 }
 
+/// Flattens the full per-task series to CSV, one row per task per interval
+/// — symmetric with [`topology_csv`], covering every [`TaskStats`] field
+/// (`interval,time_s,task,component,worker,executed,emitted,acked,failed,
+/// avg_execute_latency_us,queue_len,capacity,batches_flushed,linger_flushes,
+/// panics,restarts`).
+///
+/// [`TaskStats`]: super::TaskStats
+pub fn task_csv(snapshots: &[MetricsSnapshot]) -> String {
+    let mut out = String::from(
+        "interval,time_s,task,component,worker,executed,emitted,acked,failed,\
+         avg_execute_latency_us,queue_len,capacity,batches_flushed,linger_flushes,\
+         panics,restarts\n",
+    );
+    for s in snapshots {
+        for t in &s.tasks {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.interval,
+                s.time_s,
+                t.task.0,
+                t.component,
+                t.worker.0,
+                t.executed,
+                t.emitted,
+                t.acked,
+                t.failed,
+                t.avg_execute_latency_us,
+                t.queue_len,
+                t.capacity,
+                t.batches_flushed,
+                t.linger_flushes,
+                t.panics,
+                t.restarts
+            );
+        }
+    }
+    out
+}
+
+/// Flattens the full per-worker series to CSV, one row per worker per
+/// interval — the complete [`WorkerStats`] counterpart of [`task_csv`]
+/// (`interval,time_s,worker,machine,cpu_cores_used,memory_mb,executed,
+/// tuples_in,tuples_out,avg_execute_latency_us,num_tasks`).  The narrower
+/// [`workers_csv`] is kept for existing tooling.
+///
+/// [`WorkerStats`]: super::WorkerStats
+pub fn worker_csv(snapshots: &[MetricsSnapshot]) -> String {
+    let mut out = String::from(
+        "interval,time_s,worker,machine,cpu_cores_used,memory_mb,executed,\
+         tuples_in,tuples_out,avg_execute_latency_us,num_tasks\n",
+    );
+    for s in snapshots {
+        for w in &s.workers {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                s.interval,
+                s.time_s,
+                w.worker.0,
+                w.machine.0,
+                w.cpu_cores_used,
+                w.memory_mb,
+                w.executed,
+                w.tuples_in,
+                w.tuples_out,
+                w.avg_execute_latency_us,
+                w.num_tasks
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{MachineStats, TopologyStats, WorkerStats};
+    use crate::metrics::{MachineStats, TaskStats, TopologyStats, WorkerStats};
     use crate::scheduler::{MachineId, WorkerId};
+    use crate::topology::TaskId;
 
     fn snap(i: u64) -> MetricsSnapshot {
         MetricsSnapshot {
             interval: i,
             time_s: i as f64,
             interval_s: 1.0,
-            tasks: vec![],
+            tasks: vec![TaskStats {
+                task: TaskId(1),
+                component: "work".into(),
+                worker: WorkerId(0),
+                executed: 10 * i,
+                emitted: 5 * i,
+                acked: 10 * i,
+                failed: 0,
+                avg_execute_latency_us: 50.0 + i as f64,
+                queue_len: 2,
+                capacity: 0.25,
+                batches_flushed: i,
+                linger_flushes: 0,
+                panics: 0,
+                restarts: 0,
+                last_panic: None,
+            }],
             workers: vec![WorkerStats {
                 worker: WorkerId(0),
                 machine: MachineId(0),
@@ -155,6 +246,46 @@ mod tests {
         let csv = workers_csv(&snaps);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.contains("0,0,0,0.5,100,0,100"));
+    }
+
+    #[test]
+    fn task_csv_flattens_every_field() {
+        let snaps: Vec<MetricsSnapshot> = (0..2).map(snap).collect();
+        let csv = task_csv(&snaps);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one task row per interval");
+        let header_cols = lines[0].split(',').count();
+        assert_eq!(header_cols, 16);
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), header_cols, "ragged row: {row}");
+        }
+        assert!(lines[2].starts_with("1,1,1,work,0,10,5,10,0,51,2,0.25,1,0,0,0"));
+    }
+
+    #[test]
+    fn worker_csv_flattens_every_field() {
+        let snaps: Vec<MetricsSnapshot> = (0..2).map(snap).collect();
+        let csv = worker_csv(&snaps);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header_cols = lines[0].split(',').count();
+        assert_eq!(header_cols, 11);
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), header_cols, "ragged row: {row}");
+        }
+        assert!(lines[1].starts_with("0,0,0,0,0.5,100,0,0,0,100,1"));
+    }
+
+    #[test]
+    fn csv_survives_jsonl_round_trip() {
+        // JSONL is the lossless interchange format; every CSV flattener must
+        // produce identical output from a round-tripped history.
+        let snaps: Vec<MetricsSnapshot> = (0..4).map(snap).collect();
+        let back = from_jsonl(&to_jsonl(&snaps)).unwrap();
+        assert_eq!(topology_csv(&snaps), topology_csv(&back));
+        assert_eq!(task_csv(&snaps), task_csv(&back));
+        assert_eq!(worker_csv(&snaps), worker_csv(&back));
+        assert_eq!(workers_csv(&snaps), workers_csv(&back));
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl OnlineStats {
 ///
 /// Buckets grow geometrically by `2^(1/SUB)` with `SUB = 8` sub-buckets per
 /// octave, giving ≤ ~9 % relative quantile error over `[1 µs, ~5·10^9 µs]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,

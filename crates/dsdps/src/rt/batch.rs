@@ -40,6 +40,10 @@ use super::Shared;
 pub(super) struct Delivered {
     pub(super) tuple: Tuple,
     pub(super) anchor: Option<(RootId, u64)>,
+    /// Runtime clock (µs) when the producer routed this instance; `0` unless
+    /// the tuple's tree is being traced.  The consumer subtracts this from
+    /// its batch-receive time to get the span's queue wait.
+    pub(super) sent_at_us: u64,
 }
 
 /// Message to a spout thread about one of its tuple trees.  Travels in

@@ -1,5 +1,6 @@
 //! Knobs specific to the threaded runtime.
 
+use std::net::SocketAddr;
 use std::time::Duration;
 
 use crate::error::{Error, Result};
@@ -56,6 +57,18 @@ pub struct RtConfig {
     /// share a stripe, so this should be at least the number of concurrently
     /// acking tasks; `1` reproduces the single-global-acker behavior.
     pub acker_shards: usize,
+    /// Fraction of tuple trees to trace end-to-end, in `[0, 1]`.  Sampling
+    /// is a deterministic hash test on the tree's root id, so every thread
+    /// agrees on the decision with no shared state.  `0` (the default)
+    /// disables tracing at the cost of one branch per batch on the data
+    /// plane; sampled trees record one [`crate::telemetry::Span`] per hop
+    /// plus the terminal ack/fail/timeout event.
+    pub trace_sample_rate: f64,
+    /// When set, serve the live metrics registry as Prometheus text
+    /// exposition over HTTP on this address (`None`, the default, binds
+    /// nothing).  Port 0 picks a free port; the bound address is available
+    /// from `RunningTopology::metrics_addr()`.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for RtConfig {
@@ -69,6 +82,8 @@ impl Default for RtConfig {
             max_replays: 0,
             replay_backoff: Duration::from_millis(100),
             acker_shards: 8,
+            trace_sample_rate: 0.0,
+            metrics_addr: None,
         }
     }
 }
@@ -122,6 +137,18 @@ impl RtConfig {
         self
     }
 
+    /// Returns the config with the given tuple-tree trace sampling rate.
+    pub fn with_trace_sample_rate(mut self, trace_sample_rate: f64) -> Self {
+        self.trace_sample_rate = trace_sample_rate;
+        self
+    }
+
+    /// Returns the config serving Prometheus metrics on `metrics_addr`.
+    pub fn with_metrics_addr(mut self, metrics_addr: SocketAddr) -> Self {
+        self.metrics_addr = Some(metrics_addr);
+        self
+    }
+
     /// True when the spout loops should run the replay protocol.
     pub(crate) fn replay_enabled(&self) -> bool {
         self.max_replays > 0
@@ -139,6 +166,11 @@ impl RtConfig {
         }
         if self.acker_shards == 0 {
             return Err(Error::Config("rt acker_shards must be at least 1".into()));
+        }
+        if !self.trace_sample_rate.is_finite() || !(0.0..=1.0).contains(&self.trace_sample_rate) {
+            return Err(Error::Config(
+                "rt trace_sample_rate must be within [0, 1]".into(),
+            ));
         }
         Ok(())
     }
@@ -169,6 +201,34 @@ mod tests {
         let cfg = RtConfig::default().with_hang_timeout(Duration::ZERO);
         assert!(cfg.clone().validate().is_err());
         assert!(cfg.with_supervision(false).validate().is_ok());
+    }
+
+    #[test]
+    fn telemetry_knobs() {
+        let cfg = RtConfig::default();
+        assert_eq!(cfg.trace_sample_rate, 0.0, "tracing is opt-in");
+        assert!(cfg.metrics_addr.is_none(), "no scrape endpoint by default");
+        assert!(RtConfig::default()
+            .with_trace_sample_rate(0.25)
+            .validate()
+            .is_ok());
+        assert!(RtConfig::default()
+            .with_trace_sample_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(RtConfig::default()
+            .with_trace_sample_rate(-0.1)
+            .validate()
+            .is_err());
+        assert!(RtConfig::default()
+            .with_trace_sample_rate(f64::NAN)
+            .validate()
+            .is_err());
+        let addr: std::net::SocketAddr = "127.0.0.1:0".parse().unwrap();
+        assert_eq!(
+            RtConfig::default().with_metrics_addr(addr).metrics_addr,
+            Some(addr)
+        );
     }
 
     #[test]

@@ -52,12 +52,15 @@ use parking_lot::Mutex;
 
 use crate::acker::ShardedAcker;
 use crate::config::EngineConfig;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::metrics::{
     LatencyHistogram, MachineStats, MetricsHistory, MetricsSnapshot, OnlineStats, TaskStats,
     TopologyStats, WorkerStats,
 };
 use crate::scheduler::{even_placement, MachineId, Placement, WorkerId};
+use crate::telemetry::{
+    Counter, Gauge, Journal, JournalEvent, MetricsServer, Registry, Span, Summary, Tracer,
+};
 use crate::topology::{TaskId, Topology};
 
 use batch::{AckMsg, Delivered};
@@ -103,11 +106,24 @@ pub(crate) struct Shared {
     pub(crate) replay_on: bool,
     /// Runtime tuning (replay budget/backoff are read from here).
     pub(crate) rt: RtConfig,
+    /// Sampled tuple-tree tracer ([`RtConfig::trace_sample_rate`]); holds
+    /// the per-task span buffers.  Disabled tracers cost one branch per
+    /// batch on the data plane.
+    pub(crate) tracer: Tracer,
+    /// Control-plane event journal (restarts, replays, fault injections;
+    /// the controller appends routing decisions through
+    /// [`RunningTopology::journal`]).
+    pub(crate) journal: Arc<Journal>,
 }
 
 impl Shared {
     pub(crate) fn now_s(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
+    }
+
+    /// Runtime clock in µs, the span timestamp base.
+    pub(crate) fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
     }
 
     /// Records a liveness heartbeat for `task`.
@@ -153,6 +169,8 @@ pub struct RunningTopology {
     supervisor_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<MetricsHistory>>,
     config: EngineConfig,
+    registry: Arc<Registry>,
+    metrics_server: Option<MetricsServer>,
 }
 
 impl RunningTopology {
@@ -200,10 +218,38 @@ impl RunningTopology {
             .sum()
     }
 
+    /// The run's control-plane event journal.  The runtime appends restart,
+    /// replay and fault-injection events; attach this to a controller to
+    /// journal its routing decisions too.
+    pub fn journal(&self) -> Arc<Journal> {
+        Arc::clone(&self.shared.journal)
+    }
+
+    /// The run's live metrics registry (rendered by the Prometheus
+    /// endpoint, refreshed every metrics interval).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Address the Prometheus endpoint is actually serving on, when
+    /// [`RtConfig::metrics_addr`] was set (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.local_addr())
+    }
+
+    /// Snapshot of the sampled trace so far: merged spans plus the count
+    /// rejected on ring-buffer overflow.
+    pub fn trace_snapshot(&self) -> (Vec<Span>, u64) {
+        self.shared.tracer.snapshot()
+    }
+
     /// Signals stop, joins every thread, and collects any panics that
     /// escaped the per-thread guard.
     fn join_all(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(server) = self.metrics_server.take() {
+            server.shutdown();
+        }
         if let Some(t) = self.supervisor_thread.take() {
             let _ = t.join();
         }
@@ -270,6 +316,7 @@ impl RunningTopology {
                     .map(|m| format!("task {i}: {m}"))
             })
             .collect();
+        let (spans, spans_dropped) = self.shared.tracer.snapshot();
         ThreadedReport {
             uptime_s: self.shared.now_s(),
             spout_emitted: self.shared.spout_emitted_total.load(Ordering::Relaxed),
@@ -286,6 +333,9 @@ impl RunningTopology {
             replays: self.shared.replayed_total.load(Ordering::Relaxed),
             dropped: self.shared.dropped_total.load(Ordering::Relaxed),
             in_flight,
+            journal: self.shared.journal.events(),
+            spans,
+            spans_dropped,
         }
     }
 
@@ -354,6 +404,16 @@ pub struct ThreadedReport {
     /// Messages still unresolved at shutdown (in flight or awaiting a
     /// replay).
     pub in_flight: u64,
+    /// Control-plane event journal of the run, in append order.  Restart /
+    /// replay / fault events come from the runtime; routing-ratio events
+    /// from an attached controller.  Assert on this instead of scraping
+    /// stdout.
+    pub journal: Vec<JournalEvent>,
+    /// Sampled trace of the run ([`RtConfig::trace_sample_rate`]), merged
+    /// across all task buffers and ordered by `(trace_id, start_us)`.
+    pub spans: Vec<Span>,
+    /// Spans rejected because a task's trace buffer overflowed.
+    pub spans_dropped: u64,
 }
 
 impl ThreadedReport {
@@ -364,6 +424,19 @@ impl ThreadedReport {
     /// meaningful per run of a spout instance.)
     pub fn conservation_holds(&self) -> bool {
         self.tracked == self.acked + self.permanently_failed + self.in_flight
+    }
+
+    /// Journal events of the given [`JournalEvent::kind`] tag.
+    pub fn journal_of_kind(&self, kind: &str) -> Vec<&JournalEvent> {
+        self.journal.iter().filter(|e| e.kind() == kind).collect()
+    }
+
+    /// Distinct trace ids present in the sampled span log, sorted.
+    pub fn sampled_trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.spans.iter().map(|s| s.trace_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 }
 
@@ -415,6 +488,121 @@ pub fn submit_faulty(
     submit_inner(topology, config, rt_config, Some(plan), hook)
 }
 
+/// Bridges the runtime's internal atomics into the live metrics
+/// [`Registry`].  Every handle is registered once at submit; the metrics
+/// thread pushes fresh values each interval, so a Prometheus scrape reads
+/// registry cells only and never touches the data plane.
+struct RegistryMirror {
+    spout_emitted: Counter,
+    acked: Counter,
+    failed: Counter,
+    timed_out: Counter,
+    replayed: Counter,
+    dropped: Counter,
+    tracked: Counter,
+    perm_failed: Counter,
+    task_panics: Counter,
+    task_restarts: Counter,
+    in_flight: Gauge,
+    uptime: Gauge,
+    throughput: Gauge,
+    complete_latency: Summary,
+    task_executed: Vec<Counter>,
+    task_queue_len: Vec<Gauge>,
+    task_capacity: Vec<Gauge>,
+    worker_cpu: Vec<Gauge>,
+    worker_lat: Vec<Gauge>,
+}
+
+impl RegistryMirror {
+    fn new(registry: &Registry, task_names: &[(String, WorkerId)], num_workers: usize) -> Self {
+        let per_task = |family: &str| -> Vec<Counter> {
+            task_names
+                .iter()
+                .enumerate()
+                .map(|(i, (name, _))| {
+                    registry.counter(family, &[("task", &i.to_string()), ("component", name)])
+                })
+                .collect()
+        };
+        let per_task_gauge = |family: &str| -> Vec<Gauge> {
+            task_names
+                .iter()
+                .enumerate()
+                .map(|(i, (name, _))| {
+                    registry.gauge(family, &[("task", &i.to_string()), ("component", name)])
+                })
+                .collect()
+        };
+        let per_worker_gauge = |family: &str| -> Vec<Gauge> {
+            (0..num_workers)
+                .map(|w| registry.gauge(family, &[("worker", &w.to_string())]))
+                .collect()
+        };
+        RegistryMirror {
+            spout_emitted: registry.counter("dsdps_spout_emitted_total", &[]),
+            acked: registry.counter("dsdps_acked_total", &[]),
+            failed: registry.counter("dsdps_failed_total", &[]),
+            timed_out: registry.counter("dsdps_timed_out_total", &[]),
+            replayed: registry.counter("dsdps_replayed_total", &[]),
+            dropped: registry.counter("dsdps_dropped_total", &[]),
+            tracked: registry.counter("dsdps_tracked_total", &[]),
+            perm_failed: registry.counter("dsdps_perm_failed_total", &[]),
+            task_panics: registry.counter("dsdps_task_panics_total", &[]),
+            task_restarts: registry.counter("dsdps_task_restarts_total", &[]),
+            in_flight: registry.gauge("dsdps_in_flight", &[]),
+            uptime: registry.gauge("dsdps_uptime_seconds", &[]),
+            throughput: registry.gauge("dsdps_throughput_tuples_per_s", &[]),
+            complete_latency: registry.summary("dsdps_complete_latency_us", &[]),
+            task_executed: per_task("dsdps_task_executed_total"),
+            task_queue_len: per_task_gauge("dsdps_task_queue_len"),
+            task_capacity: per_task_gauge("dsdps_task_capacity"),
+            worker_cpu: per_worker_gauge("dsdps_worker_cpu_cores"),
+            worker_lat: per_worker_gauge("dsdps_worker_avg_latency_us"),
+        }
+    }
+
+    fn update(&self, shared: &Shared, snap: &MetricsSnapshot, hist: &LatencyHistogram) {
+        let tracked = shared.tracked_total.load(Ordering::Relaxed);
+        let acked = shared.acked_total.load(Ordering::Relaxed);
+        let perm = shared.perm_failed_total.load(Ordering::Relaxed);
+        self.spout_emitted
+            .set(shared.spout_emitted_total.load(Ordering::Relaxed));
+        self.acked.set(acked);
+        self.failed.set(shared.failed_total.load(Ordering::Relaxed));
+        self.timed_out
+            .set(shared.timed_out_total.load(Ordering::Relaxed));
+        self.replayed
+            .set(shared.replayed_total.load(Ordering::Relaxed));
+        self.dropped
+            .set(shared.dropped_total.load(Ordering::Relaxed));
+        self.tracked.set(tracked);
+        self.perm_failed.set(perm);
+        let (panics, restarts) = shared.task_stats.iter().fold((0u64, 0u64), |(p, r), s| {
+            (
+                p + s.panics.load(Ordering::SeqCst),
+                r + s.restarts.load(Ordering::SeqCst),
+            )
+        });
+        self.task_panics.set(panics);
+        self.task_restarts.set(restarts);
+        self.in_flight
+            .set(tracked.saturating_sub(acked + perm) as f64);
+        self.uptime.set(snap.time_s);
+        self.throughput.set(snap.topology.throughput);
+        self.complete_latency.replace(hist.clone());
+        for (i, t) in snap.tasks.iter().enumerate() {
+            self.task_executed[i].set(shared.task_stats[i].executed.load(Ordering::Relaxed));
+            self.task_queue_len[i].set(t.queue_len as f64);
+            self.task_capacity[i].set(t.capacity);
+        }
+        for w in &snap.workers {
+            self.worker_cpu[w.worker.0].set(w.cpu_cores_used);
+            self.worker_lat[w.worker.0].set(w.avg_execute_latency_us);
+        }
+    }
+}
+
 fn submit_inner(
     topology: Topology,
     config: EngineConfig,
@@ -426,14 +614,39 @@ fn submit_inner(
     rt_config.validate()?;
     let placement: Placement = even_placement(&topology, &config)?;
     let n_tasks = topology.task_count();
+    let journal = Arc::new(Journal::new());
     let injector = match plan {
         Some(plan) if !plan.is_empty() => {
             plan.validate(n_tasks, placement.num_workers(), config.num_machines)?;
+            for fault in &plan.faults {
+                journal.append(JournalEvent::FaultPlanned {
+                    time_s: 0.0,
+                    description: format!("{fault:?}"),
+                });
+            }
             Some(FaultInjector::new(plan, &placement, n_tasks))
         }
         _ => None,
     };
     let topology = Arc::new(topology);
+
+    let task_names: Vec<(String, WorkerId)> = {
+        let mut v = Vec::with_capacity(n_tasks);
+        for component in topology.components() {
+            for task in component.tasks() {
+                v.push((component.name.clone(), placement.worker_of(task)));
+            }
+        }
+        v
+    };
+    let tracer = Tracer::new(
+        rt_config.trace_sample_rate,
+        n_tasks + 1,
+        task_names
+            .iter()
+            .map(|(name, worker)| (name.clone(), worker.0))
+            .collect(),
+    );
 
     let shared = Arc::new(Shared {
         ackers: ShardedAcker::new(rt_config.acker_shards),
@@ -459,6 +672,8 @@ fn submit_inner(
             .collect(),
         replay_on: rt_config.replay_enabled() && config.ack_enabled,
         rt: rt_config.clone(),
+        tracer,
+        journal: Arc::clone(&journal),
     });
 
     // Channels: batched tuple input per task, batched ack feedback per spout
@@ -485,14 +700,16 @@ fn submit_inner(
     }
     let ack_senders = Arc::new(ack_senders);
 
-    let task_names: Vec<(String, WorkerId)> = {
-        let mut v = Vec::with_capacity(n_tasks);
-        for component in topology.components() {
-            for task in component.tasks() {
-                v.push((component.name.clone(), placement.worker_of(task)));
-            }
-        }
-        v
+    // Live metrics registry + optional Prometheus endpoint.  Bound before
+    // any task thread spawns so a bind failure aborts the submit cleanly.
+    let registry = Arc::new(Registry::new());
+    let mirror = RegistryMirror::new(&registry, &task_names, placement.num_workers());
+    let metrics_server = match rt_config.metrics_addr {
+        Some(addr) => Some(
+            MetricsServer::bind(addr, Arc::clone(&registry))
+                .map_err(|e| Error::Config(format!("metrics_addr {addr} bind failed: {e}")))?,
+        ),
+        None => None,
     };
 
     // One supervised slot per task; the spec re-spawns the task on restart.
@@ -706,6 +923,7 @@ fn submit_inner(
                     machines,
                     topology: topo_stats,
                 };
+                mirror.update(&shared, &snapshot, &lat_hist);
                 if let Some(hook) = hook.as_mut() {
                     hook(&snapshot);
                 }
@@ -722,6 +940,8 @@ fn submit_inner(
         supervisor_thread,
         metrics_thread,
         config,
+        registry,
+        metrics_server,
     })
 }
 

@@ -27,9 +27,17 @@ use crate::hash::FxHashMap;
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum FailDecision {
     /// A replay is scheduled; do not surface the failure to user code yet.
-    Scheduled,
+    Scheduled {
+        /// Attempt number this schedule will become (1 = first replay).
+        attempt: u32,
+        /// Backoff delay before the re-emission fires.
+        delay: Duration,
+    },
     /// Retries exhausted: the message is permanently failed.
-    Exhausted,
+    Exhausted {
+        /// Replay attempts consumed before giving up.
+        attempts: u32,
+    },
     /// The message was never tracked here (e.g. replay enabled mid-stream);
     /// surface the failure as-is.
     Untracked,
@@ -93,26 +101,31 @@ impl ReplayBuffer {
         match self.entries.get_mut(&id) {
             None => FailDecision::Untracked,
             Some(e) if e.attempts >= max_replays => {
+                let attempts = e.attempts;
                 self.entries.remove(&id);
-                FailDecision::Exhausted
+                FailDecision::Exhausted { attempts }
             }
             Some(e) => {
                 let delay = backoff * 2u32.saturating_pow(e.attempts).min(1 << 16);
                 e.attempts += 1;
                 e.retry_at = Some(now + delay);
-                FailDecision::Scheduled
+                FailDecision::Scheduled {
+                    attempt: e.attempts,
+                    delay,
+                }
             }
         }
     }
 
-    /// Takes every message whose backoff has elapsed; the entries stay
-    /// tracked (marked in flight) until acked or failed again.
-    pub(crate) fn take_due(&mut self, now: Instant) -> Vec<(MessageId, Arc<Emission>)> {
+    /// Takes every message whose backoff has elapsed (with its attempt
+    /// number); the entries stay tracked (marked in flight) until acked or
+    /// failed again.
+    pub(crate) fn take_due(&mut self, now: Instant) -> Vec<(MessageId, Arc<Emission>, u32)> {
         let mut due = Vec::new();
         for (id, e) in self.entries.iter_mut() {
             if matches!(e.retry_at, Some(at) if at <= now) {
                 e.retry_at = None;
-                due.push((*id, Arc::clone(&e.emission)));
+                due.push((*id, Arc::clone(&e.emission), e.attempts));
             }
         }
         due
@@ -161,7 +174,13 @@ mod tests {
         assert_eq!(b.len(), 1);
 
         let d = b.on_fail(2, 3, Duration::from_millis(10), t0);
-        assert_eq!(d, FailDecision::Scheduled);
+        assert_eq!(
+            d,
+            FailDecision::Scheduled {
+                attempt: 1,
+                delay: Duration::from_millis(10)
+            }
+        );
         assert!(b.take_due(t0).is_empty(), "backoff not elapsed");
         let due = b.take_due(t0 + Duration::from_millis(11));
         assert_eq!(due.len(), 1);
@@ -196,17 +215,27 @@ mod tests {
         b.on_track(9, emission(9));
         assert_eq!(
             b.on_fail(9, 2, Duration::ZERO, t0),
-            FailDecision::Scheduled,
+            FailDecision::Scheduled {
+                attempt: 1,
+                delay: Duration::ZERO
+            },
             "replay 1"
+        );
+        let due = b.take_due(t0);
+        assert_eq!(due[0].2, 1, "take_due reports the attempt number");
+        assert_eq!(
+            b.on_fail(9, 2, Duration::ZERO, t0),
+            FailDecision::Scheduled {
+                attempt: 2,
+                delay: Duration::ZERO
+            },
+            "replay 2"
         );
         b.take_due(t0);
         assert_eq!(
             b.on_fail(9, 2, Duration::ZERO, t0),
-            FailDecision::Scheduled,
-            "replay 2"
+            FailDecision::Exhausted { attempts: 2 }
         );
-        b.take_due(t0);
-        assert_eq!(b.on_fail(9, 2, Duration::ZERO, t0), FailDecision::Exhausted);
         assert!(b.is_empty(), "exhausted entries are dropped");
         assert_eq!(
             b.on_fail(9, 2, Duration::ZERO, t0),

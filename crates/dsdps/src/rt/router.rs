@@ -33,6 +33,9 @@ pub(super) struct Router {
     shared: Arc<Shared>,
     select_buf: Vec<usize>,
     task: usize,
+    /// Cached `shared.tracer.enabled()`: one branch per emission decides
+    /// whether to stamp send timestamps for queue-wait measurement.
+    trace_on: bool,
 }
 
 impl Router {
@@ -72,12 +75,14 @@ impl Router {
             }
         }
         let out = OutputBuffers::new(rt_cfg.batch_size, rt_cfg.linger, senders, tid);
+        let trace_on = shared.tracer.enabled();
         Self {
             routes,
             out,
             shared,
             select_buf: Vec::new(),
             task: tid,
+            trace_on,
         }
     }
 
@@ -92,6 +97,12 @@ impl Router {
         ops: &mut AckOps,
     ) -> usize {
         let mut delivered = 0;
+        // Stamped once per emission, only for traced trees; untraced tuples
+        // carry 0 and the consumer skips queue-wait math entirely.
+        let sent_at_us = match root {
+            Some(root) if self.trace_on && self.shared.tracer.sampled(root) => self.shared.now_us(),
+            _ => 0,
+        };
         for r in 0..self.routes.len() {
             {
                 let route = &self.routes[r];
@@ -137,8 +148,16 @@ impl Router {
                     ops.push(AckOp::Emit { root, edge });
                     (root, edge)
                 });
-                self.out
-                    .push(dest, Delivered { tuple, anchor }, &self.shared, ops);
+                self.out.push(
+                    dest,
+                    Delivered {
+                        tuple,
+                        anchor,
+                        sent_at_us,
+                    },
+                    &self.shared,
+                    ops,
+                );
                 delivered += 1;
             }
         }

@@ -35,6 +35,7 @@ use parking_lot::Mutex;
 
 use crate::component::TopologyContext;
 use crate::config::EngineConfig;
+use crate::telemetry::JournalEvent;
 use crate::topology::{ComponentId, ComponentKind, Topology};
 
 use super::batch::{AckMsg, Delivered};
@@ -213,6 +214,12 @@ pub(super) fn run_supervisor(shared: Arc<Shared>, sup: Arc<Supervision>, rt_cfg:
             }
             // Supersede the old thread and restart from the factory.
             slot.generation += 1;
+            shared.journal.append(JournalEvent::TaskRestart {
+                time_s: shared.now_s(),
+                task: tid,
+                generation: slot.generation,
+                reason: if dead { "dead" } else { "hung" }.to_string(),
+            });
             s.generation.store(slot.generation, Ordering::SeqCst);
             s.restarts.fetch_add(1, Ordering::SeqCst);
             s.alive.store(true, Ordering::SeqCst);

@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use crate::acker::Completion;
 use crate::component::{Bolt, BoltOutput, Spout, SpoutOutput, TopologyContext};
 use crate::config::EngineConfig;
+use crate::telemetry::{trace::trace_id, JournalEvent, SpanKind};
 use crate::topology::TaskId;
 
 use super::batch::{AckMsg, AckOp, AckOps, Delivered};
@@ -92,6 +93,7 @@ pub(super) fn deliver_outcomes(
         return;
     }
     let replaying = shared.replay_on;
+    let trace_on = shared.tracer.enabled();
     // Lock the (uncontended) slot once for the whole batch, and only when a
     // completion actually carries a latency sample.
     let mut lat = None;
@@ -100,6 +102,22 @@ pub(super) fn deliver_outcomes(
         let spout = o.spout_task.0;
         shared.pending[spout].fetch_sub(1, Ordering::Relaxed);
         let latency_us = o.complete_latency() * 1e6;
+        if trace_on && shared.tracer.sampled(o.root) {
+            let kind = match o.completion {
+                Completion::Acked => SpanKind::Ack,
+                Completion::Failed => SpanKind::Fail,
+                Completion::TimedOut => SpanKind::Timeout,
+            };
+            shared.tracer.record_terminal(
+                lat_slot,
+                o.root,
+                kind,
+                spout,
+                (o.completed_at * 1e6) as u64,
+                latency_us.max(0.0) as u64,
+                o.message_id,
+            );
+        }
         let msg = match o.completion {
             Completion::Acked => {
                 shared.acked_total.fetch_add(1, Ordering::Relaxed);
@@ -144,9 +162,21 @@ fn inject_control_faults(shared: &Shared, tid: usize, my_gen: u64) -> bool {
     };
     let now = shared.now_s();
     if inj.take_panic(tid, now) {
+        // Journal before unwinding; parking_lot mutexes do not poison, so
+        // the journal stays usable after the panic is caught.
+        shared.journal.append(JournalEvent::FaultInjected {
+            time_s: now,
+            task: tid,
+            kind: "panic".to_string(),
+        });
         panic!("injected fault: panic in task {tid} at {now:.3}s");
     }
     if let Some(until_s) = inj.take_hang(tid, now) {
+        shared.journal.append(JournalEvent::FaultInjected {
+            time_s: now,
+            task: tid,
+            kind: "hang".to_string(),
+        });
         // Hang: no heartbeats, no progress — until the window closes, the
         // supervisor supersedes this thread, or shutdown.
         while !shared.stop.load(Ordering::Relaxed)
@@ -206,8 +236,20 @@ fn spout_handle_feedback(
                     Instant::now(),
                 );
                 match decision {
-                    FailDecision::Scheduled => {}
-                    FailDecision::Exhausted => {
+                    FailDecision::Scheduled { attempt, delay } => {
+                        shared.journal.append(JournalEvent::ReplayScheduled {
+                            time_s: shared.now_s(),
+                            message_id: id,
+                            attempt,
+                            delay_ms: delay.as_secs_f64() * 1e3,
+                        });
+                    }
+                    FailDecision::Exhausted { attempts } => {
+                        shared.journal.append(JournalEvent::ReplayExhausted {
+                            time_s: shared.now_s(),
+                            message_id: id,
+                            attempts,
+                        });
                         shared.perm_failed_total.fetch_add(1, Ordering::Relaxed);
                         spout.fail(id);
                     }
@@ -222,7 +264,8 @@ fn spout_handle_feedback(
 fn spout_emit_due_replays(shared: &Shared, tid: usize, router: &mut Router, ops: &mut AckOps) {
     let due = shared.replay[tid].lock().take_due(Instant::now());
     let now_s = shared.now_s();
-    for (message_id, emission) in due {
+    let trace_on = shared.tracer.enabled();
+    for (message_id, emission, attempt) in due {
         let root = shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
         ops.push(AckOp::Track {
             root,
@@ -232,6 +275,18 @@ fn spout_emit_due_replays(shared: &Shared, tid: usize, router: &mut Router, ops:
         });
         shared.pending[tid].fetch_add(1, Ordering::Relaxed);
         shared.replayed_total.fetch_add(1, Ordering::Relaxed);
+        shared.journal.append(JournalEvent::ReplayEmitted {
+            time_s: now_s,
+            message_id,
+            attempt,
+            root,
+            trace_id: trace_id(root),
+        });
+        if trace_on && shared.tracer.sampled(root) {
+            shared
+                .tracer
+                .record_emit(tid, root, tid, shared.now_us(), attempt, message_id);
+        }
         let delivered = router.route(emission.as_ref(), Some(root), ops);
         if delivered == 0 {
             ops.push(AckOp::Ack {
@@ -261,6 +316,7 @@ pub(super) fn run_spout(
     let mut emis = Vec::new();
     let mut ops = AckOps::new(shared.ackers.num_shards());
     let replay_on = shared.replay_on;
+    let trace_on = shared.tracer.enabled();
     // Once the spout exhausts its input it stays alive (draining acks and
     // replaying lost trees) until the replay buffer empties or shutdown.
     let mut exhausted = false;
@@ -352,6 +408,13 @@ pub(super) fn run_spout(
                 _ => None,
             };
             let root = tracked.map(|(root, _)| root);
+            if let Some((root, message_id)) = tracked {
+                if trace_on && shared.tracer.sampled(root) {
+                    shared
+                        .tracer
+                        .record_emit(tid, root, tid, shared.now_us(), 0, message_id);
+                }
+            }
             let delivered = router.route(&emission, root, &mut ops);
             if delivered == 0 {
                 if let Some(root) = root {
@@ -420,6 +483,10 @@ pub(super) fn run_bolt(
     let ticks_enabled = cfg.tick_interval_s > 0.0;
     let mut last_tick = Instant::now();
     let base_timeout = Duration::from_millis(20);
+    let trace_on = shared.tracer.enabled();
+    // Sequence number of delivered batches within this task, stamped into
+    // hop spans so a trace shows which tuples shared a batch.
+    let mut batch_seq: u64 = 0;
     loop {
         shared.beat(tid);
         if shared.superseded(tid, my_gen) {
@@ -448,10 +515,24 @@ pub(super) fn run_bolt(
                 let mut now_s = shared.now_s();
                 out.set_now(now_s);
                 let batch_t0 = Instant::now();
+                // One clock read per batch covers queue-wait math for every
+                // traced tuple it carries.
+                let batch_recv_us = if trace_on { shared.now_us() } else { 0 };
+                batch_seq += 1;
                 let mut executed = 0u64;
                 let mut failed_n = 0u64;
                 let mut slow_busy = 0u64;
                 for delivered in batch {
+                    // Sampled tuples take the per-tuple clock path (like
+                    // faults) so their spans get real execute times.
+                    let traced_root = if trace_on {
+                        delivered
+                            .anchor
+                            .map(|(r, _)| r)
+                            .filter(|&r| shared.tracer.sampled(r))
+                    } else {
+                        None
+                    };
                     let t0 = if faults_on {
                         shared.beat(tid);
                         now_s = shared.now_s();
@@ -467,13 +548,39 @@ pub(super) fn run_bolt(
                         }
                         out.set_now(now_s);
                         Some(Instant::now())
+                    } else if traced_root.is_some() {
+                        Some(Instant::now())
                     } else {
                         None
+                    };
+                    let hop_start_us = if traced_root.is_some() {
+                        shared.now_us()
+                    } else {
+                        0
                     };
                     bolt.execute(&delivered.tuple, &mut out);
                     if let Some(t0) = t0 {
                         inject_service_slowdown(&shared, tid, t0);
-                        slow_busy += t0.elapsed().as_nanos() as u64;
+                        if faults_on {
+                            slow_busy += t0.elapsed().as_nanos() as u64;
+                        }
+                    }
+                    if let Some(root) = traced_root {
+                        let queue_wait_us = if delivered.sent_at_us == 0 {
+                            0
+                        } else {
+                            batch_recv_us.saturating_sub(delivered.sent_at_us)
+                        };
+                        let exec_us = t0.map_or(0, |t| t.elapsed().as_micros() as u64);
+                        shared.tracer.record_hop(
+                            tid,
+                            root,
+                            tid,
+                            hop_start_us,
+                            queue_wait_us,
+                            exec_us,
+                            batch_seq,
+                        );
                     }
                     let failed = out.drain_into(&mut emis);
                     let root = delivered.anchor.map(|(r, _)| r);

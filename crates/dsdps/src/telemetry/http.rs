@@ -1,0 +1,165 @@
+//! Minimal HTTP responder serving the metrics registry.
+//!
+//! The workspace builds offline with no HTTP crate, so this is a
+//! hand-rolled `std::net::TcpListener` loop: accept a connection, read the
+//! request head (the path is ignored — every request gets the scrape), and
+//! write one `HTTP/1.1 200` response with the Prometheus text exposition
+//! body.  The listener is non-blocking so the serving thread can poll a
+//! stop flag and shut down promptly; a scrape endpoint at metrics-interval
+//! cadence needs nothing faster.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use super::registry::Registry;
+
+/// A background thread serving [`Registry::render`] over HTTP.
+#[derive(Debug)]
+pub struct MetricsServer {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks a free port; see [`Self::local_addr`])
+    /// and starts serving `registry` until [`Self::shutdown`] or drop.
+    pub fn bind(addr: SocketAddr, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("dsdps-metrics-http".to_string())
+            .spawn(move || serve_loop(listener, registry, stop_thread))
+            .expect("failed to spawn metrics server thread");
+        Ok(MetricsServer {
+            stop,
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrape errors (client hung up mid-response) are not worth
+                // tearing the server down for.
+                let _ = respond(stream, &registry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn respond(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head (or a size/time cap); the
+    // request line and headers are irrelevant — every path is a scrape.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = registry.render();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_registry_text() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("dsdps_acked_total", &[]).add(42);
+        let server =
+            MetricsServer::bind("127.0.0.1:0".parse().unwrap(), Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let response = scrape(addr);
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("dsdps_acked_total 42"));
+
+        // A second scrape sees a live update.
+        registry.counter("dsdps_acked_total", &[]).add(1);
+        assert!(scrape(addr).contains("dsdps_acked_total 43"));
+
+        server.shutdown();
+        assert!(TcpStream::connect(addr).is_err() || scrape_fails(addr));
+    }
+
+    fn scrape_fails(addr: SocketAddr) -> bool {
+        // After shutdown the listener is closed; a connect may still race
+        // the OS teardown, but writing + reading must fail.
+        match TcpStream::connect(addr) {
+            Err(_) => true,
+            Ok(mut s) => {
+                let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                s.read_to_string(&mut out).map(|n| n == 0).unwrap_or(true)
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Append-only control-plane event journal.
+//!
+//! Every decision the control plane makes — routing-ratio updates from the
+//! controller, supervisor restarts, replay/backoff scheduling, fault
+//! injections — appends one timestamped [`JournalEvent`].  Events carry the
+//! ids needed to cross-reference the other telemetry pillars: replay
+//! events carry the fresh tree's root and trace id, restart events the
+//! task and generation.  The journal serializes to JSONL (one event per
+//! line) so a run's decisions can be read back next to its span log.
+//!
+//! Appends take one uncontended mutex at control-plane rate (a handful of
+//! events per second); nothing here touches the tuple hot path.
+
+use std::io::Write;
+use std::path::Path;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One timestamped control-plane decision.
+///
+/// All timestamps are seconds on the runtime clock (`time_s`), matching
+/// `MetricsSnapshot::time_s`; trace ids match the span log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEvent {
+    /// The controller applied a new split ratio to a dynamic-grouping edge.
+    RatioApplied {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Edge label, `"upstream->downstream"`.
+        edge: String,
+        /// Normalized per-task weights that were applied.
+        ratio: Vec<f64>,
+    },
+    /// The detector flagged a worker as misbehaving.
+    WorkerFlagged {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Flagged worker id.
+        worker: usize,
+        /// Observed / predicted per-tuple latency that tripped the detector, µs.
+        latency_us: f64,
+    },
+    /// The detector cleared a previously flagged worker.
+    WorkerRecovered {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Recovered worker id.
+        worker: usize,
+    },
+    /// The supervisor restarted a dead task or superseded a hung one.
+    TaskRestart {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Restarted task id.
+        task: usize,
+        /// Generation the task was restarted into.
+        generation: u64,
+        /// Why: `"dead"` (panicked/exited) or `"hung"` (heartbeat stale).
+        reason: String,
+    },
+    /// A failed or timed-out message was scheduled for replay.
+    ReplayScheduled {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Spout message id.
+        message_id: u64,
+        /// Attempt number this schedule will become (1 = first replay).
+        attempt: u32,
+        /// Backoff delay before re-emission, milliseconds.
+        delay_ms: f64,
+    },
+    /// A scheduled replay was re-emitted under a fresh tuple tree.
+    ReplayEmitted {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Spout message id.
+        message_id: u64,
+        /// Attempt number of this re-emission (1 = first replay).
+        attempt: u32,
+        /// Root id of the fresh tree.
+        root: u64,
+        /// Trace id of the fresh tree (`splitmix64(root)`).
+        trace_id: u64,
+    },
+    /// The replay budget was exhausted; the message permanently failed.
+    ReplayExhausted {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Spout message id.
+        message_id: u64,
+        /// Replay attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// A fault from the injection plan was armed at submit time.
+    FaultPlanned {
+        /// Runtime clock, seconds (0 at submit).
+        time_s: f64,
+        /// Debug rendering of the planned fault.
+        description: String,
+    },
+    /// A one-shot fault (panic/hang) actually fired in a task.
+    FaultInjected {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Task the fault fired in.
+        task: usize,
+        /// Fault kind, `"panic"` or `"hang"`.
+        kind: String,
+    },
+}
+
+impl JournalEvent {
+    /// The event's timestamp on the runtime clock, seconds.
+    pub fn time_s(&self) -> f64 {
+        match self {
+            JournalEvent::RatioApplied { time_s, .. }
+            | JournalEvent::WorkerFlagged { time_s, .. }
+            | JournalEvent::WorkerRecovered { time_s, .. }
+            | JournalEvent::TaskRestart { time_s, .. }
+            | JournalEvent::ReplayScheduled { time_s, .. }
+            | JournalEvent::ReplayEmitted { time_s, .. }
+            | JournalEvent::ReplayExhausted { time_s, .. }
+            | JournalEvent::FaultPlanned { time_s, .. }
+            | JournalEvent::FaultInjected { time_s, .. } => *time_s,
+        }
+    }
+
+    /// Short kind tag, handy for filtering and assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::RatioApplied { .. } => "ratio_applied",
+            JournalEvent::WorkerFlagged { .. } => "worker_flagged",
+            JournalEvent::WorkerRecovered { .. } => "worker_recovered",
+            JournalEvent::TaskRestart { .. } => "task_restart",
+            JournalEvent::ReplayScheduled { .. } => "replay_scheduled",
+            JournalEvent::ReplayEmitted { .. } => "replay_emitted",
+            JournalEvent::ReplayExhausted { .. } => "replay_exhausted",
+            JournalEvent::FaultPlanned { .. } => "fault_planned",
+            JournalEvent::FaultInjected { .. } => "fault_injected",
+        }
+    }
+}
+
+/// Thread-safe append-only event log.
+#[derive(Default)]
+pub struct Journal {
+    events: Mutex<Vec<JournalEvent>>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends one event.
+    pub fn append(&self, event: JournalEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot of all events in append order.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Renders the journal as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        events_jsonl(&self.events())
+    }
+
+    /// Writes the journal as JSONL to `path`.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("len", &self.len()).finish()
+    }
+}
+
+/// Renders a slice of events as JSONL (one event per line).
+pub fn events_jsonl(events: &[JournalEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("journal serialization cannot fail"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a slice of events as JSONL to `path` (the free-function
+/// counterpart of [`Journal::write_jsonl`], for drained
+/// [`ThreadedReport::journal`](crate::rt::ThreadedReport) slices).
+pub fn write_events_jsonl(path: &Path, events: &[JournalEvent]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(events_jsonl(events).as_bytes())
+}
+
+/// Parses a JSONL journal back into events (inverse of [`events_jsonl`]).
+pub fn parse_jsonl(text: &str) -> Result<Vec<JournalEvent>, serde_json::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::FaultPlanned {
+                time_s: 0.0,
+                description: "WorkerSlowdown { worker: 2, factor: 10.0 }".into(),
+            },
+            JournalEvent::WorkerFlagged {
+                time_s: 1.25,
+                worker: 2,
+                latency_us: 312.5,
+            },
+            JournalEvent::RatioApplied {
+                time_s: 1.25,
+                edge: "src->work".into(),
+                ratio: vec![0.5, 0.0, 0.5],
+            },
+            JournalEvent::TaskRestart {
+                time_s: 2.0,
+                task: 3,
+                generation: 1,
+                reason: "dead".into(),
+            },
+            JournalEvent::ReplayScheduled {
+                time_s: 2.1,
+                message_id: 17,
+                attempt: 1,
+                delay_ms: 100.0,
+            },
+            JournalEvent::ReplayEmitted {
+                time_s: 2.2,
+                message_id: 17,
+                attempt: 1,
+                root: 99,
+                trace_id: crate::acker::splitmix64(99),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let journal = Journal::new();
+        for e in sample_events() {
+            journal.append(e);
+        }
+        assert_eq!(journal.len(), 6);
+        let back = parse_jsonl(&journal.to_jsonl()).unwrap();
+        assert_eq!(back, journal.events());
+    }
+
+    #[test]
+    fn kinds_and_timestamps() {
+        let events = sample_events();
+        assert_eq!(events[0].kind(), "fault_planned");
+        assert_eq!(events[2].kind(), "ratio_applied");
+        assert!((events[1].time_s() - 1.25).abs() < 1e-12);
+        // Append order is chronological for a well-behaved writer.
+        let times: Vec<f64> = events.iter().map(|e| e.time_s()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(times, sorted);
+    }
+}

@@ -278,6 +278,71 @@ proptest! {
         );
     }
 
+    /// Histogram merge is associative and commutative, and agrees with
+    /// recording the concatenated sample stream directly — so per-shard
+    /// telemetry summaries can be combined in any order.
+    #[test]
+    fn histogram_merge_associative_commutative(
+        a in prop::collection::vec(0.25f64..1e6, 0..150),
+        b in prop::collection::vec(0.25f64..1e6, 0..150),
+        c in prop::collection::vec(0.25f64..1e6, 0..150),
+    ) {
+        let build = |xs: &[f64]| {
+            let mut h = LatencyHistogram::new();
+            for &x in xs {
+                h.record(x);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge must be associative");
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&ab_c, &build(&all), "merge must equal one-stream recording");
+    }
+
+    /// Quantile estimates stay within ONE bucket's relative error: buckets
+    /// are spaced 2^(1/8) apart, so `estimate / truth` lies in
+    /// `[1 - ε, 2^(1/8) + ε]` for samples above the underflow cutoff.
+    #[test]
+    fn histogram_quantile_within_one_bucket(
+        mut samples in prop::collection::vec(1.0f64..1e7, 1..300),
+        q_pct in 1u32..101,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_by(f64::total_cmp);
+        let q = q_pct as f64 / 100.0;
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let truth = samples[rank - 1];
+        let got = h.quantile(q).unwrap();
+        let one_bucket = 2f64.powf(1.0 / 8.0);
+        prop_assert!(
+            got >= truth * (1.0 - 1e-12),
+            "q={}: estimate {} below truth {}", q, got, truth
+        );
+        prop_assert!(
+            got <= truth * one_bucket * (1.0 + 1e-12),
+            "q={}: estimate {} exceeds truth {} by more than one bucket ({:.4}x)",
+            q, got, truth, got / truth
+        );
+    }
+
     #[test]
     fn value_equality_implies_hash_equality(a in value_strategy(), b in value_strategy()) {
         use std::collections::hash_map::DefaultHasher;

@@ -475,6 +475,137 @@ fn hang_supersession_at(shards: usize) {
     assert!(report.conservation_holds(), "conservation: {report:?}");
 }
 
+/// The observability acceptance scenario: the panic + slowdown chaos run
+/// with every tree traced (sample rate 1.0).  The span log, the
+/// control-plane journal and the report counters must tell one consistent
+/// story — asserted on [`ThreadedReport`](dsdps::rt::ThreadedReport)
+/// fields, not scraped from stdout.
+#[test]
+fn chaos_run_telemetry_is_consistent() {
+    use dsdps::telemetry::{chrome_trace_json, trace::trace_id, validate_spans, JournalEvent};
+
+    const N: u64 = 2000;
+    let sum = Arc::new(AtomicU64::new(0));
+    let s2 = sum.clone();
+    let mut b = TopologyBuilder::new("chaos-telemetry");
+    b.set_spout("s", 1, move || PacedSpout::new(N, 1000.0))
+        .unwrap();
+    b.set_bolt("acc", 2, move || Accumulator { sum: s2.clone() })
+        .unwrap()
+        .shuffle_grouping("s")
+        .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 2.0;
+    // Panic one bolt early, slow a worker mid-run, and silently drop a
+    // window of deliveries — the drops guarantee timed-out trees and thus a
+    // replayed-tree population for the trace assertions below.
+    let plan = RtFaultPlan::new()
+        .with(RtFault::TaskPanic { task: 1, at_s: 0.4 })
+        .with(RtFault::WorkerSlowdown {
+            worker: 2,
+            factor: 10.0,
+            from_s: 0.8,
+            until_s: 2.5,
+        })
+        .with(RtFault::DropTuples {
+            task: 2,
+            from_s: 0.6,
+            until_s: 1.2,
+        });
+    let rt_cfg = RtConfig::default()
+        .with_max_replays(5)
+        .with_replay_backoff(Duration::from_millis(50))
+        .with_hang_timeout(Duration::from_secs(2))
+        .with_trace_sample_rate(1.0);
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    wait_until(30, || running.acked() >= N);
+    let (_, report) = running.shutdown();
+
+    assert_eq!(report.acked, N, "replay recovers every tree: {report:?}");
+    assert!(report.conservation_holds(), "conservation: {report:?}");
+    assert!(
+        report.replays > 0,
+        "the drop window must have cost (and replayed) some trees: {report:?}"
+    );
+
+    // -- Span log: structurally consistent and complete at sample rate 1.0.
+    assert_eq!(
+        report.spans_dropped, 0,
+        "trace rings must not overflow here"
+    );
+    let summary = validate_spans(&report.spans).expect("span log is consistent");
+    assert_eq!(
+        summary.open_trees, 0,
+        "every sampled tree reached a terminal: {summary:?}"
+    );
+    assert_eq!(
+        summary.trees,
+        (N + report.replays) as usize,
+        "one tree per original root plus one per replay emission: {summary:?}"
+    );
+    assert_eq!(
+        summary.replayed_trees, report.replays as usize,
+        "replayed trees carry replay_attempt > 0 on their emit span"
+    );
+    assert!(summary.hop_spans > 0, "bolt hops were recorded");
+
+    // -- Journal: control-plane events match the report counters exactly.
+    assert_eq!(
+        report.journal_of_kind("task_restart").len() as u64,
+        report.task_restarts,
+        "journal: {:?}",
+        report.journal
+    );
+    assert_eq!(
+        report.journal_of_kind("fault_injected").len() as u64,
+        report.task_panics,
+        "each caught injected panic was journaled first"
+    );
+    assert_eq!(
+        report.journal_of_kind("fault_planned").len(),
+        3,
+        "every planned fault was journaled at submit"
+    );
+    assert_eq!(
+        report.journal_of_kind("replay_emitted").len() as u64,
+        report.replays
+    );
+
+    // -- Cross-reference: every journaled replay emission points at a
+    // sampled trace whose emit span records the same attempt.
+    let sampled = report.sampled_trace_ids();
+    for e in report.journal_of_kind("replay_emitted") {
+        let JournalEvent::ReplayEmitted {
+            root,
+            trace_id: tid,
+            attempt,
+            ..
+        } = e
+        else {
+            panic!("kind filter returned {e:?}");
+        };
+        assert_eq!(*tid, trace_id(*root), "journal trace id derivation");
+        assert!(
+            sampled.binary_search(tid).is_ok(),
+            "replayed tree {root} must appear in the span log"
+        );
+        assert!(*attempt > 0, "replay attempts are 1-based");
+    }
+
+    // -- Chrome trace export: valid JSON with one event per span.
+    let chrome = chrome_trace_json(&report.spans);
+    let parsed = serde_json::parse(&chrome).expect("chrome trace is valid JSON");
+    let events = parsed
+        .as_object()
+        .and_then(|o| o.iter().find(|(k, _)| k == "traceEvents"))
+        .and_then(|(_, v)| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), report.spans.len());
+}
+
 /// 30-second soak: rolling chaos (panics, a hang, slowdowns, drop windows)
 /// against a continuously emitting spout.  Run with `--ignored`.
 #[test]

@@ -160,6 +160,18 @@ pub fn single_entry<'a>(v: &'a JsonValue, ty: &str) -> Result<(&'a str, &'a Json
     }
 }
 
+impl Serialize for JsonValue {
+    fn serialize_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Renders `self` into the [`JsonValue`] data model.
 pub trait Serialize {
     /// Builds the value tree for `self`.

@@ -572,6 +572,9 @@ fn reactive_control_routes_around_slowed_worker_on_threaded_runtime() {
 
     let running =
         rt::submit_faulty(topology, engine_cfg, RtConfig::default(), plan, Some(hook)).unwrap();
+    // Controller decisions land in the run's control-plane journal, so the
+    // reroute below is asserted from the report, not from scraped events.
+    shared.lock().attach_journal(running.journal());
     std::thread::sleep(Duration::from_secs(7));
     let (_, report) = running.shutdown();
 
@@ -601,6 +604,26 @@ fn reactive_control_routes_around_slowed_worker_on_threaded_runtime() {
         faulty_weight < 0.15,
         "traffic routed around the slowed task: ratio {:?}",
         weights.as_slice()
+    );
+
+    // The control-plane journal records the same story: the degraded worker
+    // was flagged and a routing update dodged its task.
+    use streampc::dsdps::telemetry::JournalEvent;
+    assert!(
+        report.journal.iter().any(|e| matches!(
+            e,
+            JournalEvent::WorkerFlagged { worker, .. } if *worker == fault_worker.0
+        )),
+        "journal must record the flagged worker; journal: {:?}",
+        report.journal
+    );
+    assert!(
+        report.journal.iter().any(|e| matches!(
+            e,
+            JournalEvent::RatioApplied { ratio, .. } if ratio[faulty_idx] < 0.15
+        )),
+        "journal must record the routing update that dodged the slowed task; journal: {:?}",
+        report.journal
     );
 }
 
