@@ -13,12 +13,15 @@
 //! * [`workload`] — time-varying rate patterns (diurnal/bursty/random
 //!   walk) and Zipf catalogs, seeded and deterministic;
 //! * [`faults`] — reusable misbehaving-worker scenarios for the
-//!   reliability experiments.
+//!   reliability experiments;
+//! * [`overload`] — flash-crowd, key-skew-storm, and slow-sink-cascade
+//!   topologies for the backpressure experiments.
 
 #![warn(missing_docs)]
 
 pub mod continuous_queries;
 pub mod faults;
+pub mod overload;
 pub mod url_count;
 pub mod workload;
 
@@ -29,6 +32,10 @@ pub mod prelude {
         QueryResult,
     };
     pub use crate::faults::FaultScenario;
+    pub use crate::overload::{
+        build_flash_crowd, build_key_skew_storm, build_slow_sink_cascade, OverloadConfig,
+        OverloadStats,
+    };
     pub use crate::url_count::{build_url_count, UrlCountConfig, UrlCountStats, WindowReport};
     pub use crate::workload::{RateDriver, RatePattern, UrlCatalog, ZipfSampler};
 }

@@ -55,6 +55,21 @@ pub enum RatePattern {
         /// Seed for the walk.
         seed: u64,
     },
+    /// Flat base with a single flash-crowd spike: the rate jumps to `peak`
+    /// during `[at_s, at_s + len_s)` and returns to `base` afterwards.
+    /// Unlike [`RatePattern::Bursty`] the spike fires exactly once, which is
+    /// what the backpressure overload experiments need: a before/during/after
+    /// comparison against one overload event.
+    FlashCrowd {
+        /// Rate outside the spike.
+        base: f64,
+        /// Rate during the spike.
+        peak: f64,
+        /// Spike start, seconds.
+        at_s: f64,
+        /// Spike duration, seconds.
+        len_s: f64,
+    },
     /// Sum of two patterns.
     Sum(Box<RatePattern>, Box<RatePattern>),
 }
@@ -100,6 +115,18 @@ impl RatePattern {
                     rate = (rate + (u * 2.0 - 1.0) * step).clamp(*min, *max);
                 }
                 rate
+            }
+            RatePattern::FlashCrowd {
+                base,
+                peak,
+                at_s,
+                len_s,
+            } => {
+                if t >= *at_s && t < *at_s + *len_s {
+                    *peak
+                } else {
+                    *base
+                }
             }
             RatePattern::Sum(a, b) => a.rate_at(t) + b.rate_at(t),
         };
@@ -336,6 +363,36 @@ mod tests {
         }
         // The walk must actually move.
         assert_ne!(p.rate_at(0.0), p.rate_at(100.0));
+    }
+
+    #[test]
+    fn flash_crowd_spikes_exactly_once() {
+        let p = RatePattern::FlashCrowd {
+            base: 100.0,
+            peak: 4000.0,
+            at_s: 2.0,
+            len_s: 3.0,
+        };
+        assert_eq!(p.rate_at(0.0), 100.0);
+        assert_eq!(p.rate_at(2.0), 4000.0);
+        assert_eq!(p.rate_at(4.9), 4000.0);
+        assert_eq!(p.rate_at(5.0), 100.0);
+        // Unlike Bursty, no second spike one "period" later.
+        assert_eq!(p.rate_at(7.0), 100.0);
+        // Integral: 2 s base + 3 s peak + 1 s base = 200 + 12000 + 100.
+        // Stepped finely, the way a spout polls — trapezoidal integration
+        // only sees a discontinuous spike through sub-spike steps.
+        let mut d = RateDriver::new(p);
+        let mut total = 0u64;
+        for k in 1..=600 {
+            let n = d.due(k as f64 * 0.01);
+            d.emitted(n);
+            total += n;
+        }
+        assert!(
+            (total as f64 - 12_300.0).abs() < 150.0,
+            "flash-crowd total {total}"
+        );
     }
 
     #[test]

@@ -248,7 +248,7 @@ fn fig_reliability(ctx: &Ctx, app: App) -> ExpResult {
                         worker.to_string(),
                     ]);
                 }
-                ControlEvent::RatioApplied { .. } => {}
+                ControlEvent::RatioApplied { .. } | ControlEvent::RateCapApplied { .. } => {}
             }
         }
     }

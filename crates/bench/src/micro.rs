@@ -16,6 +16,9 @@
 //! * `control_epoch`  — one controller epoch (snapshot → plan → actuate)
 //! * `rt_batching`    — threaded-runtime tuple throughput on a 3-stage
 //!   shuffle-grouped topology at several batch sizes
+//! * `rt_overload`    — queue-wait quantiles at a 4×-overload point
+//!   (spout offered rate four times the sink's service capacity) with and
+//!   without the adaptive spout throttle, feeding the CI backpressure gate
 //!
 //! Every measurement is recorded in a [`MicroResults`] and can be written
 //! as `BENCH_kernels.json` at the repository root, so CI and the results
@@ -56,6 +59,22 @@ pub struct MicroResults {
     /// `(workers, batch_size, acked tuples/s)` of the threaded-runtime
     /// worker-scaling sweep (written to `BENCH_rt.json`).
     pub rt_scaling: Vec<(usize, usize, f64)>,
+    /// Queue-wait quantiles at the 4×-overload point, with and without the
+    /// adaptive spout throttle (also written to `BENCH_rt.json`).
+    pub rt_overload: Option<RtOverload>,
+}
+
+/// Queue-wait measurements of one overloaded run pair (µs).
+pub struct RtOverload {
+    /// Steady-state (last metrics interval) queue-wait p99 with the AIMD
+    /// throttle enabled.
+    pub throttled_p99_us: f64,
+    /// Steady-state queue-wait p99 with the throttle off — the queues sit
+    /// full, so this is the channel-capacity-sized plateau.
+    pub unthrottled_p99_us: f64,
+    /// Whole-run queue-wait median of the unthrottled run; the CI gate's
+    /// reference point.
+    pub unthrottled_p50_us: f64,
 }
 
 impl MicroResults {
@@ -65,6 +84,7 @@ impl MicroResults {
             ns_per_iter: Vec::new(),
             rt_acked_tuples_per_s: Vec::new(),
             rt_scaling: Vec::new(),
+            rt_overload: None,
         }
     }
 
@@ -137,6 +157,9 @@ impl MicroResults {
 
     /// Serializes the worker-scaling sweep as a stable JSON document keyed
     /// `"w{workers}_b{batch}"`, the format CI's regression gate consumes.
+    /// When the overload point ran, an `overload_queue_wait_us` section is
+    /// appended; the throughput-gate parser only reads
+    /// `acked_tuples_per_s`, so the extra section is backward compatible.
     pub fn rt_scaling_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push_str("{\n  \"schema\": \"bench_rt/v1\",\n");
@@ -150,7 +173,23 @@ impl MicroResults {
             };
             s.push_str(&format!("    \"w{workers}_b{batch}\": {tput:.1}{sep}\n"));
         }
-        s.push_str("  }\n}\n");
+        s.push_str("  }");
+        if let Some(o) = &self.rt_overload {
+            s.push_str(",\n  \"overload_queue_wait_us\": {\n");
+            s.push_str(&format!(
+                "    \"throttled_p99\": {:.1},\n",
+                o.throttled_p99_us
+            ));
+            s.push_str(&format!(
+                "    \"unthrottled_p99\": {:.1},\n",
+                o.unthrottled_p99_us
+            ));
+            s.push_str(&format!(
+                "    \"unthrottled_p50\": {:.1}\n  }}",
+                o.unthrottled_p50_us
+            ));
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -501,6 +540,151 @@ fn bench_rt_scaling(res: &mut MicroResults, run_s: f64) {
     }
 }
 
+// --- Threaded-runtime overload point -----------------------------------
+
+/// Spout paced at a fixed offered rate (tuples/s), independent of
+/// backpressure: when the downstream queues push back it falls behind and
+/// catches up in bounded bursts, which is exactly how an external source
+/// behaves during a flash crowd.
+struct PacedSpout {
+    next_id: u64,
+    rate: f64,
+    stop: Arc<AtomicBool>,
+}
+
+impl Spout for PacedSpout {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let due = (out.now_s() * self.rate) as u64;
+        for _ in 0..due.saturating_sub(self.next_id).min(256) {
+            self.next_id += 1;
+            out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        }
+        true
+    }
+}
+
+/// Sink whose service time is a real sleep, so the overload is genuine
+/// occupancy rather than a simulated cost (and a single-core bench host is
+/// not starved by busy-spinning).
+struct SleepySink {
+    service: Duration,
+}
+
+impl Bolt for SleepySink {
+    fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {
+        std::thread::sleep(self.service);
+    }
+}
+
+/// Runs the overload point — spout offered rate 4× the sink stage's nominal
+/// service capacity — for `run_s` seconds and returns the report.  Credit
+/// flow is on in both variants (window = channel capacity, so credits never
+/// bind tighter than the queues); `throttle` additionally arms the AIMD
+/// spout throttle with its default 5 ms queue-wait target.
+fn rt_overload_report(throttle: bool, run_s: f64) -> rt::ThreadedReport {
+    const SINK_WORKERS: usize = 2;
+    const SERVICE_US: u64 = 400;
+    // Nominal capacity = workers / service_time; offer four times that.
+    let offered = 4.0 * SINK_WORKERS as f64 * 1e6 / SERVICE_US as f64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let s2 = stop.clone();
+    let mut b = TopologyBuilder::new("rt-overload-bench");
+    b.set_spout("src", 1, move || PacedSpout {
+        next_id: 0,
+        rate: offered,
+        stop: s2.clone(),
+    })
+    .unwrap();
+    b.set_bolt("sink", SINK_WORKERS, || SleepySink {
+        service: Duration::from_micros(SERVICE_US),
+    })
+    .unwrap()
+    .shuffle_grouping("src")
+    .unwrap();
+    let topo = b.build().unwrap();
+    let mut cfg = EngineConfig::default().with_cluster(1, SINK_WORKERS, 4);
+    // Let the queue-level machinery (credits + throttle) do the work: the
+    // in-flight tree gate must not engage first.
+    cfg.max_spout_pending = 1_000_000;
+    cfg.metrics_interval_s = 0.25;
+    let mut rt_cfg = RtConfig::default().with_credit_flow(cfg.queue_capacity);
+    if throttle {
+        rt_cfg = rt_cfg.with_adaptive_throttle(Duration::from_millis(5));
+    }
+    let running = rt::submit_with(topo, cfg, rt_cfg).unwrap();
+    std::thread::sleep(Duration::from_secs_f64(run_s));
+    stop.store(true, Ordering::Relaxed);
+    let (_, report) = running.shutdown();
+    report
+}
+
+/// Measures the overload pair (throttled, then unthrottled) and records the
+/// queue-wait quantiles into [`MicroResults::rt_overload`] / `BENCH_rt.json`.
+fn bench_rt_overload(res: &mut MicroResults, run_s: f64) {
+    println!(
+        "\nrt_overload: paced spout at 4x sink capacity, {run_s:.1}s per variant, \
+         steady-state queue-wait p99"
+    );
+    let throttled = rt_overload_report(true, run_s);
+    let unthrottled = rt_overload_report(false, run_s);
+    let point = RtOverload {
+        throttled_p99_us: throttled.queue_wait_last_p99_us,
+        unthrottled_p99_us: unthrottled.queue_wait_last_p99_us,
+        unthrottled_p50_us: unthrottled.queue_wait_p50_us,
+    };
+    println!(
+        "  throttled   p99 {:>10} us (final rate cap {})",
+        fmt_num(point.throttled_p99_us),
+        throttled
+            .rate_cap
+            .map_or("none".to_string(), |c| format!("{} tuples/s", fmt_num(c)))
+    );
+    println!(
+        "  unthrottled p99 {:>10} us, median {:>10} us",
+        fmt_num(point.unthrottled_p99_us),
+        fmt_num(point.unthrottled_p50_us)
+    );
+    res.rt_overload = Some(point);
+}
+
+/// CI backpressure gate: at the 4×-overload point, the throttled run's
+/// steady-state queue-wait p99 must stay within 5× the unthrottled run's
+/// median.  Also fails when the unthrottled run never actually queued
+/// (median below the 5 ms throttle target) — that means the bench lost its
+/// overload and the comparison is meaningless.
+fn check_overload_gate(res: &MicroResults) -> Result<(), String> {
+    const RATIO: f64 = 5.0;
+    const MIN_UNTHROTTLED_P50_US: f64 = 5_000.0;
+    let o = res
+        .rt_overload
+        .as_ref()
+        .ok_or("overload gate: the rt_overload point was not measured")?;
+    println!(
+        "\nrt overload gate: throttled p99 {} us vs {RATIO:.0}x unthrottled median {} us",
+        fmt_num(o.throttled_p99_us),
+        fmt_num(o.unthrottled_p50_us)
+    );
+    if o.unthrottled_p50_us < MIN_UNTHROTTLED_P50_US {
+        return Err(format!(
+            "overload gate: unthrottled median queue-wait {:.0} us is below {:.0} us — \
+             the 4x overload point no longer overloads, so the throttle comparison is void",
+            o.unthrottled_p50_us, MIN_UNTHROTTLED_P50_US
+        ));
+    }
+    if o.throttled_p99_us > RATIO * o.unthrottled_p50_us {
+        return Err(format!(
+            "overload gate: throttled steady-state queue-wait p99 {:.0} us exceeds \
+             {RATIO:.0}x the unthrottled median {:.0} us — the adaptive throttle is \
+             no longer holding the tail down",
+            o.throttled_p99_us, o.unthrottled_p50_us
+        ));
+    }
+    Ok(())
+}
+
 fn bench_rt_batching(res: &mut MicroResults, run_s: f64) {
     println!("\nrt_batching: 3-stage shuffle topology (src -> relay x2 -> sink x2), {run_s:.1}s per point");
     let base = rt_throughput(1, run_s);
@@ -540,6 +724,9 @@ pub fn run(smoke: bool) -> MicroResults {
     bench_control_epoch(&mut res, target);
     bench_rt_batching(&mut res, if smoke { 0.3 } else { 3.0 });
     bench_rt_scaling(&mut res, if smoke { 0.5 } else { 2.5 });
+    // The AIMD throttle needs several 0.25 s metrics intervals to converge,
+    // so even smoke mode runs the overload pair for a few seconds.
+    bench_rt_overload(&mut res, if smoke { 2.5 } else { 5.0 });
     res
 }
 
@@ -699,9 +886,11 @@ fn check_telemetry_overhead(mode: &str, smoke: bool, stripped_bin: &str) -> Resu
 /// throughput-regression gate; `--check-telemetry-overhead <stripped-bin>`
 /// enforces the telemetry-overhead gate against a `strip-telemetry` build
 /// of this same binary via interleaved best-of-N sampling (3% tolerance,
-/// writing `BENCH_telemetry.json`).  `--rt-point W B SECS REPS` repeats one
-/// scaling point for manual A/B runs (and serves the gate's reference
-/// samples).
+/// writing `BENCH_telemetry.json`).  `--check-overload-gate` enforces the
+/// backpressure gate at the 4×-overload point: throttled steady-state
+/// queue-wait p99 must stay within 5× the unthrottled run's median.
+/// `--rt-point W B SECS REPS` repeats one scaling point for manual A/B runs
+/// (and serves the gate's reference samples).
 pub fn main_entry() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--test");
@@ -714,6 +903,7 @@ pub fn main_entry() {
     };
     let baseline = flag_path("--check-rt-baseline");
     let telemetry_check = flag_path("--check-telemetry-overhead");
+    let overload_gate = args.iter().any(|a| a == "--check-overload-gate");
     if let Some(i) = args.iter().position(|a| a == "--rt-point") {
         // Diagnostic mode: repeat one rt_scaling point and print each sample,
         // for A/B-ing builds without paying for the whole suite.
@@ -747,10 +937,77 @@ pub fn main_entry() {
             std::process::exit(1);
         }
     }
+    if overload_gate {
+        if let Err(msg) = check_overload_gate(&res) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
     if let Some(path) = telemetry_check {
         if let Err(msg) = check_telemetry_overhead(res.mode, smoke, &path) {
             eprintln!("{msg}");
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results_with_overload(thr_p99: f64, unthr_p99: f64, unthr_p50: f64) -> MicroResults {
+        let mut res = MicroResults::new("smoke");
+        res.rt_scaling.push((1, 64, 120_000.0));
+        res.rt_overload = Some(RtOverload {
+            throttled_p99_us: thr_p99,
+            unthrottled_p99_us: unthr_p99,
+            unthrottled_p50_us: unthr_p50,
+        });
+        res
+    }
+
+    #[test]
+    fn overload_gate_passes_when_throttle_holds_the_tail() {
+        let res = results_with_overload(20_000.0, 900_000.0, 400_000.0);
+        check_overload_gate(&res).unwrap();
+    }
+
+    #[test]
+    fn overload_gate_fails_when_throttled_tail_blows_past_five_x_median() {
+        let res = results_with_overload(2_500_000.0, 900_000.0, 400_000.0);
+        let err = check_overload_gate(&res).unwrap_err();
+        assert!(err.contains("exceeds"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn overload_gate_fails_when_the_bench_never_overloaded() {
+        let res = results_with_overload(1_000.0, 2_000.0, 1_500.0);
+        let err = check_overload_gate(&res).unwrap_err();
+        assert!(err.contains("no longer overloads"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn overload_gate_fails_without_a_measurement() {
+        let res = MicroResults::new("smoke");
+        assert!(check_overload_gate(&res).is_err());
+    }
+
+    #[test]
+    fn rt_json_with_overload_block_still_parses_for_the_baseline_gate() {
+        let res = results_with_overload(20_000.0, 900_000.0, 400_000.0);
+        let json = res.rt_scaling_json();
+        assert!(json.contains("\"overload_queue_wait_us\""));
+        assert!(json.contains("\"throttled_p99\": 20000.0"));
+        // The throughput-regression parser must keep reading the document.
+        assert_eq!(rt_baseline_w1_b64(&json), Some(120_000.0));
+    }
+
+    #[test]
+    fn rt_json_without_overload_block_matches_the_legacy_shape() {
+        let mut res = MicroResults::new("smoke");
+        res.rt_scaling.push((1, 64, 120_000.0));
+        let json = res.rt_scaling_json();
+        assert!(!json.contains("overload_queue_wait_us"));
+        assert_eq!(rt_baseline_w1_b64(&json), Some(120_000.0));
     }
 }

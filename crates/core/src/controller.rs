@@ -46,6 +46,53 @@ impl ControlMode {
     }
 }
 
+/// A spout-rate actuation surface: the second knob (next to routing
+/// ratios) the planner can turn, trading throughput against tail latency.
+/// Implemented by `dsdps::rt::BackpressureHandle` for live topologies and
+/// trivially stubbable in tests.
+pub trait RateActuator: Send {
+    /// Current spout rate cap, tuples/s (`None` = uncapped).
+    fn rate_cap(&self) -> Option<f64>;
+    /// Applies (or clears) the cap; `reason` lands in the journal.
+    fn set_rate_cap(&self, cap: Option<f64>, reason: &str);
+}
+
+impl RateActuator for dsdps::rt::BackpressureHandle {
+    fn rate_cap(&self) -> Option<f64> {
+        dsdps::rt::BackpressureHandle::rate_cap(self)
+    }
+    fn set_rate_cap(&self, cap: Option<f64>, reason: &str) {
+        dsdps::rt::BackpressureHandle::set_rate_cap(self, cap, reason);
+    }
+}
+
+/// Parameters of the controller's spout-rate policy
+/// ([`Controller::attach_rate_actuator`]): hold the topology's complete-
+/// latency p99 under an SLO by capping spout rate, and recover throughput
+/// multiplicatively once comfortably back under it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateControlConfig {
+    /// Target: complete-latency p99 must stay at or under this, ms.
+    pub p99_slo_ms: f64,
+    /// Multiplicative cut applied to the cap while over the SLO, in (0, 1).
+    pub decrease_factor: f64,
+    /// Multiplicative growth applied while under half the SLO, > 1.
+    pub recovery_factor: f64,
+    /// The cap never drops below this, tuples/s.
+    pub min_rate: f64,
+}
+
+impl Default for RateControlConfig {
+    fn default() -> Self {
+        RateControlConfig {
+            p99_slo_ms: 50.0,
+            decrease_factor: 0.7,
+            recovery_factor: 1.25,
+            min_rate: 100.0,
+        }
+    }
+}
+
 /// Controller parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControllerConfig {
@@ -122,6 +169,15 @@ pub enum ControlEvent {
         /// The applied ratio.
         ratio: SplitRatio,
     },
+    /// A new spout rate cap was pushed to the rate actuator.
+    RateCapApplied {
+        /// Interval index.
+        interval: u64,
+        /// The applied cap, tuples/s (`None` = uncapped).
+        rate_cap: Option<f64>,
+        /// The p99 complete latency (ms) that drove the decision.
+        p99_ms: f64,
+    },
 }
 
 /// The predictive controller.
@@ -139,6 +195,9 @@ pub struct Controller {
     last_estimates: HashMap<WorkerId, f64>,
     /// Attached control-plane journal, if any ([`Controller::attach_journal`]).
     journal: Option<Arc<Journal>>,
+    /// Attached spout-rate actuator and its policy, if any
+    /// ([`Controller::attach_rate_actuator`]).
+    rate_control: Option<(RateControlConfig, Box<dyn RateActuator>)>,
 }
 
 impl Controller {
@@ -191,6 +250,7 @@ impl Controller {
             calibrated: false,
             last_estimates: HashMap::new(),
             journal: None,
+            rate_control: None,
         })
     }
 
@@ -201,6 +261,21 @@ impl Controller {
     /// cross-referencable with the runtime's restart and replay events.
     pub fn attach_journal(&mut self, journal: Arc<Journal>) {
         self.journal = Some(journal);
+    }
+
+    /// Attaches a spout-rate actuator (typically the running topology's
+    /// `BackpressureHandle`): each control epoch then also holds the
+    /// topology's complete-latency p99 under `config.p99_slo_ms` by cutting
+    /// the spout rate cap multiplicatively, recovering it once the p99 sits
+    /// comfortably under half the SLO.  Decisions are pushed through the
+    /// actuator (which journals them as `ThrottleChanged` with reason
+    /// `"controller"`) and recorded as [`ControlEvent::RateCapApplied`].
+    pub fn attach_rate_actuator(
+        &mut self,
+        actuator: Box<dyn RateActuator>,
+        config: RateControlConfig,
+    ) {
+        self.rate_control = Some((config, actuator));
     }
 
     /// The workers whose health this controller tracks.
@@ -413,6 +488,30 @@ impl Controller {
                     interval: snapshot.interval,
                     edge: edge.label.clone(),
                     ratio,
+                });
+            }
+        }
+        // 4. Rate actuation: trade throughput for tail latency.
+        if let Some((rc, actuator)) = &self.rate_control {
+            let p99_ms = snapshot.topology.p99_complete_latency_ms;
+            let cap = actuator.rate_cap();
+            let new_cap = if p99_ms > rc.p99_slo_ms {
+                // Over SLO: cut.  From uncapped, start at the throughput
+                // actually observed (INFINITY has no meaningful multiple).
+                let base = cap.unwrap_or_else(|| snapshot.topology.throughput.max(rc.min_rate));
+                Some((base * rc.decrease_factor).max(rc.min_rate))
+            } else if p99_ms < rc.p99_slo_ms * 0.5 {
+                // Comfortably under: recover throughput.
+                cap.map(|c| c * rc.recovery_factor)
+            } else {
+                cap
+            };
+            if new_cap != cap {
+                actuator.set_rate_cap(new_cap, "controller");
+                self.events.push(ControlEvent::RateCapApplied {
+                    interval: snapshot.interval,
+                    rate_cap: new_cap,
+                    p99_ms,
                 });
             }
         }
@@ -712,6 +811,68 @@ mod tests {
             c.history().len(),
             ControllerConfig::default().history_capacity
         );
+    }
+
+    /// Stub rate actuator: a shared cell standing in for the runtime's
+    /// `BackpressureHandle`.
+    struct StubActuator {
+        cap: Arc<Mutex<Option<f64>>>,
+    }
+    impl RateActuator for StubActuator {
+        fn rate_cap(&self) -> Option<f64> {
+            *self.cap.lock()
+        }
+        fn set_rate_cap(&self, cap: Option<f64>, _reason: &str) {
+            *self.cap.lock() = cap;
+        }
+    }
+
+    fn snapshot_with_p99(interval: u64, p99_ms: f64, throughput: f64) -> MetricsSnapshot {
+        let mut s = snapshot(interval, &[100.0; 4]);
+        s.topology.p99_complete_latency_ms = p99_ms;
+        s.topology.throughput = throughput;
+        s
+    }
+
+    #[test]
+    fn rate_actuator_caps_over_slo_and_recovers_under_it() {
+        let (mut c, _) = build(ControlMode::Reactive);
+        let cap = Arc::new(Mutex::new(None));
+        c.attach_rate_actuator(
+            Box::new(StubActuator { cap: cap.clone() }),
+            RateControlConfig {
+                p99_slo_ms: 50.0,
+                ..RateControlConfig::default()
+            },
+        );
+        // Warmup + over-SLO intervals: the first breach caps at
+        // throughput × decrease_factor, further breaches keep cutting.
+        for i in 0..5 {
+            c.on_snapshot(&snapshot_with_p99(i, 10.0, 2000.0));
+        }
+        assert_eq!(*cap.lock(), None, "under SLO stays uncapped");
+        for i in 5..8 {
+            c.on_snapshot(&snapshot_with_p99(i, 200.0, 2000.0));
+        }
+        let capped = cap.lock().expect("over-SLO run must be capped");
+        assert!(capped < 2000.0, "cap below observed throughput: {capped}");
+        // Comfortably under half the SLO: the cap recovers multiplicatively.
+        for i in 8..12 {
+            c.on_snapshot(&snapshot_with_p99(i, 5.0, 1000.0));
+        }
+        let recovered = cap.lock().expect("recovery keeps a (growing) cap");
+        assert!(recovered > capped, "{recovered} vs {capped}");
+        // Decisions land in the audit log.
+        assert!(c
+            .events()
+            .iter()
+            .any(|e| matches!(e, ControlEvent::RateCapApplied { .. })));
+        // Never below the floor.
+        let floor = RateControlConfig::default().min_rate;
+        for i in 12..40 {
+            c.on_snapshot(&snapshot_with_p99(i, 500.0, 2000.0));
+        }
+        assert!(cap.lock().unwrap() >= floor);
     }
 
     #[test]

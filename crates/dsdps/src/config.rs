@@ -22,6 +22,18 @@ pub struct EngineConfig {
     pub message_timeout_s: f64,
     /// Maximum spout tuple trees in flight per spout task before the spout
     /// is throttled (Storm's `topology.max.spout.pending`).
+    ///
+    /// This bound counts **tuple trees** and is independent of
+    /// [`queue_capacity`](Self::queue_capacity), which counts **batches**
+    /// queued at a single task: the two compose.  A spout can never have
+    /// more than `max_spout_pending` trees unacked in total, while no
+    /// single task's input queue can hold more than `queue_capacity`
+    /// batches (further reduced by the credit window when
+    /// `RtConfig::credit_flow` is on — see
+    /// `RtConfig::effective_queue_bound` for the combined per-task figure
+    /// in tuples).  Overload experiments that want the *queue-level*
+    /// backpressure machinery to engage must raise this gate, or the
+    /// in-flight cap throttles the spout first.
     pub max_spout_pending: usize,
     /// Length of one metrics interval (seconds); the control framework's
     /// sampling period.

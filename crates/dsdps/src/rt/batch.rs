@@ -46,6 +46,17 @@ pub(super) struct Delivered {
     pub(super) sent_at_us: u64,
 }
 
+/// What travels on a task's input channel: one flushed batch of tuples plus
+/// a send timestamp.  Unlike the per-tuple [`Delivered::sent_at_us`] (traced
+/// trees only), the batch stamp is always set — one clock read per flush and
+/// one per receive give every batch a queue-wait sample, which is the
+/// always-on signal the adaptive spout throttle steers on.
+pub(super) struct Batch {
+    pub(super) items: Vec<Delivered>,
+    /// Runtime clock (µs) when the producer handed this batch to the channel.
+    pub(super) sent_at_us: u64,
+}
+
 /// Message to a spout thread about one of its tuple trees.  Travels in
 /// batches (`Vec<AckMsg>`) so completions amortize like data tuples.
 pub(super) enum AckMsg {
@@ -188,7 +199,7 @@ struct Buf {
 pub(super) struct OutputBuffers {
     batch_size: usize,
     linger: Duration,
-    senders: Vec<Sender<Vec<Delivered>>>,
+    senders: Vec<Sender<Batch>>,
     bufs: Vec<Buf>,
     /// Count of non-empty buffers, for cheap idle checks.
     nonempty: usize,
@@ -200,7 +211,7 @@ impl OutputBuffers {
     pub(super) fn new(
         batch_size: usize,
         linger: Duration,
-        senders: Vec<Sender<Vec<Delivered>>>,
+        senders: Vec<Sender<Batch>>,
         task: usize,
     ) -> Self {
         let n = senders.len();
@@ -232,9 +243,12 @@ impl OutputBuffers {
         }
     }
 
-    /// Sends `dest`'s buffered batch downstream.  Blocking send with a
-    /// shutdown check = backpressure; bounded channel capacity counts
-    /// batches.
+    /// Sends `dest`'s buffered batch downstream.  With credit flow on, one
+    /// credit must be acquired from `dest`'s pool first — an empty pool
+    /// blocks (heartbeating) or sheds the batch, per
+    /// [`RtConfig::shed_on_overload`](super::RtConfig::shed_on_overload).
+    /// The channel send itself still uses the blocking-with-shutdown-check
+    /// loop; bounded channel capacity counts batches.
     pub(super) fn flush_dest(
         &mut self,
         dest: usize,
@@ -257,7 +271,46 @@ impl OutputBuffers {
         if reason == FlushReason::Linger {
             stats.linger_flushes.fetch_add(1, Ordering::Relaxed);
         }
-        let mut msg = batch;
+        // Credit gate: one credit per batch toward `dest`.  `dest` is the
+        // consumer's global task id, which indexes both senders and pools.
+        if let Some(credits) = shared.credits.as_ref() {
+            if !credits.try_acquire(dest) {
+                if shared.rt.shed_on_overload {
+                    // Shed: fail every anchored tree in the batch so the
+                    // acker (and replay, when on) accounts for each tuple —
+                    // shedding loses work, never accounting.
+                    shared.shed_batches_total.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .shed_tuples_total
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    let now_s = shared.now_s();
+                    for item in &batch {
+                        if let Some((root, _)) = item.anchor {
+                            ops.push(AckOp::Fail { root, now_s });
+                        }
+                    }
+                    ops.apply(shared);
+                    return;
+                }
+                // Block: poll for a credit with heartbeats so the supervisor
+                // does not supersede a merely-backpressured task.  On stop
+                // the batch is dropped, exactly like the send loop below.
+                loop {
+                    if shared.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    shared.beat(self.task);
+                    std::thread::sleep(Duration::from_micros(200));
+                    if credits.try_acquire(dest) {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut msg = Batch {
+            items: batch,
+            sent_at_us: shared.now_us(),
+        };
         loop {
             match self.senders[dest].send_timeout(msg, Duration::from_millis(50)) {
                 Ok(()) => break,

@@ -31,6 +31,25 @@ use crate::error::{Error, Result};
 /// attempts before declaring a message permanently failed.  The default of 0
 /// preserves the classic fire-and-forget semantics where user code sees
 /// every failure.
+///
+/// **Backpressure.** With [`credit_flow`](Self::credit_flow) enabled, every
+/// bolt task grants a window of [`credit_window`](Self::credit_window) batch
+/// credits; a producer acquires one credit per batch before sending and the
+/// consumer re-grants after processing, so queued-plus-in-flight batches per
+/// task are bounded by the window.  An exhausted pool makes the sender block
+/// (default) or, with [`shed_on_overload`](Self::shed_on_overload), shed the
+/// batch — failing its anchored trees so replay/conservation accounting
+/// still sees every tuple.  Independently,
+/// [`adaptive_throttle`](Self::adaptive_throttle) runs an AIMD controller
+/// over the per-interval queue-wait p99 observed by the telemetry registry:
+/// above [`throttle_target_queue_wait`](Self::throttle_target_queue_wait)
+/// the global spout rate cap is multiplied by
+/// [`throttle_decrease_factor`](Self::throttle_decrease_factor); well below
+/// it, the cap grows by
+/// [`throttle_additive_increase`](Self::throttle_additive_increase) per
+/// interval.  Both features default **off**: the stock behavior is the
+/// bounded-channel blocking send plus the `EngineConfig::max_spout_pending`
+/// in-flight gate, unchanged.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RtConfig {
     /// Maximum tuples per output batch (per destination task).  Must be at
@@ -69,6 +88,34 @@ pub struct RtConfig {
     /// nothing).  Port 0 picks a free port; the bound address is available
     /// from `RunningTopology::metrics_addr()`.
     pub metrics_addr: Option<SocketAddr>,
+    /// Enable credit-based per-edge flow control (see the struct docs).
+    /// Off by default — channel capacity alone provides backpressure.
+    pub credit_flow: bool,
+    /// Initial credit window per consumer task, in batches.  Clamped at
+    /// submit to `EngineConfig::queue_capacity` so a credited send can
+    /// never block on the channel itself.
+    pub credit_window: usize,
+    /// With credit flow on, shed batches (failing their anchored tuple
+    /// trees) instead of blocking when a pool is exhausted.
+    pub shed_on_overload: bool,
+    /// Enable the adaptive AIMD spout throttle driven by observed
+    /// queue-wait (see the struct docs).  Off by default — the spout is
+    /// only gated by `EngineConfig::max_spout_pending`.
+    pub adaptive_throttle: bool,
+    /// AIMD setpoint: a per-interval queue-wait p99 above this triggers a
+    /// multiplicative decrease of the spout rate cap.
+    pub throttle_target_queue_wait: Duration,
+    /// Floor of the adaptive rate cap, tuples/s.
+    pub throttle_min_rate: f64,
+    /// Ceiling of the adaptive rate cap, tuples/s (`INFINITY` = none; the
+    /// cap starts here, i.e. uncapped by default).
+    pub throttle_max_rate: f64,
+    /// Additive increase of the cap per interval when queue wait is
+    /// comfortably under target, tuples/s.
+    pub throttle_additive_increase: f64,
+    /// Multiplicative decrease factor applied when queue wait exceeds the
+    /// target; must be in `(0, 1)`.
+    pub throttle_decrease_factor: f64,
 }
 
 impl Default for RtConfig {
@@ -84,6 +131,15 @@ impl Default for RtConfig {
             acker_shards: 8,
             trace_sample_rate: 0.0,
             metrics_addr: None,
+            credit_flow: false,
+            credit_window: 128,
+            shed_on_overload: false,
+            adaptive_throttle: false,
+            throttle_target_queue_wait: Duration::from_millis(5),
+            throttle_min_rate: 100.0,
+            throttle_max_rate: f64::INFINITY,
+            throttle_additive_increase: 500.0,
+            throttle_decrease_factor: 0.5,
         }
     }
 }
@@ -149,6 +205,67 @@ impl RtConfig {
         self
     }
 
+    /// Returns the config with credit-based flow control on and the given
+    /// per-task window (in batches).
+    pub fn with_credit_flow(mut self, credit_window: usize) -> Self {
+        self.credit_flow = true;
+        self.credit_window = credit_window;
+        self
+    }
+
+    /// Returns the config shedding (instead of blocking) on an exhausted
+    /// credit pool.
+    pub fn with_shed_on_overload(mut self, shed: bool) -> Self {
+        self.shed_on_overload = shed;
+        self
+    }
+
+    /// Returns the config with the adaptive spout throttle on and the
+    /// given queue-wait setpoint.
+    pub fn with_adaptive_throttle(mut self, target_queue_wait: Duration) -> Self {
+        self.adaptive_throttle = true;
+        self.throttle_target_queue_wait = target_queue_wait;
+        self
+    }
+
+    /// Returns the config with the given adaptive rate-cap floor and
+    /// ceiling (tuples/s; `f64::INFINITY` for no ceiling).
+    pub fn with_throttle_bounds(mut self, min_rate: f64, max_rate: f64) -> Self {
+        self.throttle_min_rate = min_rate;
+        self.throttle_max_rate = max_rate;
+        self
+    }
+
+    /// Returns the config with the given AIMD parameters: additive
+    /// increase (tuples/s per interval) and multiplicative decrease factor.
+    pub fn with_throttle_aimd(mut self, additive_increase: f64, decrease_factor: f64) -> Self {
+        self.throttle_additive_increase = additive_increase;
+        self.throttle_decrease_factor = decrease_factor;
+        self
+    }
+
+    /// The effective per-task input-queue bound, in **tuples**, once this
+    /// config composes with an [`EngineConfig`](crate::config::EngineConfig).
+    ///
+    /// Two independent knobs bound a task's queue in *batches*:
+    /// `EngineConfig::queue_capacity` (the channel's depth) and — when
+    /// [`credit_flow`](Self::credit_flow) is on —
+    /// [`credit_window`](Self::credit_window), clamped at submit to the
+    /// channel capacity (and to at least 1) so a credited send never blocks
+    /// on the channel itself.  The tighter of the two times
+    /// [`batch_size`](Self::batch_size) is the worst-case tuple backlog a
+    /// task can hold.  Note this composes with, and is independent of,
+    /// `EngineConfig::max_spout_pending`, which caps in-flight tuple
+    /// *trees* per spout across the whole topology.
+    pub fn effective_queue_bound(&self, engine: &crate::config::EngineConfig) -> usize {
+        let window_batches = if self.credit_flow {
+            self.credit_window.min(engine.queue_capacity).max(1)
+        } else {
+            engine.queue_capacity
+        };
+        window_batches * self.batch_size
+    }
+
     /// True when the spout loops should run the replay protocol.
     pub(crate) fn replay_enabled(&self) -> bool {
         self.max_replays > 0
@@ -170,6 +287,37 @@ impl RtConfig {
         if !self.trace_sample_rate.is_finite() || !(0.0..=1.0).contains(&self.trace_sample_rate) {
             return Err(Error::Config(
                 "rt trace_sample_rate must be within [0, 1]".into(),
+            ));
+        }
+        if self.credit_flow && self.credit_window == 0 {
+            return Err(Error::Config(
+                "rt credit_window must be at least 1 when credit_flow is on".into(),
+            ));
+        }
+        if self.adaptive_throttle && self.throttle_target_queue_wait.is_zero() {
+            return Err(Error::Config(
+                "rt throttle_target_queue_wait must be positive when adaptive_throttle is on"
+                    .into(),
+            ));
+        }
+        if !(self.throttle_min_rate.is_finite() && self.throttle_min_rate > 0.0) {
+            return Err(Error::Config(
+                "rt throttle_min_rate must be positive and finite".into(),
+            ));
+        }
+        if self.throttle_max_rate < self.throttle_min_rate {
+            return Err(Error::Config(
+                "rt throttle_max_rate must be at least throttle_min_rate".into(),
+            ));
+        }
+        if !(self.throttle_additive_increase.is_finite() && self.throttle_additive_increase > 0.0) {
+            return Err(Error::Config(
+                "rt throttle_additive_increase must be positive and finite".into(),
+            ));
+        }
+        if !(self.throttle_decrease_factor > 0.0 && self.throttle_decrease_factor < 1.0) {
+            return Err(Error::Config(
+                "rt throttle_decrease_factor must be in (0, 1)".into(),
             ));
         }
         Ok(())
@@ -229,6 +377,67 @@ mod tests {
             RtConfig::default().with_metrics_addr(addr).metrics_addr,
             Some(addr)
         );
+    }
+
+    /// Pins how `max_spout_pending`, `queue_capacity`, `credit_window` and
+    /// `batch_size` compose into the per-task queue bound (satellite of the
+    /// backpressure work: the two config layers were previously easy to
+    /// conflate — one counts trees, the other batches).
+    #[test]
+    fn effective_queue_bound_composes_engine_and_rt_knobs() {
+        let engine = crate::config::EngineConfig::default();
+        assert_eq!(engine.queue_capacity, 2048, "default channel depth");
+        assert_eq!(engine.max_spout_pending, 512, "default in-flight gate");
+
+        // No credit flow: the channel alone bounds the queue.
+        assert_eq!(RtConfig::default().effective_queue_bound(&engine), 2048);
+
+        // Credit flow with a window under the channel depth: the window wins.
+        assert_eq!(
+            RtConfig::default()
+                .with_credit_flow(128)
+                .effective_queue_bound(&engine),
+            128
+        );
+
+        // A window larger than the channel is clamped to it.
+        assert_eq!(
+            RtConfig::default()
+                .with_credit_flow(5000)
+                .effective_queue_bound(&engine),
+            2048
+        );
+
+        // A zero-ish window is floored at one batch (validate() rejects 0,
+        // but the clamp is defensive either way).
+        assert_eq!(
+            RtConfig::default()
+                .with_credit_flow(1)
+                .effective_queue_bound(&engine),
+            1
+        );
+
+        // Batching multiplies the bound: both knobs count batches, the
+        // bound is in tuples.
+        assert_eq!(
+            RtConfig::default()
+                .with_batch_size(8)
+                .with_credit_flow(128)
+                .effective_queue_bound(&engine),
+            1024
+        );
+
+        // The spout-pending gate is independent: a small queue bound does
+        // not move it, and vice versa.
+        let mut tight = engine.clone();
+        tight.queue_capacity = 64;
+        assert_eq!(
+            RtConfig::default()
+                .with_credit_flow(128)
+                .effective_queue_bound(&tight),
+            64
+        );
+        assert_eq!(tight.max_spout_pending, 512);
     }
 
     #[test]

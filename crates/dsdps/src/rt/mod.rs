@@ -16,6 +16,15 @@
 //! not exist.  See [`batch`](self::batch) for the invariants that keep
 //! batched acking equivalent to per-tuple acking.
 //!
+//! Overload has an explicit admission story on top of the bounded channels:
+//! per-task **credit pools** ([`RtConfig::credit_flow`], see
+//! [`credit`](self::credit)) bound queued-plus-in-flight batches per edge
+//! and let senders shed instead of block, and an **adaptive spout
+//! throttle** ([`RtConfig::adaptive_throttle`]) runs AIMD on the observed
+//! batch queue-wait p99, journaling every cap change.  The
+//! [`BackpressureHandle`] exposes the same rate-cap knob to the controller
+//! so the planner can trade throughput against tail latency.
+//!
 //! The runtime is also a first-class **fault target**.  Task threads run
 //! under panic isolation and (by default) supervision — a dead or hung task
 //! is restarted from its component factory on the same input channel (see
@@ -33,6 +42,7 @@
 
 mod batch;
 mod config;
+pub mod credit;
 mod fault;
 mod replay;
 mod router;
@@ -40,6 +50,7 @@ mod supervisor;
 mod task;
 
 pub use config::RtConfig;
+pub use credit::{CreditLedger, CreditTotals};
 pub use fault::{RtFault, RtFaultPlan};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -63,7 +74,7 @@ use crate::telemetry::{
 };
 use crate::topology::{TaskId, Topology};
 
-use batch::{AckMsg, Delivered};
+use batch::{AckMsg, Batch};
 use fault::FaultInjector;
 use replay::ReplayBuffer;
 use supervisor::{Slot, Supervision, TaskSpec};
@@ -114,6 +125,26 @@ pub(crate) struct Shared {
     /// the controller appends routing decisions through
     /// [`RunningTopology::journal`]).
     pub(crate) journal: Arc<Journal>,
+    /// Per-task credit pools ([`RtConfig::credit_flow`]); `None` when credit
+    /// flow is off and channel capacity alone provides backpressure.
+    pub(crate) credits: Option<CreditLedger>,
+    /// Global spout rate cap in tuples/s, stored as `f64` bits
+    /// (`INFINITY` = uncapped).  Written by the AIMD loop, the controller,
+    /// or a [`BackpressureHandle`]; read by every spout's token bucket.
+    pub(crate) rate_cap_bits: AtomicU64,
+    /// Batches shed on exhausted credit pools
+    /// ([`RtConfig::shed_on_overload`]).
+    pub(crate) shed_batches_total: AtomicU64,
+    /// Tuples inside those shed batches.
+    pub(crate) shed_tuples_total: AtomicU64,
+    /// Per-task batch queue-wait accumulators: `(cumulative, interval)`
+    /// histograms in µs.  The consumer records one sample per received
+    /// batch; the metrics thread swaps out the interval histogram each tick
+    /// to compute the steady-state p99 the AIMD throttle steers on.
+    pub(crate) queue_wait: Vec<Mutex<(LatencyHistogram, LatencyHistogram)>>,
+    /// Queue-wait p99 (µs, `f64` bits) over the last *completed* metrics
+    /// interval — the steady-state readout, free of startup transients.
+    pub(crate) queue_wait_last_p99_bits: AtomicU64,
 }
 
 impl Shared {
@@ -158,6 +189,83 @@ impl Shared {
             hist.merge(&lat.1);
         }
         (stats, hist)
+    }
+
+    /// Current spout rate cap, tuples/s (`INFINITY` = uncapped).
+    pub(crate) fn rate_cap(&self) -> f64 {
+        f64::from_bits(self.rate_cap_bits.load(Ordering::Relaxed))
+    }
+
+    /// Applies a new spout rate cap and journals the change.
+    pub(crate) fn set_rate_cap(&self, cap: f64, reason: &str) {
+        self.rate_cap_bits.store(cap.to_bits(), Ordering::Relaxed);
+        self.journal.append(JournalEvent::ThrottleChanged {
+            time_s: self.now_s(),
+            rate_cap: cap.is_finite().then_some(cap),
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Records one batch queue-wait sample for `task` (µs).  One uncontended
+    /// lock per *batch* — the consumer writes, the metrics thread drains.
+    pub(crate) fn record_queue_wait(&self, task: usize, wait_us: u64) {
+        let mut slot = self.queue_wait[task].lock();
+        slot.0.record(wait_us as f64);
+        slot.1.record(wait_us as f64);
+    }
+
+    /// Queue-wait p99 over the last completed metrics interval, µs.
+    pub(crate) fn queue_wait_last_p99_us(&self) -> f64 {
+        f64::from_bits(self.queue_wait_last_p99_bits.load(Ordering::Relaxed))
+    }
+
+    /// Merges every task's cumulative queue-wait histogram (read path only).
+    pub(crate) fn merged_queue_wait(&self) -> LatencyHistogram {
+        let mut hist = LatencyHistogram::new();
+        for slot in &self.queue_wait {
+            hist.merge(&slot.lock().0);
+        }
+        hist
+    }
+}
+
+/// Live backpressure/throttle surface of a [`RunningTopology`] — the
+/// actuation handle the controller (or a test) uses to trade throughput
+/// against tail latency while the topology runs.
+///
+/// Cheap to clone; all methods are lock-free reads or a journaled atomic
+/// write, safe to call from any thread.
+#[derive(Clone)]
+pub struct BackpressureHandle {
+    shared: Arc<Shared>,
+}
+
+impl BackpressureHandle {
+    /// Current spout rate cap, tuples/s (`None` = uncapped).
+    pub fn rate_cap(&self) -> Option<f64> {
+        let cap = self.shared.rate_cap();
+        cap.is_finite().then_some(cap)
+    }
+
+    /// Sets (or clears, with `None`) the global spout rate cap.  The change
+    /// is journaled as a [`JournalEvent::ThrottleChanged`] with the given
+    /// reason (`"controller"` for planner actuation, `"manual"` otherwise).
+    pub fn set_rate_cap(&self, cap: Option<f64>, reason: &str) {
+        self.shared.set_rate_cap(cap.unwrap_or(f64::INFINITY), reason);
+    }
+
+    /// Flow-control credits currently available across every pool (0 when
+    /// credit flow is off).
+    pub fn credits_outstanding(&self) -> i64 {
+        self.shared
+            .credits
+            .as_ref()
+            .map_or(0, |c| c.totals().outstanding)
+    }
+
+    /// Batch queue-wait p99 over the last completed metrics interval, µs.
+    pub fn queue_wait_last_p99_us(&self) -> f64 {
+        self.shared.queue_wait_last_p99_us()
     }
 }
 
@@ -243,6 +351,14 @@ impl RunningTopology {
         self.shared.tracer.snapshot()
     }
 
+    /// The run's backpressure/throttle actuation handle (rate caps, credit
+    /// balances, steady-state queue wait).
+    pub fn backpressure(&self) -> BackpressureHandle {
+        BackpressureHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Signals stop, joins every thread, and collects any panics that
     /// escaped the per-thread guard.
     fn join_all(&mut self) {
@@ -317,6 +433,19 @@ impl RunningTopology {
             })
             .collect();
         let (spans, spans_dropped) = self.shared.tracer.snapshot();
+        let credit_totals = self
+            .shared
+            .credits
+            .as_ref()
+            .map(|c| c.totals())
+            .unwrap_or(CreditTotals {
+                granted: 0,
+                consumed: 0,
+                revoked: 0,
+                outstanding: 0,
+            });
+        let queue_wait_hist = self.shared.merged_queue_wait();
+        let final_cap = self.shared.rate_cap();
         ThreadedReport {
             uptime_s: self.shared.now_s(),
             spout_emitted: self.shared.spout_emitted_total.load(Ordering::Relaxed),
@@ -336,6 +465,13 @@ impl RunningTopology {
             journal: self.shared.journal.events(),
             spans,
             spans_dropped,
+            credits: credit_totals,
+            shed_batches: self.shared.shed_batches_total.load(Ordering::Relaxed),
+            shed_tuples: self.shared.shed_tuples_total.load(Ordering::Relaxed),
+            queue_wait_p50_us: queue_wait_hist.quantile(0.50).unwrap_or(0.0),
+            queue_wait_p99_us: queue_wait_hist.quantile(0.99).unwrap_or(0.0),
+            queue_wait_last_p99_us: self.shared.queue_wait_last_p99_us(),
+            rate_cap: final_cap.is_finite().then_some(final_cap),
         }
     }
 
@@ -414,6 +550,27 @@ pub struct ThreadedReport {
     pub spans: Vec<Span>,
     /// Spans rejected because a task's trace buffer overflowed.
     pub spans_dropped: u64,
+    /// Aggregate credit-ledger counters ([`RtConfig::credit_flow`]); all
+    /// zero when credit flow was off.
+    pub credits: CreditTotals,
+    /// Batches shed on exhausted credit pools
+    /// ([`RtConfig::shed_on_overload`]).
+    pub shed_batches: u64,
+    /// Tuples inside those shed batches (each failed at the acker, so they
+    /// stay inside the tuple-conservation identity).
+    pub shed_tuples: u64,
+    /// Batch queue-wait median over the whole run, µs.  The overload bench
+    /// gate compares a throttled run's tail against an unthrottled run's
+    /// median, so both quantiles are part of the report.
+    pub queue_wait_p50_us: f64,
+    /// Batch queue-wait p99 over the whole run, µs (includes any
+    /// before-the-throttle-reacted transient).
+    pub queue_wait_p99_us: f64,
+    /// Batch queue-wait p99 over the last completed metrics interval, µs —
+    /// the steady-state figure to compare throttled vs unthrottled runs on.
+    pub queue_wait_last_p99_us: f64,
+    /// Spout rate cap at shutdown, tuples/s (`None` = uncapped).
+    pub rate_cap: Option<f64>,
 }
 
 impl ThreadedReport {
@@ -424,6 +581,14 @@ impl ThreadedReport {
     /// meaningful per run of a spout instance.)
     pub fn conservation_holds(&self) -> bool {
         self.tracked == self.acked + self.permanently_failed + self.in_flight
+    }
+
+    /// The credit-plane conservation invariant, exact at shutdown:
+    /// `granted == consumed + revoked + outstanding` (with no window
+    /// shrinks this is the plain `granted == consumed + outstanding`).
+    /// Vacuously true when credit flow was off.
+    pub fn credit_conservation_holds(&self) -> bool {
+        self.credits.conservation_holds()
     }
 
     /// Journal events of the given [`JournalEvent::kind`] tag.
@@ -506,6 +671,10 @@ struct RegistryMirror {
     in_flight: Gauge,
     uptime: Gauge,
     throughput: Gauge,
+    credits_outstanding: Gauge,
+    throttle_rate_cap: Gauge,
+    shed_batches: Counter,
+    queue_wait_p99: Gauge,
     complete_latency: Summary,
     task_executed: Vec<Counter>,
     task_queue_len: Vec<Gauge>,
@@ -553,6 +722,11 @@ impl RegistryMirror {
             in_flight: registry.gauge("dsdps_in_flight", &[]),
             uptime: registry.gauge("dsdps_uptime_seconds", &[]),
             throughput: registry.gauge("dsdps_throughput_tuples_per_s", &[]),
+            credits_outstanding: registry.gauge("dsdps_credits_outstanding", &[]),
+            // 0 = uncapped (Prometheus text can't carry +Inf cleanly).
+            throttle_rate_cap: registry.gauge("dsdps_throttle_rate_cap_tuples_per_s", &[]),
+            shed_batches: registry.counter("dsdps_shed_batches_total", &[]),
+            queue_wait_p99: registry.gauge("dsdps_queue_wait_p99_us", &[]),
             complete_latency: registry.summary("dsdps_complete_latency_us", &[]),
             task_executed: per_task("dsdps_task_executed_total"),
             task_queue_len: per_task_gauge("dsdps_task_queue_len"),
@@ -590,6 +764,18 @@ impl RegistryMirror {
             .set(tracked.saturating_sub(acked + perm) as f64);
         self.uptime.set(snap.time_s);
         self.throughput.set(snap.topology.throughput);
+        self.credits_outstanding.set(
+            shared
+                .credits
+                .as_ref()
+                .map_or(0.0, |c| c.totals().outstanding as f64),
+        );
+        let cap = shared.rate_cap();
+        self.throttle_rate_cap
+            .set(if cap.is_finite() { cap } else { 0.0 });
+        self.shed_batches
+            .set(shared.shed_batches_total.load(Ordering::Relaxed));
+        self.queue_wait_p99.set(shared.queue_wait_last_p99_us());
         self.complete_latency.replace(hist.clone());
         for (i, t) in snap.tasks.iter().enumerate() {
             self.task_executed[i].set(shared.task_stats[i].executed.load(Ordering::Relaxed));
@@ -674,15 +860,46 @@ fn submit_inner(
         rt: rt_config.clone(),
         tracer,
         journal: Arc::clone(&journal),
+        credits: rt_config.credit_flow.then(|| CreditLedger::new(n_tasks)),
+        // The cap starts at the configured ceiling — INFINITY (uncapped) by
+        // default, so stock runs never see the token bucket.
+        rate_cap_bits: AtomicU64::new(rt_config.throttle_max_rate.to_bits()),
+        shed_batches_total: AtomicU64::new(0),
+        shed_tuples_total: AtomicU64::new(0),
+        queue_wait: (0..n_tasks)
+            .map(|_| Mutex::new((LatencyHistogram::new(), LatencyHistogram::new())))
+            .collect(),
+        queue_wait_last_p99_bits: AtomicU64::new(0f64.to_bits()),
     });
+
+    // Initial credit windows: every bolt task grants its producers a window
+    // of batch credits, clamped to the channel capacity so a credited send
+    // never blocks on the channel itself.  Window-level grants are control
+    // plane and journaled; per-batch re-grants are not.
+    if let Some(credits) = shared.credits.as_ref() {
+        let window = rt_config.credit_window.min(config.queue_capacity).max(1) as u64;
+        for component in topology.components() {
+            if component.is_spout() {
+                continue;
+            }
+            for task in component.tasks() {
+                credits.set_window(task.0, window);
+                journal.append(JournalEvent::CreditGranted {
+                    time_s: 0.0,
+                    task: task.0,
+                    amount: window,
+                });
+            }
+        }
+    }
 
     // Channels: batched tuple input per task, batched ack feedback per spout
     // task.  Bounded capacity counts batches.  The receivers stay clonable
     // so the supervisor can re-wire a restarted task to its existing queue.
     let mut senders = Vec::with_capacity(n_tasks);
-    let mut receivers: Vec<Receiver<Vec<Delivered>>> = Vec::with_capacity(n_tasks);
+    let mut receivers: Vec<Receiver<Batch>> = Vec::with_capacity(n_tasks);
     for _ in 0..n_tasks {
-        let (tx, rx) = bounded::<Vec<Delivered>>(config.queue_capacity);
+        let (tx, rx) = bounded::<Batch>(config.queue_capacity);
         senders.push(tx);
         receivers.push(rx);
     }
@@ -913,6 +1130,48 @@ fn submit_inner(
                     p99_complete_latency_ms: lat_hist.quantile(0.99).unwrap_or(0.0) / 1000.0,
                     throughput: (acked - pa) as f64 / interval_s,
                 };
+
+                // Steady-state queue wait: swap out every task's interval
+                // histogram and fold them into this tick's distribution.
+                let mut qw_interval = LatencyHistogram::new();
+                for slot in &shared.queue_wait {
+                    let taken = std::mem::replace(&mut slot.lock().1, LatencyHistogram::new());
+                    qw_interval.merge(&taken);
+                }
+                let qw_p99_us = qw_interval.quantile(0.99).unwrap_or(0.0);
+                shared
+                    .queue_wait_last_p99_bits
+                    .store(qw_p99_us.to_bits(), Ordering::Relaxed);
+
+                // AIMD throttle: multiplicative decrease when the interval's
+                // queue-wait p99 overshoots the target, additive increase
+                // when it sits comfortably below half of it.
+                if shared.rt.adaptive_throttle {
+                    let target_us = shared.rt.throttle_target_queue_wait.as_secs_f64() * 1e6;
+                    let cap = shared.rate_cap();
+                    if qw_p99_us > target_us {
+                        // First decrease from uncapped starts at the spout
+                        // rate actually observed this interval (INFINITY has
+                        // no meaningful multiple).
+                        let base = if cap.is_finite() {
+                            cap
+                        } else {
+                            (topo_stats.spout_emitted as f64 / interval_s)
+                                .max(shared.rt.throttle_min_rate)
+                        };
+                        let new_cap = (base * shared.rt.throttle_decrease_factor)
+                            .clamp(shared.rt.throttle_min_rate, shared.rt.throttle_max_rate);
+                        if new_cap != cap {
+                            shared.set_rate_cap(new_cap, "aimd");
+                        }
+                    } else if cap.is_finite() && qw_p99_us < target_us / 2.0 {
+                        let new_cap = (cap + shared.rt.throttle_additive_increase)
+                            .min(shared.rt.throttle_max_rate);
+                        if new_cap != cap {
+                            shared.set_rate_cap(new_cap, "aimd");
+                        }
+                    }
+                }
 
                 let snapshot = MetricsSnapshot {
                     interval,

@@ -13,7 +13,7 @@ use crate::stream::StreamId;
 use crate::topology::{Component, Topology};
 use crate::tuple::Fields;
 
-use super::batch::{AckOp, AckOps, Delivered, OutputBuffers};
+use super::batch::{AckOp, AckOps, Batch, Delivered, OutputBuffers};
 use super::config::RtConfig;
 use super::Shared;
 
@@ -46,7 +46,7 @@ impl Router {
         component: &Component,
         task_index: usize,
         tid: usize,
-        senders: Vec<Sender<Vec<Delivered>>>,
+        senders: Vec<Sender<Batch>>,
         shared: Arc<Shared>,
         rt_cfg: &RtConfig,
     ) -> Self {

@@ -38,7 +38,7 @@ use crate::config::EngineConfig;
 use crate::telemetry::JournalEvent;
 use crate::topology::{ComponentId, ComponentKind, Topology};
 
-use super::batch::{AckMsg, Delivered};
+use super::batch::{AckMsg, Batch};
 use super::config::RtConfig;
 use super::router::Router;
 use super::task;
@@ -51,10 +51,10 @@ pub(super) struct TaskSpec {
     pub(super) task_index: usize,
     pub(super) tid: usize,
     /// Input receiver (bolts).  Cloned per spawn; clones share the queue.
-    pub(super) input: Option<Receiver<Vec<Delivered>>>,
+    pub(super) input: Option<Receiver<Batch>>,
     /// Ack-feedback receiver (spouts).
     pub(super) ack_input: Option<Receiver<Vec<AckMsg>>>,
-    pub(super) senders: Vec<Sender<Vec<Delivered>>>,
+    pub(super) senders: Vec<Sender<Batch>>,
     pub(super) ack_senders: Arc<Vec<Option<Sender<Vec<AckMsg>>>>>,
     pub(super) cfg: EngineConfig,
     pub(super) rt_cfg: RtConfig,

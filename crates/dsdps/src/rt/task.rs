@@ -21,7 +21,7 @@ use crate::config::EngineConfig;
 use crate::telemetry::{trace::trace_id, JournalEvent, SpanKind};
 use crate::topology::TaskId;
 
-use super::batch::{AckMsg, AckOp, AckOps, Delivered};
+use super::batch::{AckMsg, AckOp, AckOps, Batch};
 use super::fault::SLOWDOWN_FLOOR_NANOS;
 use super::replay::FailDecision;
 use super::router::Router;
@@ -320,6 +320,12 @@ pub(super) fn run_spout(
     // Once the spout exhausts its input it stays alive (draining acks and
     // replaying lost trees) until the replay buffer empties or shutdown.
     let mut exhausted = false;
+    // Token bucket enforcing the global spout rate cap (tuples/s).  The cap
+    // is INFINITY unless the AIMD loop, the controller, or a
+    // `BackpressureHandle` set one; tokens may go negative (debt) so a
+    // multi-tuple `next_tuple` is charged in full.
+    let mut tokens: f64 = 0.0;
+    let mut last_refill = Instant::now();
     while !shared.stop.load(Ordering::Relaxed) {
         shared.beat(tid);
         if shared.superseded(tid, my_gen) {
@@ -370,6 +376,27 @@ pub(super) fn run_spout(
             apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
             std::thread::sleep(Duration::from_micros(200));
             continue;
+        }
+        let cap = shared.rate_cap();
+        if cap.is_finite() {
+            let now = Instant::now();
+            let dt = now.duration_since(last_refill).as_secs_f64();
+            last_refill = now;
+            let burst = (cap * 0.02).max(8.0);
+            tokens = (tokens + cap * dt).min(burst);
+            if tokens < 1.0 {
+                router.flush_expired(Instant::now(), &mut ops);
+                apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
+                // Sleep roughly until the next token accrues.
+                let wait_s = ((1.0 - tokens) / cap).clamp(50e-6, 2e-3);
+                std::thread::sleep(Duration::from_secs_f64(wait_s));
+                continue;
+            }
+        } else {
+            // Uncapped: keep the bucket neutral so a later cap does not
+            // inherit stale debt or a huge refill window.
+            tokens = 0.0;
+            last_refill = Instant::now();
         }
         let now_s = shared.now_s();
         out.set_now(now_s);
@@ -442,6 +469,7 @@ pub(super) fn run_spout(
             }
         }
         inject_service_slowdown(&shared, tid, t0);
+        tokens -= n as f64;
         shared.spout_emitted_total.fetch_add(n, Ordering::Relaxed);
         let s = &shared.task_stats[tid];
         s.executed.fetch_add(n, Ordering::Relaxed);
@@ -468,7 +496,7 @@ pub(super) fn run_bolt(
     mut router: Router,
     shared: Arc<Shared>,
     ack_senders: Arc<Vec<Option<Sender<Vec<AckMsg>>>>>,
-    rx: Receiver<Vec<Delivered>>,
+    rx: Receiver<Batch>,
     cfg: EngineConfig,
 ) {
     bolt.prepare(&ctx);
@@ -501,7 +529,10 @@ pub(super) fn run_bolt(
             None => base_timeout,
         };
         match rx.recv_timeout(timeout) {
-            Ok(batch) => {
+            Ok(Batch {
+                items: batch,
+                sent_at_us: batch_sent_us,
+            }) => {
                 let s = &shared.task_stats[tid];
                 s.queue_len.store(rx.len(), Ordering::Relaxed);
                 s.received.fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -515,9 +546,11 @@ pub(super) fn run_bolt(
                 let mut now_s = shared.now_s();
                 out.set_now(now_s);
                 let batch_t0 = Instant::now();
-                // One clock read per batch covers queue-wait math for every
-                // traced tuple it carries.
-                let batch_recv_us = if trace_on { shared.now_us() } else { 0 };
+                // One clock read per batch covers the batch queue-wait sample
+                // (the adaptive throttle's signal, so it stays on even with
+                // tracing off) and the queue-wait math of any traced tuples.
+                let batch_recv_us = shared.now_us();
+                shared.record_queue_wait(tid, batch_recv_us.saturating_sub(batch_sent_us));
                 batch_seq += 1;
                 let mut executed = 0u64;
                 let mut failed_n = 0u64;
@@ -600,6 +633,11 @@ pub(super) fn run_bolt(
                     if failed {
                         failed_n += 1;
                     }
+                }
+                // Batch processed: hand its credit back so the producer-side
+                // window keeps sliding.
+                if let Some(credits) = shared.credits.as_ref() {
+                    credits.grant(tid, 1);
                 }
                 let busy = if faults_on {
                     slow_busy

@@ -1,6 +1,6 @@
 //! Property-based tests for the engine's core data structures:
 //! split ratios, the dynamic-grouping router, the XOR acker, streaming
-//! statistics, tuple values and groupings.
+//! statistics, tuple values, groupings, and the backpressure credit ledger.
 
 #![allow(clippy::needless_range_loop)] // task indices are part of the assertions
 
@@ -10,6 +10,7 @@ use dsdps::acker::Acker;
 use dsdps::grouping::dynamic::{DynamicGrouping, DynamicGroupingHandle, SplitRatio};
 use dsdps::grouping::{FieldsGrouping, Grouping, ShuffleGrouping};
 use dsdps::metrics::{LatencyHistogram, OnlineStats};
+use dsdps::rt::CreditLedger;
 use dsdps::topology::TaskId;
 use dsdps::tuple::{Fields, Tuple, Value};
 
@@ -341,6 +342,117 @@ proptest! {
             "q={}: estimate {} exceeds truth {} by more than one bucket ({:.4}x)",
             q, got, truth, got / truth
         );
+    }
+
+    /// The credit ledger against a reference model, one arbitrary op
+    /// sequence at a time: `available` never goes negative, acquire
+    /// succeeds iff the model has balance, revoke takes exactly
+    /// `min(asked, available)`, and the conservation identity
+    /// `granted == consumed + revoked + outstanding` holds after EVERY op.
+    #[test]
+    fn credit_ledger_matches_model_and_conserves(
+        ops in prop::collection::vec((0u8..4, 0usize..4, 0u64..6), 1..150),
+    ) {
+        const TASKS: usize = 4;
+        let ledger = CreditLedger::new(TASKS);
+        let mut avail = [0i64; TASKS];
+        let mut window = [0u64; TASKS];
+        for (step, &(kind, task, amount)) in ops.iter().enumerate() {
+            match kind {
+                0 => {
+                    ledger.grant(task, amount);
+                    avail[task] += amount as i64;
+                }
+                1 => {
+                    let got = ledger.try_acquire(task);
+                    prop_assert_eq!(
+                        got,
+                        avail[task] > 0,
+                        "step {}: acquire must succeed iff balance positive", step
+                    );
+                    if got {
+                        avail[task] -= 1;
+                    }
+                }
+                2 => {
+                    let revoked = ledger.revoke(task, amount);
+                    prop_assert_eq!(
+                        revoked as i64,
+                        avail[task].min(amount as i64),
+                        "step {}: revoke takes min(asked, available)", step
+                    );
+                    avail[task] -= revoked as i64;
+                }
+                _ => {
+                    ledger.set_window(task, amount);
+                    let old = window[task];
+                    window[task] = amount;
+                    if amount > old {
+                        avail[task] += (amount - old) as i64;
+                    } else {
+                        avail[task] -= avail[task].min((old - amount) as i64);
+                    }
+                    prop_assert_eq!(ledger.window(task), amount);
+                }
+            }
+            prop_assert!(ledger.outstanding(task) >= 0, "step {}: negative balance", step);
+            prop_assert_eq!(ledger.outstanding(task), avail[task], "step {}", step);
+            prop_assert!(ledger.conservation_holds(), "step {}: conservation broke", step);
+        }
+        let t = ledger.totals();
+        prop_assert_eq!(t.outstanding, avail.iter().sum::<i64>());
+        prop_assert!(t.conservation_holds());
+    }
+
+    /// The same invariants under real thread interleavings: competing
+    /// producers (acquire + consumer-style re-grant), a granter and a
+    /// revoker all race on two pools; after joining, the books must close
+    /// exactly and no pool may be negative.
+    #[test]
+    fn credit_ledger_conserves_under_threaded_interleavings(
+        initial in 1u64..48,
+        seed in 0u64..1_000,
+    ) {
+        use std::sync::Arc;
+        let ledger = Arc::new(CreditLedger::new(2));
+        ledger.grant(0, initial);
+        ledger.grant(1, initial);
+        let mut handles = Vec::new();
+        for worker in 0..3u64 {
+            let l = Arc::clone(&ledger);
+            handles.push(std::thread::spawn(move || {
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ worker;
+                let mut acquired = 0u64;
+                for _ in 0..1_000 {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let task = (state >> 33) as usize % 2;
+                    match state % 16 {
+                        // Mostly the data-plane round trip: acquire, then
+                        // re-grant as the consumer would after processing.
+                        0..=11 => {
+                            if l.try_acquire(task) {
+                                acquired += 1;
+                                l.grant(task, 1);
+                            }
+                        }
+                        12..=13 => l.grant(task, 1),
+                        _ => {
+                            l.revoke(task, 1);
+                        }
+                    }
+                }
+                acquired
+            }));
+        }
+        let consumed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let t = ledger.totals();
+        prop_assert_eq!(t.consumed, consumed, "every successful acquire is counted once");
+        prop_assert!(t.outstanding >= 0);
+        prop_assert!(ledger.outstanding(0) >= 0);
+        prop_assert!(ledger.outstanding(1) >= 0);
+        prop_assert!(t.conservation_holds(), "{:?}", t);
     }
 
     #[test]

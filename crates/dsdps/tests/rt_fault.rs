@@ -690,3 +690,77 @@ fn soak_rolling_chaos() {
         "soak must conserve tuples: {report:?}"
     );
 }
+
+/// Combined chaos for the backpressure subsystem: a flash-crowd spout
+/// (credit-gated, window 64) hit by a worker slowdown AND a delivery-drop
+/// window mid-spike.  Replay recovers every dropped tree, and BOTH
+/// conservation invariants — tuple-tree (`tracked == acked +
+/// permanently_failed + in_flight`) and credit (`granted == consumed +
+/// revoked + outstanding`) — must close at shutdown.
+#[test]
+fn slowdown_plus_flash_crowd_conserves_tuples_and_credits() {
+    use stream_apps::prelude::*;
+
+    let mut cfg = cluster();
+    cfg.max_spout_pending = 1_000_000;
+    cfg.message_timeout_s = 1.0;
+    let overload = OverloadConfig {
+        pattern: RatePattern::FlashCrowd {
+            base: 500.0,
+            peak: 3000.0,
+            at_s: 0.5,
+            len_s: 30.0,
+        },
+        workers: 2,
+        work_us: 150.0,
+        spin_service: true,
+        ..OverloadConfig::default()
+    };
+    let (topo, _stats) = build_flash_crowd(&overload).unwrap();
+    // Tasks: 0 = spout, 1..=2 = work.  Drop deliveries to task 1 early in
+    // the spike (forcing timeouts + replays), and slow one worker across it.
+    let plan = RtFaultPlan::new()
+        .with(RtFault::DropTuples {
+            task: 1,
+            from_s: 0.3,
+            until_s: 0.8,
+        })
+        .with(RtFault::WorkerSlowdown {
+            worker: 1,
+            factor: 2.0,
+            from_s: 0.5,
+            until_s: 2.0,
+        });
+    let rt_cfg = RtConfig::default()
+        .with_credit_flow(64)
+        .with_max_replays(5)
+        .with_replay_backoff(Duration::from_millis(50));
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    // Bounded run: a credit/replay deadlock must fail the test, not hang it.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let (_, report) = running.run_for(Duration::from_secs(4));
+        let _ = tx.send(report);
+    });
+    let report = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("combined chaos run deadlocked");
+
+    assert!(report.replays > 0, "the drop window forces replays: {report:?}");
+    assert_eq!(
+        report.permanently_failed, 0,
+        "replay recovers every dropped tree: {report:?}"
+    );
+    assert!(report.acked > 1000, "spike made progress: {report:?}");
+    assert!(
+        report.conservation_holds(),
+        "tuple conservation under combined chaos: {report:?}"
+    );
+    assert!(
+        report.credit_conservation_holds(),
+        "credit conservation under combined chaos: {:?}",
+        report.credits
+    );
+    assert!(report.credits.granted > 0, "credit flow was actually on");
+}
