@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use dsdps::component::{Bolt, BoltOutput, MessageId, Spout, SpoutOutput};
 use dsdps::error::Result;
+use dsdps::rt::checkpoint::{SnapshotKind, StateSnapshot, StatefulComponent};
 use dsdps::topology::{CostModel, Topology, TopologyBuilder};
 use dsdps::tuple::{Fields, Tuple, Value};
 
@@ -248,7 +249,7 @@ impl Spout for SensorSpout {
     }
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 struct WindowAcc {
     count: u64,
     sum: f64,
@@ -342,6 +343,43 @@ impl Bolt for QueryBolt {
     fn tick(&mut self, out: &mut BoltOutput) {
         let window = (out.now_s() / self.window_s) as u64;
         self.roll_to(window, out);
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulComponent> {
+        Some(self)
+    }
+}
+
+/// Snapshot image of a [`QueryBolt`]: current window plus one accumulator
+/// per standing query (the queries themselves are replicated config, not
+/// state).
+type QueryState = (Option<u64>, Vec<WindowAcc>);
+
+impl StatefulComponent for QueryBolt {
+    fn snapshot(&mut self) -> StateSnapshot {
+        let state: QueryState = (self.current_window, self.acc.clone());
+        StateSnapshot::encode(SnapshotKind::Full, &state)
+    }
+
+    fn restore(
+        &mut self,
+        base: &StateSnapshot,
+        deltas: &[StateSnapshot],
+    ) -> std::result::Result<(), String> {
+        if !deltas.is_empty() {
+            return Err("QueryBolt snapshots are full-only".into());
+        }
+        let (window, acc): QueryState = base.decode()?;
+        if acc.len() != self.queries.len() {
+            return Err(format!(
+                "snapshot has {} accumulators but {} standing queries",
+                acc.len(),
+                self.queries.len()
+            ));
+        }
+        self.current_window = window;
+        self.acc = acc;
+        Ok(())
     }
 }
 
@@ -511,6 +549,35 @@ mod tests {
         assert_eq!(avg, 20.0);
         assert_eq!(max, 30.0);
         assert_eq!(emissions[0].tuple.get(3).unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn query_bolt_snapshot_restore_round_trips() {
+        let queries = generate_queries(5, 3);
+        let stats = Arc::new(CqStats::default());
+        let mut bolt = QueryBolt::new(queries.clone(), 1.0, stats.clone());
+        let mut out = BoltOutput::new();
+        out.set_now(0.2);
+        for v in [25.0, 45.0, 65.0] {
+            bolt.execute(
+                &Tuple::of([
+                    Value::from(1i64),
+                    Value::from("load"),
+                    Value::from(v),
+                    Value::from(0.2),
+                ]),
+                &mut out,
+            );
+        }
+        let snap = bolt.snapshot();
+
+        let mut fresh = QueryBolt::new(queries, 1.0, stats.clone());
+        fresh.restore(&snap, &[]).unwrap();
+        assert_eq!(fresh.current_window, bolt.current_window);
+        assert_eq!(fresh.acc, bolt.acc);
+        // Restoring into a bolt with a different query set is rejected.
+        let mut other = QueryBolt::new(generate_queries(2, 3), 1.0, stats);
+        assert!(other.restore(&snap, &[]).is_err());
     }
 
     #[test]

@@ -387,7 +387,10 @@ mod tests {
         let processed = stats.processed.load(Ordering::Relaxed);
         let sunk = stats.sunk.load(Ordering::Relaxed);
         assert!(emitted > 1000, "emitted {emitted}");
-        assert!(processed as f64 > emitted as f64 * 0.9, "{processed}/{emitted}");
+        assert!(
+            processed as f64 > emitted as f64 * 0.9,
+            "{processed}/{emitted}"
+        );
         assert!(sunk as f64 > processed as f64 * 0.9, "{sunk}/{processed}");
     }
 

@@ -20,4 +20,5 @@
 pub mod experiments;
 pub mod harness;
 pub mod micro;
+pub mod recovery;
 pub mod table;

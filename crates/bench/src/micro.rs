@@ -889,6 +889,9 @@ fn check_telemetry_overhead(mode: &str, smoke: bool, stripped_bin: &str) -> Resu
 /// writing `BENCH_telemetry.json`).  `--check-overload-gate` enforces the
 /// backpressure gate at the 4×-overload point: throttled steady-state
 /// queue-wait p99 must stay within 5× the unthrottled run's median.
+/// `--check-recovery-gate` enforces the fault-recovery gate over the
+/// `rt_recovery` results (every guarantee checkpoints, restores and keeps
+/// its promise; the exactly-once restore beats a factory-fresh recompute).
 /// `--rt-point W B SECS REPS` repeats one scaling point for manual A/B runs
 /// (and serves the gate's reference samples).
 pub fn main_entry() {
@@ -904,6 +907,7 @@ pub fn main_entry() {
     let baseline = flag_path("--check-rt-baseline");
     let telemetry_check = flag_path("--check-telemetry-overhead");
     let overload_gate = args.iter().any(|a| a == "--check-overload-gate");
+    let recovery_gate = args.iter().any(|a| a == "--check-recovery-gate");
     if let Some(i) = args.iter().position(|a| a == "--rt-point") {
         // Diagnostic mode: repeat one rt_scaling point and print each sample,
         // for A/B-ing builds without paying for the whole suite.
@@ -931,6 +935,11 @@ pub fn main_entry() {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("failed to write BENCH_rt.json: {e}"),
     }
+    let recovery = crate::recovery::run(smoke);
+    match recovery.write_json_at_repo_root() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("failed to write BENCH_recovery.json: {e}"),
+    }
     if let Some(path) = baseline {
         if let Err(msg) = check_rt_baseline(&res, &path) {
             eprintln!("{msg}");
@@ -939,6 +948,12 @@ pub fn main_entry() {
     }
     if overload_gate {
         if let Err(msg) = check_overload_gate(&res) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+    if recovery_gate {
+        if let Err(msg) = crate::recovery::check_recovery_gate(&recovery) {
             eprintln!("{msg}");
             std::process::exit(1);
         }
@@ -983,7 +998,10 @@ mod tests {
     fn overload_gate_fails_when_the_bench_never_overloaded() {
         let res = results_with_overload(1_000.0, 2_000.0, 1_500.0);
         let err = check_overload_gate(&res).unwrap_err();
-        assert!(err.contains("no longer overloads"), "unexpected message: {err}");
+        assert!(
+            err.contains("no longer overloads"),
+            "unexpected message: {err}"
+        );
     }
 
     #[test]

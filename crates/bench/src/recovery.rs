@@ -1,0 +1,639 @@
+//! Fault-recovery benchmark (`rt_recovery`): kill a stateful bolt mid-run
+//! under each recovery guarantee and measure how checkpointed state comes
+//! back.
+//!
+//! One arm per [`RecoveryMode`] runs a paced spout into a checkpointed
+//! counting bolt, panics the bolt mid-stream, and extracts from the run's
+//! journal and report:
+//!
+//! * **recovery time** — wall clock from the injected panic to the restarted
+//!   task's `state_restored` journal event,
+//! * **restore latency** — snapshot load + decode + input-log re-execution,
+//! * **post-fault throughput dip** — acked-tuples/s in the 250 ms after the
+//!   panic versus the 250 ms before it,
+//! * **result error** — the operator's final count versus the emitted
+//!   stream, checked against what each guarantee promises.
+//!
+//! A final *recompute* arm rebuilds the same state factory-fresh: it replays
+//! the full pre-crash input prefix through an identical topology with
+//! checkpoints off.  The CI gate ([`check_recovery_gate`]) requires the
+//! exactly-once restore to beat that recompute, with anti-vacuity floors on
+//! both sides so a trivially small snapshot or a trivially cheap recompute
+//! voids the comparison instead of passing it.
+//!
+//! Results are written as `BENCH_recovery.json` (`bench_recovery/v1`) at the
+//! repository root by the shared `microbench` entry point.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput, TopologyContext};
+use dsdps::config::EngineConfig;
+use dsdps::rt::{
+    self, RecoveryMode, RtConfig, RtFault, RtFaultPlan, SnapshotKind, StateSnapshot,
+    StatefulComponent,
+};
+use dsdps::topology::TopologyBuilder;
+use dsdps::tuple::{Tuple, Value};
+
+/// Measurements of one fault arm (one run under one recovery guarantee).
+pub struct RecoveryArm {
+    /// Guarantee name: `"exactly_once_effect"`, `"at_least_once"` or
+    /// `"approximate"`.
+    pub mode: &'static str,
+    /// Wall clock from the injected panic to the restarted task's
+    /// `state_restored` event, milliseconds (journal clock).
+    pub recovery_ms: f64,
+    /// Restore latency (snapshot load + decode + input-log re-execution),
+    /// milliseconds; max over the run's restores.
+    pub restore_ms: f64,
+    /// Snapshot restores performed by restarted incarnations.
+    pub restores: u64,
+    /// Checkpoints deposited over the run.
+    pub checkpoints: u64,
+    /// Serialized snapshot bytes deposited over the run.
+    pub snapshot_bytes: u64,
+    /// Acked tuples/s over the 250 ms before the fault.
+    pub pre_fault_rate: f64,
+    /// Throughput drop over the 250 ms after the fault, as a percentage of
+    /// the pre-fault rate (negative means the post-fault burst was faster).
+    pub post_fault_dip_pct: f64,
+    /// |operator count − emitted stream| as a percentage of the stream.
+    pub result_error_pct: f64,
+    /// Tuples the approximate guarantee reported as skipped (its error
+    /// bound); zero under the other guarantees.
+    pub approx_skipped: u64,
+    /// Whether the final result respects the mode's promise: exact count
+    /// for exactly-once, no loss for at-least-once, loss within
+    /// `approx_skipped` for approximate.
+    pub within_bound: bool,
+    /// Operator count carried by the restored snapshot — the state the
+    /// recompute arm has to rebuild from scratch.
+    pub restored_count: u64,
+}
+
+/// Collected measurements of one `rt_recovery` run: three fault arms plus
+/// the factory-fresh recompute reference.
+pub struct RecoveryResults {
+    /// `"smoke"` or `"full"`.
+    pub mode: &'static str,
+    /// One entry per recovery guarantee, in enum order.
+    pub arms: Vec<RecoveryArm>,
+    /// Input prefix the recompute arm replayed (the exactly-once arm's
+    /// restored count).
+    pub recompute_prefix: u64,
+    /// Wall clock for the recompute arm to re-ack that whole prefix through
+    /// a fresh checkpoint-free topology, milliseconds.
+    pub recompute_rebuild_ms: f64,
+}
+
+impl RecoveryResults {
+    /// Serializes the results as a stable, machine-readable JSON document
+    /// (`bench_recovery/v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"schema\": \"bench_recovery/v1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"arms\": {\n");
+        for (i, a) in self.arms.iter().enumerate() {
+            let sep = if i + 1 == self.arms.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    \"{}\": {{\n      \"recovery_ms\": {:.2},\n      \
+                 \"restore_ms\": {:.3},\n      \"restores\": {},\n      \
+                 \"checkpoints\": {},\n      \"snapshot_bytes\": {},\n      \
+                 \"pre_fault_rate_tuples_per_s\": {:.1},\n      \
+                 \"post_fault_dip_pct\": {:.1},\n      \
+                 \"result_error_pct\": {:.3},\n      \
+                 \"approx_skipped\": {},\n      \"within_bound\": {},\n      \
+                 \"restored_count\": {}\n    }}{sep}\n",
+                a.mode,
+                a.recovery_ms,
+                a.restore_ms,
+                a.restores,
+                a.checkpoints,
+                a.snapshot_bytes,
+                a.pre_fault_rate,
+                a.post_fault_dip_pct,
+                a.result_error_pct,
+                a.approx_skipped,
+                a.within_bound,
+                a.restored_count,
+            ));
+        }
+        s.push_str("  },\n  \"recompute\": {\n");
+        s.push_str(&format!(
+            "    \"prefix_tuples\": {},\n    \"rebuild_ms\": {:.2}\n  }}\n}}\n",
+            self.recompute_prefix, self.recompute_rebuild_ms
+        ));
+        s
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `BENCH_recovery.json` at the
+    /// repository root and returns the path.
+    pub fn write_json_at_repo_root(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_recovery.json"
+        ));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Finite spout paced at `rate` tuples/s, so the stream is still flowing
+/// when the wall-clock-scheduled panic fires (mirrors the chaos suite's
+/// paced spout).
+struct PacedSpout {
+    left: u64,
+    next_id: u64,
+    rate: f64,
+    started: Option<Instant>,
+}
+
+impl PacedSpout {
+    fn new(n: u64, rate: f64) -> Self {
+        PacedSpout {
+            left: n,
+            next_id: 0,
+            rate,
+            started: None,
+        }
+    }
+}
+
+impl Spout for PacedSpout {
+    fn open(&mut self, _ctx: &TopologyContext) {
+        self.started = Some(Instant::now());
+    }
+
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        let elapsed = self
+            .started
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        if self.next_id as f64 >= elapsed * self.rate {
+            // Ahead of schedule; emit nothing and let the runtime nap.
+            return true;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+}
+
+/// Finite unpaced spout for the recompute arm: floods the whole prefix as
+/// fast as the runtime accepts it.
+struct FloodSpout {
+    left: u64,
+    next_id: u64,
+}
+
+impl Spout for FloodSpout {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+}
+
+/// Checkpointable counting bolt: the stateful operator every arm kills.
+/// Publishes its live count so the bench can read the operator's view of
+/// the stream after shutdown, and the count carried by the restored
+/// snapshot.
+struct StatefulCounter {
+    count: u64,
+    sum: u64,
+    delivered: Arc<AtomicU64>,
+    restored: Arc<AtomicU64>,
+}
+
+impl Bolt for StatefulCounter {
+    fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+        self.count += 1;
+        self.sum += t.get(0).and_then(|v| v.as_i64()).unwrap_or(0) as u64;
+        self.delivered.store(self.count, Ordering::Relaxed);
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulComponent> {
+        Some(self)
+    }
+}
+
+impl StatefulComponent for StatefulCounter {
+    fn snapshot(&mut self) -> StateSnapshot {
+        StateSnapshot::encode(SnapshotKind::Full, &(self.count, self.sum))
+    }
+
+    fn restore(
+        &mut self,
+        base: &StateSnapshot,
+        deltas: &[StateSnapshot],
+    ) -> std::result::Result<(), String> {
+        if !deltas.is_empty() {
+            return Err("bench counter snapshots are full-only".into());
+        }
+        let (count, sum): (u64, u64) = base.decode()?;
+        self.count = count;
+        self.sum = sum;
+        self.delivered.store(count, Ordering::Relaxed);
+        self.restored.store(count, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Linear interpolation of the acked count at time `t` over the sampled
+/// `(seconds-since-submit, acked)` series.
+fn acked_at(samples: &[(f64, u64)], t: f64) -> f64 {
+    match samples.iter().position(|(s, _)| *s >= t) {
+        None => samples.last().map(|(_, a)| *a as f64).unwrap_or(0.0),
+        Some(0) => samples[0].1 as f64,
+        Some(i) => {
+            let (t0, a0) = samples[i - 1];
+            let (t1, a1) = samples[i];
+            let w = ((t - t0) / (t1 - t0)).clamp(0.0, 1.0);
+            a0 as f64 + w * (a1 as f64 - a0 as f64)
+        }
+    }
+}
+
+fn fault_arm(mode: RecoveryMode, n: u64, rate: f64, panic_at_s: f64) -> RecoveryArm {
+    let delivered = Arc::new(AtomicU64::new(0));
+    let restored = Arc::new(AtomicU64::new(0));
+    let (d2, r2) = (delivered.clone(), restored.clone());
+    let mut b = TopologyBuilder::new("rt-recovery");
+    b.set_spout("src", 1, move || PacedSpout::new(n, rate))
+        .unwrap();
+    b.set_bolt("state", 1, move || StatefulCounter {
+        count: 0,
+        sum: 0,
+        delivered: d2.clone(),
+        restored: r2.clone(),
+    })
+    .unwrap()
+    .shuffle_grouping("src")
+    .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = EngineConfig::default().with_cluster(1, 2, 4);
+    cfg.metrics_interval_s = 0.25;
+    cfg.message_timeout_s = 1.0;
+    cfg.max_spout_pending = 16 * 1024;
+    let plan = RtFaultPlan::new().with(RtFault::TaskPanic {
+        task: 1,
+        at_s: panic_at_s,
+    });
+    let rt_cfg = RtConfig::default()
+        .with_checkpoints(Duration::from_millis(100))
+        .with_recovery_mode(mode)
+        .with_max_replays(8)
+        .with_replay_backoff(Duration::from_millis(50));
+
+    let t0 = Instant::now();
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+    // Sample the acked count at ~5 ms so the 250 ms windows around the
+    // panic carry enough points for a throughput estimate.
+    let mut samples: Vec<(f64, u64)> = Vec::with_capacity(4096);
+    let deadline = t0 + Duration::from_secs(30);
+    loop {
+        samples.push((t0.elapsed().as_secs_f64(), running.acked()));
+        if running.acked() + running.permanently_failed() >= n || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (_, report) = running.shutdown();
+
+    // Panic → restored wall clock, from the journal.  The nominal
+    // `panic_at_s` is only the schedule; the journal records when the fault
+    // actually fired.
+    let fault_t = report
+        .journal_of_kind("fault_injected")
+        .first()
+        .map(|e| e.time_s())
+        .unwrap_or(panic_at_s);
+    let restores = report.journal_of_kind("state_restored");
+    let recovery_ms = restores
+        .iter()
+        .map(|e| e.time_s())
+        .filter(|t| *t >= fault_t)
+        .fold(f64::NAN, f64::min)
+        .max(fault_t)
+        - fault_t;
+    let restore_ms = restores
+        .iter()
+        .filter_map(|e| match e {
+            dsdps::telemetry::JournalEvent::StateRestored { latency_us, .. } => Some(*latency_us),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0) as f64
+        / 1_000.0;
+
+    let pre = (acked_at(&samples, fault_t) - acked_at(&samples, fault_t - 0.25)) / 0.25;
+    let post = (acked_at(&samples, fault_t + 0.25) - acked_at(&samples, fault_t)) / 0.25;
+    let dip_pct = if pre > 0.0 {
+        (1.0 - post / pre) * 100.0
+    } else {
+        0.0
+    };
+
+    let final_count = delivered.load(Ordering::Relaxed);
+    let error_pct = (final_count as f64 - n as f64).abs() / n as f64 * 100.0;
+    let within_bound = match mode {
+        RecoveryMode::ExactlyOnceEffect => final_count == n,
+        RecoveryMode::AtLeastOnce => final_count >= n,
+        RecoveryMode::Approximate => n.saturating_sub(final_count) <= report.approx_skipped,
+    };
+
+    println!(
+        "  {:<20} recovery {:>8.1} ms  restore {:>7.3} ms  dip {:>6.1}%  \
+         error {:>6.3}%  ({} ckpts, {} restores, {} skipped)",
+        mode.as_str(),
+        recovery_ms * 1_000.0,
+        restore_ms,
+        dip_pct,
+        error_pct,
+        report.checkpoints_taken,
+        report.restores,
+        report.approx_skipped,
+    );
+
+    RecoveryArm {
+        mode: mode.as_str(),
+        recovery_ms: recovery_ms * 1_000.0,
+        restore_ms,
+        restores: report.restores,
+        checkpoints: report.checkpoints_taken,
+        snapshot_bytes: report.snapshot_bytes,
+        pre_fault_rate: pre,
+        post_fault_dip_pct: dip_pct,
+        result_error_pct: error_pct,
+        approx_skipped: report.approx_skipped,
+        within_bound,
+        restored_count: restored.load(Ordering::Relaxed),
+    }
+}
+
+/// Factory-fresh recompute reference: rebuild the exactly-once arm's
+/// restored state by re-acking the whole input prefix through an identical
+/// topology with checkpoints off.  This is what recovery costs without a
+/// snapshot to restore from.
+fn recompute_rebuild(prefix: u64) -> f64 {
+    let delivered = Arc::new(AtomicU64::new(0));
+    let restored = Arc::new(AtomicU64::new(0));
+    let (d2, r2) = (delivered.clone(), restored.clone());
+    let mut b = TopologyBuilder::new("rt-recompute");
+    b.set_spout("src", 1, move || FloodSpout {
+        left: prefix,
+        next_id: 0,
+    })
+    .unwrap();
+    b.set_bolt("state", 1, move || StatefulCounter {
+        count: 0,
+        sum: 0,
+        delivered: d2.clone(),
+        restored: r2.clone(),
+    })
+    .unwrap()
+    .shuffle_grouping("src")
+    .unwrap();
+    let topo = b.build().unwrap();
+    let mut cfg = EngineConfig::default().with_cluster(1, 2, 4);
+    cfg.max_spout_pending = 16 * 1024;
+
+    let t0 = Instant::now();
+    let running = rt::submit_with(topo, cfg, RtConfig::default()).unwrap();
+    let deadline = t0 + Duration::from_secs(30);
+    while running.acked() < prefix && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    running.shutdown();
+    rebuild_ms
+}
+
+/// Runs the `rt_recovery` bench: one fault arm per guarantee, then the
+/// recompute reference sized to the exactly-once arm's restored state.
+pub fn run(smoke: bool) -> RecoveryResults {
+    // Sized so the pre-crash prefix is five-figure: the recompute reference
+    // then takes tens of milliseconds, keeping the gate's anti-vacuity
+    // floor comfortably cleared on any machine that can run the suite.
+    let (n, rate, panic_at_s) = if smoke {
+        (25_000u64, 25_000.0, 0.5)
+    } else {
+        (60_000u64, 40_000.0, 0.75)
+    };
+    println!(
+        "\nrt_recovery: {n} tuples at {rate:.0}/s, stateful bolt panics at {panic_at_s:.2}s \
+         (checkpoints every 100 ms)"
+    );
+    let arms: Vec<RecoveryArm> = [
+        RecoveryMode::ExactlyOnceEffect,
+        RecoveryMode::AtLeastOnce,
+        RecoveryMode::Approximate,
+    ]
+    .into_iter()
+    .map(|mode| fault_arm(mode, n, rate, panic_at_s))
+    .collect();
+
+    let prefix = arms
+        .iter()
+        .find(|a| a.mode == "exactly_once_effect")
+        .map(|a| a.restored_count)
+        .unwrap_or(0)
+        .max(1);
+    let recompute_rebuild_ms = recompute_rebuild(prefix);
+    println!(
+        "  {:<20} rebuild  {:>8.1} ms  ({prefix} tuples re-acked, checkpoints off)",
+        "recompute", recompute_rebuild_ms
+    );
+
+    RecoveryResults {
+        mode: if smoke { "smoke" } else { "full" },
+        arms,
+        recompute_prefix: prefix,
+        recompute_rebuild_ms,
+    }
+}
+
+/// CI recovery gate: every guarantee must actually checkpoint, restore and
+/// keep its promise, and the exactly-once restore must beat the
+/// factory-fresh recompute.  Anti-vacuity floors void the comparison when
+/// the snapshot carried trivially little state or the recompute was
+/// trivially cheap — a pass must mean the restore path earned it.
+pub fn check_recovery_gate(res: &RecoveryResults) -> Result<(), String> {
+    const MIN_RECOMPUTE_MS: f64 = 5.0;
+    const MIN_RESTORED_TUPLES: u64 = 1_000;
+    for want in ["exactly_once_effect", "at_least_once", "approximate"] {
+        let arm = res
+            .arms
+            .iter()
+            .find(|a| a.mode == want)
+            .ok_or_else(|| format!("recovery gate: no {want} arm was measured"))?;
+        if arm.checkpoints == 0 || arm.restores == 0 {
+            return Err(format!(
+                "recovery gate: the {want} arm never exercised the checkpoint path \
+                 ({} checkpoints, {} restores)",
+                arm.checkpoints, arm.restores
+            ));
+        }
+        if !arm.within_bound {
+            return Err(format!(
+                "recovery gate: the {want} arm broke its guarantee \
+                 (result error {:.3}%, {} reported skipped)",
+                arm.result_error_pct, arm.approx_skipped
+            ));
+        }
+    }
+    let exact = res
+        .arms
+        .iter()
+        .find(|a| a.mode == "exactly_once_effect")
+        .expect("checked above");
+    println!(
+        "\nrecovery gate: exactly-once restore {:.3} ms vs factory-fresh recompute {:.1} ms \
+         ({} restored tuples)",
+        exact.restore_ms, res.recompute_rebuild_ms, exact.restored_count
+    );
+    if exact.restored_count < MIN_RESTORED_TUPLES {
+        return Err(format!(
+            "recovery gate: the restored snapshot carried only {} tuples \
+             (< {MIN_RESTORED_TUPLES}) — the restore-vs-recompute comparison is void",
+            exact.restored_count
+        ));
+    }
+    if res.recompute_rebuild_ms < MIN_RECOMPUTE_MS {
+        return Err(format!(
+            "recovery gate: the factory-fresh recompute took only {:.2} ms \
+             (< {MIN_RECOMPUTE_MS:.0} ms) — the restore-vs-recompute comparison is void",
+            res.recompute_rebuild_ms
+        ));
+    }
+    if exact.restore_ms >= res.recompute_rebuild_ms {
+        return Err(format!(
+            "recovery gate: exactly-once restore {:.3} ms did not beat the \
+             factory-fresh recompute {:.2} ms — checkpointed recovery is not \
+             paying for itself",
+            exact.restore_ms, res.recompute_rebuild_ms
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arm(mode: &'static str) -> RecoveryArm {
+        RecoveryArm {
+            mode,
+            recovery_ms: 12.0,
+            restore_ms: 0.4,
+            restores: 1,
+            checkpoints: 6,
+            snapshot_bytes: 512,
+            pre_fault_rate: 11_000.0,
+            post_fault_dip_pct: 40.0,
+            result_error_pct: 0.0,
+            approx_skipped: 0,
+            within_bound: true,
+            restored_count: 4_000,
+        }
+    }
+
+    fn passing_results() -> RecoveryResults {
+        RecoveryResults {
+            mode: "smoke",
+            arms: vec![
+                arm("exactly_once_effect"),
+                arm("at_least_once"),
+                arm("approximate"),
+            ],
+            recompute_prefix: 4_000,
+            recompute_rebuild_ms: 35.0,
+        }
+    }
+
+    #[test]
+    fn gate_passes_when_restore_beats_recompute() {
+        check_recovery_gate(&passing_results()).unwrap();
+    }
+
+    #[test]
+    fn gate_fails_when_restore_is_slower_than_recompute() {
+        let mut res = passing_results();
+        res.arms[0].restore_ms = 50.0;
+        let err = check_recovery_gate(&res).unwrap_err();
+        assert!(err.contains("did not beat"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn gate_is_void_when_recompute_is_trivially_cheap() {
+        let mut res = passing_results();
+        res.recompute_rebuild_ms = 1.0;
+        res.arms[0].restore_ms = 0.1;
+        let err = check_recovery_gate(&res).unwrap_err();
+        assert!(err.contains("void"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn gate_is_void_when_the_snapshot_carried_no_state() {
+        let mut res = passing_results();
+        res.arms[0].restored_count = 10;
+        let err = check_recovery_gate(&res).unwrap_err();
+        assert!(err.contains("void"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn gate_fails_when_an_arm_never_restored() {
+        let mut res = passing_results();
+        res.arms[1].restores = 0;
+        let err = check_recovery_gate(&res).unwrap_err();
+        assert!(err.contains("never exercised"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn gate_fails_when_a_guarantee_is_broken() {
+        let mut res = passing_results();
+        res.arms[2].within_bound = false;
+        res.arms[2].result_error_pct = 9.0;
+        let err = check_recovery_gate(&res).unwrap_err();
+        assert!(err.contains("broke its guarantee"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn gate_fails_when_an_arm_is_missing() {
+        let mut res = passing_results();
+        res.arms.remove(1);
+        let err = check_recovery_gate(&res).unwrap_err();
+        assert!(err.contains("no at_least_once arm"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn json_is_well_shaped() {
+        let json = passing_results().to_json();
+        assert!(json.contains("\"schema\": \"bench_recovery/v1\""));
+        assert!(json.contains("\"exactly_once_effect\""));
+        assert!(json.contains("\"rebuild_ms\": 35.00"));
+        assert!(json.contains("\"within_bound\": true"));
+    }
+
+    #[test]
+    fn acked_at_interpolates_between_samples() {
+        let samples = [(0.0, 0u64), (1.0, 1_000), (2.0, 1_000)];
+        assert_eq!(acked_at(&samples, 0.5), 500.0);
+        assert_eq!(acked_at(&samples, 1.5), 1_000.0);
+        assert_eq!(acked_at(&samples, 5.0), 1_000.0);
+        assert_eq!(acked_at(&samples, -1.0), 0.0);
+    }
+}

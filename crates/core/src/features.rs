@@ -185,6 +185,9 @@ mod tests {
                 panics: 0,
                 restarts: 0,
                 last_panic: None,
+                checkpoints_taken: 0,
+                restores: 0,
+                snapshot_bytes: 0,
             }],
             workers: vec![worker(0, lat0), worker(1, lat1)],
             machines: vec![MachineStats {

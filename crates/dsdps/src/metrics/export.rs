@@ -183,6 +183,9 @@ mod tests {
                 panics: 0,
                 restarts: 0,
                 last_panic: None,
+                checkpoints_taken: 0,
+                restores: 0,
+                snapshot_bytes: 0,
             }],
             workers: vec![WorkerStats {
                 worker: WorkerId(0),

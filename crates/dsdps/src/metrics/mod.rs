@@ -64,6 +64,14 @@ pub struct TaskStats {
     pub restarts: u64,
     /// Message of the most recent caught panic, if any.
     pub last_panic: Option<String>,
+    /// Cumulative checkpoints deposited by the task (threaded runtime with
+    /// checkpointing on; 0 otherwise).
+    pub checkpoints_taken: u64,
+    /// Cumulative snapshot restores performed by restarted generations of
+    /// the task.
+    pub restores: u64,
+    /// Cumulative serialized snapshot bytes deposited by the task.
+    pub snapshot_bytes: u64,
 }
 
 /// Per-worker statistics for one metrics interval.
@@ -260,6 +268,9 @@ mod tests {
                 panics: 0,
                 restarts: 0,
                 last_panic: None,
+                checkpoints_taken: 0,
+                restores: 0,
+                snapshot_bytes: 0,
             }],
             workers: vec![WorkerStats {
                 worker: WorkerId(0),

@@ -44,6 +44,10 @@ pub(super) struct Delivered {
     /// the tuple's tree is being traced.  The consumer subtracts this from
     /// its batch-receive time to get the span's queue wait.
     pub(super) sent_at_us: u64,
+    /// Spout message id the consumer dedups on.  Only set for
+    /// spout-emitted tuples under the exactly-once-effect recovery mode;
+    /// `None` everywhere else (including all bolt-to-bolt hops).
+    pub(super) dedup: Option<MessageId>,
 }
 
 /// What travels on a task's input channel: one flushed batch of tuples plus

@@ -1,0 +1,529 @@
+//! Checkpointed operator state with pluggable recovery guarantees.
+//!
+//! A supervisor restart used to rebuild a task from its component factory,
+//! so windowed counts and any other accumulated bolt state silently died
+//! and recomputed from nothing — replay only covers in-flight tuples.
+//! This module closes that gap:
+//!
+//! * [`StatefulComponent`] is the snapshot surface a bolt exposes through
+//!   [`Bolt::stateful`](crate::component::Bolt::stateful): encode the
+//!   current state into a [`StateSnapshot`] (periodic **full** snapshots
+//!   plus optional incremental **deltas**) and rebuild it from one.
+//! * [`CheckpointStore`] keeps the latest checkpoint per task — base
+//!   snapshot, ordered deltas, the exactly-once input log and replay-dedup
+//!   ids — in memory, spilling large snapshot payloads to disk above a
+//!   configurable threshold.  Entries are guarded by the depositing task's
+//!   supervisor generation so a superseded-but-still-running thread can
+//!   never clobber its replacement's checkpoints.
+//! * [`RecoveryMode`] selects what a restart *means*: exactly-once effect
+//!   (aligned snapshots + input-log re-execution + replay dedup),
+//!   at-least-once (restore the latest snapshot, accept duplicates), or
+//!   approximate (skip replay of pre-snapshot tuples and report the skip
+//!   count as the error bound).
+//!
+//! The task loops drive the store cooperatively: a checkpoint is taken on
+//! the task's own thread right after a batch's acks are applied, so the
+//! snapshot is always aligned with the acked frontier of the sharded
+//! acker.  See `DESIGN.md` §13 for the full architecture.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::MessageId;
+use crate::tuple::Tuple;
+
+/// Whether a [`StateSnapshot`] captures the whole state or a delta since
+/// the previous snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A complete, self-contained image of the component's state.
+    Full,
+    /// An incremental delta; applying the base full snapshot and every
+    /// delta in deposit order reproduces the full state.
+    Delta,
+}
+
+/// An encoded image of one component's state.
+///
+/// The payload is an opaque byte string; [`StateSnapshot::encode`] and
+/// [`StateSnapshot::decode`] wrap the workspace serde conventions so
+/// components only deal in plain serializable values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSnapshot {
+    /// Full image or incremental delta.
+    pub kind: SnapshotKind,
+    /// Encoded state payload.
+    pub bytes: Vec<u8>,
+}
+
+impl StateSnapshot {
+    /// Encodes a serializable value as a snapshot of the given kind.
+    pub fn encode<T: Serialize>(kind: SnapshotKind, state: &T) -> StateSnapshot {
+        let text = serde_json::to_string(state).expect("state encoding cannot fail");
+        StateSnapshot {
+            kind,
+            bytes: text.into_bytes(),
+        }
+    }
+
+    /// Decodes the snapshot payload back into a value.
+    pub fn decode<T: Deserialize>(&self) -> Result<T, String> {
+        let text = std::str::from_utf8(&self.bytes)
+            .map_err(|e| format!("snapshot payload is not UTF-8: {e}"))?;
+        serde_json::from_str(text).map_err(|e| format!("snapshot decode failed: {e}"))
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// The snapshot/restore surface of a checkpointable component.
+///
+/// Implementors encode their state with [`StateSnapshot::encode`]; the
+/// checkpoint coordinator decides *when* to snapshot and what guarantee a
+/// restore provides (see [`RecoveryMode`]).
+pub trait StatefulComponent {
+    /// Captures a full snapshot of the current state.
+    ///
+    /// Takes `&mut self` so implementations maintaining incremental
+    /// dirty-tracking can reset it when a full image is cut.
+    fn snapshot(&mut self) -> StateSnapshot;
+
+    /// Captures an incremental delta since the last `snapshot`/`delta`
+    /// call, or `None` when the component only supports full snapshots
+    /// (the coordinator then always takes full images).
+    fn delta(&mut self) -> Option<StateSnapshot> {
+        None
+    }
+
+    /// Rebuilds the state from a base full snapshot plus the deltas taken
+    /// after it, in order.
+    fn restore(&mut self, base: &StateSnapshot, deltas: &[StateSnapshot]) -> Result<(), String>;
+}
+
+/// The recovery guarantee a supervisor restart of a stateful task
+/// provides, selected via
+/// [`RtConfig::with_recovery_mode`](super::RtConfig::with_recovery_mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Snapshots aligned with the acked frontier, plus an input log of
+    /// tuples applied since the last checkpoint and a replay-dedup set:
+    /// the restarted task re-executes the log against the restored
+    /// snapshot and filters duplicate replays, so its observable effects
+    /// match a fault-free run (exact for a single stateful stage; see
+    /// `DESIGN.md` §13 for the multi-stage caveat).
+    ExactlyOnceEffect,
+    /// Restore the latest snapshot and let the normal timeout/replay path
+    /// re-send in-flight tuples.  Tuples acked at the last checkpoint
+    /// boundary but re-sent by a rare ack/snapshot race may be applied
+    /// twice.
+    #[default]
+    AtLeastOnce,
+    /// Restore the latest snapshot but *skip* replaying tuples tracked
+    /// before it was taken, trading result accuracy for recovery speed.
+    /// Every skip is counted, so `approx_skipped` bounds the number of
+    /// tuples missing from aggregation results.
+    Approximate,
+}
+
+impl RecoveryMode {
+    /// Stable lower-snake name used in the journal and bench output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryMode::ExactlyOnceEffect => "exactly_once_effect",
+            RecoveryMode::AtLeastOnce => "at_least_once",
+            RecoveryMode::Approximate => "approximate",
+        }
+    }
+}
+
+/// One input tuple recorded in the exactly-once log: everything needed to
+/// re-execute it against the restored snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct LoggedInput {
+    /// The tuple as delivered to the bolt.
+    pub tuple: Tuple,
+    /// Runtime clock (seconds since submit) when it was applied.
+    pub now_s: f64,
+    /// Spout message id when the tuple is dedupable (tracked emissions).
+    pub dedup: Option<MessageId>,
+}
+
+/// Where a stored snapshot payload lives.
+#[derive(Debug)]
+enum StoredPayload {
+    /// Payload held in memory.
+    Mem(Vec<u8>),
+    /// Payload spilled to a file (large snapshots).
+    File { path: PathBuf },
+}
+
+impl StoredPayload {
+    fn read(&self) -> Option<Vec<u8>> {
+        match self {
+            StoredPayload::Mem(b) => Some(b.clone()),
+            StoredPayload::File { path } => std::fs::read(path).ok(),
+        }
+    }
+}
+
+impl Drop for StoredPayload {
+    fn drop(&mut self) {
+        if let StoredPayload::File { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StoredSnapshot {
+    kind: SnapshotKind,
+    payload: StoredPayload,
+}
+
+impl StoredSnapshot {
+    fn to_snapshot(&self) -> Option<StateSnapshot> {
+        Some(StateSnapshot {
+            kind: self.kind,
+            bytes: self.payload.read()?,
+        })
+    }
+}
+
+/// The per-task checkpoint record inside the store.
+struct TaskEntry {
+    /// Supervisor generation of the last writer; deposits from older
+    /// generations are rejected.
+    generation: u64,
+    /// Runtime clock when the newest snapshot (base or delta) was taken.
+    taken_at_s: Option<f64>,
+    base: Option<StoredSnapshot>,
+    deltas: Vec<StoredSnapshot>,
+    /// Exactly-once input log since the last snapshot (or since task
+    /// start when no snapshot exists yet).
+    input_log: Vec<LoggedInput>,
+    /// Replay-dedup ids captured with the last snapshot.
+    dedup: Vec<MessageId>,
+}
+
+impl TaskEntry {
+    fn fresh(generation: u64) -> Self {
+        TaskEntry {
+            generation,
+            taken_at_s: None,
+            base: None,
+            deltas: Vec::new(),
+            input_log: Vec::new(),
+            dedup: Vec::new(),
+        }
+    }
+}
+
+/// Everything [`CheckpointStore::load`] hands a restarting task.
+pub(crate) struct Restored {
+    /// Base full snapshot, when one was taken.
+    pub base: Option<StateSnapshot>,
+    /// Deltas deposited after the base, in order.
+    pub deltas: Vec<StateSnapshot>,
+    /// Exactly-once input log to re-execute after restoring the snapshot.
+    pub input_log: Vec<LoggedInput>,
+    /// Replay-dedup ids captured with the snapshot.
+    pub dedup: Vec<MessageId>,
+    /// Runtime clock when the newest snapshot was taken.
+    pub taken_at_s: Option<f64>,
+}
+
+/// In-memory, spillable store of the latest checkpoint per task.
+///
+/// One entry per global task id; every access locks only that task's
+/// entry, so checkpointing tasks never contend with each other.
+pub(crate) struct CheckpointStore {
+    entries: Vec<Mutex<Option<TaskEntry>>>,
+    spill_dir: Option<PathBuf>,
+    spill_threshold: usize,
+    seq: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// A store for `n_tasks` tasks.  Snapshot payloads larger than
+    /// `spill_threshold` bytes are written to `spill_dir` when it is set.
+    pub(crate) fn new(n_tasks: usize, spill_threshold: usize, spill_dir: Option<PathBuf>) -> Self {
+        CheckpointStore {
+            entries: (0..n_tasks).map(|_| Mutex::new(None)).collect(),
+            spill_dir,
+            spill_threshold,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn stored(&self, task: usize, generation: u64, snap: StateSnapshot) -> StoredSnapshot {
+        let kind = snap.kind;
+        if snap.bytes.len() > self.spill_threshold {
+            if let Some(dir) = &self.spill_dir {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!(
+                    "ckpt_p{}_t{task}_g{generation}_{seq}.snap",
+                    std::process::id()
+                ));
+                if std::fs::write(&path, &snap.bytes).is_ok() {
+                    return StoredSnapshot {
+                        kind,
+                        payload: StoredPayload::File { path },
+                    };
+                }
+            }
+        }
+        StoredSnapshot {
+            kind,
+            payload: StoredPayload::Mem(snap.bytes),
+        }
+    }
+
+    /// Deposits a full snapshot, replacing the task's base, clearing its
+    /// deltas, truncating the input log and installing the new dedup set.
+    /// Returns the bytes written, or `None` when the deposit is stale
+    /// (from a superseded generation).
+    pub(crate) fn deposit_full(
+        &self,
+        task: usize,
+        generation: u64,
+        taken_at_s: f64,
+        snap: StateSnapshot,
+        dedup: Vec<MessageId>,
+    ) -> Option<u64> {
+        let mut slot = self.entries[task].lock().unwrap();
+        let entry = slot.get_or_insert_with(|| TaskEntry::fresh(generation));
+        if generation < entry.generation {
+            return None;
+        }
+        entry.generation = generation;
+        let bytes = snap.bytes.len() as u64;
+        entry.base = Some(self.stored(task, generation, snap));
+        entry.deltas.clear();
+        entry.input_log.clear();
+        entry.dedup = dedup;
+        entry.taken_at_s = Some(taken_at_s);
+        Some(bytes)
+    }
+
+    /// Deposits an incremental delta on top of the task's existing base,
+    /// truncating the input log and installing the new dedup set.
+    /// Returns the bytes written, or `None` when the deposit is stale,
+    /// there is no base yet, or the base belongs to another generation
+    /// (the caller must take a full snapshot instead).
+    pub(crate) fn deposit_delta(
+        &self,
+        task: usize,
+        generation: u64,
+        taken_at_s: f64,
+        snap: StateSnapshot,
+        dedup: Vec<MessageId>,
+    ) -> Option<u64> {
+        let mut slot = self.entries[task].lock().unwrap();
+        let entry = slot.as_mut()?;
+        if generation != entry.generation || entry.base.is_none() {
+            return None;
+        }
+        let bytes = snap.bytes.len() as u64;
+        entry.deltas.push(self.stored(task, generation, snap));
+        entry.input_log.clear();
+        entry.dedup = dedup;
+        entry.taken_at_s = Some(taken_at_s);
+        Some(bytes)
+    }
+
+    /// Appends one applied input to the task's exactly-once log.  Returns
+    /// the log length, or `None` when the append is stale.
+    pub(crate) fn append_input(
+        &self,
+        task: usize,
+        generation: u64,
+        input: LoggedInput,
+    ) -> Option<usize> {
+        let mut slot = self.entries[task].lock().unwrap();
+        let entry = slot.get_or_insert_with(|| TaskEntry::fresh(generation));
+        if generation < entry.generation {
+            return None;
+        }
+        entry.generation = generation;
+        entry.input_log.push(input);
+        Some(entry.input_log.len())
+    }
+
+    /// Loads the task's latest checkpoint for a restarting incarnation,
+    /// claiming the entry for `claim_generation` so deposits from the
+    /// superseded generation are rejected from now on.  Returns `None`
+    /// when the task never checkpointed *and* never logged an input.
+    pub(crate) fn load(&self, task: usize, claim_generation: u64) -> Option<Restored> {
+        let mut slot = self.entries[task].lock().unwrap();
+        let entry = slot.as_mut()?;
+        entry.generation = entry.generation.max(claim_generation);
+        if entry.base.is_none() && entry.input_log.is_empty() {
+            return None;
+        }
+        let base = match &entry.base {
+            Some(s) => Some(s.to_snapshot()?),
+            None => None,
+        };
+        let deltas: Option<Vec<StateSnapshot>> =
+            entry.deltas.iter().map(|d| d.to_snapshot()).collect();
+        Some(Restored {
+            base,
+            deltas: deltas?,
+            input_log: entry.input_log.clone(),
+            dedup: entry.dedup.clone(),
+            taken_at_s: entry.taken_at_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{Tuple, Value};
+
+    fn snap_of(kind: SnapshotKind, v: &Vec<(i64, i64)>) -> StateSnapshot {
+        StateSnapshot::encode(kind, v)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let state = (Some(7u64), vec![("a".to_string(), 3u64)], 11u64);
+        let snap = StateSnapshot::encode(SnapshotKind::Full, &state);
+        assert_eq!(snap.kind, SnapshotKind::Full);
+        assert!(!snap.is_empty());
+        let back: (Option<u64>, Vec<(String, u64)>, u64) = snap.decode().unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn deposit_load_full_plus_deltas() {
+        let store = CheckpointStore::new(2, usize::MAX, None);
+        let base = vec![(1i64, 10i64)];
+        let delta = vec![(2i64, 20i64)];
+        assert!(store
+            .deposit_full(0, 0, 1.0, snap_of(SnapshotKind::Full, &base), vec![7])
+            .is_some());
+        assert!(store
+            .deposit_delta(0, 0, 1.5, snap_of(SnapshotKind::Delta, &delta), vec![7, 8])
+            .is_some());
+        let r = store.load(0, 1).expect("checkpoint present");
+        assert_eq!(r.taken_at_s, Some(1.5));
+        assert_eq!(r.dedup, vec![7, 8]);
+        assert_eq!(r.base.unwrap().decode::<Vec<(i64, i64)>>().unwrap(), base);
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.deltas[0].decode::<Vec<(i64, i64)>>().unwrap(), delta);
+        assert!(store.load(1, 1).is_none(), "other task untouched");
+    }
+
+    #[test]
+    fn stale_generation_deposits_rejected() {
+        let store = CheckpointStore::new(1, usize::MAX, None);
+        let v = vec![(1i64, 1i64)];
+        assert!(store
+            .deposit_full(0, 0, 1.0, snap_of(SnapshotKind::Full, &v), vec![])
+            .is_some());
+        // The replacement claims the entry at generation 1 …
+        assert!(store.load(0, 1).is_some());
+        // … so the superseded generation-0 thread can no longer write.
+        assert!(store
+            .deposit_full(0, 0, 2.0, snap_of(SnapshotKind::Full, &v), vec![])
+            .is_none());
+        assert!(store
+            .deposit_delta(0, 0, 2.0, snap_of(SnapshotKind::Delta, &v), vec![])
+            .is_none());
+        assert!(store
+            .append_input(
+                0,
+                0,
+                LoggedInput {
+                    tuple: Tuple::of([Value::from(1i64)]),
+                    now_s: 2.0,
+                    dedup: None,
+                },
+            )
+            .is_none());
+        // Generation 1 itself writes fine.
+        assert!(store
+            .deposit_full(0, 1, 3.0, snap_of(SnapshotKind::Full, &v), vec![])
+            .is_some());
+    }
+
+    #[test]
+    fn delta_without_base_rejected() {
+        let store = CheckpointStore::new(1, usize::MAX, None);
+        let v = vec![(1i64, 1i64)];
+        assert!(store
+            .deposit_delta(0, 0, 1.0, snap_of(SnapshotKind::Delta, &v), vec![])
+            .is_none());
+    }
+
+    #[test]
+    fn input_log_truncated_by_checkpoint_and_survives_load() {
+        let store = CheckpointStore::new(1, usize::MAX, None);
+        let input = |i: i64| LoggedInput {
+            tuple: Tuple::of([Value::from(i)]),
+            now_s: i as f64,
+            dedup: Some(i as u64),
+        };
+        // Logged inputs are restorable even before any snapshot exists.
+        assert_eq!(store.append_input(0, 0, input(1)), Some(1));
+        assert_eq!(store.append_input(0, 0, input(2)), Some(2));
+        let r = store.load(0, 1).expect("log alone is restorable");
+        assert!(r.base.is_none());
+        assert_eq!(r.input_log.len(), 2);
+        assert_eq!(r.input_log[1].dedup, Some(2));
+        // A full deposit truncates the log (its effects are in the image);
+        // the load above claimed generation 1, so deposit as generation 1.
+        let v = vec![(1i64, 1i64)];
+        assert!(store
+            .deposit_full(0, 1, 3.0, snap_of(SnapshotKind::Full, &v), vec![1, 2])
+            .is_some());
+        let r = store.load(0, 2).unwrap();
+        assert!(r.input_log.is_empty());
+        assert_eq!(r.dedup, vec![1, 2]);
+    }
+
+    #[test]
+    fn large_snapshots_spill_to_disk_and_load_back() {
+        let dir = std::env::temp_dir().join(format!("dsdps_ckpt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(1, 64, Some(dir.clone()));
+        let big: Vec<(i64, i64)> = (0..256).map(|i| (i, i * 2)).collect();
+        assert!(store
+            .deposit_full(0, 0, 1.0, snap_of(SnapshotKind::Full, &big), vec![])
+            .is_some());
+        let spilled = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(spilled, 1, "payload above threshold must spill");
+        let r = store.load(0, 1).unwrap();
+        assert_eq!(r.base.unwrap().decode::<Vec<(i64, i64)>>().unwrap(), big);
+        // Overwriting the base removes the spilled file.
+        let small = vec![(1i64, 1i64)];
+        assert!(store
+            .deposit_full(0, 1, 2.0, snap_of(SnapshotKind::Full, &small), vec![])
+            .is_some());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_mode_names_are_stable() {
+        assert_eq!(
+            RecoveryMode::ExactlyOnceEffect.as_str(),
+            "exactly_once_effect"
+        );
+        assert_eq!(RecoveryMode::AtLeastOnce.as_str(), "at_least_once");
+        assert_eq!(RecoveryMode::Approximate.as_str(), "approximate");
+        assert_eq!(RecoveryMode::default(), RecoveryMode::AtLeastOnce);
+    }
+}

@@ -1,8 +1,10 @@
 //! Knobs specific to the threaded runtime.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::Duration;
 
+use super::checkpoint::RecoveryMode;
 use crate::error::{Error, Result};
 
 /// Tuning parameters for the threaded runtime: tuple batching, task
@@ -116,6 +118,36 @@ pub struct RtConfig {
     /// Multiplicative decrease factor applied when queue wait exceeds the
     /// target; must be in `(0, 1)`.
     pub throttle_decrease_factor: f64,
+    /// Enable periodic checkpoints of stateful tasks (bolts whose
+    /// [`Bolt::stateful`](crate::component::Bolt::stateful) returns a
+    /// [`StatefulComponent`](super::checkpoint::StatefulComponent)).  Off
+    /// by default — a supervisor restart then rebuilds components from
+    /// their factories, losing accumulated state.
+    pub checkpoints: bool,
+    /// Interval between checkpoints of one task.  Checkpoints are taken
+    /// cooperatively on the task's own thread at batch boundaries, right
+    /// after the batch's acks are applied, so the snapshot is aligned with
+    /// the acked frontier.
+    pub checkpoint_interval: Duration,
+    /// Take a full snapshot every Nth checkpoint; the intervening ones are
+    /// incremental deltas when the component supports them.  `1` makes
+    /// every checkpoint full.  The first checkpoint of every task
+    /// incarnation is always full.
+    pub checkpoint_full_every: u32,
+    /// Snapshot payloads larger than this many bytes spill to
+    /// [`checkpoint_spill_dir`](Self::checkpoint_spill_dir) instead of
+    /// staying in memory (no effect when the dir is unset).
+    pub checkpoint_spill_threshold: usize,
+    /// Directory for spilled snapshot payloads (`None`, the default,
+    /// keeps everything in memory).
+    pub checkpoint_spill_dir: Option<PathBuf>,
+    /// Under [`RecoveryMode::ExactlyOnceEffect`], a checkpoint is forced
+    /// early once this many inputs accumulate in the task's input log,
+    /// bounding replay-log memory between interval ticks.
+    pub checkpoint_log_high_water: usize,
+    /// What a restart of a stateful task guarantees; see [`RecoveryMode`].
+    /// Only meaningful with [`checkpoints`](Self::checkpoints) on.
+    pub recovery_mode: RecoveryMode,
 }
 
 impl Default for RtConfig {
@@ -140,6 +172,13 @@ impl Default for RtConfig {
             throttle_max_rate: f64::INFINITY,
             throttle_additive_increase: 500.0,
             throttle_decrease_factor: 0.5,
+            checkpoints: false,
+            checkpoint_interval: Duration::from_millis(500),
+            checkpoint_full_every: 4,
+            checkpoint_spill_threshold: 1 << 20,
+            checkpoint_spill_dir: None,
+            checkpoint_log_high_water: 8192,
+            recovery_mode: RecoveryMode::AtLeastOnce,
         }
     }
 }
@@ -244,6 +283,36 @@ impl RtConfig {
         self
     }
 
+    /// Returns the config with periodic checkpoints on at the given
+    /// interval.
+    pub fn with_checkpoints(mut self, interval: Duration) -> Self {
+        self.checkpoints = true;
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Returns the config taking a full snapshot every `n`th checkpoint
+    /// (deltas in between, for components that support them).
+    pub fn with_checkpoint_full_every(mut self, n: u32) -> Self {
+        self.checkpoint_full_every = n;
+        self
+    }
+
+    /// Returns the config spilling snapshot payloads larger than
+    /// `threshold` bytes to `dir`.
+    pub fn with_checkpoint_spill(mut self, dir: PathBuf, threshold: usize) -> Self {
+        self.checkpoint_spill_dir = Some(dir);
+        self.checkpoint_spill_threshold = threshold;
+        self
+    }
+
+    /// Returns the config with the given recovery guarantee for stateful
+    /// task restarts.
+    pub fn with_recovery_mode(mut self, mode: RecoveryMode) -> Self {
+        self.recovery_mode = mode;
+        self
+    }
+
     /// The effective per-task input-queue bound, in **tuples**, once this
     /// config composes with an [`EngineConfig`](crate::config::EngineConfig).
     ///
@@ -319,6 +388,28 @@ impl RtConfig {
             return Err(Error::Config(
                 "rt throttle_decrease_factor must be in (0, 1)".into(),
             ));
+        }
+        if self.checkpoints {
+            if self.checkpoint_interval.is_zero() {
+                return Err(Error::Config(
+                    "rt checkpoint_interval must be positive when checkpoints are on".into(),
+                ));
+            }
+            if self.checkpoint_full_every == 0 {
+                return Err(Error::Config(
+                    "rt checkpoint_full_every must be at least 1".into(),
+                ));
+            }
+            if self.checkpoint_log_high_water == 0 {
+                return Err(Error::Config(
+                    "rt checkpoint_log_high_water must be at least 1".into(),
+                ));
+            }
+        } else if self.recovery_mode != RecoveryMode::AtLeastOnce {
+            return Err(Error::Config(format!(
+                "rt recovery_mode {} requires checkpoints to be enabled",
+                self.recovery_mode.as_str()
+            )));
         }
         Ok(())
     }
@@ -438,6 +529,44 @@ mod tests {
             64
         );
         assert_eq!(tight.max_spout_pending, 512);
+    }
+
+    #[test]
+    fn checkpoint_knobs() {
+        let cfg = RtConfig::default();
+        assert!(!cfg.checkpoints, "checkpoints are opt-in");
+        assert_eq!(cfg.recovery_mode, RecoveryMode::AtLeastOnce);
+        assert!(cfg.validate().is_ok());
+
+        let on = RtConfig::default()
+            .with_checkpoints(Duration::from_millis(100))
+            .with_checkpoint_full_every(3)
+            .with_recovery_mode(RecoveryMode::ExactlyOnceEffect);
+        assert!(on.checkpoints);
+        assert_eq!(on.checkpoint_full_every, 3);
+        assert!(on.validate().is_ok());
+
+        // Stronger guarantees without checkpoints make no sense.
+        assert!(RtConfig::default()
+            .with_recovery_mode(RecoveryMode::ExactlyOnceEffect)
+            .validate()
+            .is_err());
+        assert!(RtConfig::default()
+            .with_recovery_mode(RecoveryMode::Approximate)
+            .validate()
+            .is_err());
+
+        // Degenerate knobs are rejected when checkpoints are on.
+        assert!(RtConfig::default()
+            .with_checkpoints(Duration::ZERO)
+            .validate()
+            .is_err());
+        let mut zero_full = RtConfig::default().with_checkpoints(Duration::from_millis(100));
+        zero_full.checkpoint_full_every = 0;
+        assert!(zero_full.validate().is_err());
+        let mut zero_hw = RtConfig::default().with_checkpoints(Duration::from_millis(100));
+        zero_hw.checkpoint_log_high_water = 0;
+        assert!(zero_hw.validate().is_err());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! for real, and is exercised by the examples and integration tests.
 
 mod batch;
+pub mod checkpoint;
 mod config;
 pub mod credit;
 mod fault;
@@ -49,6 +50,7 @@ mod router;
 mod supervisor;
 mod task;
 
+pub use checkpoint::{RecoveryMode, SnapshotKind, StateSnapshot, StatefulComponent};
 pub use config::RtConfig;
 pub use credit::{CreditLedger, CreditTotals};
 pub use fault::{RtFault, RtFaultPlan};
@@ -145,6 +147,17 @@ pub(crate) struct Shared {
     /// Queue-wait p99 (µs, `f64` bits) over the last *completed* metrics
     /// interval — the steady-state readout, free of startup transients.
     pub(crate) queue_wait_last_p99_bits: AtomicU64,
+    /// Checkpoint store keyed by `(task, generation)`; `None` when
+    /// [`RtConfig::checkpoints`] is off.  Lives here (not in task threads)
+    /// so snapshots survive supervisor restarts.
+    pub(crate) checkpoints: Option<checkpoint::CheckpointStore>,
+    /// Spout tuples skipped (not replayed) by approximate-mode restores —
+    /// the reported result-error bound of that recovery guarantee.
+    pub(crate) approx_skipped_total: AtomicU64,
+    /// Duration of the most recent checkpoint, µs (telemetry gauge).
+    pub(crate) checkpoint_last_us: AtomicU64,
+    /// Latency of the most recent state restore, µs (telemetry gauge).
+    pub(crate) restore_last_us: AtomicU64,
 }
 
 impl Shared {
@@ -251,7 +264,8 @@ impl BackpressureHandle {
     /// is journaled as a [`JournalEvent::ThrottleChanged`] with the given
     /// reason (`"controller"` for planner actuation, `"manual"` otherwise).
     pub fn set_rate_cap(&self, cap: Option<f64>, reason: &str) {
-        self.shared.set_rate_cap(cap.unwrap_or(f64::INFINITY), reason);
+        self.shared
+            .set_rate_cap(cap.unwrap_or(f64::INFINITY), reason);
     }
 
     /// Flow-control credits currently available across every pool (0 when
@@ -433,17 +447,17 @@ impl RunningTopology {
             })
             .collect();
         let (spans, spans_dropped) = self.shared.tracer.snapshot();
-        let credit_totals = self
-            .shared
-            .credits
-            .as_ref()
-            .map(|c| c.totals())
-            .unwrap_or(CreditTotals {
-                granted: 0,
-                consumed: 0,
-                revoked: 0,
-                outstanding: 0,
-            });
+        let credit_totals =
+            self.shared
+                .credits
+                .as_ref()
+                .map(|c| c.totals())
+                .unwrap_or(CreditTotals {
+                    granted: 0,
+                    consumed: 0,
+                    revoked: 0,
+                    outstanding: 0,
+                });
         let queue_wait_hist = self.shared.merged_queue_wait();
         let final_cap = self.shared.rate_cap();
         ThreadedReport {
@@ -472,6 +486,25 @@ impl RunningTopology {
             queue_wait_p99_us: queue_wait_hist.quantile(0.99).unwrap_or(0.0),
             queue_wait_last_p99_us: self.shared.queue_wait_last_p99_us(),
             rate_cap: final_cap.is_finite().then_some(final_cap),
+            checkpoints_taken: self
+                .shared
+                .task_stats
+                .iter()
+                .map(|s| s.checkpoints_taken.load(Ordering::Relaxed))
+                .sum(),
+            restores: self
+                .shared
+                .task_stats
+                .iter()
+                .map(|s| s.restores.load(Ordering::Relaxed))
+                .sum(),
+            snapshot_bytes: self
+                .shared
+                .task_stats
+                .iter()
+                .map(|s| s.snapshot_bytes.load(Ordering::Relaxed))
+                .sum(),
+            approx_skipped: self.shared.approx_skipped_total.load(Ordering::Relaxed),
         }
     }
 
@@ -571,6 +604,16 @@ pub struct ThreadedReport {
     pub queue_wait_last_p99_us: f64,
     /// Spout rate cap at shutdown, tuples/s (`None` = uncapped).
     pub rate_cap: Option<f64>,
+    /// Checkpoints taken across all stateful tasks
+    /// ([`RtConfig::checkpoints`]); 0 when checkpointing was off.
+    pub checkpoints_taken: u64,
+    /// Snapshot restores performed by restarted stateful tasks.
+    pub restores: u64,
+    /// Total serialized snapshot bytes deposited in the checkpoint store.
+    pub snapshot_bytes: u64,
+    /// Spout tuples skipped (not replayed) by approximate-mode restores —
+    /// the exact result-error bound that recovery guarantee reports.
+    pub approx_skipped: u64,
 }
 
 impl ThreadedReport {
@@ -675,6 +718,11 @@ struct RegistryMirror {
     throttle_rate_cap: Gauge,
     shed_batches: Counter,
     queue_wait_p99: Gauge,
+    checkpoints_taken: Counter,
+    restores: Counter,
+    snapshot_bytes: Counter,
+    checkpoint_last_us: Gauge,
+    restore_last_us: Gauge,
     complete_latency: Summary,
     task_executed: Vec<Counter>,
     task_queue_len: Vec<Gauge>,
@@ -727,6 +775,11 @@ impl RegistryMirror {
             throttle_rate_cap: registry.gauge("dsdps_throttle_rate_cap_tuples_per_s", &[]),
             shed_batches: registry.counter("dsdps_shed_batches_total", &[]),
             queue_wait_p99: registry.gauge("dsdps_queue_wait_p99_us", &[]),
+            checkpoints_taken: registry.counter("dsdps_checkpoints_total", &[]),
+            restores: registry.counter("dsdps_restores_total", &[]),
+            snapshot_bytes: registry.counter("dsdps_snapshot_bytes_total", &[]),
+            checkpoint_last_us: registry.gauge("dsdps_checkpoint_last_duration_us", &[]),
+            restore_last_us: registry.gauge("dsdps_restore_last_latency_us", &[]),
             complete_latency: registry.summary("dsdps_complete_latency_us", &[]),
             task_executed: per_task("dsdps_task_executed_total"),
             task_queue_len: per_task_gauge("dsdps_task_queue_len"),
@@ -776,6 +829,24 @@ impl RegistryMirror {
         self.shed_batches
             .set(shared.shed_batches_total.load(Ordering::Relaxed));
         self.queue_wait_p99.set(shared.queue_wait_last_p99_us());
+        let (ckpts, restores, snap_bytes) =
+            shared
+                .task_stats
+                .iter()
+                .fold((0u64, 0u64, 0u64), |(c, r, b), s| {
+                    (
+                        c + s.checkpoints_taken.load(Ordering::Relaxed),
+                        r + s.restores.load(Ordering::Relaxed),
+                        b + s.snapshot_bytes.load(Ordering::Relaxed),
+                    )
+                });
+        self.checkpoints_taken.set(ckpts);
+        self.restores.set(restores);
+        self.snapshot_bytes.set(snap_bytes);
+        self.checkpoint_last_us
+            .set(shared.checkpoint_last_us.load(Ordering::Relaxed) as f64);
+        self.restore_last_us
+            .set(shared.restore_last_us.load(Ordering::Relaxed) as f64);
         self.complete_latency.replace(hist.clone());
         for (i, t) in snap.tasks.iter().enumerate() {
             self.task_executed[i].set(shared.task_stats[i].executed.load(Ordering::Relaxed));
@@ -801,6 +872,12 @@ fn submit_inner(
     let placement: Placement = even_placement(&topology, &config)?;
     let n_tasks = topology.task_count();
     let journal = Arc::new(Journal::new());
+    if rt_config.checkpoints {
+        journal.append(JournalEvent::RecoveryMode {
+            time_s: 0.0,
+            mode: rt_config.recovery_mode.as_str().to_string(),
+        });
+    }
     let injector = match plan {
         Some(plan) if !plan.is_empty() => {
             plan.validate(n_tasks, placement.num_workers(), config.num_machines)?;
@@ -870,6 +947,16 @@ fn submit_inner(
             .map(|_| Mutex::new((LatencyHistogram::new(), LatencyHistogram::new())))
             .collect(),
         queue_wait_last_p99_bits: AtomicU64::new(0f64.to_bits()),
+        checkpoints: rt_config.checkpoints.then(|| {
+            checkpoint::CheckpointStore::new(
+                n_tasks,
+                rt_config.checkpoint_spill_threshold,
+                rt_config.checkpoint_spill_dir.clone(),
+            )
+        }),
+        approx_skipped_total: AtomicU64::new(0),
+        checkpoint_last_us: AtomicU64::new(0),
+        restore_last_us: AtomicU64::new(0),
     });
 
     // Initial credit windows: every bolt task grants its producers a window
@@ -1053,6 +1140,9 @@ fn submit_inner(
                             panics: s.panics.load(Ordering::SeqCst),
                             restarts: s.restarts.load(Ordering::SeqCst),
                             last_panic: s.last_panic.lock().clone(),
+                            checkpoints_taken: s.checkpoints_taken.load(Ordering::Relaxed),
+                            restores: s.restores.load(Ordering::Relaxed),
+                            snapshot_bytes: s.snapshot_bytes.load(Ordering::Relaxed),
                         }
                     })
                     .collect();
@@ -1135,7 +1225,7 @@ fn submit_inner(
                 // histogram and fold them into this tick's distribution.
                 let mut qw_interval = LatencyHistogram::new();
                 for slot in &shared.queue_wait {
-                    let taken = std::mem::replace(&mut slot.lock().1, LatencyHistogram::new());
+                    let taken = std::mem::take(&mut slot.lock().1);
                     qw_interval.merge(&taken);
                 }
                 let qw_p99_us = qw_interval.quantile(0.99).unwrap_or(0.0);

@@ -41,6 +41,11 @@ pub(crate) enum FailDecision {
     /// The message was never tracked here (e.g. replay enabled mid-stream);
     /// surface the failure as-is.
     Untracked,
+    /// The message was doomed by an approximate-mode restore
+    /// ([`ReplayBuffer::doom_tracked_before`]): drop it without replaying
+    /// and count it as permanently failed, but do not surface the failure
+    /// to user code — the skip is the reported approximation error.
+    Doomed,
 }
 
 struct Entry {
@@ -51,6 +56,12 @@ struct Entry {
     attempts: u32,
     /// When the next replay may fire; `None` while a tree is in flight.
     retry_at: Option<Instant>,
+    /// Runtime clock when the message was (re-)tracked; the approximate
+    /// recovery mode dooms entries tracked before its snapshot cutoff.
+    tracked_at_s: f64,
+    /// Marked by [`ReplayBuffer::doom_tracked_before`]: the next failure of
+    /// this in-flight tree is skipped instead of replayed.
+    doomed: bool,
 }
 
 /// Replay state of one spout task.
@@ -63,11 +74,13 @@ impl ReplayBuffer {
     /// Records a freshly tracked emission.  Returns `true` when the message
     /// id is new (first attempt), `false` when an existing entry was
     /// refreshed (a restarted spout re-emitting the same id).
-    pub(crate) fn on_track(&mut self, id: MessageId, emission: Arc<Emission>) -> bool {
+    pub(crate) fn on_track(&mut self, id: MessageId, emission: Arc<Emission>, now_s: f64) -> bool {
         match self.entries.get_mut(&id) {
             Some(e) => {
                 e.emission = emission;
                 e.retry_at = None;
+                e.tracked_at_s = now_s;
+                e.doomed = false;
                 false
             }
             None => {
@@ -77,6 +90,8 @@ impl ReplayBuffer {
                         emission,
                         attempts: 0,
                         retry_at: None,
+                        tracked_at_s: now_s,
+                        doomed: false,
                     },
                 );
                 true
@@ -100,6 +115,10 @@ impl ReplayBuffer {
     ) -> FailDecision {
         match self.entries.get_mut(&id) {
             None => FailDecision::Untracked,
+            Some(e) if e.doomed => {
+                self.entries.remove(&id);
+                FailDecision::Doomed
+            }
             Some(e) if e.attempts >= max_replays => {
                 let attempts = e.attempts;
                 self.entries.remove(&id);
@@ -137,6 +156,29 @@ impl ReplayBuffer {
         self.entries.values().filter_map(|e| e.retry_at).min()
     }
 
+    /// Dooms every message tracked before `cutoff_s` (an approximate-mode
+    /// restore skipping pre-snapshot replays).  Entries already awaiting a
+    /// scheduled replay are dropped immediately and counted in the returned
+    /// total; in-flight entries are marked so their eventual failure or
+    /// timeout yields [`FailDecision::Doomed`] instead of a replay.  Acks of
+    /// doomed in-flight trees still complete normally.
+    pub(crate) fn doom_tracked_before(&mut self, cutoff_s: f64) -> usize {
+        let mut dropped = 0;
+        self.entries.retain(|_, e| {
+            if e.tracked_at_s >= cutoff_s {
+                return true;
+            }
+            if e.retry_at.is_some() {
+                dropped += 1;
+                false
+            } else {
+                e.doomed = true;
+                true
+            }
+        });
+        dropped
+    }
+
     /// Messages still tracked: in flight or awaiting a replay.
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
@@ -167,8 +209,8 @@ mod tests {
     fn ack_forgets_and_fail_schedules() {
         let mut b = ReplayBuffer::default();
         let t0 = Instant::now();
-        assert!(b.on_track(1, emission(1)));
-        assert!(b.on_track(2, emission(2)));
+        assert!(b.on_track(1, emission(1), 0.0));
+        assert!(b.on_track(2, emission(2), 0.0));
         assert!(b.on_ack(1));
         assert!(!b.on_ack(1), "double ack is a no-op");
         assert_eq!(b.len(), 1);
@@ -197,7 +239,7 @@ mod tests {
         let mut b = ReplayBuffer::default();
         let t0 = Instant::now();
         let base = Duration::from_millis(10);
-        b.on_track(7, emission(7));
+        b.on_track(7, emission(7), 0.0);
         b.on_fail(7, 10, base, t0);
         assert_eq!(b.next_due(), Some(t0 + base));
         b.take_due(t0 + base);
@@ -212,7 +254,7 @@ mod tests {
     fn retries_exhaust() {
         let mut b = ReplayBuffer::default();
         let t0 = Instant::now();
-        b.on_track(9, emission(9));
+        b.on_track(9, emission(9), 0.0);
         assert_eq!(
             b.on_fail(9, 2, Duration::ZERO, t0),
             FailDecision::Scheduled {
@@ -245,12 +287,47 @@ mod tests {
     }
 
     #[test]
+    fn doom_drops_scheduled_and_marks_in_flight() {
+        let mut b = ReplayBuffer::default();
+        let t0 = Instant::now();
+        b.on_track(1, emission(1), 0.5); // in flight, pre-cutoff
+        b.on_track(2, emission(2), 0.6); // will be awaiting a replay
+        b.on_track(3, emission(3), 2.0); // post-cutoff, untouched
+        b.on_fail(2, 5, Duration::from_millis(1), t0);
+
+        assert_eq!(b.doom_tracked_before(1.0), 1, "scheduled replay dropped");
+        assert_eq!(b.len(), 2);
+        assert_eq!(
+            b.on_fail(1, 5, Duration::ZERO, t0),
+            FailDecision::Doomed,
+            "in-flight pre-cutoff failure is skipped"
+        );
+        assert!(matches!(
+            b.on_fail(3, 5, Duration::ZERO, t0),
+            FailDecision::Scheduled { .. }
+        ));
+        assert!(
+            b.take_due(t0 + Duration::from_secs(1))
+                .iter()
+                .all(|d| d.0 == 3),
+            "only the post-cutoff entry replays"
+        );
+
+        // Acks of doomed in-flight trees still complete normally.
+        let mut b2 = ReplayBuffer::default();
+        b2.on_track(9, emission(9), 0.0);
+        b2.doom_tracked_before(1.0);
+        assert!(b2.on_ack(9));
+        assert!(b2.is_empty());
+    }
+
+    #[test]
     fn retrack_refreshes_entry() {
         let mut b = ReplayBuffer::default();
         let t0 = Instant::now();
-        b.on_track(3, emission(3));
+        b.on_track(3, emission(3), 0.0);
         b.on_fail(3, 5, Duration::from_millis(1), t0);
-        assert!(!b.on_track(3, emission(3)), "same id is not new");
+        assert!(!b.on_track(3, emission(3), 1.0), "same id is not new");
         assert!(
             b.take_due(t0 + Duration::from_secs(1)).is_empty(),
             "retrack clears the pending replay"

@@ -7,7 +7,7 @@ use std::time::Instant;
 use crossbeam::channel::Sender;
 
 use crate::acker::RootId;
-use crate::component::Emission;
+use crate::component::{Emission, MessageId};
 use crate::grouping::{make_grouping, Grouping, GroupingSpec};
 use crate::stream::StreamId;
 use crate::topology::{Component, Topology};
@@ -36,6 +36,11 @@ pub(super) struct Router {
     /// Cached `shared.tracer.enabled()`: one branch per emission decides
     /// whether to stamp send timestamps for queue-wait measurement.
     trace_on: bool,
+    /// Spout message id stamped on the next routed emission's deliveries so
+    /// the receiving bolt can deduplicate replays (exactly-once-effect
+    /// recovery).  Set by the spout loop before each tracked `route` call;
+    /// bolts leave it `None`.
+    pub(super) dedup_next: Option<MessageId>,
 }
 
 impl Router {
@@ -83,6 +88,7 @@ impl Router {
             select_buf: Vec::new(),
             task: tid,
             trace_on,
+            dedup_next: None,
         }
     }
 
@@ -154,6 +160,7 @@ impl Router {
                         tuple,
                         anchor,
                         sent_at_us,
+                        dedup: self.dedup_next,
                     },
                     &self.shared,
                     ops,

@@ -8,6 +8,7 @@
 //! [`Shared::fault`] so both loops misbehave on cue; see
 //! [`fault`](super::fault) for the exact semantics.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -16,12 +17,16 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::acker::Completion;
-use crate::component::{Bolt, BoltOutput, Spout, SpoutOutput, TopologyContext};
+use crate::component::{
+    Bolt, BoltOutput, Emission, MessageId, Spout, SpoutOutput, TopologyContext,
+};
 use crate::config::EngineConfig;
+use crate::hash::FxHashSet;
 use crate::telemetry::{trace::trace_id, JournalEvent, SpanKind};
 use crate::topology::TaskId;
 
 use super::batch::{AckMsg, AckOp, AckOps, Batch};
+use super::checkpoint::{LoggedInput, RecoveryMode};
 use super::fault::SLOWDOWN_FLOOR_NANOS;
 use super::replay::FailDecision;
 use super::router::Router;
@@ -62,6 +67,12 @@ pub(crate) struct TaskAtomics {
     pub(super) finished: AtomicBool,
     /// Message of the most recent caught panic.
     pub(super) last_panic: Mutex<Option<String>>,
+    /// Checkpoints deposited by this task slot (any generation).
+    pub(super) checkpoints_taken: AtomicU64,
+    /// Snapshot restores performed by restarted generations of this slot.
+    pub(super) restores: AtomicU64,
+    /// Serialized snapshot bytes deposited by this slot.
+    pub(super) snapshot_bytes: AtomicU64,
 }
 
 /// Applies queued acker ops and delivers whatever outcomes they completed.
@@ -207,6 +218,234 @@ fn inject_service_slowdown(shared: &Shared, tid: usize, t0: Instant) {
     }
 }
 
+/// Spout message ids remembered for exactly-once replay dedup; FIFO-evicted
+/// above this bound so the set cannot grow without limit.
+const DEDUP_CAP: usize = 65_536;
+
+/// Per-incarnation checkpoint bookkeeping of one stateful bolt thread.
+struct CkptState {
+    /// Checkpoints deposited this incarnation (0 ⇒ the next one is full).
+    count: u64,
+    /// When the previous checkpoint was taken (or the incarnation started).
+    last: Instant,
+    /// Input-log length at the store (exactly-once), for the high-water
+    /// trigger between interval ticks.
+    log_len: usize,
+    /// Recently applied spout message ids in insertion order (exactly-once
+    /// dedup); the set mirrors the FIFO for O(1) membership.
+    dedup_fifo: VecDeque<MessageId>,
+    dedup_set: FxHashSet<MessageId>,
+    /// Acks withheld until the next snapshot deposit (at-least-once /
+    /// approximate alignment: a tuple is only acked once its effect is
+    /// durable, so a crash replays everything after the snapshot).
+    deferred_acks: Vec<AckOp>,
+}
+
+impl CkptState {
+    fn new() -> Self {
+        CkptState {
+            count: 0,
+            last: Instant::now(),
+            log_len: 0,
+            dedup_fifo: VecDeque::new(),
+            dedup_set: FxHashSet::default(),
+            deferred_acks: Vec::new(),
+        }
+    }
+
+    /// True when `id` was already applied by this bolt (before or after the
+    /// most recent restart).
+    fn seen(&self, id: MessageId) -> bool {
+        self.dedup_set.contains(&id)
+    }
+
+    /// Remembers an applied spout message id, evicting the oldest above
+    /// [`DEDUP_CAP`].
+    fn remember(&mut self, id: MessageId) {
+        if self.dedup_set.insert(id) {
+            self.dedup_fifo.push_back(id);
+            if self.dedup_fifo.len() > DEDUP_CAP {
+                if let Some(old) = self.dedup_fifo.pop_front() {
+                    self.dedup_set.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Takes one checkpoint of a stateful bolt when the interval (or the
+/// exactly-once input-log high-water mark, or `force`) says it is due, then
+/// releases the acks deferred since the previous snapshot into `ops`.  The
+/// snapshot is full every [`RtConfig::checkpoint_full_every`](super::RtConfig)
+/// deposits (and always on the first of an incarnation, or when the
+/// component has no delta to offer); otherwise an incremental delta.
+fn maybe_checkpoint(
+    bolt: &mut dyn Bolt,
+    shared: &Shared,
+    tid: usize,
+    my_gen: u64,
+    ck: &mut CkptState,
+    ops: &mut AckOps,
+    force: bool,
+) {
+    let Some(store) = shared.checkpoints.as_ref() else {
+        return;
+    };
+    let due = force
+        || ck.last.elapsed() >= shared.rt.checkpoint_interval
+        || ck.log_len >= shared.rt.checkpoint_log_high_water;
+    if !due {
+        return;
+    }
+    let Some(sc) = bolt.stateful() else {
+        return;
+    };
+    let t0 = Instant::now();
+    let taken_at_s = shared.now_s();
+    let want_full = ck
+        .count
+        .is_multiple_of(shared.rt.checkpoint_full_every as u64);
+    let (snap, is_full) = if want_full {
+        (sc.snapshot(), true)
+    } else {
+        match sc.delta() {
+            Some(d) => (d, false),
+            None => (sc.snapshot(), true),
+        }
+    };
+    let bytes = snap.len() as u64;
+    let dedup: Vec<MessageId> = ck.dedup_fifo.iter().copied().collect();
+    let deposited = if is_full {
+        store.deposit_full(tid, my_gen, taken_at_s, snap, dedup)
+    } else {
+        store.deposit_delta(tid, my_gen, taken_at_s, snap, dedup)
+    };
+    ck.last = Instant::now();
+    if deposited.is_none() {
+        // Superseded mid-checkpoint: a newer generation owns the entry.  The
+        // deferred acks die with this thread; the unacked trees time out and
+        // replay against the successor, which is the deferral contract.
+        return;
+    }
+    ck.count += 1;
+    ck.log_len = 0;
+    let duration_us = t0.elapsed().as_micros() as u64;
+    let s = &shared.task_stats[tid];
+    s.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+    s.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
+    shared
+        .checkpoint_last_us
+        .store(duration_us, Ordering::Relaxed);
+    shared.journal.append(JournalEvent::CheckpointTaken {
+        time_s: taken_at_s,
+        task: tid,
+        generation: my_gen,
+        kind: if is_full { "full" } else { "delta" }.to_string(),
+        bytes,
+        duration_us,
+    });
+    for op in ck.deferred_acks.drain(..) {
+        ops.push(op);
+    }
+}
+
+/// Restores a restarted stateful bolt from the checkpoint store.
+///
+/// Journals `state_restored` on success and `state_lost` when no usable
+/// snapshot (or exactly-once input log) exists.  Exactly-once restores
+/// rebuild the replay-dedup set and re-execute the logged post-snapshot
+/// inputs with their emissions discarded (the originals already routed
+/// downstream before the crash); approximate restores instead doom every
+/// replay tracked before the snapshot and report the skips as the error
+/// bound.
+#[allow(clippy::too_many_arguments)]
+fn restore_state(
+    bolt: &mut dyn Bolt,
+    shared: &Shared,
+    tid: usize,
+    my_gen: u64,
+    mode: RecoveryMode,
+    ck: &mut CkptState,
+    out: &mut BoltOutput,
+    emis: &mut Vec<Emission>,
+) {
+    let t0 = Instant::now();
+    let restored = shared
+        .checkpoints
+        .as_ref()
+        .and_then(|store| store.load(tid, my_gen));
+    let Some(r) = restored else {
+        shared.journal.append(JournalEvent::StateLost {
+            time_s: shared.now_s(),
+            task: tid,
+            generation: my_gen,
+            snapshot_age_s: None,
+        });
+        return;
+    };
+    if let Some(base) = r.base.as_ref() {
+        let ok = bolt
+            .stateful()
+            .is_some_and(|sc| sc.restore(base, &r.deltas).is_ok());
+        if !ok {
+            // A snapshot that fails to decode is as good as no snapshot:
+            // report the loss and run factory-fresh.
+            shared.journal.append(JournalEvent::StateLost {
+                time_s: shared.now_s(),
+                task: tid,
+                generation: my_gen,
+                snapshot_age_s: r.taken_at_s.map(|t| (shared.now_s() - t).max(0.0)),
+            });
+            return;
+        }
+    }
+    match mode {
+        RecoveryMode::ExactlyOnceEffect => {
+            for id in &r.dedup {
+                ck.remember(*id);
+            }
+            for li in &r.input_log {
+                out.set_now(li.now_s);
+                bolt.execute(&li.tuple, out);
+                let _ = out.drain_into(emis);
+                emis.clear();
+                if let Some(id) = li.dedup {
+                    ck.remember(id);
+                }
+            }
+        }
+        RecoveryMode::AtLeastOnce => {}
+        RecoveryMode::Approximate => {
+            if let Some(cut) = r.taken_at_s {
+                let mut skipped = 0usize;
+                for buf in shared.replay.iter() {
+                    skipped += buf.lock().doom_tracked_before(cut);
+                }
+                if skipped > 0 {
+                    shared
+                        .approx_skipped_total
+                        .fetch_add(skipped as u64, Ordering::Relaxed);
+                    shared
+                        .perm_failed_total
+                        .fetch_add(skipped as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    let latency_us = t0.elapsed().as_micros() as u64;
+    shared.restore_last_us.store(latency_us, Ordering::Relaxed);
+    shared.task_stats[tid]
+        .restores
+        .fetch_add(1, Ordering::Relaxed);
+    shared.journal.append(JournalEvent::StateRestored {
+        time_s: shared.now_s(),
+        task: tid,
+        generation: my_gen,
+        snapshot_age_s: r.taken_at_s.map(|t| (shared.now_s() - t).max(0.0)),
+        latency_us,
+    });
+}
+
 /// Handles one batch of ack/fail feedback at a spout, consulting the replay
 /// buffer when replay is enabled.
 #[allow(clippy::borrowed_box)]
@@ -254,6 +493,14 @@ fn spout_handle_feedback(
                         spout.fail(id);
                     }
                     FailDecision::Untracked => spout.fail(id),
+                    FailDecision::Doomed => {
+                        // Approximate recovery skipped this pre-snapshot
+                        // tree: permanently failed for conservation, but not
+                        // surfaced to user code — the skip is the reported
+                        // error bound.
+                        shared.perm_failed_total.fetch_add(1, Ordering::Relaxed);
+                        shared.approx_skipped_total.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -265,6 +512,8 @@ fn spout_emit_due_replays(shared: &Shared, tid: usize, router: &mut Router, ops:
     let due = shared.replay[tid].lock().take_due(Instant::now());
     let now_s = shared.now_s();
     let trace_on = shared.tracer.enabled();
+    let dedup_on =
+        shared.rt.checkpoints && shared.rt.recovery_mode == RecoveryMode::ExactlyOnceEffect;
     for (message_id, emission, attempt) in due {
         let root = shared.next_root.fetch_add(1, Ordering::Relaxed) + 1;
         ops.push(AckOp::Track {
@@ -286,6 +535,9 @@ fn spout_emit_due_replays(shared: &Shared, tid: usize, router: &mut Router, ops:
             shared
                 .tracer
                 .record_emit(tid, root, tid, shared.now_us(), attempt, message_id);
+        }
+        if dedup_on {
+            router.dedup_next = Some(message_id);
         }
         let delivered = router.route(emission.as_ref(), Some(root), ops);
         if delivered == 0 {
@@ -317,6 +569,20 @@ pub(super) fn run_spout(
     let mut ops = AckOps::new(shared.ackers.num_shards());
     let replay_on = shared.replay_on;
     let trace_on = shared.tracer.enabled();
+    let dedup_on =
+        shared.rt.checkpoints && shared.rt.recovery_mode == RecoveryMode::ExactlyOnceEffect;
+    if my_gen > 0 && shared.rt.checkpoints {
+        // Spouts are rebuilt from their factory on every restart — only the
+        // replay buffer (which lives in `Shared`) survives.  Report the
+        // instance-state loss so recovery audits see every restart path,
+        // including hang supersession.
+        shared.journal.append(JournalEvent::StateLost {
+            time_s: shared.now_s(),
+            task: tid,
+            generation: my_gen,
+            snapshot_age_s: None,
+        });
+    }
     // Once the spout exhausts its input it stays alive (draining acks and
     // replaying lost trees) until the replay buffer empties or shutdown.
     let mut exhausted = false;
@@ -442,6 +708,9 @@ pub(super) fn run_spout(
                         .record_emit(tid, root, tid, shared.now_us(), 0, message_id);
                 }
             }
+            if dedup_on {
+                router.dedup_next = tracked.map(|(_, id)| id);
+            }
             let delivered = router.route(&emission, root, &mut ops);
             if delivered == 0 {
                 if let Some(root) = root {
@@ -459,9 +728,10 @@ pub(super) fn run_spout(
                     // replay cache instead of being cloned.  Feedback for
                     // this id is handled by this same thread on a later
                     // iteration, so caching after routing cannot race an ack.
-                    let fresh = shared.replay[tid]
-                        .lock()
-                        .on_track(message_id, Arc::new(emission));
+                    let fresh =
+                        shared.replay[tid]
+                            .lock()
+                            .on_track(message_id, Arc::new(emission), now_s);
                     if fresh {
                         shared.tracked_total.fetch_add(1, Ordering::Relaxed);
                     }
@@ -503,6 +773,33 @@ pub(super) fn run_bolt(
     let mut out = BoltOutput::new();
     let mut emis = Vec::new();
     let mut ops = AckOps::new(shared.ackers.num_shards());
+    // Checkpoint wiring: all of it is compiled-in but `ckpt_on` is false
+    // unless this bolt is stateful *and* checkpointing is configured, so
+    // stock runs never touch the store.
+    let is_stateful = bolt.stateful().is_some();
+    let ckpt_on = is_stateful && shared.checkpoints.is_some();
+    let mode = shared.rt.recovery_mode;
+    let log_on = ckpt_on && mode == RecoveryMode::ExactlyOnceEffect;
+    let defer_acks =
+        ckpt_on && matches!(mode, RecoveryMode::AtLeastOnce | RecoveryMode::Approximate);
+    let mut ck = CkptState::new();
+    let mut pending_log: Vec<LoggedInput> = Vec::new();
+    if my_gen > 0 && shared.rt.checkpoints {
+        if is_stateful {
+            restore_state(
+                &mut *bolt, &shared, tid, my_gen, mode, &mut ck, &mut out, &mut emis,
+            );
+        } else {
+            // Stateless bolts are rebuilt from the factory; journal the loss
+            // so every restart path is audited.
+            shared.journal.append(JournalEvent::StateLost {
+                time_s: shared.now_s(),
+                task: tid,
+                generation: my_gen,
+                snapshot_age_s: None,
+            });
+        }
+    }
     let tick = if cfg.tick_interval_s > 0.0 {
         Duration::from_secs_f64(cfg.tick_interval_s)
     } else {
@@ -556,6 +853,20 @@ pub(super) fn run_bolt(
                 let mut failed_n = 0u64;
                 let mut slow_busy = 0u64;
                 for delivered in batch {
+                    // Exactly-once dedup: a spout message id already applied
+                    // (its effect recovered through the checkpoint input
+                    // log) is skipped, but its edge still acks so the
+                    // replayed tree completes.
+                    if log_on {
+                        if let Some(id) = delivered.dedup {
+                            if ck.seen(id) {
+                                if let Some((root, edge)) = delivered.anchor {
+                                    ops.push(AckOp::Ack { root, edge, now_s });
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     // Sampled tuples take the per-tuple clock path (like
                     // faults) so their spans get real execute times.
                     let traced_root = if trace_on {
@@ -625,8 +936,22 @@ pub(super) fn run_bolt(
                     if let Some((root, edge)) = delivered.anchor {
                         if failed {
                             ops.push(AckOp::Fail { root, now_s });
+                        } else if defer_acks {
+                            // Ack only once the effect is durable: held back
+                            // until the next snapshot deposit.
+                            ck.deferred_acks.push(AckOp::Ack { root, edge, now_s });
                         } else {
                             ops.push(AckOp::Ack { root, edge, now_s });
+                        }
+                    }
+                    if log_on {
+                        pending_log.push(LoggedInput {
+                            tuple: delivered.tuple.clone(),
+                            now_s,
+                            dedup: delivered.dedup,
+                        });
+                        if let Some(id) = delivered.dedup {
+                            ck.remember(id);
                         }
                     }
                     executed += 1;
@@ -651,6 +976,24 @@ pub(super) fn run_bolt(
                 }
                 router.flush_expired(Instant::now(), &mut ops);
                 apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
+                if ckpt_on {
+                    // The input log is appended only after the batch's acks
+                    // applied: a crash between batches finds log and acked
+                    // frontier aligned.
+                    if log_on && !pending_log.is_empty() {
+                        if let Some(store) = shared.checkpoints.as_ref() {
+                            for li in pending_log.drain(..) {
+                                if let Some(n) = store.append_input(tid, my_gen, li) {
+                                    ck.log_len = n;
+                                }
+                            }
+                        }
+                    }
+                    maybe_checkpoint(&mut *bolt, &shared, tid, my_gen, &mut ck, &mut ops, false);
+                    if !ops.is_empty() {
+                        apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.stop.load(Ordering::Relaxed) {
@@ -659,6 +1002,14 @@ pub(super) fn run_bolt(
                 if router.has_pending() || !ops.is_empty() {
                     router.flush_expired(Instant::now(), &mut ops);
                     apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
+                }
+                if ckpt_on {
+                    // Interval checkpoints keep firing while idle, so acks
+                    // deferred by the last partial batch still drain.
+                    maybe_checkpoint(&mut *bolt, &shared, tid, my_gen, &mut ck, &mut ops, false);
+                    if !ops.is_empty() {
+                        apply_and_deliver(&shared, &ack_senders, &mut ops, tid);
+                    }
                 }
             }
             Err(RecvTimeoutError::Disconnected) => break,
@@ -673,6 +1024,12 @@ pub(super) fn run_bolt(
             }
             emis.clear();
         }
+    }
+    if ckpt_on {
+        // Final snapshot on clean shutdown: captures state mutated since the
+        // last interval tick and releases any still-deferred acks (the
+        // spout-side reconciliation in `join_all` picks them up).
+        maybe_checkpoint(&mut *bolt, &shared, tid, my_gen, &mut ck, &mut ops, true);
     }
     router.flush_all(&mut ops);
     apply_and_deliver(&shared, &ack_senders, &mut ops, tid);

@@ -836,6 +836,11 @@ impl SimRuntime {
                 panics: 0,
                 restarts: 0,
                 last_panic: None,
+                // Checkpointing is a threaded-runtime concern; the
+                // deterministic simulator never snapshots.
+                checkpoints_taken: 0,
+                restores: 0,
+                snapshot_bytes: 0,
             })
             .collect();
 

@@ -139,6 +139,59 @@ pub enum JournalEvent {
         /// What changed it: `"aimd"`, `"controller"` or `"manual"`.
         reason: String,
     },
+    /// The runtime was submitted with checkpoints enabled under the given
+    /// recovery guarantee.
+    RecoveryMode {
+        /// Runtime clock, seconds (0 at submit).
+        time_s: f64,
+        /// Guarantee name: `"exactly_once_effect"`, `"at_least_once"` or
+        /// `"approximate"`.
+        mode: String,
+    },
+    /// A stateful task deposited a checkpoint.
+    CheckpointTaken {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Checkpointing task id.
+        task: usize,
+        /// Supervisor generation of the depositing incarnation.
+        generation: u64,
+        /// `"full"` or `"delta"`.
+        kind: String,
+        /// Snapshot payload size, bytes.
+        bytes: u64,
+        /// Time spent snapshotting and depositing, microseconds.
+        duration_us: u64,
+    },
+    /// A restarted task restored state from its latest checkpoint.
+    StateRestored {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Restored task id.
+        task: usize,
+        /// Generation the task was restarted into.
+        generation: u64,
+        /// Age of the restored snapshot at restore time, seconds; `None`
+        /// when only the input log existed (no snapshot yet).
+        snapshot_age_s: Option<f64>,
+        /// Restore latency (load + decode + re-execution), microseconds.
+        latency_us: u64,
+    },
+    /// A restarted task had no state to restore: it was stateless,
+    /// checkpoints were off, or nothing had been deposited yet.  Also
+    /// covers hang supersession — the superseded thread's in-memory state
+    /// is abandoned either way.
+    StateLost {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Restarted task id.
+        task: usize,
+        /// Generation the task was restarted into.
+        generation: u64,
+        /// Age of the newest (unrestorable or absent) snapshot, seconds;
+        /// `None` when no snapshot existed.
+        snapshot_age_s: Option<f64>,
+    },
 }
 
 impl JournalEvent {
@@ -156,7 +209,11 @@ impl JournalEvent {
             | JournalEvent::FaultInjected { time_s, .. }
             | JournalEvent::CreditGranted { time_s, .. }
             | JournalEvent::CreditRevoked { time_s, .. }
-            | JournalEvent::ThrottleChanged { time_s, .. } => *time_s,
+            | JournalEvent::ThrottleChanged { time_s, .. }
+            | JournalEvent::RecoveryMode { time_s, .. }
+            | JournalEvent::CheckpointTaken { time_s, .. }
+            | JournalEvent::StateRestored { time_s, .. }
+            | JournalEvent::StateLost { time_s, .. } => *time_s,
         }
     }
 
@@ -175,6 +232,10 @@ impl JournalEvent {
             JournalEvent::CreditGranted { .. } => "credit_granted",
             JournalEvent::CreditRevoked { .. } => "credit_revoked",
             JournalEvent::ThrottleChanged { .. } => "throttle_changed",
+            JournalEvent::RecoveryMode { .. } => "recovery_mode",
+            JournalEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            JournalEvent::StateRestored { .. } => "state_restored",
+            JournalEvent::StateLost { .. } => "state_lost",
         }
     }
 }
@@ -309,6 +370,31 @@ mod tests {
                 rate_cap: Some(1500.0),
                 reason: "aimd".into(),
             },
+            JournalEvent::RecoveryMode {
+                time_s: 2.8,
+                mode: "exactly_once_effect".into(),
+            },
+            JournalEvent::CheckpointTaken {
+                time_s: 3.0,
+                task: 3,
+                generation: 1,
+                kind: "full".into(),
+                bytes: 4096,
+                duration_us: 180,
+            },
+            JournalEvent::StateRestored {
+                time_s: 3.5,
+                task: 3,
+                generation: 2,
+                snapshot_age_s: Some(0.5),
+                latency_us: 240,
+            },
+            JournalEvent::StateLost {
+                time_s: 3.6,
+                task: 4,
+                generation: 1,
+                snapshot_age_s: None,
+            },
         ]
     }
 
@@ -318,7 +404,7 @@ mod tests {
         for e in sample_events() {
             journal.append(e);
         }
-        assert_eq!(journal.len(), 9);
+        assert_eq!(journal.len(), 13);
         let back = parse_jsonl(&journal.to_jsonl()).unwrap();
         assert_eq!(back, journal.events());
     }

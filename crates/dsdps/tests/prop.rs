@@ -1,18 +1,52 @@
 //! Property-based tests for the engine's core data structures:
 //! split ratios, the dynamic-grouping router, the XOR acker, streaming
-//! statistics, tuple values, groupings, and the backpressure credit ledger.
+//! statistics, tuple values, groupings, the backpressure credit ledger,
+//! and operator-state snapshot/restore.
 
 #![allow(clippy::needless_range_loop)] // task indices are part of the assertions
 
 use proptest::prelude::*;
 
 use dsdps::acker::Acker;
+use dsdps::component::{Bolt, BoltOutput};
 use dsdps::grouping::dynamic::{DynamicGrouping, DynamicGroupingHandle, SplitRatio};
 use dsdps::grouping::{FieldsGrouping, Grouping, ShuffleGrouping};
 use dsdps::metrics::{LatencyHistogram, OnlineStats};
-use dsdps::rt::CreditLedger;
+use dsdps::rt::{CreditLedger, StatefulComponent};
 use dsdps::topology::TaskId;
 use dsdps::tuple::{Fields, Tuple, Value};
+use dsdps::window::{WindowAggregate, WindowAssigner, WindowedBolt};
+
+/// Sums field 0 per window (checkpoint proptests).
+struct PropSum;
+
+impl WindowAggregate for PropSum {
+    type Acc = i64;
+
+    fn add(&mut self, acc: &mut i64, tuple: &Tuple) {
+        *acc += tuple.get(0).and_then(Value::as_i64).unwrap_or(0);
+    }
+
+    fn emit(&mut self, window_start_s: f64, acc: i64, out: &mut BoltOutput) {
+        out.emit_unanchored(Tuple::of([Value::from(window_start_s), Value::from(acc)]));
+    }
+}
+
+fn prop_windowed() -> WindowedBolt<PropSum> {
+    WindowedBolt::new(
+        WindowAssigner::Sliding {
+            size_s: 4.0,
+            slide_s: 2.0,
+        },
+        PropSum,
+        1.0,
+    )
+}
+
+/// Arbitrary (time, value) event streams driving a windowed bolt.
+fn window_events() -> impl Strategy<Value = Vec<(f64, i64)>> {
+    prop::collection::vec((0.0f64..30.0, -100i64..100), 0..60)
+}
 
 /// Weights with at least one strictly positive entry.
 fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
@@ -453,6 +487,63 @@ proptest! {
         prop_assert!(ledger.outstanding(0) >= 0);
         prop_assert!(ledger.outstanding(1) >= 0);
         prop_assert!(t.conservation_holds(), "{:?}", t);
+    }
+
+    /// Arbitrary window contents → snapshot → restore ⇒ identical state:
+    /// the restored bolt reports the same open/closed/late counters and
+    /// re-snapshots to the same byte image.
+    #[test]
+    fn windowed_snapshot_restore_yields_identical_state(events in window_events()) {
+        let mut bolt = prop_windowed();
+        let mut out = BoltOutput::new();
+        for &(t, v) in &events {
+            out.set_now(t);
+            bolt.execute(&Tuple::of([Value::from(v)]), &mut out);
+        }
+        out.drain();
+        let snap = bolt.snapshot();
+        let mut restored = prop_windowed();
+        restored.restore(&snap, &[]).unwrap();
+        prop_assert_eq!(restored.open_windows(), bolt.open_windows());
+        prop_assert_eq!(restored.windows_closed(), bolt.windows_closed());
+        prop_assert_eq!(restored.late_dropped(), bolt.late_dropped());
+        prop_assert_eq!(
+            restored.snapshot().bytes,
+            bolt.snapshot().bytes,
+            "restored state re-images byte-for-byte"
+        );
+    }
+
+    /// Incremental deltas compose to the full snapshot: restoring the base
+    /// plus every delta equals restoring the final full image, no matter
+    /// where the delta cuts fall in the event stream.
+    #[test]
+    fn windowed_deltas_compose_to_full_snapshot(
+        events in window_events(),
+        cuts in prop::collection::vec(0usize..60, 1..5),
+    ) {
+        let mut bolt = prop_windowed();
+        let mut out = BoltOutput::new();
+        let base = bolt.snapshot();
+        let cut_set: std::collections::BTreeSet<usize> = cuts.into_iter().collect();
+        let mut deltas = Vec::new();
+        for (i, &(t, v)) in events.iter().enumerate() {
+            if cut_set.contains(&i) {
+                deltas.push(bolt.delta().unwrap());
+            }
+            out.set_now(t);
+            bolt.execute(&Tuple::of([Value::from(v)]), &mut out);
+        }
+        deltas.push(bolt.delta().unwrap());
+        out.drain();
+        let full = bolt.snapshot();
+        let mut composed = prop_windowed();
+        composed.restore(&base, &deltas).unwrap();
+        prop_assert_eq!(
+            composed.snapshot().bytes,
+            full.bytes,
+            "base + deltas must equal the full image"
+        );
     }
 
     #[test]

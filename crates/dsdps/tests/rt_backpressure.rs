@@ -75,7 +75,10 @@ fn flash_crowd_run(throttle: bool) -> ThreadedReport {
     }
     let running = rt::submit_with(topo, engine, rt_cfg).unwrap();
     let report = run_bounded(running, 4.0, 30);
-    assert!(report.conservation_holds(), "tuple conservation: {report:?}");
+    assert!(
+        report.conservation_holds(),
+        "tuple conservation: {report:?}"
+    );
     assert!(
         report.credit_conservation_holds(),
         "credit conservation: {:?}",
@@ -190,7 +193,10 @@ fn slow_sink_cascade_propagates_backpressure_two_hops() {
     let processed = stats.processed.load(ord);
     let sunk = stats.sunk.load(ord);
     assert!(sunk > 1000, "cascade made no progress: sunk {sunk}");
-    assert!(processed >= sunk, "relay feeds the sink: {processed}/{sunk}");
+    assert!(
+        processed >= sunk,
+        "relay feeds the sink: {processed}/{sunk}"
+    );
     // The spout was actually held back: with the sink ~2× under-provisioned
     // and only 16 + 16 credits of slack, emissions track sink capacity, not
     // the 2500/s offered rate (which would be ~7500 over the run).

@@ -12,9 +12,13 @@ use parking_lot::Mutex;
 
 use dsdps::component::{Bolt, BoltOutput, MessageId, Spout, SpoutOutput, TopologyContext};
 use dsdps::config::EngineConfig;
-use dsdps::rt::{self, RtConfig, RtFault, RtFaultPlan};
+use dsdps::rt::{
+    self, RecoveryMode, RtConfig, RtFault, RtFaultPlan, SnapshotKind, StateSnapshot,
+    StatefulComponent,
+};
 use dsdps::topology::{Topology, TopologyBuilder};
 use dsdps::tuple::{Tuple, Value};
+use dsdps::window::{WindowAggregate, WindowAssigner, WindowedBolt};
 
 /// Emits `1..=n` once, each tuple tracked under its own message id.
 struct FiniteSpout {
@@ -606,6 +610,323 @@ fn chaos_run_telemetry_is_consistent() {
     assert_eq!(events.len(), report.spans.len());
 }
 
+/// A checkpointable counting bolt: its state is the number and sum of
+/// tuples applied.  Every mutation publishes the current state to `live`,
+/// so the test can read the surviving incarnation's final counts.
+struct StatefulCounter {
+    count: u64,
+    sum: u64,
+    live: Arc<Mutex<(u64, u64)>>,
+}
+
+impl Bolt for StatefulCounter {
+    fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+        self.count += 1;
+        self.sum += t.get(0).unwrap().as_i64().unwrap() as u64;
+        *self.live.lock() = (self.count, self.sum);
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulComponent> {
+        Some(self)
+    }
+}
+
+impl StatefulComponent for StatefulCounter {
+    fn snapshot(&mut self) -> StateSnapshot {
+        StateSnapshot::encode(SnapshotKind::Full, &(self.count, self.sum))
+    }
+
+    fn restore(&mut self, base: &StateSnapshot, deltas: &[StateSnapshot]) -> Result<(), String> {
+        assert!(deltas.is_empty(), "full-only component");
+        let (count, sum): (u64, u64) = base.decode()?;
+        self.count = count;
+        self.sum = sum;
+        *self.live.lock() = (count, sum);
+        Ok(())
+    }
+}
+
+/// The checkpointed-recovery acceptance scenario: an injected panic kills a
+/// stateful counting bolt mid-stream under each recovery guarantee.  In
+/// every mode the restarted task resumes from its snapshot (not from
+/// factory state), both conservation invariants close at shutdown, and the
+/// journal agrees with the report's checkpoint counters.  Mode-specific
+/// result guarantees:
+///
+/// * exactly-once-effect — final counts identical to a fault-free run;
+/// * at-least-once — no tuple's effect lost, duplicates allowed;
+/// * approximate — missing effects bounded by the reported skip count.
+#[test]
+fn killed_stateful_bolt_resumes_from_snapshot_in_all_modes() {
+    for mode in [
+        RecoveryMode::ExactlyOnceEffect,
+        RecoveryMode::AtLeastOnce,
+        RecoveryMode::Approximate,
+    ] {
+        checkpointed_recovery_under(mode);
+    }
+}
+
+fn checkpointed_recovery_under(mode: RecoveryMode) {
+    const N: u64 = 1500;
+    const EXPECT_SUM: u64 = N * (N + 1) / 2;
+    let live: Arc<Mutex<(u64, u64)>> = Arc::default();
+    let l2 = live.clone();
+    let mut b = TopologyBuilder::new("ckpt-recovery");
+    // 1.5 s of stream; the panic at 0.4 s lands mid-flight.
+    b.set_spout("s", 1, move || PacedSpout::new(N, 1000.0))
+        .unwrap();
+    b.set_bolt("counter", 1, move || StatefulCounter {
+        count: 0,
+        sum: 0,
+        live: l2.clone(),
+    })
+    .unwrap()
+    .shuffle_grouping("s")
+    .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 1.0;
+    let plan = RtFaultPlan::new().with(RtFault::TaskPanic { task: 1, at_s: 0.4 });
+    let rt_cfg = RtConfig::default()
+        .with_checkpoints(Duration::from_millis(100))
+        .with_recovery_mode(mode)
+        .with_credit_flow(64)
+        .with_max_replays(8)
+        .with_replay_backoff(Duration::from_millis(50))
+        .with_hang_timeout(Duration::from_secs(2));
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    wait_until(30, || running.acked() + running.permanently_failed() >= N);
+    let (_, report) = running.shutdown();
+
+    let mode_s = mode.as_str();
+    assert_eq!(report.task_panics, 1, "{mode_s}: injected panic caught");
+    assert!(
+        report.task_restarts >= 1,
+        "{mode_s}: supervisor restarted the bolt: {report:?}"
+    );
+    assert!(
+        report.checkpoints_taken > 0,
+        "{mode_s}: snapshots were deposited: {report:?}"
+    );
+    assert!(report.snapshot_bytes > 0, "{mode_s}: snapshots have bytes");
+    assert!(
+        report.restores >= 1,
+        "{mode_s}: the restarted bolt restored from its snapshot: {report:?}"
+    );
+    assert_eq!(report.tracked, N, "{mode_s}: every emission tracked");
+    assert!(report.conservation_holds(), "{mode_s}: acks: {report:?}");
+    assert!(
+        report.credit_conservation_holds(),
+        "{mode_s}: credits: {:?}",
+        report.credits
+    );
+    assert!(report.credits.granted > 0, "{mode_s}: credit flow was on");
+
+    // Report counters and journal tell one story.
+    assert_eq!(
+        report.journal_of_kind("checkpoint_taken").len() as u64,
+        report.checkpoints_taken,
+        "{mode_s}: each deposit journaled once"
+    );
+    assert_eq!(
+        report.journal_of_kind("state_restored").len() as u64,
+        report.restores,
+        "{mode_s}: each restore journaled once"
+    );
+    assert_eq!(
+        report.journal_of_kind("recovery_mode").len(),
+        1,
+        "{mode_s}: the active guarantee is journaled at submit"
+    );
+
+    let (count, sum) = *live.lock();
+    match mode {
+        RecoveryMode::ExactlyOnceEffect => {
+            assert_eq!(report.acked, N, "{mode_s}: all trees acked: {report:?}");
+            assert_eq!(report.permanently_failed, 0, "{mode_s}: {report:?}");
+            assert_eq!(report.approx_skipped, 0, "{mode_s}: nothing skipped");
+            assert_eq!(
+                (count, sum),
+                (N, EXPECT_SUM),
+                "{mode_s}: counts identical to a fault-free run: {report:?}"
+            );
+        }
+        RecoveryMode::AtLeastOnce => {
+            assert_eq!(report.acked, N, "{mode_s}: all trees acked: {report:?}");
+            assert_eq!(report.permanently_failed, 0, "{mode_s}: {report:?}");
+            assert!(
+                count >= N && sum >= EXPECT_SUM,
+                "{mode_s}: no effect lost (duplicates allowed): \
+                 count {count} sum {sum}: {report:?}"
+            );
+        }
+        RecoveryMode::Approximate => {
+            assert_eq!(
+                report.acked + report.permanently_failed,
+                N,
+                "{mode_s}: every tree terminal: {report:?}"
+            );
+            assert_eq!(
+                report.permanently_failed, report.approx_skipped,
+                "{mode_s}: the only losses are the reported skips: {report:?}"
+            );
+            assert!(
+                count + report.approx_skipped >= N,
+                "{mode_s}: result error within the reported bound: \
+                 count {count} + skipped {} < {N}: {report:?}",
+                report.approx_skipped
+            );
+        }
+    }
+}
+
+/// Counts tuples per tumbling window; closed windows flush their count into
+/// a shared total, which is the externally observable result the guarantee
+/// modes are judged on.
+struct WindowCount {
+    flushed: Arc<AtomicU64>,
+}
+
+impl WindowAggregate for WindowCount {
+    type Acc = u64;
+
+    fn add(&mut self, acc: &mut Self::Acc, _tuple: &Tuple) {
+        *acc += 1;
+    }
+
+    fn emit(&mut self, _window_start_s: f64, acc: Self::Acc, _out: &mut BoltOutput) {
+        self.flushed.fetch_add(acc, Ordering::SeqCst);
+    }
+}
+
+/// The satellite scenario verbatim: panic a stateful *windowed* bolt under
+/// each guarantee.  The window geometry (0.5 s tumbling + 0.5 s lateness,
+/// panic at 0.4 s) guarantees no window closes before the crash, so every
+/// flush happens from post-restore state and the flushed totals are judged
+/// exactly:
+///
+/// * exactly-once-effect — flushed total identical to a fault-free run;
+/// * at-least-once — nothing lost, duplicates allowed;
+/// * approximate — shortfall bounded by the reported skip count.
+#[test]
+fn killed_windowed_bolt_keeps_its_guarantee_in_all_modes() {
+    let fault_free = windowed_recovery_under(None);
+    assert_eq!(
+        fault_free.0, WINDOWED_N,
+        "fault-free baseline flushes the whole stream"
+    );
+    for mode in [
+        RecoveryMode::ExactlyOnceEffect,
+        RecoveryMode::AtLeastOnce,
+        RecoveryMode::Approximate,
+    ] {
+        let (flushed, report) = windowed_recovery_under(Some(mode));
+        let mode_s = mode.as_str();
+        assert_eq!(report.task_panics, 1, "{mode_s}: injected panic caught");
+        assert!(
+            report.restores >= 1,
+            "{mode_s}: windowed state restored from its snapshot: {report:?}"
+        );
+        assert!(
+            report.checkpoints_taken > 0 && report.snapshot_bytes > 0,
+            "{mode_s}: window snapshots were deposited: {report:?}"
+        );
+        assert_eq!(report.tracked, WINDOWED_N, "{mode_s}: every tree tracked");
+        assert!(report.conservation_holds(), "{mode_s}: acks: {report:?}");
+        assert!(
+            report.credit_conservation_holds(),
+            "{mode_s}: credits: {:?}",
+            report.credits
+        );
+        match mode {
+            RecoveryMode::ExactlyOnceEffect => assert_eq!(
+                flushed, fault_free.0,
+                "{mode_s}: windowed counts identical to the fault-free run: {report:?}"
+            ),
+            RecoveryMode::AtLeastOnce => assert!(
+                flushed >= fault_free.0,
+                "{mode_s}: no windowed effect lost (duplicates allowed): \
+                 flushed {flushed}: {report:?}"
+            ),
+            RecoveryMode::Approximate => assert!(
+                flushed + report.approx_skipped >= fault_free.0,
+                "{mode_s}: windowed shortfall within the reported bound: \
+                 flushed {flushed} + skipped {} < {}: {report:?}",
+                report.approx_skipped,
+                fault_free.0
+            ),
+        }
+    }
+}
+
+const WINDOWED_N: u64 = 1500;
+
+/// Runs the windowed topology, optionally panicking the bolt at 0.4 s under
+/// the given guarantee; returns the flushed-window total and the report.
+fn windowed_recovery_under(mode: Option<RecoveryMode>) -> (u64, rt::ThreadedReport) {
+    let flushed = Arc::new(AtomicU64::new(0));
+    let f2 = flushed.clone();
+    let mut b = TopologyBuilder::new("ckpt-windowed");
+    b.set_spout("s", 1, move || PacedSpout::new(WINDOWED_N, 1000.0))
+        .unwrap();
+    b.set_bolt("win", 1, move || {
+        WindowedBolt::new(
+            WindowAssigner::Tumbling { size_s: 0.5 },
+            WindowCount {
+                flushed: f2.clone(),
+            },
+            0.5,
+        )
+    })
+    .unwrap()
+    .shuffle_grouping("s")
+    .unwrap();
+    let topo = b.build().unwrap();
+
+    let mut cfg = cluster();
+    cfg.message_timeout_s = 1.0;
+    // Tick often enough that trailing windows flush promptly after the
+    // stream ends.
+    cfg.tick_interval_s = 0.25;
+    let mut plan = RtFaultPlan::new();
+    let mut rt_cfg = RtConfig::default()
+        .with_checkpoints(Duration::from_millis(100))
+        .with_credit_flow(64)
+        .with_max_replays(8)
+        .with_replay_backoff(Duration::from_millis(50))
+        .with_hang_timeout(Duration::from_secs(2));
+    if let Some(mode) = mode {
+        plan = plan.with(RtFault::TaskPanic { task: 1, at_s: 0.4 });
+        rt_cfg = rt_cfg.with_recovery_mode(mode);
+    }
+    let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
+
+    wait_until(30, || {
+        running.acked() + running.permanently_failed() >= WINDOWED_N
+    });
+    // Every arrival is accounted for; now let the trailing windows close
+    // (window end + lateness + a tick) — the flushed total is settled once
+    // it stops moving for a full second.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut last = flushed.load(Ordering::SeqCst);
+    let mut stable_since = Instant::now();
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(100));
+        let now_v = flushed.load(Ordering::SeqCst);
+        if now_v != last {
+            last = now_v;
+            stable_since = Instant::now();
+        } else if stable_since.elapsed() >= Duration::from_secs(1) && now_v > 0 {
+            break;
+        }
+    }
+    let (_, report) = running.shutdown();
+    (flushed.load(Ordering::SeqCst), report)
+}
+
 /// 30-second soak: rolling chaos (panics, a hang, slowdowns, drop windows)
 /// against a continuously emitting spout.  Run with `--ignored`.
 #[test]
@@ -747,7 +1068,10 @@ fn slowdown_plus_flash_crowd_conserves_tuples_and_credits() {
         .recv_timeout(Duration::from_secs(30))
         .expect("combined chaos run deadlocked");
 
-    assert!(report.replays > 0, "the drop window forces replays: {report:?}");
+    assert!(
+        report.replays > 0,
+        "the drop window forces replays: {report:?}"
+    );
     assert_eq!(
         report.permanently_failed, 0,
         "replay recovers every dropped tree: {report:?}"

@@ -12,6 +12,7 @@
 //!   externally-tagged enum / field-name conventions real serde uses, so the
 //!   JSON text on the wire is byte-compatible for the shapes in this repo.
 
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -349,6 +350,51 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .ok_or_else(|| Error::expected("array", "Vec"))?
             .iter()
             .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> JsonValue {
+        // Sorted so the rendered text is deterministic regardless of the
+        // map's hash order (snapshot encodings compare byte-for-byte).
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| k.as_str());
+        JsonValue::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &JsonValue) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
             .collect()
     }
 }
