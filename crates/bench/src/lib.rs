@@ -21,4 +21,5 @@ pub mod experiments;
 pub mod harness;
 pub mod micro;
 pub mod recovery;
+pub mod sim_scaling;
 pub mod table;

@@ -906,8 +906,43 @@ pub fn main_entry() {
     };
     let baseline = flag_path("--check-rt-baseline");
     let telemetry_check = flag_path("--check-telemetry-overhead");
+    let sim_baseline = flag_path("--check-sim-baseline");
     let overload_gate = args.iter().any(|a| a == "--check-overload-gate");
     let recovery_gate = args.iter().any(|a| a == "--check-recovery-gate");
+    if let Some(i) = args.iter().position(|a| a == "--sim-point") {
+        // Diagnostic mode: run one simulator scaling point, for A/B-ing the
+        // engine without paying for the whole suite.
+        let n = |k: usize| -> f64 { args[i + k].parse().expect("--sim-point WORKERS TUPLES") };
+        let (w, t) = (n(1) as usize, n(2) as u64);
+        let p = crate::sim_scaling::run_point(w, t);
+        println!(
+            "sim-point {}: {:.2}M processed/s (wall {:.3}s, virtual {:.3}s, acked {})",
+            p.key,
+            p.processed_per_wall_s / 1e6,
+            p.wall_s,
+            p.virtual_s,
+            p.acked
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "--sim-only") {
+        // Run only the simulator sweep (plus its gate, if requested).
+        let sim = crate::sim_scaling::run(smoke);
+        match crate::sim_scaling::write_sim_json(&sim) {
+            Ok(p) => println!("wrote {p}"),
+            Err(e) => eprintln!("failed to write BENCH_sim.json: {e}"),
+        }
+        if let Some(path) = sim_baseline {
+            let baseline_json = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read sim baseline {path}: {e}"));
+            if let Err(msg) = crate::sim_scaling::check_sim_baseline(&sim.to_json(), &baseline_json)
+            {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--rt-point") {
         // Diagnostic mode: repeat one rt_scaling point and print each sample,
         // for A/B-ing builds without paying for the whole suite.
@@ -940,6 +975,11 @@ pub fn main_entry() {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("failed to write BENCH_recovery.json: {e}"),
     }
+    let sim = crate::sim_scaling::run(smoke);
+    match crate::sim_scaling::write_sim_json(&sim) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("failed to write BENCH_sim.json: {e}"),
+    }
     if let Some(path) = baseline {
         if let Err(msg) = check_rt_baseline(&res, &path) {
             eprintln!("{msg}");
@@ -954,6 +994,14 @@ pub fn main_entry() {
     }
     if recovery_gate {
         if let Err(msg) = crate::recovery::check_recovery_gate(&recovery) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = sim_baseline {
+        let baseline_json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read sim baseline {path}: {e}"));
+        if let Err(msg) = crate::sim_scaling::check_sim_baseline(&sim.to_json(), &baseline_json) {
             eprintln!("{msg}");
             std::process::exit(1);
         }

@@ -1,0 +1,352 @@
+//! Simulator scaling sweep: a `workers × tuples` grid on the discrete-event
+//! engine, emitting `BENCH_sim.json` (schema `bench_sim/v1`).
+//!
+//! Each point runs a finite firehose (`src` spouts → `sink` bolts over a
+//! shuffle grouping) on a `workers`-machine cluster until every tuple tree is
+//! acked, and reports how many task executions the simulator advanced per
+//! second of *wall* time.  Virtual throughput is a free parameter (it is set
+//! by the cost model); wall throughput is the quantity the rebuild targets,
+//! so that controller sweeps can afford thousands of simulated runs.
+//!
+//! `processed` counts task executions: every spout emission plus every bolt
+//! execution.  On this one-hop topology that is exactly `2 × tuples` once all
+//! trees ack, which the regression gate uses as an anti-vacuity floor.
+
+use std::time::Instant;
+
+use dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+use dsdps::config::EngineConfig;
+use dsdps::rt::RtConfig;
+use dsdps::sim::SimRuntime;
+use dsdps::topology::{CostModel, TopologyBuilder};
+use dsdps::tuple::{Fields, Tuple, Value};
+
+/// Worker counts swept by the grid.
+pub const WORKER_POINTS: [usize; 3] = [10, 100, 1000];
+/// Tuple counts swept by the grid.
+pub const TUPLE_POINTS: [u64; 2] = [1_000_000, 10_000_000];
+
+/// Batch size handed to the engine via [`RtConfig::with_batch_size`]; one
+/// simulator event advances up to this many tuples at a task.
+const BATCH_SIZE: usize = 128;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct SimPoint {
+    /// Point key, e.g. `w100_t1e7`.
+    pub key: String,
+    /// Workers (and machines) in the simulated cluster.
+    pub workers: usize,
+    /// Tuple trees the firehose emits in total.
+    pub tuples: u64,
+    /// Tuple trees fully acked when the run stopped.
+    pub acked: u64,
+    /// Task executions advanced (spout emissions + bolt executions).
+    pub processed: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// Virtual seconds the simulation covered.
+    pub virtual_s: f64,
+    /// `processed / wall_s` — the headline number.
+    pub processed_per_wall_s: f64,
+}
+
+/// All points of one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SimResults {
+    /// `"smoke"` or `"full"` (same grid; recorded for provenance).
+    pub mode: String,
+    /// Measured points in sweep order.
+    pub points: Vec<SimPoint>,
+}
+
+struct Firehose {
+    remaining: u64,
+    next_id: u64,
+    proto: Tuple,
+}
+
+impl Spout for Firehose {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        self.next_id += 1;
+        out.emit_with_id(self.proto.clone(), self.next_id);
+        true
+    }
+}
+
+struct Blackhole;
+
+impl Bolt for Blackhole {
+    fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {}
+}
+
+/// Runs one grid point and returns its measurements.
+pub fn run_point(workers: usize, tuples: u64) -> SimPoint {
+    // One spout per ten workers keeps the spout side from becoming the
+    // virtual-time bottleneck while the grid scales the bolt side.
+    let spouts = (workers / 10).max(1);
+    let share = tuples / spouts as u64;
+    let schema = Fields::new(["v"]);
+    let proto = Tuple::with_fields([Value::from(1i64)], schema.clone());
+
+    let mut b = TopologyBuilder::new("sim-scaling");
+    b.set_spout("src", spouts, move || Firehose {
+        remaining: share,
+        next_id: 0,
+        proto: proto.clone(),
+    })
+    .unwrap()
+    .output_fields(schema.clone())
+    .cost(CostModel {
+        base_service_time_us: 1.0,
+        jitter: 0.0,
+    });
+    b.set_bolt("sink", workers, || Blackhole)
+        .unwrap()
+        .shuffle_grouping("src")
+        .unwrap()
+        .cost(CostModel {
+            base_service_time_us: 4.0,
+            jitter: 0.0,
+        });
+    let topo = b.build().unwrap();
+
+    let mut cfg = EngineConfig::default()
+        .with_cluster(workers, 1, 4)
+        .with_seed(42);
+    // A deep in-flight window so the spouts stream instead of throttling on
+    // max_spout_pending while trees cross the (virtual) network.
+    cfg.max_spout_pending = 4096;
+    cfg.queue_capacity = 8192;
+    let rt_cfg = RtConfig::default().with_batch_size(BATCH_SIZE);
+    let mut engine = SimRuntime::with_rt_config(topo, cfg, rt_cfg).expect("engine");
+
+    let start = Instant::now();
+    let mut horizon = 0.0;
+    let mut report = engine.report();
+    while report.acked < tuples && horizon < 10_000.0 {
+        horizon += 1.0;
+        report = engine.run_until(horizon);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let processed = report.spout_emitted + report.acked;
+    SimPoint {
+        key: point_key(workers, tuples),
+        workers,
+        tuples,
+        acked: report.acked,
+        processed,
+        wall_s,
+        virtual_s: engine.now(),
+        processed_per_wall_s: processed as f64 / wall_s.max(1e-9),
+    }
+}
+
+/// Key for one grid point, e.g. `w100_t1e7`.
+pub fn point_key(workers: usize, tuples: u64) -> String {
+    let exp = (tuples as f64).log10().round() as u32;
+    format!("w{workers}_t1e{exp}")
+}
+
+/// Runs the full grid.  The grid is identical in smoke and full mode — the
+/// sweep is bounded by wall time, not virtual time, and the rebuilt engine
+/// keeps every point cheap enough for CI.
+pub fn run(smoke: bool) -> SimResults {
+    let mut res = SimResults {
+        mode: if smoke { "smoke" } else { "full" }.to_owned(),
+        points: Vec::new(),
+    };
+    println!("\n== simulator scaling sweep (workers x tuples) ==");
+    for &workers in &WORKER_POINTS {
+        for &tuples in &TUPLE_POINTS {
+            let p = run_point(workers, tuples);
+            println!(
+                "{:<44} {:>10.2}M processed/s  (wall {:.2}s, virtual {:.2}s, acked {})",
+                format!("sim/{}", p.key),
+                p.processed_per_wall_s / 1e6,
+                p.wall_s,
+                p.virtual_s,
+                p.acked,
+            );
+            res.points.push(p);
+        }
+    }
+    res
+}
+
+impl SimResults {
+    /// Renders the sweep as `bench_sim/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"bench_sim/v1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"points\": {\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {{\"workers\": {}, \"tuples\": {}, \"acked\": {}, \"processed\": {}, \"wall_s\": {:.4}, \"virtual_s\": {:.4}, \"processed_per_wall_s\": {:.1}}}{}\n",
+                p.key,
+                p.workers,
+                p.tuples,
+                p.acked,
+                p.processed,
+                p.wall_s,
+                p.virtual_s,
+                p.processed_per_wall_s,
+                if i + 1 == self.points.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  }\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Writes `BENCH_sim.json` at the repo root; returns the path written.
+pub fn write_sim_json(res: &SimResults) -> std::io::Result<&'static str> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, res.to_json())?;
+    Ok(path)
+}
+
+/// The gate point: the acceptance headline is measured at `w100 × 1e7`.
+pub const GATE_POINT: &str = "w100_t1e7";
+
+/// Extracts `(processed_per_wall_s, acked, tuples)` for `point` from a
+/// `bench_sim/v1` document.
+fn sim_point_stats(json: &str, point: &str) -> Option<(f64, u64, u64)> {
+    use serde::JsonValue;
+    let as_f64 = |v: &JsonValue| -> Option<f64> {
+        match *v {
+            JsonValue::F64(x) => Some(x),
+            JsonValue::I64(x) => Some(x as f64),
+            JsonValue::U64(x) => Some(x as f64),
+            _ => None,
+        }
+    };
+    let root = serde_json::parse(json).ok()?;
+    let JsonValue::Object(fields) = root else {
+        return None;
+    };
+    let points = fields.iter().find(|(k, _)| k == "points")?;
+    let JsonValue::Object(points) = &points.1 else {
+        return None;
+    };
+    let entry = points.iter().find(|(k, _)| k == point)?;
+    let JsonValue::Object(entry) = &entry.1 else {
+        return None;
+    };
+    let field = |name: &str| -> Option<f64> {
+        entry
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|kv| as_f64(&kv.1))
+    };
+    Some((
+        field("processed_per_wall_s")?,
+        field("acked")? as u64,
+        field("tuples")? as u64,
+    ))
+}
+
+/// Regression gate for CI: fails if the fresh `w100_t1e7` wall throughput is
+/// more than 20 % below the checked-in smoke baseline, or if the run did not
+/// actually ack every tuple (which would make the throughput claim void).
+pub fn check_sim_baseline(fresh_json: &str, baseline_json: &str) -> Result<(), String> {
+    let (fresh_rate, acked, tuples) = sim_point_stats(fresh_json, GATE_POINT)
+        .ok_or_else(|| format!("sim gate: fresh BENCH_sim.json is missing point {GATE_POINT}"))?;
+    if tuples == 0 || acked < tuples {
+        return Err(format!(
+            "sim gate: only {acked}/{tuples} tuples acked at {GATE_POINT} — \
+             the throughput comparison is void"
+        ));
+    }
+    let (baseline_rate, _, _) = sim_point_stats(baseline_json, GATE_POINT)
+        .ok_or_else(|| format!("sim gate: baseline is missing point {GATE_POINT}"))?;
+    let floor = baseline_rate * 0.8;
+    if fresh_rate < floor {
+        return Err(format!(
+            "sim gate: {GATE_POINT} advanced {:.2}M processed tuples/s of wall time, more than \
+             20% below the smoke baseline {:.2}M/s (floor {:.2}M/s)",
+            fresh_rate / 1e6,
+            baseline_rate / 1e6,
+            floor / 1e6,
+        ));
+    }
+    println!(
+        "sim gate: {GATE_POINT} {:.2}M processed/s >= floor {:.2}M/s (baseline {:.2}M/s) -- ok",
+        fresh_rate / 1e6,
+        floor / 1e6,
+        baseline_rate / 1e6,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rate: f64, acked: u64, tuples: u64) -> String {
+        let res = SimResults {
+            mode: "smoke".to_owned(),
+            points: vec![SimPoint {
+                key: GATE_POINT.to_owned(),
+                workers: 100,
+                tuples,
+                acked,
+                processed: acked * 2,
+                wall_s: 1.0,
+                virtual_s: 1.0,
+                processed_per_wall_s: rate,
+            }],
+        };
+        res.to_json()
+    }
+
+    #[test]
+    fn gate_passes_at_or_above_floor() {
+        let base = doc(10e6, 10_000_000, 10_000_000);
+        assert!(check_sim_baseline(&doc(9e6, 10_000_000, 10_000_000), &base).is_ok());
+        assert!(check_sim_baseline(&doc(8e6, 10_000_000, 10_000_000), &base).is_ok());
+    }
+
+    #[test]
+    fn gate_fails_below_floor() {
+        let base = doc(10e6, 10_000_000, 10_000_000);
+        let err = check_sim_baseline(&doc(7.9e6, 10_000_000, 10_000_000), &base).unwrap_err();
+        assert!(err.contains("below the smoke baseline"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_vacuous_run() {
+        let base = doc(10e6, 10_000_000, 10_000_000);
+        let err = check_sim_baseline(&doc(50e6, 9_999_999, 10_000_000), &base).unwrap_err();
+        assert!(err.contains("void"), "{err}");
+    }
+
+    #[test]
+    fn gate_reports_missing_point() {
+        let err = check_sim_baseline("{}", "{}").unwrap_err();
+        assert!(err.contains(GATE_POINT), "{err}");
+    }
+
+    #[test]
+    fn point_keys_use_exponent_notation() {
+        assert_eq!(point_key(100, 10_000_000), "w100_t1e7");
+        assert_eq!(point_key(10, 1_000_000), "w10_t1e6");
+    }
+
+    #[test]
+    fn json_round_trips_through_gate_parser() {
+        let json = doc(12.5e6, 10_000_000, 10_000_000);
+        let (rate, acked, tuples) = sim_point_stats(&json, GATE_POINT).unwrap();
+        assert!((rate - 12.5e6).abs() < 1.0);
+        assert_eq!(acked, 10_000_000);
+        assert_eq!(tuples, 10_000_000);
+    }
+}

@@ -47,6 +47,12 @@ pub struct EngineConfig {
     /// Per-task input queue capacity; beyond this, backpressure throttles
     /// upstream spouts.
     pub queue_capacity: usize,
+    /// Metrics snapshots retained in the in-memory history window (`0` =
+    /// unbounded).  Both runtimes honour it: the simulator's
+    /// [`run_until`](crate::sim::SimRuntime::run_until) history and the
+    /// threaded runtime's metrics thread evict the oldest snapshot past this
+    /// cap and journal a `history_truncated` event the first time it trips.
+    pub metrics_history_cap: usize,
     /// Master RNG seed for workloads, jitter and placement tie-breaks.
     pub seed: u64,
 }
@@ -65,6 +71,10 @@ impl Default for EngineConfig {
             local_transfer_us: 20.0,
             remote_transfer_us: 300.0,
             queue_capacity: 2048,
+            // Generous enough for every long-horizon experiment in the repo
+            // (tens of minutes at 1 s intervals) while still bounding
+            // multi-hour scenario sweeps.
+            metrics_history_cap: 4096,
             seed: 42,
         }
     }
@@ -108,6 +118,13 @@ impl EngineConfig {
     /// Builder-style setter for the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the metrics-history retention window
+    /// (`0` = unbounded).
+    pub fn with_metrics_history_cap(mut self, cap: usize) -> Self {
+        self.metrics_history_cap = cap;
         self
     }
 
@@ -167,10 +184,14 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = EngineConfig::default().with_seed(7).with_cluster(2, 3, 8);
+        let c = EngineConfig::default()
+            .with_seed(7)
+            .with_cluster(2, 3, 8)
+            .with_metrics_history_cap(64);
         assert_eq!(c.seed, 7);
         assert_eq!(c.num_workers(), 6);
         assert_eq!(c.machine_cores, 8);
+        assert_eq!(c.metrics_history_cap, 64);
     }
 
     #[test]

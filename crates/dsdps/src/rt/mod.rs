@@ -1080,7 +1080,8 @@ fn submit_inner(
         let ack_senders = ack_senders.clone();
         let placement = placement.clone();
         Some(std::thread::spawn(move || {
-            let mut history = MetricsHistory::new(0);
+            let mut history = MetricsHistory::new(cfg.metrics_history_cap);
+            let mut history_truncated = false;
             let mut prev: Vec<Prev> = vec![Prev::default(); shared.task_stats.len()];
             let mut prev_totals = (0u64, 0u64, 0u64, 0u64);
             let mut interval: u64 = 0;
@@ -1275,6 +1276,14 @@ fn submit_inner(
                 mirror.update(&shared, &snapshot, &lat_hist);
                 if let Some(hook) = hook.as_mut() {
                     hook(&snapshot);
+                }
+                let cap = cfg.metrics_history_cap;
+                if cap > 0 && history.len() >= cap && !history_truncated {
+                    history_truncated = true;
+                    shared.journal.append(JournalEvent::HistoryTruncated {
+                        time_s: shared.now_s(),
+                        retained: cap,
+                    });
                 }
                 history.push(snapshot);
                 interval += 1;

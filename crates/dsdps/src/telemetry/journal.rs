@@ -192,6 +192,15 @@ pub enum JournalEvent {
         /// `None` when no snapshot existed.
         snapshot_age_s: Option<f64>,
     },
+    /// The metrics-history window hit its retention cap
+    /// (`EngineConfig::metrics_history_cap`) and began evicting its oldest
+    /// snapshots.  Journaled once per run, the first time it trips.
+    HistoryTruncated {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Snapshots retained from that point on.
+        retained: usize,
+    },
 }
 
 impl JournalEvent {
@@ -213,7 +222,8 @@ impl JournalEvent {
             | JournalEvent::RecoveryMode { time_s, .. }
             | JournalEvent::CheckpointTaken { time_s, .. }
             | JournalEvent::StateRestored { time_s, .. }
-            | JournalEvent::StateLost { time_s, .. } => *time_s,
+            | JournalEvent::StateLost { time_s, .. }
+            | JournalEvent::HistoryTruncated { time_s, .. } => *time_s,
         }
     }
 
@@ -236,6 +246,7 @@ impl JournalEvent {
             JournalEvent::CheckpointTaken { .. } => "checkpoint_taken",
             JournalEvent::StateRestored { .. } => "state_restored",
             JournalEvent::StateLost { .. } => "state_lost",
+            JournalEvent::HistoryTruncated { .. } => "history_truncated",
         }
     }
 }
@@ -395,6 +406,10 @@ mod tests {
                 generation: 1,
                 snapshot_age_s: None,
             },
+            JournalEvent::HistoryTruncated {
+                time_s: 4.0,
+                retained: 4096,
+            },
         ]
     }
 
@@ -404,7 +419,7 @@ mod tests {
         for e in sample_events() {
             journal.append(e);
         }
-        assert_eq!(journal.len(), 13);
+        assert_eq!(journal.len(), 14);
         let back = parse_jsonl(&journal.to_jsonl()).unwrap();
         assert_eq!(back, journal.events());
     }

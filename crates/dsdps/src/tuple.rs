@@ -330,6 +330,16 @@ impl Tuple {
         }
     }
 
+    /// Like [`rekeyed`](Self::rekeyed) but consumes the tuple, moving the
+    /// shared values instead of bumping their refcount.  Use when routing
+    /// the last (or only) copy of a tuple instance.
+    pub fn into_rekeyed(self, fields: Fields) -> Self {
+        Tuple {
+            values: self.values,
+            fields,
+        }
+    }
+
     /// The tuple's values in order.
     pub fn values(&self) -> &[Value] {
         &self.values

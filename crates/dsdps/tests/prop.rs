@@ -573,3 +573,84 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         prop::collection::vec(any::<i64>().prop_map(Value::from), 0..4).prop_map(Value::List),
     ]
 }
+
+/// Arbitrary schedules for the simulator's event queue: finite non-negative
+/// timestamps (virtual time never runs backwards) with many duplicates.
+fn event_times() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0.0f64..10.0,
+            // Coarse grid to force plenty of exact-tie timestamps.
+            (0i32..10).prop_map(|t| t as f64),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    /// Pops come out in non-decreasing time order regardless of insertion
+    /// order.
+    #[test]
+    fn event_queue_pops_non_decreasing(times in event_times()) {
+        let mut q = dsdps::sim::event::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let mut last = f64::NEG_INFINITY;
+        while let Some(s) = q.pop() {
+            prop_assert!(s.time >= last, "{} < {}", s.time, last);
+            prop_assert_eq!(q.peek_time().is_none(), q.is_empty());
+            last = s.time;
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Equal-time events drain in insertion order (FIFO tie-break), so two
+    /// identically built queues drain identically — the determinism the
+    /// engine's seed-stability relies on.
+    #[test]
+    fn event_queue_ties_break_fifo_deterministically(times in event_times()) {
+        let build = || {
+            let mut q = dsdps::sim::event::EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, i);
+            }
+            q
+        };
+        let (mut a, mut b) = (build(), build());
+        let mut prev: Option<(f64, usize)> = None;
+        while let Some(sa) = a.pop() {
+            let sb = b.pop().expect("same length");
+            prop_assert_eq!(sa.event, sb.event);
+            prop_assert_eq!(sa.time.to_bits(), sb.time.to_bits());
+            if let Some((pt, pe)) = prev {
+                if pt == sa.time {
+                    // Tie: insertion index must increase.
+                    prop_assert!(sa.event > pe, "tie broke out of order");
+                }
+            }
+            prev = Some((sa.time, sa.event));
+        }
+        prop_assert!(b.pop().is_none());
+    }
+
+    /// The heap agrees with the obvious model: a stable sort of the input
+    /// by timestamp.
+    #[test]
+    fn event_queue_matches_stable_sorted_model(times in event_times()) {
+        let mut q = dsdps::sim::event::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut model: Vec<(f64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        model.sort_by(|a, b| a.0.total_cmp(&b.0)); // stable: ties keep insertion order
+        for (expect_t, expect_i) in model {
+            let s = q.pop().expect("model and queue have equal length");
+            prop_assert_eq!(s.time.to_bits(), expect_t.to_bits());
+            prop_assert_eq!(s.event, expect_i);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+}

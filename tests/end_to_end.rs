@@ -672,3 +672,123 @@ fn threaded_runtime_drives_controller_hook() {
         c.events()
     );
 }
+
+#[test]
+fn sim_calibrates_to_threaded_runtime_under_fault_plan() {
+    // Calibration: one `EngineConfig` + one `RtConfig` drive both runtimes
+    // over the same finite workload and the same worker-slowdown fault plan
+    // (each runtime's fault vocabulary, same parameters).  The simulator
+    // must agree exactly on delivered counts and land within a generous
+    // band of the threaded runtime's measured complete latency — the
+    // agreement that makes controller policies transferable from simulated
+    // sweeps to the real engine (DESIGN.md §14).
+    use streampc::dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput};
+    use streampc::dsdps::rt::{self, RtConfig, RtFault, RtFaultPlan};
+    use streampc::dsdps::sim::Fault;
+    use streampc::dsdps::topology::{CostModel, Topology, TopologyBuilder};
+    use streampc::dsdps::tuple::{Fields, Tuple, Value};
+
+    const N: u64 = 1500;
+    const SPIN_US: f64 = 400.0;
+
+    struct FiniteSpout {
+        next_id: u64,
+    }
+    impl Spout for FiniteSpout {
+        fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+            if self.next_id >= N {
+                return false;
+            }
+            self.next_id += 1;
+            let t = Tuple::with_fields([Value::from(self.next_id as i64)], Fields::new(["v"]));
+            out.emit_with_id(t, self.next_id);
+            true
+        }
+    }
+
+    /// Burns `SPIN_US` of real CPU per tuple — the physical counterpart of
+    /// the simulator's `CostModel` for the same component.
+    struct SpinBolt;
+    impl Bolt for SpinBolt {
+        fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {
+            let until = std::time::Instant::now() + Duration::from_micros(SPIN_US as u64);
+            while std::time::Instant::now() < until {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn build() -> Topology {
+        let mut b = TopologyBuilder::new("calibration");
+        b.set_spout("src", 1, || FiniteSpout { next_id: 0 })
+            .unwrap()
+            .output_fields(Fields::new(["v"]))
+            .cost(CostModel {
+                base_service_time_us: 5.0,
+                jitter: 0.0,
+            });
+        b.set_bolt("work", 2, || SpinBolt)
+            .unwrap()
+            .shuffle_grouping("src")
+            .unwrap()
+            .cost(CostModel {
+                base_service_time_us: SPIN_US,
+                jitter: 0.0,
+            });
+        b.build().unwrap()
+    }
+
+    let mut cfg = EngineConfig::default().with_cluster(2, 1, 4).with_seed(77);
+    cfg.max_spout_pending = 16;
+    let rt_cfg = RtConfig::default().with_batch_size(4);
+    // The shared fault plan: 3x slowdown of worker 0 across most of the run.
+    let (worker, factor, from_s, until_s) = (0usize, 3.0, 0.1, 20.0);
+
+    // Simulated runtime.
+    let mut engine = SimRuntime::with_rt_config(build(), cfg.clone(), rt_cfg.clone()).unwrap();
+    engine
+        .inject_fault(Fault::WorkerSlowdown {
+            worker,
+            factor,
+            from_s,
+            until_s,
+        })
+        .unwrap();
+    let sim_report = engine.run_until(60.0);
+    assert_eq!(sim_report.acked, N, "simulator acks the whole stream");
+    assert_eq!(sim_report.failed, 0);
+    assert_eq!(sim_report.timed_out, 0);
+
+    // Threaded runtime, same configs, same plan.
+    let plan = RtFaultPlan::new().with(RtFault::WorkerSlowdown {
+        worker,
+        factor,
+        from_s,
+        until_s,
+    });
+    let running = rt::submit_faulty(build(), cfg, rt_cfg, plan, None).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while running.acked() < N && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (_, rt_report) = running.shutdown();
+    assert_eq!(rt_report.acked, N, "threaded runtime acks the whole stream");
+    assert_eq!(rt_report.failed, 0);
+    assert_eq!(rt_report.timed_out, 0);
+
+    // Exact count equality between the runtimes.
+    assert_eq!(sim_report.acked, rt_report.acked);
+    assert_eq!(sim_report.spout_emitted, rt_report.spout_emitted);
+
+    // Latency-band agreement.  The threaded runtime pays real scheduling,
+    // channel and batching overheads the simulator abstracts away (and this
+    // CI container has a single core), so the band is wide — the simulator
+    // must land within an order of magnitude, not to the millisecond.
+    let sim_ms = sim_report.avg_complete_latency_ms.max(1e-6);
+    let rt_ms = rt_report.avg_complete_latency_ms.max(1e-6);
+    let ratio = rt_ms / sim_ms;
+    assert!(
+        (1.0 / 12.0..=12.0).contains(&ratio),
+        "complete latency disagrees beyond the calibration band: sim {sim_ms:.3} ms, rt {rt_ms:.3} ms, ratio {ratio:.2}"
+    );
+}
