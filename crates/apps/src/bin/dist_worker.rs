@@ -1,0 +1,17 @@
+//! Worker-process binary for the evaluation applications on the
+//! distributed runtime.
+//!
+//! Spawned by a coordinator (`dsdps::dist::submit`) with
+//! `DSDPS_DIST_ADDR` / `DSDPS_DIST_WORKER` in its environment; builds
+//! topologies from [`stream_apps::dist::registry`].  Running it by hand
+//! does nothing useful — it exits with status 2.
+
+fn main() {
+    if !dsdps::dist::maybe_worker_from_env(&stream_apps::dist::registry()) {
+        eprintln!(
+            "dist_worker: not spawned by a coordinator \
+             (DSDPS_DIST_ADDR / DSDPS_DIST_WORKER unset)"
+        );
+        std::process::exit(2);
+    }
+}

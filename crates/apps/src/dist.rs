@@ -1,0 +1,67 @@
+//! Distributed-runtime entry points for the evaluation applications.
+//!
+//! [`registry`] names both paper applications so a coordinator and a
+//! fleet of `dist_worker` processes build *identical* topology structures
+//! from the same opaque `args` string (here `"rate:seed"`).  The
+//! [`Arc`](std::sync::Arc)-backed stats handles the in-process builders
+//! return stay local to whichever process built them — across the process
+//! boundary the coordinator's
+//! [`DistReport`](dsdps::dist::DistReport) (acks, conservation, journal,
+//! final snapshots) is the observation channel.
+//!
+//! The matching worker binary is `dist_worker` (`src/bin/dist_worker.rs`):
+//! its whole `main` is a [`dsdps::dist::maybe_worker_from_env`] call
+//! against this registry.
+
+use dsdps::dist::TopologyRegistry;
+use dsdps::error::Result;
+use dsdps::topology::Topology;
+
+use crate::continuous_queries::{build_continuous_queries, CqConfig};
+use crate::url_count::{build_url_count, UrlCountConfig};
+use crate::workload::RatePattern;
+
+/// Parses `"rate:seed"` (both parts optional) into a constant arrival
+/// rate and a workload seed.
+fn parse_args(args: &str) -> (f64, u64) {
+    let mut it = args.split(':');
+    let rate = it.next().and_then(|s| s.parse().ok()).unwrap_or(800.0);
+    let seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    (rate, seed)
+}
+
+/// Windowed URL Count at a constant arrival rate; `args` is
+/// `"rate:seed"`.  Shorter windows than the paper default so smoke runs
+/// close windows quickly.
+pub fn build_url_count_dist(args: &str) -> Result<Topology> {
+    let (rate, seed) = parse_args(args);
+    let cfg = UrlCountConfig {
+        pattern: RatePattern::Constant { rate },
+        seed,
+        window_s: 1.0,
+        ..UrlCountConfig::default()
+    };
+    build_url_count(&cfg).map(|(topo, _stats)| topo)
+}
+
+/// Continuous Queries at a constant arrival rate; `args` is
+/// `"rate:seed"`.
+pub fn build_continuous_queries_dist(args: &str) -> Result<Topology> {
+    let (rate, seed) = parse_args(args);
+    let cfg = CqConfig {
+        pattern: RatePattern::Constant { rate },
+        seed,
+        window_s: 1.0,
+        ..CqConfig::default()
+    };
+    build_continuous_queries(&cfg).map(|(topo, _stats)| topo)
+}
+
+/// Registry of both evaluation applications, shared by coordinators and
+/// the `dist_worker` binary.
+pub fn registry() -> TopologyRegistry {
+    let mut r = TopologyRegistry::new();
+    r.register("url-count", build_url_count_dist);
+    r.register("continuous-queries", build_continuous_queries_dist);
+    r
+}

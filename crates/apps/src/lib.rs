@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod continuous_queries;
+pub mod dist;
 pub mod faults;
 pub mod overload;
 pub mod url_count;

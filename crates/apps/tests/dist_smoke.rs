@@ -1,0 +1,97 @@
+//! Smoke tests: the paper's evaluation applications end-to-end on the
+//! multi-process runtime, using the `dist_worker` binary as the fleet.
+//! The URL-count run additionally SIGKILLs a worker mid-stream and
+//! checks the supervisor respawns it and the stream keeps flowing.
+
+use std::time::{Duration, Instant};
+
+use dsdps::config::EngineConfig;
+use dsdps::dist::{self, DistConfig};
+use dsdps::rt::{RecoveryMode, RtConfig};
+use stream_apps::dist::registry;
+
+/// The real worker binary, not a re-exec'd test harness: this is the
+/// deployment shape an operator would run.
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_dist_worker").to_owned()]
+}
+
+fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    done()
+}
+
+#[test]
+fn url_count_runs_distributed_and_survives_a_worker_kill() {
+    let engine = EngineConfig {
+        message_timeout_s: 2.0,
+        ..EngineConfig::default()
+    };
+    let rt_cfg = RtConfig::default()
+        .with_batch_size(16)
+        .with_credit_flow(32)
+        .with_max_replays(10)
+        .with_replay_backoff(Duration::from_millis(20))
+        .with_checkpoints(Duration::from_millis(100))
+        .with_recovery_mode(RecoveryMode::AtLeastOnce);
+    let running = dist::submit(
+        &registry(),
+        "url-count",
+        "600:7",
+        engine,
+        rt_cfg,
+        DistConfig::new(2, worker_cmd()),
+    )
+    .unwrap();
+
+    assert!(
+        wait_until(Duration::from_secs(20), || running.acked() >= 300),
+        "url-count stream never got going: acked {}",
+        running.acked()
+    );
+    running.kill_worker(0).expect("kill worker 0");
+    let resume_target = running.acked() + 300;
+    assert!(
+        wait_until(Duration::from_secs(30), || running.acked() >= resume_target),
+        "stream did not resume after worker kill: acked {}",
+        running.acked()
+    );
+    let report = running.shutdown();
+
+    assert!(report.worker_disconnects >= 1, "{report:?}");
+    assert!(report.worker_restarts >= 1, "{report:?}");
+    assert!(report.conservation_holds(), "{report:?}");
+    assert!(report.credit_conservation_holds(), "{:?}", report.credits);
+    assert_eq!(report.journal_of_kind("worker_spawned").len(), 3);
+}
+
+#[test]
+fn continuous_queries_runs_distributed() {
+    let running = dist::submit(
+        &registry(),
+        "continuous-queries",
+        "800:11",
+        EngineConfig::default(),
+        RtConfig::default().with_batch_size(32).with_credit_flow(32),
+        DistConfig::new(2, worker_cmd()),
+    )
+    .unwrap();
+
+    assert!(
+        wait_until(Duration::from_secs(20), || running.acked() >= 500),
+        "continuous-queries stream never got going: acked {}",
+        running.acked()
+    );
+    let report = running.shutdown();
+
+    assert!(report.acked >= 500, "{report:?}");
+    assert_eq!(report.permanently_failed, 0, "{report:?}");
+    assert!(report.conservation_holds(), "{report:?}");
+    assert!(report.frames_sent > 0 && report.frames_received > 0);
+}

@@ -1,0 +1,733 @@
+//! Distributed-runtime benchmarks (`dist_scaling`): the compact binary wire
+//! codec against its JSON reference, multi-process throughput scaling, and
+//! a kill-one-worker recovery point.
+//!
+//! Three measurements feed `BENCH_dist.json` (`bench_dist/v1`) at the
+//! repository root:
+//!
+//! * **codec** — encode+decode round-trip time of a `TupleBatch` frame
+//!   through the hand-rolled binary codec versus the serde-shim JSON
+//!   baseline ([`dsdps::dist::codec::json`]), at batch sizes 1 and 64.
+//!   The CI gate requires the binary codec to win by **≥ 5×** at batch 64
+//!   (the acceptance criterion of the wire-codec work), alongside the
+//!   serialized-size comparison.
+//! * **dist_scaling** — acked-tuples/s of a `spout → relay ×W → sink ×W`
+//!   shuffle pipeline run on the multi-process backend at worker counts
+//!   {1, 2, 4} × batch sizes {1, 64}, keyed `"w{W}_b{B}"` exactly like the
+//!   threaded sweep in `BENCH_rt.json` so the two backends are directly
+//!   comparable.
+//! * **recovery** — a paced run into a checkpointed counting bolt whose
+//!   worker process is SIGKILLed mid-stream; records kill→`state_restored`
+//!   wall clock, respawns, restores and whether every message was still
+//!   acked with conservation intact.
+//!
+//! The bench binary is its own worker fleet: `main_entry` calls
+//! [`maybe_worker`] first, so a re-exec of the current executable with
+//! `DSDPS_DIST_ADDR` set turns into a worker instead of re-running the
+//! suite ([`dsdps::dist::self_worker_cmd`]).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput, TopologyContext};
+use dsdps::config::EngineConfig;
+use dsdps::dist::{self, codec, DistConfig, TopologyRegistry};
+use dsdps::error::Result;
+use dsdps::rt::{RecoveryMode, RtConfig, SnapshotKind, StateSnapshot, StatefulComponent};
+use dsdps::topology::{Topology, TopologyBuilder};
+use dsdps::tuple::{Tuple, Value};
+
+/// Codec round-trip measurements at one batch size.
+pub struct CodecPoint {
+    /// Tuples per `TupleBatch` frame.
+    pub batch: usize,
+    /// Binary encode+decode round trip, ns per frame.
+    pub binary_ns: f64,
+    /// JSON-reference encode+decode round trip, ns per frame.
+    pub json_ns: f64,
+    /// Serialized frame body size, bytes (binary).
+    pub binary_bytes: usize,
+    /// Serialized frame size, bytes (JSON text).
+    pub json_bytes: usize,
+}
+
+impl CodecPoint {
+    /// JSON-time over binary-time: how many times faster the binary codec
+    /// round-trips the same frame.
+    pub fn speedup(&self) -> f64 {
+        self.json_ns / self.binary_ns
+    }
+}
+
+/// Kill-one-worker recovery measurements.
+pub struct DistRecovery {
+    /// Worker processes in the fleet.
+    pub workers: usize,
+    /// Wall clock from the SIGKILL to the replacement's `state_restored`
+    /// journal event, milliseconds.
+    pub kill_to_restore_ms: f64,
+    /// Worker respawns performed by the supervisor.
+    pub worker_restarts: u64,
+    /// Checkpoint restores performed by restarted workers.
+    pub restores: u64,
+    /// Messages acked by the end of the run.
+    pub acked: u64,
+    /// Messages the spout emitted (the target).
+    pub expected: u64,
+    /// Whether `tracked == acked + permanently_failed + in_flight` held at
+    /// shutdown.
+    pub conservation: bool,
+}
+
+/// Collected measurements of one `dist_scaling` bench run.
+pub struct DistResults {
+    /// `"smoke"` or `"full"`.
+    pub mode: &'static str,
+    /// Codec round-trip points, one per batch size.
+    pub codec: Vec<CodecPoint>,
+    /// `(workers, batch_size, acked tuples/s)` of the multi-process sweep.
+    pub scaling: Vec<(usize, usize, f64)>,
+    /// The kill-one-worker point, when it ran.
+    pub recovery: Option<DistRecovery>,
+}
+
+impl DistResults {
+    /// The batch-64 codec point's speedup — the gated number.
+    pub fn codec_speedup_b64(&self) -> Option<f64> {
+        self.codec
+            .iter()
+            .find(|p| p.batch == 64)
+            .map(CodecPoint::speedup)
+    }
+
+    /// Serializes the results as a stable, machine-readable JSON document
+    /// (`bench_dist/v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"schema\": \"bench_dist/v1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"codec\": {\n");
+        for (i, p) in self.codec.iter().enumerate() {
+            let sep = if i + 1 == self.codec.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    \"b{}\": {{\n      \"binary_ns_per_frame\": {:.1},\n      \
+                 \"json_ns_per_frame\": {:.1},\n      \"binary_bytes\": {},\n      \
+                 \"json_bytes\": {},\n      \"speedup\": {:.2}\n    }}{sep}\n",
+                p.batch,
+                p.binary_ns,
+                p.json_ns,
+                p.binary_bytes,
+                p.json_bytes,
+                p.speedup(),
+            ));
+        }
+        s.push_str("  },\n  \"acked_tuples_per_s\": {\n");
+        for (i, (workers, batch, tput)) in self.scaling.iter().enumerate() {
+            let sep = if i + 1 == self.scaling.len() { "" } else { "," };
+            s.push_str(&format!("    \"w{workers}_b{batch}\": {tput:.1}{sep}\n"));
+        }
+        s.push_str("  }");
+        if let Some(r) = &self.recovery {
+            s.push_str(&format!(
+                ",\n  \"recovery\": {{\n    \"workers\": {},\n    \
+                 \"kill_to_restore_ms\": {:.2},\n    \"worker_restarts\": {},\n    \
+                 \"restores\": {},\n    \"acked\": {},\n    \"expected\": {},\n    \
+                 \"conservation\": {}\n  }}",
+                r.workers,
+                r.kill_to_restore_ms,
+                r.worker_restarts,
+                r.restores,
+                r.acked,
+                r.expected,
+                r.conservation,
+            ));
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `BENCH_dist.json` at the
+    /// repository root and returns the path.
+    pub fn write_json_at_repo_root(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_dist.json"
+        ));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+// --- codec round trip ---------------------------------------------------
+
+/// A representative `TupleBatch` payload: mixed value types, occasional
+/// dedup ids, several destination tasks and streams — the shape the
+/// transport actually moves, not a best-case all-integer batch.
+fn sample_batch(n: usize) -> Vec<codec::WireTuple> {
+    (0..n)
+        .map(|i| codec::WireTuple {
+            token: 1_000 + i as u64 * 17,
+            dest_task: (i % 7) as u32,
+            stream: (i % 3) as u32,
+            dedup: if i % 4 == 0 { Some(i as u64 + 1) } else { None },
+            values: vec![
+                Value::from(i as i64 * 37 - 5),
+                Value::from(format!("sensor-{:04}", i % 50)),
+                Value::from(0.5 + i as f64 * 0.25),
+                Value::from(i % 2 == 0),
+            ],
+        })
+        .collect()
+}
+
+/// Times `f` adaptively against `target` and returns ns/iter (same harness
+/// as the kernel microbenches, standalone so it can fill [`CodecPoint`]s).
+fn bench_ns<R>(target: Duration, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        if elapsed >= target || iters >= 1 << 30 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters = if elapsed.is_zero() {
+            iters * 8
+        } else {
+            let scale = target.as_secs_f64() / elapsed.as_secs_f64() * 1.2;
+            (iters as f64 * scale).ceil() as u64
+        };
+    }
+}
+
+/// Round-trips one `TupleBatch` frame through both codecs at `batch`
+/// tuples and returns the comparison point.
+fn codec_point(batch: usize, target: Duration) -> CodecPoint {
+    let items = sample_batch(batch);
+    let frame = codec::Frame::TupleBatch {
+        items: items.clone(),
+    };
+
+    let mut body = Vec::new();
+    codec::encode_frame_body(&frame, &mut body);
+    let binary_bytes = body.len();
+    let json_text = codec::json::tuple_batch_to_string(&items);
+    let json_bytes = json_text.len();
+
+    // The binary side reuses its buffer across frames, exactly like the
+    // transport's batching writer; the JSON reference allocates a fresh
+    // string per frame, exactly like a serde-based shim would.
+    let mut buf = Vec::with_capacity(binary_bytes);
+    let binary_ns = bench_ns(target, || {
+        buf.clear();
+        codec::encode_frame_body(&frame, &mut buf);
+        codec::decode_frame(&buf).expect("binary round trip")
+    });
+    let json_ns = bench_ns(target, || {
+        let text = codec::json::tuple_batch_to_string(&items);
+        codec::json::tuple_batch_from_str(&text).expect("json round trip")
+    });
+
+    CodecPoint {
+        batch,
+        binary_ns,
+        json_ns,
+        binary_bytes,
+        json_bytes,
+    }
+}
+
+fn bench_codec(res: &mut DistResults, target: Duration) {
+    println!("\ncodec: TupleBatch encode+decode round trip, binary vs serde-JSON reference");
+    for &batch in &[1usize, 64] {
+        let p = codec_point(batch, target);
+        println!(
+            "  batch {batch:>3}: binary {:>10.0} ns/frame ({} B)   json {:>10.0} ns/frame \
+             ({} B)   {:.1}x",
+            p.binary_ns,
+            p.binary_bytes,
+            p.json_ns,
+            p.json_bytes,
+            p.speedup()
+        );
+        res.codec.push(p);
+    }
+}
+
+// --- shared topologies (coordinator and re-exec'd workers) --------------
+
+/// Backpressure-bounded infinite spout: emits tracked tuples as fast as
+/// `max_spout_pending` allows until the coordinator raises its stop flag.
+struct FloodSpout {
+    next_id: u64,
+}
+
+impl Spout for FloodSpout {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        for _ in 0..32 {
+            self.next_id += 1;
+            out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        }
+        true
+    }
+}
+
+/// Finite spout paced at `rate` tuples/s, so the stream is still flowing
+/// when the bench kills a worker mid-run.
+struct PacedSpout {
+    left: u64,
+    next_id: u64,
+    rate: f64,
+    started: Option<Instant>,
+}
+
+impl Spout for PacedSpout {
+    fn open(&mut self, _ctx: &TopologyContext) {
+        self.started = Some(Instant::now());
+    }
+
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        let elapsed = self
+            .started
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        if self.next_id as f64 >= elapsed * self.rate {
+            return true;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+}
+
+/// Middle stage: re-emits each tuple anchored.
+struct Relay;
+impl Bolt for Relay {
+    fn execute(&mut self, t: &Tuple, out: &mut BoltOutput) {
+        out.emit(t.clone());
+    }
+}
+
+struct Blackhole;
+impl Bolt for Blackhole {
+    fn execute(&mut self, _t: &Tuple, _o: &mut BoltOutput) {}
+}
+
+/// Checkpointable counting bolt for the recovery point.
+struct StatefulCounter {
+    count: u64,
+    sum: u64,
+}
+
+impl Bolt for StatefulCounter {
+    fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+        self.count += 1;
+        self.sum += t.get(0).and_then(|v| v.as_i64()).unwrap_or(0) as u64;
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulComponent> {
+        Some(self)
+    }
+}
+
+impl StatefulComponent for StatefulCounter {
+    fn snapshot(&mut self) -> StateSnapshot {
+        StateSnapshot::encode(SnapshotKind::Full, &(self.count, self.sum))
+    }
+
+    fn restore(
+        &mut self,
+        base: &StateSnapshot,
+        deltas: &[StateSnapshot],
+    ) -> std::result::Result<(), String> {
+        if !deltas.is_empty() {
+            return Err("bench counter snapshots are full-only".into());
+        }
+        let (count, sum): (u64, u64) = base.decode()?;
+        self.count = count;
+        self.sum = sum;
+        Ok(())
+    }
+}
+
+/// `spout → relay ×W → sink ×W` shuffle pipeline; `args` carries `W`.
+fn build_relay(args: &str) -> Result<Topology> {
+    let workers: usize = args.parse().unwrap_or(1);
+    let mut b = TopologyBuilder::new("dist-scaling-bench");
+    b.set_spout("src", 1, || FloodSpout { next_id: 0 })?;
+    b.set_bolt("relay", workers, || Relay)?
+        .shuffle_grouping("src")?;
+    b.set_bolt("sink", workers, || Blackhole)?
+        .shuffle_grouping("relay")?;
+    b.build()
+}
+
+/// Paced spout into one checkpointed counter; `args` is `"n:rate"`.
+fn build_state(args: &str) -> Result<Topology> {
+    let mut it = args.split(':');
+    let n: u64 = it.next().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let rate: f64 = it.next().and_then(|s| s.parse().ok()).unwrap_or(1_000.0);
+    let mut b = TopologyBuilder::new("dist-recovery-bench");
+    b.set_spout("src", 1, move || PacedSpout {
+        left: n,
+        next_id: 0,
+        rate,
+        started: None,
+    })?;
+    b.set_bolt("count", 1, || StatefulCounter { count: 0, sum: 0 })?
+        .global_grouping("src")?;
+    b.build()
+}
+
+fn registry() -> TopologyRegistry {
+    let mut r = TopologyRegistry::new();
+    r.register("relay", build_relay);
+    r.register("state", build_state);
+    r
+}
+
+/// Worker dispatch for the bench binary: call this at the very top of the
+/// entry point and return immediately when it yields `true` — the process
+/// was re-executed as a distributed worker and has already served its
+/// assignment.
+pub fn maybe_worker() -> bool {
+    dist::maybe_worker_from_env(&registry())
+}
+
+// --- dist_scaling sweep -------------------------------------------------
+
+/// Runs the relay pipeline on `workers` worker processes for `run_s`
+/// seconds and returns acked tuple trees per second.
+fn dist_throughput(workers: usize, batch_size: usize, run_s: f64) -> f64 {
+    let cfg = EngineConfig {
+        max_spout_pending: 16 * 1024,
+        ..EngineConfig::default()
+    };
+    // Credit flow on: the production shape of the distributed transport,
+    // and the end-to-end bound that keeps a flooded run's outstanding
+    // bytes under the kernel socket buffers (DESIGN.md §15.4).
+    let running = dist::submit(
+        &registry(),
+        "relay",
+        &workers.to_string(),
+        cfg,
+        RtConfig::default()
+            .with_batch_size(batch_size)
+            .with_credit_flow(32),
+        DistConfig::new(workers, dist::self_worker_cmd()),
+    )
+    .expect("dist submit");
+    std::thread::sleep(Duration::from_secs_f64(run_s));
+    let report = running.shutdown();
+    report.acked as f64 / report.uptime_s
+}
+
+fn bench_dist_scaling(res: &mut DistResults, run_s: f64) {
+    println!(
+        "\ndist_scaling: spout -> relay xW -> sink xW over W worker processes, \
+         {run_s:.1}s per point"
+    );
+    for &workers in &[1usize, 2, 4] {
+        for &batch in &[1usize, 64] {
+            let tput = dist_throughput(workers, batch, run_s);
+            res.scaling.push((workers, batch, tput));
+            println!(
+                "  workers {workers}  batch {batch:>3}: {:>12.0} acked tuples/s",
+                tput
+            );
+        }
+    }
+}
+
+// --- kill-one-worker recovery point -------------------------------------
+
+fn bench_dist_recovery(res: &mut DistResults, n: u64, rate: f64) {
+    println!("\ndist_recovery: {n} tuples at {rate:.0}/s, SIGKILL the stateful worker mid-run");
+    let engine = EngineConfig {
+        message_timeout_s: 2.0,
+        ..EngineConfig::default()
+    };
+    let rt_config = RtConfig::default()
+        .with_batch_size(8)
+        .with_max_replays(10)
+        .with_replay_backoff(Duration::from_millis(20))
+        .with_checkpoints(Duration::from_millis(50))
+        .with_recovery_mode(RecoveryMode::ExactlyOnceEffect);
+    let running = dist::submit(
+        &registry(),
+        "state",
+        &format!("{n}:{rate}"),
+        engine,
+        rt_config,
+        DistConfig::new(2, dist::self_worker_cmd()),
+    )
+    .expect("dist submit");
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while running.acked() < n / 4 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let kill_t = running.uptime_s();
+    running.kill_worker(0).expect("kill worker 0");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while running.acked() < n && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = running.shutdown();
+
+    // Kill → restore wall clock on the journal's clock (seconds since
+    // submit): the first `state_restored` event after the kill.
+    let kill_to_restore_ms = report
+        .journal_of_kind("state_restored")
+        .iter()
+        .map(|e| e.time_s())
+        .filter(|t| *t >= kill_t)
+        .fold(f64::NAN, f64::min)
+        .max(kill_t)
+        * 1_000.0
+        - kill_t * 1_000.0;
+
+    let r = DistRecovery {
+        workers: 2,
+        kill_to_restore_ms,
+        worker_restarts: report.worker_restarts,
+        restores: report.restores,
+        acked: report.acked,
+        expected: n,
+        conservation: report.conservation_holds(),
+    };
+    println!(
+        "  kill -> state_restored {:.1} ms  ({} respawns, {} restores, acked {}/{}, \
+         conservation {})",
+        r.kill_to_restore_ms, r.worker_restarts, r.restores, r.acked, r.expected, r.conservation
+    );
+    res.recovery = Some(r);
+}
+
+/// Runs the distributed bench suite.  Smoke mode shrinks every budget so
+/// the suite proves the multi-process path end to end without dominating
+/// the test run.
+pub fn run(smoke: bool) -> DistResults {
+    let mut res = DistResults {
+        mode: if smoke { "smoke" } else { "full" },
+        codec: Vec::new(),
+        scaling: Vec::new(),
+        recovery: None,
+    };
+    bench_codec(
+        &mut res,
+        if smoke {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(300)
+        },
+    );
+    bench_dist_scaling(&mut res, if smoke { 0.4 } else { 2.0 });
+    if smoke {
+        bench_dist_recovery(&mut res, 400, 1_600.0);
+    } else {
+        bench_dist_recovery(&mut res, 2_000, 5_000.0);
+    }
+    res
+}
+
+// --- CI gate ------------------------------------------------------------
+
+/// Minimum binary-over-JSON codec speedup at batch 64 — the wire-codec
+/// acceptance criterion, enforced unconditionally by the gate.
+pub const MIN_CODEC_SPEEDUP_B64: f64 = 5.0;
+
+/// Reads the `w2_b64` throughput out of a `bench_dist/v1` JSON document.
+fn dist_baseline_w2_b64(json: &str) -> Option<f64> {
+    use serde::JsonValue;
+    let root = serde_json::parse(json).ok()?;
+    let JsonValue::Object(fields) = root else {
+        return None;
+    };
+    let tputs = fields.iter().find(|(k, _)| k == "acked_tuples_per_s")?;
+    let JsonValue::Object(points) = &tputs.1 else {
+        return None;
+    };
+    match points.iter().find(|(k, _)| k == "w2_b64")?.1 {
+        JsonValue::F64(v) => Some(v),
+        JsonValue::I64(v) => Some(v as f64),
+        JsonValue::U64(v) => Some(v as f64),
+        _ => None,
+    }
+}
+
+/// CI regression gate for the distributed backend: the fresh `w2_b64`
+/// throughput must stay within 20% of the checked-in baseline, the binary
+/// codec must hold its ≥5× batch-64 speedup over the JSON reference, and
+/// the kill-one-worker point must have recovered every message with
+/// conservation intact.
+pub fn check_dist_baseline(
+    res: &DistResults,
+    baseline_path: &str,
+) -> std::result::Result<(), String> {
+    let speedup = res
+        .codec_speedup_b64()
+        .ok_or("dist gate: the batch-64 codec point was not measured")?;
+    println!(
+        "\ndist codec gate: binary {speedup:.1}x over JSON at batch 64 \
+         (floor {MIN_CODEC_SPEEDUP_B64:.0}x)"
+    );
+    if speedup < MIN_CODEC_SPEEDUP_B64 {
+        return Err(format!(
+            "dist codec regression: binary codec is only {speedup:.2}x faster than the \
+             JSON reference at batch 64 (floor {MIN_CODEC_SPEEDUP_B64:.0}x)"
+        ));
+    }
+    let r = res
+        .recovery
+        .as_ref()
+        .ok_or("dist gate: the kill-one-worker recovery point was not measured")?;
+    if r.acked != r.expected || !r.conservation || r.restores == 0 {
+        return Err(format!(
+            "dist recovery regression: acked {}/{} after the worker kill \
+             ({} restores, conservation {})",
+            r.acked, r.expected, r.restores, r.conservation
+        ));
+    }
+    let json = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read dist baseline {baseline_path}: {e}"))?;
+    let baseline = dist_baseline_w2_b64(&json)
+        .ok_or_else(|| format!("no acked_tuples_per_s.w2_b64 in {baseline_path}"))?;
+    let fresh = res
+        .scaling
+        .iter()
+        .find(|(w, b, _)| *w == 2 && *b == 64)
+        .map(|(_, _, t)| *t)
+        .ok_or_else(|| "dist_scaling sweep did not produce a w2_b64 point".to_string())?;
+    println!(
+        "dist baseline check: w2_b64 fresh {fresh:.0} vs baseline {baseline:.0} ({:+.1}%)",
+        (fresh / baseline - 1.0) * 100.0
+    );
+    if fresh < baseline * 0.8 {
+        return Err(format!(
+            "dist throughput regression: w2_b64 {fresh:.0} tuples/s is more than 20% below \
+             the baseline {baseline:.0} tuples/s"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> DistResults {
+        DistResults {
+            mode: "smoke",
+            codec: vec![
+                CodecPoint {
+                    batch: 1,
+                    binary_ns: 100.0,
+                    json_ns: 1_500.0,
+                    binary_bytes: 40,
+                    json_bytes: 160,
+                },
+                CodecPoint {
+                    batch: 64,
+                    binary_ns: 2_000.0,
+                    json_ns: 40_000.0,
+                    binary_bytes: 2_100,
+                    json_bytes: 9_800,
+                },
+            ],
+            scaling: vec![
+                (1, 1, 9_000.0),
+                (1, 64, 50_000.0),
+                (2, 64, 80_000.0),
+                (4, 64, 120_000.0),
+            ],
+            recovery: Some(DistRecovery {
+                workers: 2,
+                kill_to_restore_ms: 120.0,
+                worker_restarts: 1,
+                restores: 1,
+                acked: 400,
+                expected: 400,
+                conservation: true,
+            }),
+        }
+    }
+
+    fn baseline_json(w2_b64: f64) -> String {
+        format!(
+            "{{\n  \"schema\": \"bench_dist/v1\",\n  \"acked_tuples_per_s\": {{\n    \
+             \"w2_b64\": {w2_b64:.1}\n  }}\n}}\n"
+        )
+    }
+
+    fn with_baseline(json: &str, f: impl FnOnce(&str)) {
+        let path = std::env::temp_dir().join(format!(
+            "dsdps-dist-baseline-{}.json",
+            std::process::id() as u64 ^ ((json.len() as u64) << 32)
+        ));
+        std::fs::write(&path, json).unwrap();
+        f(path.to_str().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_is_well_shaped() {
+        let json = results().to_json();
+        assert!(json.contains("\"schema\": \"bench_dist/v1\""));
+        assert!(json.contains("\"b64\""));
+        assert!(json.contains("\"speedup\": 20.00"));
+        assert!(json.contains("\"w2_b64\": 80000.0"));
+        assert!(json.contains("\"kill_to_restore_ms\": 120.00"));
+        assert_eq!(dist_baseline_w2_b64(&json), Some(80_000.0));
+    }
+
+    #[test]
+    fn gate_passes_on_healthy_results() {
+        with_baseline(&baseline_json(80_000.0), |path| {
+            check_dist_baseline(&results(), path).unwrap();
+        });
+    }
+
+    #[test]
+    fn gate_fails_on_throughput_regression() {
+        with_baseline(&baseline_json(120_000.0), |path| {
+            let err = check_dist_baseline(&results(), path).unwrap_err();
+            assert!(err.contains("regression"), "unexpected message: {err}");
+        });
+    }
+
+    #[test]
+    fn gate_fails_when_codec_speedup_collapses() {
+        let mut res = results();
+        res.codec[1].binary_ns = 15_000.0;
+        with_baseline(&baseline_json(80_000.0), |path| {
+            let err = check_dist_baseline(&res, path).unwrap_err();
+            assert!(err.contains("codec"), "unexpected message: {err}");
+        });
+    }
+
+    #[test]
+    fn gate_fails_when_recovery_lost_messages() {
+        let mut res = results();
+        res.recovery.as_mut().unwrap().acked = 399;
+        with_baseline(&baseline_json(80_000.0), |path| {
+            let err = check_dist_baseline(&res, path).unwrap_err();
+            assert!(err.contains("recovery"), "unexpected message: {err}");
+        });
+    }
+
+    #[test]
+    fn codec_round_trip_point_is_consistent() {
+        let p = codec_point(8, Duration::from_millis(1));
+        assert!(p.binary_ns > 0.0 && p.json_ns > 0.0);
+        assert!(p.binary_bytes > 0 && p.json_bytes > p.binary_bytes);
+    }
+}

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dist_bench;
 pub mod experiments;
 pub mod harness;
 pub mod micro;

@@ -51,6 +51,14 @@ use rand::{Rng, SeedableRng};
 pub struct MicroResults {
     /// `"smoke"` or `"full"`.
     pub mode: &'static str,
+    /// `std::thread::available_parallelism()` of the bench host, stamped
+    /// into `BENCH_rt.json` so scaling numbers can be read against the
+    /// cores that produced them.
+    pub host_parallelism: usize,
+    /// `"w{W}_b{B}"` keys of scaling points whose thread demand exceeded
+    /// the host's parallelism — measured anyway, but flagged because the
+    /// point reflects oversubscription, not the runtime's scaling.
+    pub oversubscribed: Vec<String>,
     /// `(benchmark name, ns/iter)` in execution order.
     pub ns_per_iter: Vec<(String, f64)>,
     /// `(batch_size, acked tuples/s)` of the threaded-runtime throughput
@@ -81,6 +89,10 @@ impl MicroResults {
     fn new(mode: &'static str) -> Self {
         MicroResults {
             mode,
+            host_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            oversubscribed: Vec::new(),
             ns_per_iter: Vec::new(),
             rt_acked_tuples_per_s: Vec::new(),
             rt_scaling: Vec::new(),
@@ -164,6 +176,22 @@ impl MicroResults {
         let mut s = String::with_capacity(512);
         s.push_str("{\n  \"schema\": \"bench_rt/v1\",\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        if !self.oversubscribed.is_empty() {
+            s.push_str("  \"oversubscribed\": [");
+            for (i, key) in self.oversubscribed.iter().enumerate() {
+                let sep = if i + 1 == self.oversubscribed.len() {
+                    ""
+                } else {
+                    ", "
+                };
+                s.push_str(&format!("\"{key}\"{sep}"));
+            }
+            s.push_str("],\n");
+        }
         s.push_str("  \"acked_tuples_per_s\": {\n");
         for (i, (workers, batch, tput)) in self.rt_scaling.iter().enumerate() {
             let sep = if i + 1 == self.rt_scaling.len() {
@@ -527,14 +555,31 @@ fn rt_scaling_throughput(workers: usize, batch_size: usize, run_s: f64) -> f64 {
 /// The data-plane scaling sweep: worker counts {1, 2, 4, 8} × batch sizes
 /// {1, 64}, recorded into [`MicroResults::rt_scaling`] / `BENCH_rt.json`.
 fn bench_rt_scaling(res: &mut MicroResults, run_s: f64) {
-    println!("\nrt_scaling: spout -> relay xW -> sink xW shuffle pipeline, {run_s:.1}s per point");
+    println!(
+        "\nrt_scaling: spout -> relay xW -> sink xW shuffle pipeline, {run_s:.1}s per point \
+         (host parallelism {})",
+        res.host_parallelism
+    );
     for &workers in &[1usize, 2, 4, 8] {
         for &batch in &[1usize, 64] {
+            // The point runs spout + relay xW + sink xW task threads; when
+            // that exceeds the host's cores the measurement reflects
+            // oversubscription, so it is stamped as such in the JSON and
+            // never used as a scaling claim.
+            let oversubscribed = 2 * workers + 1 > res.host_parallelism;
             let tput = rt_scaling_throughput(workers, batch, run_s);
             res.rt_scaling.push((workers, batch, tput));
+            if oversubscribed {
+                res.oversubscribed.push(format!("w{workers}_b{batch}"));
+            }
             println!(
-                "  workers {workers}  batch {batch:>3}: {:>12} acked tuples/s",
-                fmt_num(tput)
+                "  workers {workers}  batch {batch:>3}: {:>12} acked tuples/s{}",
+                fmt_num(tput),
+                if oversubscribed {
+                    "   (oversubscribed)"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -893,8 +938,17 @@ fn check_telemetry_overhead(mode: &str, smoke: bool, stripped_bin: &str) -> Resu
 /// `rt_recovery` results (every guarantee checkpoints, restores and keeps
 /// its promise; the exactly-once restore beats a factory-fresh recompute).
 /// `--rt-point W B SECS REPS` repeats one scaling point for manual A/B runs
-/// (and serves the gate's reference samples).
+/// (and serves the gate's reference samples).  `--dist-only` runs only the
+/// multi-process suite (codec + dist_scaling + recovery, writing
+/// `BENCH_dist.json`); `--check-dist-baseline <path>` enforces the
+/// distributed gate (≥5× codec speedup at batch 64, full recovery after a
+/// worker kill, and ≤20% `w2_b64` throughput regression).
 pub fn main_entry() {
+    // A re-exec of this binary with `DSDPS_DIST_ADDR` set is a distributed
+    // worker for the dist_scaling bench, not a fresh suite run.
+    if crate::dist_bench::maybe_worker() {
+        return;
+    }
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--test");
     let flag_path = |flag: &str| {
@@ -907,8 +961,25 @@ pub fn main_entry() {
     let baseline = flag_path("--check-rt-baseline");
     let telemetry_check = flag_path("--check-telemetry-overhead");
     let sim_baseline = flag_path("--check-sim-baseline");
+    let dist_baseline = flag_path("--check-dist-baseline");
     let overload_gate = args.iter().any(|a| a == "--check-overload-gate");
     let recovery_gate = args.iter().any(|a| a == "--check-recovery-gate");
+    if args.iter().any(|a| a == "--dist-only") {
+        // Run only the distributed suite (plus its gate, if requested) —
+        // what the CI dist-smoke job executes.
+        let dist = crate::dist_bench::run(smoke);
+        match dist.write_json_at_repo_root() {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("failed to write BENCH_dist.json: {e}"),
+        }
+        if let Some(path) = dist_baseline {
+            if let Err(msg) = crate::dist_bench::check_dist_baseline(&dist, &path) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--sim-point") {
         // Diagnostic mode: run one simulator scaling point, for A/B-ing the
         // engine without paying for the whole suite.
@@ -980,6 +1051,11 @@ pub fn main_entry() {
         Ok(p) => println!("wrote {p}"),
         Err(e) => eprintln!("failed to write BENCH_sim.json: {e}"),
     }
+    let dist = crate::dist_bench::run(smoke);
+    match dist.write_json_at_repo_root() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("failed to write BENCH_dist.json: {e}"),
+    }
     if let Some(path) = baseline {
         if let Err(msg) = check_rt_baseline(&res, &path) {
             eprintln!("{msg}");
@@ -1002,6 +1078,12 @@ pub fn main_entry() {
         let baseline_json = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read sim baseline {path}: {e}"));
         if let Err(msg) = crate::sim_scaling::check_sim_baseline(&sim.to_json(), &baseline_json) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = dist_baseline {
+        if let Err(msg) = crate::dist_bench::check_dist_baseline(&dist, &path) {
             eprintln!("{msg}");
             std::process::exit(1);
         }

@@ -87,6 +87,24 @@ pub struct RecoveryResults {
     /// Wall clock for the recompute arm to re-ack that whole prefix through
     /// a fresh checkpoint-free topology, milliseconds.
     pub recompute_rebuild_ms: f64,
+    /// Average serialized snapshot size per checkpoint with the default
+    /// binary encoding (the exactly-once arm's deposits).
+    pub snapshot_binary_bytes_per_ckpt: f64,
+    /// Average serialized snapshot size per checkpoint with the JSON
+    /// fallback ([`RtConfig::with_json_snapshots`]) on an otherwise
+    /// identical exactly-once run.
+    pub snapshot_json_bytes_per_ckpt: f64,
+}
+
+impl RecoveryResults {
+    /// Percentage by which the binary snapshot encoding shrinks the average
+    /// checkpoint against the JSON fallback.
+    pub fn snapshot_reduction_pct(&self) -> f64 {
+        if self.snapshot_json_bytes_per_ckpt <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.snapshot_binary_bytes_per_ckpt / self.snapshot_json_bytes_per_ckpt) * 100.0
+    }
 }
 
 impl RecoveryResults {
@@ -124,8 +142,16 @@ impl RecoveryResults {
         }
         s.push_str("  },\n  \"recompute\": {\n");
         s.push_str(&format!(
-            "    \"prefix_tuples\": {},\n    \"rebuild_ms\": {:.2}\n  }}\n}}\n",
+            "    \"prefix_tuples\": {},\n    \"rebuild_ms\": {:.2}\n  }},\n",
             self.recompute_prefix, self.recompute_rebuild_ms
+        ));
+        s.push_str("  \"snapshot_encoding\": {\n");
+        s.push_str(&format!(
+            "    \"binary_bytes_per_ckpt\": {:.1},\n    \
+             \"json_bytes_per_ckpt\": {:.1},\n    \"reduction_pct\": {:.1}\n  }}\n}}\n",
+            self.snapshot_binary_bytes_per_ckpt,
+            self.snapshot_json_bytes_per_ckpt,
+            self.snapshot_reduction_pct()
         ));
         s
     }
@@ -266,7 +292,13 @@ fn acked_at(samples: &[(f64, u64)], t: f64) -> f64 {
     }
 }
 
-fn fault_arm(mode: RecoveryMode, n: u64, rate: f64, panic_at_s: f64) -> RecoveryArm {
+fn fault_arm(
+    mode: RecoveryMode,
+    n: u64,
+    rate: f64,
+    panic_at_s: f64,
+    json_snapshots: bool,
+) -> RecoveryArm {
     let delivered = Arc::new(AtomicU64::new(0));
     let restored = Arc::new(AtomicU64::new(0));
     let (d2, r2) = (delivered.clone(), restored.clone());
@@ -296,7 +328,8 @@ fn fault_arm(mode: RecoveryMode, n: u64, rate: f64, panic_at_s: f64) -> Recovery
         .with_checkpoints(Duration::from_millis(100))
         .with_recovery_mode(mode)
         .with_max_replays(8)
-        .with_replay_backoff(Duration::from_millis(50));
+        .with_replay_backoff(Duration::from_millis(50))
+        .with_json_snapshots(json_snapshots);
 
     let t0 = Instant::now();
     let running = rt::submit_faulty(topo, cfg, rt_cfg, plan, None).unwrap();
@@ -443,8 +476,31 @@ pub fn run(smoke: bool) -> RecoveryResults {
         RecoveryMode::Approximate,
     ]
     .into_iter()
-    .map(|mode| fault_arm(mode, n, rate, panic_at_s))
+    .map(|mode| fault_arm(mode, n, rate, panic_at_s, false))
     .collect();
+
+    // Snapshot-encoding comparison: re-run the exactly-once arm with the
+    // JSON snapshot fallback and compare average bytes per checkpoint
+    // against the default binary encoding above.
+    let json_arm = fault_arm(RecoveryMode::ExactlyOnceEffect, n, rate, panic_at_s, true);
+    let per_ckpt = |bytes: u64, ckpts: u64| bytes as f64 / ckpts.max(1) as f64;
+    let binary_bytes_per_ckpt = arms
+        .iter()
+        .find(|a| a.mode == "exactly_once_effect")
+        .map(|a| per_ckpt(a.snapshot_bytes, a.checkpoints))
+        .unwrap_or(0.0);
+    let json_bytes_per_ckpt = per_ckpt(json_arm.snapshot_bytes, json_arm.checkpoints);
+    println!(
+        "  {:<20} binary {:.1} B/ckpt vs json {:.1} B/ckpt ({:.1}% smaller)",
+        "snapshot encoding",
+        binary_bytes_per_ckpt,
+        json_bytes_per_ckpt,
+        if json_bytes_per_ckpt > 0.0 {
+            (1.0 - binary_bytes_per_ckpt / json_bytes_per_ckpt) * 100.0
+        } else {
+            0.0
+        }
+    );
 
     let prefix = arms
         .iter()
@@ -463,6 +519,8 @@ pub fn run(smoke: bool) -> RecoveryResults {
         arms,
         recompute_prefix: prefix,
         recompute_rebuild_ms,
+        snapshot_binary_bytes_per_ckpt: binary_bytes_per_ckpt,
+        snapshot_json_bytes_per_ckpt: json_bytes_per_ckpt,
     }
 }
 
@@ -561,6 +619,8 @@ mod tests {
             ],
             recompute_prefix: 4_000,
             recompute_rebuild_ms: 35.0,
+            snapshot_binary_bytes_per_ckpt: 18.0,
+            snapshot_json_bytes_per_ckpt: 42.0,
         }
     }
 
@@ -626,6 +686,8 @@ mod tests {
         assert!(json.contains("\"exactly_once_effect\""));
         assert!(json.contains("\"rebuild_ms\": 35.00"));
         assert!(json.contains("\"within_bound\": true"));
+        assert!(json.contains("\"snapshot_encoding\""));
+        assert!(json.contains("\"reduction_pct\": 57.1"));
     }
 
     #[test]

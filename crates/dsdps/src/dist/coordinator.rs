@@ -1,0 +1,1570 @@
+//! Coordinator side of the distributed runtime.
+//!
+//! The coordinator is the reliability brain: it runs the spouts, the
+//! sharded acker, the per-spout replay buffers, the credit ledger, the
+//! checkpoint store and all routing.  Worker processes only execute
+//! bolts.  One reader thread per worker connection applies results and
+//! control frames; a supervisor thread respawns dead workers, expires
+//! timed-out trees and drains credit-starved overflow queues; a completer
+//! thread fans tree outcomes back to the owning spout threads.
+//!
+//! Delivery accounting mirrors the threaded runtime exactly —
+//! `tracked == acked + permanently_failed + in_flight` holds at shutdown
+//! ([`DistReport::conservation_holds`]) — with one extra failure source:
+//! a dying connection fails every delivery pending on it into replay.
+
+use std::collections::{HashMap, VecDeque};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::codec::{Frame, InternTable, WireEmission, WireTuple};
+use super::transport::{BatchWriter, Conn, Endpoint, FrameReader, Listener};
+use super::worker::{snapshot_from_payload, snapshot_to_payload, TopologyRegistry};
+use super::{recovery_to_byte, DistConfig, TransportKind};
+use crate::acker::{splitmix64, Completion, RootId, ShardedAcker, TreeOutcome};
+use crate::component::{Emission, MessageId, SpoutOutput, TopologyContext};
+use crate::config::EngineConfig;
+use crate::error::{Error, Result};
+use crate::grouping::{make_grouping, Grouping, GroupingSpec};
+use crate::rt::checkpoint::CheckpointStore;
+use crate::rt::replay::{FailDecision, ReplayBuffer};
+use crate::rt::{CreditLedger, CreditTotals, RtConfig, StateSnapshot};
+use crate::telemetry::journal::{Journal, JournalEvent};
+use crate::topology::{ComponentKind, TaskId, Topology};
+use crate::tuple::{Tuple, Value};
+
+/// Credit window (tuples per task) used when `RtConfig::credit_flow` is
+/// off.  The wire always needs *some* bound: the coordinator writes frames
+/// with the slot's state lock held, the worker is single-threaded, and
+/// both directions ride finite kernel socket buffers — if the outstanding
+/// tuples toward one connection can exceed what those buffers absorb, a
+/// flooded run wedges with the worker blocked writing results, the
+/// coordinator's writer blocked sending tuples, and the reader parked on
+/// the slot lock (see DESIGN.md §15.4).  The window must therefore stay
+/// comfortably below the socket capacity divided by the wire size of a
+/// tuple; 1 024 small tuples is tens of kilobytes per task against the
+/// ~200 KiB a default Unix socket buffers.  Topologies that want a wider
+/// (or per-task-tuned) window enable `credit_flow`, which sizes windows as
+/// `credit_window × batch_size` and re-grants per processed batch.
+const DEFAULT_WINDOW_TUPLES: u64 = 1_024;
+
+/// One delivery awaiting its result (or its deferred ack).
+struct Delivery {
+    /// Tree anchor: `(root, edge)` of this delivery's edge, if tracked.
+    anchor: Option<(RootId, u64)>,
+    /// Destination task (whose credit the delivery consumed).
+    task: u32,
+}
+
+/// Mutable per-worker-slot state, all under one lock.
+#[derive(Default)]
+struct SlotState {
+    writer: Option<BatchWriter>,
+    connected: bool,
+    pending: HashMap<u64, Delivery>,
+    deferred: HashMap<u64, Delivery>,
+    child: Option<Child>,
+    pid: u32,
+    generation: u64,
+    respawns: u32,
+    /// Snapshot age (s) per task with a restore in flight, for journaling
+    /// the worker's `state_restored` reply.
+    restore_age: HashMap<u32, Option<f64>>,
+}
+
+struct WorkerSlot {
+    state: Mutex<SlotState>,
+    /// Bolt tasks owned by this slot.
+    tasks: Vec<u32>,
+}
+
+/// An emission parked because its destination task was out of credits.
+struct Overflow {
+    stream: u32,
+    values: Vec<Value>,
+    anchor: Option<(RootId, u64)>,
+    dedup: Option<u64>,
+}
+
+/// One route of the coordinator-side router (centralized equivalent of
+/// the threaded runtime's per-task router).
+struct RouteEntry {
+    stream: u32,
+    subscriber_base: usize,
+    parallelism: usize,
+    grouping: Mutex<Box<dyn Grouping>>,
+    is_direct: bool,
+}
+
+struct DistRouter {
+    /// Routes indexed by producing component id.
+    per_component: Vec<Vec<RouteEntry>>,
+}
+
+impl DistRouter {
+    fn new(topology: &Topology, intern: &InternTable) -> Self {
+        let mut per_component = Vec::new();
+        for component in topology.components() {
+            let mut routes = Vec::new();
+            for decl in &component.outputs {
+                let stream = intern
+                    .lookup(component.id.0, decl.id.as_str())
+                    .expect("declared stream is interned");
+                for (sub, spec) in topology.subscribers_of(component.id, &decl.id) {
+                    let handle = match spec {
+                        GroupingSpec::Dynamic(_) => {
+                            topology.dynamic_handle(&component.name, &decl.id, &sub.name)
+                        }
+                        _ => None,
+                    };
+                    routes.push(RouteEntry {
+                        stream,
+                        subscriber_base: sub.base_task.0,
+                        parallelism: sub.parallelism,
+                        grouping: Mutex::new(make_grouping(
+                            spec,
+                            sub.parallelism,
+                            &decl.fields,
+                            0,
+                            handle,
+                        )),
+                        is_direct: matches!(spec, GroupingSpec::Direct),
+                    });
+                }
+            }
+            per_component.push(routes);
+        }
+        DistRouter { per_component }
+    }
+
+    /// Destination task ids for one emission of `component` on interned
+    /// stream `stream`.
+    fn select(
+        &self,
+        component: usize,
+        stream: u32,
+        tuple: &Tuple,
+        direct_task: Option<u32>,
+        dests: &mut Vec<usize>,
+    ) {
+        dests.clear();
+        let mut locals = Vec::new();
+        for route in &self.per_component[component] {
+            if route.stream != stream {
+                continue;
+            }
+            match (direct_task, route.is_direct) {
+                (Some(local), true) => {
+                    let local = local as usize;
+                    if local < route.parallelism {
+                        dests.push(route.subscriber_base + local);
+                    }
+                }
+                (None, false) => {
+                    locals.clear();
+                    route.grouping.lock().unwrap().select(tuple, &mut locals);
+                    dests.extend(locals.iter().map(|l| route.subscriber_base + l));
+                }
+                // Direct emissions only travel direct routes and vice versa.
+                _ => {}
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    spout_emitted: AtomicU64,
+    tracked: AtomicU64,
+    acked: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+    permanently_failed: AtomicU64,
+    replays_scheduled: AtomicU64,
+    replays_emitted: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    restores: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    worker_restarts: AtomicU64,
+    worker_disconnects: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+/// Completion-latency reservoir (ms): exact mean plus a fixed-size sample
+/// for p99 so long benches don't accumulate unbounded latency vectors.
+#[derive(Default)]
+struct LatencyStats {
+    count: u64,
+    sum_ms: f64,
+    sample: Vec<f64>,
+}
+
+const LATENCY_SAMPLE_CAP: usize = 8_192;
+
+impl LatencyStats {
+    fn record(&mut self, ms: f64) {
+        self.count += 1;
+        self.sum_ms += ms;
+        if self.sample.len() < LATENCY_SAMPLE_CAP {
+            self.sample.push(ms);
+        } else {
+            let idx = (splitmix64(self.count) % LATENCY_SAMPLE_CAP as u64) as usize;
+            self.sample[idx] = ms;
+        }
+    }
+
+    fn avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    fn p99(&self) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.sample.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[((s.len() - 1) as f64 * 0.99) as usize]
+    }
+}
+
+struct Shared {
+    topology: Topology,
+    /// The registry key the topology was submitted under (what workers
+    /// rebuild from; not necessarily the topology's display name).
+    topology_key: String,
+    cfg_args_str: String,
+    intern: InternTable,
+    router: DistRouter,
+    engine: EngineConfig,
+    rt: RtConfig,
+    cfg: DistConfig,
+    endpoint: Endpoint,
+    ackers: ShardedAcker,
+    ledger: CreditLedger,
+    store: CheckpointStore,
+    journal: Journal,
+    counters: Counters,
+    latency: Mutex<LatencyStats>,
+    start: Instant,
+    /// Set at shutdown: spouts stop emitting fresh tuples.
+    stop: AtomicBool,
+    /// Set after the drain: every background thread exits.
+    terminate: AtomicBool,
+    next_token: AtomicU64,
+    flush_seq: AtomicU64,
+    /// Owning worker slot per global task (`None` for spout tasks).
+    task_owner: Vec<Option<usize>>,
+    /// Component id per global task.
+    task_component: Vec<usize>,
+    /// Whether each component's bolt reports state (probed at submit).
+    component_stateful: Vec<bool>,
+    slots: Vec<WorkerSlot>,
+    overflow: Vec<Mutex<VecDeque<Overflow>>>,
+    /// Live replay-buffer length per spout task (drain check).
+    spout_inflight: Vec<AtomicUsize>,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn now_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Sends one delivery to its owner if the slot is up.  Returns `false`
+    /// when the slot has no live connection (caller fails the tree).
+    /// Assumes the destination credit was already acquired.
+    fn send_now(
+        &self,
+        dest: usize,
+        stream: u32,
+        values: Vec<Value>,
+        anchor: Option<(RootId, u64)>,
+        dedup: Option<u64>,
+    ) -> bool {
+        let Some(slot_idx) = self.task_owner[dest] else {
+            return false;
+        };
+        let mut state = self.slots[slot_idx].state.lock().unwrap();
+        if !state.connected || state.writer.is_none() {
+            return false;
+        }
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let item = WireTuple {
+            token,
+            dest_task: dest as u32,
+            stream,
+            dedup,
+            values,
+        };
+        state.pending.insert(
+            token,
+            Delivery {
+                anchor,
+                task: dest as u32,
+            },
+        );
+        let failed = state
+            .writer
+            .as_mut()
+            .expect("checked above")
+            .push_tuple(item)
+            .is_err();
+        if failed {
+            // Socket died mid-write.  Leave the pending entry: the reader
+            // thread observes the same failure and fails every pending
+            // delivery (including this one) into replay.
+            state.connected = false;
+        }
+        true
+    }
+
+    /// Delivers or parks one emission instance for `dest`.
+    fn enqueue(
+        &self,
+        dest: usize,
+        stream: u32,
+        values: Vec<Value>,
+        anchor: Option<(RootId, u64)>,
+        dedup: Option<u64>,
+    ) {
+        if self.ledger.try_acquire(dest) {
+            if !self.send_now(dest, stream, values, anchor, dedup) {
+                self.ledger.grant(dest, 1);
+                if let Some((root, _)) = anchor {
+                    self.ackers.on_fail(root, self.now_s());
+                }
+            }
+        } else {
+            self.overflow[dest].lock().unwrap().push_back(Overflow {
+                stream,
+                values,
+                anchor,
+                dedup,
+            });
+        }
+    }
+
+    /// Moves credit-starved emissions onto the wire as credits permit.
+    fn drain_overflow(&self, task: usize) {
+        loop {
+            let item = {
+                let mut q = self.overflow[task].lock().unwrap();
+                if q.is_empty() || !self.ledger.try_acquire(task) {
+                    break;
+                }
+                q.pop_front().expect("checked non-empty")
+            };
+            if !self.send_now(task, item.stream, item.values, item.anchor, item.dedup) {
+                self.ledger.grant(task, 1);
+                if let Some((root, _)) = item.anchor {
+                    self.ackers.on_fail(root, self.now_s());
+                }
+            }
+        }
+    }
+
+    /// Routes one emission whose tuple is already schema-attached.
+    /// Registers every new edge on the tree *before* any delivery leaves,
+    /// then enqueues.  With `track_as` set, the first edge opens a fresh
+    /// tree for that spout message.
+    #[allow(clippy::too_many_arguments)]
+    fn route_tuple(
+        &self,
+        component: usize,
+        stream: u32,
+        tuple: &Tuple,
+        direct_task: Option<u32>,
+        anchor_root: Option<RootId>,
+        track_as: Option<(TaskId, MessageId)>,
+        dedup: Option<u64>,
+    ) -> (usize, Option<RootId>) {
+        let mut dests = Vec::new();
+        self.router
+            .select(component, stream, tuple, direct_task, &mut dests);
+        if dests.is_empty() {
+            return (0, None);
+        }
+        let now = self.now_s();
+        // Register every new edge on the tree before any delivery leaves,
+        // so a fast worker's acks cannot XOR the tree to zero early.
+        let mut new_root = None;
+        let anchors: Vec<Option<(RootId, u64)>> = match (anchor_root, track_as) {
+            (Some(root), _) => dests
+                .iter()
+                .map(|_| {
+                    let edge = self.ackers.new_edge_id();
+                    self.ackers.on_emit(root, edge);
+                    Some((root, edge))
+                })
+                .collect(),
+            (None, Some((spout_task, message_id))) => {
+                let root = self.ackers.new_edge_id();
+                new_root = Some(root);
+                dests
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let edge = self.ackers.new_edge_id();
+                        if i == 0 {
+                            self.ackers.track(root, edge, spout_task, message_id, now);
+                        } else {
+                            self.ackers.on_emit(root, edge);
+                        }
+                        Some((root, edge))
+                    })
+                    .collect()
+            }
+            (None, None) => dests.iter().map(|_| None).collect(),
+        };
+        let n = dests.len();
+        for (dest, anchor) in dests.into_iter().zip(anchors) {
+            self.enqueue(dest, stream, tuple.values().to_vec(), anchor, dedup);
+        }
+        (n, new_root)
+    }
+
+    /// Routes a worker-produced emission (bolt output or tick output).
+    fn route_wire_emission(
+        &self,
+        producer_component: usize,
+        emission: WireEmission,
+        anchor_root: Option<RootId>,
+    ) {
+        let Ok(tuple) = self.intern.tuple(emission.stream, emission.values) else {
+            return;
+        };
+        let _ = self.route_tuple(
+            producer_component,
+            emission.stream,
+            &tuple,
+            emission.direct_task,
+            anchor_root,
+            None,
+            None,
+        );
+    }
+
+    /// Fails every in-flight delivery of a dead connection into replay and
+    /// returns the connection's credits.  Idempotent per connection.
+    fn cleanup_slot(&self, slot_idx: usize, reason: &str) {
+        let (pending, deferred, was_connected) = {
+            let mut state = self.slots[slot_idx].state.lock().unwrap();
+            if !state.connected && state.writer.is_none() {
+                return;
+            }
+            state.connected = false;
+            if let Some(writer) = state.writer.take() {
+                let c = &self.counters;
+                c.bytes_out.fetch_add(writer.bytes_out, Ordering::Relaxed);
+                c.frames_out.fetch_add(writer.frames_out, Ordering::Relaxed);
+            }
+            state.restore_age.clear();
+            if let Some(child) = state.child.as_mut() {
+                // A dead socket with a live process is a zombie worker:
+                // take it down so the supervisor can respawn cleanly.
+                let _ = child.kill();
+            }
+            (
+                std::mem::take(&mut state.pending),
+                std::mem::take(&mut state.deferred),
+                true,
+            )
+        };
+        let _ = was_connected;
+        let now = self.now_s();
+        self.counters
+            .worker_disconnects
+            .fetch_add(1, Ordering::Relaxed);
+        self.journal.append(JournalEvent::WorkerDisconnected {
+            time_s: now,
+            worker: slot_idx,
+            reason: reason.to_owned(),
+        });
+        for (_, d) in pending {
+            // The delivery never completed: return its credit and fail its
+            // tree into replay.
+            self.ledger.grant(d.task as usize, 1);
+            if let Some((root, _)) = d.anchor {
+                self.ackers.on_fail(root, now);
+            }
+        }
+        for (_, d) in deferred {
+            // Processed but not yet covered by a checkpoint: its effect
+            // died with the worker, so the tree must replay.  (The worker
+            // already re-granted this delivery's credit.)
+            if let Some((root, _)) = d.anchor {
+                self.ackers.on_fail(root, now);
+            }
+        }
+    }
+
+    fn spawn_worker(&self, slot_idx: usize) -> Result<()> {
+        let mut state = self.slots[slot_idx].state.lock().unwrap();
+        let mut cmd = Command::new(&self.cfg.worker_cmd[0]);
+        cmd.args(&self.cfg.worker_cmd[1..])
+            .env("DSDPS_DIST_ADDR", self.endpoint.to_env())
+            .env("DSDPS_DIST_WORKER", slot_idx.to_string())
+            .stdout(Stdio::null());
+        let child = cmd
+            .spawn()
+            .map_err(|e| Error::Runtime(format!("spawn worker: {e}")))?;
+        self.journal.append(JournalEvent::WorkerSpawned {
+            time_s: self.now_s(),
+            worker: slot_idx,
+            pid: child.id(),
+            generation: state.generation,
+        });
+        state.pid = child.id();
+        state.child = Some(child);
+        Ok(())
+    }
+
+    /// All spout replay buffers, worker pendings/deferreds and overflow
+    /// queues are empty and no tree is in flight.
+    fn quiesced(&self) -> bool {
+        if self.ackers.pending_count() != 0 {
+            return false;
+        }
+        if self
+            .spout_inflight
+            .iter()
+            .any(|c| c.load(Ordering::Acquire) != 0)
+        {
+            return false;
+        }
+        if self.overflow.iter().any(|q| !q.lock().unwrap().is_empty()) {
+            return false;
+        }
+        for slot in &self.slots {
+            let state = slot.state.lock().unwrap();
+            if !state.pending.is_empty() || !state.deferred.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+// --- reader thread ------------------------------------------------------
+
+fn reader_loop(shared: Arc<Shared>, slot_idx: usize, generation: u64, mut reader: FrameReader) {
+    let reason = loop {
+        let frame = match reader.read_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                if shared.terminate.load(Ordering::Acquire) {
+                    break "shutdown".to_owned();
+                }
+                continue;
+            }
+            Err(e) => break e.to_string(),
+        };
+        match frame {
+            Frame::ResultBatch { items } => {
+                for item in items {
+                    let delivery = {
+                        let mut state = shared.slots[slot_idx].state.lock().unwrap();
+                        state.pending.remove(&item.token)
+                    };
+                    // Stale token (delivered before a reconnect): already
+                    // failed into replay by cleanup.
+                    let Some(delivery) = delivery else { continue };
+                    let component = shared.task_component[delivery.task as usize];
+                    let root = delivery.anchor.map(|(r, _)| r);
+                    for emission in item.emissions {
+                        let anchor = if emission.anchored { root } else { None };
+                        shared.route_wire_emission(component, emission, anchor);
+                    }
+                    let now = shared.now_s();
+                    if let Some((root, edge)) = delivery.anchor {
+                        if item.failed {
+                            shared.ackers.on_fail(root, now);
+                        } else if item.deferred {
+                            let mut state = shared.slots[slot_idx].state.lock().unwrap();
+                            state.deferred.insert(item.token, delivery);
+                        } else {
+                            shared.ackers.on_ack(root, edge, now);
+                        }
+                    }
+                }
+            }
+            Frame::CreditGrant { task, amount } => {
+                shared.ledger.grant(task as usize, amount);
+                shared.drain_overflow(task as usize);
+            }
+            Frame::AckFlush { tokens } => {
+                let now = shared.now_s();
+                for token in tokens {
+                    let delivery = {
+                        let mut state = shared.slots[slot_idx].state.lock().unwrap();
+                        state.deferred.remove(&token)
+                    };
+                    if let Some(Delivery {
+                        anchor: Some((root, edge)),
+                        ..
+                    }) = delivery
+                    {
+                        shared.ackers.on_ack(root, edge, now);
+                    }
+                }
+            }
+            Frame::CheckpointDeposit {
+                task,
+                payload,
+                dedup,
+            } => {
+                if let Ok(snap) = snapshot_from_payload(&payload) {
+                    let kind = match snap.kind {
+                        crate::rt::SnapshotKind::Full => "full",
+                        crate::rt::SnapshotKind::Delta => "delta",
+                    };
+                    let now = shared.now_s();
+                    if let Some(bytes) =
+                        shared
+                            .store
+                            .deposit_full(task as usize, generation, now, snap, dedup)
+                    {
+                        shared
+                            .counters
+                            .checkpoints_taken
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .snapshot_bytes
+                            .fetch_add(bytes, Ordering::Relaxed);
+                        shared.journal.append(JournalEvent::CheckpointTaken {
+                            time_s: now,
+                            task: task as usize,
+                            generation,
+                            kind: kind.to_owned(),
+                            bytes,
+                            duration_us: 0,
+                        });
+                    }
+                }
+            }
+            Frame::StateRestored {
+                task,
+                ok,
+                latency_us,
+            } => {
+                let age = {
+                    let mut state = shared.slots[slot_idx].state.lock().unwrap();
+                    state.restore_age.remove(&task).flatten()
+                };
+                let now = shared.now_s();
+                if ok {
+                    shared.counters.restores.fetch_add(1, Ordering::Relaxed);
+                    shared.journal.append(JournalEvent::StateRestored {
+                        time_s: now,
+                        task: task as usize,
+                        generation,
+                        snapshot_age_s: age,
+                        latency_us,
+                    });
+                } else {
+                    shared.journal.append(JournalEvent::StateLost {
+                        time_s: now,
+                        task: task as usize,
+                        generation,
+                        snapshot_age_s: age,
+                    });
+                }
+            }
+            Frame::TickEmissions { task, emissions } => {
+                let component = shared.task_component[task as usize];
+                for emission in emissions {
+                    // Tick output has no input tuple: never anchored.
+                    shared.route_wire_emission(component, emission, None);
+                }
+            }
+            Frame::Flushed { .. } => {}
+            // Worker→coordinator direction only carries the frames above.
+            _ => {}
+        }
+    };
+    let c = &shared.counters;
+    c.bytes_in.fetch_add(reader.bytes_in, Ordering::Relaxed);
+    c.frames_in.fetch_add(reader.frames_in, Ordering::Relaxed);
+    shared.cleanup_slot(slot_idx, &reason);
+}
+
+// --- listener / handshake thread ----------------------------------------
+
+fn listener_loop(shared: Arc<Shared>, listener: Listener) {
+    let _ = listener.set_nonblocking(true);
+    while !shared.terminate.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                if let Err(e) = handshake(&shared, conn) {
+                    shared.journal.append(JournalEvent::WorkerDisconnected {
+                        time_s: shared.now_s(),
+                        worker: usize::MAX,
+                        reason: format!("handshake failed: {e}"),
+                    });
+                }
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handshake(shared: &Arc<Shared>, conn: Conn) -> Result<()> {
+    conn.set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| Error::Runtime(format!("set timeout: {e}")))?;
+    let writer_conn = conn
+        .try_clone()
+        .map_err(|e| Error::Runtime(format!("clone socket: {e}")))?;
+    let mut reader = FrameReader::new(conn);
+    let hello = reader
+        .read_frame()?
+        .ok_or_else(|| Error::Runtime("timed out waiting for hello".into()))?;
+    let Frame::Hello { worker, pid } = hello else {
+        return Err(Error::Runtime(format!(
+            "expected hello, got {}",
+            hello.kind()
+        )));
+    };
+    let slot_idx = worker as usize;
+    if slot_idx >= shared.slots.len() {
+        return Err(Error::Runtime(format!("unknown worker slot {worker}")));
+    }
+    let mut writer = BatchWriter::new(writer_conn, shared.rt.batch_size, shared.rt.linger);
+    let slot = &shared.slots[slot_idx];
+    writer.send(&Frame::Assign {
+        worker,
+        topology: shared.topology_key.clone(),
+        args: shared.cfg_args().to_owned(),
+        tasks: slot.tasks.clone(),
+        recovery: recovery_to_byte(shared.rt.recovery_mode),
+        ckpt_interval_us: shared.rt.checkpoint_interval.as_micros() as u64,
+        tick_interval_us: (shared.engine.tick_interval_s.max(0.0) * 1e6) as u64,
+        task_count: shared.topology.task_count() as u32,
+        stream_count: shared.intern.len() as u32,
+    })?;
+
+    let mut state = slot.state.lock().unwrap();
+    state.generation += 1;
+    let generation = state.generation;
+    let now = shared.now_s();
+    // Restore stateful tasks from the store *before* the writer is
+    // published: frames are processed in order, so every restore lands
+    // before the first tuple delivery of this connection.
+    for &task in &slot.tasks {
+        if !shared.component_stateful[shared.task_component[task as usize]] {
+            continue;
+        }
+        let Some(restored) = shared.store.load(task as usize, generation) else {
+            continue;
+        };
+        match restored.base {
+            Some(base) => {
+                let age = restored.taken_at_s.map(|t| now - t);
+                state.restore_age.insert(task, age);
+                writer.send(&Frame::RestoreState {
+                    task,
+                    payload: Some(snapshot_to_payload(&base)),
+                    dedup: restored.dedup,
+                })?;
+            }
+            None => {
+                if generation > 1 {
+                    shared.journal.append(JournalEvent::StateLost {
+                        time_s: now,
+                        task: task as usize,
+                        generation,
+                        snapshot_age_s: None,
+                    });
+                }
+            }
+        }
+    }
+    state.pid = pid;
+    state.connected = true;
+    state.writer = Some(writer);
+    drop(state);
+
+    shared.journal.append(JournalEvent::WorkerConnected {
+        time_s: now,
+        worker: slot_idx,
+        pid,
+    });
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("dist-reader-{slot_idx}"))
+        .spawn(move || reader_loop(shared2, slot_idx, generation, reader))
+        .map_err(|e| Error::Runtime(format!("spawn reader: {e}")))?;
+    shared.reader_threads.lock().unwrap().push(handle);
+    // New connection, fresh capacity: anything parked for this slot's
+    // tasks can move now.
+    for &task in &slot.tasks {
+        shared.drain_overflow(task as usize);
+    }
+    Ok(())
+}
+
+impl Shared {
+    fn cfg_args(&self) -> &str {
+        &self.cfg_args_str
+    }
+}
+
+// --- supervisor thread --------------------------------------------------
+
+fn supervisor_loop(shared: Arc<Shared>) {
+    let mut last_expire = Instant::now();
+    while !shared.terminate.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5));
+        let now = shared.now_s();
+        if last_expire.elapsed() >= Duration::from_millis(50) {
+            last_expire = Instant::now();
+            shared
+                .ackers
+                .expire(now, shared.engine.message_timeout_s.max(0.001));
+        }
+        for (idx, slot) in shared.slots.iter().enumerate() {
+            let mut state = slot.state.lock().unwrap();
+            // Reap exited children.
+            let exited = match state.child.as_mut() {
+                Some(child) => matches!(child.try_wait(), Ok(Some(_))),
+                None => false,
+            };
+            if exited {
+                state.child = None;
+            }
+            // Respawn a dead, disconnected slot within budget.
+            if state.child.is_none()
+                && !state.connected
+                && state.generation > 0
+                && state.respawns < shared.cfg.max_worker_restarts
+                && !shared.terminate.load(Ordering::Acquire)
+            {
+                state.respawns += 1;
+                shared
+                    .counters
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                let _ = shared.spawn_worker(idx);
+                continue;
+            }
+            // Linger: flush partial tuple batches past their deadline.
+            if let Some(writer) = state.writer.as_mut() {
+                if writer.poll_linger().is_err() {
+                    state.connected = false;
+                }
+            }
+        }
+        for task in 0..shared.task_owner.len() {
+            if shared.task_owner[task].is_some() {
+                shared.drain_overflow(task);
+            }
+        }
+    }
+}
+
+// --- completer thread ---------------------------------------------------
+
+fn completer_loop(shared: Arc<Shared>, feedback: HashMap<usize, Sender<TreeOutcome>>) {
+    loop {
+        let outcomes = shared.ackers.drain_outcomes();
+        if outcomes.is_empty() {
+            if shared.terminate.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        for outcome in outcomes {
+            if let Some(tx) = feedback.get(&outcome.spout_task.0) {
+                let _ = tx.send(outcome);
+            }
+        }
+    }
+}
+
+// --- spout thread -------------------------------------------------------
+
+struct SpoutThreadResult {
+    in_flight: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spout_loop(
+    shared: Arc<Shared>,
+    component_id: usize,
+    task: usize,
+    task_index: usize,
+    spout_index: usize,
+    feedback: Receiver<TreeOutcome>,
+) -> SpoutThreadResult {
+    let component = shared
+        .topology
+        .component(crate::topology::ComponentId(component_id));
+    let ComponentKind::Spout(factory) = &component.kind else {
+        unreachable!("spout thread for a bolt component");
+    };
+    let mut spout = factory();
+    spout.open(&TopologyContext {
+        component: component.name.clone(),
+        task_index,
+        parallelism: component.parallelism,
+    });
+    let mut replay = ReplayBuffer::default();
+    let mut out = SpoutOutput::new();
+    let mut idle_spins = 0u32;
+    let mut exhausted = false;
+    loop {
+        let now = shared.now_s();
+        // 1. Feedback: completed trees → acks/fails/replay schedule.
+        while let Ok(outcome) = feedback.try_recv() {
+            let id = outcome.message_id;
+            match outcome.completion {
+                Completion::Acked => {
+                    if replay.on_ack(id) {
+                        shared.counters.acked.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .latency
+                            .lock()
+                            .unwrap()
+                            .record(outcome.complete_latency() * 1e3);
+                        spout.ack(id);
+                    }
+                }
+                Completion::Failed | Completion::TimedOut => {
+                    let counter = if outcome.completion == Completion::Failed {
+                        &shared.counters.failed
+                    } else {
+                        &shared.counters.timed_out
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    match replay.on_fail(
+                        id,
+                        shared.rt.max_replays,
+                        shared.rt.replay_backoff,
+                        Instant::now(),
+                    ) {
+                        FailDecision::Scheduled { attempt, delay } => {
+                            shared
+                                .counters
+                                .replays_scheduled
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared.journal.append(JournalEvent::ReplayScheduled {
+                                time_s: now,
+                                message_id: id,
+                                attempt,
+                                delay_ms: delay.as_secs_f64() * 1e3,
+                            });
+                        }
+                        FailDecision::Exhausted { attempts } => {
+                            shared
+                                .counters
+                                .permanently_failed
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared.journal.append(JournalEvent::ReplayExhausted {
+                                time_s: now,
+                                message_id: id,
+                                attempts,
+                            });
+                            spout.fail(id);
+                        }
+                        FailDecision::Untracked | FailDecision::Doomed => {}
+                    }
+                }
+            }
+        }
+        // 2. Due replays: re-emit under a fresh tree.
+        for (id, emission, attempt) in replay.take_due(Instant::now()) {
+            let (delivered, root) =
+                route_spout_emission(&shared, component_id, task, &emission, Some(id));
+            let root = root.unwrap_or(0);
+            shared
+                .counters
+                .replays_emitted
+                .fetch_add(1, Ordering::Relaxed);
+            shared.journal.append(JournalEvent::ReplayEmitted {
+                time_s: now,
+                message_id: id,
+                attempt,
+                root,
+                trace_id: splitmix64(root),
+            });
+            if delivered == 0 {
+                // Routed to nothing (subscriber set changed?): complete it.
+                if replay.on_ack(id) {
+                    shared.counters.acked.fetch_add(1, Ordering::Relaxed);
+                    spout.ack(id);
+                }
+            }
+        }
+        // 3. Fresh emission, gated on max_spout_pending.
+        let stopped = shared.stop.load(Ordering::Acquire) || exhausted;
+        let mut emitted_any = false;
+        if !stopped && replay.len() < shared.engine.max_spout_pending {
+            out.set_now(now);
+            if !spout.next_tuple(&mut out) {
+                exhausted = true;
+            }
+            for emission in out.drain() {
+                emitted_any = true;
+                shared
+                    .counters
+                    .spout_emitted
+                    .fetch_add(1, Ordering::Relaxed);
+                match emission.message_id {
+                    Some(id) => {
+                        let emission = Arc::new(emission);
+                        if replay.on_track(id, Arc::clone(&emission), now) {
+                            shared.counters.tracked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let (delivered, _) =
+                            route_spout_emission(&shared, component_id, task, &emission, Some(id));
+                        if delivered == 0 {
+                            // No subscriber: immediately complete.
+                            if replay.on_ack(id) {
+                                shared.counters.acked.fetch_add(1, Ordering::Relaxed);
+                                spout.ack(id);
+                            }
+                        }
+                    }
+                    None => {
+                        let _ = route_spout_emission(&shared, component_id, task, &emission, None);
+                    }
+                }
+            }
+        }
+        shared.spout_inflight[spout_index].store(replay.len(), Ordering::Release);
+        if shared.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        if emitted_any {
+            idle_spins = 0;
+        } else {
+            idle_spins = (idle_spins + 1).min(20);
+            std::thread::sleep(Duration::from_micros(50 * u64::from(idle_spins)));
+        }
+    }
+    spout.close();
+    SpoutThreadResult {
+        in_flight: replay.len(),
+    }
+}
+
+/// Routes one spout emission.  `tracked_as` carries the spout message id
+/// for tree tracking + replay dedup; `None` emits untracked.
+fn route_spout_emission(
+    shared: &Shared,
+    component_id: usize,
+    task: usize,
+    emission: &Emission,
+    tracked_as: Option<MessageId>,
+) -> (usize, Option<RootId>) {
+    let Some(stream) = shared.intern.lookup(component_id, emission.stream.as_str()) else {
+        return (0, None);
+    };
+    let (_, fields) = shared.intern.entry(stream).expect("interned");
+    let tuple = if emission.tuple.fields().ptr_eq(fields) {
+        emission.tuple.clone()
+    } else {
+        emission.tuple.rekeyed(fields.clone())
+    };
+    shared.route_tuple(
+        component_id,
+        stream,
+        &tuple,
+        emission.direct_task.map(|t| t as u32),
+        None,
+        tracked_as.map(|id| (TaskId(task), id)),
+        tracked_as,
+    )
+}
+
+// --- submit / running handle --------------------------------------------
+
+/// Submits `topology_name` (resolved through `registry`, exactly as each
+/// worker will resolve it) to a fleet of worker processes.
+///
+/// Blocks until every worker has connected and been assigned, or
+/// [`DistConfig::connect_timeout`] expires.
+pub fn submit(
+    registry: &TopologyRegistry,
+    topology_name: &str,
+    args: &str,
+    engine: EngineConfig,
+    rt: RtConfig,
+    cfg: DistConfig,
+) -> Result<RunningDist> {
+    if cfg.worker_cmd.is_empty() {
+        return Err(Error::Config("worker_cmd must not be empty".into()));
+    }
+    crate::rt::checkpoint::set_json_snapshot_fallback(rt.json_snapshots);
+    let topology = registry.build(topology_name, args)?;
+    let intern = InternTable::new(&topology);
+    let router = DistRouter::new(&topology, &intern);
+    let n_tasks = topology.task_count();
+
+    // Placement: spouts on the coordinator, bolt tasks round-robin over
+    // worker slots.  Probe one instance per bolt component for state.
+    let mut task_owner = vec![None; n_tasks];
+    let mut task_component = vec![0usize; n_tasks];
+    let mut component_stateful = Vec::new();
+    let mut slot_tasks: Vec<Vec<u32>> = vec![Vec::new(); cfg.workers];
+    let mut next_slot = 0usize;
+    let mut spout_tasks: Vec<(usize, usize, usize)> = Vec::new(); // (component, task, task_index)
+    for component in topology.components() {
+        let stateful = match &component.kind {
+            ComponentKind::Bolt(factory) => factory().stateful().is_some(),
+            ComponentKind::Spout(_) => false,
+        };
+        component_stateful.push(stateful);
+        for (task_index, task) in component.tasks().enumerate() {
+            task_component[task.0] = component.id.0;
+            match &component.kind {
+                ComponentKind::Spout(_) => {
+                    spout_tasks.push((component.id.0, task.0, task_index));
+                }
+                ComponentKind::Bolt(_) => {
+                    task_owner[task.0] = Some(next_slot);
+                    slot_tasks[next_slot].push(task.0 as u32);
+                    next_slot = (next_slot + 1) % cfg.workers;
+                }
+            }
+        }
+    }
+    if spout_tasks.is_empty() {
+        return Err(Error::Config("topology has no spout".into()));
+    }
+
+    let ledger = CreditLedger::new(n_tasks);
+    let window = if rt.credit_flow {
+        (rt.credit_window.max(1) * rt.batch_size.max(1)) as u64
+    } else {
+        DEFAULT_WINDOW_TUPLES
+    };
+    for (task, owner) in task_owner.iter().enumerate() {
+        if owner.is_some() {
+            ledger.set_window(task, window);
+        }
+    }
+
+    let (listener, endpoint) = match cfg.transport {
+        TransportKind::Tcp => Listener::tcp_loopback()?,
+        #[cfg(unix)]
+        TransportKind::Auto | TransportKind::Unix => Listener::unix_temp()?,
+        #[cfg(not(unix))]
+        TransportKind::Auto => Listener::tcp_loopback()?,
+    };
+
+    let store = CheckpointStore::new(
+        n_tasks,
+        rt.checkpoint_spill_threshold,
+        rt.checkpoint_spill_dir.clone(),
+    );
+    let journal = Journal::default();
+    if rt.checkpoints {
+        journal.append(JournalEvent::RecoveryMode {
+            time_s: 0.0,
+            mode: rt.recovery_mode.as_str().to_owned(),
+        });
+    }
+
+    let shared = Arc::new(Shared {
+        topology_key: topology_name.to_owned(),
+        cfg_args_str: args.to_owned(),
+        intern,
+        router,
+        ackers: ShardedAcker::new(rt.acker_shards.max(1)),
+        ledger,
+        store,
+        journal,
+        counters: Counters::default(),
+        latency: Mutex::new(LatencyStats::default()),
+        start: Instant::now(),
+        stop: AtomicBool::new(false),
+        terminate: AtomicBool::new(false),
+        next_token: AtomicU64::new(1),
+        flush_seq: AtomicU64::new(1),
+        task_owner,
+        task_component,
+        component_stateful,
+        slots: slot_tasks
+            .into_iter()
+            .map(|tasks| WorkerSlot {
+                state: Mutex::new(SlotState::default()),
+                tasks,
+            })
+            .collect(),
+        overflow: (0..n_tasks).map(|_| Mutex::new(VecDeque::new())).collect(),
+        spout_inflight: spout_tasks.iter().map(|_| AtomicUsize::new(0)).collect(),
+        reader_threads: Mutex::new(Vec::new()),
+        topology,
+        engine,
+        rt,
+        cfg,
+        endpoint,
+    });
+
+    let listener_handle = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("dist-listener".into())
+            .spawn(move || listener_loop(shared, listener))
+            .map_err(|e| Error::Runtime(format!("spawn listener: {e}")))?
+    };
+    let supervisor_handle = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("dist-supervisor".into())
+            .spawn(move || supervisor_loop(shared))
+            .map_err(|e| Error::Runtime(format!("spawn supervisor: {e}")))?
+    };
+
+    // Launch the fleet.
+    for slot_idx in 0..shared.slots.len() {
+        shared.spawn_worker(slot_idx)?;
+    }
+    // Wait for every worker to finish its handshake.
+    let deadline = Instant::now() + shared.cfg.connect_timeout;
+    loop {
+        let connected = shared
+            .slots
+            .iter()
+            .filter(|s| s.state.lock().unwrap().connected)
+            .count();
+        if connected == shared.slots.len() {
+            break;
+        }
+        if Instant::now() >= deadline {
+            shared.terminate.store(true, Ordering::Release);
+            for slot in &shared.slots {
+                let mut state = slot.state.lock().unwrap();
+                if let Some(child) = state.child.as_mut() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+            let _ = listener_handle.join();
+            let _ = supervisor_handle.join();
+            return Err(Error::Runtime(format!(
+                "only {connected}/{} workers connected within {:?}",
+                shared.slots.len(),
+                shared.cfg.connect_timeout
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Spout threads + outcome fan-out.
+    let mut feedback = HashMap::new();
+    let mut spout_handles = Vec::new();
+    for (spout_index, (component, task, task_index)) in spout_tasks.iter().copied().enumerate() {
+        let (tx, rx) = mpsc::channel();
+        feedback.insert(task, tx);
+        let shared2 = Arc::clone(&shared);
+        spout_handles.push(
+            std::thread::Builder::new()
+                .name(format!("dist-spout-{task}"))
+                .spawn(move || spout_loop(shared2, component, task, task_index, spout_index, rx))
+                .map_err(|e| Error::Runtime(format!("spawn spout: {e}")))?,
+        );
+    }
+    let completer_handle = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("dist-completer".into())
+            .spawn(move || completer_loop(shared, feedback))
+            .map_err(|e| Error::Runtime(format!("spawn completer: {e}")))?
+    };
+
+    Ok(RunningDist {
+        shared,
+        listener_handle: Some(listener_handle),
+        supervisor_handle: Some(supervisor_handle),
+        completer_handle: Some(completer_handle),
+        spout_handles,
+    })
+}
+
+/// Handle on a running distributed topology.
+pub struct RunningDist {
+    shared: Arc<Shared>,
+    listener_handle: Option<JoinHandle<()>>,
+    supervisor_handle: Option<JoinHandle<()>>,
+    completer_handle: Option<JoinHandle<()>>,
+    spout_handles: Vec<JoinHandle<SpoutThreadResult>>,
+}
+
+impl RunningDist {
+    /// OS process ids of the current worker fleet (0 = not connected).
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.shared
+            .slots
+            .iter()
+            .map(|s| s.state.lock().unwrap().pid)
+            .collect()
+    }
+
+    /// Kills worker `idx`'s OS process (SIGKILL), as a fault-injection
+    /// hook.  The supervisor respawns it within the restart budget.
+    pub fn kill_worker(&self, idx: usize) -> Result<()> {
+        let slot = self
+            .shared
+            .slots
+            .get(idx)
+            .ok_or_else(|| Error::Config(format!("no worker slot {idx}")))?;
+        let mut state = slot.state.lock().unwrap();
+        match state.child.as_mut() {
+            Some(child) => {
+                child
+                    .kill()
+                    .map_err(|e| Error::Runtime(format!("kill worker {idx}: {e}")))?;
+                Ok(())
+            }
+            None => Err(Error::Runtime(format!("worker {idx} has no process"))),
+        }
+    }
+
+    /// Seconds since submit.
+    pub fn uptime_s(&self) -> f64 {
+        self.shared.now_s()
+    }
+
+    /// Messages fully acked so far.
+    pub fn acked(&self) -> u64 {
+        self.shared.counters.acked.load(Ordering::Relaxed)
+    }
+
+    /// Distinct messages tracked so far.
+    pub fn tracked(&self) -> u64 {
+        self.shared.counters.tracked.load(Ordering::Relaxed)
+    }
+
+    /// Spout emissions so far (fresh, not counting replays).
+    pub fn spout_emitted(&self) -> u64 {
+        self.shared.counters.spout_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Tuple trees currently pending in the acker.
+    pub fn pending_trees(&self) -> usize {
+        self.shared.ackers.pending_count()
+    }
+
+    /// Stops the spouts, drains in-flight trees (forcing checkpoints and
+    /// deferred-ack flushes), tears the fleet down and reports.
+    pub fn shutdown(mut self) -> DistReport {
+        let shared = &self.shared;
+        shared.stop.store(true, Ordering::Release);
+        // Drain: nudge workers to checkpoint + flush deferred acks until
+        // every tree settles or the budget expires.
+        let deadline = Instant::now() + shared.cfg.drain_timeout;
+        let mut drained_clean = false;
+        loop {
+            if shared.quiesced() {
+                drained_clean = true;
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            let seq = shared.flush_seq.fetch_add(1, Ordering::Relaxed);
+            for slot in &shared.slots {
+                let mut state = slot.state.lock().unwrap();
+                if let Some(writer) = state.writer.as_mut() {
+                    if writer.send(&Frame::Flush { seq }).is_err() {
+                        state.connected = false;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        shared.terminate.store(true, Ordering::Release);
+        // Spouts exit first (they drain their feedback channels on the
+        // way out), then the fan-out machinery.
+        let mut in_flight = 0u64;
+        for handle in self.spout_handles.drain(..) {
+            if let Ok(result) = handle.join() {
+                in_flight += result.in_flight as u64;
+            }
+        }
+        if let Some(h) = self.completer_handle.take() {
+            let _ = h.join();
+        }
+        // Stop the fleet.
+        for slot in &shared.slots {
+            let mut state = slot.state.lock().unwrap();
+            if let Some(writer) = state.writer.as_mut() {
+                let _ = writer.send(&Frame::Shutdown);
+            }
+        }
+        for slot in &shared.slots {
+            let mut state = slot.state.lock().unwrap();
+            if let Some(mut child) = state.child.take() {
+                // Give the worker a moment to exit cleanly, then force it.
+                let deadline = Instant::now() + Duration::from_secs(2);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(5))
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(writer) = state.writer.take() {
+                let c = &shared.counters;
+                c.bytes_out.fetch_add(writer.bytes_out, Ordering::Relaxed);
+                c.frames_out.fetch_add(writer.frames_out, Ordering::Relaxed);
+                writer.shutdown();
+            }
+            state.connected = false;
+        }
+        if let Some(h) = self.listener_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor_handle.take() {
+            let _ = h.join();
+        }
+        let readers = std::mem::take(&mut *shared.reader_threads.lock().unwrap());
+        for h in readers {
+            let _ = h.join();
+        }
+
+        let c = &shared.counters;
+        let latency = shared.latency.lock().unwrap();
+        let final_snapshots = (0..shared.topology.task_count())
+            .map(|task| {
+                shared
+                    .store
+                    .load(task, u64::MAX)
+                    .and_then(|restored| restored.base)
+            })
+            .collect();
+        DistReport {
+            uptime_s: shared.now_s(),
+            spout_emitted: c.spout_emitted.load(Ordering::Relaxed),
+            tracked: c.tracked.load(Ordering::Relaxed),
+            acked: c.acked.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            permanently_failed: c.permanently_failed.load(Ordering::Relaxed),
+            replays_scheduled: c.replays_scheduled.load(Ordering::Relaxed),
+            replays_emitted: c.replays_emitted.load(Ordering::Relaxed),
+            in_flight,
+            avg_complete_latency_ms: latency.avg(),
+            p99_complete_latency_ms: latency.p99(),
+            credits: shared.ledger.totals(),
+            checkpoints_taken: c.checkpoints_taken.load(Ordering::Relaxed),
+            restores: c.restores.load(Ordering::Relaxed),
+            snapshot_bytes: c.snapshot_bytes.load(Ordering::Relaxed),
+            worker_pids: shared
+                .slots
+                .iter()
+                .map(|s| s.state.lock().unwrap().pid)
+                .collect(),
+            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+            worker_disconnects: c.worker_disconnects.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_out.load(Ordering::Relaxed),
+            bytes_received: c.bytes_in.load(Ordering::Relaxed),
+            frames_sent: c.frames_out.load(Ordering::Relaxed),
+            frames_received: c.frames_in.load(Ordering::Relaxed),
+            journal: shared.journal.events(),
+            final_snapshots,
+            drained_clean,
+        }
+    }
+}
+
+/// Final accounting of a distributed run; the cross-process counterpart
+/// of the threaded runtime's `ThreadedReport`.
+#[derive(Debug)]
+pub struct DistReport {
+    /// Wall-clock seconds from submit to shutdown.
+    pub uptime_s: f64,
+    /// Tuple emissions out of spouts (fresh, not counting replays).
+    pub spout_emitted: u64,
+    /// Distinct tracked messages (fresh spout message ids).
+    pub tracked: u64,
+    /// Messages fully acked.
+    pub acked: u64,
+    /// Tree-failure events (per tree, not per message).
+    pub failed: u64,
+    /// Tree-timeout events (per tree, not per message).
+    pub timed_out: u64,
+    /// Messages that exhausted their replay budget.
+    pub permanently_failed: u64,
+    /// Replays scheduled (backoff timers armed).
+    pub replays_scheduled: u64,
+    /// Replays re-emitted under fresh trees.
+    pub replays_emitted: u64,
+    /// Messages still in replay buffers at shutdown.
+    pub in_flight: u64,
+    /// Mean tree-completion latency, milliseconds.
+    pub avg_complete_latency_ms: f64,
+    /// p99 tree-completion latency, milliseconds (reservoir-sampled).
+    pub p99_complete_latency_ms: f64,
+    /// Flow-control ledger totals.
+    pub credits: CreditTotals,
+    /// Checkpoints deposited by workers.
+    pub checkpoints_taken: u64,
+    /// Successful state restores after reconnects.
+    pub restores: u64,
+    /// Total checkpoint payload bytes deposited.
+    pub snapshot_bytes: u64,
+    /// Last known OS pid per worker slot.
+    pub worker_pids: Vec<u32>,
+    /// Worker processes respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Worker connections lost (kill, crash, or socket error).
+    pub worker_disconnects: u64,
+    /// Payload bytes written to workers.
+    pub bytes_sent: u64,
+    /// Payload bytes read from workers.
+    pub bytes_received: u64,
+    /// Frames written to workers.
+    pub frames_sent: u64,
+    /// Frames read from workers.
+    pub frames_received: u64,
+    /// Control-plane event journal.
+    pub journal: Vec<JournalEvent>,
+    /// Latest checkpointed snapshot per task at shutdown (`None` for
+    /// stateless/spout tasks).
+    pub final_snapshots: Vec<Option<StateSnapshot>>,
+    /// Whether the shutdown drain reached a fully quiesced state within
+    /// its budget.
+    pub drained_clean: bool,
+}
+
+impl DistReport {
+    /// The message-conservation identity:
+    /// `tracked == acked + permanently_failed + in_flight`.
+    pub fn conservation_holds(&self) -> bool {
+        self.tracked == self.acked + self.permanently_failed + self.in_flight
+    }
+
+    /// The credit-conservation identity over the ledger.
+    pub fn credit_conservation_holds(&self) -> bool {
+        self.credits.conservation_holds()
+    }
+
+    /// Journal events of one kind.
+    pub fn journal_of_kind(&self, kind: &str) -> Vec<&JournalEvent> {
+        self.journal.iter().filter(|e| e.kind() == kind).collect()
+    }
+}

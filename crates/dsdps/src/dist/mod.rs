@@ -1,0 +1,178 @@
+//! The distributed runtime: worker *processes* connected over TCP (Unix
+//! domain sockets where available).
+//!
+//! This is the third backend next to the simulator ([`crate::sim`]) and
+//! the threaded runtime ([`crate::rt`]).  The spout/bolt/grouping API and
+//! the [`RtConfig`](crate::rt::RtConfig) knobs are identical — the same
+//! topology runs unmodified on all three.  What changes is placement:
+//!
+//! * the **coordinator** (this process) runs the spouts, the sharded
+//!   acker, the replay buffers, the credit ledger, the checkpoint store,
+//!   all routing, and the process supervisor;
+//! * **workers** are separate OS processes that execute bolts and speak
+//!   the compact binary wire protocol of [`codec`] over [`transport`].
+//!
+//! Workers are spawned from a command line ([`DistConfig::worker_cmd`])
+//! that must start a binary hosting the same [`TopologyRegistry`] — the
+//! worker rebuilds the topology from its registered name, which is how
+//! both sides derive identical routing and stream-intern tables.  A
+//! killed worker is respawned, reconnected and restored from the latest
+//! checkpoint; see `DESIGN.md` §15 for the protocol walk-through.
+//!
+//! ```no_run
+//! # use dsdps::dist::{self, TopologyRegistry, DistConfig};
+//! # use dsdps::config::EngineConfig;
+//! # use dsdps::rt::RtConfig;
+//! let mut registry = TopologyRegistry::new();
+//! registry.register("wordcount", |_args| {
+//!     # let build: fn() -> dsdps::error::Result<dsdps::topology::Topology> =
+//!     #     || unreachable!();
+//!     build()
+//! });
+//! // In the worker binary's main(): if dist::maybe_worker_from_env(&registry) { return; }
+//! let running = dist::submit(
+//!     &registry,
+//!     "wordcount",
+//!     "",
+//!     EngineConfig::default(),
+//!     RtConfig::default().with_batch_size(64),
+//!     DistConfig::new(2, dist::self_worker_cmd()),
+//! ).unwrap();
+//! let report = running.shutdown();
+//! assert!(report.conservation_holds());
+//! ```
+
+pub mod codec;
+pub mod coordinator;
+pub mod transport;
+pub mod worker;
+
+pub use coordinator::{submit, DistReport, RunningDist};
+pub use worker::{maybe_worker_from_env, worker_main, TopologyRegistry};
+
+use std::time::Duration;
+
+use crate::rt::RecoveryMode;
+
+/// Which socket family connects coordinator and workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Unix domain sockets where the platform has them, TCP otherwise.
+    #[default]
+    Auto,
+    /// Loopback TCP.
+    Tcp,
+    /// Unix domain sockets (unix platforms only).
+    #[cfg(unix)]
+    Unix,
+}
+
+/// Deployment knobs of the distributed backend.  Everything about *what*
+/// runs (batching, credit windows, checkpoints, recovery guarantee) stays
+/// in [`RtConfig`](crate::rt::RtConfig); this only describes the worker
+/// fleet.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of worker processes.  Bolt tasks are assigned round-robin
+    /// across them; spouts stay on the coordinator.
+    pub workers: usize,
+    /// Command line (argv) that starts one worker process.  The
+    /// coordinator adds `DSDPS_DIST_ADDR` / `DSDPS_DIST_WORKER` to its
+    /// environment; the binary must call
+    /// [`maybe_worker_from_env`] with a registry containing the topology.
+    pub worker_cmd: Vec<String>,
+    /// Socket family.
+    pub transport: TransportKind,
+    /// How long spawn + connect + hello may take per worker.
+    pub connect_timeout: Duration,
+    /// Respawn budget per worker slot; beyond it the slot stays down and
+    /// its in-flight trees fail into replay/`permanently_failed`.
+    pub max_worker_restarts: u32,
+    /// How long shutdown waits for in-flight trees to drain to zero.
+    pub drain_timeout: Duration,
+}
+
+impl DistConfig {
+    /// A fleet of `workers` processes started by `worker_cmd`.
+    pub fn new(workers: usize, worker_cmd: Vec<String>) -> Self {
+        DistConfig {
+            workers: workers.max(1),
+            worker_cmd,
+            transport: TransportKind::Auto,
+            connect_timeout: Duration::from_secs(10),
+            max_worker_restarts: 3,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Selects the socket family.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the per-worker spawn/connect budget.
+    pub fn with_connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = t;
+        self
+    }
+
+    /// Sets the respawn budget per worker slot.
+    pub fn with_max_worker_restarts(mut self, n: u32) -> Self {
+        self.max_worker_restarts = n;
+        self
+    }
+
+    /// Sets the shutdown drain budget.
+    pub fn with_drain_timeout(mut self, t: Duration) -> Self {
+        self.drain_timeout = t;
+        self
+    }
+}
+
+/// The worker command that re-runs the current executable (the common
+/// case: one binary hosts both coordinator and workers and dispatches on
+/// [`maybe_worker_from_env`] at the top of `main`).
+pub fn self_worker_cmd() -> Vec<String> {
+    vec![std::env::current_exe()
+        .expect("current_exe")
+        .to_string_lossy()
+        .into_owned()]
+}
+
+/// Wire discriminant of a [`RecoveryMode`] (the `recovery` byte of the
+/// `Assign` frame).
+pub(crate) fn recovery_to_byte(mode: RecoveryMode) -> u8 {
+    match mode {
+        RecoveryMode::ExactlyOnceEffect => 0,
+        RecoveryMode::AtLeastOnce => 1,
+        RecoveryMode::Approximate => 2,
+    }
+}
+
+/// Inverse of [`recovery_to_byte`].
+pub(crate) fn recovery_from_byte(b: u8) -> Option<RecoveryMode> {
+    match b {
+        0 => Some(RecoveryMode::ExactlyOnceEffect),
+        1 => Some(RecoveryMode::AtLeastOnce),
+        2 => Some(RecoveryMode::Approximate),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_bytes_round_trip() {
+        for mode in [
+            RecoveryMode::ExactlyOnceEffect,
+            RecoveryMode::AtLeastOnce,
+            RecoveryMode::Approximate,
+        ] {
+            assert_eq!(recovery_from_byte(recovery_to_byte(mode)), Some(mode));
+        }
+        assert_eq!(recovery_from_byte(9), None);
+    }
+}

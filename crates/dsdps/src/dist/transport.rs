@@ -1,0 +1,548 @@
+//! Stream transport for the distributed runtime: TCP everywhere, Unix
+//! domain sockets where the platform has them.
+//!
+//! The transport deals in [`Frame`]s.  Reading is incremental — a
+//! [`FrameReader`] accumulates bytes into one reusable buffer and yields a
+//! frame as soon as its length prefix is satisfied, returning `Ok(None)`
+//! on a read timeout so callers can interleave periodic work.  Writing
+//! goes through a [`BatchWriter`] that performs the encoder-side batching
+//! the `RtConfig` knobs describe: tuple deliveries accumulate until
+//! `batch_size` of them (or the `linger` deadline) and leave as a single
+//! `TupleBatch` frame in one vectored write; control frames flush pending
+//! tuples first so cross-frame ordering is preserved.
+
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::{Duration, Instant};
+
+use super::codec::{self, Frame, WireTuple, MAX_FRAME_LEN};
+use crate::error::{Error, Result};
+
+/// Where a coordinator listens / a worker connects.
+///
+/// Rendered as `tcp:<addr>` or `unix:<path>` in the `DSDPS_DIST_ADDR`
+/// environment variable handed to worker processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address, e.g. `127.0.0.1:7410`.
+    Tcp(String),
+    /// A Unix domain socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+impl Endpoint {
+    /// Renders the endpoint for `DSDPS_DIST_ADDR`.
+    pub fn to_env(&self) -> String {
+        match self {
+            Endpoint::Tcp(addr) => format!("tcp:{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => format!("unix:{}", path.display()),
+        }
+    }
+
+    /// Parses a `DSDPS_DIST_ADDR` value.
+    pub fn from_env(value: &str) -> Result<Endpoint> {
+        if let Some(addr) = value.strip_prefix("tcp:") {
+            return Ok(Endpoint::Tcp(addr.to_owned()));
+        }
+        #[cfg(unix)]
+        if let Some(path) = value.strip_prefix("unix:") {
+            return Ok(Endpoint::Unix(path.into()));
+        }
+        Err(Error::Config(format!("unparseable endpoint `{value}`")))
+    }
+}
+
+/// A listening socket of either family.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds a TCP listener on an OS-assigned loopback port.
+    pub fn tcp_loopback() -> Result<(Listener, Endpoint)> {
+        let l =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| Error::Runtime(format!("bind: {e}")))?;
+        let addr = l
+            .local_addr()
+            .map_err(|e| Error::Runtime(format!("local_addr: {e}")))?;
+        Ok((Listener::Tcp(l), Endpoint::Tcp(addr.to_string())))
+    }
+
+    /// Binds a Unix-domain listener on a fresh socket path under the
+    /// system temp directory.
+    #[cfg(unix)]
+    pub fn unix_temp() -> Result<(Listener, Endpoint)> {
+        // Process id + monotonic counter keeps concurrent coordinators in
+        // one test binary from colliding.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "dsdps-dist-{}-{}.sock",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        let l = UnixListener::bind(&path)
+            .map_err(|e| Error::Runtime(format!("bind {}: {e}", path.display())))?;
+        Ok((Listener::Unix(l), Endpoint::Unix(path)))
+    }
+
+    /// Switches the listener between blocking and non-blocking accepts.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accepts one connection; `Ok(None)` when non-blocking and idle.
+    pub fn accept(&self) -> io::Result<Option<Conn>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    let _ = s.set_nodelay(true);
+                    Ok(Some(Conn::Tcp(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Conn::Unix(s))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// One established connection of either family.
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to `endpoint`, retrying until `timeout` (the coordinator
+    /// may not be listening yet when a worker launches).
+    pub fn connect(endpoint: &Endpoint, timeout: Duration) -> Result<Conn> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let attempt = match endpoint {
+                Endpoint::Tcp(addr) => TcpStream::connect(addr).map(|s| {
+                    let _ = s.set_nodelay(true);
+                    Conn::Tcp(s)
+                }),
+                #[cfg(unix)]
+                Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            };
+            match attempt {
+                Ok(conn) => return Ok(conn),
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(Error::Runtime(format!(
+                        "connect to {}: {e}",
+                        endpoint.to_env()
+                    )));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// An independently usable handle to the same socket (reader and
+    /// writer sides of one connection live on different threads).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    /// Bounds how long a read blocks (`None` = forever).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Shuts down both directions, unblocking any reader.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write_vectored(bufs),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Incremental frame reader with one reusable receive buffer.
+pub struct FrameReader {
+    conn: Conn,
+    buf: Vec<u8>,
+    /// Bytes of `buf` that hold received-but-unparsed data.
+    filled: usize,
+    /// Parse offset within `buf[..filled]`.
+    pos: usize,
+    /// Total payload bytes received (telemetry).
+    pub bytes_in: u64,
+    /// Total frames decoded (telemetry).
+    pub frames_in: u64,
+}
+
+impl FrameReader {
+    /// Wraps a connection.
+    pub fn new(conn: Conn) -> Self {
+        FrameReader {
+            conn,
+            buf: vec![0; 64 * 1024],
+            filled: 0,
+            pos: 0,
+            bytes_in: 0,
+            frames_in: 0,
+        }
+    }
+
+    /// Bounds how long [`read_frame`](Self::read_frame) blocks.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.conn.set_read_timeout(t)
+    }
+
+    /// Tries to parse one complete frame out of the buffered bytes.
+    fn parse_buffered(&mut self) -> Result<Option<Frame>> {
+        let avail = &self.buf[self.pos..self.filled];
+        let mut d = codec::Dec::new(avail);
+        let len = match d.varint() {
+            Ok(len) => len,
+            // An incomplete varint at the buffer tail: need more bytes.
+            Err(codec::CodecError::Truncated) => return Ok(None),
+            Err(e) => return Err(Error::Runtime(format!("frame length: {e}"))),
+        };
+        if len as usize > MAX_FRAME_LEN {
+            return Err(Error::Runtime(format!("oversized frame ({len} bytes)")));
+        }
+        if (len as usize) > d.remaining() {
+            return Ok(None);
+        }
+        let header = avail.len() - d.remaining();
+        let body_start = self.pos + header;
+        let body_end = body_start + len as usize;
+        let frame = codec::decode_frame(&self.buf[body_start..body_end])
+            .map_err(|e| Error::Runtime(format!("decode frame: {e}")))?;
+        self.pos = body_end;
+        self.frames_in += 1;
+        Ok(Some(frame))
+    }
+
+    /// Reads the next frame.  `Ok(None)` means the read timed out (per the
+    /// connection's read timeout) with no complete frame buffered; an EOF
+    /// or socket error is `Err`.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>> {
+        loop {
+            if let Some(frame) = self.parse_buffered()? {
+                return Ok(Some(frame));
+            }
+            // Compact consumed bytes to the front before growing.
+            if self.pos > 0 {
+                self.buf.copy_within(self.pos..self.filled, 0);
+                self.filled -= self.pos;
+                self.pos = 0;
+            }
+            if self.filled == self.buf.len() {
+                self.buf
+                    .resize((self.buf.len() * 2).min(MAX_FRAME_LEN + 16), 0);
+            }
+            match self.conn.read(&mut self.buf[self.filled..]) {
+                Ok(0) => return Err(Error::Runtime("connection closed".into())),
+                Ok(n) => {
+                    self.filled += n;
+                    self.bytes_in += n as u64;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::Runtime(format!("read: {e}"))),
+            }
+        }
+    }
+}
+
+/// Batching frame writer: the wire-side half of `batch_size`/`linger`.
+///
+/// Tuple deliveries pushed with [`push_tuple`](Self::push_tuple) are held
+/// until `batch_size` of them accumulate or `linger` elapses, then leave
+/// as one `TupleBatch` frame.  Control frames sent with
+/// [`send`](Self::send) flush pending tuples first, so the byte stream
+/// never reorders across frame kinds.  All frame bytes go out as a single
+/// vectored write of `[length-prefix, body]` from one reusable buffer.
+pub struct BatchWriter {
+    conn: Conn,
+    items: Vec<WireTuple>,
+    scratch: Vec<u8>,
+    batch_size: usize,
+    linger: Duration,
+    oldest_item: Option<Instant>,
+    /// Total payload bytes written (telemetry).
+    pub bytes_out: u64,
+    /// Total frames written (telemetry).
+    pub frames_out: u64,
+}
+
+impl BatchWriter {
+    /// Wraps a connection with the given batching knobs.
+    pub fn new(conn: Conn, batch_size: usize, linger: Duration) -> Self {
+        BatchWriter {
+            conn,
+            items: Vec::with_capacity(batch_size.max(1)),
+            scratch: Vec::with_capacity(8 * 1024),
+            batch_size: batch_size.max(1),
+            linger,
+            oldest_item: None,
+            bytes_out: 0,
+            frames_out: 0,
+        }
+    }
+
+    /// Queues one tuple delivery, flushing if the batch is now full.
+    pub fn push_tuple(&mut self, item: WireTuple) -> Result<()> {
+        self.items.push(item);
+        if self.oldest_item.is_none() {
+            self.oldest_item = Some(Instant::now());
+        }
+        if self.items.len() >= self.batch_size {
+            self.flush_items()?;
+        }
+        Ok(())
+    }
+
+    /// Sends a control frame, flushing pending tuple deliveries first.
+    pub fn send(&mut self, frame: &Frame) -> Result<()> {
+        self.flush_items()?;
+        self.write_frame_body(|buf| codec::encode_frame_body(frame, buf))
+    }
+
+    /// Flushes pending tuples if the linger deadline has passed; returns
+    /// the deadline of the oldest still-pending tuple otherwise.
+    pub fn poll_linger(&mut self) -> Result<Option<Instant>> {
+        match self.oldest_item {
+            Some(t0) if t0.elapsed() >= self.linger => {
+                self.flush_items()?;
+                Ok(None)
+            }
+            Some(t0) => Ok(Some(t0 + self.linger)),
+            None => Ok(None),
+        }
+    }
+
+    /// Flushes any pending tuple batch immediately.
+    pub fn flush_items(&mut self) -> Result<()> {
+        if self.items.is_empty() {
+            self.oldest_item = None;
+            return Ok(());
+        }
+        self.scratch.clear();
+        self.scratch.push(super::codec::TUPLE_BATCH_TAG);
+        codec::write_varint(&mut self.scratch, self.items.len() as u64);
+        for item in self.items.drain(..) {
+            codec::write_tuple_item(&mut self.scratch, &item);
+        }
+        self.oldest_item = None;
+        self.write_scratch()
+    }
+
+    fn write_frame_body(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> Result<()> {
+        self.scratch.clear();
+        encode(&mut self.scratch);
+        self.write_scratch()
+    }
+
+    /// Writes `[varint(len), scratch]` as one vectored write.
+    fn write_scratch(&mut self) -> Result<()> {
+        let mut prefix = Vec::with_capacity(10);
+        codec::write_varint(&mut prefix, self.scratch.len() as u64);
+        let total = prefix.len() + self.scratch.len();
+        let mut written = 0usize;
+        while written < total {
+            let bufs = if written < prefix.len() {
+                [
+                    IoSlice::new(&prefix[written..]),
+                    IoSlice::new(&self.scratch),
+                ]
+            } else {
+                [
+                    IoSlice::new(&self.scratch[written - prefix.len()..]),
+                    IoSlice::new(&[]),
+                ]
+            };
+            match self.conn.write_vectored(&bufs) {
+                Ok(0) => return Err(Error::Runtime("connection closed on write".into())),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::Runtime(format!("write: {e}"))),
+            }
+        }
+        self.bytes_out += total as u64;
+        self.frames_out += 1;
+        Ok(())
+    }
+
+    /// Shuts the underlying socket down (unblocks the peer's reader).
+    pub fn shutdown(&self) {
+        self.conn.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    fn pair() -> (Conn, Conn) {
+        let (listener, ep) = Listener::tcp_loopback().unwrap();
+        let client = Conn::connect(&ep, Duration::from_secs(5)).unwrap();
+        listener.set_nonblocking(false).unwrap();
+        let server = listener.accept().unwrap().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn endpoint_env_round_trips() {
+        let e = Endpoint::Tcp("127.0.0.1:9999".into());
+        assert_eq!(Endpoint::from_env(&e.to_env()).unwrap(), e);
+        #[cfg(unix)]
+        {
+            let u = Endpoint::Unix("/tmp/x.sock".into());
+            assert_eq!(Endpoint::from_env(&u.to_env()).unwrap(), u);
+        }
+        assert!(Endpoint::from_env("carrier-pigeon:coop7").is_err());
+    }
+
+    #[test]
+    fn frames_survive_the_socket() {
+        let (client, server) = pair();
+        let mut w = BatchWriter::new(client, 4, Duration::from_millis(1));
+        let mut r = FrameReader::new(server);
+        r.conn
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+
+        w.send(&Frame::Hello { worker: 1, pid: 42 }).unwrap();
+        for i in 0..4 {
+            w.push_tuple(WireTuple {
+                token: i,
+                dest_task: 2,
+                stream: 0,
+                dedup: None,
+                values: vec![Value::from(i as i64)],
+            })
+            .unwrap();
+        }
+        w.send(&Frame::Shutdown).unwrap();
+
+        assert_eq!(
+            r.read_frame().unwrap().unwrap(),
+            Frame::Hello { worker: 1, pid: 42 }
+        );
+        match r.read_frame().unwrap().unwrap() {
+            Frame::TupleBatch { items } => {
+                assert_eq!(items.len(), 4);
+                assert_eq!(items[3].token, 3);
+            }
+            other => panic!("expected tuple batch, got {}", other.kind()),
+        }
+        assert_eq!(r.read_frame().unwrap().unwrap(), Frame::Shutdown);
+    }
+
+    #[test]
+    fn linger_flushes_partial_batches() {
+        let (client, server) = pair();
+        let mut w = BatchWriter::new(client, 64, Duration::from_millis(5));
+        let mut r = FrameReader::new(server);
+        r.conn
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        w.push_tuple(WireTuple {
+            token: 7,
+            dest_task: 0,
+            stream: 0,
+            dedup: Some(9),
+            values: vec![],
+        })
+        .unwrap();
+        // Not full: nothing on the wire until the linger deadline passes.
+        std::thread::sleep(Duration::from_millis(10));
+        w.poll_linger().unwrap();
+        match r.read_frame().unwrap().unwrap() {
+            Frame::TupleBatch { items } => assert_eq!(items[0].token, 7),
+            other => panic!("expected tuple batch, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn read_timeout_returns_none() {
+        let (_client, server) = pair();
+        let mut r = FrameReader::new(server);
+        r.conn
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(r.read_frame().unwrap().is_none());
+    }
+}

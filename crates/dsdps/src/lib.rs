@@ -68,6 +68,7 @@
 pub mod acker;
 pub mod component;
 pub mod config;
+pub mod dist;
 pub mod error;
 pub mod grouping;
 pub mod hash;

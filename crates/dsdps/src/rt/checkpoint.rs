@@ -33,6 +33,7 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::component::MessageId;
+use crate::dist::codec;
 use crate::tuple::Tuple;
 
 /// Whether a [`StateSnapshot`] captures the whole state or a delta since
@@ -46,11 +47,34 @@ pub enum SnapshotKind {
     Delta,
 }
 
+/// When set, [`StateSnapshot::encode`] writes JSON text instead of the
+/// compact binary encoding.  See [`set_json_snapshot_fallback`].
+static JSON_SNAPSHOT_FALLBACK: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Switches snapshot encoding between the compact binary value encoding
+/// of [`crate::dist::codec`] (the default) and the legacy JSON text
+/// encoding.  Decoding auto-detects either format by its first byte, so
+/// the flag only affects newly taken snapshots — flipping it mid-run is
+/// safe and previously spilled payloads stay readable.
+///
+/// The runtimes call this from [`RtConfig::json_snapshots`](super::RtConfig)
+/// at submit; it is exposed directly for tools that encode snapshots
+/// outside a running topology.
+pub fn set_json_snapshot_fallback(enabled: bool) {
+    JSON_SNAPSHOT_FALLBACK.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// An encoded image of one component's state.
 ///
 /// The payload is an opaque byte string; [`StateSnapshot::encode`] and
 /// [`StateSnapshot::decode`] wrap the workspace serde conventions so
-/// components only deal in plain serializable values.
+/// components only deal in plain serializable values.  By default the
+/// payload uses the wire codec's compact binary value encoding, marked by
+/// a leading [`SNAPSHOT_MAGIC`](crate::dist::codec::SNAPSHOT_MAGIC) byte
+/// (`0xC5`, a UTF-8 continuation byte no JSON text can start with);
+/// [`set_json_snapshot_fallback`] reverts to JSON text.  `decode`
+/// auto-detects the format, so stores can hold a mix of both.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateSnapshot {
     /// Full image or incremental delta.
@@ -62,15 +86,31 @@ pub struct StateSnapshot {
 impl StateSnapshot {
     /// Encodes a serializable value as a snapshot of the given kind.
     pub fn encode<T: Serialize>(kind: SnapshotKind, state: &T) -> StateSnapshot {
-        let text = serde_json::to_string(state).expect("state encoding cannot fail");
-        StateSnapshot {
-            kind,
-            bytes: text.into_bytes(),
+        if JSON_SNAPSHOT_FALLBACK.load(std::sync::atomic::Ordering::Relaxed) {
+            let text = serde_json::to_string(state).expect("state encoding cannot fail");
+            return StateSnapshot {
+                kind,
+                bytes: text.into_bytes(),
+            };
         }
+        let mut bytes = vec![codec::SNAPSHOT_MAGIC];
+        codec::write_json_value(&mut bytes, &state.serialize_value());
+        StateSnapshot { kind, bytes }
     }
 
-    /// Decodes the snapshot payload back into a value.
+    /// Decodes the snapshot payload back into a value, auto-detecting the
+    /// binary or JSON text encoding.
     pub fn decode<T: Deserialize>(&self) -> Result<T, String> {
+        if self.bytes.first() == Some(&codec::SNAPSHOT_MAGIC) {
+            let mut d = codec::Dec::new(&self.bytes[1..]);
+            let value = codec::read_json_value(&mut d)
+                .map_err(|e| format!("snapshot decode failed: {e}"))?;
+            if !d.is_done() {
+                return Err("snapshot decode failed: trailing bytes".into());
+            }
+            return T::deserialize_value(&value)
+                .map_err(|e| format!("snapshot decode failed: {e}"));
+        }
         let text = std::str::from_utf8(&self.bytes)
             .map_err(|e| format!("snapshot payload is not UTF-8: {e}"))?;
         serde_json::from_str(text).map_err(|e| format!("snapshot decode failed: {e}"))
@@ -404,6 +444,37 @@ mod tests {
         assert!(!snap.is_empty());
         let back: (Option<u64>, Vec<(String, u64)>, u64) = snap.decode().unwrap();
         assert_eq!(back, state);
+    }
+
+    /// The default encoding is the compact binary one (magic byte), the
+    /// fallback is JSON text, decode auto-detects both, and the binary
+    /// payload of a realistic counter-map state is smaller.
+    #[test]
+    fn binary_and_json_snapshots_interoperate() {
+        type State = Vec<(String, u64)>;
+        let state: State = (0..64).map(|i| (format!("key-{i}"), i * 37)).collect();
+
+        let binary = StateSnapshot::encode(SnapshotKind::Full, &state);
+        assert_eq!(binary.bytes[0], codec::SNAPSHOT_MAGIC);
+        assert_eq!(binary.decode::<State>().unwrap(), state);
+
+        set_json_snapshot_fallback(true);
+        let json = StateSnapshot::encode(SnapshotKind::Full, &state);
+        set_json_snapshot_fallback(false);
+        assert_ne!(json.bytes[0], codec::SNAPSHOT_MAGIC, "JSON text payload");
+        assert!(std::str::from_utf8(&json.bytes).is_ok());
+        assert_eq!(json.decode::<State>().unwrap(), state, "auto-detected");
+
+        assert!(
+            binary.len() < json.len(),
+            "binary ({}) smaller than JSON ({})",
+            binary.len(),
+            json.len()
+        );
+
+        let mut corrupt = binary.clone();
+        corrupt.bytes.truncate(corrupt.bytes.len() / 2);
+        assert!(corrupt.decode::<State>().is_err(), "truncation is an error");
     }
 
     #[test]

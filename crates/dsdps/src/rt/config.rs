@@ -148,6 +148,11 @@ pub struct RtConfig {
     /// What a restart of a stateful task guarantees; see [`RecoveryMode`].
     /// Only meaningful with [`checkpoints`](Self::checkpoints) on.
     pub recovery_mode: RecoveryMode,
+    /// Encode snapshots as legacy JSON text instead of the compact binary
+    /// value encoding (see
+    /// [`set_json_snapshot_fallback`](super::checkpoint::set_json_snapshot_fallback)).
+    /// Decoding auto-detects both formats either way.
+    pub json_snapshots: bool,
 }
 
 impl Default for RtConfig {
@@ -179,6 +184,7 @@ impl Default for RtConfig {
             checkpoint_spill_dir: None,
             checkpoint_log_high_water: 8192,
             recovery_mode: RecoveryMode::AtLeastOnce,
+            json_snapshots: false,
         }
     }
 }
@@ -310,6 +316,13 @@ impl RtConfig {
     /// task restarts.
     pub fn with_recovery_mode(mut self, mode: RecoveryMode) -> Self {
         self.recovery_mode = mode;
+        self
+    }
+
+    /// Returns the config using the legacy JSON text snapshot encoding
+    /// instead of the compact binary one (decoding auto-detects both).
+    pub fn with_json_snapshots(mut self, json: bool) -> Self {
+        self.json_snapshots = json;
         self
     }
 

@@ -133,6 +133,37 @@ impl CreditLedger {
         }
     }
 
+    /// Atomically consumes `n` credits from `task`'s pool — all or
+    /// nothing.  `try_acquire_n(task, 1)` is [`try_acquire`](Self::try_acquire);
+    /// batched senders (the distributed transport reserving a whole frame
+    /// of tuples at once) use larger `n` so a frame is never half-credited.
+    /// `n == 0` trivially succeeds.
+    pub fn try_acquire_n(&self, task: usize, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let n = n as i64;
+        let pool = &self.pools[task];
+        let mut avail = pool.available.load(Ordering::Acquire);
+        loop {
+            if avail < n {
+                return false;
+            }
+            match pool.available.compare_exchange_weak(
+                avail,
+                avail - n,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    pool.consumed.fetch_add(n as u64, Ordering::Relaxed);
+                    return true;
+                }
+                Err(cur) => avail = cur,
+            }
+        }
+    }
+
     /// Takes up to `n` *available* credits out of `task`'s pool (window
     /// shrink).  Returns how many were actually revoked — never more than
     /// the current balance, so `available` stays non-negative.
@@ -231,6 +262,22 @@ mod tests {
         let t = ledger.totals();
         assert_eq!(t.granted, 5);
         assert_eq!(t.consumed, 2);
+        assert!(t.conservation_holds());
+    }
+
+    #[test]
+    fn acquire_n_is_all_or_nothing() {
+        let ledger = CreditLedger::new(1);
+        ledger.grant(0, 10);
+        assert!(ledger.try_acquire_n(0, 0), "zero is free");
+        assert!(ledger.try_acquire_n(0, 7));
+        assert_eq!(ledger.outstanding(0), 3);
+        assert!(!ledger.try_acquire_n(0, 4), "4 > 3 refuses whole batch");
+        assert_eq!(ledger.outstanding(0), 3, "failed acquire takes nothing");
+        assert!(ledger.try_acquire_n(0, 3));
+        assert_eq!(ledger.outstanding(0), 0);
+        let t = ledger.totals();
+        assert_eq!(t.consumed, 10);
         assert!(t.conservation_holds());
     }
 

@@ -45,7 +45,7 @@ pub mod checkpoint;
 mod config;
 pub mod credit;
 mod fault;
-mod replay;
+pub(crate) mod replay;
 mod router;
 mod supervisor;
 mod task;
@@ -869,6 +869,7 @@ fn submit_inner(
 ) -> Result<RunningTopology> {
     config.validate()?;
     rt_config.validate()?;
+    checkpoint::set_json_snapshot_fallback(rt_config.json_snapshots);
     let placement: Placement = even_placement(&topology, &config)?;
     let n_tasks = topology.task_count();
     let journal = Arc::new(Journal::new());

@@ -201,6 +201,38 @@ pub enum JournalEvent {
         /// Snapshots retained from that point on.
         retained: usize,
     },
+    /// The distributed coordinator spawned (or respawned) a worker
+    /// process.
+    WorkerSpawned {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Worker slot index.
+        worker: usize,
+        /// OS process id of the spawned worker.
+        pid: u32,
+        /// Connection generation the spawn begins (0 = first launch).
+        generation: u64,
+    },
+    /// A worker process connected and completed its hello/assign
+    /// handshake.
+    WorkerConnected {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Worker slot index.
+        worker: usize,
+        /// OS process id the worker reported in its hello.
+        pid: u32,
+    },
+    /// A worker connection died (process exit, kill, or socket error);
+    /// its in-flight deliveries were failed into replay.
+    WorkerDisconnected {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Worker slot index.
+        worker: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
 }
 
 impl JournalEvent {
@@ -223,7 +255,10 @@ impl JournalEvent {
             | JournalEvent::CheckpointTaken { time_s, .. }
             | JournalEvent::StateRestored { time_s, .. }
             | JournalEvent::StateLost { time_s, .. }
-            | JournalEvent::HistoryTruncated { time_s, .. } => *time_s,
+            | JournalEvent::HistoryTruncated { time_s, .. }
+            | JournalEvent::WorkerSpawned { time_s, .. }
+            | JournalEvent::WorkerConnected { time_s, .. }
+            | JournalEvent::WorkerDisconnected { time_s, .. } => *time_s,
         }
     }
 
@@ -247,6 +282,9 @@ impl JournalEvent {
             JournalEvent::StateRestored { .. } => "state_restored",
             JournalEvent::StateLost { .. } => "state_lost",
             JournalEvent::HistoryTruncated { .. } => "history_truncated",
+            JournalEvent::WorkerSpawned { .. } => "worker_spawned",
+            JournalEvent::WorkerConnected { .. } => "worker_connected",
+            JournalEvent::WorkerDisconnected { .. } => "worker_disconnected",
         }
     }
 }

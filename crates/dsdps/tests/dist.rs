@@ -1,0 +1,340 @@
+//! End-to-end tests of the distributed (multi-process) runtime: API
+//! calibration against the threaded backend, tuple/credit conservation
+//! across the process boundary, and checkpointed recovery of a killed
+//! worker process.
+//!
+//! Worker processes are this same test binary re-executed with
+//! `--exact dist_worker_entry --ignored`: the [`dist_worker_entry`] test
+//! reads `DSDPS_DIST_ADDR` / `DSDPS_DIST_WORKER` from the environment and
+//! turns into a worker. Without those variables (e.g. the CI `--ignored`
+//! soak) it returns immediately.
+
+use std::time::{Duration, Instant};
+
+use dsdps::component::{Bolt, BoltOutput, Spout, SpoutOutput, TopologyContext};
+use dsdps::config::EngineConfig;
+use dsdps::dist::{self, DistConfig, TopologyRegistry};
+use dsdps::error::Result;
+use dsdps::rt::{self, RecoveryMode, RtConfig, SnapshotKind, StateSnapshot, StatefulComponent};
+use dsdps::topology::{Topology, TopologyBuilder};
+use dsdps::tuple::{Tuple, Value};
+
+// --- shared topologies (coordinator and workers build the same ones) ----
+
+/// Emits `1..=n` once, each tuple tracked under its own message id.
+struct FiniteSpout {
+    left: u64,
+    next_id: u64,
+}
+
+impl Spout for FiniteSpout {
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+}
+
+/// Like [`FiniteSpout`] but paced, so the stream is still flowing when the
+/// test kills a worker mid-run.
+struct PacedSpout {
+    left: u64,
+    next_id: u64,
+    rate: f64,
+    started: Option<Instant>,
+}
+
+impl Spout for PacedSpout {
+    fn open(&mut self, _ctx: &TopologyContext) {
+        self.started = Some(Instant::now());
+    }
+
+    fn next_tuple(&mut self, out: &mut SpoutOutput) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        let elapsed = self
+            .started
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        if self.next_id as f64 >= elapsed * self.rate {
+            return true;
+        }
+        self.left -= 1;
+        self.next_id += 1;
+        out.emit_with_id(Tuple::of([Value::from(self.next_id as i64)]), self.next_id);
+        true
+    }
+}
+
+struct Doubler;
+
+impl Bolt for Doubler {
+    fn execute(&mut self, tuple: &Tuple, out: &mut BoltOutput) {
+        let v = tuple.get(0).unwrap().as_i64().unwrap();
+        out.emit(Tuple::of([Value::from(v * 2)]));
+    }
+}
+
+struct Sink;
+
+impl Bolt for Sink {
+    fn execute(&mut self, _tuple: &Tuple, _out: &mut BoltOutput) {}
+}
+
+/// A checkpointable counting bolt: state is `(count, sum)` of applied
+/// tuples. The dist tests read its final state from the coordinator's
+/// checkpoint store ([`dsdps::dist::coordinator::DistReport::final_snapshots`]), which is
+/// the only cross-process observation channel.
+struct StatefulCounter {
+    count: u64,
+    sum: u64,
+}
+
+impl Bolt for StatefulCounter {
+    fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+        self.count += 1;
+        self.sum += t.get(0).unwrap().as_i64().unwrap() as u64;
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulComponent> {
+        Some(self)
+    }
+}
+
+impl StatefulComponent for StatefulCounter {
+    fn snapshot(&mut self) -> StateSnapshot {
+        StateSnapshot::encode(SnapshotKind::Full, &(self.count, self.sum))
+    }
+
+    fn restore(
+        &mut self,
+        base: &StateSnapshot,
+        deltas: &[StateSnapshot],
+    ) -> std::result::Result<(), String> {
+        assert!(deltas.is_empty(), "full-only component");
+        let (count, sum): (u64, u64) = base.decode()?;
+        self.count = count;
+        self.sum = sum;
+        Ok(())
+    }
+}
+
+fn build_calib(args: &str) -> Result<Topology> {
+    let n: u64 = args.parse().unwrap_or(1000);
+    let mut b = TopologyBuilder::new("dist-calib");
+    b.set_spout("src", 1, move || FiniteSpout {
+        left: n,
+        next_id: 0,
+    })?;
+    b.set_bolt("double", 2, || Doubler)?
+        .shuffle_grouping("src")?;
+    b.set_bolt("sink", 2, || Sink)?.shuffle_grouping("double")?;
+    b.build()
+}
+
+fn build_stateful(args: &str) -> Result<Topology> {
+    let mut it = args.split(':');
+    let n: u64 = it.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let rate: f64 = it.next().and_then(|s| s.parse().ok()).unwrap_or(1000.0);
+    let mut b = TopologyBuilder::new("dist-stateful");
+    b.set_spout("src", 1, move || PacedSpout {
+        left: n,
+        next_id: 0,
+        rate,
+        started: None,
+    })?;
+    b.set_bolt("count", 1, || StatefulCounter { count: 0, sum: 0 })?
+        .global_grouping("src")?;
+    b.build()
+}
+
+fn registry() -> TopologyRegistry {
+    let mut r = TopologyRegistry::new();
+    r.register("calib", build_calib);
+    r.register("stateful", build_stateful);
+    r
+}
+
+/// The re-exec target that turns this test binary into a worker process.
+/// A no-op unless the coordinator's env vars are present, so it is safe
+/// under `cargo test -- --ignored` soaks.
+#[test]
+#[ignore = "worker-process entry point, spawned by the dist tests"]
+fn dist_worker_entry() {
+    if std::env::var("DSDPS_DIST_ADDR").is_err() {
+        return;
+    }
+    dist::maybe_worker_from_env(&registry());
+}
+
+fn self_worker_cmd() -> Vec<String> {
+    vec![
+        std::env::current_exe()
+            .expect("current_exe")
+            .to_string_lossy()
+            .into_owned(),
+        "--exact".into(),
+        "dist_worker_entry".into(),
+        "--ignored".into(),
+        "--nocapture".into(),
+    ]
+}
+
+/// Polls until `done` or the timeout expires; returns whether it finished.
+fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    done()
+}
+
+/// The calibration acceptance test: the identical topology, run on the
+/// threaded backend and on worker processes, acks every tracked message
+/// with zero loss — `acked == tracked == n` on both.
+#[test]
+fn dist_calibration_matches_threaded_runtime() {
+    let n = 2_000u64;
+    let rt_config = RtConfig::default().with_batch_size(64);
+
+    // Threaded reference run.
+    let topo = build_calib(&n.to_string()).unwrap();
+    let running = rt::submit_with(topo, EngineConfig::default(), rt_config.clone()).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(30), || running.acked() == n),
+        "threaded run acked {}/{n}",
+        running.acked()
+    );
+    let (_, threaded) = running.shutdown();
+
+    // Distributed run, two worker processes.
+    let running = dist::submit(
+        &registry(),
+        "calib",
+        &n.to_string(),
+        EngineConfig::default(),
+        rt_config,
+        DistConfig::new(2, self_worker_cmd()),
+    )
+    .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(30), || running.acked() == n),
+        "dist run acked {}/{n}",
+        running.acked()
+    );
+    let dist_report = running.shutdown();
+
+    assert_eq!(threaded.spout_emitted, n);
+    assert_eq!(dist_report.spout_emitted, n, "{dist_report:?}");
+    assert_eq!(threaded.tracked, dist_report.tracked, "tracked parity");
+    assert_eq!(threaded.acked, dist_report.acked, "acked parity");
+    assert_eq!(dist_report.acked, n, "zero loss");
+    assert_eq!(dist_report.permanently_failed, 0);
+    assert!(threaded.conservation_holds());
+    assert!(dist_report.conservation_holds(), "{dist_report:?}");
+    assert!(dist_report.drained_clean);
+}
+
+/// Conservation and credit invariants hold across the process boundary,
+/// and the journal records the worker fleet's lifecycle.
+#[test]
+fn dist_conservation_credit_and_journal_invariants() {
+    let n = 1_000u64;
+    let running = dist::submit(
+        &registry(),
+        "calib",
+        &n.to_string(),
+        EngineConfig::default(),
+        RtConfig::default().with_batch_size(16).with_credit_flow(32),
+        DistConfig::new(2, self_worker_cmd()),
+    )
+    .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(30), || running.acked() == n),
+        "acked {}/{n}",
+        running.acked()
+    );
+    let pids = running.worker_pids();
+    let report = running.shutdown();
+
+    assert!(report.conservation_holds(), "{report:?}");
+    assert!(report.credit_conservation_holds(), "{:?}", report.credits);
+    assert!(pids.iter().all(|&p| p != 0), "workers have pids: {pids:?}");
+    assert_eq!(report.journal_of_kind("worker_spawned").len(), 2);
+    assert_eq!(report.journal_of_kind("worker_connected").len(), 2);
+    assert!(report.frames_sent > 0 && report.frames_received > 0);
+    assert!(report.bytes_sent > 0 && report.bytes_received > 0);
+}
+
+/// The recovery acceptance test: a worker process is SIGKILLed mid-run
+/// under exactly-once-effect. The supervisor respawns it, the replacement
+/// restores from its latest checkpoint (`state_restored`), lost trees
+/// replay, and the final counter state matches a fault-free run exactly.
+#[test]
+fn dist_killed_worker_restores_from_checkpoint() {
+    let n = 600u64;
+    let rate = 1_500.0;
+    let engine = EngineConfig {
+        message_timeout_s: 2.0,
+        ..EngineConfig::default()
+    };
+    let rt_config = RtConfig::default()
+        .with_batch_size(8)
+        .with_max_replays(10)
+        .with_replay_backoff(Duration::from_millis(20))
+        .with_checkpoints(Duration::from_millis(50))
+        .with_recovery_mode(RecoveryMode::ExactlyOnceEffect);
+    let running = dist::submit(
+        &registry(),
+        "stateful",
+        &format!("{n}:{rate}"),
+        engine,
+        rt_config,
+        DistConfig::new(2, self_worker_cmd()),
+    )
+    .unwrap();
+
+    // Wait until the stream is flowing and at least one checkpoint has
+    // plausibly landed, then kill the worker owning the counter task.
+    assert!(
+        wait_until(Duration::from_secs(20), || running.acked() >= n / 4),
+        "stream never got going: acked {}",
+        running.acked()
+    );
+    running.kill_worker(0).expect("kill worker 0");
+
+    assert!(
+        wait_until(Duration::from_secs(30), || running.acked() == n),
+        "recovery stalled: acked {}/{n}",
+        running.acked()
+    );
+    let report = running.shutdown();
+
+    assert!(report.worker_disconnects >= 1, "{report:?}");
+    assert!(report.worker_restarts >= 1, "{report:?}");
+    assert!(report.restores >= 1, "restored from checkpoint: {report:?}");
+    assert!(
+        !report.journal_of_kind("state_restored").is_empty(),
+        "state_restored journaled"
+    );
+    assert!(report.checkpoints_taken > 0 && report.snapshot_bytes > 0);
+    assert_eq!(report.acked, n, "every message recovered: {report:?}");
+    assert!(report.conservation_holds(), "{report:?}");
+
+    // Exactly-once effect: the counter's final snapshot equals the
+    // fault-free outcome, despite replays crossing the kill.
+    let snap = report.final_snapshots[1]
+        .as_ref()
+        .expect("counter task checkpointed");
+    let (count, sum): (u64, u64) = snap.decode().expect("snapshot decodes");
+    assert_eq!(count, n, "no lost or duplicated effects");
+    assert_eq!(sum, n * (n + 1) / 2);
+}

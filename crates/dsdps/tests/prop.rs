@@ -654,3 +654,223 @@ proptest! {
         prop_assert!(q.pop().is_none());
     }
 }
+
+// --- wire codec (dist runtime) ------------------------------------------
+
+use dsdps::dist::codec::{
+    self, decode_frame, encode_frame, encode_frame_body, Dec, Frame, WireEmission, WireResult,
+    WireTuple,
+};
+
+/// Scalar tuple values.  Floats stay finite so value equality is
+/// meaningful after the bit-exact roundtrip.
+fn wire_leaf() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        (-1.0e12f64..1.0e12).prop_map(Value::from),
+        "[a-z]{0,12}".prop_map(|s: String| Value::from(s)),
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(|b| Value::Bytes(bytes::Bytes::from(b))),
+    ]
+    .boxed()
+}
+
+/// Tuple values, including one level of list nesting.
+fn wire_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        wire_leaf(),
+        prop::collection::vec(wire_leaf(), 0..4).prop_map(Value::List),
+    ]
+    .boxed()
+}
+
+fn wire_tuple() -> impl Strategy<Value = WireTuple> {
+    (
+        any::<u64>(),
+        0u32..64,
+        0u32..16,
+        prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+        prop::collection::vec(wire_value(), 0..5),
+    )
+        .prop_map(|(token, dest_task, stream, dedup, values)| WireTuple {
+            token,
+            dest_task,
+            stream,
+            dedup,
+            values,
+        })
+}
+
+fn wire_emission() -> impl Strategy<Value = WireEmission> {
+    (
+        0u32..16,
+        any::<bool>(),
+        prop_oneof![Just(None), (0u32..64).prop_map(Some)],
+        prop::collection::vec(wire_value(), 0..4),
+    )
+        .prop_map(|(stream, anchored, direct_task, values)| WireEmission {
+            stream,
+            anchored,
+            direct_task,
+            values,
+        })
+}
+
+fn wire_result() -> impl Strategy<Value = WireResult> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(wire_emission(), 0..3),
+    )
+        .prop_map(|(token, failed, deferred, emissions)| WireResult {
+            token,
+            failed,
+            deferred,
+            emissions,
+        })
+}
+
+/// Every frame type of the wire protocol with arbitrary payloads.
+fn any_frame() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        (0u32..8, any::<u32>()).prop_map(|(worker, pid)| Frame::Hello { worker, pid }),
+        (
+            0u32..8,
+            "[a-z]{1,10}",
+            "[a-z0-9:]{0,10}",
+            prop::collection::vec(0u32..64, 0..8),
+            0u8..3,
+            any::<u64>(),
+            any::<u64>(),
+            (1u32..64, 1u32..32),
+        )
+            .prop_map(
+                |(worker, topology, args, tasks, recovery, ckpt, tick, (tc, sc))| Frame::Assign {
+                    worker,
+                    topology,
+                    args,
+                    tasks,
+                    recovery,
+                    ckpt_interval_us: ckpt,
+                    tick_interval_us: tick,
+                    task_count: tc,
+                    stream_count: sc,
+                },
+            ),
+        prop::collection::vec(wire_tuple(), 0..6).prop_map(|items| Frame::TupleBatch { items }),
+        prop::collection::vec(wire_result(), 0..4).prop_map(|items| Frame::ResultBatch { items }),
+        (0u32..64, any::<u64>()).prop_map(|(task, amount)| Frame::CreditGrant { task, amount }),
+        (
+            0u32..64,
+            prop::collection::vec(any::<u8>(), 0..64),
+            prop::collection::vec(any::<u64>(), 0..8),
+        )
+            .prop_map(|(task, payload, dedup)| Frame::CheckpointDeposit {
+                task,
+                payload,
+                dedup,
+            }),
+        prop::collection::vec(any::<u64>(), 0..8).prop_map(|tokens| Frame::AckFlush { tokens }),
+        (
+            0u32..64,
+            prop_oneof![
+                Just(None),
+                prop::collection::vec(any::<u8>(), 0..32).prop_map(Some)
+            ],
+            prop::collection::vec(any::<u64>(), 0..8),
+        )
+            .prop_map(|(task, payload, dedup)| Frame::RestoreState {
+                task,
+                payload,
+                dedup,
+            }),
+        (0u32..64, any::<bool>(), any::<u64>()).prop_map(|(task, ok, latency_us)| {
+            Frame::StateRestored {
+                task,
+                ok,
+                latency_us,
+            }
+        }),
+        any::<u64>().prop_map(|seq| Frame::Flush { seq }),
+        any::<u64>().prop_map(|seq| Frame::Flushed { seq }),
+        Just(Frame::Shutdown),
+        (0u32..64, prop::collection::vec(wire_emission(), 0..4))
+            .prop_map(|(task, emissions)| Frame::TickEmissions { task, emissions }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Every frame type survives an encode/decode roundtrip bit-exactly.
+    #[test]
+    fn codec_every_frame_type_round_trips(frame in any_frame()) {
+        let mut buf = Vec::new();
+        encode_frame_body(&frame, &mut buf);
+        let back = decode_frame(&buf);
+        prop_assert_eq!(back, Ok(frame));
+    }
+
+    /// Every strict prefix of a valid frame body is a decode *error* —
+    /// never a panic, and never a silent short parse.
+    #[test]
+    fn codec_truncated_frames_error_never_panic(frame in any_frame()) {
+        let mut buf = Vec::new();
+        encode_frame_body(&frame, &mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(
+                decode_frame(&buf[..cut]).is_err(),
+                "prefix of {} bytes decoded", cut
+            );
+        }
+    }
+
+    /// Single-byte corruption anywhere in a frame body either errors or
+    /// decodes to *some* frame — it must never panic or overallocate.
+    #[test]
+    fn codec_corrupted_frames_never_panic(
+        frame in any_frame(),
+        pos in any::<u16>(),
+        xor in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        encode_frame_body(&frame, &mut buf);
+        let pos = pos as usize % buf.len().max(1);
+        buf[pos] ^= xor;
+        let _ = decode_frame(&buf); // Err or a different frame; both fine.
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder.
+    #[test]
+    fn codec_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Unsigned and zigzag varints roundtrip across the whole range,
+    /// including the multi-byte boundaries.
+    #[test]
+    fn codec_varints_round_trip(v in any::<u64>(), s in any::<i64>()) {
+        for v in [v, v >> 7, v >> 35, 0, u64::MAX] {
+            let mut buf = Vec::new();
+            codec::write_varint(&mut buf, v);
+            let mut d = Dec::new(&buf);
+            prop_assert_eq!(d.varint(), Ok(v));
+            prop_assert!(d.is_done());
+        }
+        prop_assert_eq!(codec::unzigzag(codec::zigzag(s)), s);
+    }
+
+    /// The length-prefixed encoding is what the frame reader parses:
+    /// `varint(len) ++ body` with `len == body.len()`.
+    #[test]
+    fn codec_length_prefix_matches_body(frame in any_frame()) {
+        let mut framed = Vec::new();
+        encode_frame(&frame, &mut framed);
+        let mut d = Dec::new(&framed);
+        let len = d.varint().unwrap() as usize;
+        let body = &framed[framed.len() - d.remaining()..];
+        prop_assert_eq!(len, body.len());
+        prop_assert_eq!(decode_frame(body), Ok(frame));
+    }
+}

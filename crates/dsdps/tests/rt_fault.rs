@@ -927,6 +927,162 @@ fn windowed_recovery_under(mode: Option<RecoveryMode>) -> (u64, rt::ThreadedRepo
     (flushed.load(Ordering::SeqCst), report)
 }
 
+// --- distributed worker-kill chaos --------------------------------------
+
+/// Checkpointable counter for the multi-process kill test.  Unlike
+/// [`StatefulCounter`] it carries no shared handle: the bolt runs in a
+/// worker *process*, so the only observable result channel is the snapshot
+/// it deposits with the coordinator — its flushed `(count, sum)` effects.
+struct DistCounter {
+    count: u64,
+    sum: u64,
+}
+
+impl Bolt for DistCounter {
+    fn execute(&mut self, t: &Tuple, _o: &mut BoltOutput) {
+        self.count += 1;
+        self.sum += t.get(0).unwrap().as_i64().unwrap() as u64;
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulComponent> {
+        Some(self)
+    }
+}
+
+impl StatefulComponent for DistCounter {
+    fn snapshot(&mut self) -> StateSnapshot {
+        StateSnapshot::encode(SnapshotKind::Full, &(self.count, self.sum))
+    }
+
+    fn restore(&mut self, base: &StateSnapshot, deltas: &[StateSnapshot]) -> Result<(), String> {
+        assert!(deltas.is_empty(), "full-only component");
+        let (count, sum): (u64, u64) = base.decode()?;
+        self.count = count;
+        self.sum = sum;
+        Ok(())
+    }
+}
+
+/// `args` is `"n:rate"` — a paced spout into one checkpointed counter.
+fn build_dist_chaos(args: &str) -> dsdps::error::Result<Topology> {
+    let mut it = args.split(':');
+    let n: u64 = it.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let rate: f64 = it.next().and_then(|s| s.parse().ok()).unwrap_or(1000.0);
+    let mut b = TopologyBuilder::new("dist-chaos");
+    b.set_spout("s", 1, move || PacedSpout::new(n, rate))?;
+    b.set_bolt("counter", 1, || DistCounter { count: 0, sum: 0 })?
+        .global_grouping("s")?;
+    b.build()
+}
+
+fn dist_registry() -> dsdps::dist::TopologyRegistry {
+    let mut r = dsdps::dist::TopologyRegistry::new();
+    r.register("chaos", build_dist_chaos);
+    r
+}
+
+/// The re-exec target that turns this test binary into a worker process.
+/// A no-op unless the coordinator's env vars are present, so it is safe
+/// under `cargo test -- --ignored` soaks.
+#[test]
+#[ignore = "worker-process entry point, spawned by the dist chaos test"]
+fn dist_worker_entry() {
+    if std::env::var("DSDPS_DIST_ADDR").is_err() {
+        return;
+    }
+    dsdps::dist::maybe_worker_from_env(&dist_registry());
+}
+
+/// Runs the dist chaos topology to completion (optionally SIGKILLing the
+/// counter's worker mid-stream) and returns the counter's final flushed
+/// state plus the report.
+fn dist_chaos_run(
+    n: u64,
+    rate: f64,
+    kill_worker: bool,
+) -> ((u64, u64), dsdps::dist::coordinator::DistReport) {
+    let worker_cmd = vec![
+        std::env::current_exe()
+            .expect("current_exe")
+            .to_string_lossy()
+            .into_owned(),
+        "--exact".into(),
+        "dist_worker_entry".into(),
+        "--ignored".into(),
+        "--nocapture".into(),
+    ];
+    let cfg = EngineConfig {
+        message_timeout_s: 2.0,
+        ..EngineConfig::default()
+    };
+    let rt_cfg = RtConfig::default()
+        .with_batch_size(8)
+        .with_max_replays(10)
+        .with_replay_backoff(Duration::from_millis(20))
+        .with_checkpoints(Duration::from_millis(50))
+        .with_recovery_mode(RecoveryMode::ExactlyOnceEffect);
+    let running = dsdps::dist::submit(
+        &dist_registry(),
+        "chaos",
+        &format!("{n}:{rate}"),
+        cfg,
+        rt_cfg,
+        dsdps::dist::DistConfig::new(2, worker_cmd),
+    )
+    .unwrap();
+
+    if kill_worker {
+        wait_until(20, || running.acked() >= n / 4);
+        assert!(
+            running.acked() >= n / 4,
+            "stream never got going: acked {}",
+            running.acked()
+        );
+        running.kill_worker(0).expect("kill worker 0");
+    }
+    wait_until(30, || running.acked() == n);
+    let report = running.shutdown();
+    let snap = report.final_snapshots[1]
+        .as_ref()
+        .expect("counter task checkpointed");
+    let state: (u64, u64) = snap.decode().expect("snapshot decodes");
+    (state, report)
+}
+
+/// The distributed satellite of the chaos suite: a worker *process* is
+/// SIGKILLed mid-run under exactly-once-effect.  The supervisor respawns
+/// it, the replacement restores from its checkpoint, lost trees replay,
+/// and the counter's flushed `(count, sum)` — read back from the
+/// coordinator's checkpoint store — matches a fault-free run of the same
+/// topology exactly.
+#[test]
+fn dist_worker_kill_matches_fault_free_flushed_counts() {
+    const N: u64 = 500;
+    const RATE: f64 = 1500.0;
+
+    let (fault_free, baseline) = dist_chaos_run(N, RATE, false);
+    assert_eq!(baseline.acked, N, "fault-free run acks everything");
+    assert_eq!(
+        fault_free,
+        (N, N * (N + 1) / 2),
+        "fault-free flushed counts: {baseline:?}"
+    );
+
+    let (flushed, report) = dist_chaos_run(N, RATE, true);
+    assert!(report.worker_disconnects >= 1, "{report:?}");
+    assert!(report.worker_restarts >= 1, "{report:?}");
+    assert!(
+        report.restores >= 1,
+        "replacement restored from checkpoint: {report:?}"
+    );
+    assert_eq!(report.acked, N, "every message recovered: {report:?}");
+    assert!(report.conservation_holds(), "{report:?}");
+    assert_eq!(
+        flushed, fault_free,
+        "exactly-once effect: flushed counts match the fault-free run: {report:?}"
+    );
+}
+
 /// 30-second soak: rolling chaos (panics, a hang, slowdowns, drop windows)
 /// against a continuously emitting spout.  Run with `--ignored`.
 #[test]

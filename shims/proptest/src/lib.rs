@@ -260,6 +260,8 @@ arbitrary_impl!(bool, rng, rng.next_u64() & 1 == 1);
 arbitrary_impl!(i64, rng, rng.next_u64() as i64);
 arbitrary_impl!(u64, rng, rng.next_u64());
 arbitrary_impl!(u32, rng, rng.next_u64() as u32);
+arbitrary_impl!(u16, rng, rng.next_u64() as u16);
+arbitrary_impl!(u8, rng, rng.next_u64() as u8);
 arbitrary_impl!(usize, rng, rng.next_u64() as usize);
 // Raw bit reinterpretation on purpose: NaNs, infinities and subnormals are
 // exactly the f64s a property test wants to see.
@@ -405,6 +407,10 @@ tuple_strategy! {
     (A 0, B 1)
     (A 0, B 1, C 2)
     (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
 }
 
 // ---------------------------------------------------------------------------
