@@ -170,6 +170,11 @@ fn sample_batch(n: usize) -> Vec<codec::WireTuple> {
             dest_task: (i % 7) as u32,
             stream: (i % 3) as u32,
             dedup: if i % 4 == 0 { Some(i as u64 + 1) } else { None },
+            trace_root: if i % 8 == 0 {
+                Some(i as u64 * 3 + 7)
+            } else {
+                None
+            },
             values: vec![
                 Value::from(i as i64 * 37 - 5),
                 Value::from(format!("sensor-{:04}", i % 50)),
@@ -539,6 +544,137 @@ pub fn run(smoke: bool) -> DistResults {
     res
 }
 
+// --- telemetry overhead (dist) ------------------------------------------
+
+/// Runs the relay pipeline once at `workers` × `batch` and returns acked
+/// tuples/s: the sample behind `--dist-point` and the distributed
+/// telemetry-overhead gate.
+pub fn run_point(workers: usize, batch: usize, secs: f64) -> f64 {
+    dist_throughput(workers, batch, secs)
+}
+
+/// Runs the `strip-telemetry` reference binary for one dist `w1_b64` sample
+/// via its `--dist-point` mode and parses the machine-readable result,
+/// verifying the binary really was built without hot-path telemetry.  The
+/// stripped binary spawns its worker fleet by re-exec'ing *itself*, so the
+/// whole pipeline — coordinator and workers — runs stripped.
+fn stripped_dist_point(bin: &str, secs: f64) -> std::result::Result<f64, String> {
+    let out = std::process::Command::new(bin)
+        .args(["--dist-point", "1", "64"])
+        .arg(format!("{secs}"))
+        .arg("1")
+        .output()
+        .map_err(|e| format!("cannot run stripped reference {bin}: {e}"))?;
+    let text = String::from_utf8_lossy(&out.stdout);
+    if text.contains("telemetry_compiled: true") {
+        return Err(format!(
+            "{bin} was built WITH telemetry compiled in; rebuild it with --features strip-telemetry"
+        ));
+    }
+    text.lines()
+        .find_map(|l| l.strip_prefix("dist_point_sample: ")?.trim().parse().ok())
+        .ok_or_else(|| format!("no dist_point_sample line in output of {bin}:\n{text}"))
+}
+
+/// Extracts the body (`{...}`) of the `"dist"` section of a
+/// `BENCH_telemetry.json` document, if present.  The dist section is
+/// always the final key, so a rewrite of the rt half can carry it over.
+pub(crate) fn dist_section_body(doc: &str) -> Option<String> {
+    let i = doc.find("\"dist\":")?;
+    let rest = doc[i + "\"dist\":".len()..].trim_end();
+    Some(rest.strip_suffix('}')?.trim().to_string())
+}
+
+/// Splices a `"dist"` section into a `BENCH_telemetry.json` document,
+/// replacing any previous one.  The section always goes last, so the
+/// splice point is either the old section's start or the final brace.
+pub(crate) fn merge_dist_section(existing: &str, dist: &str) -> String {
+    let base = match existing.find(",\n  \"dist\":") {
+        Some(i) => existing[..i].to_string(),
+        None => {
+            let t = existing.trim_end();
+            match t.strip_suffix('}') {
+                Some(body) if t.starts_with('{') && body.trim_end().len() > 1 => {
+                    body.trim_end().to_string()
+                }
+                _ => "{\n  \"schema\": \"bench_telemetry/v1\"".to_string(),
+            }
+        }
+    };
+    format!("{base},\n  \"dist\": {dist}\n}}\n")
+}
+
+/// CI telemetry-overhead gate for the distributed backend: with telemetry
+/// compiled in but *disabled* (the default [`RtConfig`] — sample rate 0,
+/// no metrics address, no metrics interval), dist `w1_b64` throughput must
+/// stay within 3% of a `strip-telemetry` build's.  Same interleaved
+/// min-pair discipline as the threaded gate in [`crate::micro`] and for
+/// the same reason: the machine's ceiling drifts between separate runs,
+/// so only an *every-pair* loss separates a real hot-path cost from
+/// noise.  Merges a `dist` section into `BENCH_telemetry.json` at the
+/// repository root regardless of the verdict, preserving the rt half.
+pub fn check_dist_telemetry_overhead(
+    smoke: bool,
+    stripped_bin: &str,
+) -> std::result::Result<(), String> {
+    const TOLERANCE: f64 = 0.03;
+    if !dsdps::telemetry::HOT_PATH_TELEMETRY {
+        return Err(
+            "--check-dist-telemetry-overhead must run on a build WITHOUT strip-telemetry \
+             (this build has the feature enabled, so there is nothing to measure)"
+                .to_string(),
+        );
+    }
+    let (reps, secs) = if smoke { (6, 0.6) } else { (5, 2.0) };
+    println!("\ndist telemetry overhead gate: {reps} interleaved w1_b64 pairs, {secs}s each");
+    let (mut stripped, mut fresh) = (0.0f64, 0.0f64);
+    let mut min_pair_overhead = f64::INFINITY;
+    for r in 0..reps {
+        let s = stripped_dist_point(stripped_bin, secs)?;
+        let f = dist_throughput(1, 64, secs);
+        let pair_overhead = (1.0 - f / s) * 100.0;
+        println!(
+            "  pair {r}: stripped {s:>10.0}  instrumented-disabled {f:>10.0} acked tuples/s \
+             ({pair_overhead:+.1}%)"
+        );
+        stripped = stripped.max(s);
+        fresh = fresh.max(f);
+        min_pair_overhead = min_pair_overhead.min(pair_overhead);
+    }
+    let overhead_pct = (1.0 - fresh / stripped) * 100.0;
+    println!(
+        "dist telemetry overhead check: best w1_b64 instrumented-disabled {fresh:.0} vs \
+         stripped {stripped:.0} ({overhead_pct:+.1}% best-of, {min_pair_overhead:+.1}% min \
+         pair, tolerance {:.0}%)",
+        TOLERANCE * 100.0
+    );
+    let section = format!(
+        "{{\n    \"acked_tuples_per_s\": {{\n      \"w1_b64_stripped\": {stripped:.1},\n      \
+         \"w1_b64_instrumented_disabled\": {fresh:.1}\n    }},\n    \
+         \"overhead_pct\": {overhead_pct:.2},\n    \
+         \"min_pair_overhead_pct\": {min_pair_overhead:.2},\n    \"tolerance_pct\": {:.1}\n  }}",
+        TOLERANCE * 100.0
+    );
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_telemetry.json"
+    ));
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    match std::fs::write(&path, merge_dist_section(&existing, &section)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_telemetry.json: {e}"),
+    }
+    if min_pair_overhead > TOLERANCE * 100.0 {
+        return Err(format!(
+            "dist telemetry overhead regression: disabled-telemetry throughput lost to the \
+             stripped build by more than {:.0}% in every one of {reps} interleaved pairs \
+             (min pair overhead {min_pair_overhead:+.1}%)",
+            TOLERANCE * 100.0
+        ));
+    }
+    Ok(())
+}
+
 // --- CI gate ------------------------------------------------------------
 
 /// Minimum binary-over-JSON codec speedup at batch 64 — the wire-codec
@@ -722,6 +858,40 @@ mod tests {
             let err = check_dist_baseline(&res, path).unwrap_err();
             assert!(err.contains("recovery"), "unexpected message: {err}");
         });
+    }
+
+    #[test]
+    fn dist_section_merges_into_rt_document() {
+        let rt_doc = "{\n  \"schema\": \"bench_telemetry/v1\",\n  \"overhead_pct\": 1.00\n}\n";
+        let merged = merge_dist_section(rt_doc, "{\n    \"overhead_pct\": 2.00\n  }");
+        assert!(merged.contains("\"schema\": \"bench_telemetry/v1\""));
+        assert!(merged.contains("\"dist\": {"));
+        assert!(
+            serde_json::parse(&merged).is_ok(),
+            "invalid JSON:\n{merged}"
+        );
+
+        // Re-merging replaces the old section instead of stacking a second.
+        let remerged = merge_dist_section(&merged, "{\n    \"overhead_pct\": 3.00\n  }");
+        assert_eq!(remerged.matches("\"dist\":").count(), 1);
+        assert!(remerged.contains("3.00") && !remerged.contains("2.00"));
+        assert!(
+            serde_json::parse(&remerged).is_ok(),
+            "invalid JSON:\n{remerged}"
+        );
+
+        // A missing or mangled document degrades to a fresh skeleton.
+        let fresh = merge_dist_section("", "{\n    \"overhead_pct\": 2.00\n  }");
+        assert!(fresh.contains("\"schema\": \"bench_telemetry/v1\""));
+        assert!(serde_json::parse(&fresh).is_ok(), "invalid JSON:\n{fresh}");
+    }
+
+    #[test]
+    fn dist_section_body_round_trips_through_merge() {
+        let body = "{\n    \"overhead_pct\": 2.00,\n    \"tolerance_pct\": 3.0\n  }";
+        let doc = merge_dist_section("{\n  \"schema\": \"bench_telemetry/v1\"\n}\n", body);
+        assert_eq!(dist_section_body(&doc).as_deref(), Some(body));
+        assert_eq!(dist_section_body("{\n  \"schema\": \"x\"\n}\n"), None);
     }
 
     #[test]

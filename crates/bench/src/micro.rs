@@ -897,7 +897,7 @@ fn check_telemetry_overhead(mode: &str, smoke: bool, stripped_bin: &str) -> Resu
         fmt_num(stripped),
         TOLERANCE * 100.0
     );
-    let doc = format!(
+    let mut doc = format!(
         "{{\n  \"schema\": \"bench_telemetry/v1\",\n  \"mode\": \"{mode}\",\n  \
          \"acked_tuples_per_s\": {{\n    \"w1_b64_stripped\": {stripped:.1},\n    \
          \"w1_b64_instrumented_disabled\": {fresh:.1}\n  }},\n  \
@@ -910,6 +910,13 @@ fn check_telemetry_overhead(mode: &str, smoke: bool, stripped_bin: &str) -> Resu
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_telemetry.json"
     ));
+    // Rewriting the rt half must not drop the dist gate's section.
+    if let Some(dist) = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| crate::dist_bench::dist_section_body(&t))
+    {
+        doc = crate::dist_bench::merge_dist_section(&doc, &dist);
+    }
     match std::fs::write(&path, doc) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write BENCH_telemetry.json: {e}"),
@@ -943,6 +950,12 @@ fn check_telemetry_overhead(mode: &str, smoke: bool, stripped_bin: &str) -> Resu
 /// `BENCH_dist.json`); `--check-dist-baseline <path>` enforces the
 /// distributed gate (≥5× codec speedup at batch 64, full recovery after a
 /// worker kill, and ≤20% `w2_b64` throughput regression).
+/// `--dist-point W B SECS REPS` repeats one multi-process scaling point
+/// (the dist analogue of `--rt-point`, serving the dist telemetry gate's
+/// stripped reference samples); `--check-dist-telemetry-overhead
+/// <stripped-bin>` enforces the distributed telemetry-overhead gate (3%
+/// tolerance, interleaved min-pair, merging a `dist` section into
+/// `BENCH_telemetry.json`).
 pub fn main_entry() {
     // A re-exec of this binary with `DSDPS_DIST_ADDR` set is a distributed
     // worker for the dist_scaling bench, not a fresh suite run.
@@ -962,10 +975,29 @@ pub fn main_entry() {
     let telemetry_check = flag_path("--check-telemetry-overhead");
     let sim_baseline = flag_path("--check-sim-baseline");
     let dist_baseline = flag_path("--check-dist-baseline");
+    let dist_telemetry_check = flag_path("--check-dist-telemetry-overhead");
     let overload_gate = args.iter().any(|a| a == "--check-overload-gate");
     let recovery_gate = args.iter().any(|a| a == "--check-recovery-gate");
+    if let Some(i) = args.iter().position(|a| a == "--dist-point") {
+        // Diagnostic mode: repeat one multi-process scaling point, for
+        // A/B-ing the distributed backend without the whole suite.
+        let n = |k: usize| -> f64 { args[i + k].parse().expect("--dist-point W B SECS REPS") };
+        let (w, b, secs, reps) = (n(1) as usize, n(2) as usize, n(3), n(4) as usize);
+        println!(
+            "dist-point w{w} b{b} {secs}s x{reps} (telemetry_compiled: {})",
+            dsdps::telemetry::HOT_PATH_TELEMETRY
+        );
+        for r in 0..reps {
+            let tput = crate::dist_bench::run_point(w, b, secs);
+            // Machine-readable line, parsed by the dist telemetry-overhead
+            // gate when it drives the stripped reference binary.
+            println!("dist_point_sample: {tput:.1}");
+            println!("  rep {r}: {:>12} acked tuples/s", fmt_num(tput));
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--dist-only") {
-        // Run only the distributed suite (plus its gate, if requested) —
+        // Run only the distributed suite (plus its gates, if requested) —
         // what the CI dist-smoke job executes.
         let dist = crate::dist_bench::run(smoke);
         match dist.write_json_at_repo_root() {
@@ -974,6 +1006,12 @@ pub fn main_entry() {
         }
         if let Some(path) = dist_baseline {
             if let Err(msg) = crate::dist_bench::check_dist_baseline(&dist, &path) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(path) = dist_telemetry_check {
+            if let Err(msg) = crate::dist_bench::check_dist_telemetry_overhead(smoke, &path) {
                 eprintln!("{msg}");
                 std::process::exit(1);
             }
@@ -1090,6 +1128,12 @@ pub fn main_entry() {
     }
     if let Some(path) = telemetry_check {
         if let Err(msg) = check_telemetry_overhead(res.mode, smoke, &path) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = dist_telemetry_check {
+        if let Err(msg) = crate::dist_bench::check_dist_telemetry_overhead(smoke, &path) {
             eprintln!("{msg}");
             std::process::exit(1);
         }

@@ -362,8 +362,52 @@ pub struct WireTuple {
     pub stream: u32,
     /// Spout message id for replay dedup, when the delivery is tracked.
     pub dedup: Option<u64>,
+    /// Root id of the tuple tree **when the coordinator sampled it for
+    /// tracing** — the sampling decision travels with the tuple so workers
+    /// record hop spans for exactly the trees the coordinator traces
+    /// (`trace_id = splitmix64(root)` is derived, never sent).
+    pub trace_root: Option<u64>,
     /// Raw tuple values; the schema comes from the intern table.
     pub values: Vec<Value>,
+}
+
+/// One hop span on the worker → coordinator telemetry path
+/// ([`Frame::SpanBatch`]).  Carries only what the worker knows: timestamps
+/// are µs on the **worker's** clock (the coordinator re-bases them with the
+/// clock offset estimated at the `Hello`/`Assign` handshake) and the
+/// component/worker/pid/generation tags are stamped coordinator-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// [`SpanKind`](crate::telemetry::SpanKind) discriminant
+    /// (0 = spout-emit, 1 = hop, 2 = ack, 3 = fail, 4 = timeout).
+    pub kind: u8,
+    /// Tuple-tree root id (the sampled `trace_root` the tuple carried).
+    pub root: u64,
+    /// Global task id that executed the tuple.
+    pub task: u32,
+    /// Start timestamp, µs on the worker's clock.
+    pub start_us: u64,
+    /// Socket-receipt → execution-start wait, µs.
+    pub queue_wait_us: u64,
+    /// Bolt execute time, µs.
+    pub exec_us: u64,
+    /// Sequence number of the tuple batch the delivery arrived in.
+    pub batch_id: u64,
+}
+
+/// One metric sample on the worker → coordinator telemetry path
+/// ([`Frame::MetricsPush`]).  Counters travel as **deltas** since the last
+/// push (respawns restart from zero without double counting); gauges travel
+/// as the current value with the f64 stored in `value` via `to_bits`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMetric {
+    /// 0 = counter delta, 1 = gauge.
+    pub kind: u8,
+    /// Metric family name (worker-local registries are label-free; the
+    /// coordinator re-registers under `worker`/`generation` labels).
+    pub name: String,
+    /// Counter delta, or `f64::to_bits` of the gauge value.
+    pub value: u64,
 }
 
 /// One bolt emission on the worker → coordinator path.
@@ -412,6 +456,9 @@ const T_FLUSH: u8 = 10;
 const T_FLUSHED: u8 = 11;
 const T_SHUTDOWN: u8 = 12;
 const T_TICK: u8 = 13;
+const T_SPAN_BATCH: u8 = 14;
+const T_METRICS_PUSH: u8 = 15;
+const T_LAST_WORDS: u8 = 16;
 
 /// Every message of the wire protocol.
 ///
@@ -425,6 +472,11 @@ pub enum Frame {
         worker: u32,
         /// Worker OS process id, journaled by the coordinator.
         pid: u32,
+        /// Worker clock reading (µs since the worker's span clock epoch) at
+        /// the moment the frame was sent.  The coordinator estimates
+        /// `offset = coordinator_now_us − clock_us` on receipt and re-bases
+        /// every span the worker later ships.
+        clock_us: u64,
     },
     /// Coordinator → worker: topology assignment and runtime knobs.
     Assign {
@@ -442,6 +494,9 @@ pub enum Frame {
         ckpt_interval_us: u64,
         /// Bolt tick interval, microseconds (0 = no ticks).
         tick_interval_us: u64,
+        /// Telemetry push cadence, microseconds: the worker ships
+        /// [`Frame::SpanBatch`] + [`Frame::MetricsPush`] this often.
+        metrics_interval_us: u64,
         /// Topology fingerprint: total task count.
         task_count: u32,
         /// Topology fingerprint: interned stream count.
@@ -519,6 +574,36 @@ pub enum Frame {
         /// The emissions.
         emissions: Vec<WireEmission>,
     },
+    /// Worker → coordinator: hop spans drained from the worker's local
+    /// trace ring buffers, shipped on the metrics interval.
+    SpanBatch {
+        /// Worker slot index.
+        worker: u32,
+        /// Spans rejected by the worker's ring buffers since the last
+        /// batch (the coordinator folds this into its dropped counter).
+        dropped: u64,
+        /// The spans, timestamped on the worker's clock.
+        spans: Vec<WireSpan>,
+    },
+    /// Worker → coordinator: local registry deltas, shipped on the metrics
+    /// interval and re-registered under `worker`/`generation` labels.
+    MetricsPush {
+        /// Worker slot index.
+        worker: u32,
+        /// The samples.
+        samples: Vec<WireMetric>,
+    },
+    /// Worker → coordinator: best-effort structured last words sent while
+    /// the worker is dying (panic, decode error, socket failure).  The
+    /// supervisor attaches the cause to the `worker_died` journal event.
+    LastWords {
+        /// Worker slot index.
+        worker: u32,
+        /// Short machine-readable cause (`panic`, `decode_error`, `io_error`).
+        cause: String,
+        /// Human-readable detail (panic payload, error text).
+        detail: String,
+    },
 }
 
 impl Frame {
@@ -538,6 +623,9 @@ impl Frame {
             Frame::Flushed { .. } => "flushed",
             Frame::Shutdown => "shutdown",
             Frame::TickEmissions { .. } => "tick_emissions",
+            Frame::SpanBatch { .. } => "span_batch",
+            Frame::MetricsPush { .. } => "metrics_push",
+            Frame::LastWords { .. } => "last_words",
         }
     }
 }
@@ -567,7 +655,52 @@ pub fn write_tuple_item(buf: &mut Vec<u8>, item: &WireTuple) {
     write_varint(buf, u64::from(item.dest_task));
     write_varint(buf, u64::from(item.stream));
     write_opt_varint(buf, item.dedup);
+    write_opt_varint(buf, item.trace_root);
     write_values(buf, &item.values);
+}
+
+fn write_span(buf: &mut Vec<u8>, s: &WireSpan) {
+    buf.push(s.kind);
+    write_varint(buf, s.root);
+    write_varint(buf, u64::from(s.task));
+    write_varint(buf, s.start_us);
+    write_varint(buf, s.queue_wait_us);
+    write_varint(buf, s.exec_us);
+    write_varint(buf, s.batch_id);
+}
+
+fn read_span(d: &mut Dec<'_>) -> Result<WireSpan, CodecError> {
+    let kind = d.u8()?;
+    if kind > 4 {
+        return Err(CodecError::Malformed("bad span kind"));
+    }
+    Ok(WireSpan {
+        kind,
+        root: d.varint()?,
+        task: d.varint()? as u32,
+        start_us: d.varint()?,
+        queue_wait_us: d.varint()?,
+        exec_us: d.varint()?,
+        batch_id: d.varint()?,
+    })
+}
+
+fn write_metric(buf: &mut Vec<u8>, m: &WireMetric) {
+    buf.push(m.kind);
+    write_str(buf, &m.name);
+    write_varint(buf, m.value);
+}
+
+fn read_metric(d: &mut Dec<'_>) -> Result<WireMetric, CodecError> {
+    let kind = d.u8()?;
+    if kind > 1 {
+        return Err(CodecError::Malformed("bad metric kind"));
+    }
+    Ok(WireMetric {
+        kind,
+        name: d.str()?.to_owned(),
+        value: d.varint()?,
+    })
 }
 
 fn write_emission(buf: &mut Vec<u8>, e: &WireEmission) {
@@ -614,10 +747,15 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
 /// the transport writer prefixes it when it owns the framing.
 pub fn encode_frame_body(frame: &Frame, buf: &mut Vec<u8>) {
     match frame {
-        Frame::Hello { worker, pid } => {
+        Frame::Hello {
+            worker,
+            pid,
+            clock_us,
+        } => {
             buf.push(T_HELLO);
             write_varint(buf, u64::from(*worker));
             write_varint(buf, u64::from(*pid));
+            write_varint(buf, *clock_us);
         }
         Frame::Assign {
             worker,
@@ -627,6 +765,7 @@ pub fn encode_frame_body(frame: &Frame, buf: &mut Vec<u8>) {
             recovery,
             ckpt_interval_us,
             tick_interval_us,
+            metrics_interval_us,
             task_count,
             stream_count,
         } => {
@@ -641,6 +780,7 @@ pub fn encode_frame_body(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(*recovery);
             write_varint(buf, *ckpt_interval_us);
             write_varint(buf, *tick_interval_us);
+            write_varint(buf, *metrics_interval_us);
             write_varint(buf, u64::from(*task_count));
             write_varint(buf, u64::from(*stream_count));
         }
@@ -734,6 +874,37 @@ pub fn encode_frame_body(frame: &Frame, buf: &mut Vec<u8>) {
                 write_emission(buf, e);
             }
         }
+        Frame::SpanBatch {
+            worker,
+            dropped,
+            spans,
+        } => {
+            buf.push(T_SPAN_BATCH);
+            write_varint(buf, u64::from(*worker));
+            write_varint(buf, *dropped);
+            write_varint(buf, spans.len() as u64);
+            for s in spans {
+                write_span(buf, s);
+            }
+        }
+        Frame::MetricsPush { worker, samples } => {
+            buf.push(T_METRICS_PUSH);
+            write_varint(buf, u64::from(*worker));
+            write_varint(buf, samples.len() as u64);
+            for m in samples {
+                write_metric(buf, m);
+            }
+        }
+        Frame::LastWords {
+            worker,
+            cause,
+            detail,
+        } => {
+            buf.push(T_LAST_WORDS);
+            write_varint(buf, u64::from(*worker));
+            write_str(buf, cause);
+            write_str(buf, detail);
+        }
     }
 }
 
@@ -752,6 +923,7 @@ fn decode_frame_inner(d: &mut Dec<'_>) -> Result<Frame, CodecError> {
         T_HELLO => Ok(Frame::Hello {
             worker: d.varint()? as u32,
             pid: d.varint()? as u32,
+            clock_us: d.varint()?,
         }),
         T_ASSIGN => {
             let worker = d.varint()? as u32;
@@ -770,6 +942,7 @@ fn decode_frame_inner(d: &mut Dec<'_>) -> Result<Frame, CodecError> {
                 recovery: d.u8()?,
                 ckpt_interval_us: d.varint()?,
                 tick_interval_us: d.varint()?,
+                metrics_interval_us: d.varint()?,
                 task_count: d.varint()? as u32,
                 stream_count: d.varint()? as u32,
             })
@@ -783,6 +956,7 @@ fn decode_frame_inner(d: &mut Dec<'_>) -> Result<Frame, CodecError> {
                     dest_task: d.varint()? as u32,
                     stream: d.varint()? as u32,
                     dedup: read_opt_varint(d)?,
+                    trace_root: read_opt_varint(d)?,
                     values: read_values(d)?,
                 });
             }
@@ -876,6 +1050,34 @@ fn decode_frame_inner(d: &mut Dec<'_>) -> Result<Frame, CodecError> {
             }
             Ok(Frame::TickEmissions { task, emissions })
         }
+        T_SPAN_BATCH => {
+            let worker = d.varint()? as u32;
+            let dropped = d.varint()?;
+            let n = d.count()?;
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                spans.push(read_span(d)?);
+            }
+            Ok(Frame::SpanBatch {
+                worker,
+                dropped,
+                spans,
+            })
+        }
+        T_METRICS_PUSH => {
+            let worker = d.varint()? as u32;
+            let n = d.count()?;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                samples.push(read_metric(d)?);
+            }
+            Ok(Frame::MetricsPush { worker, samples })
+        }
+        T_LAST_WORDS => Ok(Frame::LastWords {
+            worker: d.varint()? as u32,
+            cause: d.str()?.to_owned(),
+            detail: d.str()?.to_owned(),
+        }),
         _ => Err(CodecError::Malformed("unknown frame tag")),
     }
 }
@@ -1017,6 +1219,7 @@ pub mod json {
             ("dest".into(), J::U64(u64::from(t.dest_task))),
             ("stream".into(), J::U64(u64::from(t.stream))),
             ("dedup".into(), t.dedup.map_or(J::Null, J::U64)),
+            ("trace".into(), t.trace_root.map_or(J::Null, J::U64)),
             (
                 "values".into(),
                 J::Array(t.values.iter().map(value_to_json).collect()),
@@ -1056,6 +1259,10 @@ pub mod json {
             dest_task: as_u64(obj_get(fields, "dest")?)? as u32,
             stream: as_u64(obj_get(fields, "stream")?)? as u32,
             dedup: match obj_get(fields, "dedup")? {
+                J::Null => None,
+                other => Some(as_u64(other)?),
+            },
+            trace_root: match obj_get(fields, "trace")? {
                 J::Null => None,
                 other => Some(as_u64(other)?),
             },
@@ -1161,6 +1368,7 @@ mod tests {
             Frame::Hello {
                 worker: 2,
                 pid: 4711,
+                clock_us: 12_345,
             },
             Frame::Assign {
                 worker: 1,
@@ -1170,6 +1378,7 @@ mod tests {
                 recovery: 0,
                 ckpt_interval_us: 500_000,
                 tick_interval_us: 1_000_000,
+                metrics_interval_us: 250_000,
                 task_count: 6,
                 stream_count: 3,
             },
@@ -1179,6 +1388,7 @@ mod tests {
                     dest_task: 3,
                     stream: 1,
                     dedup: Some(7),
+                    trace_root: Some(4242),
                     values: sample_values(),
                 }],
             },
@@ -1228,6 +1438,39 @@ mod tests {
                     direct_task: None,
                     values: vec![Value::from(2.0f64)],
                 }],
+            },
+            Frame::SpanBatch {
+                worker: 1,
+                dropped: 2,
+                spans: vec![WireSpan {
+                    kind: 1,
+                    root: 4242,
+                    task: 3,
+                    start_us: 1_000_000,
+                    queue_wait_us: 35,
+                    exec_us: 12,
+                    batch_id: 17,
+                }],
+            },
+            Frame::MetricsPush {
+                worker: 1,
+                samples: vec![
+                    WireMetric {
+                        kind: 0,
+                        name: "dsdps_worker_executed_total".into(),
+                        value: 640,
+                    },
+                    WireMetric {
+                        kind: 1,
+                        name: "dsdps_worker_uptime_seconds".into(),
+                        value: 1.5f64.to_bits(),
+                    },
+                ],
+            },
+            Frame::LastWords {
+                worker: 1,
+                cause: "panic".into(),
+                detail: "bolt exploded at tuple 7".into(),
             },
         ]
     }
@@ -1306,6 +1549,7 @@ mod tests {
                 dest_task: 2,
                 stream: 0,
                 dedup: None,
+                trace_root: None,
                 values: vec![Value::from("url-17"), Value::from(17i64)],
             };
             16

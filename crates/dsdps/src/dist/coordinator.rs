@@ -14,6 +14,7 @@
 //! a dying connection fails every delivery pending on it into replay.
 
 use std::collections::{HashMap, VecDeque};
+use std::io::BufRead;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -22,9 +23,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use super::codec::{Frame, InternTable, WireEmission, WireTuple};
-use super::transport::{BatchWriter, Conn, Endpoint, FrameReader, Listener};
+use super::transport::{BatchWriter, Conn, ConnStats, Endpoint, FrameReader, Listener};
 use super::worker::{snapshot_from_payload, snapshot_to_payload, TopologyRegistry};
-use super::{recovery_to_byte, DistConfig, TransportKind};
+use super::{recovery_to_byte, span_kind_from_byte, DistConfig, LastWordsLine, TransportKind};
 use crate::acker::{splitmix64, Completion, RootId, ShardedAcker, TreeOutcome};
 use crate::component::{Emission, MessageId, SpoutOutput, TopologyContext};
 use crate::config::EngineConfig;
@@ -34,7 +35,11 @@ use crate::rt::checkpoint::CheckpointStore;
 use crate::rt::replay::{FailDecision, ReplayBuffer};
 use crate::rt::{CreditLedger, CreditTotals, RtConfig, StateSnapshot};
 use crate::telemetry::journal::{Journal, JournalEvent};
-use crate::topology::{ComponentKind, TaskId, Topology};
+use crate::telemetry::{
+    chrome_trace_json_named, normalize_start_us, trace::trace_id, Counter, Gauge, MetricsServer,
+    Registry, Span, SpanKind, Tracer, HOT_PATH_TELEMETRY,
+};
+use crate::topology::{ComponentId, ComponentKind, TaskId, Topology};
 use crate::tuple::{Tuple, Value};
 
 /// Credit window (tuples per task) used when `RtConfig::credit_flow` is
@@ -51,6 +56,10 @@ use crate::tuple::{Tuple, Value};
 /// (or per-task-tuned) window enable `credit_flow`, which sizes windows as
 /// `credit_window × batch_size` and re-grants per processed batch.
 const DEFAULT_WINDOW_TUPLES: u64 = 1_024;
+
+/// How often the supervisor refreshes the cluster-view gauges (outstanding
+/// windows, overflow depth, connection counters).  Off the tuple path.
+const GAUGE_SYNC_INTERVAL: Duration = Duration::from_millis(250);
 
 /// One delivery awaiting its result (or its deferred ack).
 struct Delivery {
@@ -74,6 +83,19 @@ struct SlotState {
     /// Snapshot age (s) per task with a restore in flight, for journaling
     /// the worker's `state_restored` reply.
     restore_age: HashMap<u32, Option<f64>>,
+    /// `coordinator_now_us − worker_clock_us`, estimated at the `Hello`
+    /// handshake; re-bases every span this connection ships.
+    clock_offset_us: i64,
+    /// Transport counters of the live connection (reader + writer share
+    /// one instance).
+    conn_stats: Option<Arc<ConnStats>>,
+    /// Structured cause of death captured from the worker's `LastWords`
+    /// frame or its stderr JSONL line; consumed by the supervisor when it
+    /// reaps the child.
+    last_words: Option<(String, String)>,
+    /// A heartbeat-lag journal event was already emitted for the current
+    /// silence episode.
+    hb_lagged: bool,
 }
 
 struct WorkerSlot {
@@ -238,6 +260,101 @@ impl LatencyStats {
     }
 }
 
+/// Cached handles of the per-slot transport/flow families the supervisor
+/// refreshes at gauge cadence (never on the tuple path).
+struct SlotGauges {
+    /// §15.4 deadlock class as a live gauge: deliveries on the wire
+    /// awaiting results.
+    outstanding: Gauge,
+    /// Emissions parked in this slot's overflow queues (credit stall).
+    parked: Gauge,
+    /// Seconds since the last frame arrived on the connection.
+    rx_silence: Gauge,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    decode_us: Counter,
+    encode_us: Counter,
+    write_block_us: Counter,
+}
+
+impl SlotGauges {
+    fn new(reg: &Registry, slot: usize) -> Self {
+        let s = slot.to_string();
+        let labels: [(&str, &str); 1] = [("worker", s.as_str())];
+        SlotGauges {
+            outstanding: reg.gauge("dsdps_dist_outstanding_window", &labels),
+            parked: reg.gauge("dsdps_dist_overflow_parked", &labels),
+            rx_silence: reg.gauge("dsdps_dist_conn_rx_silence_seconds", &labels),
+            bytes_in: reg.counter("dsdps_dist_conn_bytes_in_total", &labels),
+            bytes_out: reg.counter("dsdps_dist_conn_bytes_out_total", &labels),
+            frames_in: reg.counter("dsdps_dist_conn_frames_in_total", &labels),
+            frames_out: reg.counter("dsdps_dist_conn_frames_out_total", &labels),
+            decode_us: reg.counter("dsdps_dist_conn_decode_us_total", &labels),
+            encode_us: reg.counter("dsdps_dist_conn_encode_us_total", &labels),
+            write_block_us: reg.counter("dsdps_dist_conn_write_block_us_total", &labels),
+        }
+    }
+
+    fn sync_conn(&self, stats: &ConnStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.bytes_in.set(stats.bytes_in.load(Relaxed));
+        self.bytes_out.set(stats.bytes_out.load(Relaxed));
+        self.frames_in.set(stats.frames_in.load(Relaxed));
+        self.frames_out.set(stats.frames_out.load(Relaxed));
+        self.decode_us.set(stats.decode_us.load(Relaxed));
+        self.encode_us.set(stats.encode_us.load(Relaxed));
+        self.write_block_us.set(stats.write_block_us.load(Relaxed));
+        self.rx_silence.set(stats.rx_silence_s().unwrap_or(0.0));
+    }
+}
+
+/// Cached handles of the coordinator-level reliability families.
+struct CoordMetrics {
+    tracked: Counter,
+    acked: Counter,
+    failed: Counter,
+    timed_out: Counter,
+    permanently_failed: Counter,
+    replays_emitted: Counter,
+    worker_restarts: Counter,
+    worker_disconnects: Counter,
+    pending_trees: Gauge,
+}
+
+impl CoordMetrics {
+    fn new(reg: &Registry) -> Self {
+        CoordMetrics {
+            tracked: reg.counter("dsdps_coord_tracked_total", &[]),
+            acked: reg.counter("dsdps_coord_acked_total", &[]),
+            failed: reg.counter("dsdps_coord_failed_total", &[]),
+            timed_out: reg.counter("dsdps_coord_timed_out_total", &[]),
+            permanently_failed: reg.counter("dsdps_coord_permanently_failed_total", &[]),
+            replays_emitted: reg.counter("dsdps_coord_replays_emitted_total", &[]),
+            worker_restarts: reg.counter("dsdps_coord_worker_restarts_total", &[]),
+            worker_disconnects: reg.counter("dsdps_coord_worker_disconnects_total", &[]),
+            pending_trees: reg.gauge("dsdps_coord_pending_trees", &[]),
+        }
+    }
+
+    fn sync(&self, c: &Counters, pending: usize) {
+        self.tracked.set(c.tracked.load(Ordering::Relaxed));
+        self.acked.set(c.acked.load(Ordering::Relaxed));
+        self.failed.set(c.failed.load(Ordering::Relaxed));
+        self.timed_out.set(c.timed_out.load(Ordering::Relaxed));
+        self.permanently_failed
+            .set(c.permanently_failed.load(Ordering::Relaxed));
+        self.replays_emitted
+            .set(c.replays_emitted.load(Ordering::Relaxed));
+        self.worker_restarts
+            .set(c.worker_restarts.load(Ordering::Relaxed));
+        self.worker_disconnects
+            .set(c.worker_disconnects.load(Ordering::Relaxed));
+        self.pending_trees.set(pending as f64);
+    }
+}
+
 struct Shared {
     topology: Topology,
     /// The registry key the topology was submitted under (what workers
@@ -255,6 +372,24 @@ struct Shared {
     store: CheckpointStore,
     journal: Journal,
     counters: Counters,
+    /// Coordinator-side tracer: spout-emit + terminal spans, sampled by
+    /// `RtConfig::trace_sample_rate`.  The per-tree decision also rides
+    /// each delivery as `WireTuple::trace_root`, so workers record hops
+    /// for exactly the trees traced here.
+    tracer: Tracer,
+    /// Worker hop spans, already clock-normalized and stamped with
+    /// pid/generation at receipt.
+    worker_spans: Mutex<Vec<Span>>,
+    /// Spans rejected by worker-side ring buffers (shipped in `SpanBatch`).
+    worker_spans_dropped: AtomicU64,
+    /// One registry for the whole cluster: coordinator families plus every
+    /// worker push re-registered under `worker`/`generation` labels; served
+    /// at `RtConfig::metrics_addr`.
+    metrics: Arc<Registry>,
+    coord_metrics: CoordMetrics,
+    slot_gauges: Vec<SlotGauges>,
+    /// Coordinator OS pid, stamped into coordinator-side spans at merge.
+    coord_pid: u32,
     latency: Mutex<LatencyStats>,
     start: Instant,
     /// Set at shutdown: spouts stop emitting fresh tuples.
@@ -300,11 +435,18 @@ impl Shared {
             return false;
         }
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        // The sampling decision travels with the tuple: workers record hop
+        // spans iff `trace_root` is set, so worker traces line up with the
+        // coordinator's spout-emit/terminal spans for the same trees.
+        let trace_root = anchor
+            .map(|(root, _)| root)
+            .filter(|&root| self.tracer.enabled() && self.tracer.sampled(root));
         let item = WireTuple {
             token,
             dest_task: dest as u32,
             stream,
             dedup,
+            trace_root,
             values,
         };
         state.pending.insert(
@@ -470,6 +612,8 @@ impl Shared {
                 c.frames_out.fetch_add(writer.frames_out, Ordering::Relaxed);
             }
             state.restore_age.clear();
+            state.conn_stats = None;
+            state.hb_lagged = false;
             if let Some(child) = state.child.as_mut() {
                 // A dead socket with a live process is a zombie worker:
                 // take it down so the supervisor can respawn cleanly.
@@ -486,10 +630,22 @@ impl Shared {
         self.counters
             .worker_disconnects
             .fetch_add(1, Ordering::Relaxed);
+        // Sampled trees that die with the connection, capped so a flooded
+        // window cannot bloat the journal; cross-references the span log.
+        const LOST_TRACE_CAP: usize = 32;
+        let lost_trace_ids: Vec<u64> = pending
+            .values()
+            .chain(deferred.values())
+            .filter_map(|d| d.anchor.map(|(root, _)| root))
+            .filter(|&root| self.tracer.enabled() && self.tracer.sampled(root))
+            .map(trace_id)
+            .take(LOST_TRACE_CAP)
+            .collect();
         self.journal.append(JournalEvent::WorkerDisconnected {
             time_s: now,
             worker: slot_idx,
             reason: reason.to_owned(),
+            lost_trace_ids,
         });
         for (_, d) in pending {
             // The delivery never completed: return its credit and fail its
@@ -509,16 +665,39 @@ impl Shared {
         }
     }
 
-    fn spawn_worker(&self, slot_idx: usize) -> Result<()> {
+    fn spawn_worker(self: &Arc<Self>, slot_idx: usize) -> Result<()> {
         let mut state = self.slots[slot_idx].state.lock().unwrap();
         let mut cmd = Command::new(&self.cfg.worker_cmd[0]);
         cmd.args(&self.cfg.worker_cmd[1..])
             .env("DSDPS_DIST_ADDR", self.endpoint.to_env())
             .env("DSDPS_DIST_WORKER", slot_idx.to_string())
-            .stdout(Stdio::null());
-        let child = cmd
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        let mut child = cmd
             .spawn()
             .map_err(|e| Error::Runtime(format!("spawn worker: {e}")))?;
+        // Stderr pump: structured last-words JSONL lines are captured for
+        // the supervisor's `worker_died` cause; everything else is
+        // forwarded verbatim.  The thread exits at stderr EOF (process
+        // death), so it never needs joining.
+        if let Some(stderr) = child.stderr.take() {
+            let shared = Arc::clone(self);
+            let _ = std::thread::Builder::new()
+                .name(format!("dist-stderr-{slot_idx}"))
+                .spawn(move || {
+                    for line in std::io::BufReader::new(stderr).lines() {
+                        let Ok(line) = line else { break };
+                        if let Ok(lw) = serde_json::from_str::<LastWordsLine>(&line) {
+                            if lw.dsdps_last_words {
+                                let mut state = shared.slots[slot_idx].state.lock().unwrap();
+                                state.last_words = Some((lw.cause, lw.detail));
+                                continue;
+                            }
+                        }
+                        eprintln!("dsdps worker {slot_idx}: {line}");
+                    }
+                });
+        }
         self.journal.append(JournalEvent::WorkerSpawned {
             time_s: self.now_s(),
             worker: slot_idx,
@@ -558,7 +737,13 @@ impl Shared {
 
 // --- reader thread ------------------------------------------------------
 
-fn reader_loop(shared: Arc<Shared>, slot_idx: usize, generation: u64, mut reader: FrameReader) {
+fn reader_loop(
+    shared: Arc<Shared>,
+    slot_idx: usize,
+    generation: u64,
+    pid: u32,
+    mut reader: FrameReader,
+) {
     let reason = loop {
         let frame = match reader.read_frame() {
             Ok(Some(frame)) => frame,
@@ -689,6 +874,79 @@ fn reader_loop(shared: Arc<Shared>, slot_idx: usize, generation: u64, mut reader
                     shared.route_wire_emission(component, emission, None);
                 }
             }
+            Frame::SpanBatch {
+                worker: _,
+                dropped,
+                spans,
+            } => {
+                // Stamp what the worker could not know (component names,
+                // slot, pid, generation), re-base the worker-clock
+                // timestamps with the handshake offset, then merge.
+                let offset = {
+                    let state = shared.slots[slot_idx].state.lock().unwrap();
+                    state.clock_offset_us
+                };
+                let mut converted: Vec<Span> = spans
+                    .into_iter()
+                    .filter_map(|ws| {
+                        let kind = span_kind_from_byte(ws.kind)?;
+                        let task = ws.task as usize;
+                        let component = shared
+                            .task_component
+                            .get(task)
+                            .map(|&c| shared.topology.component(ComponentId(c)).name.clone())
+                            .unwrap_or_default();
+                        Some(Span {
+                            trace_id: trace_id(ws.root),
+                            root: ws.root,
+                            kind,
+                            component,
+                            task,
+                            worker: slot_idx,
+                            start_us: ws.start_us,
+                            queue_wait_us: ws.queue_wait_us,
+                            exec_us: ws.exec_us,
+                            batch_id: ws.batch_id,
+                            replay_attempt: 0,
+                            message_id: None,
+                            pid,
+                            generation,
+                        })
+                    })
+                    .collect();
+                normalize_start_us(&mut converted, offset);
+                shared
+                    .worker_spans_dropped
+                    .fetch_add(dropped, Ordering::Relaxed);
+                shared.worker_spans.lock().unwrap().extend(converted);
+            }
+            Frame::MetricsPush { worker: _, samples } => {
+                let w = slot_idx.to_string();
+                let g = generation.to_string();
+                let labels: [(&str, &str); 2] =
+                    [("worker", w.as_str()), ("generation", g.as_str())];
+                for sample in samples {
+                    match sample.kind {
+                        0 => shared
+                            .metrics
+                            .counter(&sample.name, &labels)
+                            .add(sample.value),
+                        1 => shared
+                            .metrics
+                            .gauge(&sample.name, &labels)
+                            .set(f64::from_bits(sample.value)),
+                        _ => {}
+                    }
+                }
+            }
+            Frame::LastWords {
+                worker: _,
+                cause,
+                detail,
+            } => {
+                let mut state = shared.slots[slot_idx].state.lock().unwrap();
+                state.last_words = Some((cause, detail));
+            }
             Frame::Flushed { .. } => {}
             // Worker→coordinator direction only carries the frames above.
             _ => {}
@@ -712,6 +970,7 @@ fn listener_loop(shared: Arc<Shared>, listener: Listener) {
                         time_s: shared.now_s(),
                         worker: usize::MAX,
                         reason: format!("handshake failed: {e}"),
+                        lost_trace_ids: Vec::new(),
                     });
                 }
             }
@@ -722,26 +981,41 @@ fn listener_loop(shared: Arc<Shared>, listener: Listener) {
 }
 
 fn handshake(shared: &Arc<Shared>, conn: Conn) -> Result<()> {
+    let handshake_start = Instant::now();
     conn.set_read_timeout(Some(Duration::from_secs(5)))
         .map_err(|e| Error::Runtime(format!("set timeout: {e}")))?;
     let writer_conn = conn
         .try_clone()
         .map_err(|e| Error::Runtime(format!("clone socket: {e}")))?;
+    let stats = ConnStats::new();
     let mut reader = FrameReader::new(conn);
+    reader.set_stats(Arc::clone(&stats));
     let hello = reader
         .read_frame()?
         .ok_or_else(|| Error::Runtime("timed out waiting for hello".into()))?;
-    let Frame::Hello { worker, pid } = hello else {
+    let Frame::Hello {
+        worker,
+        pid,
+        clock_us,
+    } = hello
+    else {
         return Err(Error::Runtime(format!(
             "expected hello, got {}",
             hello.kind()
         )));
     };
+    // Clock-offset estimation: the worker's span clock read `clock_us` at
+    // send time, which is "now" minus (uncorrected) one-way latency on
+    // loopback — good to well under a millisecond, enough to merge span
+    // timelines.  Workers re-send `Hello` after a respawn, so the offset
+    // is re-estimated per generation.
+    let clock_offset_us = shared.start.elapsed().as_micros() as i64 - clock_us as i64;
     let slot_idx = worker as usize;
     if slot_idx >= shared.slots.len() {
         return Err(Error::Runtime(format!("unknown worker slot {worker}")));
     }
     let mut writer = BatchWriter::new(writer_conn, shared.rt.batch_size, shared.rt.linger);
+    writer.set_stats(Arc::clone(&stats));
     let slot = &shared.slots[slot_idx];
     writer.send(&Frame::Assign {
         worker,
@@ -751,6 +1025,7 @@ fn handshake(shared: &Arc<Shared>, conn: Conn) -> Result<()> {
         recovery: recovery_to_byte(shared.rt.recovery_mode),
         ckpt_interval_us: shared.rt.checkpoint_interval.as_micros() as u64,
         tick_interval_us: (shared.engine.tick_interval_s.max(0.0) * 1e6) as u64,
+        metrics_interval_us: (shared.engine.metrics_interval_s.max(0.0) * 1e6) as u64,
         task_count: shared.topology.task_count() as u32,
         stream_count: shared.intern.len() as u32,
     })?;
@@ -759,6 +1034,7 @@ fn handshake(shared: &Arc<Shared>, conn: Conn) -> Result<()> {
     state.generation += 1;
     let generation = state.generation;
     let now = shared.now_s();
+    let restore_start = Instant::now();
     // Restore stateful tasks from the store *before* the writer is
     // published: frames are processed in order, so every restore lands
     // before the first tuple delivery of this connection.
@@ -791,9 +1067,15 @@ fn handshake(shared: &Arc<Shared>, conn: Conn) -> Result<()> {
             }
         }
     }
+    let restore_us = restore_start.elapsed().as_micros() as u64;
     state.pid = pid;
     state.connected = true;
     state.writer = Some(writer);
+    state.clock_offset_us = clock_offset_us;
+    state.conn_stats = Some(Arc::clone(&stats));
+    state.last_words = None;
+    state.hb_lagged = false;
+    let task_count = slot.tasks.len();
     drop(state);
 
     shared.journal.append(JournalEvent::WorkerConnected {
@@ -801,10 +1083,23 @@ fn handshake(shared: &Arc<Shared>, conn: Conn) -> Result<()> {
         worker: slot_idx,
         pid,
     });
+    // The restore-timing decomposition: `handshake_us` covers
+    // accept→hello→assign→restores end to end, `restore_us` just the
+    // restore-frame leg.
+    shared.journal.append(JournalEvent::WorkerAssigned {
+        time_s: now,
+        worker: slot_idx,
+        pid,
+        generation,
+        tasks: task_count,
+        clock_offset_us,
+        handshake_us: handshake_start.elapsed().as_micros() as u64,
+        restore_us,
+    });
     let shared2 = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name(format!("dist-reader-{slot_idx}"))
-        .spawn(move || reader_loop(shared2, slot_idx, generation, reader))
+        .spawn(move || reader_loop(shared2, slot_idx, generation, pid, reader))
         .map_err(|e| Error::Runtime(format!("spawn reader: {e}")))?;
     shared.reader_threads.lock().unwrap().push(handle);
     // New connection, fresh capacity: anything parked for this slot's
@@ -825,6 +1120,15 @@ impl Shared {
 
 fn supervisor_loop(shared: Arc<Shared>) {
     let mut last_expire = Instant::now();
+    let mut last_gauge_sync = Instant::now();
+    // Heartbeat-lag threshold: a live worker touches the connection at
+    // least every metrics interval, so 2× the interval of rx silence is a
+    // worker that is wedged (or a connection the OS has not failed yet).
+    let hb_threshold_s = if shared.engine.metrics_interval_s > 0.0 {
+        Some(2.0 * shared.engine.metrics_interval_s)
+    } else {
+        None
+    };
     while !shared.terminate.load(Ordering::Acquire) {
         std::thread::sleep(Duration::from_millis(5));
         let now = shared.now_s();
@@ -834,15 +1138,68 @@ fn supervisor_loop(shared: Arc<Shared>) {
                 .ackers
                 .expire(now, shared.engine.message_timeout_s.max(0.001));
         }
+        let sync_gauges = HOT_PATH_TELEMETRY && last_gauge_sync.elapsed() >= GAUGE_SYNC_INTERVAL;
+        if sync_gauges {
+            last_gauge_sync = Instant::now();
+            shared
+                .coord_metrics
+                .sync(&shared.counters, shared.ackers.pending_count());
+        }
         for (idx, slot) in shared.slots.iter().enumerate() {
             let mut state = slot.state.lock().unwrap();
-            // Reap exited children.
-            let exited = match state.child.as_mut() {
-                Some(child) => matches!(child.try_wait(), Ok(Some(_))),
-                None => false,
+            // Reap exited children, attaching the captured cause of death
+            // (last-words frame / stderr line, else the raw exit status).
+            let exit_status = match state.child.as_mut() {
+                Some(child) => child.try_wait().ok().flatten(),
+                None => None,
             };
-            if exited {
+            if let Some(status) = exit_status {
                 state.child = None;
+                let cause = match state.last_words.take() {
+                    Some((cause, detail)) => format!("{cause}: {detail}"),
+                    None => format!("exit: {status}"),
+                };
+                shared.journal.append(JournalEvent::WorkerDied {
+                    time_s: now,
+                    worker: idx,
+                    pid: state.pid,
+                    generation: state.generation,
+                    cause,
+                });
+            }
+            if sync_gauges {
+                shared.slot_gauges[idx]
+                    .outstanding
+                    .set(state.pending.len() as f64);
+                let parked: usize = slot
+                    .tasks
+                    .iter()
+                    .map(|&t| shared.overflow[t as usize].lock().unwrap().len())
+                    .sum();
+                shared.slot_gauges[idx].parked.set(parked as f64);
+                if let Some(stats) = state.conn_stats.as_ref() {
+                    shared.slot_gauges[idx].sync_conn(stats);
+                }
+            }
+            // Heartbeat lag: journaled once per silence episode.
+            if let (Some(threshold), true) = (hb_threshold_s, state.connected) {
+                let silence = state
+                    .conn_stats
+                    .as_ref()
+                    .and_then(|s| s.rx_silence_s())
+                    .unwrap_or(0.0);
+                if silence > threshold {
+                    if !state.hb_lagged {
+                        state.hb_lagged = true;
+                        shared.journal.append(JournalEvent::WorkerHeartbeatLag {
+                            time_s: now,
+                            worker: idx,
+                            lag_s: silence,
+                        });
+                    }
+                } else {
+                    state.hb_lagged = false;
+                }
             }
             // Respawn a dead, disconnected slot within budget.
             if state.child.is_none()
@@ -888,6 +1245,26 @@ fn completer_loop(shared: Arc<Shared>, feedback: HashMap<usize, Sender<TreeOutco
             continue;
         }
         for outcome in outcomes {
+            // Terminal span for sampled trees, recorded into the trailing
+            // tracer slot (the completer is the dist counterpart of the
+            // threaded runtime's metrics-thread slot).
+            if shared.tracer.enabled() && shared.tracer.sampled(outcome.root) {
+                let kind = match outcome.completion {
+                    Completion::Acked => SpanKind::Ack,
+                    Completion::Failed => SpanKind::Fail,
+                    Completion::TimedOut => SpanKind::Timeout,
+                };
+                let latency_us = outcome.complete_latency() * 1e6;
+                shared.tracer.record_terminal(
+                    shared.topology.task_count(),
+                    outcome.root,
+                    kind,
+                    outcome.spout_task.0,
+                    (outcome.completed_at * 1e6) as u64,
+                    latency_us.max(0.0) as u64,
+                    outcome.message_id,
+                );
+            }
             if let Some(tx) = feedback.get(&outcome.spout_task.0) {
                 let _ = tx.send(outcome);
             }
@@ -1001,6 +1378,11 @@ fn spout_loop(
                 root,
                 trace_id: splitmix64(root),
             });
+            if shared.tracer.enabled() && shared.tracer.sampled(root) {
+                shared
+                    .tracer
+                    .record_emit(task, root, task, (now * 1e6) as u64, attempt, id);
+            }
             if delivered == 0 {
                 // Routed to nothing (subscriber set changed?): complete it.
                 if replay.on_ack(id) {
@@ -1029,8 +1411,20 @@ fn spout_loop(
                         if replay.on_track(id, Arc::clone(&emission), now) {
                             shared.counters.tracked.fetch_add(1, Ordering::Relaxed);
                         }
-                        let (delivered, _) =
+                        let (delivered, root) =
                             route_spout_emission(&shared, component_id, task, &emission, Some(id));
+                        if let Some(root) = root {
+                            if shared.tracer.enabled() && shared.tracer.sampled(root) {
+                                shared.tracer.record_emit(
+                                    task,
+                                    root,
+                                    task,
+                                    (now * 1e6) as u64,
+                                    0,
+                                    id,
+                                );
+                            }
+                        }
                         if delivered == 0 {
                             // No subscriber: immediately complete.
                             if replay.on_ack(id) {
@@ -1180,6 +1574,29 @@ pub fn submit(
         });
     }
 
+    // Coordinator-side tracer meta: component name per task, worker = the
+    // owning slot (spout tasks live on the coordinator and get the
+    // one-past-the-fleet pseudo-slot).
+    let span_meta: Vec<(String, usize)> = (0..n_tasks)
+        .map(|t| {
+            let comp = topology.component(ComponentId(task_component[t]));
+            (comp.name.clone(), task_owner[t].unwrap_or(cfg.workers))
+        })
+        .collect();
+    let tracer = Tracer::new(rt.trace_sample_rate, n_tasks + 1, span_meta);
+    let metrics = Arc::new(Registry::new());
+    let coord_metrics = CoordMetrics::new(&metrics);
+    let slot_gauges = (0..cfg.workers)
+        .map(|i| SlotGauges::new(&metrics, i))
+        .collect();
+    let metrics_server = match rt.metrics_addr {
+        Some(addr) => Some(
+            MetricsServer::bind(addr, Arc::clone(&metrics))
+                .map_err(|e| Error::Config(format!("metrics_addr {addr} bind failed: {e}")))?,
+        ),
+        None => None,
+    };
+
     let shared = Arc::new(Shared {
         topology_key: topology_name.to_owned(),
         cfg_args_str: args.to_owned(),
@@ -1190,6 +1607,13 @@ pub fn submit(
         store,
         journal,
         counters: Counters::default(),
+        tracer,
+        worker_spans: Mutex::new(Vec::new()),
+        worker_spans_dropped: AtomicU64::new(0),
+        metrics,
+        coord_metrics,
+        slot_gauges,
+        coord_pid: std::process::id(),
         latency: Mutex::new(LatencyStats::default()),
         start: Instant::now(),
         stop: AtomicBool::new(false),
@@ -1294,6 +1718,7 @@ pub fn submit(
         supervisor_handle: Some(supervisor_handle),
         completer_handle: Some(completer_handle),
         spout_handles,
+        metrics_server,
     })
 }
 
@@ -1304,6 +1729,7 @@ pub struct RunningDist {
     supervisor_handle: Option<JoinHandle<()>>,
     completer_handle: Option<JoinHandle<()>>,
     spout_handles: Vec<JoinHandle<SpoutThreadResult>>,
+    metrics_server: Option<MetricsServer>,
 }
 
 impl RunningDist {
@@ -1314,6 +1740,20 @@ impl RunningDist {
             .iter()
             .map(|s| s.state.lock().unwrap().pid)
             .collect()
+    }
+
+    /// The coordinator's OS process id (spout-emit and terminal spans are
+    /// stamped with it in the merged trace).
+    pub fn coordinator_pid(&self) -> u32 {
+        self.shared.coord_pid
+    }
+
+    /// Address of the unified Prometheus endpoint, when
+    /// [`RtConfig::metrics_addr`] was set (resolves port 0).  It serves
+    /// the coordinator's families plus every worker's pushed metrics under
+    /// `worker`/`generation` labels.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.local_addr())
     }
 
     /// Kills worker `idx`'s OS process (SIGKILL), as a fault-injection
@@ -1445,6 +1885,26 @@ impl RunningDist {
         for h in readers {
             let _ = h.join();
         }
+        if let Some(server) = self.metrics_server.take() {
+            server.shutdown();
+        }
+
+        // One merged trace: the coordinator's spout-emit/terminal spans
+        // (stamped with its own pid; worker spans arrived pre-stamped and
+        // clock-normalized in the reader threads).
+        let (mut spans, own_dropped) = shared.tracer.snapshot();
+        for s in &mut spans {
+            s.pid = shared.coord_pid;
+        }
+        spans.extend(shared.worker_spans.lock().unwrap().drain(..));
+        spans.sort_by(|a, b| {
+            (a.trace_id, a.start_us, a.kind.is_terminal()).cmp(&(
+                b.trace_id,
+                b.start_us,
+                b.kind.is_terminal(),
+            ))
+        });
+        let spans_dropped = own_dropped + shared.worker_spans_dropped.load(Ordering::Relaxed);
 
         let c = &shared.counters;
         let latency = shared.latency.lock().unwrap();
@@ -1485,6 +1945,9 @@ impl RunningDist {
             frames_sent: c.frames_out.load(Ordering::Relaxed),
             frames_received: c.frames_in.load(Ordering::Relaxed),
             journal: shared.journal.events(),
+            spans,
+            spans_dropped,
+            coordinator_pid: shared.coord_pid,
             final_snapshots,
             drained_clean,
         }
@@ -1543,6 +2006,15 @@ pub struct DistReport {
     pub frames_received: u64,
     /// Control-plane event journal.
     pub journal: Vec<JournalEvent>,
+    /// Merged sampled trace: coordinator spout-emit/terminal spans plus
+    /// clock-normalized worker hop spans, ordered by `(trace_id,
+    /// start_us)` and stamped with real pids and connection generations.
+    pub spans: Vec<Span>,
+    /// Spans rejected on ring-buffer overflow (coordinator + workers).
+    pub spans_dropped: u64,
+    /// The coordinator's OS pid (distinguishes its spans from worker
+    /// spans in the merged trace).
+    pub coordinator_pid: u32,
     /// Latest checkpointed snapshot per task at shutdown (`None` for
     /// stateless/spout tasks).
     pub final_snapshots: Vec<Option<StateSnapshot>>,
@@ -1566,5 +2038,33 @@ impl DistReport {
     /// Journal events of one kind.
     pub fn journal_of_kind(&self, kind: &str) -> Vec<&JournalEvent> {
         self.journal.iter().filter(|e| e.kind() == kind).collect()
+    }
+
+    /// Distinct sampled trace ids in the merged span log.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.spans.iter().map(|s| s.trace_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Chrome `trace_event` JSON of the merged trace, with process-name
+    /// metadata records so the coordinator and each worker process land in
+    /// separate named tracks in `chrome://tracing` / Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut names: Vec<(u64, String)> = Vec::new();
+        for s in &self.spans {
+            let pid = u64::from(s.pid);
+            if pid == 0 || names.iter().any(|(p, _)| *p == pid) {
+                continue;
+            }
+            let name = if s.pid == self.coordinator_pid {
+                "coordinator".to_owned()
+            } else {
+                format!("worker {} (gen {})", s.worker, s.generation)
+            };
+            names.push((pid, name));
+        }
+        chrome_trace_json_named(&self.spans, &names)
     }
 }

@@ -52,7 +52,10 @@ pub use worker::{maybe_worker_from_env, worker_main, TopologyRegistry};
 
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
+
 use crate::rt::RecoveryMode;
+use crate::telemetry::SpanKind;
 
 /// Which socket family connects coordinator and workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,6 +163,48 @@ pub(crate) fn recovery_from_byte(b: u8) -> Option<RecoveryMode> {
     }
 }
 
+/// Wire discriminant of a [`SpanKind`] (the `kind` byte of a
+/// [`codec::WireSpan`]).
+pub(crate) fn span_kind_to_byte(kind: SpanKind) -> u8 {
+    match kind {
+        SpanKind::SpoutEmit => 0,
+        SpanKind::Hop => 1,
+        SpanKind::Ack => 2,
+        SpanKind::Fail => 3,
+        SpanKind::Timeout => 4,
+    }
+}
+
+/// Inverse of [`span_kind_to_byte`].
+pub(crate) fn span_kind_from_byte(b: u8) -> Option<SpanKind> {
+    match b {
+        0 => Some(SpanKind::SpoutEmit),
+        1 => Some(SpanKind::Hop),
+        2 => Some(SpanKind::Ack),
+        3 => Some(SpanKind::Fail),
+        4 => Some(SpanKind::Timeout),
+        _ => None,
+    }
+}
+
+/// Structured "last words" a dying worker prints to stderr as one JSONL
+/// line, mirroring the best-effort [`codec::Frame::LastWords`] it also
+/// attempts over the socket.  The coordinator's stderr pump parses these
+/// and the supervisor attaches the cause to the `worker_died` journal
+/// event on respawn; ordinary stderr lines never carry the marker field
+/// and are forwarded verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct LastWordsLine {
+    /// Marker so ordinary stderr output can never parse as last words.
+    pub dsdps_last_words: bool,
+    /// Worker slot index.
+    pub worker: u32,
+    /// Short machine-readable cause (`panic`, `decode_error`, `io_error`).
+    pub cause: String,
+    /// Human-readable detail (panic payload, error text).
+    pub detail: String,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +219,19 @@ mod tests {
             assert_eq!(recovery_from_byte(recovery_to_byte(mode)), Some(mode));
         }
         assert_eq!(recovery_from_byte(9), None);
+    }
+
+    #[test]
+    fn span_kind_bytes_round_trip() {
+        for kind in [
+            SpanKind::SpoutEmit,
+            SpanKind::Hop,
+            SpanKind::Ack,
+            SpanKind::Fail,
+            SpanKind::Timeout,
+        ] {
+            assert_eq!(span_kind_from_byte(span_kind_to_byte(kind)), Some(kind));
+        }
+        assert_eq!(span_kind_from_byte(5), None);
     }
 }

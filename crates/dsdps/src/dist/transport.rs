@@ -15,10 +15,84 @@ use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use super::codec::{self, Frame, WireTuple, MAX_FRAME_LEN};
 use crate::error::{Error, Result};
+use crate::telemetry::HOT_PATH_TELEMETRY;
+
+/// Live per-connection transport counters, shared between the reader and
+/// writer halves of one socket and whatever aggregates them (the
+/// coordinator mirrors these into its metrics registry as
+/// `dsdps_dist_conn_*` samples; the worker exports them in its
+/// `MetricsPush`).  All fields are relaxed atomics — one store per frame,
+/// nothing per tuple — and the µs timers are skipped entirely when
+/// [`HOT_PATH_TELEMETRY`] is compiled out.
+#[derive(Debug)]
+pub struct ConnStats {
+    /// Clock epoch for [`ConnStats::now_us`] / `last_rx_us`.
+    epoch: Instant,
+    /// Payload bytes received.
+    pub bytes_in: AtomicU64,
+    /// Frames decoded.
+    pub frames_in: AtomicU64,
+    /// Payload bytes written (including length prefixes).
+    pub bytes_out: AtomicU64,
+    /// Frames written.
+    pub frames_out: AtomicU64,
+    /// Cumulative frame-decode time, µs.
+    pub decode_us: AtomicU64,
+    /// Cumulative frame-encode time, µs.
+    pub encode_us: AtomicU64,
+    /// Cumulative time spent inside socket writes, µs.  A healthy
+    /// connection keeps this near zero per frame; a peer that stops
+    /// draining (the §15.4 deadlock class) makes it climb — which is the
+    /// point of tracking it.
+    pub write_block_us: AtomicU64,
+    /// Epoch-relative µs of the most recent successfully decoded frame
+    /// (the coordinator's heartbeat-lag detector reads this).
+    pub last_rx_us: AtomicU64,
+}
+
+impl Default for ConnStats {
+    fn default() -> Self {
+        ConnStats {
+            epoch: Instant::now(),
+            bytes_in: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            decode_us: AtomicU64::new(0),
+            encode_us: AtomicU64::new(0),
+            write_block_us: AtomicU64::new(0),
+            last_rx_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ConnStats {
+    /// A fresh zeroed stats block with its epoch at now.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ConnStats::default())
+    }
+
+    /// µs elapsed since the stats block was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Seconds since the last decoded frame (`now - last_rx_us`); `None`
+    /// before the first frame arrives.
+    pub fn rx_silence_s(&self) -> Option<f64> {
+        let last = self.last_rx_us.load(Ordering::Relaxed);
+        if last == 0 {
+            return None;
+        }
+        Some((self.now_us().saturating_sub(last)) as f64 / 1e6)
+    }
+}
 
 /// Where a coordinator listens / a worker connects.
 ///
@@ -242,6 +316,8 @@ pub struct FrameReader {
     pub bytes_in: u64,
     /// Total frames decoded (telemetry).
     pub frames_in: u64,
+    /// Shared live counters, when someone is watching.
+    stats: Option<Arc<ConnStats>>,
 }
 
 impl FrameReader {
@@ -254,7 +330,13 @@ impl FrameReader {
             pos: 0,
             bytes_in: 0,
             frames_in: 0,
+            stats: None,
         }
+    }
+
+    /// Attaches a shared stats block updated on every read/decode.
+    pub fn set_stats(&mut self, stats: Arc<ConnStats>) {
+        self.stats = Some(stats);
     }
 
     /// Bounds how long [`read_frame`](Self::read_frame) blocks.
@@ -281,10 +363,23 @@ impl FrameReader {
         let header = avail.len() - d.remaining();
         let body_start = self.pos + header;
         let body_end = body_start + len as usize;
+        let t0 = match &self.stats {
+            Some(_) if HOT_PATH_TELEMETRY => Some(Instant::now()),
+            _ => None,
+        };
         let frame = codec::decode_frame(&self.buf[body_start..body_end])
             .map_err(|e| Error::Runtime(format!("decode frame: {e}")))?;
         self.pos = body_end;
         self.frames_in += 1;
+        if let Some(stats) = &self.stats {
+            stats.frames_in.fetch_add(1, Ordering::Relaxed);
+            stats.last_rx_us.store(stats.now_us(), Ordering::Relaxed);
+            if let Some(t0) = t0 {
+                stats
+                    .decode_us
+                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            }
+        }
         Ok(Some(frame))
     }
 
@@ -311,6 +406,9 @@ impl FrameReader {
                 Ok(n) => {
                     self.filled += n;
                     self.bytes_in += n as u64;
+                    if let Some(stats) = &self.stats {
+                        stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    }
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -344,6 +442,8 @@ pub struct BatchWriter {
     pub bytes_out: u64,
     /// Total frames written (telemetry).
     pub frames_out: u64,
+    /// Shared live counters, when someone is watching.
+    stats: Option<Arc<ConnStats>>,
 }
 
 impl BatchWriter {
@@ -358,7 +458,13 @@ impl BatchWriter {
             oldest_item: None,
             bytes_out: 0,
             frames_out: 0,
+            stats: None,
         }
+    }
+
+    /// Attaches a shared stats block updated on every encode/write.
+    pub fn set_stats(&mut self, stats: Arc<ConnStats>) {
+        self.stats = Some(stats);
     }
 
     /// Queues one tuple delivery, flushing if the batch is now full.
@@ -398,20 +504,39 @@ impl BatchWriter {
             self.oldest_item = None;
             return Ok(());
         }
+        let t0 = self.encode_clock();
         self.scratch.clear();
         self.scratch.push(super::codec::TUPLE_BATCH_TAG);
         codec::write_varint(&mut self.scratch, self.items.len() as u64);
         for item in self.items.drain(..) {
             codec::write_tuple_item(&mut self.scratch, &item);
         }
+        self.note_encode(t0);
         self.oldest_item = None;
         self.write_scratch()
     }
 
     fn write_frame_body(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> Result<()> {
+        let t0 = self.encode_clock();
         self.scratch.clear();
         encode(&mut self.scratch);
+        self.note_encode(t0);
         self.write_scratch()
+    }
+
+    fn encode_clock(&self) -> Option<Instant> {
+        match &self.stats {
+            Some(_) if HOT_PATH_TELEMETRY => Some(Instant::now()),
+            _ => None,
+        }
+    }
+
+    fn note_encode(&self, t0: Option<Instant>) {
+        if let (Some(stats), Some(t0)) = (&self.stats, t0) {
+            stats
+                .encode_us
+                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        }
     }
 
     /// Writes `[varint(len), scratch]` as one vectored write.
@@ -419,6 +544,7 @@ impl BatchWriter {
         let mut prefix = Vec::with_capacity(10);
         codec::write_varint(&mut prefix, self.scratch.len() as u64);
         let total = prefix.len() + self.scratch.len();
+        let t0 = self.encode_clock();
         let mut written = 0usize;
         while written < total {
             let bufs = if written < prefix.len() {
@@ -441,6 +567,15 @@ impl BatchWriter {
         }
         self.bytes_out += total as u64;
         self.frames_out += 1;
+        if let Some(stats) = &self.stats {
+            stats.bytes_out.fetch_add(total as u64, Ordering::Relaxed);
+            stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            if let Some(t0) = t0 {
+                stats
+                    .write_block_us
+                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            }
+        }
         Ok(())
     }
 
@@ -484,23 +619,26 @@ mod tests {
             .set_read_timeout(Some(Duration::from_secs(5)))
             .unwrap();
 
-        w.send(&Frame::Hello { worker: 1, pid: 42 }).unwrap();
+        let hello = Frame::Hello {
+            worker: 1,
+            pid: 42,
+            clock_us: 17,
+        };
+        w.send(&hello).unwrap();
         for i in 0..4 {
             w.push_tuple(WireTuple {
                 token: i,
                 dest_task: 2,
                 stream: 0,
                 dedup: None,
+                trace_root: Some(i + 1),
                 values: vec![Value::from(i as i64)],
             })
             .unwrap();
         }
         w.send(&Frame::Shutdown).unwrap();
 
-        assert_eq!(
-            r.read_frame().unwrap().unwrap(),
-            Frame::Hello { worker: 1, pid: 42 }
-        );
+        assert_eq!(r.read_frame().unwrap().unwrap(), hello);
         match r.read_frame().unwrap().unwrap() {
             Frame::TupleBatch { items } => {
                 assert_eq!(items.len(), 4);
@@ -524,6 +662,7 @@ mod tests {
             dest_task: 0,
             stream: 0,
             dedup: Some(9),
+            trace_root: None,
             values: vec![],
         })
         .unwrap();
@@ -534,6 +673,33 @@ mod tests {
             Frame::TupleBatch { items } => assert_eq!(items[0].token, 7),
             other => panic!("expected tuple batch, got {}", other.kind()),
         }
+    }
+
+    #[test]
+    fn conn_stats_track_frames_and_bytes() {
+        let (client, server) = pair();
+        let mut w = BatchWriter::new(client, 1, Duration::ZERO);
+        let mut r = FrameReader::new(server);
+        r.conn
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let ws = ConnStats::new();
+        let rs = ConnStats::new();
+        w.set_stats(Arc::clone(&ws));
+        r.set_stats(Arc::clone(&rs));
+        assert!(rs.rx_silence_s().is_none());
+
+        w.send(&Frame::Flush { seq: 1 }).unwrap();
+        w.send(&Frame::Flushed { seq: 1 }).unwrap();
+        assert_eq!(r.read_frame().unwrap().unwrap(), Frame::Flush { seq: 1 });
+        assert_eq!(r.read_frame().unwrap().unwrap(), Frame::Flushed { seq: 1 });
+
+        assert_eq!(ws.frames_out.load(Ordering::Relaxed), 2);
+        assert_eq!(rs.frames_in.load(Ordering::Relaxed), 2);
+        let sent = ws.bytes_out.load(Ordering::Relaxed);
+        assert_eq!(sent, rs.bytes_in.load(Ordering::Relaxed));
+        assert!(sent > 0);
+        assert!(rs.rx_silence_s().is_some());
     }
 
     #[test]

@@ -17,15 +17,17 @@
 //! acknowledged without being applied twice.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use super::codec::{Frame, InternTable, WireEmission, WireResult};
-use super::transport::{BatchWriter, Conn, Endpoint, FrameReader};
-use super::{recovery_from_byte, DistConfig};
+use super::codec::{Frame, InternTable, WireEmission, WireMetric, WireResult, WireSpan};
+use super::transport::{BatchWriter, Conn, ConnStats, Endpoint, FrameReader};
+use super::{recovery_from_byte, span_kind_to_byte, DistConfig, LastWordsLine};
 use crate::component::{Bolt, BoltOutput, Emission, TopologyContext};
 use crate::error::{Error, Result};
 use crate::rt::{RecoveryMode, SnapshotKind, StateSnapshot};
+use crate::telemetry::{Counter, Gauge, Registry, SampleValue, Tracer, HOT_PATH_TELEMETRY};
 use crate::topology::{ComponentKind, TaskId, Topology};
 
 /// Replay-dedup sets are FIFO-capped at this many message ids (matches the
@@ -157,17 +159,25 @@ pub fn maybe_worker_from_env(registry: &TopologyRegistry) -> bool {
 /// Connects to the coordinator at `endpoint` and serves bolt tasks until
 /// `Shutdown` (or the connection drops).
 pub fn worker_main(registry: &TopologyRegistry, endpoint: &Endpoint, worker: u32) -> Result<()> {
+    // Span-clock epoch: every worker-side timestamp is µs since this
+    // instant.  Its reading travels in `Hello` so the coordinator can
+    // estimate the offset to its own span clock and re-base shipped spans.
+    let t0 = Instant::now();
     let conn = Conn::connect(endpoint, DistConfig::new(1, vec![]).connect_timeout)?;
     let writer_conn = conn
         .try_clone()
         .map_err(|e| Error::Runtime(format!("clone socket: {e}")))?;
+    let stats = ConnStats::new();
     let mut reader = FrameReader::new(conn);
+    reader.set_stats(Arc::clone(&stats));
     // Workers only send control frames (results, grants, deposits), so the
     // writer's tuple-batching path is idle; batch_size 1 keeps it honest.
     let mut writer = BatchWriter::new(writer_conn, 1, Duration::ZERO);
+    writer.set_stats(Arc::clone(&stats));
     writer.send(&Frame::Hello {
         worker,
         pid: std::process::id(),
+        clock_us: t0.elapsed().as_micros() as u64,
     })?;
 
     reader
@@ -184,6 +194,7 @@ pub fn worker_main(registry: &TopologyRegistry, endpoint: &Endpoint, worker: u32
         recovery,
         ckpt_interval_us,
         tick_interval_us,
+        metrics_interval_us,
         task_count,
         stream_count,
     } = assign
@@ -244,48 +255,44 @@ pub fn worker_main(registry: &TopologyRegistry, endpoint: &Endpoint, worker: u32
 
     let ckpt_interval = Duration::from_micros(ckpt_interval_us.max(1));
     let tick_interval = (tick_interval_us > 0).then(|| Duration::from_micros(tick_interval_us));
-    let t0 = Instant::now();
+    let push_interval = (HOT_PATH_TELEMETRY && metrics_interval_us > 0)
+        .then(|| Duration::from_micros(metrics_interval_us));
     let mut last_tick = Instant::now();
+    let mut last_push = Instant::now();
     reader
         .set_read_timeout(Some(Duration::from_millis(10)))
         .map_err(|e| Error::Runtime(format!("set timeout: {e}")))?;
 
-    loop {
-        match reader.read_frame()? {
-            Some(Frame::TupleBatch { items }) => {
-                let mut results = Vec::with_capacity(items.len());
-                let mut credits: HashMap<u32, u64> = HashMap::new();
-                for item in items {
-                    *credits.entry(item.dest_task).or_insert(0) += 1;
-                    let Some(ts) = states.get_mut(&item.dest_task) else {
-                        results.push(WireResult {
-                            token: item.token,
-                            failed: true,
-                            deferred: false,
-                            emissions: vec![],
-                        });
-                        continue;
-                    };
-                    // Exactly-once: a replay of an already-applied input is
-                    // acknowledged (deferred, like any stateful input) but
-                    // not applied again.
-                    if ts.stateful && recovery == RecoveryMode::ExactlyOnceEffect {
-                        if let Some(id) = item.dedup {
-                            if ts.dedup_set.contains(&id) {
-                                ts.deferred.push(item.token);
-                                results.push(WireResult {
-                                    token: item.token,
-                                    failed: false,
-                                    deferred: true,
-                                    emissions: vec![],
-                                });
-                                continue;
-                            }
-                        }
+    // Local telemetry: hop spans are recorded for exactly the trees the
+    // coordinator sampled (the decision arrives as `WireTuple::trace_root`)
+    // into per-task ring buffers drained by every `SpanBatch` push; the
+    // label-free registry ships counter deltas on the same cadence.
+    let span_meta: Vec<(String, usize)> = (0..topology.task_count())
+        .map(|t| {
+            let comp = topology.component(topology.component_of_task(TaskId(t)));
+            (comp.name.clone(), worker as usize)
+        })
+        .collect();
+    let tracer = Tracer::new(1.0, topology.task_count() + 1, span_meta);
+    let local_registry = Registry::new();
+    let metrics = WorkerMetrics::new(&local_registry);
+    let mut last_pushed: HashMap<(String, String), u64> = HashMap::new();
+    let mut batch_seq: u64 = 0;
+
+    let serve = AssertUnwindSafe(|| -> Result<()> {
+        loop {
+            match reader.read_frame()? {
+                Some(Frame::TupleBatch { items }) => {
+                    batch_seq += 1;
+                    let batch_recv = Instant::now();
+                    if HOT_PATH_TELEMETRY {
+                        metrics.batches.inc();
                     }
-                    let tuple = match intern.tuple(item.stream, item.values) {
-                        Ok(t) => t,
-                        Err(_) => {
+                    let mut results = Vec::with_capacity(items.len());
+                    let mut credits: HashMap<u32, u64> = HashMap::new();
+                    for item in items {
+                        *credits.entry(item.dest_task).or_insert(0) += 1;
+                        let Some(ts) = states.get_mut(&item.dest_task) else {
                             results.push(WireResult {
                                 token: item.token,
                                 failed: true,
@@ -293,100 +300,354 @@ pub fn worker_main(registry: &TopologyRegistry, endpoint: &Endpoint, worker: u32
                                 emissions: vec![],
                             });
                             continue;
-                        }
-                    };
-                    let mut out = BoltOutput::new();
-                    out.set_now(t0.elapsed().as_secs_f64());
-                    ts.bolt.execute(&tuple, &mut out);
-                    let (emissions, failed) = out.drain();
-                    let deferred = !failed && ts.stateful && recovery != RecoveryMode::Approximate;
-                    if deferred {
-                        ts.deferred.push(item.token);
-                        if recovery == RecoveryMode::ExactlyOnceEffect {
+                        };
+                        // Exactly-once: a replay of an already-applied input is
+                        // acknowledged (deferred, like any stateful input) but
+                        // not applied again.
+                        if ts.stateful && recovery == RecoveryMode::ExactlyOnceEffect {
                             if let Some(id) = item.dedup {
-                                ts.remember_applied(id);
+                                if ts.dedup_set.contains(&id) {
+                                    ts.deferred.push(item.token);
+                                    results.push(WireResult {
+                                        token: item.token,
+                                        failed: false,
+                                        deferred: true,
+                                        emissions: vec![],
+                                    });
+                                    continue;
+                                }
                             }
                         }
+                        let tuple = match intern.tuple(item.stream, item.values) {
+                            Ok(t) => t,
+                            Err(_) => {
+                                results.push(WireResult {
+                                    token: item.token,
+                                    failed: true,
+                                    deferred: false,
+                                    emissions: vec![],
+                                });
+                                continue;
+                            }
+                        };
+                        let mut out = BoltOutput::new();
+                        out.set_now(t0.elapsed().as_secs_f64());
+                        let exec_t =
+                            (HOT_PATH_TELEMETRY && item.trace_root.is_some()).then(Instant::now);
+                        ts.bolt.execute(&tuple, &mut out);
+                        let (emissions, failed) = out.drain();
+                        if let (Some(root), Some(started)) = (item.trace_root, exec_t) {
+                            tracer.record_hop(
+                                item.dest_task as usize,
+                                root,
+                                item.dest_task as usize,
+                                started.duration_since(t0).as_micros() as u64,
+                                started.duration_since(batch_recv).as_micros() as u64,
+                                started.elapsed().as_micros() as u64,
+                                batch_seq,
+                            );
+                        }
+                        if HOT_PATH_TELEMETRY {
+                            metrics.executed.inc();
+                            metrics.emitted.add(emissions.len() as u64);
+                        }
+                        let deferred =
+                            !failed && ts.stateful && recovery != RecoveryMode::Approximate;
+                        if deferred {
+                            ts.deferred.push(item.token);
+                            if recovery == RecoveryMode::ExactlyOnceEffect {
+                                if let Some(id) = item.dedup {
+                                    ts.remember_applied(id);
+                                }
+                            }
+                        }
+                        let component = ts.component;
+                        results.push(WireResult {
+                            token: item.token,
+                            failed,
+                            deferred,
+                            emissions: convert_emissions(&intern, component, emissions),
+                        });
                     }
-                    let component = ts.component;
-                    results.push(WireResult {
-                        token: item.token,
-                        failed,
-                        deferred,
-                        emissions: convert_emissions(&intern, component, emissions),
-                    });
+                    writer.send(&Frame::ResultBatch { items: results })?;
+                    for (task, amount) in credits {
+                        writer.send(&Frame::CreditGrant { task, amount })?;
+                    }
                 }
-                writer.send(&Frame::ResultBatch { items: results })?;
-                for (task, amount) in credits {
-                    writer.send(&Frame::CreditGrant { task, amount })?;
+                Some(Frame::RestoreState {
+                    task,
+                    payload,
+                    dedup,
+                }) => {
+                    let start = Instant::now();
+                    let ok = match states.get_mut(&task) {
+                        Some(ts) => {
+                            ts.dedup_set = dedup.iter().copied().collect();
+                            ts.dedup_fifo = dedup.into();
+                            match payload {
+                                Some(p) => match (snapshot_from_payload(&p), ts.bolt.stateful()) {
+                                    (Ok(snap), Some(state)) => state.restore(&snap, &[]).is_ok(),
+                                    _ => false,
+                                },
+                                // Nothing checkpointed yet: fresh state is the
+                                // correct restore target.
+                                None => true,
+                            }
+                        }
+                        None => false,
+                    };
+                    writer.send(&Frame::StateRestored {
+                        task,
+                        ok,
+                        latency_us: start.elapsed().as_micros() as u64,
+                    })?;
                 }
+                Some(Frame::Flush { seq }) => {
+                    for ts in states.values_mut() {
+                        checkpoint_task(ts, &mut writer, ckpt_interval, true, &metrics)?;
+                    }
+                    writer.send(&Frame::Flushed { seq })?;
+                }
+                Some(Frame::Shutdown) => {
+                    // Final push so spans and deltas recorded since the last
+                    // interval still reach the coordinator's merged view.
+                    if push_interval.is_some() {
+                        push_telemetry(
+                            worker,
+                            &mut writer,
+                            &tracer,
+                            &local_registry,
+                            &metrics,
+                            &stats,
+                            t0,
+                            &mut last_pushed,
+                        )?;
+                    }
+                    break;
+                }
+                Some(_) => {} // Unexpected direction: ignore.
+                None => {}    // Read timeout: fall through to periodic work.
             }
-            Some(Frame::RestoreState {
-                task,
-                payload,
-                dedup,
-            }) => {
-                let start = Instant::now();
-                let ok = match states.get_mut(&task) {
-                    Some(ts) => {
-                        ts.dedup_set = dedup.iter().copied().collect();
-                        ts.dedup_fifo = dedup.into();
-                        match payload {
-                            Some(p) => match (snapshot_from_payload(&p), ts.bolt.stateful()) {
-                                (Ok(snap), Some(state)) => state.restore(&snap, &[]).is_ok(),
-                                _ => false,
-                            },
-                            // Nothing checkpointed yet: fresh state is the
-                            // correct restore target.
-                            None => true,
+
+            for ts in states.values_mut() {
+                checkpoint_task(ts, &mut writer, ckpt_interval, false, &metrics)?;
+            }
+            if let Some(interval) = tick_interval {
+                if last_tick.elapsed() >= interval {
+                    last_tick = Instant::now();
+                    for ts in states.values_mut() {
+                        let mut out = BoltOutput::new();
+                        out.set_now(t0.elapsed().as_secs_f64());
+                        ts.bolt.tick(&mut out);
+                        let (emissions, _) = out.drain();
+                        if !emissions.is_empty() {
+                            let component = ts.component;
+                            writer.send(&Frame::TickEmissions {
+                                task: ts.task,
+                                emissions: convert_emissions(&intern, component, emissions),
+                            })?;
                         }
                     }
-                    None => false,
-                };
-                writer.send(&Frame::StateRestored {
-                    task,
-                    ok,
-                    latency_us: start.elapsed().as_micros() as u64,
-                })?;
-            }
-            Some(Frame::Flush { seq }) => {
-                for ts in states.values_mut() {
-                    checkpoint_task(ts, &mut writer, ckpt_interval, true)?;
                 }
-                writer.send(&Frame::Flushed { seq })?;
             }
-            Some(Frame::Shutdown) => break,
-            Some(_) => {} // Unexpected direction: ignore.
-            None => {}    // Read timeout: fall through to periodic work.
+            if let Some(interval) = push_interval {
+                if last_push.elapsed() >= interval {
+                    last_push = Instant::now();
+                    push_telemetry(
+                        worker,
+                        &mut writer,
+                        &tracer,
+                        &local_registry,
+                        &metrics,
+                        &stats,
+                        t0,
+                        &mut last_pushed,
+                    )?;
+                }
+            }
         }
+        Ok(())
+    });
 
-        for ts in states.values_mut() {
-            checkpoint_task(ts, &mut writer, ckpt_interval, false)?;
-        }
-        if let Some(interval) = tick_interval {
-            if last_tick.elapsed() >= interval {
-                last_tick = Instant::now();
-                for ts in states.values_mut() {
-                    let mut out = BoltOutput::new();
-                    out.set_now(t0.elapsed().as_secs_f64());
-                    ts.bolt.tick(&mut out);
-                    let (emissions, _) = out.drain();
-                    if !emissions.is_empty() {
-                        let component = ts.component;
-                        writer.send(&Frame::TickEmissions {
-                            task: ts.task,
-                            emissions: convert_emissions(&intern, component, emissions),
-                        })?;
-                    }
-                }
+    match std::panic::catch_unwind(serve) {
+        Ok(Ok(())) => {
+            for ts in states.values_mut() {
+                ts.bolt.cleanup();
             }
+            Ok(())
+        }
+        Ok(Err(e)) => {
+            emit_last_words(&mut writer, worker, classify_error(&e), &e.to_string());
+            Err(e)
+        }
+        Err(payload) => {
+            let detail = panic_detail(payload.as_ref());
+            emit_last_words(&mut writer, worker, "panic", &detail);
+            Err(Error::Runtime(format!("worker panicked: {detail}")))
+        }
+    }
+}
+
+/// Cached handles of the worker's label-free local registry.  The
+/// coordinator re-registers everything pushed here under
+/// `worker`/`generation` labels, so names stay collision-free with the
+/// coordinator's own families.
+struct WorkerMetrics {
+    executed: Counter,
+    emitted: Counter,
+    batches: Counter,
+    checkpoints: Counter,
+    uptime: Gauge,
+    conn_bytes_in: Counter,
+    conn_bytes_out: Counter,
+    conn_frames_in: Counter,
+    conn_frames_out: Counter,
+    conn_decode_us: Counter,
+    conn_encode_us: Counter,
+    conn_write_block_us: Counter,
+}
+
+impl WorkerMetrics {
+    fn new(reg: &Registry) -> Self {
+        WorkerMetrics {
+            executed: reg.counter("dsdps_worker_executed_total", &[]),
+            emitted: reg.counter("dsdps_worker_emitted_total", &[]),
+            batches: reg.counter("dsdps_worker_batches_total", &[]),
+            checkpoints: reg.counter("dsdps_worker_checkpoints_total", &[]),
+            uptime: reg.gauge("dsdps_worker_uptime_seconds", &[]),
+            conn_bytes_in: reg.counter("dsdps_worker_conn_bytes_in_total", &[]),
+            conn_bytes_out: reg.counter("dsdps_worker_conn_bytes_out_total", &[]),
+            conn_frames_in: reg.counter("dsdps_worker_conn_frames_in_total", &[]),
+            conn_frames_out: reg.counter("dsdps_worker_conn_frames_out_total", &[]),
+            conn_decode_us: reg.counter("dsdps_worker_conn_decode_us_total", &[]),
+            conn_encode_us: reg.counter("dsdps_worker_conn_encode_us_total", &[]),
+            conn_write_block_us: reg.counter("dsdps_worker_conn_write_block_us_total", &[]),
         }
     }
 
-    for ts in states.values_mut() {
-        ts.bolt.cleanup();
+    /// Copies the transport counters and uptime gauge into the registry so
+    /// the next `export_samples` sees them; runs at push cadence, never on
+    /// the tuple path.
+    fn sync(&self, stats: &ConnStats, t0: Instant) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.uptime.set(t0.elapsed().as_secs_f64());
+        self.conn_bytes_in.set(stats.bytes_in.load(Relaxed));
+        self.conn_bytes_out.set(stats.bytes_out.load(Relaxed));
+        self.conn_frames_in.set(stats.frames_in.load(Relaxed));
+        self.conn_frames_out.set(stats.frames_out.load(Relaxed));
+        self.conn_decode_us.set(stats.decode_us.load(Relaxed));
+        self.conn_encode_us.set(stats.encode_us.load(Relaxed));
+        self.conn_write_block_us
+            .set(stats.write_block_us.load(Relaxed));
+    }
+}
+
+/// Drains the local tracer into a `SpanBatch` and the local registry into a
+/// `MetricsPush` (counters as deltas since the last push, gauges as current
+/// values).  Skips empty frames entirely.
+#[allow(clippy::too_many_arguments)]
+fn push_telemetry(
+    worker: u32,
+    writer: &mut BatchWriter,
+    tracer: &Tracer,
+    registry: &Registry,
+    metrics: &WorkerMetrics,
+    stats: &ConnStats,
+    t0: Instant,
+    last_pushed: &mut HashMap<(String, String), u64>,
+) -> Result<()> {
+    let (spans, dropped) = tracer.drain();
+    if !spans.is_empty() || dropped > 0 {
+        let spans = spans
+            .into_iter()
+            .map(|s| WireSpan {
+                kind: span_kind_to_byte(s.kind),
+                root: s.root,
+                task: s.task as u32,
+                start_us: s.start_us,
+                queue_wait_us: s.queue_wait_us,
+                exec_us: s.exec_us,
+                batch_id: s.batch_id,
+            })
+            .collect();
+        writer.send(&Frame::SpanBatch {
+            worker,
+            dropped,
+            spans,
+        })?;
+    }
+    metrics.sync(stats, t0);
+    let mut samples = Vec::new();
+    for (family, labels, value) in registry.export_samples() {
+        match value {
+            SampleValue::Counter(v) => {
+                let key = (family, labels);
+                let prev = last_pushed.get(&key).copied();
+                let delta = v.saturating_sub(prev.unwrap_or(0));
+                // First push includes zero deltas so the coordinator's
+                // endpoint exposes the full family set immediately.
+                if delta > 0 || prev.is_none() {
+                    samples.push(WireMetric {
+                        kind: 0,
+                        name: key.0.clone(),
+                        value: delta,
+                    });
+                }
+                last_pushed.insert(key, v);
+            }
+            SampleValue::Gauge(g) => samples.push(WireMetric {
+                kind: 1,
+                name: family,
+                value: g.to_bits(),
+            }),
+        }
+    }
+    if !samples.is_empty() {
+        writer.send(&Frame::MetricsPush { worker, samples })?;
     }
     Ok(())
+}
+
+/// Maps a serve-loop error to the machine-readable last-words cause.
+fn classify_error(e: &Error) -> &'static str {
+    let text = e.to_string();
+    if text.contains("decode frame") || text.contains("frame length") || text.contains("oversized")
+    {
+        "decode_error"
+    } else {
+        "io_error"
+    }
+}
+
+/// Extracts a printable panic payload (`&str` / `String`, else a stub).
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Structured last words while dying: one JSONL line on stderr (the
+/// supervisor's stderr pump parses it even when the socket is gone) plus a
+/// best-effort [`Frame::LastWords`] over the connection.
+fn emit_last_words(writer: &mut BatchWriter, worker: u32, cause: &str, detail: &str) {
+    let line = LastWordsLine {
+        dsdps_last_words: true,
+        worker,
+        cause: cause.to_owned(),
+        detail: detail.to_owned(),
+    };
+    if let Ok(json) = serde_json::to_string(&line) {
+        eprintln!("{json}");
+    }
+    let _ = writer.send(&Frame::LastWords {
+        worker,
+        cause: cause.to_owned(),
+        detail: detail.to_owned(),
+    });
 }
 
 /// Checkpoints one stateful task: deposit the snapshot, then release the
@@ -397,6 +658,7 @@ fn checkpoint_task(
     writer: &mut BatchWriter,
     interval: Duration,
     force: bool,
+    metrics: &WorkerMetrics,
 ) -> Result<()> {
     if !ts.stateful || (!force && ts.last_ckpt.elapsed() < interval) {
         return Ok(());
@@ -412,6 +674,9 @@ fn checkpoint_task(
         payload: snapshot_to_payload(&snap),
         dedup: ts.dedup_fifo.iter().copied().collect(),
     })?;
+    if HOT_PATH_TELEMETRY {
+        metrics.checkpoints.inc();
+    }
     if !ts.deferred.is_empty() {
         writer.send(&Frame::AckFlush {
             tokens: std::mem::take(&mut ts.deferred),

@@ -232,6 +232,61 @@ pub enum JournalEvent {
         worker: usize,
         /// Human-readable cause.
         reason: String,
+        /// Trace ids of sampled tuple trees whose in-flight deliveries
+        /// were lost with the connection (capped; cross-references the
+        /// span log so a broken trace points at its disconnect).
+        lost_trace_ids: Vec<u64>,
+    },
+    /// A worker completed its hello/assign/restore handshake and is
+    /// serving tuples.  Decomposes the bring-up so respawn cost is
+    /// attributable: handshake (hello → assign sent) vs restore (state
+    /// replayed into the fresh process).
+    WorkerAssigned {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Worker slot index.
+        worker: usize,
+        /// OS process id of the assigned worker.
+        pid: u32,
+        /// Connection generation the assignment begins.
+        generation: u64,
+        /// Number of tasks assigned.
+        tasks: usize,
+        /// Estimated worker-clock offset (`coordinator_now_us −
+        /// worker_clock_us` at hello receipt) used to normalize the
+        /// worker's span timestamps.
+        clock_offset_us: i64,
+        /// Hello-read → assign-sent duration, microseconds.
+        handshake_us: u64,
+        /// State-restore duration (all tasks), microseconds; 0 on a first
+        /// launch with nothing to restore.
+        restore_us: u64,
+    },
+    /// The supervisor reaped a dead worker process.  `cause` carries the
+    /// worker's structured last words when it managed to emit them
+    /// (panic payload, decode error) — otherwise the exit status.
+    WorkerDied {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Worker slot index.
+        worker: usize,
+        /// OS process id of the dead worker.
+        pid: u32,
+        /// Connection generation that died.
+        generation: u64,
+        /// Best known cause of death.
+        cause: String,
+    },
+    /// A connected worker went quiet: no frame received for longer than
+    /// the heartbeat-lag threshold (twice the metrics push interval).
+    /// Journaled once per silence; a fresh frame re-arms the detector.
+    WorkerHeartbeatLag {
+        /// Runtime clock, seconds.
+        time_s: f64,
+        /// Worker slot index.
+        worker: usize,
+        /// Observed silence, seconds.
+        lag_s: f64,
     },
 }
 
@@ -258,7 +313,10 @@ impl JournalEvent {
             | JournalEvent::HistoryTruncated { time_s, .. }
             | JournalEvent::WorkerSpawned { time_s, .. }
             | JournalEvent::WorkerConnected { time_s, .. }
-            | JournalEvent::WorkerDisconnected { time_s, .. } => *time_s,
+            | JournalEvent::WorkerDisconnected { time_s, .. }
+            | JournalEvent::WorkerAssigned { time_s, .. }
+            | JournalEvent::WorkerDied { time_s, .. }
+            | JournalEvent::WorkerHeartbeatLag { time_s, .. } => *time_s,
         }
     }
 
@@ -285,6 +343,9 @@ impl JournalEvent {
             JournalEvent::WorkerSpawned { .. } => "worker_spawned",
             JournalEvent::WorkerConnected { .. } => "worker_connected",
             JournalEvent::WorkerDisconnected { .. } => "worker_disconnected",
+            JournalEvent::WorkerAssigned { .. } => "worker_assigned",
+            JournalEvent::WorkerDied { .. } => "worker_died",
+            JournalEvent::WorkerHeartbeatLag { .. } => "worker_heartbeat_lag",
         }
     }
 }
@@ -448,6 +509,34 @@ mod tests {
                 time_s: 4.0,
                 retained: 4096,
             },
+            JournalEvent::WorkerAssigned {
+                time_s: 4.2,
+                worker: 1,
+                pid: 4711,
+                generation: 1,
+                tasks: 3,
+                clock_offset_us: -1_250,
+                handshake_us: 800,
+                restore_us: 2_400,
+            },
+            JournalEvent::WorkerHeartbeatLag {
+                time_s: 4.5,
+                worker: 1,
+                lag_s: 2.5,
+            },
+            JournalEvent::WorkerDisconnected {
+                time_s: 4.8,
+                worker: 1,
+                reason: "connection closed".into(),
+                lost_trace_ids: vec![crate::acker::splitmix64(99)],
+            },
+            JournalEvent::WorkerDied {
+                time_s: 4.9,
+                worker: 1,
+                pid: 4711,
+                generation: 1,
+                cause: "panic: bolt exploded".into(),
+            },
         ]
     }
 
@@ -457,7 +546,7 @@ mod tests {
         for e in sample_events() {
             journal.append(e);
         }
-        assert_eq!(journal.len(), 14);
+        assert_eq!(journal.len(), 18);
         let back = parse_jsonl(&journal.to_jsonl()).unwrap();
         assert_eq!(back, journal.events());
     }

@@ -36,10 +36,10 @@ pub mod trace;
 
 pub use http::MetricsServer;
 pub use journal::{Journal, JournalEvent};
-pub use registry::{Counter, Gauge, Registry, Summary};
+pub use registry::{Counter, Gauge, Registry, SampleValue, Summary};
 pub use trace::{
-    chrome_trace_json, spans_jsonl, validate_spans, write_chrome_trace, write_spans_jsonl, Span,
-    SpanKind, TraceSummary, Tracer,
+    chrome_trace_json, chrome_trace_json_named, normalize_start_us, spans_jsonl, validate_spans,
+    write_chrome_trace, write_spans_jsonl, Span, SpanKind, TraceSummary, Tracer,
 };
 
 /// Compile-time master switch for hot-path instrumentation.

@@ -277,6 +277,37 @@ impl Registry {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.render().as_bytes())
     }
+
+    /// Structured export of every counter and gauge as
+    /// `(family, rendered_labels, value)`, sorted by family then labels.
+    /// Summaries are skipped — they do not aggregate across processes by
+    /// value.  The distributed worker walks this to build its
+    /// `MetricsPush` frame; the coordinator re-registers each sample under
+    /// `worker`/`generation` labels.
+    pub fn export_samples(&self) -> Vec<(String, String, SampleValue)> {
+        let mut rows: Vec<(String, String, SampleValue)> = Vec::new();
+        for shard in self.shards.iter() {
+            for e in shard.lock().iter() {
+                let v = match &e.cell {
+                    Cell::Counter(c) => SampleValue::Counter(c.get()),
+                    Cell::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Cell::Summary(_) => continue,
+                };
+                rows.push((e.family.clone(), e.labels.clone(), v));
+            }
+        }
+        rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        rows
+    }
+}
+
+/// One exported counter or gauge value (see [`Registry::export_samples`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleValue {
+    /// Cumulative counter total.
+    Counter(u64),
+    /// Instantaneous gauge value.
+    Gauge(f64),
 }
 
 fn escape_label_value(v: &str) -> String {
@@ -357,6 +388,28 @@ mod tests {
         assert!(text.contains("complete_latency_us{quantile=\"0.5\"}"));
         assert!(text.contains("complete_latency_us{quantile=\"0.99\"}"));
         assert!(text.contains("complete_latency_us_count 5"));
+    }
+
+    #[test]
+    fn export_samples_covers_counters_and_gauges() {
+        let r = Registry::new();
+        r.counter("b_total", &[]).add(9);
+        r.gauge("a_up", &[("worker", "1")]).set(2.5);
+        r.summary("lat_us", &[]).observe(10.0);
+        let rows = r.export_samples();
+        assert_eq!(rows.len(), 2, "summaries are skipped");
+        assert_eq!(
+            rows[0],
+            (
+                "a_up".into(),
+                "worker=\"1\"".into(),
+                SampleValue::Gauge(2.5)
+            )
+        );
+        assert_eq!(
+            rows[1],
+            ("b_total".into(), "".into(), SampleValue::Counter(9))
+        );
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct Span {
     pub replay_attempt: u32,
     /// Spout message id (spout-emit and terminal spans).
     pub message_id: Option<u64>,
+    /// OS process id of the recording process (0 = single-process run; the
+    /// distributed coordinator stamps real pids when merging worker spans).
+    pub pid: u32,
+    /// Worker connection generation the span was recorded under (0 before
+    /// the first respawn and for single-process runs).
+    pub generation: u64,
 }
 
 /// Trace id of a tuple tree (shared with the acker's edge-id scrambler).
@@ -205,6 +211,8 @@ impl Tracer {
                 batch_id: 0,
                 replay_attempt,
                 message_id: Some(message_id),
+                pid: 0,
+                generation: 0,
             },
         );
     }
@@ -236,6 +244,8 @@ impl Tracer {
                 batch_id,
                 replay_attempt: 0,
                 message_id: None,
+                pid: 0,
+                generation: 0,
             },
         );
     }
@@ -268,6 +278,8 @@ impl Tracer {
                 batch_id: 0,
                 replay_attempt: 0,
                 message_id: Some(message_id),
+                pid: 0,
+                generation: 0,
             },
         );
     }
@@ -286,6 +298,40 @@ impl Tracer {
         spans.sort_by_key(|a| (a.trace_id, a.start_us));
         (spans, dropped)
     }
+
+    /// Takes all buffered spans and resets the dropped counters, returning
+    /// `(spans, dropped_since_last_drain)`.  Unlike [`Tracer::snapshot`]
+    /// this empties the buffers — the distributed worker drains its local
+    /// tracer on every [`SpanBatch`](crate::dist::codec::Frame::SpanBatch)
+    /// push so spans ship incrementally instead of accumulating.
+    pub fn drain(&self) -> (Vec<Span>, u64) {
+        let mut spans = Vec::new();
+        let mut dropped = 0;
+        for slot in &self.slots {
+            let mut buf = slot.lock();
+            spans.extend(buf.spans.drain(..));
+            dropped += buf.dropped;
+            buf.dropped = 0;
+        }
+        spans.sort_by_key(|a| (a.trace_id, a.start_us));
+        (spans, dropped)
+    }
+}
+
+/// Shifts every span's `start_us` by `offset_us` (saturating at zero), the
+/// clock re-basing the distributed coordinator applies to worker spans.
+/// The offset is estimated at the `Hello` handshake as
+/// `coordinator_now_us − worker_clock_us`, so after the shift all spans of
+/// a merged trace share the coordinator's clock to within one socket
+/// one-way latency.
+pub fn normalize_start_us(spans: &mut [Span], offset_us: i64) {
+    for s in spans {
+        s.start_us = if offset_us >= 0 {
+            s.start_us.saturating_add(offset_us as u64)
+        } else {
+            s.start_us.saturating_sub(offset_us.unsigned_abs())
+        };
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -303,56 +349,98 @@ fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
 
 /// Renders spans as Chrome `trace_event` JSON — the format `chrome://tracing`
 /// and [Perfetto](https://ui.perfetto.dev) open directly.  Hops and spout
-/// emissions become `"ph":"X"` complete events (pid = worker, tid = task);
-/// terminal events become `"ph":"i"` instants.
+/// emissions become `"ph":"X"` complete events (pid = the span's OS pid
+/// when stamped, else its logical worker; tid = task); terminal events
+/// become `"ph":"i"` instants.
 pub fn chrome_trace_json(spans: &[Span]) -> String {
-    let events: Vec<JsonValue> = spans
-        .iter()
-        .map(|s| {
-            let args = obj(vec![
-                ("trace_id", JsonValue::Str(format!("{:016x}", s.trace_id))),
-                ("root", JsonValue::U64(s.root)),
-                ("queue_wait_us", JsonValue::U64(s.queue_wait_us)),
-                ("batch_id", JsonValue::U64(s.batch_id)),
-                ("replay_attempt", JsonValue::U64(s.replay_attempt as u64)),
-            ]);
-            let mut fields = vec![
-                (
-                    "name",
-                    JsonValue::Str(match s.kind {
-                        SpanKind::SpoutEmit => format!("emit:{}", s.component),
-                        SpanKind::Hop => s.component.clone(),
-                        SpanKind::Ack => "ack".to_string(),
-                        SpanKind::Fail => "fail".to_string(),
-                        SpanKind::Timeout => "timeout".to_string(),
-                    }),
-                ),
-                (
-                    "cat",
-                    JsonValue::Str(
-                        match s.kind {
-                            SpanKind::SpoutEmit => "spout",
-                            SpanKind::Hop => "hop",
-                            _ => "terminal",
-                        }
-                        .to_string(),
-                    ),
-                ),
-                ("ts", JsonValue::U64(s.start_us)),
-                ("pid", JsonValue::U64(s.worker as u64)),
-                ("tid", JsonValue::U64(s.task as u64)),
-            ];
-            if s.kind.is_terminal() {
-                fields.push(("ph", JsonValue::Str("i".to_string())));
-                fields.push(("s", JsonValue::Str("p".to_string())));
-            } else {
-                fields.push(("ph", JsonValue::Str("X".to_string())));
-                fields.push(("dur", JsonValue::U64(s.exec_us.max(1))));
+    chrome_trace_json_named(spans, &[])
+}
+
+/// The Chrome `pid` track a span renders under: the real OS pid when the
+/// distributed coordinator stamped one, else the logical worker index.
+fn chrome_pid(s: &Span) -> u64 {
+    if s.pid != 0 {
+        u64::from(s.pid)
+    } else {
+        s.worker as u64
+    }
+}
+
+/// Like [`chrome_trace_json`], but prefixes `process_name` metadata records
+/// (`"ph":"M"`) so each process renders as its own named track: one record
+/// per distinct pid appearing in `spans`, named from `process_names`
+/// (`(pid, name)` pairs) with a `"process <pid>"` fallback.  The
+/// distributed runtime passes the coordinator's and every worker
+/// generation's pid here so cross-process traces stay readable.
+pub fn chrome_trace_json_named(spans: &[Span], process_names: &[(u64, String)]) -> String {
+    let mut events: Vec<JsonValue> = Vec::new();
+    if !process_names.is_empty() {
+        let mut seen: Vec<u64> = Vec::new();
+        for s in spans {
+            let pid = chrome_pid(s);
+            if !seen.contains(&pid) {
+                seen.push(pid);
             }
-            fields.push(("args", args));
-            obj(fields)
-        })
-        .collect();
+        }
+        seen.sort_unstable();
+        for pid in seen {
+            let name = process_names
+                .iter()
+                .find(|(p, _)| *p == pid)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("process {pid}"));
+            events.push(obj(vec![
+                ("name", JsonValue::Str("process_name".to_string())),
+                ("ph", JsonValue::Str("M".to_string())),
+                ("pid", JsonValue::U64(pid)),
+                ("args", obj(vec![("name", JsonValue::Str(name))])),
+            ]));
+        }
+    }
+    events.extend(spans.iter().map(|s| {
+        let args = obj(vec![
+            ("trace_id", JsonValue::Str(format!("{:016x}", s.trace_id))),
+            ("root", JsonValue::U64(s.root)),
+            ("queue_wait_us", JsonValue::U64(s.queue_wait_us)),
+            ("batch_id", JsonValue::U64(s.batch_id)),
+            ("replay_attempt", JsonValue::U64(s.replay_attempt as u64)),
+        ]);
+        let mut fields = vec![
+            (
+                "name",
+                JsonValue::Str(match s.kind {
+                    SpanKind::SpoutEmit => format!("emit:{}", s.component),
+                    SpanKind::Hop => s.component.clone(),
+                    SpanKind::Ack => "ack".to_string(),
+                    SpanKind::Fail => "fail".to_string(),
+                    SpanKind::Timeout => "timeout".to_string(),
+                }),
+            ),
+            (
+                "cat",
+                JsonValue::Str(
+                    match s.kind {
+                        SpanKind::SpoutEmit => "spout",
+                        SpanKind::Hop => "hop",
+                        _ => "terminal",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("ts", JsonValue::U64(s.start_us)),
+            ("pid", JsonValue::U64(chrome_pid(s))),
+            ("tid", JsonValue::U64(s.task as u64)),
+        ];
+        if s.kind.is_terminal() {
+            fields.push(("ph", JsonValue::Str("i".to_string())));
+            fields.push(("s", JsonValue::Str("p".to_string())));
+        } else {
+            fields.push(("ph", JsonValue::Str("X".to_string())));
+            fields.push(("dur", JsonValue::U64(s.exec_us.max(1))));
+        }
+        fields.push(("args", args));
+        obj(fields)
+    }));
     let doc = obj(vec![
         ("traceEvents", JsonValue::Array(events)),
         ("displayTimeUnit", JsonValue::Str("ms".to_string())),
@@ -539,6 +627,57 @@ mod tests {
             })
             .collect();
         assert_eq!(phases, ["X", "X", "i"]);
+    }
+
+    #[test]
+    fn named_chrome_trace_emits_process_metadata() {
+        let t = tracer();
+        t.record_emit(0, 7, 0, 10, 0, 1);
+        t.record_hop(1, 7, 1, 20, 5, 30, 0);
+        let (mut spans, _) = t.snapshot();
+        // Stamp the hop as coming from a separate worker process.
+        for s in &mut spans {
+            if s.kind == SpanKind::Hop {
+                s.pid = 4711;
+                s.generation = 1;
+            }
+        }
+        let names = vec![(4711u64, "worker 0 gen 1".to_string())];
+        let doc = serde_json::parse(&chrome_trace_json_named(&spans, &names)).unwrap();
+        let events = doc
+            .as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == "traceEvents"))
+            .and_then(|(_, v)| v.as_array())
+            .expect("traceEvents array");
+        // Two distinct pids (coordinator track 0, worker 4711) => two
+        // metadata records ahead of the two span events.
+        assert_eq!(events.len(), 4);
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.as_object()
+                    .and_then(|o| o.iter().find(|(k, _)| k == "ph"))
+                    .and_then(|(_, v)| v.as_str())
+                    == Some("M")
+            })
+            .collect();
+        assert_eq!(metas.len(), 2);
+        let text = chrome_trace_json_named(&spans, &names);
+        assert!(text.contains("worker 0 gen 1"));
+        assert!(text.contains("process_name"));
+    }
+
+    #[test]
+    fn normalize_shifts_span_clocks() {
+        let t = tracer();
+        t.record_emit(0, 7, 0, 1_000, 0, 1);
+        let (mut spans, _) = t.snapshot();
+        normalize_start_us(&mut spans, 500);
+        assert_eq!(spans[0].start_us, 1_500);
+        normalize_start_us(&mut spans, -700);
+        assert_eq!(spans[0].start_us, 800);
+        normalize_start_us(&mut spans, -10_000);
+        assert_eq!(spans[0].start_us, 0, "shifts saturate at zero");
     }
 
     #[test]

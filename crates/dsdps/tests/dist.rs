@@ -338,3 +338,198 @@ fn dist_killed_worker_restores_from_checkpoint() {
     assert_eq!(count, n, "no lost or duplicated effects");
     assert_eq!(sum, n * (n + 1) / 2);
 }
+
+/// Scrapes the coordinator's Prometheus endpoint, returning the response
+/// body text.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect metrics endpoint");
+    s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// The distributed observability acceptance scenario: a kill-restore run
+/// with every tree traced (sample 1.0), worker metrics pushed on a short
+/// interval and one live Prometheus endpoint on the coordinator.  The
+/// merged span log, the worker-labelled metrics, the journal's worker
+/// lifecycle and the report counters must tell one consistent story
+/// across three OS processes and a respawn.
+#[test]
+fn dist_observability_spans_metrics_and_journal_agree() {
+    use dsdps::telemetry::{trace::trace_id as derive_trace_id, validate_spans, JournalEvent};
+
+    let n = 600u64;
+    let rate = 1_500.0;
+    let engine = EngineConfig {
+        message_timeout_s: 2.0,
+        metrics_interval_s: 0.1, // worker push cadence
+        ..EngineConfig::default()
+    };
+    let rt_config = RtConfig::default()
+        .with_batch_size(8)
+        .with_max_replays(10)
+        .with_replay_backoff(Duration::from_millis(20))
+        .with_checkpoints(Duration::from_millis(50))
+        .with_recovery_mode(RecoveryMode::ExactlyOnceEffect)
+        .with_trace_sample_rate(1.0)
+        .with_metrics_addr("127.0.0.1:0".parse().unwrap());
+    let running = dist::submit(
+        &registry(),
+        "stateful",
+        &format!("{n}:{rate}"),
+        engine,
+        rt_config,
+        DistConfig::new(2, self_worker_cmd()),
+    )
+    .unwrap();
+    let addr = running.metrics_addr().expect("metrics endpoint bound");
+    let coord_pid = running.coordinator_pid();
+    assert_eq!(coord_pid, std::process::id());
+
+    // Let the stream flow, then kill the worker owning the counter task.
+    assert!(
+        wait_until(Duration::from_secs(20), || running.acked() >= n / 4),
+        "stream never got going: acked {}",
+        running.acked()
+    );
+    running.kill_worker(0).expect("kill worker 0");
+    assert!(
+        wait_until(Duration::from_secs(30), || running.acked() == n),
+        "recovery stalled: acked {}/{n}",
+        running.acked()
+    );
+
+    // -- Prometheus endpoint: one scrape unifies coordinator counters,
+    // per-connection transport gauges and the workers' pushed families,
+    // the latter labelled by worker slot and generation.  The respawned
+    // worker's generation-2 families appear once its first push lands.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            scrape_metrics(addr).contains("generation=\"2\"")
+        }),
+        "respawned worker's metrics never reached the endpoint"
+    );
+    let scrape = scrape_metrics(addr);
+    for family in [
+        "dsdps_coord_tracked_total",
+        "dsdps_coord_acked_total",
+        "dsdps_coord_worker_restarts_total",
+        "dsdps_dist_outstanding_window",
+        "dsdps_dist_conn_frames_in_total",
+        "dsdps_worker_executed_total",
+        "dsdps_worker_batches_total",
+        "dsdps_worker_uptime_seconds",
+    ] {
+        assert!(
+            scrape.contains(family),
+            "scrape is missing {family}:\n{scrape}"
+        );
+    }
+    assert!(
+        scrape.contains("worker=\"0\"") && scrape.contains("generation=\"1\""),
+        "worker families carry slot and generation labels:\n{scrape}"
+    );
+
+    let report = running.shutdown();
+    assert_eq!(report.acked, n, "every message recovered: {report:?}");
+    assert!(report.conservation_holds(), "{report:?}");
+    assert_eq!(report.coordinator_pid, coord_pid);
+
+    // -- Span log: one merged, clock-normalized, structurally consistent
+    // trace across processes.  Emits and terminals come from the
+    // coordinator, hops from worker processes, so consistency here proves
+    // wire propagation, push-back and clock normalization end to end.
+    assert_eq!(report.spans_dropped, 0, "trace rings must not overflow");
+    let summary = validate_spans(&report.spans).expect("merged span log is consistent");
+    assert!(
+        summary.hop_spans > 0,
+        "worker hop spans came back: {summary:?}"
+    );
+    assert_eq!(
+        summary.trees,
+        (n + report.replays_emitted) as usize,
+        "one tree per root plus one per replay emission: {summary:?}"
+    );
+    let worker_pids: std::collections::BTreeSet<u32> = report
+        .spans
+        .iter()
+        .filter(|s| s.kind == dsdps::telemetry::SpanKind::Hop)
+        .map(|s| s.pid)
+        .collect();
+    assert!(
+        !worker_pids.is_empty() && !worker_pids.contains(&coord_pid) && !worker_pids.contains(&0),
+        "hop spans carry real worker pids distinct from the coordinator: {worker_pids:?}"
+    );
+    assert!(
+        report
+            .spans
+            .iter()
+            .any(|s| s.kind == dsdps::telemetry::SpanKind::SpoutEmit && s.pid == coord_pid),
+        "emit spans are stamped with the coordinator pid"
+    );
+    assert!(
+        report.spans.iter().any(|s| s.generation >= 2),
+        "the respawned worker's spans carry its new generation"
+    );
+
+    // -- Chrome trace: per-process metadata names the coordinator and each
+    // worker process, so the merged view separates by pid.
+    let chrome = report.chrome_trace_json();
+    assert!(chrome.contains("process_name"), "{chrome}");
+    assert!(chrome.contains("coordinator"), "{chrome}");
+    assert!(chrome.contains("worker 0 (gen "), "{chrome}");
+
+    // -- Journal: the worker lifecycle is fully attributed.  Assignments
+    // decompose bring-up cost and record the clock offset the span
+    // normalization used; the death carries a cause; the disconnect's lost
+    // trace ids cross-reference the span log.
+    let assigned = report.journal_of_kind("worker_assigned");
+    assert!(assigned.len() >= 3, "2 initial + >=1 respawn: {assigned:?}");
+    let mut saw_respawn = false;
+    let mut assigned_tasks = 0usize;
+    for e in &assigned {
+        let JournalEvent::WorkerAssigned {
+            pid,
+            generation,
+            tasks,
+            ..
+        } = e
+        else {
+            panic!("kind filter returned {e:?}");
+        };
+        assert!(*pid != 0, "assignment records the worker pid: {e:?}");
+        assigned_tasks += *tasks;
+        saw_respawn |= *generation >= 2;
+    }
+    assert!(assigned_tasks > 0, "bolt tasks were assigned: {assigned:?}");
+    assert!(saw_respawn, "the respawned worker was re-assigned");
+    let died = report.journal_of_kind("worker_died");
+    assert!(!died.is_empty(), "the SIGKILL was reaped and journaled");
+    for e in &died {
+        let JournalEvent::WorkerDied { cause, pid, .. } = e else {
+            panic!("kind filter returned {e:?}");
+        };
+        assert!(!cause.is_empty() && *pid != 0, "death has a cause: {e:?}");
+    }
+    let trace_ids = report.trace_ids();
+    for e in report.journal_of_kind("worker_disconnected") {
+        let JournalEvent::WorkerDisconnected { lost_trace_ids, .. } = e else {
+            panic!("kind filter returned {e:?}");
+        };
+        for tid in lost_trace_ids {
+            assert!(
+                trace_ids.binary_search(tid).is_ok(),
+                "lost trace id {tid:#x} cross-references the span log"
+            );
+        }
+    }
+    // Spans and journal agree on identity: every span's trace id is the
+    // canonical derivation of its root.
+    assert!(report
+        .spans
+        .iter()
+        .all(|s| s.trace_id == derive_trace_id(s.root)));
+}

@@ -658,8 +658,8 @@ proptest! {
 // --- wire codec (dist runtime) ------------------------------------------
 
 use dsdps::dist::codec::{
-    self, decode_frame, encode_frame, encode_frame_body, Dec, Frame, WireEmission, WireResult,
-    WireTuple,
+    self, decode_frame, encode_frame, encode_frame_body, Dec, Frame, WireEmission, WireMetric,
+    WireResult, WireSpan, WireTuple,
 };
 
 /// Scalar tuple values.  Floats stay finite so value equality is
@@ -691,15 +691,50 @@ fn wire_tuple() -> impl Strategy<Value = WireTuple> {
         0u32..64,
         0u32..16,
         prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+        prop_oneof![Just(None), any::<u64>().prop_map(Some)],
         prop::collection::vec(wire_value(), 0..5),
     )
-        .prop_map(|(token, dest_task, stream, dedup, values)| WireTuple {
-            token,
-            dest_task,
-            stream,
-            dedup,
-            values,
-        })
+        .prop_map(
+            |(token, dest_task, stream, dedup, trace_root, values)| WireTuple {
+                token,
+                dest_task,
+                stream,
+                dedup,
+                trace_root,
+                values,
+            },
+        )
+}
+
+fn wire_span() -> impl Strategy<Value = WireSpan> {
+    (
+        0u8..5,
+        any::<u64>(),
+        0u32..64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(kind, root, task, start_us, queue_wait_us, exec_us, batch_id)| WireSpan {
+                kind,
+                root,
+                task,
+                start_us,
+                queue_wait_us,
+                exec_us,
+                batch_id,
+            },
+        )
+}
+
+fn wire_metric() -> impl Strategy<Value = WireMetric> {
+    (0u8..2, "[a-z_]{1,24}", any::<u64>()).prop_map(|(kind, name, value)| WireMetric {
+        kind,
+        name,
+        value,
+    })
 }
 
 fn wire_emission() -> impl Strategy<Value = WireEmission> {
@@ -735,7 +770,11 @@ fn wire_result() -> impl Strategy<Value = WireResult> {
 /// Every frame type of the wire protocol with arbitrary payloads.
 fn any_frame() -> BoxedStrategy<Frame> {
     prop_oneof![
-        (0u32..8, any::<u32>()).prop_map(|(worker, pid)| Frame::Hello { worker, pid }),
+        (0u32..8, any::<u32>(), any::<u64>()).prop_map(|(worker, pid, clock_us)| Frame::Hello {
+            worker,
+            pid,
+            clock_us
+        }),
         (
             0u32..8,
             "[a-z]{1,10}",
@@ -743,20 +782,23 @@ fn any_frame() -> BoxedStrategy<Frame> {
             prop::collection::vec(0u32..64, 0..8),
             0u8..3,
             any::<u64>(),
-            any::<u64>(),
+            (any::<u64>(), any::<u64>()),
             (1u32..64, 1u32..32),
         )
             .prop_map(
-                |(worker, topology, args, tasks, recovery, ckpt, tick, (tc, sc))| Frame::Assign {
-                    worker,
-                    topology,
-                    args,
-                    tasks,
-                    recovery,
-                    ckpt_interval_us: ckpt,
-                    tick_interval_us: tick,
-                    task_count: tc,
-                    stream_count: sc,
+                |(worker, topology, args, tasks, recovery, ckpt, (tick, push), (tc, sc))| {
+                    Frame::Assign {
+                        worker,
+                        topology,
+                        args,
+                        tasks,
+                        recovery,
+                        ckpt_interval_us: ckpt,
+                        tick_interval_us: tick,
+                        metrics_interval_us: push,
+                        task_count: tc,
+                        stream_count: sc,
+                    }
                 },
             ),
         prop::collection::vec(wire_tuple(), 0..6).prop_map(|items| Frame::TupleBatch { items }),
@@ -798,6 +840,25 @@ fn any_frame() -> BoxedStrategy<Frame> {
         Just(Frame::Shutdown),
         (0u32..64, prop::collection::vec(wire_emission(), 0..4))
             .prop_map(|(task, emissions)| Frame::TickEmissions { task, emissions }),
+        (
+            0u32..8,
+            any::<u64>(),
+            prop::collection::vec(wire_span(), 0..6)
+        )
+            .prop_map(|(worker, dropped, spans)| Frame::SpanBatch {
+                worker,
+                dropped,
+                spans
+            }),
+        (0u32..8, prop::collection::vec(wire_metric(), 0..6))
+            .prop_map(|(worker, samples)| Frame::MetricsPush { worker, samples }),
+        (0u32..8, "[a-z_]{1,12}", "[ -~]{0,40}").prop_map(|(worker, cause, detail)| {
+            Frame::LastWords {
+                worker,
+                cause,
+                detail,
+            }
+        }),
     ]
     .boxed()
 }
@@ -873,4 +934,64 @@ proptest! {
         prop_assert_eq!(len, body.len());
         prop_assert_eq!(decode_frame(body), Ok(frame));
     }
+}
+
+/// Clock normalization: a worker's hop spans are recorded against its own
+/// process clock, which may be skewed either way relative to the
+/// coordinator's.  Applying the offset the coordinator estimated at the
+/// `Hello` handshake must land the hops *inside* the tree's coordinator-side
+/// bounds (emit .. terminal), for positive and negative skew alike, and the
+/// merged set must still validate as one coherent tree.
+#[test]
+fn clock_normalization_merges_worker_spans_into_tree_bounds() {
+    use dsdps::telemetry::trace::trace_id;
+    use dsdps::telemetry::{normalize_start_us, validate_spans, Span, SpanKind};
+
+    let root = 42u64;
+    let span = |kind: SpanKind, task: usize, start_us: u64| Span {
+        trace_id: trace_id(root),
+        root,
+        kind,
+        component: "c".into(),
+        task,
+        worker: 0,
+        start_us,
+        queue_wait_us: 5,
+        exec_us: 10,
+        batch_id: 1,
+        replay_attempt: 0,
+        message_id: None,
+        pid: 0,
+        generation: 0,
+    };
+
+    // Coordinator clock: emit at t=1_000us, terminal ack at t=9_000us.
+    let emit = span(SpanKind::SpoutEmit, 0, 1_000);
+    let ack = span(SpanKind::Ack, 0, 9_000);
+
+    for offset_us in [4_000i64, -4_000i64] {
+        // The worker executed the hop at t=5_000us coordinator time, but
+        // its local clock read `5_000 - offset` (offset = coord - worker).
+        let local_start = (5_000i64 - offset_us) as u64;
+        let mut worker_spans = vec![span(SpanKind::Hop, 1, local_start)];
+        normalize_start_us(&mut worker_spans, offset_us);
+        assert_eq!(worker_spans[0].start_us, 5_000);
+
+        let mut merged = vec![emit.clone(), ack.clone()];
+        merged.extend(worker_spans);
+        merged.sort_by_key(|s| s.start_us);
+        assert!(merged[0].start_us <= merged[1].start_us);
+        assert!(merged[1].start_us >= emit.start_us && merged[1].start_us <= ack.start_us);
+
+        let summary = validate_spans(&merged).expect("merged trace validates");
+        assert_eq!(summary.trees, 1);
+        assert_eq!(summary.terminated_trees, 1);
+        assert_eq!(summary.hop_spans, 1);
+    }
+
+    // Normalization saturates rather than wrapping when the offset would
+    // push a span before the epoch.
+    let mut early = vec![span(SpanKind::Hop, 1, 100)];
+    normalize_start_us(&mut early, -1_000);
+    assert_eq!(early[0].start_us, 0);
 }
